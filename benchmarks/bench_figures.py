@@ -1,0 +1,60 @@
+"""F1–F6: regenerate the paper's structural figures (DESIGN.md §3).
+
+Each bench computes the figure's structure, asserts the invariant the
+figure illustrates, and saves the ASCII rendering.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure1_span,
+    figure2_usage_periods,
+    figure3_subperiods,
+    figure4_supplier,
+    figures56_nonintersection,
+)
+
+
+def test_figure1_span(benchmark, save_artifact):
+    out = benchmark.pedantic(figure1_span, rounds=3, iterations=1)
+    items = out.data
+    # Figure 1's point: the span is the measure of the union, not the sum
+    assert items.span < sum(it.duration for it in items)
+    save_artifact("F1_span", out.rendering)
+
+
+def test_figure2_usage_periods(benchmark, save_artifact):
+    out = benchmark.pedantic(figure2_usage_periods, rounds=3, iterations=1)
+    deco = out.data
+    # Section IV identity: ΣW = span and U = V ⊎ W per bin
+    assert deco.total_w == pytest.approx(deco.span)
+    assert deco.total_v + deco.total_w == pytest.approx(deco.total_usage_time)
+    save_artifact("F2_usage_periods", out.rendering)
+
+
+def test_figure3_subperiods(benchmark, save_artifact):
+    out = benchmark.pedantic(figure3_subperiods, rounds=1, iterations=1)
+    subs = out.data
+    # the split must produce both kinds of subperiods on this instance
+    assert any(b.l_subperiods for b in subs)
+    assert any(b.h_subperiods for b in subs)
+    save_artifact("F3_subperiods", out.rendering)
+
+
+def test_figure4_supplier(benchmark, save_artifact):
+    out = benchmark.pedantic(figure4_supplier, rounds=1, iterations=1)
+    analysis = out.data
+    assert analysis.groups
+    # supplier bins always have lower indices than their client bins
+    for g in analysis.groups:
+        assert g.supplier_index < g.bin_index
+    save_artifact("F4_supplier", out.rendering)
+
+
+def test_figures5_6_nonintersection(benchmark, save_artifact):
+    out = benchmark.pedantic(
+        figures56_nonintersection, kwargs={"seeds": tuple(range(12))},
+        rounds=1, iterations=1,
+    )
+    assert out.data["violations"] == 0
+    save_artifact("F5-F6_lemma2", out.rendering)

@@ -1,0 +1,56 @@
+"""Scaling benchmarks: how cost grows with instance size.
+
+Not a paper artifact — empirical complexity curves for the library's two
+hot paths, so a future change that regresses the asymptotics is caught:
+
+- the packing driver is O(events · open bins) for Any Fit scans;
+- ``opt_total`` is dominated by per-interval branch and bound, whose
+  practical cost tracks the number of concurrently active items.
+"""
+
+import pytest
+
+from repro.algorithms import FirstFit
+from repro.core.packing import run_packing
+from repro.opt.opt_total import opt_total
+from repro.workloads.random_workloads import poisson_workload
+
+SIZES = (500, 2000, 8000)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_packing_scaling(benchmark, n):
+    inst = poisson_workload(n, seed=11, mu_target=8.0, arrival_rate=4.0)
+    result = benchmark.pedantic(
+        lambda: run_packing(inst, FirstFit()), rounds=3, iterations=1
+    )
+    assert result.num_bins > 0
+
+
+@pytest.mark.parametrize("n", (40, 80, 160))
+def test_opt_total_scaling(benchmark, n):
+    inst = poisson_workload(n, seed=12, mu_target=6.0, arrival_rate=3.0)
+    opt = benchmark.pedantic(lambda: opt_total(inst), rounds=2, iterations=1)
+    assert opt.lower > 0
+
+
+def test_packing_scales_near_linearly(benchmark):
+    """Wall-clock sanity: 16× the events should cost well under 100×.
+
+    (The Any-Fit scan makes the driver superlinear in principle, but at
+    cloud-realistic loads the open-bin count is bounded, so the observed
+    growth must stay near-linear.)
+    """
+    import time
+
+    def measure():
+        times = {}
+        for n in (500, 8000):
+            inst = poisson_workload(n, seed=13, mu_target=8.0, arrival_rate=4.0)
+            t0 = time.perf_counter()
+            run_packing(inst, FirstFit())
+            times[n] = time.perf_counter() - t0
+        return times
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert times[8000] < 100 * max(times[500], 1e-4)

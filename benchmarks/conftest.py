@@ -1,0 +1,33 @@
+"""Benchmark-suite fixtures.
+
+Every bench regenerates one of the paper's tables/figures (see the
+experiment index in DESIGN.md §3).  The rendered artifact is written to
+``benchmarks/output/<id>.txt`` so results persist after the run, and
+timing is collected through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artifact(output_dir):
+    """Write a rendered experiment table/figure to the output directory."""
+
+    def _save(experiment_id: str, text: str) -> Path:
+        path = output_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The paper's adversarial constructions, run live.
+
+Three gadgets, three lessons:
+
+1. **Section VIII pair construction** — Next Fit pays nµ while OPT pays
+   n/2 + µ; the ratio marches toward 2µ as n grows.  First Fit on the
+   same instance stays near-optimal.
+2. **Universal blocker/filler gadget** — *no* mixing algorithm can avoid
+   paying ≈ nµ against OPT ≈ n + µ: the µ lower bound every online
+   algorithm is subject to.
+3. **Best Fit staircase** — Best Fit scatters long fillers across Θ(√n)
+   bins that First Fit consolidates into one.
+
+Run:  python examples/adversarial_showdown.py
+"""
+
+from repro import BestFit, FirstFit, NextFit, opt_total, run_packing
+from repro.viz import render_bins
+from repro.workloads import (
+    best_fit_staircase,
+    next_fit_lower_bound,
+    universal_lower_bound,
+)
+
+
+def ratio(result, opt) -> float:
+    return result.total_usage_time / opt.lower
+
+
+def main() -> None:
+    print("=" * 70)
+    print("1. Section VIII: Next Fit forced to 2µ")
+    print("=" * 70)
+    mu = 4.0
+    print(f"{'n':>4s} {'NF_total':>9s} {'OPT':>7s} {'NF ratio':>9s} "
+          f"{'analytic':>9s} {'FF ratio':>9s}   (limit 2µ = {2 * mu:g})")
+    for n in (4, 8, 16, 32, 64, 128):
+        inst = next_fit_lower_bound(n, mu)
+        opt = opt_total(inst)
+        nf = run_packing(inst, NextFit())
+        ff = run_packing(inst, FirstFit())
+        print(f"{n:>4d} {nf.total_usage_time:>9.1f} {opt.lower:>7.1f} "
+              f"{ratio(nf, opt):>9.3f} {n * mu / (n / 2 + mu):>9.3f} "
+              f"{ratio(ff, opt):>9.3f}")
+
+    print()
+    print("=" * 70)
+    print("2. Universal lower bound: every algorithm pays ≈ µ")
+    print("=" * 70)
+    n = 24
+    for mu in (2.0, 4.0, 8.0):
+        inst = universal_lower_bound(n, mu)
+        opt = opt_total(inst)
+        rs = {
+            "first-fit": run_packing(inst, FirstFit()),
+            "best-fit": run_packing(inst, BestFit()),
+            "next-fit": run_packing(inst, NextFit()),
+        }
+        line = "  ".join(f"{k}={ratio(v, opt):.3f}" for k, v in rs.items())
+        print(f"µ={mu:>4g}:  {line}   (→ µ = {mu:g} as n → ∞)")
+
+    print()
+    print("=" * 70)
+    print("3. Best Fit staircase: scattering vs consolidation")
+    print("=" * 70)
+    inst = best_fit_staircase(16, 6.0)
+    bf = run_packing(inst, BestFit())
+    ff = run_packing(inst, FirstFit())
+    opt = opt_total(inst)
+    print(f"Best Fit : usage {bf.total_usage_time:.2f}  ratio {ratio(bf, opt):.3f}")
+    print(render_bins(bf))
+    print()
+    print(f"First Fit: usage {ff.total_usage_time:.2f}  ratio {ratio(ff, opt):.3f}")
+    print(render_bins(ff))
+
+
+if __name__ == "__main__":
+    main()

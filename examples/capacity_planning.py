@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Capacity planning: a provider's what-if analysis, end to end.
+
+Combines the cloud-layer features into one decision study for a gaming
+provider facing a bursty day:
+
+1. profile the demand (MMPP burst traffic),
+2. pick a dispatch policy (First Fit vs Next Fit, T6's lesson),
+3. pick a fleet shape (homogeneous vs mixed catalogue, T7's lesson),
+4. pick a retention policy under hourly billing (T8's lesson),
+
+and print the combined bill for each configuration.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.algorithms import FirstFit, NextFit
+from repro.cloud import (
+    BilledHourBoundary,
+    Dispatcher,
+    FleetDispatcher,
+    HourlyBilling,
+    NoRetention,
+    RetentionDispatcher,
+    SmallestFitting,
+    BestDensity,
+)
+from repro.workloads.mmpp import mmpp_workload, two_phase_bursty
+from repro.workloads.profile import profile_instance
+
+
+def main() -> None:
+    demand = mmpp_workload(
+        horizon=72.0,
+        seed=23,
+        phases=two_phase_bursty(base_rate=2.0, burst_rate=16.0,
+                                base_dwell=7.0, burst_dwell=1.5),
+        mu_target=10.0,
+    )
+    print("=== demand profile (3 bursty days) ===")
+    print(profile_instance(demand).render())
+    billing = HourlyBilling(quantum=1.0)
+    print()
+
+    print("=== decision 1: dispatch policy (hourly billing) ===")
+    for algo in (FirstFit(), NextFit()):
+        rep = Dispatcher(algo, billing=billing).dispatch(demand)
+        print(f"  {rep.summary()}")
+    print()
+
+    print("=== decision 2: fleet shape (First Fit placement) ===")
+    for label, dispatcher in (
+        ("mixed fleet, small-first", FleetDispatcher(
+            launch_policy=SmallestFitting(), billing=billing)),
+        ("mixed fleet, big-first", FleetDispatcher(
+            launch_policy=BestDensity(), billing=billing)),
+    ):
+        rep = dispatcher.dispatch(demand)
+        print(f"  {label:28s} servers={rep.num_servers:<4d} "
+              f"by type {rep.servers_by_type()}  cost {rep.total_cost:.0f}")
+    print()
+
+    print("=== decision 3: retention under hourly billing ===")
+    for policy in (NoRetention(), BilledHourBoundary(quantum=1.0)):
+        rep = RetentionDispatcher(policy, billing=billing).dispatch(demand)
+        print(f"  {policy.name:16s} servers={rep.num_servers:<4d} "
+              f"reuses={rep.num_reuses:<4d} cost {rep.total_cost:.0f}")
+    print()
+
+    none = RetentionDispatcher(NoRetention(), billing=billing).dispatch(demand)
+    held = RetentionDispatcher(
+        BilledHourBoundary(quantum=1.0), billing=billing
+    ).dispatch(demand)
+    delta = none.total_cost - held.total_cost
+    if delta >= 0:
+        print(f"bottom line: hour-boundary retention saves {delta:.0f} "
+              f"billing units ({delta / none.total_cost:.1%}) on this "
+              "demand curve — the usual outcome.")
+    else:
+        print(f"bottom line: on THIS demand curve retention costs "
+              f"{-delta:.0f} extra billing units ({-delta / none.total_cost:.1%}): "
+              "the hold is free per server, but reuse nudged later "
+              "placements into extra billed hours.  Retention is a "
+              "measurable policy choice, not a free lunch — which is "
+              "exactly why the dispatcher makes it pluggable.")
+
+
+if __name__ == "__main__":
+    main()

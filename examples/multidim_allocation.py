@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Multi-dimensional server allocation — the paper's future-work direction.
+
+Section IX: "extend the MinUsageTime DBP problem to the multi-dimensional
+version to model multiple types of resources (e.g., CPU and memory)."
+This example allocates jobs with (CPU, memory) demand vectors, compares
+the vector policies, and shows how demand correlation changes the game:
+perfectly correlated demands behave like the 1-D problem, independent
+demands create packing tension.
+
+Run:  python examples/multidim_allocation.py
+"""
+
+from repro.multidim import (
+    VECTOR_REGISTRY,
+    correlated_vector_workload,
+    run_vector_packing,
+    vector_workload,
+)
+
+
+def main() -> None:
+    print("dimension sweep (independent uniform demands, n=150):")
+    print(f"{'algorithm':20s} " + "".join(f"  D={d:<6d}" for d in (1, 2, 3)))
+    for name, factory in VECTOR_REGISTRY.items():
+        ratios = []
+        for dims in (1, 2, 3):
+            inst = vector_workload(150, seed=11, dimensions=dims)
+            res = run_vector_packing(inst, factory())
+            ratios.append(res.ratio_vs_lower_bound())
+        print(f"{name:20s} " + "".join(f"  {r:<7.3f}" for r in ratios))
+    print("(ratio = usage time / max(span, binding-resource time-space))")
+    print()
+
+    print("correlation sweep (2-D CPU/memory, n=150):")
+    print(f"{'algorithm':20s} " + "".join(f"  ρ={c:<6g}" for c in (0.0, 0.5, 1.0)))
+    for name, factory in VECTOR_REGISTRY.items():
+        ratios = []
+        for corr in (0.0, 0.5, 1.0):
+            inst = correlated_vector_workload(150, seed=11, correlation=corr)
+            res = run_vector_packing(inst, factory())
+            ratios.append(res.ratio_vs_lower_bound())
+        print(f"{name:20s} " + "".join(f"  {r:<7.3f}" for r in ratios))
+    print()
+    print("Correlated demands (ρ→1) reduce to the 1-D problem the paper "
+          "analyses; independent demands are strictly harder — the open "
+          "question Section IX leaves behind.")
+
+
+if __name__ == "__main__":
+    main()

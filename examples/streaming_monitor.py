@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Streaming simulation: watch a bursty day unfold, event by event.
+
+Uses the generator-based engine (``repro.core.engine``) instead of the
+batch driver: a bursty MMPP request stream is dispatched by First Fit
+while collectors track the fleet size and utilization live, printing a
+console "dashboard" line whenever the open-server count changes.
+
+Run:  python examples/streaming_monitor.py
+"""
+
+from repro.algorithms import FirstFit, NextFit
+from repro.core.engine import (
+    OpenBinsCollector,
+    UtilizationCollector,
+    simulate,
+)
+from repro.workloads.mmpp import mmpp_workload, two_phase_bursty
+from repro.workloads.profile import profile_instance
+
+
+def main() -> None:
+    stream = mmpp_workload(
+        horizon=48.0,
+        seed=11,
+        phases=two_phase_bursty(base_rate=1.0, burst_rate=14.0,
+                                base_dwell=6.0, burst_dwell=1.0),
+    )
+    print("workload profile:")
+    print(profile_instance(stream).render())
+    print()
+
+    print("live dispatch (First Fit) — one line per fleet-size change:")
+    open_bins = OpenBinsCollector()
+    util = UtilizationCollector()
+    last_count = -1
+    for snap in simulate(stream, FirstFit()):
+        open_bins.observe(snap)
+        util.observe(snap)
+        if snap.num_open_bins != last_count:
+            bar = "#" * snap.num_open_bins
+            print(f"  t={snap.time:7.2f}h  servers={snap.num_open_bins:>3d} {bar}")
+            last_count = snap.num_open_bins
+    print()
+    print(f"peak fleet: {open_bins.peak} servers; "
+          f"time-weighted mean utilization: {util.mean_utilization:.1%}")
+
+    # compare the burst response of First Fit vs Next Fit
+    print()
+    print("burst response comparison:")
+    for algo in (FirstFit(), NextFit()):
+        c = OpenBinsCollector()
+        c.consume(simulate(stream, algo))
+        total_bins = max(b for _, b in c.series) if c.series else 0
+        print(f"  {algo.name:12s} peak fleet {c.peak:>3d}")
+
+
+if __name__ == "__main__":
+    main()

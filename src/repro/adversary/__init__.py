@@ -1,0 +1,12 @@
+"""Adaptive adversary game framework and strategies."""
+
+from .game import AdaptiveAdversary, GameHistory, PendingJob, play_game
+from .strategies import KeepAliveAdversary
+
+__all__ = [
+    "AdaptiveAdversary",
+    "GameHistory",
+    "KeepAliveAdversary",
+    "PendingJob",
+    "play_game",
+]

@@ -1,0 +1,145 @@
+"""The adaptive adversary game for MinUsageTime DBP.
+
+Lower-bound proofs in this literature are adaptive: the adversary
+*watches where the algorithm places each item* and chooses future
+arrivals and departures accordingly.  A fixed instance can only realise
+such a bound against one deterministic algorithm; the game framework
+here replays the interaction properly, for any policy.
+
+Protocol
+--------
+The :class:`AdaptiveAdversary` is driven by :func:`play_game`:
+
+1. ``next_arrival(history)`` — the adversary emits the next job (size +
+   arrival time; the departure is *not yet fixed*), or ``None`` to end
+   the release phase.
+2. The algorithm places the job; the adversary observes the chosen bin
+   via the history and may fix departures for any pending jobs
+   (``decide_departures``).
+3. When releases end, all remaining pending jobs must receive
+   departures.
+
+The driver then materialises the completed instance and replays it
+through the standard packing driver to obtain the exact cost (the
+interactive phase and the replay agree because the adversary only fixes
+each departure after the placement decisions it depends on — placements
+are a deterministic function of the prefix for deterministic policies;
+:func:`play_game` asserts the replay's placements match the live ones).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..algorithms.base import PackingAlgorithm
+from ..core.items import Item, ItemList
+from ..core.packing import run_packing
+from ..core.result import PackingResult
+
+__all__ = ["PendingJob", "GameHistory", "AdaptiveAdversary", "play_game"]
+
+
+@dataclass
+class PendingJob:
+    """A released job whose departure the adversary has not fixed yet."""
+
+    job_id: int
+    size: float
+    arrival: float
+    bin_index: Optional[int] = None  # set once placed
+    departure: Optional[float] = None  # set by the adversary
+
+
+@dataclass
+class GameHistory:
+    """Everything both players have seen so far."""
+
+    jobs: list[PendingJob] = field(default_factory=list)
+
+    @property
+    def placed(self) -> list[PendingJob]:
+        return [j for j in self.jobs if j.bin_index is not None]
+
+    def jobs_in_bin(self, bin_index: int) -> list[PendingJob]:
+        return [j for j in self.jobs if j.bin_index == bin_index]
+
+    @property
+    def num_bins_used(self) -> int:
+        return 1 + max((j.bin_index for j in self.placed), default=-1)
+
+
+class AdaptiveAdversary(abc.ABC):
+    """A strategy releasing jobs and fixing departures adaptively."""
+
+    @abc.abstractmethod
+    def next_arrival(self, history: GameHistory) -> Optional[PendingJob]:
+        """The next job to release, or None to stop releasing."""
+
+    @abc.abstractmethod
+    def decide_departures(self, history: GameHistory, done: bool) -> None:
+        """Fix departures on pending jobs.
+
+        Called after every placement (``done=False``) and once after the
+        final release (``done=True``), at which point every job must end
+        up with a departure strictly after its arrival.
+        """
+
+
+def _simulate_prefix(jobs: list[PendingJob], algorithm: PackingAlgorithm) -> int:
+    """Where the algorithm puts the *last* job of ``jobs``.
+
+    Replays the event prefix: arrivals of all jobs in release order and
+    the departures already fixed that occur before the last arrival.
+    Departures not yet fixed are treated as "still running" (that is
+    exactly the online information state).
+    """
+    last = jobs[-1]
+    horizon = last.arrival
+    far = max((j.departure or 0.0) for j in jobs) + max(horizon, 1.0) + 1.0
+    items = []
+    for j in jobs:
+        dep = j.departure if (j.departure is not None and j.departure <= horizon) else far + j.job_id * 1e-6
+        items.append(Item(j.job_id, j.size, j.arrival, max(dep, j.arrival + 1e-9)))
+    result = run_packing(ItemList(items), algorithm)
+    return result.item_bin[last.job_id]
+
+
+def play_game(
+    adversary: AdaptiveAdversary,
+    algorithm: PackingAlgorithm,
+    max_jobs: int = 10_000,
+) -> tuple[ItemList, PackingResult]:
+    """Run the adaptive game and return (instance, algorithm's packing).
+
+    The algorithm must be deterministic: its placements are recomputed
+    by prefix replay, and the final full-instance replay is asserted to
+    agree with the live placements.
+    """
+    history = GameHistory()
+    while len(history.jobs) < max_jobs:
+        job = adversary.next_arrival(history)
+        if job is None:
+            break
+        history.jobs.append(job)
+        job.bin_index = _simulate_prefix(history.jobs, algorithm)
+        adversary.decide_departures(history, done=False)
+    adversary.decide_departures(history, done=True)
+
+    for j in history.jobs:
+        if j.departure is None or j.departure <= j.arrival:
+            raise ValueError(f"adversary left job {j.job_id} without a valid departure")
+    instance = ItemList(
+        Item(j.job_id, j.size, j.arrival, j.departure) for j in history.jobs
+    )
+    result = run_packing(instance, algorithm)
+    for j in history.jobs:
+        if result.item_bin[j.job_id] != j.bin_index:
+            raise AssertionError(
+                "replay diverged from the live game — the algorithm is not "
+                "deterministic, or departures were fixed retroactively "
+                f"(job {j.job_id}: live bin {j.bin_index}, replay "
+                f"{result.item_bin[j.job_id]})"
+            )
+    return instance, result

@@ -1,0 +1,103 @@
+"""Concrete adaptive adversary strategies.
+
+:class:`KeepAliveAdversary` implements the classic drain strategy behind
+the µ-type lower bounds: release waves of small equal jobs, watch where
+the algorithm puts them, then *keep exactly one job alive in every bin
+the wave touched* (until the wave time + µ) and kill the rest (at the
+minimum duration 1).  Whatever the algorithm did, each of its touched
+bins is pinned open for µ at utilisation 1/k, while the optimum could
+have concentrated the survivors in one bin.
+
+Unlike the fixed gadgets in :mod:`repro.workloads.adversarial` (which
+pre-compute one deterministic algorithm's choices), this strategy adapts
+to *any* deterministic policy through the game protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .game import AdaptiveAdversary, GameHistory, PendingJob
+
+__all__ = ["KeepAliveAdversary"]
+
+
+class KeepAliveAdversary(AdaptiveAdversary):
+    """Wave-release, keep-one-alive-per-bin drain strategy.
+
+    Parameters
+    ----------
+    waves:
+        Number of release rounds.
+    k:
+        Granularity: jobs have size ``1/k``.
+    bins_per_wave:
+        Each wave releases ``k·bins_per_wave`` jobs — enough volume that
+        the algorithm must touch at least ``bins_per_wave`` bins, each
+        of which then holds a pinned survivor.
+    mu:
+        Max/min duration ratio to enforce: survivors live ``µ``, victims
+        live exactly 1 (the minimum).
+    spacing:
+        Time between waves; must exceed 1 so victims of wave r are gone
+        before wave r+1 (keeps the interaction analysable).
+    """
+
+    def __init__(
+        self,
+        waves: int,
+        k: int,
+        mu: float,
+        spacing: float = 1.25,
+        bins_per_wave: int = 1,
+    ):
+        if waves < 1 or k < 1 or bins_per_wave < 1:
+            raise ValueError("waves, k and bins_per_wave must be positive")
+        if mu <= 1:
+            raise ValueError("mu must exceed 1")
+        if spacing <= 1:
+            raise ValueError("spacing must exceed the victim duration 1")
+        self.waves = waves
+        self.k = k
+        self.mu = mu
+        self.spacing = spacing
+        #: jobs per wave: bins_per_wave bins' worth of size-1/k jobs, so
+        #: every wave forces the algorithm to touch ≥ bins_per_wave bins,
+        #: each of which gets a pinned survivor
+        self.wave_jobs = k * bins_per_wave
+        self._released = 0
+
+    # -- release schedule ---------------------------------------------------
+    def _wave_of(self, index: int) -> int:
+        return index // self.wave_jobs
+
+    def next_arrival(self, history: GameHistory) -> Optional[PendingJob]:
+        if self._released >= self.waves * self.wave_jobs:
+            return None
+        wave = self._wave_of(self._released)
+        job = PendingJob(
+            job_id=self._released,
+            size=1.0 / self.k,
+            arrival=wave * self.spacing,
+        )
+        self._released += 1
+        return job
+
+    # -- adaptive departures --------------------------------------------------
+    def decide_departures(self, history: GameHistory, done: bool) -> None:
+        completed_waves = (
+            self._released // self.wave_jobs if not done else self.waves
+        )
+        for wave in range(completed_waves):
+            members = [
+                j for j in history.jobs if self._wave_of(j.job_id) == wave
+            ]
+            if any(j.departure is None for j in members):
+                t = wave * self.spacing
+                survivors: set[int] = set()
+                for j in members:  # placement order within the wave
+                    if j.bin_index not in survivors:
+                        survivors.add(j.bin_index)
+                        j.departure = t + self.mu  # one survivor per bin
+                    else:
+                        j.departure = t + 1.0  # minimum duration

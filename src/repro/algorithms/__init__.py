@@ -1,0 +1,97 @@
+"""Online packing algorithms and the algorithm registry.
+
+Every policy analysed or cited by the paper is implemented here:
+
+==================  ==========================================  ====================
+Algorithm           Known MinUsageTime DBP bounds               Class
+==================  ==========================================  ====================
+First Fit           ≤ µ+4 (Theorem 1); ≥ µ+1 (Any Fit LB)       Any Fit
+Best Fit            unbounded for any µ                         Any Fit
+Worst Fit           ≥ µ+1 (Any Fit LB)                          Any Fit
+Last Fit            ≥ µ+1 (Any Fit LB)                          Any Fit
+Random Fit          ≥ µ+1 (Any Fit LB)                          Any Fit (seeded)
+Two-Choice Fit      ≥ µ+1 (Any Fit LB)                          Any Fit (seeded)
+Next Fit            ≤ 2µ+1 (Kamali); ≥ 2µ (Section VIII)        not Any Fit
+Hybrid First Fit    ≈ (8/7)µ + O(1) (Li–Tang–Cai, semi-online)  classified
+Classified NF       O(µ) (Kamali, semi-online); Harmonic(k)     classified
+==================  ==========================================  ====================
+
+A separate :data:`CLAIRVOYANT_REGISTRY` holds the known-departure
+reference policies (departure-aligned, duration-classified, predicted-
+departure) — a strictly easier information model kept apart so the
+competitive-ratio experiments never mix the two by accident.
+"""
+
+from typing import Callable
+
+from .base import AnyFitAlgorithm, PackingAlgorithm
+from .best_fit import BestFit
+from .clairvoyant import (
+    ClairvoyantAlgorithm,
+    DepartureAlignedFit,
+    DurationClassifiedFit,
+)
+from .classified import ClassifiedAlgorithm, ClassifiedNextFit, HybridFirstFit
+from .first_fit import FirstFit
+from .last_fit import LastFit
+from .next_fit import NextFit
+from .predictions import LogNormalPredictor, PredictedDepartureFit
+from .random_fit import RandomFit
+from .two_choice import TwoChoiceFit
+from .worst_fit import WorstFit
+
+__all__ = [
+    "AnyFitAlgorithm",
+    "BestFit",
+    "ClairvoyantAlgorithm",
+    "DepartureAlignedFit",
+    "DurationClassifiedFit",
+    "ClassifiedAlgorithm",
+    "ClassifiedNextFit",
+    "FirstFit",
+    "HybridFirstFit",
+    "LastFit",
+    "LogNormalPredictor",
+    "NextFit",
+    "PredictedDepartureFit",
+    "PackingAlgorithm",
+    "RandomFit",
+    "TwoChoiceFit",
+    "WorstFit",
+    "ALGORITHM_REGISTRY",
+    "CLAIRVOYANT_REGISTRY",
+    "make_algorithm",
+]
+
+#: Factory registry: name -> zero-argument constructor with defaults.
+ALGORITHM_REGISTRY: dict[str, Callable[[], PackingAlgorithm]] = {
+    "first-fit": FirstFit,
+    "best-fit": BestFit,
+    "worst-fit": WorstFit,
+    "last-fit": LastFit,
+    "random-fit": RandomFit,
+    "two-choice-fit": TwoChoiceFit,
+    "next-fit": NextFit,
+    "hybrid-first-fit": HybridFirstFit,
+    "classified-next-fit": ClassifiedNextFit,
+}
+
+#: Clairvoyant (known-departure) policies — a strictly easier information
+#: model, kept in a separate registry so competitive-ratio experiments
+#: never mix the two by accident.
+CLAIRVOYANT_REGISTRY: dict[str, Callable[[], PackingAlgorithm]] = {
+    "departure-aligned-fit": DepartureAlignedFit,
+    "duration-classified-fit": DurationClassifiedFit,
+    "predicted-departure-fit": PredictedDepartureFit,
+}
+
+
+def make_algorithm(name: str) -> PackingAlgorithm:
+    """Instantiate a registered algorithm by name (default parameters)."""
+    try:
+        factory = ALGORITHM_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {sorted(ALGORITHM_REGISTRY)}"
+        ) from None
+    return factory()

@@ -1,0 +1,33 @@
+"""Best Fit — fullest feasible bin.
+
+The paper (Section I, citing Li–Tang–Cai) notes that the competitive
+ratio of Best Fit for MinUsageTime DBP is **unbounded for any µ**: an
+adversary can keep a Best Fit bin alive with a trickle of tiny items
+while the optimum consolidates.  The construction is implemented in
+:func:`repro.workloads.adversarial.best_fit_unbounded` and measured in
+``benchmarks/bench_bestfit_unbounded.py``.
+"""
+
+from __future__ import annotations
+
+from ..core.bins import Bin
+from .base import AnyFitAlgorithm
+
+__all__ = ["BestFit"]
+
+
+class BestFit(AnyFitAlgorithm):
+    """Place each item into the feasible open bin with the highest level.
+
+    Ties are broken toward the earliest-opened bin, so Best Fit and First
+    Fit coincide when all open bins are empty-equal.
+    """
+
+    name = "best-fit"
+
+    def select(self, candidates: list[Bin], size: float) -> Bin:
+        best = candidates[0]
+        for b in candidates[1:]:
+            if b.level > best.level + 1e-12:
+                best = b
+        return best

@@ -1,0 +1,126 @@
+"""Clairvoyant policies: departure times known at placement.
+
+The paper's Section II contrasts MinUsageTime DBP with interval
+scheduling, where "the ending times of jobs are known".  These policies
+live in that easier information model — the driver hands them the whole
+item, not just its size — and serve as *reference points*: the gap
+between First Fit and a clairvoyant policy on the same instance is the
+measured price of not knowing departure times.
+
+Clairvoyant policies are clearly marked (``clairvoyant = True``) and are
+excluded from the competitive-ratio claims of the paper, which are about
+the non-clairvoyant model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.bins import Bin
+from ..core.items import Item
+from ..core.state import PackingState
+from .base import PackingAlgorithm
+
+__all__ = ["ClairvoyantAlgorithm", "DepartureAlignedFit", "DurationClassifiedFit"]
+
+
+class ClairvoyantAlgorithm(PackingAlgorithm):
+    """Base for policies that may read the arriving item's departure.
+
+    Subclasses implement :meth:`choose_bin_clairvoyant`; the size-only
+    :meth:`choose_bin` is disabled to keep the two information models
+    visibly separate.
+    """
+
+    clairvoyant = True
+
+    def choose_bin(self, state: PackingState, size: float) -> Optional[Bin]:
+        raise TypeError(
+            f"{type(self).__name__} is clairvoyant; the driver calls "
+            "choose_bin_clairvoyant with the full item"
+        )
+
+    def choose_bin_clairvoyant(
+        self, state: PackingState, item: Item
+    ) -> Optional[Bin]:
+        """Pick an open bin knowing the item's departure time."""
+        raise NotImplementedError
+
+
+def _latest_departure(b: Bin) -> float:
+    """The time the bin will close if nothing else is placed in it."""
+    return max(it.departure for it in b.active_items.values())
+
+
+class DepartureAlignedFit(ClairvoyantAlgorithm):
+    """Minimise the extension of a bin's lifetime; align departures.
+
+    Among feasible open bins, prefer one whose projected closing time
+    already covers the item (zero extension, pick the earliest-opened);
+    otherwise pick the bin whose lifetime grows least.  A new bin is
+    opened only when nothing fits (Any-Fit flavour).
+
+    This is the natural greedy for the known-departure model: long jobs
+    define windows, later jobs slot into windows that outlive them.
+    """
+
+    name = "departure-aligned-fit"
+
+    def choose_bin_clairvoyant(
+        self, state: PackingState, item: Item
+    ) -> Optional[Bin]:
+        candidates = state.open_bins_fitting(item.size)
+        if not candidates:
+            return None
+        best = None
+        best_ext = float("inf")
+        for b in candidates:
+            ext = max(0.0, item.departure - _latest_departure(b))
+            if ext < best_ext - 1e-12:
+                best_ext = ext
+                best = b
+        return best
+
+
+class DurationClassifiedFit(ClairvoyantAlgorithm):
+    """First Fit within geometric duration classes.
+
+    Items are classified by ``⌊log_base(duration)⌋`` and each class packs
+    First Fit into its own bin pool — the standard device in the
+    busy-time literature (jobs of similar length share servers so no
+    short job keeps a long server alive).  Semi-online in the same sense
+    as the hybrid size-classified schemes: the classification is fixed
+    up front.
+    """
+
+    name = "duration-classified-fit"
+
+    def __init__(self, base: float = 2.0):
+        if base <= 1.0:
+            raise ValueError("base must exceed 1")
+        self.base = base
+        self._bin_class: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._bin_class = {}
+
+    def class_of(self, duration: float) -> int:
+        import math
+
+        return int(math.floor(math.log(duration, self.base) + 1e-12))
+
+    def choose_bin_clairvoyant(
+        self, state: PackingState, item: Item
+    ) -> Optional[Bin]:
+        cls = self.class_of(item.duration)
+        for b in state.open_bins_fitting(item.size):
+            if self._bin_class.get(b.index) == cls:
+                return b
+        return None
+
+    def on_placed(self, state: PackingState, target: Bin, size: float) -> None:
+        # a fresh bin inherits the class of the item that opened it; we
+        # recover the class from the just-placed item (the newest one)
+        if target.index not in self._bin_class:
+            newest = target.all_items[-1]
+            self._bin_class[target.index] = self.class_of(newest.duration)

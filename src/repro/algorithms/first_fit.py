@@ -1,0 +1,31 @@
+"""First Fit — the algorithm the paper analyses (Section III-B).
+
+    "Each time when a new item arrives, if there are one or more open
+    bins that can accommodate the new item, First Fit places the item in
+    the bin which was opened earliest among these bins.  Otherwise ... a
+    new bin is opened to receive the item."
+
+Theorem 1 of the paper: First Fit is (µ+4)-competitive for MinUsageTime
+DBP, where µ is the max/min item duration ratio — the best bound known
+for any fully online algorithm, within an additive constant of the µ
+lower bound that applies to every online algorithm.
+"""
+
+from __future__ import annotations
+
+from ..core.bins import Bin
+from .base import AnyFitAlgorithm
+
+__all__ = ["FirstFit"]
+
+
+class FirstFit(AnyFitAlgorithm):
+    """Place each item into the earliest-opened open bin that fits."""
+
+    name = "first-fit"
+
+    def select(self, candidates: list[Bin], size: float) -> Bin:
+        # candidates arrive in opening (index) order; earliest-opened is
+        # the first.  This tie-break is load-bearing for the supplier-bin
+        # argument of the paper's analysis.
+        return candidates[0]

@@ -1,0 +1,22 @@
+"""Last Fit — most recently opened feasible bin."""
+
+from __future__ import annotations
+
+from ..core.bins import Bin
+from .base import AnyFitAlgorithm
+
+__all__ = ["LastFit"]
+
+
+class LastFit(AnyFitAlgorithm):
+    """Place each item into the latest-opened open bin that fits.
+
+    The mirror image of First Fit; included as a baseline because it
+    isolates how much First Fit's earliest-opened preference (which keeps
+    old bins full and lets young bins drain) matters in practice.
+    """
+
+    name = "last-fit"
+
+    def select(self, candidates: list[Bin], size: float) -> Bin:
+        return candidates[-1]

@@ -1,0 +1,55 @@
+"""Next Fit — a single *available* bin at any time (Section VIII).
+
+    "The Next Fit packing algorithm keeps exactly one bin available for
+    receiving new items at any time.  If an incoming item does not fit
+    in the available bin, the available bin is marked unavailable and a
+    new bin is opened (and marked available) to receive the new item.
+    Unavailable bins are never marked available again and are closed
+    when all the items in the bin depart."
+
+Known bounds reproduced in this repository:
+
+- Upper bound 2µ+1 (Kamali & López-Ortiz, SOFSEM 2015 — cited by the
+  paper).
+- Lower bound 2µ via the explicit construction of Section VIII
+  (:func:`repro.workloads.adversarial.next_fit_lower_bound`), showing the
+  multiplicative factor 2 is inevitable for Next Fit, whereas First Fit
+  achieves factor 1 (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.bins import Bin
+from ..core.state import PackingState
+from .base import PackingAlgorithm
+
+__all__ = ["NextFit"]
+
+
+class NextFit(PackingAlgorithm):
+    """Keep one available bin; open a new one whenever an item misses it."""
+
+    name = "next-fit"
+
+    def __init__(self) -> None:
+        self._available: Optional[Bin] = None
+
+    def reset(self) -> None:
+        self._available = None
+
+    def choose_bin(self, state: PackingState, size: float) -> Optional[Bin]:
+        avail = self._available
+        if avail is not None and avail.is_open and avail.level + size <= avail.capacity + 1e-9:
+            return avail
+        # Either no available bin, the available bin closed (all of its
+        # items departed), or the item does not fit: mark it unavailable
+        # forever and request a fresh bin.
+        self._available = None
+        return None
+
+    def on_placed(self, state: PackingState, target: Bin, size: float) -> None:
+        if self._available is None:
+            # the driver opened a new bin for us; it becomes the available bin
+            self._available = target

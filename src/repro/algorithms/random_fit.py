@@ -1,0 +1,30 @@
+"""Random Fit — uniformly random feasible bin (seeded)."""
+
+from __future__ import annotations
+
+import random
+
+from ..core.bins import Bin
+from .base import AnyFitAlgorithm
+
+__all__ = ["RandomFit"]
+
+
+class RandomFit(AnyFitAlgorithm):
+    """Place each item into a uniformly random feasible open bin.
+
+    A seeded randomised member of the Any Fit family; the µ+1 Any-Fit
+    lower bound applies in expectation against oblivious adversaries.
+    """
+
+    name = "random-fit"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def select(self, candidates: list[Bin], size: float) -> Bin:
+        return self._rng.choice(candidates)

@@ -1,0 +1,42 @@
+"""Power-of-two-choices Fit.
+
+The balanced-allocations classic adapted to Any Fit packing: among the
+feasible open bins, sample two uniformly at random and place the item in
+the *fuller* of the two (ties toward the earlier-opened).  One random
+probe gives Random Fit; full information gives Best Fit; two probes are
+famously almost as good as full information for load balancing — this
+policy lets the benchmark suite measure how much of Best Fit's
+consolidation behaviour two probes recover in the MinUsageTime setting.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.bins import Bin
+from .base import AnyFitAlgorithm
+
+__all__ = ["TwoChoiceFit"]
+
+
+class TwoChoiceFit(AnyFitAlgorithm):
+    """Pick the fuller of two random feasible bins (seeded)."""
+
+    name = "two-choice-fit"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def select(self, candidates: list[Bin], size: float) -> Bin:
+        if len(candidates) == 1:
+            return candidates[0]
+        a, b = self._rng.sample(candidates, 2)
+        if b.level > a.level + 1e-12:
+            return b
+        if a.level > b.level + 1e-12:
+            return a
+        return a if a.index < b.index else b

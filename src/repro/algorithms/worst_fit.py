@@ -1,0 +1,25 @@
+"""Worst Fit — emptiest feasible bin (load-balancing flavour)."""
+
+from __future__ import annotations
+
+from ..core.bins import Bin
+from .base import AnyFitAlgorithm
+
+__all__ = ["WorstFit"]
+
+
+class WorstFit(AnyFitAlgorithm):
+    """Place each item into the feasible open bin with the lowest level.
+
+    Ties broken toward the earliest-opened bin.  Worst Fit is an Any Fit
+    algorithm, so the µ+1 Any-Fit lower bound applies to it.
+    """
+
+    name = "worst-fit"
+
+    def select(self, candidates: list[Bin], size: float) -> Bin:
+        worst = candidates[0]
+        for b in candidates[1:]:
+            if b.level < worst.level - 1e-12:
+                worst = b
+        return worst

@@ -1,0 +1,54 @@
+"""Mechanisation of the paper's competitive analysis (Sections IV–VII)."""
+
+from .amortization import GroupAmortization, amortization_report, bin_demand_over
+from .augmentation import augment_capacity, augmented_ratio
+from .bounds import KNOWN_BOUNDS, BoundEntry, bounds_table, theorem1_upper_bound
+from .subperiods import (
+    SMALL_ITEM_THRESHOLD,
+    BinSubperiods,
+    HSubperiod,
+    LSubperiod,
+    build_subperiods,
+    select_small_items,
+)
+from .supplier import (
+    ConsolidatedGroup,
+    SupplierAnalysis,
+    SupplierAssignment,
+    analyze_suppliers,
+)
+from .usage_periods import (
+    BinPeriods,
+    UsagePeriodDecomposition,
+    decompose_usage_periods,
+)
+from .verification import AnalysisReport, Violation, theorem1_slack, verify_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "GroupAmortization",
+    "amortization_report",
+    "bin_demand_over",
+    "augment_capacity",
+    "augmented_ratio",
+    "BinPeriods",
+    "BinSubperiods",
+    "BoundEntry",
+    "ConsolidatedGroup",
+    "HSubperiod",
+    "KNOWN_BOUNDS",
+    "LSubperiod",
+    "SMALL_ITEM_THRESHOLD",
+    "SupplierAnalysis",
+    "SupplierAssignment",
+    "UsagePeriodDecomposition",
+    "Violation",
+    "analyze_suppliers",
+    "bounds_table",
+    "build_subperiods",
+    "decompose_usage_periods",
+    "select_small_items",
+    "theorem1_slack",
+    "theorem1_upper_bound",
+    "verify_analysis",
+]

@@ -1,0 +1,108 @@
+"""Analytic competitive-ratio bounds for MinUsageTime DBP.
+
+The closed-form bounds the paper states or cites, as functions of µ,
+plus the table generator used by the T5 experiment (bounds vs measured
+worst-case ratios).
+
+Provenance of each constant is annotated; entries whose constants were
+garbled in the OCR source are marked ``reconstructed`` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["BoundEntry", "KNOWN_BOUNDS", "theorem1_upper_bound", "bounds_table"]
+
+
+def theorem1_upper_bound(mu: float) -> float:
+    """Theorem 1: First Fit's competitive ratio is at most ``µ + 4``."""
+    if mu < 1:
+        raise ValueError("µ is a max/min ratio and cannot be below 1")
+    return mu + 4.0
+
+
+@dataclass(frozen=True)
+class BoundEntry:
+    """One row of the known-bounds table."""
+
+    algorithm: str
+    lower: Optional[Callable[[float], float]]
+    upper: Optional[Callable[[float], float]]
+    lower_source: str
+    upper_source: str
+
+    def lower_at(self, mu: float) -> Optional[float]:
+        return None if self.lower is None else self.lower(mu)
+
+    def upper_at(self, mu: float) -> Optional[float]:
+        return None if self.upper is None else self.upper(mu)
+
+
+KNOWN_BOUNDS: tuple[BoundEntry, ...] = (
+    BoundEntry(
+        "any online algorithm",
+        lambda mu: mu,
+        None,
+        "Li–Tang–Cai [6]; formal proof Kamali–López-Ortiz [12]",
+        "—",
+    ),
+    BoundEntry(
+        "any Any Fit algorithm",
+        lambda mu: mu + 1.0,
+        None,
+        "Li–Tang–Cai [5][6] (constant reconstructed from OCR)",
+        "—",
+    ),
+    BoundEntry(
+        "first-fit",
+        lambda mu: mu + 1.0,
+        theorem1_upper_bound,
+        "Any Fit lower bound applies",
+        "THIS PAPER, Theorem 1: µ + 4",
+    ),
+    BoundEntry(
+        "best-fit",
+        lambda mu: float("inf"),
+        None,
+        "unbounded for any given µ — Li–Tang–Cai [5][6]",
+        "—",
+    ),
+    BoundEntry(
+        "next-fit",
+        lambda mu: 2.0 * mu,
+        lambda mu: 2.0 * mu + 1.0,
+        "THIS PAPER, Section VIII construction",
+        "Kamali–López-Ortiz [12] (constant reconstructed from OCR)",
+    ),
+    BoundEntry(
+        "hybrid-first-fit",
+        None,
+        lambda mu: 8.0 / 7.0 * mu + 5.0,
+        "—",
+        "Li–Tang–Cai [6][15], semi-online (constant reconstructed from OCR)",
+    ),
+)
+
+
+def bounds_table(mu: float) -> str:
+    """Render the known-bounds table at a given µ (plain text)."""
+
+    def fmt(x: Optional[float]) -> str:
+        if x is None:
+            return "—"
+        if x == float("inf"):
+            return "unbounded"
+        return f"{x:.2f}"
+
+    lines = [
+        f"Known competitive-ratio bounds at µ = {mu:g}",
+        f"{'algorithm':28s} {'lower':>10s} {'upper':>10s}",
+        "-" * 52,
+    ]
+    for e in KNOWN_BOUNDS:
+        lines.append(
+            f"{e.algorithm:28s} {fmt(e.lower_at(mu)):>10s} {fmt(e.upper_at(mu)):>10s}"
+        )
+    return "\n".join(lines)

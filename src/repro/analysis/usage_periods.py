@@ -1,0 +1,100 @@
+"""Section IV: decomposition of bin usage periods (Figure 2).
+
+For bins ``b_1, …, b_m`` indexed in opening order with usage periods
+``U_k``:
+
+- ``E_k = max{U_i^+ : i < k}`` — the latest closing time among bins
+  opened before ``b_k`` (``E_1 = U_1^-``);
+- ``V_k = [U_k^-, min(U_k^+, E_k))`` — the (possibly empty) prefix of
+  ``U_k`` overlapped by some earlier-opened bin's lifetime;
+- ``W_k = U_k − V_k`` — the remainder.
+
+Key facts (Equation (1) of the paper, verified by the test suite):
+
+- the ``W_k`` are pairwise disjoint and ``Σ|W_k| = span(R)``;
+- hence ``FF_total(R) = Σ|V_k| + span(R) ≤ Σ|V_k| + OPT_total(R)``
+  (Proposition 2), which is where the additive "+1" of Theorem 1's
+  ``µ+4`` comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.intervals import EMPTY_INTERVAL, Interval
+from ..core.result import PackingResult
+
+__all__ = ["BinPeriods", "UsagePeriodDecomposition", "decompose_usage_periods"]
+
+
+@dataclass(frozen=True)
+class BinPeriods:
+    """The Section-IV quantities for one bin."""
+
+    index: int
+    usage: Interval  # U_k
+    latest_earlier_close: float  # E_k
+    overlapped: Interval  # V_k
+    exclusive: Interval  # W_k
+
+    @property
+    def v_length(self) -> float:
+        return self.overlapped.length
+
+    @property
+    def w_length(self) -> float:
+        return self.exclusive.length
+
+
+@dataclass(frozen=True)
+class UsagePeriodDecomposition:
+    """All bins' U/V/W/E decomposition plus the instance aggregates."""
+
+    per_bin: tuple[BinPeriods, ...]
+    span: float
+    total_usage_time: float
+
+    @property
+    def total_v(self) -> float:
+        """``Σ_k |V_k|``."""
+        return sum(b.v_length for b in self.per_bin)
+
+    @property
+    def total_w(self) -> float:
+        """``Σ_k |W_k|`` — equals ``span`` (Section IV)."""
+        return sum(b.w_length for b in self.per_bin)
+
+
+def decompose_usage_periods(result: PackingResult) -> UsagePeriodDecomposition:
+    """Compute ``E_k``, ``V_k``, ``W_k`` for every bin of a packing run.
+
+    Works for any packing whose bins are indexed in opening order (the
+    driver guarantees this), not only First Fit.
+    """
+    per_bin: list[BinPeriods] = []
+    latest_close = None
+    for b in result.bins:
+        u = b.usage_period
+        if latest_close is None:
+            e_k = u.left  # E_1 = U_1^-  (no earlier bins)
+        else:
+            e_k = latest_close
+        v_right = min(u.right, e_k)
+        v_k = Interval(u.left, v_right) if v_right > u.left else EMPTY_INTERVAL
+        w_left = max(u.left, v_right)
+        w_k = Interval(w_left, u.right) if u.right > w_left else EMPTY_INTERVAL
+        per_bin.append(
+            BinPeriods(
+                index=b.index,
+                usage=u,
+                latest_earlier_close=e_k,
+                overlapped=v_k,
+                exclusive=w_k,
+            )
+        )
+        latest_close = u.right if latest_close is None else max(latest_close, u.right)
+    return UsagePeriodDecomposition(
+        per_bin=tuple(per_bin),
+        span=result.items.span,
+        total_usage_time=result.total_usage_time,
+    )

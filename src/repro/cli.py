@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Usage (installed as the ``repro`` console script, or
+``python -m repro``):
+
+    repro list-algorithms            # available policies + known bounds
+    repro list-experiments           # the DESIGN.md experiment index
+    repro run T2                     # regenerate one experiment
+    repro bounds --mu 8              # analytic bounds table at a µ
+    repro generate poisson --n 100 --seed 1 --out trace.json
+    repro pack trace.json --algorithm first-fit --opt --render
+    repro verify trace.json          # proof-invariant checkers on FF run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .algorithms import ALGORITHM_REGISTRY, CLAIRVOYANT_REGISTRY, make_algorithm
+from .analysis.bounds import KNOWN_BOUNDS, bounds_table
+from .analysis.verification import verify_analysis
+from .core.packing import run_packing
+from .experiments import EXPERIMENT_REGISTRY
+from .experiments.figures import FigureOutput
+from .opt.opt_total import opt_total
+from .viz.timeline import render_bins
+from .workloads import (
+    gaming_workload,
+    load_trace,
+    next_fit_lower_bound,
+    poisson_workload,
+    save_trace,
+    universal_lower_bound,
+    best_fit_staircase,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MinUsageTime DBP reproduction (Tang et al., IPDPS 2016)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-algorithms", help="available packing policies")
+    sub.add_parser("list-experiments", help="the experiment index")
+
+    p_run = sub.add_parser("run", help="run one experiment by id")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENT_REGISTRY))
+
+    p_bounds = sub.add_parser("bounds", help="analytic bounds table")
+    p_bounds.add_argument("--mu", type=float, default=8.0)
+
+    p_gen = sub.add_parser("generate", help="generate a workload trace file")
+    p_gen.add_argument(
+        "kind",
+        choices=["poisson", "gaming", "mmpp", "nextfit-lb", "universal-lb", "staircase"],
+    )
+    p_gen.add_argument("--out", required=True, help=".json or .csv path")
+    p_gen.add_argument("--n", type=int, default=100)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--mu", type=float, default=8.0)
+    p_gen.add_argument("--rate", type=float, default=2.0)
+
+    p_pack = sub.add_parser("pack", help="pack a trace with a policy")
+    p_pack.add_argument("trace", help="trace file from 'generate'")
+    p_pack.add_argument(
+        "--algorithm",
+        default="first-fit",
+        choices=sorted(ALGORITHM_REGISTRY) + sorted(CLAIRVOYANT_REGISTRY),
+    )
+    p_pack.add_argument("--opt", action="store_true", help="also bracket OPT_total")
+    p_pack.add_argument("--render", action="store_true", help="ASCII bin timeline")
+
+    p_verify = sub.add_parser(
+        "verify", help="run the proof-invariant checkers on a First Fit run"
+    )
+    p_verify.add_argument("trace")
+
+    p_inspect = sub.add_parser("inspect", help="profile a workload trace")
+    p_inspect.add_argument("trace")
+
+    p_report = sub.add_parser(
+        "report", help="run all experiments and write a consolidated report"
+    )
+    p_report.add_argument("--out", default="REPORT.md")
+    p_report.add_argument(
+        "--only", nargs="*", default=None,
+        help="experiment ids to include (default: all)",
+    )
+
+    return parser
+
+
+def _make_any(name: str):
+    if name in ALGORITHM_REGISTRY:
+        return make_algorithm(name)
+    return CLAIRVOYANT_REGISTRY[name]()
+
+
+def cmd_list_algorithms() -> int:
+    bound_by_name = {b.algorithm: b for b in KNOWN_BOUNDS}
+    print(f"{'name':24s} {'model':14s} known bounds (at µ)")
+    print("-" * 64)
+    for name in sorted(ALGORITHM_REGISTRY):
+        e = bound_by_name.get(name)
+        if e is None:
+            desc = "—"
+        else:
+            lo = "µ-dep" if e.lower else "—"
+            parts = []
+            if e.lower:
+                v = e.lower_at(8.0)
+                parts.append("lower unbounded" if v == float("inf") else f"lower {v:g}@µ=8")
+            if e.upper:
+                parts.append(f"upper {e.upper_at(8.0):g}@µ=8")
+            desc = ", ".join(parts) or "—"
+        print(f"{name:24s} {'online':14s} {desc}")
+    for name in sorted(CLAIRVOYANT_REGISTRY):
+        print(f"{name:24s} {'clairvoyant':14s} knows departures (reference model)")
+    return 0
+
+
+def cmd_list_experiments() -> int:
+    print(f"{'id':6s} target")
+    print("-" * 60)
+    for eid in sorted(EXPERIMENT_REGISTRY):
+        fn = EXPERIMENT_REGISTRY[eid]
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{eid:6s} {doc}")
+    return 0
+
+
+def cmd_run(experiment: str) -> int:
+    result = EXPERIMENT_REGISTRY[experiment]()
+    if isinstance(result, FigureOutput):
+        print(result.rendering)
+    else:
+        print(result.render())
+    return 0
+
+
+def cmd_generate(kind: str, out: str, n: int, seed: int, mu: float, rate: float) -> int:
+    if kind == "poisson":
+        items = poisson_workload(n, seed=seed, mu_target=mu, arrival_rate=rate)
+    elif kind == "gaming":
+        items = gaming_workload(n, seed=seed, request_rate=rate)
+    elif kind == "mmpp":
+        from .workloads.mmpp import mmpp_workload
+
+        # interpret --n as the horizon for the phase process
+        items = mmpp_workload(float(max(n, 1)), seed=seed, mu_target=mu)
+    elif kind == "nextfit-lb":
+        items = next_fit_lower_bound(max(n, 3), mu)
+    elif kind == "universal-lb":
+        items = universal_lower_bound(n, mu)
+    else:  # staircase
+        items = best_fit_staircase(max(n, 3), mu)
+    save_trace(items, out)
+    print(f"wrote {len(items)} items (µ = {items.mu:.2f}) to {out}")
+    return 0
+
+
+def cmd_pack(trace: str, algorithm: str, want_opt: bool, render: bool) -> int:
+    items = load_trace(trace)
+    result = run_packing(items, _make_any(algorithm), capacity=items.capacity)
+    print(result.summary())
+    if want_opt:
+        opt = opt_total(items)
+        kind = "exact" if opt.exact else "bracket"
+        print(f"OPT_total in [{opt.lower:.4f}, {opt.upper:.4f}] ({kind})")
+        print(f"conservative ratio: {result.total_usage_time / opt.lower:.4f} "
+              f"(µ+4 bound: {items.mu + 4:.2f})")
+    if render:
+        print(render_bins(result))
+    return 0
+
+
+def cmd_verify(trace: str) -> int:
+    items = load_trace(trace)
+    result = run_packing(items, make_algorithm("first-fit"), capacity=items.capacity)
+    report = verify_analysis(result)
+    print(f"µ = {report.mu:.3f}; {report.num_l_subperiods} l-subperiods, "
+          f"{report.num_h_subperiods} h-subperiods, {report.num_groups} supplier groups")
+    print(f"closed-form Theorem-1 slack: {report.closed_form_slack:.4f}")
+    if report.ok:
+        print("all propositions and lemmas hold")
+        return 0
+    for v in report.violations:
+        print(f"VIOLATION {v.check} [{v.context}]: {v.detail}")
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed the pipe — not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list-algorithms":
+        return cmd_list_algorithms()
+    if args.command == "list-experiments":
+        return cmd_list_experiments()
+    if args.command == "run":
+        return cmd_run(args.experiment)
+    if args.command == "bounds":
+        print(bounds_table(args.mu))
+        return 0
+    if args.command == "generate":
+        return cmd_generate(args.kind, args.out, args.n, args.seed, args.mu, args.rate)
+    if args.command == "pack":
+        return cmd_pack(args.trace, args.algorithm, args.opt, args.render)
+    if args.command == "verify":
+        return cmd_verify(args.trace)
+    if args.command == "inspect":
+        from .workloads.profile import profile_instance
+
+        print(profile_instance(load_trace(args.trace)).render())
+        return 0
+    if args.command == "report":
+        from .experiments.report import generate_report
+
+        path = generate_report(
+            args.out,
+            only=tuple(args.only) if args.only else None,
+            progress=lambda eid: print(f"running {eid} ..."),
+        )
+        print(f"wrote {path}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

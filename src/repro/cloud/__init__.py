@@ -1,0 +1,63 @@
+"""Cloud server allocation layer: billing, servers, dispatching."""
+
+from .billing import (
+    BillingPolicy,
+    ContinuousBilling,
+    HourlyBilling,
+    PerSecondBilling,
+)
+from .dispatcher import DispatchReport, Dispatcher
+from .fleet import (
+    DEFAULT_FLEET_CATALOGUE,
+    BestDensity,
+    CheapestFitting,
+    FleetDispatcher,
+    FleetReport,
+    FleetServer,
+    LaunchPolicy,
+    SmallestFitting,
+)
+from .retention import (
+    BilledHourBoundary,
+    FixedCooldown,
+    NoRetention,
+    RetainedServer,
+    RetentionDispatcher,
+    RetentionPolicy,
+    RetentionReport,
+)
+from .gaming_service import (
+    GamingComparison,
+    GamingScenario,
+    run_gaming_comparison,
+)
+from .server import InstanceType, ServerRecord
+
+__all__ = [
+    "BestDensity",
+    "BilledHourBoundary",
+    "FixedCooldown",
+    "NoRetention",
+    "RetainedServer",
+    "RetentionDispatcher",
+    "RetentionPolicy",
+    "RetentionReport",
+    "BillingPolicy",
+    "CheapestFitting",
+    "DEFAULT_FLEET_CATALOGUE",
+    "FleetDispatcher",
+    "FleetReport",
+    "FleetServer",
+    "LaunchPolicy",
+    "SmallestFitting",
+    "ContinuousBilling",
+    "DispatchReport",
+    "Dispatcher",
+    "GamingComparison",
+    "GamingScenario",
+    "HourlyBilling",
+    "InstanceType",
+    "PerSecondBilling",
+    "ServerRecord",
+    "run_gaming_comparison",
+]

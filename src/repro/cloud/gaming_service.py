@@ -1,0 +1,86 @@
+"""Cloud gaming provider simulation (Section I's motivating scenario).
+
+A provider rents GPU servers from a public cloud and assigns each
+incoming play request to a server with enough free GPU share; instances
+never migrate.  This module runs that scenario end to end for a set of
+candidate dispatch policies and produces the cost comparison used by
+experiment T6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms import ALGORITHM_REGISTRY, make_algorithm
+from ..core.items import ItemList
+from ..workloads.gaming import gaming_workload
+from .billing import BillingPolicy, ContinuousBilling, HourlyBilling
+from .dispatcher import Dispatcher, DispatchReport
+from .server import InstanceType
+
+__all__ = ["GamingScenario", "GamingComparison", "run_gaming_comparison"]
+
+DEFAULT_ALGORITHMS = ("first-fit", "best-fit", "worst-fit", "next-fit", "hybrid-first-fit")
+
+
+@dataclass(frozen=True)
+class GamingScenario:
+    """A provider scenario: demand level + billing + server flavour."""
+
+    name: str
+    num_sessions: int
+    request_rate: float
+    seed: int
+    billing: BillingPolicy = ContinuousBilling()
+    instance_type: InstanceType = InstanceType("gpu", capacity=1.0, hourly_price=1.0)
+
+    def workload(self) -> ItemList:
+        return gaming_workload(
+            self.num_sessions, seed=self.seed, request_rate=self.request_rate
+        )
+
+
+@dataclass(frozen=True)
+class GamingComparison:
+    """Per-algorithm dispatch reports for one scenario."""
+
+    scenario: GamingScenario
+    reports: dict[str, DispatchReport]
+
+    def best_algorithm(self) -> str:
+        """Name of the cheapest policy for this scenario."""
+        return min(self.reports, key=lambda name: self.reports[name].total_cost)
+
+    def cost_table(self) -> str:
+        lines = [
+            f"Scenario {self.scenario.name!r}: {self.scenario.num_sessions} sessions, "
+            f"rate {self.scenario.request_rate}/h, "
+            f"billing {type(self.scenario.billing).__name__}",
+            f"{'algorithm':22s} {'servers':>8s} {'usage(h)':>10s} {'cost':>10s}",
+            "-" * 54,
+        ]
+        for name, rep in sorted(self.reports.items(), key=lambda kv: kv[1].total_cost):
+            lines.append(
+                f"{name:22s} {rep.num_servers:>8d} "
+                f"{rep.total_usage_time:>10.2f} {rep.total_cost:>10.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_gaming_comparison(
+    scenario: GamingScenario,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+) -> GamingComparison:
+    """Dispatch the scenario's workload under each candidate policy."""
+    jobs = scenario.workload()
+    reports: dict[str, DispatchReport] = {}
+    for name in algorithms:
+        if name not in ALGORITHM_REGISTRY:
+            raise KeyError(f"unknown algorithm {name!r}")
+        d = Dispatcher(
+            make_algorithm(name),
+            billing=scenario.billing,
+            instance_type=scenario.instance_type,
+        )
+        reports[name] = d.dispatch(jobs)
+    return GamingComparison(scenario=scenario, reports=reports)

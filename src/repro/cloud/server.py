@@ -1,0 +1,61 @@
+"""Cloud server model: a bin with an instance type and a price."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bins import Bin
+from ..core.intervals import Interval
+from .billing import BillingPolicy
+
+__all__ = ["InstanceType", "ServerRecord"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A rentable server flavour.
+
+    ``capacity`` is the schedulable resource (the paper's unit bin
+    capacity — e.g. the GPU of a cloud-gaming server), ``hourly_price``
+    its pay-as-you-go rate.
+    """
+
+    name: str
+    capacity: float = 1.0
+    hourly_price: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.hourly_price < 0:
+            raise ValueError("hourly_price must be non-negative")
+
+
+@dataclass(frozen=True)
+class ServerRecord:
+    """One rented server over its lifetime, with its billed cost."""
+
+    server_id: int
+    instance_type: InstanceType
+    usage: Interval
+    jobs: tuple[int, ...]  # item ids served
+    billed_time: float
+    cost: float
+
+    @classmethod
+    def from_bin(
+        cls, b: Bin, instance_type: InstanceType, billing: BillingPolicy
+    ) -> "ServerRecord":
+        usage = b.usage_period
+        billed = billing.billed_time(usage)
+        return cls(
+            server_id=b.index,
+            instance_type=instance_type,
+            usage=usage,
+            jobs=tuple(it.item_id for it in b.all_items),
+            billed_time=billed,
+            # the billing policy shapes the billed time; the instance
+            # type carries the rate (avoids double-counting a price
+            # configured on both objects)
+            cost=billed * instance_type.hourly_price,
+        )

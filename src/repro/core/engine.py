@@ -1,0 +1,139 @@
+"""Step-wise simulation engine with pluggable statistics collectors.
+
+``run_packing`` is a batch driver; :func:`simulate` exposes the same
+event replay as a generator of :class:`Snapshot` objects so callers can
+watch the system evolve (dashboards, autoscaling logic, early stopping).
+Collectors accumulate time-series without the caller writing observer
+plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..algorithms.base import PackingAlgorithm
+
+from .events import Event, EventKind, event_sequence
+from .items import ItemList
+from .state import PackingState
+
+__all__ = [
+    "Snapshot",
+    "simulate",
+    "Collector",
+    "OpenBinsCollector",
+    "UtilizationCollector",
+    "PlacementLogCollector",
+]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """System state right after one event was applied."""
+
+    time: float
+    event: Event
+    num_open_bins: int
+    num_bins_used: int
+    total_level: float
+
+    @property
+    def utilization(self) -> float:
+        """Mean level across open bins (0 when none)."""
+        if self.num_open_bins == 0:
+            return 0.0
+        return self.total_level / self.num_open_bins
+
+
+def simulate(
+    items: ItemList, algorithm: "PackingAlgorithm"
+) -> Iterator[Snapshot]:
+    """Yield a :class:`Snapshot` after every applied event.
+
+    The generator drives the same logic as
+    :func:`repro.core.packing.run_packing`; exhausting it leaves all
+    bins closed.  (For the final `PackingResult`, use ``run_packing`` —
+    this API is for streaming consumers.)
+    """
+    algorithm.reset()
+    state = PackingState(capacity=items.capacity)
+    for event in event_sequence(items):
+        state.now = event.time
+        if event.kind is EventKind.ARRIVE:
+            if getattr(algorithm, "clairvoyant", False):
+                target = algorithm.choose_bin_clairvoyant(state, event.item)
+            else:
+                target = algorithm.choose_bin(state, event.item.size)
+            placed = state.place(event.item, target)
+            algorithm.on_placed(state, placed, event.item.size)
+        else:
+            source = state.depart(event.item)
+            algorithm.on_departed(state, source)
+        yield Snapshot(
+            time=event.time,
+            event=event,
+            num_open_bins=state.num_open,
+            num_bins_used=state.num_bins_used,
+            total_level=sum(b.level for b in state.open_bins()),
+        )
+
+
+class Collector:
+    """Base collector: feed it snapshots, read a summary."""
+
+    def observe(self, snap: Snapshot) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def consume(self, snapshots: Iterator[Snapshot]) -> None:
+        """Drain a snapshot stream through this collector."""
+        for snap in snapshots:
+            self.observe(snap)
+
+
+class OpenBinsCollector(Collector):
+    """Time series of the open-bin count + its peak."""
+
+    def __init__(self) -> None:
+        self.series: list[tuple[float, int]] = []
+        self.peak = 0
+
+    def observe(self, snap: Snapshot) -> None:
+        self.series.append((snap.time, snap.num_open_bins))
+        self.peak = max(self.peak, snap.num_open_bins)
+
+
+class UtilizationCollector(Collector):
+    """Time-weighted mean utilization across open bins."""
+
+    def __init__(self) -> None:
+        self._last_time: Optional[float] = None
+        self._last_util = 0.0
+        self._weighted = 0.0
+        self._horizon = 0.0
+
+    def observe(self, snap: Snapshot) -> None:
+        if self._last_time is not None:
+            dt = snap.time - self._last_time
+            self._weighted += dt * self._last_util
+            self._horizon += dt
+        self._last_time = snap.time
+        self._last_util = snap.utilization
+
+    @property
+    def mean_utilization(self) -> float:
+        if self._horizon <= 0:
+            return 0.0
+        return self._weighted / self._horizon
+
+
+class PlacementLogCollector(Collector):
+    """Ordered log of (time, item_id, bin_count_after) placements."""
+
+    def __init__(self) -> None:
+        self.log: list[tuple[float, int, int]] = []
+
+    def observe(self, snap: Snapshot) -> None:
+        if snap.event.kind is EventKind.ARRIVE:
+            self.log.append((snap.time, snap.event.item.item_id, snap.num_bins_used))

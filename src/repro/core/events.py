@@ -1,0 +1,95 @@
+"""Event model for the online packing simulation.
+
+The simulation is event-driven: the only times at which the system state
+changes are item arrivals and departures.  This module turns an item list
+into a deterministic, totally ordered event sequence.
+
+Ordering rules (these are load-bearing and pinned by tests):
+
+1. Events are ordered by time.
+2. At equal times, **departures precede arrivals**.  Intervals are
+   half-open, so an item with ``I = [a, b)`` is *not* active at ``b``;
+   space it occupied is available to an item arriving at exactly ``b``.
+3. Ties within a kind are broken by the instance order of the items
+   (arrival order is the order in which the online algorithm sees
+   simultaneous arrivals — the adversary controls it via list order).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .items import Item, ItemList
+
+__all__ = ["EventKind", "Event", "event_sequence", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """Kind of a simulation event.
+
+    ``DEPART < ARRIVE`` so that tuple comparison implements the
+    departures-first rule at equal timestamps.
+    """
+
+    DEPART = 0
+    ARRIVE = 1
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A single arrival or departure.
+
+    Sort key is ``(time, kind, seq)``: time-ordered, departures first at
+    ties, then instance order.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int
+    item: Item = field(compare=False)
+
+
+def event_sequence(items: ItemList | Sequence[Item]) -> list[Event]:
+    """The full, sorted event sequence for an instance."""
+    events: list[Event] = []
+    for seq, it in enumerate(items):
+        events.append(Event(it.arrival, EventKind.ARRIVE, seq, it))
+        events.append(Event(it.departure, EventKind.DEPART, seq, it))
+    events.sort()
+    return events
+
+
+class EventQueue:
+    """A mutable priority queue of events.
+
+    Supports dynamic insertion, which the cloud layer uses for
+    closed-loop workloads where an item's departure is only scheduled
+    when it is placed.
+    """
+
+    def __init__(self, events: Iterable[Event] = ()):  # noqa: D401
+        self._heap: list[Event] = list(events)
+        heapq.heapify(self._heap)
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[Event]:
+        """Pop events in order until empty."""
+        while self._heap:
+            yield heapq.heappop(self._heap)

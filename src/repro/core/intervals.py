@@ -1,0 +1,175 @@
+"""Half-open time intervals and interval-set algebra.
+
+The paper (Section III-A) views all time intervals as half-open,
+``I = [I^-, I^+)``.  This module provides the :class:`Interval` value type
+and the set operations the analysis needs: length, intersection, union
+length, and the *span* of a collection of intervals (the measure of time
+during which at least one interval is active — see Figure 1 of the paper).
+
+All endpoints are floats.  Intervals are immutable and ordered by
+``(left, right)`` so that sorted sequences of intervals are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Interval",
+    "EMPTY_INTERVAL",
+    "span",
+    "union_length",
+    "merge_intervals",
+    "intervals_intersect",
+    "total_length",
+    "coverage_at",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[left, right)``.
+
+    An interval with ``right <= left`` is *empty*: it has zero length and
+    intersects nothing.  The paper writes ``I^-`` for :attr:`left`,
+    ``I^+`` for :attr:`right` and ``|I|`` for :meth:`length`.
+    """
+
+    left: float
+    right: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.left) or math.isnan(self.right):
+            raise ValueError("interval endpoints must not be NaN")
+
+    @property
+    def length(self) -> float:
+        """``|I| = max(0, I^+ - I^-)``; empty intervals have length 0."""
+        return max(0.0, self.right - self.left)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the interval contains no point (``right <= left``)."""
+        return self.right <= self.left
+
+    def contains(self, t: float) -> bool:
+        """Whether time ``t`` lies in ``[left, right)``."""
+        return self.left <= t < self.right
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether ``other`` is fully contained in this interval.
+
+        Empty intervals are contained in everything (they contain no
+        points).
+        """
+        if other.is_empty:
+            return True
+        return self.left <= other.left and other.right <= self.right
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """The (possibly empty) overlap of two half-open intervals."""
+        lo = max(self.left, other.left)
+        hi = min(self.right, other.right)
+        if hi <= lo:
+            return EMPTY_INTERVAL
+        return Interval(lo, hi)
+
+    def intersects(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one point.
+
+        Half-openness means ``[a, b)`` and ``[b, c)`` do *not* intersect.
+        """
+        if self.is_empty or other.is_empty:
+            return False
+        return max(self.left, other.left) < min(self.right, other.right)
+
+    def shift(self, delta: float) -> "Interval":
+        """The interval translated by ``delta``."""
+        return Interval(self.left + delta, self.right + delta)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (ignoring empty operands)."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.left, other.left), max(self.right, other.right))
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.left
+        yield self.right
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.left:g}, {self.right:g})"
+
+
+#: Canonical empty interval.  Any interval with ``right <= left`` behaves
+#: identically; this constant is returned by operations that produce an
+#: empty result.
+EMPTY_INTERVAL = Interval(0.0, 0.0)
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Merge overlapping/touching intervals into a sorted disjoint list.
+
+    Touching half-open intervals ``[a,b)`` and ``[b,c)`` are coalesced into
+    ``[a,c)`` because their union is an interval.  Empty intervals are
+    dropped.
+    """
+    live = sorted(iv for iv in intervals if not iv.is_empty)
+    merged: list[Interval] = []
+    for iv in live:
+        if merged and iv.left <= merged[-1].right:
+            last = merged[-1]
+            if iv.right > last.right:
+                merged[-1] = Interval(last.left, iv.right)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def union_length(intervals: Iterable[Interval]) -> float:
+    """Measure of the union of a collection of intervals."""
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+def span(intervals: Iterable[Interval]) -> float:
+    """The *span* of a collection of intervals (paper, Fig. 1).
+
+    Defined as the total duration during which at least one interval is
+    active, i.e. the measure of their union.  For an item list ``R`` the
+    paper writes ``span(R)``; Proposition 2 states
+    ``OPT_total(R) >= span(R)``.
+    """
+    return union_length(intervals)
+
+
+def total_length(intervals: Iterable[Interval]) -> float:
+    """Sum of individual lengths (counts overlaps with multiplicity)."""
+    return sum(iv.length for iv in intervals)
+
+
+def intervals_intersect(a: Sequence[Interval], b: Sequence[Interval]) -> bool:
+    """Whether any interval in ``a`` intersects any interval in ``b``.
+
+    Runs in ``O((|a|+|b|) log)`` after sorting, by merging the two sorted
+    lists.
+    """
+    sa = merge_intervals(a)
+    sb = merge_intervals(b)
+    i = j = 0
+    while i < len(sa) and j < len(sb):
+        if sa[i].intersects(sb[j]):
+            return True
+        if sa[i].right <= sb[j].right:
+            i += 1
+        else:
+            j += 1
+    return False
+
+
+def coverage_at(intervals: Iterable[Interval], t: float) -> int:
+    """Number of intervals containing time ``t``."""
+    return sum(1 for iv in intervals if iv.contains(t))

@@ -1,0 +1,94 @@
+"""Results of a packing run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from .bins import Bin
+from .intervals import Interval
+from .items import ItemList
+
+__all__ = ["PackingResult"]
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """Everything produced by one online packing run.
+
+    Attributes
+    ----------
+    items:
+        The instance that was packed.
+    bins:
+        All bins used, indexed in opening order; every bin is closed by
+        the end of the run (all items eventually depart).
+    algorithm_name:
+        Name of the policy that produced the packing.
+    item_bin:
+        Mapping ``item_id -> bin index``.
+    """
+
+    items: ItemList
+    bins: tuple[Bin, ...]
+    algorithm_name: str
+    item_bin: dict[int, int]
+
+    @cached_property
+    def total_usage_time(self) -> float:
+        """The objective: ``Σ_k |U_k|`` — total bin usage time."""
+        return sum(b.usage_time for b in self.bins)
+
+    @cached_property
+    def usage_periods(self) -> tuple[Interval, ...]:
+        """``U_1, ..., U_m`` in bin-index order."""
+        return tuple(b.usage_period for b in self.bins)
+
+    @property
+    def num_bins(self) -> int:
+        """Total number of bins opened over the run."""
+        return len(self.bins)
+
+    @cached_property
+    def max_concurrent_bins(self) -> int:
+        """Maximum number of simultaneously open bins.
+
+        This is the objective of *standard* DBP (Coffman–Garey–Johnson);
+        reported for cross-model comparison.
+        """
+        events: list[tuple[float, int]] = []
+        for b in self.bins:
+            u = b.usage_period
+            events.append((u.left, 1))
+            events.append((u.right, -1))
+        # closings before openings at equal times (half-open periods)
+        events.sort(key=lambda e: (e[0], e[1]))
+        cur = best = 0
+        for _, delta in events:
+            cur += delta
+            best = max(best, cur)
+        return best
+
+    @cached_property
+    def average_utilization(self) -> float:
+        """Time–space demand divided by total bin usage time.
+
+        Equals 1 only if every used bin is completely full whenever open.
+        """
+        total = self.total_usage_time
+        if total == 0:
+            return 0.0
+        return self.items.time_space_demand / total
+
+    def bin_of(self, item_id: int) -> Bin:
+        """The bin a given item was packed into."""
+        return self.bins[self.item_bin[item_id]]
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm_name}: {self.num_bins} bins, "
+            f"total usage time {self.total_usage_time:.4f}, "
+            f"max concurrent {self.max_concurrent_bins}, "
+            f"avg utilization {self.average_utilization:.3f}"
+        )

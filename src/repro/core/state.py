@@ -1,0 +1,86 @@
+"""Mutable packing state shared by the driver and the algorithms.
+
+:class:`PackingState` is the *only* view of the world an online algorithm
+gets: the currently open bins (in opening order) and their levels.  It
+deliberately exposes no departure times — the online model of the paper
+is that an item's departure time is unknown until it happens.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .bins import Bin
+from .items import Item
+
+__all__ = ["PackingState"]
+
+
+class PackingState:
+    """Open bins, closed bins, and item→bin bookkeeping for one run.
+
+    Bins are indexed ``0, 1, 2, ...`` in the temporal order of their
+    opening, matching the paper's convention ``U_1^- <= U_2^- <= ...``.
+    """
+
+    def __init__(self, capacity: float = 1.0):
+        self.capacity = float(capacity)
+        self.now: float = 0.0
+        #: all bins ever opened, by index
+        self.bins: list[Bin] = []
+        #: indices of currently open bins, in increasing (opening) order
+        self._open_indices: list[int] = []
+        #: item_id -> bin index
+        self.item_bin: dict[int, int] = {}
+
+    # -- read-only views used by algorithms ----------------------------------
+    def open_bins(self) -> list[Bin]:
+        """Currently open bins in opening (index) order.
+
+        First Fit scans exactly this order: "the bin which was opened
+        earliest" among those that fit.
+        """
+        return [self.bins[i] for i in self._open_indices]
+
+    def open_bins_fitting(self, size: float) -> list[Bin]:
+        """Open bins that can accommodate an item of ``size``, index order."""
+        return [b for b in self.open_bins() if b.level + size <= b.capacity + 1e-9]
+
+    @property
+    def num_open(self) -> int:
+        return len(self._open_indices)
+
+    @property
+    def num_bins_used(self) -> int:
+        """Total number of bins opened so far."""
+        return len(self.bins)
+
+    def bin_of(self, item_id: int) -> Bin:
+        """The bin an item was placed in (open or closed)."""
+        return self.bins[self.item_bin[item_id]]
+
+    # -- mutations (driver only) ----------------------------------------------
+    def open_new_bin(self) -> Bin:
+        """Open a fresh empty bin with the next index."""
+        b = Bin(index=len(self.bins), capacity=self.capacity)
+        self.bins.append(b)
+        self._open_indices.append(b.index)
+        return b
+
+    def place(self, item: Item, target: Optional[Bin]) -> Bin:
+        """Place an arriving item into ``target`` (or a new bin if None)."""
+        if target is None:
+            target = self.open_new_bin()
+        elif not target.is_open and target.opened_at is not None:
+            raise ValueError(f"cannot place into closed bin {target.index}")
+        target.place(item, self.now)
+        self.item_bin[item.item_id] = target.index
+        return target
+
+    def depart(self, item: Item) -> Bin:
+        """Process an item departure; closes the bin if it empties."""
+        b = self.bin_of(item.item_id)
+        b.remove(item, self.now)
+        if b.is_closed:
+            self._open_indices.remove(b.index)
+        return b

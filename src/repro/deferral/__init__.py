@@ -1,0 +1,5 @@
+"""Deferred dispatch: patience windows trading wait time for cost."""
+
+from .engine import DeferralResult, run_deferred_first_fit
+
+__all__ = ["DeferralResult", "run_deferred_first_fit"]

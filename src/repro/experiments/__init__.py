@@ -1,0 +1,105 @@
+"""Per-figure/table experiment harness (see DESIGN.md §3 for the index)."""
+
+from .adaptive import run_adaptive_adversary
+from .anatomy import run_cost_anatomy
+from .augmentation_exp import run_augmentation
+from .ablation import (
+    run_constants_ablation,
+    run_hff_threshold_ablation,
+    run_selection_ablation,
+)
+from .cloud_gaming import run_cloud_gaming
+from .comparison import run_bounds_table, suite_instances
+from .deferral_exp import run_deferral
+from .fleet_exp import run_fleet_comparison
+from .figures import (
+    FigureOutput,
+    figure1_instance,
+    figure1_span,
+    figure2_usage_periods,
+    figure3_subperiods,
+    figure4_supplier,
+    figures56_nonintersection,
+)
+from .harness import ExperimentResult, RatioMeasurement, format_table, measure_ratio
+from .exploration import run_worst_case_search
+from .information import run_information_price
+from .lower_bounds import run_bestfit_staircase, run_universal_lower_bound
+from .migration_exp import run_migration_budget
+from .montecarlo import bootstrap_ci, run_expected_ratio
+from .multidim_exp import run_multidim
+from .nextfit import run_nextfit_lower_bound
+from .predictions_exp import run_predictions
+from .report import generate_report, run_all_experiments
+from .retention_exp import run_retention
+from .theorem1 import run_theorem1
+
+#: id → runnable, mirroring the DESIGN.md experiment index.
+EXPERIMENT_REGISTRY = {
+    "F1": figure1_span,
+    "F2": figure2_usage_periods,
+    "F3": figure3_subperiods,
+    "F4": figure4_supplier,
+    "F5-F6": figures56_nonintersection,
+    "T1": run_theorem1,
+    "T2": run_nextfit_lower_bound,
+    "T3": run_universal_lower_bound,
+    "T4": run_bestfit_staircase,
+    "T5": run_bounds_table,
+    "T6": run_cloud_gaming,
+    "T7": run_fleet_comparison,
+    "T8": run_retention,
+    "X1": run_multidim,
+    "X2a": run_selection_ablation,
+    "X2b": run_hff_threshold_ablation,
+    "X2c": run_constants_ablation,
+    "X3": run_information_price,
+    "X4": run_adaptive_adversary,
+    "X5": run_worst_case_search,
+    "X6": run_augmentation,
+    "X7": run_expected_ratio,
+    "X8": run_predictions,
+    "X9": run_deferral,
+    "X10": run_migration_budget,
+    "X11": run_cost_anatomy,
+}
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "ExperimentResult",
+    "FigureOutput",
+    "RatioMeasurement",
+    "figure1_instance",
+    "figure1_span",
+    "figure2_usage_periods",
+    "figure3_subperiods",
+    "figure4_supplier",
+    "figures56_nonintersection",
+    "format_table",
+    "measure_ratio",
+    "run_bestfit_staircase",
+    "run_bounds_table",
+    "run_cloud_gaming",
+    "run_fleet_comparison",
+    "run_constants_ablation",
+    "run_hff_threshold_ablation",
+    "run_multidim",
+    "run_nextfit_lower_bound",
+    "run_predictions",
+    "run_retention",
+    "run_deferral",
+    "run_migration_budget",
+    "run_cost_anatomy",
+    "run_adaptive_adversary",
+    "run_augmentation",
+    "run_expected_ratio",
+    "bootstrap_ci",
+    "generate_report",
+    "run_all_experiments",
+    "run_information_price",
+    "run_selection_ablation",
+    "run_theorem1",
+    "run_universal_lower_bound",
+    "run_worst_case_search",
+    "suite_instances",
+]

@@ -1,0 +1,56 @@
+"""Experiment X6: resource augmentation sweep.
+
+How fast do the adversarial gadgets collapse when the online algorithm
+gets capacity ``1+ε`` against a unit-capacity adversary?  The paper's
+reference [5] proves augmented bounds for standard DBP; here we measure
+the MinUsageTime analogue on our gadgets and random workloads.
+"""
+
+from __future__ import annotations
+
+from ..algorithms import FirstFit, NextFit, make_algorithm
+from ..analysis.augmentation import augmented_ratio
+from ..opt.opt_total import opt_total
+from ..workloads.adversarial import next_fit_lower_bound, universal_lower_bound
+from ..workloads.random_workloads import poisson_workload
+from .harness import ExperimentResult
+
+__all__ = ["run_augmentation"]
+
+
+def run_augmentation(
+    epsilons: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 1.0),
+    mu: float = 8.0,
+    n: int = 16,
+    node_budget: int = 100_000,
+) -> ExperimentResult:
+    """ε sweep on the two gadgets and a random workload."""
+    exp = ExperimentResult(
+        "X6",
+        f"Resource augmentation: ALG at capacity 1+ε vs OPT at 1 (µ = {mu:g})",
+        notes=(
+            "Moderate ε collapses the gadgets (blocker+filler no longer\n"
+            "pins a bin; the §VIII pairs start sharing).  NOTE the measured\n"
+            "non-monotonicity on the universal gadget at large ε: once two\n"
+            "blockers fit one bin, First Fit re-concentrates the long\n"
+            "fillers into n/2 long-lived bins — augmentation tuned past a\n"
+            "gadget's geometry can *hurt*.  Random workloads decay\n"
+            "monotonically and drop below 1 (bigger bins beat the\n"
+            "unit-capacity adversary outright)."
+        ),
+    )
+    instances = {
+        "universal-lb/first-fit": (universal_lower_bound(n, mu), FirstFit()),
+        "nextfit-lb/next-fit": (next_fit_lower_bound(n, mu), NextFit()),
+        "poisson/first-fit": (
+            poisson_workload(70, seed=5, mu_target=mu, arrival_rate=3.0),
+            FirstFit(),
+        ),
+    }
+    for label, (items, algo) in instances.items():
+        opt = opt_total(items, node_budget=node_budget)
+        row = {"instance/alg": label}
+        for eps in epsilons:
+            row[f"eps={eps:g}"] = augmented_ratio(items, algo, eps, opt=opt)
+        exp.rows.append(row)
+    return exp

@@ -1,0 +1,116 @@
+"""Experiment harness: results, table formatting, ratio measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..algorithms.base import PackingAlgorithm
+from ..core.items import ItemList
+from ..core.packing import run_packing
+from ..opt.opt_total import OptTotalBracket, opt_total
+
+__all__ = ["ExperimentResult", "format_table", "measure_ratio", "RatioMeasurement"]
+
+
+@dataclass(frozen=True)
+class RatioMeasurement:
+    """One algorithm run against the OPT bracket of its instance."""
+
+    algorithm: str
+    total_usage_time: float
+    opt: OptTotalBracket
+    mu: float
+
+    @property
+    def ratio_upper(self) -> float:
+        """Conservative ratio estimate (ALG / OPT lower bound)."""
+        return self.total_usage_time / self.opt.lower
+
+    @property
+    def ratio_lower(self) -> float:
+        """Optimistic ratio estimate (ALG / OPT upper bound)."""
+        return self.total_usage_time / self.opt.upper
+
+
+def measure_ratio(
+    items: ItemList,
+    algorithm: PackingAlgorithm,
+    opt: OptTotalBracket | None = None,
+    node_budget: int = 200_000,
+) -> RatioMeasurement:
+    """Run one algorithm and bracket its competitive ratio.
+
+    ``opt`` may be passed in to share one OPT computation across several
+    algorithms on the same instance.
+    """
+    result = run_packing(items, algorithm, capacity=items.capacity)
+    if opt is None:
+        opt = opt_total(items, node_budget=node_budget)
+    return RatioMeasurement(
+        algorithm=result.algorithm_name,
+        total_usage_time=result.total_usage_time,
+        opt=opt,
+        mu=items.mu,
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment with tabular output.
+
+    ``rows`` are ordered mappings column → value; ``notes`` document the
+    paper-vs-measured interpretation (copied into EXPERIMENTS.md).
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def column_names(self) -> list[str]:
+        cols: list[str] = []
+        for row in self.rows:
+            for k in row:
+                if k not in cols:
+                    cols.append(k)
+        return cols
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        body = format_table(self.rows)
+        parts = [header, body]
+        if self.notes:
+            parts.append(self.notes.strip())
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Fixed-width plain-text table over dict rows."""
+    if not rows:
+        return "(no rows)"
+    cols: list[str] = []
+    for row in rows:
+        for k in row:
+            if k not in cols:
+                cols.append(k)
+    rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), max(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = [
+        "  ".join(c.rjust(w) for c, w in zip(cols, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Experiment X1: multi-dimensional extension (Section IX future work).
+
+Vector FF/BF/WF/NF on 2-D and 3-D workloads, measured against the
+closed-form lower bound (span vs binding-resource time–space).  Also
+sweeps demand correlation: at correlation 1 the instance is effectively
+one-dimensional and ratios match the 1-D behaviour; lower correlation
+increases packing tension and all ratios rise.
+"""
+
+from __future__ import annotations
+
+from ..multidim import (
+    VECTOR_REGISTRY,
+    run_vector_packing,
+    correlated_vector_workload,
+    vector_workload,
+)
+from .harness import ExperimentResult
+
+__all__ = ["run_multidim"]
+
+
+def run_multidim(
+    n: int = 120,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    dimensions: tuple[int, ...] = (1, 2, 3),
+    correlations: tuple[float, ...] = (0.0, 0.5, 1.0),
+) -> ExperimentResult:
+    """Dimension sweep + correlation sweep for vector policies."""
+    exp = ExperimentResult(
+        "X1",
+        "Multi-dimensional MinUsageTime DBP (paper future work)",
+        notes=(
+            "ratio = usage time / max(span, binding-resource time-space).\n"
+            "Expect vector-FF ≤ vector-NF, and ratios to grow as the\n"
+            "number of independent dimensions grows (packing tension)."
+        ),
+    )
+    for dim in dimensions:
+        for algo_name, factory in VECTOR_REGISTRY.items():
+            ratios = []
+            for seed in seeds:
+                inst = vector_workload(n, seed=seed, dimensions=dim)
+                res = run_vector_packing(inst, factory())
+                ratios.append(res.ratio_vs_lower_bound())
+            exp.rows.append(
+                {
+                    "sweep": "dimensions",
+                    "value": dim,
+                    "algorithm": algo_name,
+                    "mean_ratio": sum(ratios) / len(ratios),
+                    "max_ratio": max(ratios),
+                }
+            )
+    for corr in correlations:
+        for algo_name, factory in VECTOR_REGISTRY.items():
+            ratios = []
+            for seed in seeds:
+                inst = correlated_vector_workload(n, seed=seed, correlation=corr)
+                res = run_vector_packing(inst, factory())
+                ratios.append(res.ratio_vs_lower_bound())
+            exp.rows.append(
+                {
+                    "sweep": "correlation",
+                    "value": corr,
+                    "algorithm": algo_name,
+                    "mean_ratio": sum(ratios) / len(ratios),
+                    "max_ratio": max(ratios),
+                }
+            )
+    return exp

@@ -1,0 +1,30 @@
+"""Multi-dimensional MinUsageTime DBP — the paper's future-work extension."""
+
+from .algorithms import (
+    VECTOR_REGISTRY,
+    VectorAlgorithm,
+    VectorBestFit,
+    VectorFirstFit,
+    VectorNextFit,
+    VectorWorstFit,
+)
+from .bins import VectorBin
+from .items import VectorItem, VectorItemList
+from .packing import VectorPackingResult, run_vector_packing
+from .workloads import correlated_vector_workload, vector_workload
+
+__all__ = [
+    "VECTOR_REGISTRY",
+    "VectorAlgorithm",
+    "VectorBestFit",
+    "VectorBin",
+    "VectorFirstFit",
+    "VectorItem",
+    "VectorItemList",
+    "VectorNextFit",
+    "VectorPackingResult",
+    "VectorWorstFit",
+    "correlated_vector_workload",
+    "run_vector_packing",
+    "vector_workload",
+]

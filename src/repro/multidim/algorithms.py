@@ -1,0 +1,108 @@
+"""Vector packing policies: FF / BF / WF / NF lifted to D dimensions.
+
+Feasibility is componentwise; Best/Worst Fit rank candidate bins by the
+max-norm fullness (see :meth:`repro.multidim.bins.VectorBin.fullness`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from .bins import VectorBin
+
+__all__ = [
+    "VectorAlgorithm",
+    "VectorFirstFit",
+    "VectorBestFit",
+    "VectorWorstFit",
+    "VectorNextFit",
+    "VECTOR_REGISTRY",
+]
+
+
+class VectorAlgorithm(abc.ABC):
+    """Interface mirroring the 1-D :class:`PackingAlgorithm`."""
+
+    name = "vector-abstract"
+
+    def reset(self) -> None:
+        """Clear per-run state."""
+
+    @abc.abstractmethod
+    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
+        """Pick an open bin for the arriving item; None opens a new one."""
+
+    def on_placed(self, target: VectorBin, new_bin: bool) -> None:
+        """Hook after placement (Next Fit bookkeeping)."""
+
+
+class VectorFirstFit(VectorAlgorithm):
+    """Earliest-opened feasible bin."""
+
+    name = "vector-first-fit"
+
+    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
+        for b in open_bins:
+            if b.fits(item):
+                return b
+        return None
+
+
+class VectorBestFit(VectorAlgorithm):
+    """Feasible bin with the highest max-norm fullness."""
+
+    name = "vector-best-fit"
+
+    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
+        best: Optional[VectorBin] = None
+        for b in open_bins:
+            if b.fits(item) and (best is None or b.fullness() > best.fullness() + 1e-12):
+                best = b
+        return best
+
+
+class VectorWorstFit(VectorAlgorithm):
+    """Feasible bin with the lowest max-norm fullness."""
+
+    name = "vector-worst-fit"
+
+    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
+        worst: Optional[VectorBin] = None
+        for b in open_bins:
+            if b.fits(item) and (
+                worst is None or b.fullness() < worst.fullness() - 1e-12
+            ):
+                worst = b
+        return worst
+
+
+class VectorNextFit(VectorAlgorithm):
+    """Single available bin, retired on the first miss."""
+
+    name = "vector-next-fit"
+
+    def __init__(self) -> None:
+        self._available: Optional[VectorBin] = None
+
+    def reset(self) -> None:
+        self._available = None
+
+    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
+        avail = self._available
+        if avail is not None and avail.is_open and avail.fits(item):
+            return avail
+        self._available = None
+        return None
+
+    def on_placed(self, target: VectorBin, new_bin: bool) -> None:
+        if new_bin:
+            self._available = target
+
+
+VECTOR_REGISTRY = {
+    "vector-first-fit": VectorFirstFit,
+    "vector-best-fit": VectorBestFit,
+    "vector-worst-fit": VectorWorstFit,
+    "vector-next-fit": VectorNextFit,
+}

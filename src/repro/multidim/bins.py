@@ -1,0 +1,82 @@
+"""Vector bins: capacity feasibility in every dimension."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.intervals import Interval
+from .items import VectorItem
+
+__all__ = ["VectorBin"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class VectorBin:
+    """A multi-resource server; open/close lifecycle mirrors the 1-D bin."""
+
+    index: int
+    capacity: tuple[float, ...]
+    opened_at: Optional[float] = None
+    closed_at: Optional[float] = None
+    levels: tuple[float, ...] = ()
+    active_items: dict[int, VectorItem] = field(default_factory=dict)
+    all_items: list[VectorItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            self.levels = tuple(0.0 for _ in self.capacity)
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened_at is not None and self.closed_at is None
+
+    @property
+    def usage_period(self) -> Interval:
+        if self.opened_at is None or self.closed_at is None:
+            raise ValueError(f"bin {self.index} has no finished usage period")
+        return Interval(self.opened_at, self.closed_at)
+
+    @property
+    def usage_time(self) -> float:
+        return self.usage_period.length
+
+    def fits(self, item: VectorItem) -> bool:
+        """Componentwise feasibility."""
+        return all(
+            lvl + s <= c + _EPS
+            for lvl, s, c in zip(self.levels, item.sizes, self.capacity)
+        )
+
+    def fullness(self) -> float:
+        """Scalar load measure: the maximum normalised component.
+
+        Used by vector Best/Worst Fit; the max-norm is the standard
+        scalarisation for vector packing heuristics (the binding
+        resource determines feasibility).
+        """
+        return max(l / c for l, c in zip(self.levels, self.capacity))
+
+    def place(self, item: VectorItem, now: float) -> None:
+        if self.closed_at is not None:
+            raise ValueError(f"bin {self.index} is closed")
+        if not self.fits(item):
+            raise ValueError(
+                f"bin {self.index}: item {item.item_id} does not fit at {self.levels}"
+            )
+        if self.opened_at is None:
+            self.opened_at = now
+        self.active_items[item.item_id] = item
+        self.all_items.append(item)
+        self.levels = tuple(l + s for l, s in zip(self.levels, item.sizes))
+
+    def remove(self, item: VectorItem, now: float) -> None:
+        if item.item_id not in self.active_items:
+            raise KeyError(f"item {item.item_id} not active in bin {self.index}")
+        del self.active_items[item.item_id]
+        self.levels = tuple(l - s for l, s in zip(self.levels, item.sizes))
+        if not self.active_items:
+            self.levels = tuple(0.0 for _ in self.capacity)
+            self.closed_at = now

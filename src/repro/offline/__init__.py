@@ -1,0 +1,35 @@
+"""Offline non-migratory model: assignments, exact and heuristic solvers."""
+
+from .busy_time import (
+    BusyTimeJob,
+    busy_time_lower_bound,
+    busy_time_of,
+    exact_busy_time,
+    greedy_tracking,
+    to_capacity_instance,
+)
+from .assignment import (
+    Assignment,
+    group_cost,
+    group_feasible,
+    marginal_cost,
+    max_level,
+)
+from .solvers import exact_offline, greedy_offline, local_search
+
+__all__ = [
+    "Assignment",
+    "BusyTimeJob",
+    "busy_time_lower_bound",
+    "busy_time_of",
+    "exact_busy_time",
+    "greedy_tracking",
+    "to_capacity_instance",
+    "exact_offline",
+    "greedy_offline",
+    "group_cost",
+    "group_feasible",
+    "local_search",
+    "marginal_cost",
+    "max_level",
+]

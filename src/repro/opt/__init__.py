@@ -1,0 +1,42 @@
+"""Offline adversary: classical bin packing solvers and OPT_total."""
+
+from .bin_packing import (
+    BinCountBracket,
+    exact_bin_count,
+    first_fit_decreasing,
+    first_fit_static,
+    lower_bound_l1,
+    lower_bound_l2,
+)
+from .lower_bounds import (
+    combined_lower_bound,
+    fractional_ceiling_bound,
+    prop1_time_space_bound,
+    prop2_span_bound,
+)
+from .schedule import RepackingSchedule, build_repacking_schedule
+from .opt_total import (
+    OptTotalBracket,
+    competitive_ratio_bracket,
+    opt_at_times,
+    opt_total,
+)
+
+__all__ = [
+    "BinCountBracket",
+    "RepackingSchedule",
+    "build_repacking_schedule",
+    "OptTotalBracket",
+    "combined_lower_bound",
+    "competitive_ratio_bracket",
+    "exact_bin_count",
+    "first_fit_decreasing",
+    "first_fit_static",
+    "fractional_ceiling_bound",
+    "lower_bound_l1",
+    "lower_bound_l2",
+    "opt_at_times",
+    "opt_total",
+    "prop1_time_space_bound",
+    "prop2_span_bound",
+]

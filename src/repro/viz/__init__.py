@@ -1,0 +1,18 @@
+"""ASCII rendering of the paper's timeline figures."""
+
+from .schedule_view import render_assignment, render_schedule
+from .timeline import (
+    render_bins,
+    render_items,
+    render_subperiods,
+    render_usage_decomposition,
+)
+
+__all__ = [
+    "render_assignment",
+    "render_bins",
+    "render_schedule",
+    "render_items",
+    "render_subperiods",
+    "render_usage_decomposition",
+]

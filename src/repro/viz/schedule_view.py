@@ -1,0 +1,84 @@
+"""Rendering for offline assignments and repacking schedules.
+
+Completes the visualisation set: :mod:`repro.viz.timeline` draws online
+packings; these renderers draw the two offline artifacts — the
+non-migratory :class:`~repro.offline.assignment.Assignment` (one row per
+server group, busy episodes marked) and the repacking adversary's
+:class:`~repro.opt.schedule.RepackingSchedule` (bin count over time with
+migration markers).
+"""
+
+from __future__ import annotations
+
+from ..offline.assignment import Assignment
+from ..opt.schedule import RepackingSchedule
+
+__all__ = ["render_assignment", "render_schedule"]
+
+_WIDTH = 72
+
+
+def _scale(t: float, t0: float, t1: float, width: int) -> int:
+    if t1 <= t0:
+        return 0
+    pos = int(round((t - t0) / (t1 - t0) * (width - 1)))
+    return max(0, min(width - 1, pos))
+
+
+def render_assignment(assignment: Assignment, width: int = _WIDTH) -> str:
+    """One row per group; busy episodes solid, idle (unbilled) gaps dots."""
+    items = assignment.items
+    period = items.packing_period
+    t0, t1 = period.left, period.right
+    lines = [
+        f"offline non-migratory assignment: {assignment.num_groups} groups, "
+        f"cost {assignment.cost():.3f}"
+    ]
+    for gi in range(assignment.num_groups):
+        row = [" "] * width
+        episodes = assignment.busy_intervals(gi)
+        if episodes:
+            first = _scale(episodes[0].left, t0, t1, width)
+            last = max(_scale(episodes[-1].right, t0, t1, width), first + 1)
+            for i in range(first, last):
+                row[i] = "·"  # span of the group (idle shown as dots)
+        for ep in episodes:
+            lo = _scale(ep.left, t0, t1, width)
+            hi = max(_scale(ep.right, t0, t1, width), lo + 1)
+            for i in range(lo, hi):
+                row[i] = "█"
+        jobs = len(assignment.groups[gi])
+        lines.append(f"group {gi:>3d} |{''.join(row)}| {jobs} jobs")
+    return "\n".join(lines)
+
+
+def render_schedule(schedule: RepackingSchedule, width: int = _WIDTH) -> str:
+    """The adversary's bin count over time; '!' marks migration steps."""
+    if not schedule.intervals:
+        return "(empty schedule)"
+    t0 = schedule.intervals[0].start
+    t1 = schedule.intervals[-1].end
+    max_bins = max(iv.num_bins for iv in schedule.intervals)
+    lines = [
+        f"repacking adversary: cost {schedule.total_usage_time:.3f}, "
+        f"{schedule.migrations} migrations "
+        f"({schedule.migrations_per_item_event:.2f}/step)"
+    ]
+    for level in range(max_bins, 0, -1):
+        row = [" "] * width
+        for iv in schedule.intervals:
+            if iv.num_bins >= level:
+                lo = _scale(iv.start, t0, t1, width)
+                hi = max(_scale(iv.end, t0, t1, width), lo + 1)
+                for i in range(lo, hi):
+                    row[i] = "█"
+        lines.append(f"{level:>3d} bins |{''.join(row)}|")
+    # migration markers between consecutive intervals
+    from ..opt.schedule import _count_migrations
+
+    row = [" "] * width
+    for a, b in zip(schedule.intervals, schedule.intervals[1:]):
+        if _count_migrations(a.bins, b.bins) > 0:
+            row[_scale(b.start, t0, t1, width)] = "!"
+    lines.append(f"{'moves':>8s} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""ASCII timeline rendering for the paper's structural figures.
+
+The paper's Figures 1–4 are timeline diagrams: item intervals, bin usage
+periods with their V/W split, subperiods, supplier periods.  These
+renderers draw the same structures as fixed-width text so the figure
+benchmarks can regenerate them from computed data (no plotting
+dependencies; output diffs cleanly in CI).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.intervals import Interval
+from ..core.items import ItemList
+from ..core.result import PackingResult
+from ..analysis.supplier import SupplierAnalysis
+from ..analysis.usage_periods import UsagePeriodDecomposition
+
+__all__ = [
+    "render_items",
+    "render_bins",
+    "render_usage_decomposition",
+    "render_subperiods",
+]
+
+_WIDTH = 72
+
+
+def _scale(t: float, t0: float, t1: float, width: int) -> int:
+    if t1 <= t0:
+        return 0
+    pos = int(round((t - t0) / (t1 - t0) * (width - 1)))
+    return max(0, min(width - 1, pos))
+
+
+def _bar(interval: Interval, t0: float, t1: float, width: int, ch: str) -> str:
+    lo = _scale(interval.left, t0, t1, width)
+    hi = _scale(interval.right, t0, t1, width)
+    hi = max(hi, lo + 1)
+    return " " * lo + ch * (hi - lo) + " " * (width - hi)
+
+
+def render_items(items: ItemList, width: int = _WIDTH) -> str:
+    """Figure-1 style: one row per item, plus the span row."""
+    period = items.packing_period
+    t0, t1 = period.left, period.right
+    lines = [f"time {t0:g} .. {t1:g}   (span = {items.span:g})"]
+    for it in items:
+        bar = _bar(it.interval, t0, t1, width, "█")
+        lines.append(f"item {it.item_id:>3d} s={it.size:<5.3g} |{bar}|")
+    # span row: union of intervals
+    from ..core.intervals import merge_intervals
+
+    union = merge_intervals(it.interval for it in items)
+    row = [" "] * width
+    for iv in union:
+        lo = _scale(iv.left, t0, t1, width)
+        hi = max(_scale(iv.right, t0, t1, width), lo + 1)
+        for i in range(lo, hi):
+            row[i] = "─"
+    lines.append(f"{'span':>14s} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_bins(result: PackingResult, width: int = _WIDTH) -> str:
+    """One row per bin: its usage period."""
+    period = result.items.packing_period
+    t0, t1 = period.left, period.right
+    lines = [f"{result.algorithm_name}: {result.num_bins} bins"]
+    for b in result.bins:
+        bar = _bar(b.usage_period, t0, t1, width, "█")
+        lines.append(f"bin {b.index:>3d} |{bar}| |U|={b.usage_time:g}")
+    return "\n".join(lines)
+
+
+def render_usage_decomposition(
+    result: PackingResult, deco: UsagePeriodDecomposition, width: int = _WIDTH
+) -> str:
+    """Figure-2 style: V (light) and W (solid) parts of each usage period."""
+    period = result.items.packing_period
+    t0, t1 = period.left, period.right
+    lines = [
+        f"usage periods of {result.algorithm_name} "
+        f"(V=░ overlapped, W=█ exclusive; ΣW = span = {deco.span:g})"
+    ]
+    for bp in deco.per_bin:
+        row = [" "] * width
+        for iv, ch in ((bp.overlapped, "░"), (bp.exclusive, "█")):
+            if iv.is_empty:
+                continue
+            lo = _scale(iv.left, t0, t1, width)
+            hi = max(_scale(iv.right, t0, t1, width), lo + 1)
+            for i in range(lo, hi):
+                row[i] = ch
+        lines.append(
+            f"bin {bp.index:>3d} |{''.join(row)}| "
+            f"|V|={bp.v_length:g} |W|={bp.w_length:g} E={bp.latest_earlier_close:g}"
+        )
+    return "\n".join(lines)
+
+
+def render_subperiods(
+    result: PackingResult, analysis: SupplierAnalysis, width: int = _WIDTH
+) -> str:
+    """Figures 3–4 style: l/h subperiods plus supplier periods per bin."""
+    period = result.items.packing_period
+    t0, t1 = period.left, period.right
+    lines = [
+        "subperiods (l=▒ low-utilisation candidate, h=█ level ≥ 1/2) and "
+        "supplier periods (s, on the supplier bin's row)"
+    ]
+    supplier_rows: dict[int, list[str]] = {}
+    for g in analysis.groups:
+        row = supplier_rows.setdefault(g.supplier_index, [" "] * width)
+        lo = _scale(g.supplier_period.left, t0, t1, width)
+        hi = max(_scale(g.supplier_period.right, t0, t1, width), lo + 1)
+        for i in range(lo, hi):
+            row[i] = "s"
+    for bsp in analysis.per_bin:
+        row = [" "] * width
+        for y in bsp.h_subperiods:
+            lo = _scale(y.interval.left, t0, t1, width)
+            hi = max(_scale(y.interval.right, t0, t1, width), lo + 1)
+            for i in range(lo, hi):
+                row[i] = "█"
+        for x in bsp.l_subperiods:
+            lo = _scale(x.interval.left, t0, t1, width)
+            hi = max(_scale(x.interval.right, t0, t1, width), lo + 1)
+            for i in range(lo, hi):
+                row[i] = "▒"
+        lines.append(f"bin {bsp.bin_index:>3d} |{''.join(row)}|")
+        srow = supplier_rows.get(bsp.bin_index)
+        if srow is not None:
+            lines.append(f"  as supplier |{''.join(srow)}|")
+    return "\n".join(lines)

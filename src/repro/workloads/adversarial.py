@@ -1,0 +1,171 @@
+"""Adversarial instances from the paper and its cited prior work.
+
+Four constructions, each returning an :class:`~repro.core.items.ItemList`
+whose arrival *order* encodes the adversary's release order (the event
+layer preserves instance order among simultaneous arrivals):
+
+- :func:`next_fit_lower_bound` — Section VIII of the paper, verbatim:
+  forces Next Fit to a ratio approaching 2µ while First Fit stays O(1).
+- :func:`universal_lower_bound` — the blocker/filler construction behind
+  the µ lower bound (Li–Tang–Cai [6], formalised by Kamali–López-Ortiz
+  [12]); every Any Fit algorithm and Next Fit pay ≈ nµ against
+  OPT ≈ n + µ.
+- :func:`best_fit_staircase` — a staircase-level gadget on which Best
+  Fit scatters long fillers across all prepared bins while First Fit
+  consolidates them into one; exhibits the Best-Fit-specific weakness
+  behind the cited "Best Fit is unbounded for any µ" result.
+- :func:`anyfit_pressure` — repeated blocker/filler rounds stacked in
+  time, a stress workload whose measured First Fit ratio approaches the
+  µ lower bound from below as rounds grow.
+
+All constructions take explicit ``epsilon``-style slack so capacity
+checks are exact at float precision.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.items import Item, ItemList
+
+__all__ = [
+    "next_fit_lower_bound",
+    "universal_lower_bound",
+    "best_fit_staircase",
+    "anyfit_pressure",
+]
+
+
+def next_fit_lower_bound(n: int, mu: float) -> ItemList:
+    """The Section VIII construction: Next Fit ratio → 2µ.
+
+    At time 0, ``n`` pairs of items arrive in sequence; the first item of
+    each pair has size 1/2 and the second size ``1/n``.  At time 1 all
+    the size-1/2 items depart; at time µ all the size-1/n items depart.
+
+    Next Fit puts each pair in its own bin (a new 1/2-item never fits in
+    the previous bin at level ``1/2 + 1/n``) and keeps all ``n`` bins
+    open until µ: ``NF_total = nµ``.  The optimum pairs up the 1/2-items
+    (n/2 bins over [0,1)) and packs all 1/n-items into one bin over
+    [0,µ): ``OPT_total ≈ n/2 + µ``.  The ratio ``nµ/(n/2+µ) → 2µ``.
+
+    Requires ``n >= 3`` (as in the paper) and ``mu > 1``.
+    """
+    if n < 3:
+        raise ValueError("the construction requires n >= 3")
+    if mu <= 1:
+        raise ValueError("the construction requires mu > 1")
+    items: list[Item] = []
+    for i in range(n):
+        items.append(Item(2 * i, 0.5, 0.0, 1.0))  # pair leader, duration 1
+        items.append(Item(2 * i + 1, 1.0 / n, 0.0, mu))  # pair tail, duration µ
+    return ItemList(items)
+
+
+def universal_lower_bound(n: int, mu: float, delta: float | None = None) -> ItemList:
+    """Blocker/filler rounds: every online algorithm pays ≈ nµ/(n+µ)·OPT.
+
+    Round ``i`` (i = 1..n) at time ``(i-1)·delta``:
+
+    - a *blocker* of size ``1 − ε`` and duration 1 (the minimum) arrives;
+      every previously opened bin is exactly full, so every algorithm
+      must open a new bin for it;
+    - a *filler* of size ``ε`` and duration µ arrives immediately after;
+      it fits only the just-opened bin (all others are full), topping it
+      up to exactly 1.
+
+    After the blockers depart, each of the ``n`` bins holds one ε-filler
+    until its round start + µ, so ``ALG ≈ nµ`` for First Fit, Best Fit,
+    Worst Fit, Last Fit, Random Fit and Next Fit alike — no placement
+    choice ever exists for an algorithm that mixes item sizes in one
+    bin.  (Size-classified hybrids dodge the gadget by segregating the
+    fillers, which is precisely how they beat the Any Fit lower bound.)  The optimum pays ≈ n (the blocker
+    phase, where total demand is ≈ n) plus µ (all fillers share one
+    bin): the ratio approaches ``µ`` as ``n → ∞``, matching the
+    universal lower bound the paper cites.
+
+    ``delta`` defaults to ``1/(2n)`` so all rounds start before the
+    first blocker departs.  ``ε = 1/(2n)`` keeps the fillers' total size
+    at 1/2 (one bin for OPT).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if mu <= 1:
+        raise ValueError("mu must be > 1")
+    if delta is None:
+        delta = 1.0 / (2 * n)
+    if delta <= 0 or n * delta >= 1:
+        raise ValueError("need 0 < delta and n*delta < 1 so blockers overlap")
+    eps = 1.0 / (2 * n)
+    items: list[Item] = []
+    for i in range(n):
+        t = i * delta
+        items.append(Item(2 * i, 1.0 - eps, t, t + 1.0))
+        items.append(Item(2 * i + 1, eps, t, t + mu))
+    return ItemList(items)
+
+
+def best_fit_staircase(n: int, mu: float, fillers: int | None = None) -> ItemList:
+    """Staircase gadget separating Best Fit from First Fit.
+
+    At time 0, blockers of sizes ``1 − nγ, 1 − (n−1)γ, …, 1 − γ``
+    (duration 1) arrive in that order with ``γ = 1/(2n+2)``; they are
+    pairwise conflicting, so every algorithm opens ``n`` bins whose
+    levels form an ascending staircase with bin 1 the emptiest.  Then
+    ``K`` long fillers of sizes ``γ, 2γ, …, Kγ`` (duration µ) arrive:
+
+    - **Best Fit** sends filler ``kγ`` to the fullest bin it fits —
+      bin ``n−k+1``, exactly topping it up — scattering the fillers over
+      ``K`` distinct bins, each of which then stays open until µ.
+    - **First Fit** sends every filler to bin 1 (they all fit there:
+      their total is at most ``nγ``), so only one bin stays open long.
+
+    With ``K = ⌊(√(8n+1)−1)/2⌋`` (the largest K with K(K+1)/2 ≤ n):
+    ``BF_total ≈ Kµ + n`` versus ``FF_total ≈ µ + n`` and
+    ``OPT ≈ n + µ`` — a Best-Fit/First-Fit gap growing like √n,
+    demonstrating the Best-Fit-specific failure mode behind the cited
+    unboundedness result.
+    """
+    if n < 3:
+        raise ValueError("n must be >= 3")
+    if mu <= 1:
+        raise ValueError("mu must be > 1")
+    gamma = 1.0 / (2 * n + 2)
+    max_k = int((math.isqrt(8 * n + 1) - 1) // 2)
+    if fillers is None:
+        fillers = max_k
+    if not (1 <= fillers <= max_k):
+        raise ValueError(f"fillers must be in [1, {max_k}] so they all fit bin 1")
+    items: list[Item] = []
+    iid = 0
+    for i in range(1, n + 1):  # blockers: sizes 1-nγ, 1-(n-1)γ, ..., 1-γ
+        items.append(Item(iid, 1.0 - (n - i + 1) * gamma, 0.0, 1.0))
+        iid += 1
+    for k in range(1, fillers + 1):  # fillers: sizes γ, 2γ, ..., Kγ, duration µ
+        items.append(Item(iid, k * gamma, 0.0, mu))
+        iid += 1
+    return ItemList(items)
+
+
+def anyfit_pressure(rounds: int, n: int, mu: float) -> ItemList:
+    """Repeated universal rounds stacked back-to-back in time.
+
+    ``rounds`` copies of :func:`universal_lower_bound`'s gadget, the
+    r-th starting at time ``r·(µ+1)`` so consecutive copies do not
+    interact.  The measured ratio equals the single-gadget ratio (both
+    ALG and OPT scale by ``rounds``); the workload exists to give the
+    ratio estimators long instances with many bins — e.g. for checking
+    that measured ratios are stable under repetition, and as a heavier
+    stress case for the proof-invariant property tests.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    base = universal_lower_bound(n, mu)
+    items: list[Item] = []
+    iid = 0
+    for r in range(rounds):
+        shift = r * (mu + 1.0)
+        for it in base:
+            items.append(Item(iid, it.size, it.arrival + shift, it.departure + shift))
+            iid += 1
+    return ItemList(items)

@@ -1,0 +1,195 @@
+"""Seedable scalar distributions for workload generation.
+
+Small, explicit distribution objects (rather than bare callables) so
+workload specs can be printed, compared, and recorded in experiment
+metadata.  All sampling goes through a ``numpy.random.Generator`` owned
+by the caller — no global RNG state anywhere in the library.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "Pareto",
+    "LogNormal",
+    "DiscreteChoice",
+    "Clipped",
+]
+
+
+class Distribution(abc.ABC):
+    """A one-dimensional distribution with vectorised sampling."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` i.i.d. samples."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Analytic mean (used for load calculations)."""
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """Degenerate distribution at ``value``."""
+
+    value: float
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError("high must be >= low")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, n)
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given mean (memoryless session lengths)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean_value, n)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class Pareto(Distribution):
+    """Pareto (heavy tail) with shape ``alpha`` and scale ``xm > 0``.
+
+    Samples are ``xm · (1 + Pareto(alpha))``, i.e. supported on
+    ``[xm, ∞)``.  Mean is finite only for ``alpha > 1``.
+    """
+
+    alpha: float
+    xm: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.xm <= 0:
+            raise ValueError("alpha and xm must be positive")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.xm * (1.0 + rng.pareto(self.alpha, n))
+
+    @property
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return float("inf")
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal with underlying normal parameters ``(mu, sigma)``."""
+
+    mu: float
+    sigma: float
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, n)
+
+    @property
+    def mean(self) -> float:
+        return float(np.exp(self.mu + self.sigma**2 / 2.0))
+
+
+@dataclass(frozen=True)
+class DiscreteChoice(Distribution):
+    """Choice among fixed values with optional weights.
+
+    Models e.g. a catalogue of game titles with known GPU shares.
+    """
+
+    values: tuple[float, ...]
+    weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("values must be non-empty")
+        if self.weights is not None:
+            if len(self.weights) != len(self.values):
+                raise ValueError("weights length must match values")
+            if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+                raise ValueError("weights must be non-negative with positive sum")
+
+    def _probs(self) -> np.ndarray | None:
+        if self.weights is None:
+            return None
+        w = np.asarray(self.weights, dtype=float)
+        return w / w.sum()
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(np.asarray(self.values), size=n, p=self._probs())
+
+    @property
+    def mean(self) -> float:
+        vals = np.asarray(self.values, dtype=float)
+        p = self._probs()
+        if p is None:
+            return float(vals.mean())
+        return float(np.dot(vals, p))
+
+
+@dataclass(frozen=True)
+class Clipped(Distribution):
+    """A distribution clipped to ``[low, high]``.
+
+    Used to control the duration ratio µ of generated instances: clip
+    durations to ``[d_min, µ·d_min]`` and the instance's realised µ is
+    at most the requested one.
+    """
+
+    inner: Distribution
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError("high must be >= low")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.clip(self.inner.sample(rng, n), self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        # The clipped mean has no general closed form; estimate once with
+        # a fixed-seed quadrature draw (deterministic, documented as such).
+        rng = np.random.default_rng(123456789)
+        return float(self.sample(rng, 20_000).mean())

@@ -1,0 +1,100 @@
+"""Markov-modulated Poisson arrivals (bursty workloads).
+
+Cloud request streams are bursty: quiet periods punctuated by flash
+crowds.  The standard model is an MMPP — a continuous-time Markov chain
+over "phases", each with its own Poisson arrival rate.  Burstiness is
+exactly what stresses MinUsageTime packing: a burst forces many bins
+open at once, and the question is how long stragglers keep them open
+after the burst passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.items import Item, ItemList
+from .distributions import Clipped, Distribution, Exponential, Uniform
+
+__all__ = ["MMPPPhase", "mmpp_workload", "two_phase_bursty"]
+
+
+@dataclass(frozen=True)
+class MMPPPhase:
+    """One phase: arrival rate + mean dwell time before switching."""
+
+    name: str
+    arrival_rate: float
+    mean_dwell: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        if self.mean_dwell <= 0:
+            raise ValueError("mean_dwell must be positive")
+
+
+def two_phase_bursty(
+    base_rate: float = 1.0, burst_rate: float = 10.0,
+    base_dwell: float = 8.0, burst_dwell: float = 1.0,
+) -> tuple[MMPPPhase, ...]:
+    """The canonical quiet/burst pair of phases."""
+    return (
+        MMPPPhase("quiet", base_rate, base_dwell),
+        MMPPPhase("burst", burst_rate, burst_dwell),
+    )
+
+
+def mmpp_workload(
+    horizon: float,
+    seed: int,
+    phases: tuple[MMPPPhase, ...] | None = None,
+    size_dist: Distribution | None = None,
+    duration_dist: Distribution | None = None,
+    mu_target: float = 8.0,
+    capacity: float = 1.0,
+) -> ItemList:
+    """Jobs over ``[0, horizon)`` with phase-switching arrival rates.
+
+    Phases cycle in order (quiet → burst → quiet → …) with
+    exponentially distributed dwell times; arrivals within a phase are
+    Poisson at that phase's rate.
+    """
+    if phases is None:
+        phases = two_phase_bursty()
+    if not phases:
+        raise ValueError("need at least one phase")
+    rng = np.random.default_rng(seed)
+    size_dist = size_dist or Uniform(0.05, 0.5)
+    duration_dist = Clipped(duration_dist or Exponential(3.0), 1.0, mu_target)
+
+    arrivals: list[float] = []
+    t = 0.0
+    phase_idx = 0
+    while t < horizon:
+        phase = phases[phase_idx % len(phases)]
+        dwell = rng.exponential(phase.mean_dwell)
+        end = min(t + dwell, horizon)
+        if phase.arrival_rate > 0:
+            tt = t
+            while True:
+                tt += rng.exponential(1.0 / phase.arrival_rate)
+                if tt >= end:
+                    break
+                arrivals.append(tt)
+        t = end
+        phase_idx += 1
+
+    n = len(arrivals)
+    if n == 0:
+        return ItemList([], capacity=capacity)
+    sizes = np.clip(size_dist.sample(rng, n), 1e-6, capacity)
+    durations = duration_dist.sample(rng, n)
+    return ItemList(
+        (
+            Item(i, float(sizes[i]), arrivals[i], arrivals[i] + float(durations[i]))
+            for i in range(n)
+        ),
+        capacity=capacity,
+    )

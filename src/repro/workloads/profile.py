@@ -1,0 +1,102 @@
+"""Instance profiling: the statistics that predict packing behaviour.
+
+Used by ``repro inspect`` and the experiment notes: before arguing about
+an algorithm's ratio on a workload, know the workload — its µ, its load
+profile, its size mix (how much mass sits above the small/large
+threshold), and its burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.items import ItemList
+from ..opt.lower_bounds import fractional_ceiling_bound
+
+__all__ = ["InstanceProfile", "profile_instance"]
+
+
+@dataclass(frozen=True)
+class InstanceProfile:
+    """Summary statistics of one instance."""
+
+    n: int
+    mu: float
+    span: float
+    horizon: float
+    time_space_demand: float
+    mean_size: float
+    large_item_fraction: float  # sizes ≥ 1/2 of capacity
+    mean_duration: float
+    mean_concurrency: float  # time-average number of active items
+    peak_concurrency: int
+    burstiness: float  # index of dispersion of arrival counts
+    opt_lower_bound: float
+
+    def render(self) -> str:
+        rows = [
+            ("items", f"{self.n}"),
+            ("µ (max/min duration)", f"{self.mu:.3f}"),
+            ("span / horizon", f"{self.span:.3f} / {self.horizon:.3f}"),
+            ("time-space demand", f"{self.time_space_demand:.3f}"),
+            ("mean size", f"{self.mean_size:.3f}"),
+            ("large-item fraction (≥ C/2)", f"{self.large_item_fraction:.1%}"),
+            ("mean duration", f"{self.mean_duration:.3f}"),
+            ("mean / peak concurrency", f"{self.mean_concurrency:.2f} / {self.peak_concurrency}"),
+            ("burstiness (arrival IoD)", f"{self.burstiness:.3f}"),
+            ("OPT_total lower bound", f"{self.opt_lower_bound:.3f}"),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}s}  {v}" for k, v in rows)
+
+
+def profile_instance(items: ItemList, burst_bins: int = 20) -> InstanceProfile:
+    """Compute the profile (empty instances get a zeroed profile)."""
+    if len(items) == 0:
+        return InstanceProfile(0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0.0, 0.0)
+    sizes = np.array([it.size for it in items])
+    durations = np.array([it.duration for it in items])
+    arrivals = np.array([it.arrival for it in items])
+    period = items.packing_period
+    horizon = period.length
+
+    # concurrency sweep
+    events = sorted(
+        [(it.arrival, 1) for it in items] + [(it.departure, -1) for it in items],
+        key=lambda e: (e[0], e[1]),
+    )
+    peak = cur = 0
+    weighted = 0.0
+    last_t = events[0][0]
+    for t, delta in events:
+        weighted += cur * (t - last_t)
+        last_t = t
+        cur += delta
+        peak = max(peak, cur)
+
+    # burstiness: index of dispersion of arrival counts over equal windows
+    if horizon > 0 and len(items) > 1:
+        counts, _ = np.histogram(
+            arrivals, bins=burst_bins, range=(period.left, period.right)
+        )
+        mean = counts.mean()
+        burstiness = float(counts.var() / mean) if mean > 0 else 0.0
+    else:
+        burstiness = 0.0
+
+    return InstanceProfile(
+        n=len(items),
+        mu=items.mu,
+        span=items.span,
+        horizon=horizon,
+        time_space_demand=items.time_space_demand,
+        mean_size=float(sizes.mean()),
+        large_item_fraction=float((sizes >= items.capacity / 2.0 - 1e-12).mean()),
+        mean_duration=float(durations.mean()),
+        mean_concurrency=weighted / horizon if horizon > 0 else 0.0,
+        peak_concurrency=peak,
+        burstiness=burstiness,
+        opt_lower_bound=fractional_ceiling_bound(items),
+    )

@@ -1,0 +1,57 @@
+"""Trace resampling: bootstrap new instances from an existing trace.
+
+Given a real (or frozen) trace, generate statistically similar variants:
+items are drawn with replacement, arrival times are re-jittered, and
+durations/sizes optionally perturbed — preserving the trace's marginal
+distributions while varying the interleaving that packing is sensitive
+to.  Used to turn one trace into a test *population*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.items import Item, ItemList
+
+__all__ = ["resample_trace"]
+
+
+def resample_trace(
+    items: ItemList,
+    seed: int,
+    n: int | None = None,
+    arrival_jitter: float = 0.5,
+    duration_jitter: float = 0.0,
+    preserve_mu: bool = True,
+) -> ItemList:
+    """Bootstrap a new instance from ``items``.
+
+    Parameters
+    ----------
+    n:
+        Output size (default: same as input).
+    arrival_jitter:
+        Uniform ±jitter added to each resampled arrival.
+    duration_jitter:
+        Relative log-normal-ish perturbation of durations (0 keeps them).
+    preserve_mu:
+        Clip perturbed durations back into the source trace's
+        [min, max] duration band so µ does not grow.
+    """
+    if len(items) == 0:
+        raise ValueError("cannot resample an empty trace")
+    rng = np.random.default_rng(seed)
+    n = len(items) if n is None else n
+    source = list(items)
+    lo, hi = items.min_duration, items.max_duration
+    out = []
+    for i in range(n):
+        src = source[int(rng.integers(0, len(source)))]
+        arrival = max(0.0, src.arrival + float(rng.uniform(-arrival_jitter, arrival_jitter)))
+        duration = src.duration
+        if duration_jitter > 0:
+            duration *= float(np.exp(duration_jitter * rng.standard_normal()))
+        if preserve_mu:
+            duration = float(np.clip(duration, lo, hi))
+        out.append(Item(i, src.size, arrival, arrival + duration))
+    return ItemList(out, capacity=items.capacity)

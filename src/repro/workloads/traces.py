@@ -1,0 +1,110 @@
+"""Trace (de)serialisation: item lists as JSON or CSV.
+
+Lets experiments pin exact instances to disk (for regression baselines)
+and lets users bring their own traces into the dispatcher.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from ..core.items import Item, ItemList
+
+__all__ = ["to_json", "from_json", "to_csv", "from_csv", "save_trace", "load_trace"]
+
+PathLike = Union[str, Path]
+
+
+def to_json(items: ItemList) -> str:
+    """Serialise to a JSON document (capacity + item records)."""
+    doc = {
+        "capacity": items.capacity,
+        "items": [
+            {
+                "id": it.item_id,
+                "size": it.size,
+                "arrival": it.arrival,
+                "departure": it.departure,
+            }
+            for it in items
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def from_json(text: str) -> ItemList:
+    """Parse an instance from :func:`to_json` output."""
+    doc = json.loads(text)
+    return ItemList(
+        (
+            Item(rec["id"], rec["size"], rec["arrival"], rec["departure"])
+            for rec in doc["items"]
+        ),
+        capacity=doc.get("capacity", 1.0),
+    )
+
+
+def to_csv(items: ItemList) -> str:
+    """Serialise to CSV with header ``id,size,arrival,departure``.
+
+    Capacity is recorded in a leading comment line.
+    """
+    buf = io.StringIO()
+    buf.write(f"# capacity={items.capacity}\n")
+    writer = csv.writer(buf)
+    writer.writerow(["id", "size", "arrival", "departure"])
+    for it in items:
+        writer.writerow([it.item_id, repr(it.size), repr(it.arrival), repr(it.departure)])
+    return buf.getvalue()
+
+
+def from_csv(text: str) -> ItemList:
+    """Parse an instance from :func:`to_csv` output."""
+    capacity = 1.0
+    lines = text.splitlines()
+    body_start = 0
+    for i, line in enumerate(lines):
+        if line.startswith("#"):
+            if "capacity=" in line:
+                capacity = float(line.split("capacity=", 1)[1].strip())
+            body_start = i + 1
+        else:
+            break
+    reader = csv.DictReader(lines[body_start:])
+    return ItemList(
+        (
+            Item(
+                int(row["id"]),
+                float(row["size"]),
+                float(row["arrival"]),
+                float(row["departure"]),
+            )
+            for row in reader
+        ),
+        capacity=capacity,
+    )
+
+
+def save_trace(items: ItemList, path: PathLike) -> None:
+    """Write an instance to ``path`` (.json or .csv by extension)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(to_json(items))
+    elif path.suffix == ".csv":
+        path.write_text(to_csv(items))
+    else:
+        raise ValueError(f"unsupported trace extension: {path.suffix!r}")
+
+
+def load_trace(path: PathLike) -> ItemList:
+    """Read an instance written by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".json":
+        return from_json(path.read_text())
+    if path.suffix == ".csv":
+        return from_csv(path.read_text())
+    raise ValueError(f"unsupported trace extension: {path.suffix!r}")

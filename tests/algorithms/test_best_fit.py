@@ -1,0 +1,56 @@
+"""Tests for Best Fit and its contrast with First Fit."""
+
+import pytest
+
+from repro.algorithms import BestFit, FirstFit
+from repro.core.items import Item
+from repro.core.packing import run_packing
+from repro.workloads.adversarial import best_fit_staircase
+
+
+class TestBestFitPlacement:
+    def test_prefers_fullest_bin(self):
+        items = [
+            Item(0, 0.5, 0.0, 10.0),  # bin 0
+            Item(1, 0.7, 0.0, 10.0),  # bin 1 (fuller)
+            Item(2, 0.2, 1.0, 2.0),   # fits both; BF takes bin 1
+        ]
+        result = run_packing(items, BestFit())
+        assert result.item_bin[2] == 1
+
+    def test_tie_breaks_to_earliest(self):
+        items = [
+            Item(0, 0.7, 0.0, 10.0),  # bin 0
+            Item(1, 0.7, 0.0, 10.0),  # bin 1 (same level)
+            Item(2, 0.2, 1.0, 2.0),   # tie between bins → earliest (bin 0)
+        ]
+        result = run_packing(items, BestFit())
+        assert result.item_bin[2] == 0
+
+    def test_fuller_later_bin_beats_earlier(self):
+        items = [
+            Item(0, 0.5, 0.0, 10.0),  # bin 0
+            Item(1, 0.6, 0.0, 10.0),  # bin 1 (fuller)
+            Item(2, 0.1, 0.5, 10.0),  # BF → bin 1 (0.6 > 0.5)
+            Item(3, 0.2, 1.0, 2.0),   # BF → bin 1 again (0.7 > 0.5)
+        ]
+        result = run_packing(items, BestFit())
+        assert result.item_bin[2] == 1
+        assert result.item_bin[3] == 1
+
+    def test_scatters_on_staircase_while_ff_consolidates(self):
+        inst = best_fit_staircase(20, 8.0)
+        bf = run_packing(inst, BestFit())
+        ff = run_packing(inst, FirstFit())
+        assert bf.total_usage_time > 1.5 * ff.total_usage_time
+
+    def test_exact_topup_choice(self):
+        # BF chooses the bin it fills exactly over a merely-fuller bin it
+        # cannot enter
+        items = [
+            Item(0, 0.95, 0.0, 10.0),  # bin 0: fullest but can't take 0.2
+            Item(1, 0.8, 0.0, 10.0),   # bin 1
+            Item(2, 0.2, 1.0, 2.0),    # fits only bin 1
+        ]
+        result = run_packing(items, BestFit())
+        assert result.item_bin[2] == 1

@@ -1,0 +1,126 @@
+"""Tests for the clairvoyant (known-departure) policies."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    CLAIRVOYANT_REGISTRY,
+    DepartureAlignedFit,
+    DurationClassifiedFit,
+    FirstFit,
+)
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+
+from ..conftest import item_lists
+
+
+class TestClairvoyantInterface:
+    def test_choose_bin_disabled(self):
+        from repro.core.state import PackingState
+
+        algo = DepartureAlignedFit()
+        with pytest.raises(TypeError, match="clairvoyant"):
+            algo.choose_bin(PackingState(), 0.5)
+
+    def test_registry_entries_are_clairvoyant(self):
+        for name, factory in CLAIRVOYANT_REGISTRY.items():
+            assert getattr(factory(), "clairvoyant", False), name
+
+
+class TestDepartureAlignedFit:
+    def test_prefers_bin_that_outlives_item(self):
+        items = ItemList(
+            [
+                Item(0, 0.5, 0.0, 2.0),    # bin 0, closes at 2
+                Item(1, 0.5, 0.0, 10.0),   # bin 1, closes at 10
+                Item(2, 0.3, 1.0, 5.0),    # extending bin 0 costs 3; bin 1: 0
+            ]
+        )
+        result = run_packing(items, DepartureAlignedFit())
+        assert result.item_bin[2] == 1
+
+    def test_minimises_extension_when_all_extend(self):
+        items = ItemList(
+            [
+                Item(0, 0.5, 0.0, 2.0),    # bin 0
+                Item(1, 0.5, 0.0, 4.0),    # bin 1
+                Item(2, 0.3, 1.0, 5.0),    # ext: bin0 = 3, bin1 = 1 → bin 1
+            ]
+        )
+        result = run_packing(items, DepartureAlignedFit())
+        assert result.item_bin[2] == 1
+
+    def test_any_fit_behaviour(self):
+        """Opens a new bin only when nothing fits."""
+        items = ItemList(
+            [Item(0, 0.8, 0.0, 4.0), Item(1, 0.1, 1.0, 2.0), Item(2, 0.9, 1.5, 3.0)]
+        )
+        result = run_packing(items, DepartureAlignedFit())
+        assert result.item_bin[1] == 0  # fits → no new bin
+        assert result.item_bin[2] == 1  # doesn't fit → new bin
+
+    def test_beats_first_fit_on_misaligned_instance(self):
+        # FF mixes a long item into a short bin, paying the extension;
+        # the clairvoyant policy aligns departures instead
+        items = ItemList(
+            [
+                Item(0, 0.5, 0.0, 1.5),   # bin 0 (short-lived)
+                Item(1, 0.6, 0.0, 10.0),  # bin 1 (long-lived; can't join bin 0)
+                Item(2, 0.4, 0.5, 10.0),  # FF → bin 0 (extends it to 10);
+                                          # DA → bin 1 (zero extension)
+            ]
+        )
+        ff = run_packing(items, FirstFit())
+        da = run_packing(items, DepartureAlignedFit())
+        assert da.total_usage_time < ff.total_usage_time
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_packing_on_random_instances(self, items):
+        result = run_packing(items, DepartureAlignedFit())
+        assert set(result.item_bin) == {it.item_id for it in items}
+        assert result.total_usage_time >= items.span - 1e-7
+
+
+class TestDurationClassifiedFit:
+    def test_class_of(self):
+        algo = DurationClassifiedFit(base=2.0)
+        assert algo.class_of(1.0) == 0
+        assert algo.class_of(1.9) == 0
+        assert algo.class_of(2.0) == 1
+        assert algo.class_of(7.9) == 2
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            DurationClassifiedFit(base=1.0)
+
+    def test_duration_classes_never_mix(self):
+        items = ItemList(
+            [
+                Item(0, 0.2, 0.0, 1.5),   # class 0 (duration 1.5)
+                Item(1, 0.2, 0.0, 8.0),   # class 3 → separate bin
+                Item(2, 0.2, 0.5, 1.9),   # class 0 → joins bin 0
+            ]
+        )
+        result = run_packing(items, DurationClassifiedFit())
+        assert result.item_bin[0] == result.item_bin[2]
+        assert result.item_bin[1] != result.item_bin[0]
+
+    def test_short_job_cannot_pin_long_server(self):
+        """The busy-time idea: a short job never keeps a long-class bin
+        alive because it can't enter one."""
+        items = ItemList(
+            [
+                Item(0, 0.5, 0.0, 8.0),   # long class
+                Item(1, 0.1, 7.5, 8.6),   # short; FF would reuse bin 0
+            ]
+        )
+        dc = run_packing(items, DurationClassifiedFit())
+        assert dc.item_bin[1] != dc.item_bin[0]
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_packing_on_random_instances(self, items):
+        result = run_packing(items, DurationClassifiedFit())
+        assert set(result.item_bin) == {it.item_id for it in items}

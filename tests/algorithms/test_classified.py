@@ -1,0 +1,107 @@
+"""Tests for size-classified (hybrid) algorithms."""
+
+import pytest
+
+from repro.algorithms import ClassifiedNextFit, FirstFit, HybridFirstFit
+from repro.algorithms.classified import ClassifiedAlgorithm
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+
+
+class TestClassification:
+    def test_class_of_thresholds(self):
+        algo = HybridFirstFit((1 / 3, 1 / 2))
+        assert algo.class_of(0.1) == 0
+        assert algo.class_of(1 / 3) == 0  # boundary goes to the lower class
+        assert algo.class_of(0.4) == 1
+        assert algo.class_of(0.5) == 1
+        assert algo.class_of(0.9) == 2
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            HybridFirstFit((0.5, 0.5))
+        with pytest.raises(ValueError):
+            HybridFirstFit((0.5, 0.3))
+        with pytest.raises(ValueError):
+            HybridFirstFit((0.0,))
+        with pytest.raises(ValueError):
+            HybridFirstFit((1.0,))
+
+    def test_no_thresholds_degenerates_to_first_fit(self):
+        items = ItemList(
+            [Item(i, 0.15 + 0.1 * (i % 7), (i % 4) * 0.5, (i % 4) * 0.5 + 2) for i in range(30)]
+        )
+        hff = run_packing(items, HybridFirstFit(()))
+        ff = run_packing(items, FirstFit())
+        assert hff.item_bin == ff.item_bin
+
+
+class TestHybridFirstFit:
+    def test_classes_never_share_bins(self):
+        items = ItemList(
+            [
+                Item(0, 0.1, 0.0, 10.0),  # small class
+                Item(1, 0.6, 0.0, 10.0),  # large class → separate bin
+                Item(2, 0.1, 1.0, 2.0),   # small → joins item 0's bin
+            ]
+        )
+        result = run_packing(items, HybridFirstFit((0.5,)))
+        assert result.item_bin[0] == result.item_bin[2]
+        assert result.item_bin[1] != result.item_bin[0]
+
+    def test_first_fit_within_class(self):
+        items = ItemList(
+            [
+                Item(0, 0.2, 0.0, 10.0),  # small bin A
+                Item(1, 0.9, 0.0, 10.0),  # large bin B
+                Item(2, 0.9, 0.0, 10.0),  # large bin C
+                Item(3, 0.2, 1.0, 2.0),   # small: earliest small bin = A
+            ]
+        )
+        result = run_packing(items, HybridFirstFit((0.5,)))
+        assert result.item_bin[3] == result.item_bin[0]
+
+    def test_may_use_more_bins_than_plain_ff(self):
+        # the price of classification: a small item can't use a large bin
+        items = ItemList(
+            [Item(0, 0.6, 0.0, 10.0), Item(1, 0.2, 0.0, 10.0)]
+        )
+        hff = run_packing(items, HybridFirstFit((0.5,)))
+        ff = run_packing(items, FirstFit())
+        assert ff.num_bins == 1
+        assert hff.num_bins == 2
+
+
+class TestClassifiedNextFit:
+    def test_next_fit_within_class(self):
+        items = ItemList(
+            [
+                Item(0, 0.3, 0.0, 10.0),  # small, bin 0 available for class 0
+                Item(1, 0.3, 0.0, 10.0),  # joins bin 0
+                Item(2, 0.3, 0.0, 10.0),  # joins bin 0 (0.9)
+                Item(3, 0.3, 0.0, 10.0),  # misses → bin 1; bin 0 retired
+                Item(4, 0.2, 1.0, 2.0),   # fits bin 0 but retired → bin 1
+            ]
+        )
+        result = run_packing(items, ClassifiedNextFit((0.5,)))
+        assert result.item_bin[0] == result.item_bin[1] == result.item_bin[2] == 0
+        assert result.item_bin[3] == 1
+        assert result.item_bin[4] == 1
+
+    def test_classes_have_independent_available_bins(self):
+        items = ItemList(
+            [
+                Item(0, 0.3, 0.0, 10.0),  # small class → bin 0
+                Item(1, 0.8, 0.0, 10.0),  # large class → bin 1
+                Item(2, 0.3, 1.0, 2.0),   # small available is still bin 0
+            ]
+        )
+        result = run_packing(items, ClassifiedNextFit((0.5,)))
+        assert result.item_bin[2] == 0
+
+    def test_reset_between_runs(self):
+        items = ItemList([Item(i, 0.4, 0.0, 2.0) for i in range(6)])
+        algo = ClassifiedNextFit((0.5,))
+        r1 = run_packing(items, algo)
+        r2 = run_packing(items, algo)
+        assert r1.item_bin == r2.item_bin

@@ -1,0 +1,88 @@
+"""Tests for First Fit — the paper's algorithm (Section III-B)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFit
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+
+from ..conftest import item_lists
+
+
+class TestFirstFitPlacement:
+    def test_earliest_opened_bin_preferred(self):
+        # two bins open; a small item must go to bin 0 even though bin 1
+        # is emptier
+        items = [
+            Item(0, 0.7, 0.0, 10.0),  # bin 0
+            Item(1, 0.7, 0.0, 10.0),  # bin 1 (doesn't fit bin 0)
+            Item(2, 0.2, 1.0, 2.0),   # fits both → must take bin 0
+        ]
+        result = run_packing(items, FirstFit())
+        assert result.item_bin[2] == 0
+
+    def test_skips_full_earlier_bins(self):
+        items = [
+            Item(0, 0.9, 0.0, 10.0),  # bin 0 nearly full
+            Item(1, 0.2, 0.0, 10.0),  # doesn't fit bin 0 → bin 1
+            Item(2, 0.2, 1.0, 2.0),   # fits bin 1 only
+        ]
+        result = run_packing(items, FirstFit())
+        assert result.item_bin[1] == 1
+        assert result.item_bin[2] == 1
+
+    def test_opens_new_bin_only_when_necessary(self):
+        items = [Item(i, 0.25, 0.0, 10.0) for i in range(8)]
+        result = run_packing(items, FirstFit())
+        assert result.num_bins == 2  # 4 × 0.25 per bin
+
+    def test_reuses_space_after_departure(self):
+        items = [
+            Item(0, 0.6, 0.0, 10.0),
+            Item(1, 0.4, 0.0, 2.0),   # fills bin 0
+            Item(2, 0.4, 3.0, 5.0),   # item 1 gone → fits bin 0 again
+        ]
+        result = run_packing(items, FirstFit())
+        assert result.num_bins == 1
+
+    def test_paper_example_two_bins(self, simple_items):
+        result = run_packing(simple_items, FirstFit())
+        # 0.6 → bin0; 0.5 doesn't fit → bin1; 0.4 fits bin0 after nothing
+        # departed? level 0.6+0.4=1.0 fits exactly
+        assert result.item_bin == {0: 0, 1: 1, 2: 0}
+
+
+class TestFirstFitAnyFitProperty:
+    @given(item_lists(max_items=30))
+    @settings(max_examples=60, deadline=None)
+    def test_never_opens_bin_when_one_fits(self, items):
+        """The defining Any Fit property, checked at every arrival."""
+        failures = []
+
+        class Watch(FirstFit):
+            def choose_bin(self, state, size):
+                target = super().choose_bin(state, size)
+                if target is None and state.open_bins_fitting(size):
+                    failures.append(size)
+                return target
+
+        run_packing(items, Watch())
+        assert failures == []
+
+    @given(item_lists(max_items=30))
+    @settings(max_examples=60, deadline=None)
+    def test_chooses_lowest_index_fitting(self, items):
+        chosen = []
+
+        class Watch(FirstFit):
+            def choose_bin(self, state, size):
+                target = super().choose_bin(state, size)
+                fitting = state.open_bins_fitting(size)
+                if target is not None:
+                    chosen.append((target.index, min(b.index for b in fitting)))
+                return target
+
+        run_packing(items, Watch())
+        for actual, expected in chosen:
+            assert actual == expected

@@ -1,0 +1,53 @@
+"""Tests for the Harmonic(k) classification constructor."""
+
+import pytest
+
+from repro.algorithms.classified import ClassifiedNextFit
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+
+
+class TestHarmonicConstructor:
+    def test_thresholds_are_harmonic(self):
+        algo = ClassifiedNextFit.harmonic(4)
+        assert algo.thresholds == pytest.approx((1 / 4, 1 / 3, 1 / 2))
+        assert algo.num_classes == 4
+
+    def test_k1_single_class(self):
+        algo = ClassifiedNextFit.harmonic(1)
+        assert algo.thresholds == ()
+        assert algo.num_classes == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ClassifiedNextFit.harmonic(0)
+
+    def test_class_boundaries_align_with_fit_counts(self):
+        """Items of class i (size in (1/(i+1), 1/i]) fit exactly i per bin."""
+        algo = ClassifiedNextFit.harmonic(4)
+        # class indexing: class 0 = sizes ≤ 1/4, class 3 = sizes > 1/2
+        assert algo.class_of(0.26) == 1  # (1/4, 1/3]: three per bin
+        assert algo.class_of(1 / 3) == 1
+        assert algo.class_of(0.34) == 2  # (1/3, 1/2]: two per bin
+        assert algo.class_of(0.51) == 3  # (1/2, 1]: one per bin
+
+    def test_harmonic_packs_classes_separately(self):
+        items = ItemList(
+            [
+                Item(0, 0.30, 0.0, 10.0),  # class (1/4, 1/3]
+                Item(1, 0.60, 0.0, 10.0),  # class (1/2, 1]
+                Item(2, 0.30, 1.0, 9.0),   # same class as item 0
+            ]
+        )
+        result = run_packing(items, ClassifiedNextFit.harmonic(4))
+        assert result.item_bin[0] == result.item_bin[2]
+        assert result.item_bin[1] != result.item_bin[0]
+
+    def test_three_per_bin_for_third_class(self):
+        # four items of size 0.3: Next Fit within the class fills a bin
+        # with three, then opens a second
+        items = ItemList([Item(i, 0.3, 0.0, 5.0) for i in range(4)])
+        result = run_packing(items, ClassifiedNextFit.harmonic(4))
+        assert result.num_bins == 2
+        first_bin = [i for i, b in result.item_bin.items() if b == 0]
+        assert len(first_bin) == 3

@@ -1,0 +1,63 @@
+"""Tests for Next Fit (Section VIII semantics)."""
+
+import pytest
+
+from repro.algorithms import FirstFit, NextFit
+from repro.core.items import Item
+from repro.core.packing import run_packing
+from repro.workloads.adversarial import next_fit_lower_bound
+
+
+class TestNextFitSemantics:
+    def test_single_available_bin(self):
+        items = [
+            Item(0, 0.6, 0.0, 10.0),  # bin 0 (available)
+            Item(1, 0.6, 0.0, 10.0),  # misses bin 0 → bin 1, bin 0 retired
+            Item(2, 0.2, 1.0, 2.0),   # fits bin 0 but it's unavailable → bin 1
+        ]
+        result = run_packing(items, NextFit())
+        assert result.item_bin == {0: 0, 1: 1, 2: 1}
+
+    def test_retired_bins_never_reused(self):
+        items = [
+            Item(0, 0.9, 0.0, 10.0),   # bin 0
+            Item(1, 0.9, 0.0, 10.0),   # bin 1; bin 0 retired
+            Item(2, 0.9, 0.0, 10.0),   # bin 2; bin 1 retired
+            Item(3, 0.05, 1.0, 2.0),   # fits all, only bin 2 available
+        ]
+        result = run_packing(items, NextFit())
+        assert result.item_bin[3] == 2
+
+    def test_closed_available_bin_triggers_new(self):
+        items = [
+            Item(0, 0.5, 0.0, 1.0),   # bin 0 opens, closes at 1
+            Item(1, 0.1, 2.0, 3.0),   # bin 0 closed → new bin 1
+        ]
+        result = run_packing(items, NextFit())
+        assert result.item_bin[1] == 1
+        assert result.num_bins == 2
+
+    def test_paper_construction_exact_cost(self):
+        """Section VIII: NF pays exactly nµ on the pair construction."""
+        for n, mu in [(4, 2.0), (8, 4.0), (16, 3.0)]:
+            inst = next_fit_lower_bound(n, mu)
+            result = run_packing(inst, NextFit())
+            assert result.num_bins == n
+            assert result.total_usage_time == pytest.approx(n * mu)
+
+    def test_ff_beats_nf_on_construction(self):
+        inst = next_fit_lower_bound(16, 8.0)
+        nf = run_packing(inst, NextFit())
+        ff = run_packing(inst, FirstFit())
+        assert ff.total_usage_time < nf.total_usage_time
+
+    def test_nf_is_not_any_fit(self):
+        """NF opens a new bin even when a (retired) open bin could fit."""
+        items = [
+            Item(0, 0.6, 0.0, 10.0),
+            Item(1, 0.6, 0.0, 10.0),  # bin 1; bin 0 retired but open
+            Item(2, 0.6, 1.0, 2.0),   # misses bin 1 → bin 2 (bin0 would fit? no: 0.6+0.6>1)
+            Item(3, 0.3, 1.5, 2.5),   # fits bin 0 (0.6) but NF uses available bin 2
+        ]
+        result = run_packing(items, NextFit())
+        assert result.item_bin[3] == 2

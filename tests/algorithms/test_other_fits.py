@@ -1,0 +1,97 @@
+"""Tests for Worst Fit, Last Fit, Random Fit."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import LastFit, RandomFit, WorstFit
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+
+from ..conftest import item_lists
+
+
+class TestWorstFit:
+    def test_prefers_emptiest(self):
+        items = [
+            Item(0, 0.7, 0.0, 10.0),
+            Item(1, 0.4, 0.0, 10.0),  # bin 1 (doesn't fit bin 0)
+            Item(2, 0.2, 1.0, 2.0),   # fits both → WF takes bin 1 (emptier)
+        ]
+        result = run_packing(items, WorstFit())
+        assert result.item_bin[2] == 1
+
+    def test_tie_breaks_to_earliest(self):
+        items = [
+            Item(0, 0.6, 0.0, 10.0),
+            Item(1, 0.6, 0.0, 10.0),
+            Item(2, 0.2, 1.0, 2.0),
+        ]
+        result = run_packing(items, WorstFit())
+        assert result.item_bin[2] == 0
+
+
+class TestLastFit:
+    def test_prefers_latest_opened(self):
+        items = [
+            Item(0, 0.5, 0.0, 10.0),
+            Item(1, 0.6, 0.0, 10.0),  # bin 1
+            Item(2, 0.2, 1.0, 2.0),   # fits both → LF takes bin 1
+        ]
+        result = run_packing(items, LastFit())
+        assert result.item_bin[2] == 1
+
+    def test_skips_infeasible_latest(self):
+        items = [
+            Item(0, 0.5, 0.0, 10.0),
+            Item(1, 0.95, 0.0, 10.0),  # bin 1 nearly full
+            Item(2, 0.2, 1.0, 2.0),    # doesn't fit bin 1 → bin 0
+        ]
+        result = run_packing(items, LastFit())
+        assert result.item_bin[2] == 0
+
+
+class TestRandomFit:
+    def test_deterministic_given_seed(self):
+        items = ItemList(
+            [Item(i, 0.2, (i % 5) * 0.1, (i % 5) * 0.1 + 2) for i in range(30)]
+        )
+        r1 = run_packing(items, RandomFit(seed=7))
+        r2 = run_packing(items, RandomFit(seed=7))
+        assert r1.item_bin == r2.item_bin
+
+    def test_different_seeds_can_differ(self):
+        # two half-full long-lived bins + a stream of tiny items, each of
+        # which has a genuine two-way choice
+        items = ItemList(
+            [Item(0, 0.6, 0.0, 100.0), Item(1, 0.6, 0.0, 100.0)]
+            + [Item(2 + i, 0.02, 1.0 + i, 2.0 + i) for i in range(10)]
+        )
+        outcomes = {
+            tuple(sorted(run_packing(items, RandomFit(seed=s)).item_bin.items()))
+            for s in range(8)
+        }
+        assert len(outcomes) > 1
+
+    def test_reset_restores_stream(self):
+        """reset() must re-seed so back-to-back runs agree."""
+        items = ItemList([Item(i, 0.2, 0.0, 2.0) for i in range(20)])
+        algo = RandomFit(seed=3)
+        r1 = run_packing(items, algo)
+        r2 = run_packing(items, algo)  # same object, driver resets it
+        assert r1.item_bin == r2.item_bin
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=40, deadline=None)
+    def test_random_fit_is_any_fit(self, items):
+        """Random Fit never opens a bin while one fits."""
+        failures = []
+
+        class Watch(RandomFit):
+            def choose_bin(self, state, size):
+                target = super().choose_bin(state, size)
+                if target is None and state.open_bins_fitting(size):
+                    failures.append(size)
+                return target
+
+        run_packing(items, Watch(seed=1))
+        assert failures == []

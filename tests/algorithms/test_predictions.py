@@ -1,0 +1,101 @@
+"""Tests for learning-augmented (predicted-departure) packing."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import DepartureAlignedFit, FirstFit, PredictedDepartureFit
+from repro.algorithms.predictions import LogNormalPredictor
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.workloads.random_workloads import poisson_workload
+
+from ..conftest import item_lists
+
+
+class TestPredictor:
+    def test_zero_noise_exact(self):
+        p = LogNormalPredictor(0.0)
+        it = Item(3, 0.5, 1.0, 5.0)
+        assert p.predict_duration(it) == 4.0
+        assert p.predict_departure(it) == 5.0
+
+    def test_deterministic_per_item(self):
+        p = LogNormalPredictor(0.7, seed=9)
+        it = Item(3, 0.5, 1.0, 5.0)
+        assert p.predict_duration(it) == p.predict_duration(it)
+
+    def test_different_items_differ(self):
+        p = LogNormalPredictor(0.7, seed=9)
+        a = p.predict_duration(Item(1, 0.5, 0.0, 4.0))
+        b = p.predict_duration(Item(2, 0.5, 0.0, 4.0))
+        assert a != b
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalPredictor(-0.1)
+
+    def test_predictions_positive(self):
+        p = LogNormalPredictor(2.0, seed=1)
+        for i in range(50):
+            assert p.predict_duration(Item(i, 0.1, 0.0, 3.0)) > 0
+
+
+class TestPredictedDepartureFit:
+    def test_zero_sigma_matches_oracle(self):
+        """Consistency: a perfect predictor reproduces the clairvoyant
+        policy's placements exactly."""
+        for seed in (1, 2, 3):
+            inst = poisson_workload(60, seed=seed, mu_target=6.0, arrival_rate=3.0)
+            pred = run_packing(inst, PredictedDepartureFit(sigma=0.0))
+            oracle = run_packing(inst, DepartureAlignedFit())
+            assert pred.item_bin == oracle.item_bin
+
+    def test_any_fit_property(self):
+        """Never opens a bin while one fits (robustness floor)."""
+        inst = poisson_workload(60, seed=5, mu_target=6.0, arrival_rate=3.0)
+        opened_badly = []
+
+        class Watch(PredictedDepartureFit):
+            def choose_bin_clairvoyant(self, state, item):
+                target = super().choose_bin_clairvoyant(state, item)
+                if target is None and state.open_bins_fitting(item.size):
+                    opened_badly.append(item.item_id)
+                return target
+
+        run_packing(inst, Watch(sigma=1.5, seed=2))
+        assert opened_badly == []
+
+    def test_deterministic_given_seed(self):
+        inst = poisson_workload(50, seed=7, mu_target=4.0, arrival_rate=2.0)
+        a = run_packing(inst, PredictedDepartureFit(sigma=0.8, seed=3))
+        b = run_packing(inst, PredictedDepartureFit(sigma=0.8, seed=3))
+        assert a.item_bin == b.item_bin
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_packing_any_noise(self, items):
+        result = run_packing(items, PredictedDepartureFit(sigma=1.0, seed=0))
+        assert set(result.item_bin) == {it.item_id for it in items}
+        assert result.total_usage_time >= items.span - 1e-7
+
+    def test_noise_degrades_toward_first_fit(self):
+        """Averaged over instances, more noise is never much better than
+        less, and the noisy policy stays within the FF/oracle envelope
+        up to a small tolerance."""
+        import numpy as np
+
+        instances = [
+            poisson_workload(60, seed=100 + s, mu_target=8.0, arrival_rate=3.0)
+            for s in range(6)
+        ]
+
+        def mean_cost(algo_factory):
+            return float(
+                np.mean(
+                    [run_packing(i, algo_factory()).total_usage_time for i in instances]
+                )
+            )
+
+        oracle = mean_cost(DepartureAlignedFit)
+        noisy = mean_cost(lambda: PredictedDepartureFit(sigma=2.0, seed=1))
+        assert noisy >= oracle - 1e-9

@@ -1,0 +1,46 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.algorithms import ALGORITHM_REGISTRY, make_algorithm
+from repro.algorithms.base import AnyFitAlgorithm, PackingAlgorithm
+
+
+class TestRegistry:
+    def test_all_entries_construct(self):
+        for name in ALGORITHM_REGISTRY:
+            algo = make_algorithm(name)
+            assert isinstance(algo, PackingAlgorithm)
+            assert algo.name == name
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="first-fit"):
+            make_algorithm("nope")
+
+    def test_expected_algorithms_present(self):
+        expected = {
+            "first-fit",
+            "best-fit",
+            "worst-fit",
+            "last-fit",
+            "random-fit",
+            "two-choice-fit",
+            "next-fit",
+            "hybrid-first-fit",
+            "classified-next-fit",
+        }
+        assert expected == set(ALGORITHM_REGISTRY)
+
+    def test_any_fit_membership(self):
+        """Exactly the Any Fit family subclasses AnyFitAlgorithm."""
+        any_fit = {
+            name
+            for name in ALGORITHM_REGISTRY
+            if isinstance(make_algorithm(name), AnyFitAlgorithm)
+        }
+        assert any_fit == {"first-fit", "best-fit", "worst-fit", "last-fit", "random-fit", "two-choice-fit"}
+
+    def test_factories_return_fresh_instances(self):
+        a = make_algorithm("next-fit")
+        b = make_algorithm("next-fit")
+        assert a is not b

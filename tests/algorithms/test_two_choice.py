@@ -1,0 +1,83 @@
+"""Tests for the power-of-two-choices policy."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import BestFit, RandomFit, TwoChoiceFit
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.workloads.random_workloads import poisson_workload
+
+from ..conftest import item_lists
+
+
+class TestTwoChoiceFit:
+    def test_single_candidate_forced(self):
+        items = ItemList([Item(0, 0.6, 0.0, 2.0), Item(1, 0.3, 0.5, 1.5)])
+        result = run_packing(items, TwoChoiceFit(seed=1))
+        assert result.item_bin[1] == 0
+
+    def test_picks_fuller_of_two(self):
+        # exactly two feasible bins: the probe must hit both, pick fuller
+        items = ItemList(
+            [
+                Item(0, 0.7, 0.0, 10.0),
+                Item(1, 0.5, 0.0, 10.0),
+                Item(2, 0.2, 1.0, 2.0),
+            ]
+        )
+        result = run_packing(items, TwoChoiceFit(seed=3))
+        assert result.item_bin[2] == 0  # 0.7 > 0.5
+
+    def test_deterministic_given_seed(self):
+        items = poisson_workload(60, seed=4)
+        a = run_packing(items, TwoChoiceFit(seed=9))
+        b = run_packing(items, TwoChoiceFit(seed=9))
+        assert a.item_bin == b.item_bin
+
+    def test_tie_breaks_to_earlier_bin(self):
+        items = ItemList(
+            [
+                Item(0, 0.6, 0.0, 10.0),
+                Item(1, 0.6, 0.0, 10.0),
+                Item(2, 0.2, 1.0, 2.0),
+            ]
+        )
+        result = run_packing(items, TwoChoiceFit(seed=0))
+        assert result.item_bin[2] == 0
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=40, deadline=None)
+    def test_is_any_fit(self, items):
+        opened_badly = []
+
+        class Watch(TwoChoiceFit):
+            def choose_bin(self, state, size):
+                target = super().choose_bin(state, size)
+                if target is None and state.open_bins_fitting(size):
+                    opened_badly.append(size)
+                return target
+
+        run_packing(items, Watch(seed=2))
+        assert opened_badly == []
+
+    def test_between_random_and_best_fit_on_average(self):
+        """Two probes recover part of Best Fit's consolidation:
+        averaged cost ordering BF ≤ 2-choice ≤ Random (tolerances for
+        sampling noise)."""
+        import numpy as np
+
+        costs = {"bf": [], "two": [], "rand": []}
+        for seed in range(10):
+            inst = poisson_workload(80, seed=200 + seed, mu_target=6.0,
+                                    arrival_rate=4.0)
+            costs["bf"].append(run_packing(inst, BestFit()).total_usage_time)
+            costs["two"].append(
+                run_packing(inst, TwoChoiceFit(seed=seed)).total_usage_time
+            )
+            costs["rand"].append(
+                run_packing(inst, RandomFit(seed=seed)).total_usage_time
+            )
+        bf, two, rand = (float(np.mean(costs[k])) for k in ("bf", "two", "rand"))
+        assert two <= rand * 1.02
+        assert bf <= two * 1.05

@@ -1,0 +1,69 @@
+"""Tests for the Section VII amortised-level accounting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFit
+from repro.analysis.amortization import amortization_report, bin_demand_over
+from repro.core.intervals import Interval
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.workloads.random_workloads import poisson_workload
+
+from ..conftest import item_lists
+
+
+class TestBinDemandOver:
+    def test_full_overlap(self):
+        items = ItemList([Item(0, 0.5, 0.0, 2.0)])
+        result = run_packing(items, FirstFit())
+        assert bin_demand_over(result.bins[0], Interval(0.0, 2.0)) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        items = ItemList([Item(0, 0.5, 0.0, 2.0)])
+        result = run_packing(items, FirstFit())
+        assert bin_demand_over(result.bins[0], Interval(1.0, 5.0)) == pytest.approx(0.5)
+
+    def test_disjoint_window(self):
+        items = ItemList([Item(0, 0.5, 0.0, 2.0)])
+        result = run_packing(items, FirstFit())
+        assert bin_demand_over(result.bins[0], Interval(3.0, 4.0)) == 0.0
+
+    def test_multiple_items_sum(self):
+        items = ItemList([Item(0, 0.5, 0.0, 2.0), Item(1, 0.3, 1.0, 3.0)])
+        result = run_packing(items, FirstFit())
+        # over [0,3): 0.5·2 + 0.3·2 = 1.6
+        assert bin_demand_over(result.bins[0], Interval(0.0, 3.0)) == pytest.approx(1.6)
+
+
+class TestInequalityZeroAndThree:
+    def test_holds_on_dense_random_suite(self):
+        for seed in range(10):
+            inst = poisson_workload(90, seed=seed, mu_target=6.0, arrival_rate=4.0)
+            result = run_packing(inst, FirstFit())
+            for ga in amortization_report(result):
+                assert ga.holds, (
+                    f"seed {seed}: measured {ga.measured_level_openers} < "
+                    f"required {ga.required_level}"
+                )
+
+    @given(item_lists(max_items=35, max_size=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_holds_property(self, items):
+        result = run_packing(items, FirstFit())
+        for ga in amortization_report(result):
+            assert ga.holds
+
+    def test_full_demand_dominates_openers(self):
+        inst = poisson_workload(80, seed=3, mu_target=5.0, arrival_rate=4.0)
+        result = run_packing(inst, FirstFit())
+        for ga in amortization_report(result):
+            assert ga.own_demand_full >= ga.own_demand_openers - 1e-9
+            assert ga.measured_level_full >= ga.measured_level_openers - 1e-9
+
+    def test_required_level_is_one_over_mu_plus_three(self):
+        inst = poisson_workload(60, seed=5, mu_target=4.0, arrival_rate=3.0)
+        result = run_packing(inst, FirstFit())
+        report = amortization_report(result)
+        if report:
+            assert report[0].required_level == pytest.approx(1.0 / (inst.mu + 3.0))

@@ -1,0 +1,56 @@
+"""Tests for resource augmentation analysis."""
+
+import pytest
+
+from repro.algorithms import FirstFit, NextFit
+from repro.analysis.augmentation import augment_capacity, augmented_ratio
+from repro.core.items import Item, ItemList
+from repro.opt.opt_total import opt_total
+from repro.workloads.adversarial import next_fit_lower_bound
+
+
+class TestAugmentCapacity:
+    def test_capacity_scaled(self):
+        items = ItemList([Item(0, 0.5, 0, 1)])
+        assert augment_capacity(items, 0.5).capacity == pytest.approx(1.5)
+
+    def test_items_unchanged(self):
+        items = ItemList([Item(0, 0.5, 0, 1), Item(1, 0.9, 2, 4)])
+        aug = augment_capacity(items, 1.0)
+        assert [(it.size, it.arrival, it.departure) for it in aug] == [
+            (it.size, it.arrival, it.departure) for it in items
+        ]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            augment_capacity(ItemList([Item(0, 0.5, 0, 1)]), -0.1)
+
+
+class TestAugmentedRatio:
+    def test_zero_epsilon_is_plain_ratio(self):
+        items = next_fit_lower_bound(8, 4.0)
+        opt = opt_total(items)
+        plain = 8 * 4.0 / opt.lower
+        assert augmented_ratio(items, NextFit(), 0.0, opt=opt) == pytest.approx(plain)
+
+    def test_nextfit_gadget_collapses(self):
+        """Once ε ≥ 2/n the §VIII pairs share bins and NF improves a lot."""
+        n = 8
+        items = next_fit_lower_bound(n, 4.0)
+        opt = opt_total(items)
+        r0 = augmented_ratio(items, NextFit(), 0.0, opt=opt)
+        r_big = augmented_ratio(items, NextFit(), 0.5, opt=opt)
+        assert r_big < r0 / 1.5
+
+    def test_can_beat_unit_opt_with_enough_capacity(self):
+        # two conflicting unit-duration items share one double bin
+        items = ItemList([Item(0, 0.8, 0.0, 2.0), Item(1, 0.8, 0.0, 2.0)])
+        opt = opt_total(items)  # = 4 (two bins, two hours)
+        r = augmented_ratio(items, FirstFit(), 1.0, opt=opt)
+        assert r == pytest.approx(2.0 / 4.0)
+
+    def test_shares_opt_across_sweep(self):
+        items = next_fit_lower_bound(6, 3.0)
+        opt = opt_total(items)
+        rs = [augmented_ratio(items, NextFit(), e, opt=opt) for e in (0.0, 0.25, 1.0)]
+        assert rs[0] >= rs[1] >= 0  # gadget-specific monotone prefix

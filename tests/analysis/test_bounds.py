@@ -1,0 +1,57 @@
+"""Tests for the analytic bounds table."""
+
+import pytest
+
+from repro.analysis.bounds import KNOWN_BOUNDS, bounds_table, theorem1_upper_bound
+
+
+class TestTheorem1Bound:
+    def test_value(self):
+        assert theorem1_upper_bound(1.0) == 5.0
+        assert theorem1_upper_bound(10.0) == 14.0
+
+    def test_mu_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            theorem1_upper_bound(0.5)
+
+
+class TestKnownBounds:
+    def by_name(self):
+        return {b.algorithm: b for b in KNOWN_BOUNDS}
+
+    def test_first_fit_gap_is_constant(self):
+        """The paper's contribution: FF's upper−lower gap is 3, ∀µ."""
+        ff = self.by_name()["first-fit"]
+        for mu in (1.0, 2.0, 7.0, 100.0):
+            assert ff.upper_at(mu) - ff.lower_at(mu) == pytest.approx(3.0)
+
+    def test_first_fit_upper_has_unit_mu_factor(self):
+        """First known bound with multiplicative factor 1 for µ."""
+        ff = self.by_name()["first-fit"]
+        assert ff.upper_at(101.0) - ff.upper_at(100.0) == pytest.approx(1.0)
+
+    def test_next_fit_bracket(self):
+        nf = self.by_name()["next-fit"]
+        for mu in (2.0, 8.0):
+            assert nf.lower_at(mu) == pytest.approx(2 * mu)
+            assert nf.upper_at(mu) == pytest.approx(2 * mu + 1)
+
+    def test_next_fit_worse_than_first_fit_asymptotically(self):
+        """Section VIII's point: NF's lower bound exceeds FF's upper
+        bound for large µ."""
+        d = self.by_name()
+        assert d["next-fit"].lower_at(10.0) > d["first-fit"].upper_at(10.0)
+
+    def test_best_fit_unbounded(self):
+        assert self.by_name()["best-fit"].lower_at(3.0) == float("inf")
+
+    def test_universal_lower_bound_below_ff(self):
+        d = self.by_name()
+        for mu in (1.0, 4.0, 16.0):
+            assert d["any online algorithm"].lower_at(mu) <= d["first-fit"].lower_at(mu)
+
+    def test_table_renders(self):
+        text = bounds_table(8.0)
+        assert "first-fit" in text
+        assert "12.00" in text  # µ+4 at µ=8
+        assert "unbounded" in text

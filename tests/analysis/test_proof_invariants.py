@@ -1,0 +1,121 @@
+"""Property-based verification of the paper's propositions and lemmas.
+
+These are the F5/F6- and P*-level reproduction tests: on randomized and
+adversarial First Fit runs, every structural claim of Sections IV–VII
+must hold — Propositions 3–6, Lemma 2's non-intersection (under the
+reconstructed constants), and the closed-form Theorem-1 chain
+``FF_total ≤ (µ+3)·TS + span``.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFit
+from repro.analysis.verification import theorem1_slack, verify_analysis
+from repro.core.packing import run_packing
+from repro.opt.opt_total import opt_total
+from repro.workloads.adversarial import (
+    anyfit_pressure,
+    best_fit_staircase,
+    next_fit_lower_bound,
+    universal_lower_bound,
+)
+from repro.workloads.random_workloads import batch_workload, poisson_workload
+
+from ..conftest import item_lists
+
+
+def ff(items):
+    return run_packing(items, FirstFit())
+
+
+class TestPropositionsOnRandomInstances:
+    @given(item_lists(max_items=40, max_size=0.95))
+    @settings(max_examples=80, deadline=None)
+    def test_all_checks_pass(self, items):
+        report = verify_analysis(ff(items))
+        assert report.ok, [f"{v.check}: {v.context}: {v.detail}" for v in report.violations]
+
+    @given(item_lists(max_items=40, max_size=0.95, max_mu=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_small_mu_regime(self, items):
+        """µ < 2 is where wrong constant reconstructions break Lemma 2."""
+        report = verify_analysis(ff(items))
+        assert not report.failures("lemma2")
+
+    @given(item_lists(max_items=40, min_size=0.02, max_size=0.45))
+    @settings(max_examples=40, deadline=None)
+    def test_all_small_items(self, items):
+        """All-small instances maximise l-subperiod structure."""
+        report = verify_analysis(ff(items))
+        assert report.ok, [f"{v.check}: {v.detail}" for v in report.violations]
+
+    @given(item_lists(max_items=30, min_size=0.5, max_size=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_all_large_items(self, items):
+        """No small items → no l-subperiods, all V time is h-subperiods."""
+        report = verify_analysis(ff(items))
+        assert report.ok
+        assert report.num_l_subperiods == 0
+
+
+class TestPropositionsOnAdversarialInstances:
+    @pytest.mark.parametrize(
+        "items",
+        [
+            next_fit_lower_bound(8, 4.0),
+            next_fit_lower_bound(16, 2.0),
+            universal_lower_bound(10, 6.0),
+            universal_lower_bound(20, 2.0),
+            best_fit_staircase(12, 5.0),
+            best_fit_staircase(24, 16.0),
+            anyfit_pressure(3, 8, 4.0),
+        ],
+        ids=["nf8", "nf16", "univ10", "univ20", "stair12", "stair24", "pressure"],
+    )
+    def test_all_checks_pass(self, items):
+        report = verify_analysis(ff(items))
+        assert report.ok, [f"{v.check}: {v.detail}" for v in report.violations]
+
+    def test_dense_random_suite(self):
+        for seed in range(12):
+            inst = poisson_workload(120, seed=seed, mu_target=8.0, arrival_rate=5.0)
+            report = verify_analysis(ff(inst))
+            assert report.ok, (seed, [v.check for v in report.violations])
+
+    def test_batch_suite(self):
+        for seed in range(8):
+            inst = batch_workload(6, 10, seed=seed, mu_target=6.0)
+            report = verify_analysis(ff(inst))
+            assert report.ok, (seed, [v.check for v in report.violations])
+
+
+class TestTheorem1:
+    """The headline: FF_total ≤ (µ+4)·OPT_total."""
+
+    @given(item_lists(max_items=16))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem1_bound_property(self, items):
+        result = ff(items)
+        opt = opt_total(items)
+        assert theorem1_slack(result, opt.lower) >= -1e-7
+
+    @pytest.mark.parametrize("mu", [1.5, 2.0, 4.0, 8.0, 16.0])
+    def test_theorem1_on_adversarial(self, mu):
+        for inst in (universal_lower_bound(16, mu), next_fit_lower_bound(12, mu)):
+            result = ff(inst)
+            opt = opt_total(inst)
+            assert theorem1_slack(result, opt.lower) >= -1e-7
+
+    @given(item_lists(max_items=40, max_size=0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_closed_form_chain(self, items):
+        """FF_total ≤ (µ+3)·time-space + span — no OPT solver needed."""
+        report = verify_analysis(ff(items), check_lemma2=False)
+        assert report.closed_form_slack >= -1e-7
+
+    def test_closed_form_chain_heavy(self):
+        for seed in range(6):
+            inst = poisson_workload(250, seed=seed, mu_target=12.0, arrival_rate=6.0)
+            report = verify_analysis(ff(inst), check_lemma2=False)
+            assert report.closed_form_slack >= -1e-7

@@ -1,0 +1,144 @@
+"""Tests for the Section V subperiod machinery (Figure 3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFit
+from repro.analysis.subperiods import (
+    SMALL_ITEM_THRESHOLD,
+    build_subperiods,
+    select_small_items,
+)
+from repro.core.intervals import Interval
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+
+from ..conftest import item_lists
+
+
+def mk(i, arrival, duration=1.0, size=0.1):
+    return Item(i, size, arrival, arrival + duration)
+
+
+class TestSelection:
+    V = Interval(0.0, 100.0)
+
+    def test_empty(self):
+        assert select_small_items([], self.V, window=4.0) == []
+
+    def test_single(self):
+        s = [mk(0, 1.0)]
+        assert select_small_items(s, self.V, 4.0) == s
+
+    def test_picks_last_within_window(self):
+        # from item at t=0, items at 1, 2, 3 are in window 4 → select t=3
+        s = [mk(0, 0.0), mk(1, 1.0), mk(2, 2.0), mk(3, 3.0)]
+        sel = select_small_items(s, self.V, 4.0)
+        assert [it.item_id for it in sel[:2]] == [0, 3]
+
+    def test_window_is_inclusive(self):
+        # item exactly at t=window counts as inside
+        s = [mk(0, 0.0), mk(1, 4.0)]
+        sel = select_small_items(s, self.V, 4.0)
+        assert [it.item_id for it in sel] == [0, 1]
+
+    def test_jumps_to_first_beyond_empty_window(self):
+        s = [mk(0, 0.0), mk(1, 10.0), mk(2, 11.0)]
+        sel = select_small_items(s, self.V, 4.0)
+        # 0 → window (0,4] empty → first after = 10 (selected); from 10 the
+        # window (10,14] holds 11, the last of which is selected too
+        assert [it.item_id for it in sel] == [0, 1, 2]
+
+    def test_termination_near_v_end(self):
+        v = Interval(0.0, 10.0)
+        # selected at t=7 is within window 4 of V's end (10-4=6) → stop
+        s = [mk(0, 0.0), mk(1, 7.0), mk(2, 8.0)]
+        sel = select_small_items(s, v, 4.0)
+        assert [it.item_id for it in sel] == [0, 1]
+
+    def test_termination_last_small(self):
+        v = Interval(0.0, 100.0)
+        s = [mk(0, 0.0), mk(1, 3.0)]
+        sel = select_small_items(s, v, 4.0)
+        assert [it.item_id for it in sel] == [0, 1]
+
+
+class TestBuildSubperiods:
+    def test_no_smalls_all_h(self):
+        # two large items only → V of bin 1 (if any) is all h-subperiod
+        items = ItemList(
+            [Item(0, 0.7, 0.0, 10.0), Item(1, 0.7, 2.0, 4.0)]
+        )
+        result = run_packing(items, FirstFit())
+        subs = build_subperiods(result)
+        bin1 = subs[1]
+        assert bin1.l_subperiods == ()
+        assert len(bin1.h_subperiods) == 1
+        assert bin1.h_subperiods[0].interval == bin1.v
+
+    def test_empty_v_no_subperiods(self):
+        items = ItemList([Item(0, 0.5, 0.0, 3.0)])
+        subs = build_subperiods(run_packing(items, FirstFit()))
+        assert subs[0].v.is_empty
+        assert subs[0].l_subperiods == () and subs[0].h_subperiods == ()
+
+    def test_small_item_opens_l_subperiod(self):
+        # bin 1 opens with a small item while bin 0 is still open
+        items = ItemList(
+            [
+                Item(0, 0.95, 0.0, 10.0),  # bin 0
+                Item(1, 0.1, 1.0, 3.0),    # small, doesn't fit bin 0 → bin 1
+            ]
+        )
+        result = run_packing(items, FirstFit())
+        subs = build_subperiods(result)
+        bin1 = subs[1]
+        assert len(bin1.l_subperiods) == 1
+        x = bin1.l_subperiods[0]
+        assert x.interval.left == 1.0
+        assert x.opener.item_id == 1
+
+    def test_partition_covers_v(self):
+        """l- and h-subperiods partition V_k exactly."""
+        items = ItemList(
+            [
+                Item(0, 0.9, 0.0, 20.0),
+                Item(1, 0.2, 1.0, 3.0),
+                Item(2, 0.2, 2.0, 4.0),
+                Item(3, 0.6, 5.0, 9.0),
+                Item(4, 0.2, 12.0, 14.0),
+            ]
+        )
+        result = run_packing(items, FirstFit())
+        for bsp in build_subperiods(result):
+            total = bsp.total_l + bsp.total_h
+            assert total == pytest.approx(bsp.v.length, abs=1e-9)
+
+    @given(item_lists(max_items=35, max_size=0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, items):
+        """Subperiods always tile V_k, are disjoint, and lie inside V_k."""
+        result = run_packing(items, FirstFit())
+        for bsp in build_subperiods(result):
+            ivs = sorted(
+                [x.interval for x in bsp.l_subperiods]
+                + [y.interval for y in bsp.h_subperiods]
+            )
+            assert sum(iv.length for iv in ivs) == pytest.approx(
+                bsp.v.length, abs=1e-6
+            )
+            for a, b in zip(ivs, ivs[1:]):
+                assert a.right <= b.left + 1e-9  # disjoint
+            for iv in ivs:
+                assert bsp.v.left - 1e-9 <= iv.left
+                assert iv.right <= bsp.v.right + 1e-9
+
+    @given(item_lists(max_items=35, max_size=0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_openers_are_small_items_in_own_bin(self, items):
+        result = run_packing(items, FirstFit())
+        for bsp in build_subperiods(result):
+            bin_items = {it.item_id for it in result.bins[bsp.bin_index].all_items}
+            for x in bsp.l_subperiods:
+                assert x.opener.size < SMALL_ITEM_THRESHOLD
+                assert x.opener.item_id in bin_items

@@ -1,0 +1,103 @@
+"""Tests for supplier bins, pairing and consolidation (Sections V–VI)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFit
+from repro.analysis.supplier import analyze_suppliers
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.workloads.random_workloads import poisson_workload
+
+from ..conftest import item_lists
+
+
+class TestSupplierAssignment:
+    def test_supplier_is_last_opened_lower_index(self):
+        items = ItemList(
+            [
+                Item(0, 0.95, 0.0, 20.0),  # bin 0
+                Item(1, 0.95, 1.0, 20.0),  # bin 1
+                Item(2, 0.1, 2.0, 4.0),    # small → bin 2, supplier = bin 1
+            ]
+        )
+        result = run_packing(items, FirstFit())
+        analysis = analyze_suppliers(result)
+        assert len(analysis.assignments) == 1
+        assert analysis.assignments[0].supplier_index == 1
+
+    def test_supplier_must_be_open_at_left_endpoint(self):
+        items = ItemList(
+            [
+                Item(0, 0.95, 0.0, 3.0),   # bin 0, closes at 3
+                Item(1, 0.95, 1.0, 20.0),  # bin 1
+                Item(2, 0.1, 5.0, 7.0),    # bin 1 has room? 0.95+0.1>1 → bin 2
+            ]
+        )
+        result = run_packing(items, FirstFit())
+        analysis = analyze_suppliers(result)
+        # at t=5 bin 0 is closed; supplier must be bin 1
+        assert analysis.assignments[0].supplier_index == 1
+
+    def test_supplier_level_exceeds_complement(self):
+        """First Fit implies the supplier rejected the opener."""
+        inst = poisson_workload(80, seed=13, mu_target=6.0, arrival_rate=3.0)
+        result = run_packing(inst, FirstFit())
+        analysis = analyze_suppliers(result)
+        for asg in analysis.assignments:
+            t = asg.subperiod.interval.left
+            supplier = result.bins[asg.supplier_index]
+            level = supplier.level_at(t)
+            assert level + asg.subperiod.opener.size > 1.0 - 1e-9
+
+
+class TestGroups:
+    def test_groups_partition_l_subperiods(self):
+        inst = poisson_workload(90, seed=4, mu_target=5.0, arrival_rate=4.0)
+        result = run_packing(inst, FirstFit())
+        analysis = analyze_suppliers(result)
+        from_groups = sum(len(g.members) for g in analysis.groups)
+        assert from_groups == len(analysis.assignments)
+
+    def test_consolidated_members_share_supplier(self):
+        inst = poisson_workload(120, seed=8, mu_target=4.0, arrival_rate=5.0)
+        result = run_packing(inst, FirstFit())
+        analysis = analyze_suppliers(result)
+        by_sub = {
+            (a.subperiod.bin_index, a.subperiod.position): a.supplier_index
+            for a in analysis.assignments
+        }
+        for g in analysis.groups:
+            for m in g.members:
+                assert by_sub[(m.bin_index, m.position)] == g.supplier_index
+
+    def test_supplier_period_contains_member_windows(self):
+        """Lemmas 3–4 containment (by construction, but pinned)."""
+        inst = poisson_workload(100, seed=2, mu_target=5.0, arrival_rate=4.0)
+        result = run_packing(inst, FirstFit())
+        analysis = analyze_suppliers(result)
+        d = analysis.radius_divisor
+        for g in analysis.groups:
+            for m in g.members:
+                r = m.length / d
+                assert g.supplier_period.left <= m.interval.left - r + 1e-9
+                assert m.interval.left + r <= g.supplier_period.right + 1e-9
+
+    def test_pair_requires_growth(self):
+        """Members of a consolidated group grow by more than the pair
+        coefficient between consecutive subperiods."""
+        inst = poisson_workload(150, seed=17, mu_target=3.0, arrival_rate=6.0)
+        result = run_packing(inst, FirstFit())
+        analysis = analyze_suppliers(result)
+        c = analysis.pair_coefficient_used
+        for g in analysis.groups:
+            for a, b in zip(g.members, g.members[1:]):
+                assert b.length > c * a.length
+
+    @given(item_lists(max_items=30, max_size=0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_default_parameters_are_mu_based(self, items):
+        result = run_packing(items, FirstFit())
+        analysis = analyze_suppliers(result)
+        assert analysis.pair_coefficient_used == pytest.approx(items.mu)
+        assert analysis.radius_divisor == pytest.approx(items.mu + 1.0)

@@ -1,0 +1,106 @@
+"""Tests for the Section IV usage-period decomposition (Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import ALGORITHM_REGISTRY, FirstFit, make_algorithm
+from repro.analysis.usage_periods import decompose_usage_periods
+from repro.core.intervals import Interval
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+
+from ..conftest import item_lists
+
+
+def pack(items, algo=None):
+    return run_packing(ItemList(items), algo or FirstFit())
+
+
+class TestDecompositionExamples:
+    def test_single_bin_all_w(self):
+        deco = decompose_usage_periods(pack([Item(0, 0.5, 0.0, 3.0)]))
+        bp = deco.per_bin[0]
+        assert bp.overlapped.is_empty
+        assert bp.exclusive == Interval(0.0, 3.0)
+        assert bp.latest_earlier_close == 0.0  # E_1 = U_1^-
+
+    def test_nested_bin_all_v(self):
+        # bin 1 lives strictly inside bin 0's lifetime → V_2 = U_2, W_2 = ∅
+        deco = decompose_usage_periods(
+            pack([Item(0, 0.7, 0.0, 10.0), Item(1, 0.7, 2.0, 4.0)])
+        )
+        bp = deco.per_bin[1]
+        assert bp.overlapped == Interval(2.0, 4.0)
+        assert bp.exclusive.is_empty
+
+    def test_overhanging_bin_split(self):
+        # bin 1 outlives bin 0: V_2 = [1, 3), W_2 = [3, 5)
+        deco = decompose_usage_periods(
+            pack([Item(0, 0.7, 0.0, 3.0), Item(1, 0.7, 1.0, 5.0)])
+        )
+        bp = deco.per_bin[1]
+        assert bp.overlapped == Interval(1.0, 3.0)
+        assert bp.exclusive == Interval(3.0, 5.0)
+
+    def test_gap_bin_all_w(self):
+        # bin 1 opens after bin 0 closed: E_2 < U_2^- → V_2 empty
+        deco = decompose_usage_periods(
+            pack([Item(0, 0.7, 0.0, 1.0), Item(1, 0.7, 3.0, 5.0)])
+        )
+        bp = deco.per_bin[1]
+        assert bp.overlapped.is_empty
+        assert bp.exclusive == Interval(3.0, 5.0)
+
+    def test_e_k_uses_max_not_last(self):
+        # bin 0 long-lived, bin 1 short: E_3 must be bin 0's closing
+        deco = decompose_usage_periods(
+            pack(
+                [
+                    Item(0, 0.7, 0.0, 10.0),
+                    Item(1, 0.7, 1.0, 2.0),
+                    Item(2, 0.7, 3.0, 5.0),
+                ]
+            )
+        )
+        assert deco.per_bin[2].latest_earlier_close == 10.0
+        assert deco.per_bin[2].overlapped == Interval(3.0, 5.0)
+
+
+class TestEquationOne:
+    """Eq. (1): FF_total = ΣV + span with the W's a partition of the span."""
+
+    @given(item_lists(max_items=35))
+    @settings(max_examples=60, deadline=None)
+    def test_w_disjoint_and_sum_to_span_first_fit(self, items):
+        result = run_packing(items, FirstFit())
+        deco = decompose_usage_periods(result)
+        assert deco.total_w == pytest.approx(items.span, rel=1e-9, abs=1e-7)
+        ws = [bp.exclusive for bp in deco.per_bin if not bp.exclusive.is_empty]
+        for i in range(len(ws)):
+            for j in range(i + 1, len(ws)):
+                assert not ws[i].intersects(ws[j])
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=30, deadline=None)
+    def test_total_identity_holds_for_every_algorithm(self, items):
+        """The decomposition is packing-agnostic (opening-ordered bins)."""
+        for name in ("best-fit", "next-fit", "worst-fit"):
+            result = run_packing(items, make_algorithm(name))
+            deco = decompose_usage_periods(result)
+            assert deco.total_v + deco.span == pytest.approx(
+                result.total_usage_time, rel=1e-9, abs=1e-7
+            )
+
+    @given(item_lists(max_items=30))
+    @settings(max_examples=40, deadline=None)
+    def test_v_is_covered_by_an_earlier_bin(self, items):
+        """Every nonempty V_k lies inside some earlier bin's usage period."""
+        result = run_packing(items, FirstFit())
+        deco = decompose_usage_periods(result)
+        for k, bp in enumerate(deco.per_bin):
+            if bp.overlapped.is_empty:
+                continue
+            assert any(
+                deco.per_bin[j].usage.contains_interval(bp.overlapped)
+                for j in range(k)
+            )

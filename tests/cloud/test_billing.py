@@ -1,0 +1,62 @@
+"""Tests for the billing policies."""
+
+import pytest
+
+from repro.cloud.billing import ContinuousBilling, HourlyBilling, PerSecondBilling
+from repro.core.intervals import Interval
+
+
+class TestContinuous:
+    def test_exact_proportionality(self):
+        b = ContinuousBilling(price_per_hour=2.0)
+        assert b.cost(Interval(1.0, 3.5)) == pytest.approx(5.0)
+        assert b.billed_time(Interval(1.0, 3.5)) == 2.5
+
+    def test_zero_usage(self):
+        assert ContinuousBilling().cost(Interval(1.0, 1.0)) == 0.0
+
+
+class TestHourly:
+    def test_rounds_up(self):
+        b = HourlyBilling()
+        assert b.billed_time(Interval(0.0, 0.1)) == 1.0
+        assert b.billed_time(Interval(0.0, 1.5)) == 2.0
+
+    def test_exact_hours_not_rounded(self):
+        b = HourlyBilling()
+        assert b.billed_time(Interval(0.0, 3.0)) == 3.0
+        # float-noise exact multiple (0.1+0.2 style)
+        assert b.billed_time(Interval(0.0, 0.1 + 0.2 + 2.7)) == 3.0
+
+    def test_custom_quantum(self):
+        b = HourlyBilling(quantum=0.5)
+        assert b.billed_time(Interval(0.0, 0.6)) == 1.0
+        assert b.billed_time(Interval(0.0, 0.5)) == 0.5
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            HourlyBilling(quantum=0.0)
+
+    def test_price(self):
+        b = HourlyBilling(price_per_hour=3.0)
+        assert b.cost(Interval(0.0, 1.2)) == pytest.approx(6.0)
+
+    def test_never_below_continuous(self):
+        b = HourlyBilling()
+        c = ContinuousBilling()
+        for length in (0.1, 0.9, 1.0, 1.01, 7.3):
+            iv = Interval(0.0, length)
+            assert b.billed_time(iv) >= c.billed_time(iv) - 1e-12
+
+
+class TestPerSecond:
+    def test_minimum_applies(self):
+        b = PerSecondBilling(minimum_hours=0.1)
+        assert b.billed_time(Interval(0.0, 0.01)) == 0.1
+
+    def test_above_minimum_exact(self):
+        b = PerSecondBilling(minimum_hours=0.1)
+        assert b.billed_time(Interval(0.0, 2.5)) == 2.5
+
+    def test_zero_usage_free(self):
+        assert PerSecondBilling().billed_time(Interval(2.0, 2.0)) == 0.0

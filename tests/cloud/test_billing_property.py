@@ -1,0 +1,62 @@
+"""Property-based tests for billing policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.billing import ContinuousBilling, HourlyBilling, PerSecondBilling
+from repro.core.intervals import Interval
+
+durations = st.floats(0.0, 1000.0, allow_nan=False).map(lambda x: round(x, 4))
+starts = st.floats(0.0, 100.0, allow_nan=False).map(lambda x: round(x, 4))
+
+
+class TestBillingProperties:
+    @given(starts, durations)
+    @settings(max_examples=100, deadline=None)
+    def test_hourly_dominates_continuous(self, t0, d):
+        iv = Interval(t0, t0 + d)
+        assert HourlyBilling().billed_time(iv) >= ContinuousBilling().billed_time(iv) - 1e-9
+
+    @given(starts, durations)
+    @settings(max_examples=100, deadline=None)
+    def test_per_second_dominates_continuous(self, t0, d):
+        iv = Interval(t0, t0 + d)
+        assert (
+            PerSecondBilling().billed_time(iv)
+            >= ContinuousBilling().billed_time(iv) - 1e-9
+        )
+
+    @given(starts, durations)
+    @settings(max_examples=100, deadline=None)
+    def test_hourly_overhead_bounded_by_one_quantum(self, t0, d):
+        iv = Interval(t0, t0 + d)
+        billed = HourlyBilling(quantum=1.0).billed_time(iv)
+        assert billed <= iv.length + 1.0 + 1e-9
+
+    @given(starts, durations, durations)
+    @settings(max_examples=80, deadline=None)
+    def test_continuous_additive(self, t0, d1, d2):
+        """Continuous billing is additive over split usage periods."""
+        c = ContinuousBilling(price_per_hour=2.0)
+        whole = c.cost(Interval(t0, t0 + d1 + d2))
+        split = c.cost(Interval(t0, t0 + d1)) + c.cost(Interval(t0 + d1, t0 + d1 + d2))
+        assert whole == pytest.approx(split, abs=1e-6)
+
+    @given(starts, durations)
+    @settings(max_examples=80, deadline=None)
+    def test_hourly_subadditive_under_splitting(self, t0, d):
+        """Splitting a rental into two never reduces hourly cost."""
+        h = HourlyBilling()
+        mid = t0 + d / 2
+        whole = h.billed_time(Interval(t0, t0 + d))
+        split = h.billed_time(Interval(t0, mid)) + h.billed_time(Interval(mid, t0 + d))
+        assert split >= whole - 1e-9
+
+    @given(starts, durations, st.floats(0.1, 5.0).map(lambda x: round(x, 2)))
+    @settings(max_examples=80, deadline=None)
+    def test_costs_scale_with_price(self, t0, d, price):
+        iv = Interval(t0, t0 + d)
+        for policy_cls in (ContinuousBilling, HourlyBilling, PerSecondBilling):
+            base = policy_cls(price_per_hour=1.0)
+            scaled = policy_cls(price_per_hour=price)
+            assert scaled.cost(iv) == pytest.approx(price * base.cost(iv), abs=1e-9)

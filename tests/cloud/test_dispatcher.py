@@ -1,0 +1,78 @@
+"""Tests for the cloud dispatcher and cost accounting."""
+
+import pytest
+
+from repro.algorithms import FirstFit, NextFit
+from repro.cloud.billing import ContinuousBilling, HourlyBilling
+from repro.cloud.dispatcher import Dispatcher
+from repro.cloud.server import InstanceType, ServerRecord
+from repro.core.items import Item, ItemList
+from repro.workloads.gaming import gaming_workload
+
+
+def jobs():
+    return ItemList(
+        [
+            Item(0, 0.6, 0.0, 2.0),
+            Item(1, 0.5, 0.5, 1.5),
+            Item(2, 0.4, 1.0, 3.0),
+        ]
+    )
+
+
+class TestDispatcher:
+    def test_continuous_cost_equals_usage_time(self):
+        report = Dispatcher(FirstFit()).dispatch(jobs())
+        assert report.total_cost == pytest.approx(report.total_usage_time)
+        assert report.billing_overhead == pytest.approx(1.0)
+
+    def test_hourly_cost_at_least_usage(self):
+        report = Dispatcher(FirstFit(), billing=HourlyBilling()).dispatch(jobs())
+        assert report.total_billed_time >= report.total_usage_time
+        assert report.billing_overhead >= 1.0
+
+    def test_instance_price_scales_cost(self):
+        cheap = Dispatcher(
+            FirstFit(), instance_type=InstanceType("a", 1.0, hourly_price=1.0)
+        ).dispatch(jobs())
+        costly = Dispatcher(
+            FirstFit(), instance_type=InstanceType("b", 1.0, hourly_price=2.5)
+        ).dispatch(jobs())
+        assert costly.total_cost == pytest.approx(2.5 * cheap.total_cost)
+
+    def test_server_records_cover_all_jobs(self):
+        report = Dispatcher(FirstFit()).dispatch(jobs())
+        served = sorted(j for s in report.servers for j in s.jobs)
+        assert served == [0, 1, 2]
+
+    def test_capacity_follows_instance_type(self):
+        # capacity-2 servers fit both 0.6 and 0.5 + 0.4 together
+        big = InstanceType("big", capacity=2.0, hourly_price=1.0)
+        report = Dispatcher(FirstFit(), instance_type=big).dispatch(
+            ItemList(
+                [Item(0, 0.9, 0.0, 2.0), Item(1, 0.9, 0.0, 2.0), Item(2, 0.2, 0.0, 2.0)],
+                capacity=2.0,
+            )
+        )
+        assert report.num_servers == 1
+
+    def test_summary_contains_key_figures(self):
+        report = Dispatcher(NextFit()).dispatch(jobs())
+        s = report.summary()
+        assert "next-fit" in s and "servers" in s
+
+
+class TestInstanceType:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceType("x", capacity=0.0)
+        with pytest.raises(ValueError):
+            InstanceType("x", hourly_price=-1.0)
+
+
+class TestGamingEndToEnd:
+    def test_dispatch_real_workload(self):
+        report = Dispatcher(FirstFit()).dispatch(gaming_workload(150, seed=11))
+        assert report.num_servers > 0
+        assert report.total_cost > 0
+        assert report.total_usage_time >= 0

@@ -1,0 +1,64 @@
+"""Tests for the cloud gaming provider simulation (experiment T6 core)."""
+
+import pytest
+
+from repro.cloud.billing import ContinuousBilling, HourlyBilling
+from repro.cloud.gaming_service import GamingScenario, run_gaming_comparison
+
+
+def scenario(**kw):
+    defaults = dict(name="test", num_sessions=150, request_rate=4.0, seed=5)
+    defaults.update(kw)
+    return GamingScenario(**defaults)
+
+
+class TestGamingComparison:
+    def test_all_algorithms_reported(self):
+        comp = run_gaming_comparison(scenario())
+        assert set(comp.reports) == {
+            "first-fit",
+            "best-fit",
+            "worst-fit",
+            "next-fit",
+            "hybrid-first-fit",
+        }
+
+    def test_same_workload_for_all(self):
+        comp = run_gaming_comparison(scenario())
+        usages = {
+            name: sorted(j for s in rep.servers for j in s.jobs)
+            for name, rep in comp.reports.items()
+        }
+        first = next(iter(usages.values()))
+        assert all(v == first for v in usages.values())
+
+    def test_first_fit_competitive_with_next_fit(self):
+        """The paper's practical takeaway: FF ≤ NF in cost."""
+        comp = run_gaming_comparison(scenario(num_sessions=400))
+        assert (
+            comp.reports["first-fit"].total_cost
+            <= comp.reports["next-fit"].total_cost + 1e-9
+        )
+
+    def test_best_algorithm_is_cheapest(self):
+        comp = run_gaming_comparison(scenario())
+        best = comp.best_algorithm()
+        assert all(
+            comp.reports[best].total_cost <= r.total_cost + 1e-12
+            for r in comp.reports.values()
+        )
+
+    def test_cost_table_renders(self):
+        comp = run_gaming_comparison(scenario())
+        table = comp.cost_table()
+        assert "first-fit" in table and "cost" in table
+
+    def test_hourly_billing_costs_more(self):
+        cont = run_gaming_comparison(scenario(billing=ContinuousBilling()))
+        hourly = run_gaming_comparison(scenario(billing=HourlyBilling()))
+        for name in cont.reports:
+            assert hourly.reports[name].total_cost >= cont.reports[name].total_cost - 1e-9
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            run_gaming_comparison(scenario(), algorithms=("no-such-fit",))

@@ -1,0 +1,123 @@
+"""Tests for repro.core.bins: bin lifecycle and level tracking."""
+
+import pytest
+
+from repro.core.bins import Bin
+from repro.core.intervals import Interval
+from repro.core.items import Item
+
+
+def make_bin() -> Bin:
+    return Bin(index=0, capacity=1.0)
+
+
+class TestLifecycle:
+    def test_new_bin_is_unopened(self):
+        b = make_bin()
+        assert not b.is_open
+        assert not b.is_closed
+        assert b.level == 0.0
+
+    def test_first_placement_opens(self):
+        b = make_bin()
+        b.place(Item(1, 0.4, 0.0, 2.0), now=0.5)
+        assert b.is_open
+        assert b.opened_at == 0.5
+
+    def test_last_departure_closes(self):
+        b = make_bin()
+        it = Item(1, 0.4, 0.0, 2.0)
+        b.place(it, 0.0)
+        b.remove(it, 2.0)
+        assert b.is_closed
+        assert b.usage_period == Interval(0.0, 2.0)
+        assert b.usage_time == 2.0
+
+    def test_usage_period_requires_closed(self):
+        b = make_bin()
+        with pytest.raises(ValueError):
+            _ = b.usage_period
+        b.place(Item(1, 0.4, 0.0, 2.0), 0.0)
+        with pytest.raises(ValueError):
+            _ = b.usage_period
+
+    def test_place_into_closed_bin_rejected(self):
+        b = make_bin()
+        it = Item(1, 0.4, 0.0, 2.0)
+        b.place(it, 0.0)
+        b.remove(it, 2.0)
+        with pytest.raises(ValueError, match="closed"):
+            b.place(Item(2, 0.1, 2.0, 3.0), 2.0)
+
+
+class TestCapacity:
+    def test_fits(self):
+        b = make_bin()
+        b.place(Item(1, 0.7, 0.0, 2.0), 0.0)
+        assert b.fits(Item(2, 0.3, 0.0, 2.0))  # exactly fills
+        assert not b.fits(Item(3, 0.31, 0.0, 2.0))
+
+    def test_fits_with_float_accumulation(self):
+        # ten thirds-of-0.3 sum to 0.99999…; a 0.1 item must still fit
+        b = make_bin()
+        for i in range(9):
+            b.place(Item(i, 0.1, 0.0, 2.0), 0.0)
+        assert b.fits(Item(100, 0.1, 0.0, 2.0))
+
+    def test_overfull_placement_raises(self):
+        b = make_bin()
+        b.place(Item(1, 0.7, 0.0, 2.0), 0.0)
+        with pytest.raises(ValueError, match="does not fit"):
+            b.place(Item(2, 0.5, 0.0, 2.0), 0.0)
+
+    def test_residual(self):
+        b = make_bin()
+        b.place(Item(1, 0.7, 0.0, 2.0), 0.0)
+        assert b.residual() == pytest.approx(0.3)
+
+
+class TestLevelTracking:
+    def test_level_updates(self):
+        b = make_bin()
+        i1, i2 = Item(1, 0.4, 0, 5), Item(2, 0.5, 0, 5)
+        b.place(i1, 0.0)
+        b.place(i2, 1.0)
+        assert b.level == pytest.approx(0.9)
+        b.remove(i1, 2.0)
+        assert b.level == pytest.approx(0.5)
+
+    def test_level_snaps_to_zero_on_close(self):
+        b = make_bin()
+        sizes = [0.1, 0.2, 0.3]
+        items = [Item(i, s, 0, 5) for i, s in enumerate(sizes)]
+        for it in items:
+            b.place(it, 0.0)
+        for it in items:
+            b.remove(it, 5.0)
+        assert b.level == 0.0  # exactly, no float residue
+
+    def test_level_at_history(self):
+        b = make_bin()
+        i1, i2 = Item(1, 0.4, 0, 5), Item(2, 0.5, 0, 5)
+        b.place(i1, 0.0)
+        b.place(i2, 1.0)
+        b.remove(i1, 3.0)
+        b.remove(i2, 5.0)
+        assert b.level_at(0.5) == pytest.approx(0.4)
+        assert b.level_at(1.0) == pytest.approx(0.9)
+        assert b.level_at(2.9) == pytest.approx(0.9)
+        assert b.level_at(3.0) == pytest.approx(0.5)
+        assert b.level_at(5.0) == 0.0
+        assert b.level_at(-1.0) == 0.0
+
+    def test_remove_unknown_item_raises(self):
+        b = make_bin()
+        b.place(Item(1, 0.4, 0, 5), 0.0)
+        with pytest.raises(KeyError):
+            b.remove(Item(2, 0.4, 0, 5), 1.0)
+
+    def test_all_items_records_placement_order(self):
+        b = make_bin()
+        b.place(Item(2, 0.2, 0, 5), 0.0)
+        b.place(Item(1, 0.2, 0, 5), 1.0)
+        assert [it.item_id for it in b.all_items] == [2, 1]

@@ -1,0 +1,89 @@
+"""Tests for repro.core.events: deterministic event ordering."""
+
+from hypothesis import given
+
+from repro.core.events import Event, EventKind, EventQueue, event_sequence
+from repro.core.items import Item, ItemList
+
+from ..conftest import item_lists
+
+
+class TestEventOrdering:
+    def test_time_ordering(self):
+        items = ItemList([Item(0, 0.5, 1.0, 3.0), Item(1, 0.5, 0.0, 2.0)])
+        events = event_sequence(items)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_departure_before_arrival_at_same_time(self):
+        # item 0 departs at t=1 exactly when item 1 arrives: the departure
+        # must be processed first (half-open intervals free the space)
+        items = ItemList([Item(0, 1.0, 0.0, 1.0), Item(1, 1.0, 1.0, 2.0)])
+        events = event_sequence(items)
+        at_one = [e for e in events if e.time == 1.0]
+        assert [e.kind for e in at_one] == [EventKind.DEPART, EventKind.ARRIVE]
+
+    def test_simultaneous_arrivals_follow_instance_order(self):
+        items = ItemList(
+            [Item(5, 0.1, 0.0, 1.0), Item(3, 0.1, 0.0, 1.0), Item(9, 0.1, 0.0, 1.0)]
+        )
+        arrivals = [e for e in event_sequence(items) if e.kind is EventKind.ARRIVE]
+        assert [e.item.item_id for e in arrivals] == [5, 3, 9]
+
+    def test_two_events_per_item(self):
+        items = ItemList([Item(i, 0.2, i * 0.5, i * 0.5 + 1) for i in range(7)])
+        assert len(event_sequence(items)) == 14
+
+    @given(item_lists(max_items=25))
+    def test_event_sequence_is_sorted_and_complete(self, items):
+        events = event_sequence(items)
+        assert len(events) == 2 * len(items)
+        for a, b in zip(events, events[1:]):
+            assert (a.time, a.kind) <= (b.time, b.kind)
+        arrivals = sum(1 for e in events if e.kind is EventKind.ARRIVE)
+        assert arrivals == len(items)
+
+    @given(item_lists(max_items=25))
+    def test_departure_never_precedes_arrival_of_same_item(self, items):
+        seen_arrival = set()
+        for e in event_sequence(items):
+            if e.kind is EventKind.ARRIVE:
+                seen_arrival.add(e.item.item_id)
+            else:
+                assert e.item.item_id in seen_arrival
+
+
+class TestEventQueue:
+    def make_events(self):
+        it = Item(0, 0.5, 0.0, 1.0)
+        return [
+            Event(3.0, EventKind.ARRIVE, 0, it),
+            Event(1.0, EventKind.DEPART, 1, it),
+            Event(1.0, EventKind.ARRIVE, 2, it),
+        ]
+
+    def test_pop_order(self):
+        q = EventQueue(self.make_events())
+        popped = [q.pop() for _ in range(3)]
+        assert [e.time for e in popped] == [1.0, 1.0, 3.0]
+        assert popped[0].kind is EventKind.DEPART
+
+    def test_dynamic_push(self):
+        q = EventQueue()
+        it = Item(0, 0.5, 0.0, 1.0)
+        q.push(Event(5.0, EventKind.ARRIVE, 0, it))
+        q.push(Event(2.0, EventKind.ARRIVE, 1, it))
+        assert q.peek().time == 2.0
+        assert len(q) == 2
+
+    def test_drain(self):
+        q = EventQueue(self.make_events())
+        drained = list(q.drain())
+        assert len(drained) == 3
+        assert not q
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(Event(0.0, EventKind.ARRIVE, 0, Item(0, 0.5, 0.0, 1.0)))
+        assert q

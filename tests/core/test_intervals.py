@@ -1,0 +1,153 @@
+"""Tests for repro.core.intervals: half-open interval algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intervals import (
+    EMPTY_INTERVAL,
+    Interval,
+    coverage_at,
+    intervals_intersect,
+    merge_intervals,
+    span,
+    total_length,
+    union_length,
+)
+
+
+def ivs(max_n=12):
+    """Strategy: lists of intervals with rounded endpoints."""
+    endpoint = st.floats(-50, 50, allow_nan=False).map(lambda x: round(x, 2))
+    one = st.tuples(endpoint, endpoint).map(lambda t: Interval(min(t), max(t)))
+    return st.lists(one, max_size=max_n)
+
+
+class TestIntervalBasics:
+    def test_length(self):
+        assert Interval(1.0, 3.5).length == 2.5
+
+    def test_empty_interval_has_zero_length(self):
+        assert Interval(2.0, 2.0).length == 0.0
+        assert Interval(3.0, 1.0).length == 0.0
+
+    def test_is_empty(self):
+        assert Interval(2.0, 2.0).is_empty
+        assert Interval(3.0, 2.0).is_empty
+        assert not Interval(2.0, 2.1).is_empty
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+        with pytest.raises(ValueError):
+            Interval(0.0, math.nan)
+
+    def test_contains_half_open(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)  # left endpoint included
+        assert iv.contains(1.5)
+        assert not iv.contains(2.0)  # right endpoint excluded
+        assert not iv.contains(0.999)
+
+    def test_ordering_is_lexicographic(self):
+        assert Interval(0, 1) < Interval(0, 2) < Interval(1, 1)
+
+    def test_iter_unpacks(self):
+        left, right = Interval(3.0, 7.0)
+        assert (left, right) == (3.0, 7.0)
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(2.5) == Interval(3.5, 4.5)
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(3, 4)) == Interval(0, 4)
+        assert Interval(0, 1).hull(EMPTY_INTERVAL) == Interval(0, 1)
+        assert EMPTY_INTERVAL.hull(Interval(2, 3)) == Interval(2, 3)
+
+
+class TestIntersection:
+    def test_touching_intervals_do_not_intersect(self):
+        # the load-bearing half-open property: [a,b) ∩ [b,c) = ∅
+        assert not Interval(0, 1).intersects(Interval(1, 2))
+        assert Interval(0, 1).intersection(Interval(1, 2)).is_empty
+
+    def test_overlap(self):
+        assert Interval(0, 2).intersection(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 2).intersects(Interval(1, 3))
+
+    def test_containment_intersection(self):
+        assert Interval(0, 10).intersection(Interval(2, 3)) == Interval(2, 3)
+
+    def test_empty_never_intersects(self):
+        assert not EMPTY_INTERVAL.intersects(Interval(-100, 100))
+        assert not Interval(-100, 100).intersects(EMPTY_INTERVAL)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(0, 10))
+        assert Interval(0, 10).contains_interval(Interval(2, 3))
+        assert not Interval(0, 10).contains_interval(Interval(2, 11))
+        # empty intervals are contained everywhere
+        assert Interval(5, 6).contains_interval(EMPTY_INTERVAL)
+
+    @given(ivs(), ivs())
+    def test_intersects_matches_bruteforce(self, a, b):
+        brute = any(x.intersects(y) for x in a for y in b)
+        assert intervals_intersect(a, b) == brute
+
+
+class TestMergeAndSpan:
+    def test_merge_overlapping(self):
+        merged = merge_intervals([Interval(0, 2), Interval(1, 3)])
+        assert merged == [Interval(0, 3)]
+
+    def test_merge_touching(self):
+        merged = merge_intervals([Interval(0, 1), Interval(1, 2)])
+        assert merged == [Interval(0, 2)]
+
+    def test_merge_keeps_gaps(self):
+        merged = merge_intervals([Interval(0, 1), Interval(2, 3)])
+        assert merged == [Interval(0, 1), Interval(2, 3)]
+
+    def test_merge_drops_empties(self):
+        assert merge_intervals([EMPTY_INTERVAL, Interval(5, 5)]) == []
+
+    def test_merge_unsorted_input(self):
+        merged = merge_intervals([Interval(4, 5), Interval(0, 1), Interval(0.5, 2)])
+        assert merged == [Interval(0, 2), Interval(4, 5)]
+
+    def test_span_figure1_example(self):
+        # Figure 1 shape: two overlapping + one disjoint
+        items = [Interval(0, 2), Interval(1, 3), Interval(4, 6)]
+        assert span(items) == 5.0
+
+    def test_span_empty(self):
+        assert span([]) == 0.0
+
+    def test_total_length_counts_multiplicity(self):
+        assert total_length([Interval(0, 2), Interval(1, 3)]) == 4.0
+
+    @given(ivs())
+    def test_union_length_bounds(self, intervals):
+        u = union_length(intervals)
+        assert u <= total_length(intervals) + 1e-9
+        if intervals:
+            assert u >= max(iv.length for iv in intervals) - 1e-9
+
+    @given(ivs())
+    def test_merged_is_disjoint_and_sorted(self, intervals):
+        merged = merge_intervals(intervals)
+        for a, b in zip(merged, merged[1:]):
+            assert a.right < b.left  # strictly separated (touching coalesced)
+
+    @given(ivs())
+    def test_merge_preserves_union_length(self, intervals):
+        assert union_length(intervals) == pytest.approx(
+            sum(iv.length for iv in merge_intervals(intervals))
+        )
+
+    @given(ivs(), st.floats(-60, 60, allow_nan=False))
+    def test_coverage_consistent_with_merge(self, intervals, t):
+        covered = coverage_at(intervals, t) > 0
+        in_merged = any(iv.contains(t) for iv in merge_intervals(intervals))
+        assert covered == in_merged

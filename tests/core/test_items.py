@@ -1,0 +1,141 @@
+"""Tests for repro.core.items: the Item and ItemList model."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.intervals import Interval
+from repro.core.items import Item, ItemList, validate_items
+
+from ..conftest import item_lists
+
+
+class TestItem:
+    def test_basic_properties(self):
+        it = Item(1, size=0.5, arrival=1.0, departure=4.0)
+        assert it.duration == 3.0
+        assert it.interval == Interval(1.0, 4.0)
+        assert it.time_space_demand == pytest.approx(1.5)
+
+    def test_active_at_half_open(self):
+        it = Item(1, 0.5, 1.0, 4.0)
+        assert it.active_at(1.0)
+        assert it.active_at(3.999)
+        assert not it.active_at(4.0)
+        assert not it.active_at(0.999)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Item(1, 0.0, 0.0, 1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Item(1, -0.1, 0.0, 1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Item(1, 0.5, 2.0, 2.0)
+
+    def test_departure_before_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Item(1, 0.5, 2.0, 1.0)
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ItemList([Item(1, 0.5, 0, 1), Item(1, 0.5, 0, 1)])
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ItemList([Item(1, 1.5, 0, 1)])
+
+    def test_size_equal_to_capacity_allowed(self):
+        items = ItemList([Item(1, 1.0, 0, 1)])
+        assert items.total_size == 1.0
+
+    def test_custom_capacity(self):
+        items = ItemList([Item(1, 1.5, 0, 1)], capacity=2.0)
+        assert items.capacity == 2.0
+        validate_items(items.items, 2.0)
+
+
+class TestItemListStats:
+    def make(self):
+        return ItemList(
+            [
+                Item(0, 0.5, 0.0, 2.0),   # duration 2
+                Item(1, 0.3, 1.0, 2.0),   # duration 1
+                Item(2, 0.2, 5.0, 9.0),   # duration 4
+            ]
+        )
+
+    def test_mu(self):
+        assert self.make().mu == 4.0
+
+    def test_min_max_duration(self):
+        items = self.make()
+        assert items.min_duration == 1.0
+        assert items.max_duration == 4.0
+
+    def test_span_with_gap(self):
+        assert self.make().span == 6.0  # [0,2) ∪ [5,9)
+
+    def test_total_size(self):
+        assert self.make().total_size == pytest.approx(1.0)
+
+    def test_time_space_demand(self):
+        assert self.make().time_space_demand == pytest.approx(
+            0.5 * 2 + 0.3 * 1 + 0.2 * 4
+        )
+
+    def test_packing_period(self):
+        assert self.make().packing_period == Interval(0.0, 9.0)
+
+    def test_active_at(self):
+        items = self.make()
+        assert {it.item_id for it in items.active_at(1.5)} == {0, 1}
+        assert items.active_at(3.0) == []
+        assert {it.item_id for it in items.active_at(5.0)} == {2}
+
+    def test_event_times_sorted_distinct(self):
+        times = self.make().event_times()
+        assert times == sorted(set(times))
+        assert times == [0.0, 1.0, 2.0, 5.0, 9.0]
+
+    def test_empty_list_stats_raise(self):
+        empty = ItemList([])
+        with pytest.raises(ValueError):
+            _ = empty.mu
+        assert empty.span == 0.0
+        assert len(empty) == 0
+
+    def test_container_protocol(self):
+        items = self.make()
+        assert len(items) == 3
+        assert items[1].item_id == 1
+        assert [it.item_id for it in items] == [0, 1, 2]
+
+
+class TestNormalization:
+    def test_normalized_min_duration_is_one(self):
+        items = ItemList([Item(0, 0.5, 3.0, 7.0), Item(1, 0.5, 5.0, 13.0)])
+        norm = items.normalized()
+        assert norm.min_duration == pytest.approx(1.0)
+        assert norm.mu == pytest.approx(items.mu)
+
+    def test_normalized_starts_at_zero(self):
+        items = ItemList([Item(0, 0.5, 3.0, 7.0)])
+        norm = items.normalized()
+        assert norm.packing_period.left == pytest.approx(0.0)
+
+    @given(item_lists(max_items=15))
+    def test_normalization_preserves_mu_and_sizes(self, items):
+        norm = items.normalized()
+        assert norm.mu == pytest.approx(items.mu, rel=1e-6)
+        assert [it.size for it in norm] == [it.size for it in items]
+
+    @given(item_lists(max_items=15))
+    def test_normalization_scales_span(self, items):
+        norm = items.normalized()
+        scale = 1.0 / items.min_duration
+        assert norm.span == pytest.approx(items.span * scale, rel=1e-6)

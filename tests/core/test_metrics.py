@@ -1,0 +1,102 @@
+"""Tests for repro.core.metrics: timelines and averages."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFit
+from repro.core.items import Item, ItemList
+from repro.core.metrics import (
+    aggregate_level_timeline,
+    open_bins_timeline,
+    time_weighted_average,
+    utilization_timeline,
+)
+from repro.core.packing import run_packing
+
+from ..conftest import item_lists
+
+
+def pack(items):
+    return run_packing(ItemList(items), FirstFit())
+
+
+class TestOpenBinsTimeline:
+    def test_single_bin(self):
+        tl = open_bins_timeline(pack([Item(0, 0.5, 1.0, 3.0)]))
+        assert tl == [(1.0, 1), (3.0, 0)]
+
+    def test_ends_at_zero(self, simple_items):
+        result = run_packing(simple_items, FirstFit())
+        tl = open_bins_timeline(result)
+        assert tl[-1][1] == 0
+
+    def test_max_matches_result(self):
+        result = pack(
+            [Item(0, 0.9, 0.0, 4.0), Item(1, 0.9, 1.0, 5.0), Item(2, 0.9, 2.0, 3.0)]
+        )
+        tl = open_bins_timeline(result)
+        assert max(c for _, c in tl) == result.max_concurrent_bins
+
+
+class TestAggregateLevel:
+    def test_levels(self):
+        result = pack([Item(0, 0.5, 0.0, 2.0), Item(1, 0.3, 1.0, 3.0)])
+        tl = aggregate_level_timeline(result)
+        assert tl == [
+            (0.0, pytest.approx(0.5)),
+            (1.0, pytest.approx(0.8)),
+            (2.0, pytest.approx(0.3)),
+            (3.0, 0.0),
+        ]
+
+    def test_final_level_snaps_to_zero(self):
+        result = pack([Item(i, 0.1, 0.0, 1.0) for i in range(7)])
+        tl = aggregate_level_timeline(result)
+        assert tl[-1][1] == 0.0
+
+
+class TestUtilization:
+    def test_full_utilization(self):
+        result = pack([Item(0, 1.0, 0.0, 2.0)])
+        tl = utilization_timeline(result)
+        assert tl[0] == (0.0, pytest.approx(1.0))
+
+    def test_zero_when_idle(self, disjoint_items):
+        result = run_packing(disjoint_items, FirstFit())
+        tl = utilization_timeline(result)
+        # find a timestamp inside the gap (items end at 1.0, next at 2.0)
+        vals = {t: u for t, u in tl}
+        assert vals[1.0] == 0.0
+
+    @given(item_lists(max_items=20))
+    @settings(max_examples=30, deadline=None)
+    def test_utilization_bounded_by_one(self, items):
+        result = run_packing(items, FirstFit())
+        for _, u in utilization_timeline(result):
+            assert -1e-9 <= u <= 1.0 + 1e-9
+
+
+class TestTimeWeightedAverage:
+    def test_constant(self):
+        assert time_weighted_average([(0.0, 2.0), (5.0, 0.0)]) == pytest.approx(2.0)
+
+    def test_step(self):
+        # 1.0 for one unit, 3.0 for one unit → mean 2.0
+        assert time_weighted_average(
+            [(0.0, 1.0), (1.0, 3.0), (2.0, 0.0)]
+        ) == pytest.approx(2.0)
+
+    def test_degenerate(self):
+        assert time_weighted_average([]) == 0.0
+        assert time_weighted_average([(1.0, 5.0)]) == 0.0
+
+    def test_matches_average_utilization(self, simple_items):
+        result = run_packing(simple_items, FirstFit())
+        # time-weighted mean of (total level / open bins) weighted by open
+        # bins equals total time-space over total usage time; check the
+        # simpler identity: integral of aggregate level == time-space demand
+        tl = aggregate_level_timeline(result)
+        integral = sum(
+            (t1 - t0) * v0 for (t0, v0), (t1, _) in zip(tl, tl[1:])
+        )
+        assert integral == pytest.approx(simple_items.time_space_demand)

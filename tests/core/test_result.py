@@ -1,0 +1,60 @@
+"""Tests for repro.core.result: PackingResult metrics."""
+
+import pytest
+
+from repro.algorithms import FirstFit
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+
+
+def pack(items):
+    return run_packing(ItemList(items), FirstFit())
+
+
+class TestPackingResult:
+    def test_total_usage_time_sums_bins(self, simple_items):
+        result = run_packing(simple_items, FirstFit())
+        assert result.total_usage_time == pytest.approx(
+            sum(b.usage_time for b in result.bins)
+        )
+
+    def test_usage_periods_match_bins(self, simple_items):
+        result = run_packing(simple_items, FirstFit())
+        assert len(result.usage_periods) == result.num_bins
+
+    def test_max_concurrent_bins_overlapping(self):
+        result = pack(
+            [
+                Item(0, 0.9, 0.0, 4.0),
+                Item(1, 0.9, 1.0, 5.0),
+                Item(2, 0.9, 2.0, 6.0),
+            ]
+        )
+        assert result.max_concurrent_bins == 3
+
+    def test_max_concurrent_bins_sequential(self, disjoint_items):
+        result = run_packing(disjoint_items, FirstFit())
+        assert result.num_bins == 3
+        assert result.max_concurrent_bins == 1
+
+    def test_max_concurrent_touching_periods_dont_stack(self):
+        # bin 0 closes at t=1 exactly as bin 1 opens: max concurrent is 1
+        result = pack([Item(0, 1.0, 0.0, 1.0), Item(1, 1.0, 1.0, 2.0)])
+        assert result.max_concurrent_bins == 1
+
+    def test_average_utilization_full_bin(self):
+        result = pack([Item(0, 1.0, 0.0, 2.0)])
+        assert result.average_utilization == pytest.approx(1.0)
+
+    def test_average_utilization_half_bin(self):
+        result = pack([Item(0, 0.5, 0.0, 2.0)])
+        assert result.average_utilization == pytest.approx(0.5)
+
+    def test_bin_of(self, simple_items):
+        result = run_packing(simple_items, FirstFit())
+        for it in simple_items:
+            assert it.item_id in [x.item_id for x in result.bin_of(it.item_id).all_items]
+
+    def test_summary_mentions_algorithm(self, simple_items):
+        result = run_packing(simple_items, FirstFit())
+        assert "first-fit" in result.summary()

@@ -1,0 +1,75 @@
+"""Tests for repro.core.state: the PackingState bookkeeping."""
+
+import pytest
+
+from repro.core.items import Item
+from repro.core.state import PackingState
+
+
+class TestPackingState:
+    def test_open_new_bin_assigns_sequential_indices(self):
+        s = PackingState()
+        b0, b1, b2 = s.open_new_bin(), s.open_new_bin(), s.open_new_bin()
+        assert [b0.index, b1.index, b2.index] == [0, 1, 2]
+        assert s.num_bins_used == 3
+
+    def test_place_into_new_bin_when_target_none(self):
+        s = PackingState()
+        s.now = 1.0
+        b = s.place(Item(7, 0.5, 1.0, 2.0), None)
+        assert b.index == 0
+        assert s.bin_of(7) is b
+
+    def test_open_bins_in_index_order(self):
+        s = PackingState()
+        items = [Item(i, 0.9, 0.0, 10.0) for i in range(3)]
+        for it in items:
+            s.place(it, None)
+        assert [b.index for b in s.open_bins()] == [0, 1, 2]
+
+    def test_depart_closes_and_removes_from_open(self):
+        s = PackingState()
+        it = Item(1, 0.5, 0.0, 2.0)
+        s.place(it, None)
+        s.now = 2.0
+        b = s.depart(it)
+        assert b.is_closed
+        assert s.num_open == 0
+        assert s.num_bins_used == 1
+
+    def test_open_bins_fitting_filters_by_size(self):
+        s = PackingState()
+        s.place(Item(1, 0.9, 0.0, 10.0), None)
+        s.place(Item(2, 0.3, 0.0, 10.0), None)
+        fitting = s.open_bins_fitting(0.5)
+        assert [b.index for b in fitting] == [1]
+        assert s.open_bins_fitting(0.05) == s.open_bins()
+
+    def test_closed_bins_never_reappear(self):
+        s = PackingState()
+        it1 = Item(1, 0.5, 0.0, 1.0)
+        s.place(it1, None)
+        s.now = 1.0
+        s.depart(it1)
+        s.now = 2.0
+        b = s.place(Item(2, 0.5, 2.0, 3.0), None)
+        assert b.index == 1  # a fresh bin, not the closed one
+        assert [x.index for x in s.open_bins()] == [1]
+
+    def test_place_into_closed_bin_rejected(self):
+        s = PackingState()
+        it = Item(1, 0.5, 0.0, 1.0)
+        b = s.place(it, None)
+        s.now = 1.0
+        s.depart(it)
+        with pytest.raises(ValueError, match="closed"):
+            s.place(Item(2, 0.2, 1.0, 2.0), b)
+
+    def test_middle_bin_closure_preserves_order(self):
+        s = PackingState()
+        items = [Item(i, 0.9, 0.0, 10.0) for i in range(3)]
+        for it in items:
+            s.place(it, None)
+        s.now = 5.0
+        s.depart(items[1])
+        assert [b.index for b in s.open_bins()] == [0, 2]

@@ -1,0 +1,60 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.algorithms import FirstFit
+from repro.core.items import Item, ItemList
+from repro.experiments.harness import (
+    ExperimentResult,
+    format_table,
+    measure_ratio,
+)
+from repro.opt.opt_total import opt_total
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_columns_aligned_and_complete(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "c": "x"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0] and "c" in lines[0]
+        assert "2.500" in text
+        assert "x" in text
+
+    def test_floats_fixed_precision(self):
+        assert "0.333" in format_table([{"v": 1 / 3}])
+
+
+class TestExperimentResult:
+    def test_render_contains_id_and_notes(self):
+        exp = ExperimentResult("T9", "demo", rows=[{"x": 1}], notes="a note")
+        out = exp.render()
+        assert "T9" in out and "demo" in out and "a note" in out
+
+    def test_column_extraction(self):
+        exp = ExperimentResult("T9", "demo", rows=[{"x": 1}, {"x": 2}, {"y": 3}])
+        assert exp.column("x") == [1, 2, None]
+        assert exp.column_names() == ["x", "y"]
+
+
+class TestMeasureRatio:
+    def test_against_known_instance(self):
+        items = ItemList([Item(0, 0.5, 0.0, 3.0)])
+        m = measure_ratio(items, FirstFit())
+        assert m.ratio_upper == pytest.approx(1.0)
+        assert m.ratio_lower == pytest.approx(1.0)
+        assert m.mu == 1.0
+
+    def test_shared_opt_reused(self):
+        items = ItemList([Item(0, 0.5, 0.0, 3.0), Item(1, 0.6, 1.0, 4.0)])
+        opt = opt_total(items)
+        m = measure_ratio(items, FirstFit(), opt=opt)
+        assert m.opt is opt
+
+    def test_ratio_ordering(self):
+        items = ItemList([Item(i, 0.4, 0.0, 2.0) for i in range(5)])
+        m = measure_ratio(items, FirstFit())
+        assert m.ratio_lower <= m.ratio_upper + 1e-12

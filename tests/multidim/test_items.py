@@ -1,0 +1,71 @@
+"""Tests for vector items and instances."""
+
+import pytest
+
+from repro.multidim.items import VectorItem, VectorItemList
+
+
+class TestVectorItem:
+    def test_basic(self):
+        it = VectorItem(0, (0.5, 0.3), 0.0, 2.0)
+        assert it.dimensions == 2
+        assert it.duration == 2.0
+        assert it.max_size == 0.5
+        assert it.time_space_demand(0) == pytest.approx(1.0)
+        assert it.time_space_demand(1) == pytest.approx(0.6)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            VectorItem(0, (0.0, 0.0), 0.0, 1.0)
+
+    def test_one_zero_component_allowed(self):
+        it = VectorItem(0, (0.5, 0.0), 0.0, 1.0)
+        assert it.max_size == 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VectorItem(0, (0.5, -0.1), 0.0, 1.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            VectorItem(0, (0.5,), 2.0, 2.0)
+
+
+class TestVectorItemList:
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorItemList([VectorItem(0, (0.5,), 0, 1)], capacity=(1.0, 1.0))
+
+    def test_capacity_violation_rejected(self):
+        with pytest.raises(ValueError):
+            VectorItemList([VectorItem(0, (0.5, 1.5), 0, 1)], capacity=(1.0, 1.0))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            VectorItemList(
+                [VectorItem(0, (0.5,), 0, 1), VectorItem(0, (0.5,), 0, 1)],
+                capacity=(1.0,),
+            )
+
+    def test_mu_and_span(self):
+        items = VectorItemList(
+            [VectorItem(0, (0.5, 0.1), 0.0, 2.0), VectorItem(1, (0.1, 0.5), 1.0, 5.0)],
+            capacity=(1.0, 1.0),
+        )
+        assert items.mu == 2.0
+        assert items.span == 5.0
+
+    def test_lower_bound_uses_binding_resource(self):
+        # dim 1 is the heavy one: TS_1 = 0.9·10 = 9 > span = 10? no, 9 < 10
+        items = VectorItemList(
+            [VectorItem(0, (0.1, 0.9), 0.0, 10.0), VectorItem(1, (0.1, 0.9), 0.0, 10.0)],
+            capacity=(1.0, 1.0),
+        )
+        # TS_1 = 18, span = 10 → lower bound 18
+        assert items.lower_bound() == pytest.approx(18.0)
+
+    def test_lower_bound_span_dominates_when_light(self):
+        items = VectorItemList(
+            [VectorItem(0, (0.1, 0.1), 0.0, 10.0)], capacity=(1.0, 1.0)
+        )
+        assert items.lower_bound() == pytest.approx(10.0)

@@ -1,0 +1,134 @@
+"""Tests for repro.opt.bin_packing: static bin packing solvers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.opt.bin_packing import (
+    BinCountBracket,
+    exact_bin_count,
+    first_fit_decreasing,
+    first_fit_static,
+    lower_bound_l1,
+    lower_bound_l2,
+)
+
+sizes_strategy = st.lists(
+    st.floats(0.01, 1.0, allow_nan=False).map(lambda x: round(x, 3)),
+    min_size=0,
+    max_size=14,
+)
+
+
+class TestFirstFitStatic:
+    def test_packs_in_order(self):
+        bins = first_fit_static([0.5, 0.6, 0.4])
+        assert bins == [[0, 2], [1]]
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_static([1.5])
+
+    def test_respects_capacity_argument(self):
+        bins = first_fit_static([1.5, 0.5], capacity=2.0)
+        assert bins == [[0, 1]]
+
+
+class TestFFD:
+    def test_known_instance(self):
+        # 0.6,0.6,0.4,0.4 → FFD: {0.6,0.4} × 2 = 2 bins
+        assert first_fit_decreasing([0.4, 0.6, 0.4, 0.6]) == 2
+
+    def test_empty(self):
+        assert first_fit_decreasing([]) == 0
+
+    def test_all_full_items(self):
+        assert first_fit_decreasing([1.0] * 5) == 5
+
+
+class TestLowerBounds:
+    def test_l1_ceiling(self):
+        assert lower_bound_l1([0.5, 0.5, 0.5]) == 2
+
+    def test_l1_exact_multiple_no_roundup(self):
+        # ten 0.1s sum to 0.9999999…: must give 1, not 2
+        assert lower_bound_l1([0.1] * 10) == 1
+
+    def test_l1_empty(self):
+        assert lower_bound_l1([]) == 0
+
+    def test_l2_dominates_l1_on_halves(self):
+        # three items just over 1/2: L1 = 2 but L2 = 3
+        sizes = [0.51, 0.52, 0.53]
+        assert lower_bound_l1(sizes) == 2
+        assert lower_bound_l2(sizes) == 3
+
+    def test_l2_with_large_items(self):
+        # 0.9-items can't pair with anything ≥ 0.2
+        sizes = [0.9, 0.9, 0.2, 0.2]
+        assert lower_bound_l2(sizes) >= 3
+
+    @given(sizes_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_l2_geq_l1(self, sizes):
+        assert lower_bound_l2(sizes) >= lower_bound_l1(sizes)
+
+
+class TestExact:
+    def test_trivial_cases(self):
+        assert exact_bin_count([]) == BinCountBracket(0, 0)
+        assert exact_bin_count([0.5]).value == 1
+
+    def test_perfect_pairs(self):
+        assert exact_bin_count([0.5, 0.5, 0.5, 0.5]).value == 2
+
+    def test_ffd_suboptimal_instance(self):
+        # classic: FFD uses 3 bins ([.4,.4], [.3,.3,.3], [.3]), OPT uses 2
+        sizes = [0.4, 0.4, 0.3, 0.3, 0.3, 0.3]
+        assert first_fit_decreasing(sizes) == 3
+        assert exact_bin_count(sizes).value == 2
+
+    def test_tricky_instance_exact_beats_ffd(self):
+        # FFD: sorted 0.6,0.45,0.45,0.3,0.3,0.3,0.3 →
+        #   [0.6,0.3], [0.45,0.45], [0.3,0.3,0.3] = 3 bins; OPT = 3 too.
+        # Use a genuinely FFD-suboptimal instance instead:
+        sizes = [0.51, 0.27, 0.27, 0.26, 0.23, 0.23, 0.23]
+        ffd = first_fit_decreasing(sizes)
+        opt = exact_bin_count(sizes).value
+        assert opt <= ffd
+        assert opt == 2
+
+    def test_node_budget_returns_valid_bracket(self):
+        sizes = [0.13 + 0.017 * i for i in range(18)]
+        br = exact_bin_count(sizes, node_budget=50)
+        assert br.lower <= br.upper
+        full = exact_bin_count(sizes)
+        assert br.lower <= full.lower and full.upper <= br.upper
+
+    def test_bracket_value_raises_when_loose(self):
+        with pytest.raises(ValueError):
+            BinCountBracket(1, 2).value
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError):
+            exact_bin_count([1.2])
+
+    @given(sizes_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_exact_between_bounds(self, sizes):
+        br = exact_bin_count(sizes)
+        assert br.exact
+        assert lower_bound_l2(sizes) <= br.value <= first_fit_decreasing(sizes)
+
+    @given(sizes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_exact_invariant_under_order(self, sizes):
+        br1 = exact_bin_count(sizes)
+        br2 = exact_bin_count(list(reversed(sizes)))
+        assert br1.value == br2.value
+
+    @given(sizes_strategy, st.floats(0.01, 0.99).map(lambda x: round(x, 3)))
+    @settings(max_examples=50, deadline=None)
+    def test_adding_item_never_decreases_opt(self, sizes, extra):
+        base = exact_bin_count(sizes).value
+        bigger = exact_bin_count(sizes + [extra]).value
+        assert bigger >= base

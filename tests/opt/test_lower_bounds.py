@@ -1,0 +1,70 @@
+"""Tests for Propositions 1–2 and the fractional-ceiling bound."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.items import Item, ItemList
+from repro.opt.lower_bounds import (
+    combined_lower_bound,
+    fractional_ceiling_bound,
+    prop1_time_space_bound,
+    prop2_span_bound,
+)
+
+from ..conftest import item_lists
+
+
+class TestProp1:
+    def test_single_item(self):
+        items = ItemList([Item(0, 0.5, 0.0, 4.0)])
+        assert prop1_time_space_bound(items) == pytest.approx(2.0)
+
+    def test_scales_with_capacity(self):
+        items = ItemList([Item(0, 1.0, 0.0, 4.0)], capacity=2.0)
+        assert prop1_time_space_bound(items) == pytest.approx(2.0)
+
+
+class TestProp2:
+    def test_span_with_gap(self):
+        items = ItemList([Item(0, 0.1, 0.0, 1.0), Item(1, 0.1, 3.0, 5.0)])
+        assert prop2_span_bound(items) == pytest.approx(3.0)
+
+
+class TestFractionalCeiling:
+    def test_equals_span_for_light_load(self):
+        # total size never exceeds 1 → ceiling is 1 whenever active
+        items = ItemList([Item(0, 0.3, 0.0, 2.0), Item(1, 0.3, 1.0, 3.0)])
+        assert fractional_ceiling_bound(items) == pytest.approx(items.span)
+
+    def test_counts_parallel_demand(self):
+        # 1.5 total size during [1,2) → 2 bins needed there
+        items = ItemList([Item(0, 0.8, 0.0, 3.0), Item(1, 0.7, 1.0, 2.0)])
+        # piecewise: [0,1)→1, [1,2)→2, [2,3)→1 → total 4
+        assert fractional_ceiling_bound(items) == pytest.approx(4.0)
+
+    def test_exact_unit_multiples_no_roundup(self):
+        # ten 0.1-items active simultaneously: exactly 1 bin, not 2
+        items = ItemList([Item(i, 0.1, 0.0, 1.0) for i in range(10)])
+        assert fractional_ceiling_bound(items) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert fractional_ceiling_bound(ItemList([])) == 0.0
+
+    def test_gap_contributes_nothing(self):
+        items = ItemList([Item(0, 0.5, 0.0, 1.0), Item(1, 0.5, 10.0, 11.0)])
+        assert fractional_ceiling_bound(items) == pytest.approx(2.0)
+
+
+class TestDomination:
+    @given(item_lists(max_items=25))
+    @settings(max_examples=80, deadline=None)
+    def test_ceiling_dominates_props(self, items):
+        """The fractional-ceiling integral dominates Props 1 and 2."""
+        frac = fractional_ceiling_bound(items)
+        assert frac >= prop1_time_space_bound(items) - 1e-7
+        assert frac >= prop2_span_bound(items) - 1e-7
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=40, deadline=None)
+    def test_combined_is_ceiling(self, items):
+        assert combined_lower_bound(items) == fractional_ceiling_bound(items)

@@ -1,0 +1,109 @@
+"""Tests for OPT_total — the repacking adversary."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import ALGORITHM_REGISTRY, FirstFit, make_algorithm
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.opt.lower_bounds import fractional_ceiling_bound, prop2_span_bound
+from repro.opt.opt_total import competitive_ratio_bracket, opt_at_times, opt_total
+from repro.workloads.adversarial import next_fit_lower_bound
+
+from ..conftest import item_lists
+
+
+class TestOptTotalExamples:
+    def test_single_item(self):
+        items = ItemList([Item(0, 0.5, 0.0, 3.0)])
+        opt = opt_total(items)
+        assert opt.exact
+        assert opt.lower == pytest.approx(3.0)
+
+    def test_two_conflicting_items(self):
+        items = ItemList([Item(0, 0.8, 0.0, 2.0), Item(1, 0.8, 1.0, 3.0)])
+        opt = opt_total(items)
+        # [0,1): 1 bin, [1,2): 2 bins, [2,3): 1 bin
+        assert opt.lower == pytest.approx(4.0)
+
+    def test_paper_construction_value(self):
+        # Section VIII: OPT_total = n/2 + µ (with the +1-1 interval detail:
+        # [0,1): n/2+1 bins, [1,µ): 1 bin → n/2 + µ exactly)
+        n, mu = 8, 4.0
+        opt = opt_total(next_fit_lower_bound(n, mu))
+        assert opt.exact
+        assert opt.lower == pytest.approx(n / 2 + mu)
+
+    def test_empty_instance(self):
+        opt = opt_total(ItemList([]))
+        assert opt.lower == 0.0 and opt.upper == 0.0
+
+    def test_repacking_beats_online(self):
+        """An instance where OPT (repacking) < any no-migration packing.
+
+        Two size-0.6 items overlap briefly; a third 0.4-item weaves
+        between them.  The adversary repacks at every instant.
+        """
+        items = ItemList(
+            [
+                Item(0, 0.6, 0.0, 2.0),
+                Item(1, 0.6, 1.0, 4.0),
+                Item(2, 0.4, 0.5, 3.5),
+            ]
+        )
+        opt = opt_total(items)
+        ff = run_packing(items, FirstFit())
+        assert opt.lower <= ff.total_usage_time + 1e-9
+
+
+class TestOptAtTimes:
+    def test_counts(self):
+        items = ItemList(
+            [Item(0, 0.8, 0.0, 2.0), Item(1, 0.8, 1.0, 3.0), Item(2, 0.2, 1.0, 3.0)]
+        )
+        brackets = opt_at_times(items, [0.5, 1.5, 2.5, 10.0])
+        assert [b.lower for b in brackets] == [1, 2, 1, 0]
+
+    def test_empty_time(self):
+        items = ItemList([Item(0, 0.5, 0.0, 1.0)])
+        assert opt_at_times(items, [5.0])[0].lower == 0
+
+
+class TestRatioBracket:
+    def test_basic(self):
+        items = ItemList([Item(0, 0.5, 0.0, 3.0)])
+        opt = opt_total(items)
+        lo, hi = competitive_ratio_bracket(3.0, opt)
+        assert lo == pytest.approx(1.0)
+        assert hi == pytest.approx(1.0)
+
+    def test_zero_opt_rejected(self):
+        opt = opt_total(ItemList([]))
+        with pytest.raises(ValueError):
+            competitive_ratio_bracket(1.0, opt)
+
+
+class TestOptTotalProperties:
+    @given(item_lists(max_items=18))
+    @settings(max_examples=40, deadline=None)
+    def test_opt_dominates_closed_form_bounds(self, items):
+        opt = opt_total(items)
+        assert opt.lower >= fractional_ceiling_bound(items) - 1e-7
+        assert opt.lower >= prop2_span_bound(items) - 1e-7
+        assert opt.upper >= opt.lower - 1e-9
+
+    @given(item_lists(max_items=16))
+    @settings(max_examples=30, deadline=None)
+    def test_every_algorithm_at_least_opt(self, items):
+        """No online algorithm can beat the repacking adversary."""
+        opt = opt_total(items)
+        for name in ALGORITHM_REGISTRY:
+            result = run_packing(items, make_algorithm(name))
+            assert result.total_usage_time >= opt.lower - 1e-6
+
+    @given(item_lists(max_items=14))
+    @settings(max_examples=25, deadline=None)
+    def test_small_instances_solve_exactly(self, items):
+        opt = opt_total(items)
+        assert opt.exact
+        assert opt.width <= 1e-12

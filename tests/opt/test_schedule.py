@@ -1,0 +1,84 @@
+"""Tests for the constructive repacking schedule."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.items import Item, ItemList
+from repro.opt.opt_total import opt_total
+from repro.opt.schedule import build_repacking_schedule
+from repro.workloads.adversarial import next_fit_lower_bound
+from repro.workloads.random_workloads import poisson_workload
+
+from ..conftest import item_lists
+
+
+class TestScheduleBasics:
+    def test_empty_instance(self):
+        sched = build_repacking_schedule(ItemList([]))
+        assert sched.total_usage_time == 0.0
+        assert sched.migrations == 0
+
+    def test_single_item(self):
+        sched = build_repacking_schedule(ItemList([Item(0, 0.5, 0.0, 3.0)]))
+        assert sched.total_usage_time == pytest.approx(3.0)
+        assert sched.migrations == 0
+        assert sched.exact
+
+    def test_repacking_happens_when_profitable(self):
+        """Three items where repacking merges survivors mid-flight."""
+        items = ItemList(
+            [
+                Item(0, 0.6, 0.0, 2.0),
+                Item(1, 0.6, 0.0, 4.0),
+                Item(2, 0.6, 1.0, 4.0),   # conflicts with both
+                Item(3, 0.4, 2.0, 4.0),   # after 0 leaves, joins someone
+            ]
+        )
+        sched = build_repacking_schedule(items)
+        opt = opt_total(items)
+        assert sched.total_usage_time == pytest.approx(opt.lower)
+
+    def test_nextfit_gadget_needs_no_migrations(self):
+        """The §VIII construction has a static optimal layout."""
+        sched = build_repacking_schedule(next_fit_lower_bound(8, 4.0))
+        assert sched.migrations == 0
+
+    def test_assignments_are_feasible(self):
+        items = poisson_workload(40, seed=2, mu_target=5.0, arrival_rate=3.0)
+        by_id = {it.item_id: it for it in items}
+        sched = build_repacking_schedule(items)
+        for iv in sched.intervals:
+            placed = [iid for b in iv.bins for iid in b]
+            assert len(placed) == len(set(placed))  # no duplicates
+            for b in iv.bins:
+                assert sum(by_id[i].size for i in b) <= items.capacity + 1e-9
+            # exactly the active items are assigned
+            active = {it.item_id for it in items.active_at(iv.start)}
+            assert set(placed) == active
+
+
+class TestScheduleMatchesOpt:
+    @given(item_lists(max_items=16))
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_attains_opt_when_exact(self, items):
+        sched = build_repacking_schedule(items)
+        opt = opt_total(items)
+        # the schedule is a feasible adversary trajectory: ≥ OPT lower
+        assert sched.total_usage_time >= opt.lower - 1e-6
+        if sched.exact and opt.exact:
+            assert sched.total_usage_time == pytest.approx(opt.lower, rel=1e-9)
+
+    @given(item_lists(max_items=16))
+    @settings(max_examples=20, deadline=None)
+    def test_migrations_nonnegative_and_bounded(self, items):
+        sched = build_repacking_schedule(items)
+        assert sched.migrations >= 0
+        # an item can migrate at most once per transition it survives
+        def item_ids(iv):
+            return {i for b in iv.bins for i in b}
+
+        max_possible = sum(
+            len(item_ids(a) & item_ids(c))
+            for a, c in zip(sched.intervals, sched.intervals[1:])
+        )
+        assert sched.migrations <= max_possible

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface (direct main() invocation)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NOPE"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pack", "x.json", "--algorithm", "nope"])
+
+
+class TestCommands:
+    def test_list_algorithms(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "first-fit" in out
+        assert "clairvoyant" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "F1" in out and "X4" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--mu", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "8.00" in out  # µ+4 at µ=4
+
+    def test_run_figure(self, capsys):
+        assert main(["run", "F1"]) == 0
+        assert "span" in capsys.readouterr().out
+
+    def test_run_table_experiment(self, capsys):
+        assert main(["run", "F5-F6"]) == 0
+        assert "Lemma 2" in capsys.readouterr().out
+
+    def test_generate_pack_verify_roundtrip(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        assert main(["generate", "poisson", "--n", "30", "--seed", "5",
+                     "--out", trace]) == 0
+        assert main(["pack", trace, "--algorithm", "first-fit", "--opt"]) == 0
+        out = capsys.readouterr().out
+        assert "OPT_total" in out and "ratio" in out
+        assert main(["verify", trace]) == 0
+        assert "all propositions and lemmas hold" in capsys.readouterr().out
+
+    def test_generate_adversarial_kinds(self, tmp_path, capsys):
+        for kind in ("nextfit-lb", "universal-lb", "staircase", "gaming"):
+            trace = str(tmp_path / f"{kind}.csv")
+            assert main(["generate", kind, "--n", "8", "--mu", "4",
+                         "--out", trace]) == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote") == 4
+
+    def test_pack_with_render(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        main(["generate", "poisson", "--n", "10", "--out", trace])
+        assert main(["pack", trace, "--render"]) == 0
+        assert "bin " in capsys.readouterr().out
+
+    def test_pack_clairvoyant_algorithm(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        main(["generate", "poisson", "--n", "15", "--out", trace])
+        assert main(["pack", trace, "--algorithm", "departure-aligned-fit"]) == 0
+        assert "departure-aligned-fit" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            main(["--version"])
+        assert e.value.code == 0

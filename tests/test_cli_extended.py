@@ -1,0 +1,46 @@
+"""Tests for the extended CLI commands (inspect, report, mmpp)."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report import generate_report, run_all_experiments
+
+
+class TestInspect:
+    def test_inspect_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        main(["generate", "poisson", "--n", "25", "--seed", "2", "--out", trace])
+        capsys.readouterr()
+        assert main(["inspect", trace]) == 0
+        out = capsys.readouterr().out
+        assert "items" in out and "burstiness" in out
+
+    def test_generate_mmpp(self, tmp_path, capsys):
+        trace = str(tmp_path / "m.csv")
+        assert main(["generate", "mmpp", "--n", "40", "--seed", "1",
+                     "--out", trace]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+
+class TestReport:
+    def test_report_subset(self, tmp_path, capsys):
+        out_path = tmp_path / "r.md"
+        assert main(["report", "--out", str(out_path), "--only", "F1"]) == 0
+        text = out_path.read_text()
+        assert "# Reproduction report" in text
+        assert "## F1" in text
+        assert "span" in text
+
+    def test_run_all_respects_only(self):
+        results = run_all_experiments(only=("F1",))
+        assert set(results) == {"F1"}
+
+    def test_progress_callback(self, tmp_path):
+        seen = []
+        generate_report(tmp_path / "r.md", only=("F1", "F2"), progress=seen.append)
+        assert seen == ["F1", "F2"]
+
+    def test_table_experiments_rendered(self, tmp_path):
+        path = generate_report(tmp_path / "r.md", only=("F5-F6",))
+        assert "Lemma 2" in path.read_text()

@@ -1,0 +1,114 @@
+"""Tests for deferred dispatch."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFit
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.deferral import run_deferred_first_fit
+from repro.workloads.gaming import gaming_workload
+from repro.workloads.random_workloads import poisson_workload
+
+from .conftest import item_lists
+
+
+def jobs(*tuples):
+    return ItemList([Item(i, s, a, d) for i, (s, a, d) in enumerate(tuples)])
+
+
+class TestZeroDelay:
+    def test_equals_first_fit_exactly(self):
+        for seed in (1, 2, 3):
+            inst = poisson_workload(60, seed=seed, mu_target=6.0, arrival_rate=3.0)
+            deferred = run_deferred_first_fit(inst, max_delay=0.0)
+            ff = run_packing(inst, FirstFit())
+            assert deferred.packing.item_bin == ff.item_bin
+            assert deferred.total_usage_time == pytest.approx(ff.total_usage_time)
+            assert deferred.delayed_jobs == 0
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_delay_property(self, items):
+        deferred = run_deferred_first_fit(items, max_delay=0.0)
+        ff = run_packing(items, FirstFit())
+        assert deferred.packing.item_bin == ff.item_bin
+
+
+class TestDeferralMechanics:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            run_deferred_first_fit(jobs((0.5, 0, 1)), max_delay=-1.0)
+
+    def test_job_waits_for_freed_capacity(self):
+        # two conflicting jobs; the second waits until the first leaves,
+        # eliminating the overlap (bins are never reused after closing —
+        # paper semantics — so it still opens a second bin, but the two
+        # rentals no longer run concurrently)
+        inst = jobs((0.8, 0.0, 1.0), (0.8, 0.5, 1.5))
+        res = run_deferred_first_fit(inst, max_delay=1.0)
+        assert res.waits[1] == pytest.approx(0.5)
+        # each bin serves one job for its full duration: total 2.0 either
+        # way in this two-job example (waiting helps when the freed bin
+        # STAYS open — see the next test — or under quantised billing)
+        assert res.total_usage_time == pytest.approx(2.0)
+        # the second job runs for its full duration, shifted
+        placed = next(it for it in res.packing.items if it.item_id == 1)
+        assert placed.arrival == pytest.approx(1.0)
+        assert placed.duration == pytest.approx(1.0)
+
+    def test_waiting_reuses_still_open_bin(self):
+        # a long co-tenant keeps bin 0 open, so the waiting job can join
+        # it once the big blocker departs: genuinely one bin
+        inst = jobs(
+            (0.1, 0.0, 3.0),   # long small co-tenant keeps bin 0 open
+            (0.8, 0.0, 1.0),   # blocker in bin 0
+            (0.8, 0.5, 1.5),   # waits; joins bin 0 at t=1
+        )
+        res = run_deferred_first_fit(inst, max_delay=1.0)
+        assert res.packing.num_bins == 1
+        assert res.waits[2] == pytest.approx(0.5)
+
+    def test_deadline_forces_new_bin(self):
+        # the blocker lives far past the patience window
+        inst = jobs((0.8, 0.0, 10.0), (0.8, 0.5, 1.5))
+        res = run_deferred_first_fit(inst, max_delay=0.25)
+        assert res.packing.num_bins == 2
+        assert res.waits[1] == pytest.approx(0.25)
+
+    def test_fifo_no_queue_jumping(self):
+        # job 1 (big) queues; job 2 (small) would fit immediately but must
+        # wait behind job 1
+        inst = jobs(
+            (0.9, 0.0, 10.0),   # blocker in bin 0
+            (0.8, 1.0, 2.0),    # queues (doesn't fit bin 0)
+            (0.05, 1.1, 2.1),   # fits bin 0, but FIFO says wait
+        )
+        res = run_deferred_first_fit(inst, max_delay=5.0)
+        assert res.waits[2] > 0.0
+
+    def test_waits_bounded_by_delay(self):
+        inst = gaming_workload(150, seed=3, request_rate=8.0)
+        res = run_deferred_first_fit(inst, max_delay=0.5)
+        assert all(w <= 0.5 + 1e-9 for w in res.waits.values())
+
+    def test_durations_preserved(self):
+        inst = poisson_workload(50, seed=4, mu_target=5.0, arrival_rate=4.0)
+        res = run_deferred_first_fit(inst, max_delay=1.0)
+        original = {it.item_id: it.duration for it in inst}
+        for it in res.packing.items:
+            assert it.duration == pytest.approx(original[it.item_id])
+
+    @given(item_lists(max_items=25))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_packing_any_delay(self, items):
+        res = run_deferred_first_fit(items, max_delay=0.7)
+        assert set(res.packing.item_bin) == {it.item_id for it in items}
+        for b in res.packing.bins:
+            assert b.is_closed
+
+    def test_patience_usually_saves_on_loaded_streams(self):
+        inst = gaming_workload(250, seed=6, request_rate=8.0)
+        base = run_deferred_first_fit(inst, max_delay=0.0).total_usage_time
+        patient = run_deferred_first_fit(inst, max_delay=1.0).total_usage_time
+        assert patient <= base * 1.02  # never much worse; usually better

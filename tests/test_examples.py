@@ -1,0 +1,35 @@
+"""End-to-end: every example script runs without error.
+
+Examples are the public face of the library; a broken example is a
+broken release.  Each is executed in-process via runpy with stdout
+captured (they are deterministic and finish in seconds).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # each example prints a substantive report
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "cloud_gaming",
+        "adversarial_showdown",
+        "proof_walkthrough",
+        "multidim_allocation",
+        "streaming_monitor",
+        "capacity_planning",
+        "offline_vs_online",
+    } <= names

@@ -1,0 +1,121 @@
+"""Hardening: pathological inputs the library must survive.
+
+Extreme-but-legal instances: microscopic sizes, huge µ, thousands of
+simultaneous arrivals, float-noise capacity boundaries, large streams.
+"""
+
+import pytest
+
+from repro.algorithms import ALGORITHM_REGISTRY, FirstFit, make_algorithm
+from repro.analysis.verification import verify_analysis
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.opt.lower_bounds import fractional_ceiling_bound
+from repro.opt.opt_total import opt_total
+from repro.workloads.random_workloads import poisson_workload
+from repro.workloads.traces import from_json, to_json
+
+
+class TestExtremeSizes:
+    def test_microscopic_items(self):
+        items = ItemList([Item(i, 1e-6, 0.0, 1.0) for i in range(100)])
+        result = run_packing(items, FirstFit())
+        assert result.num_bins == 1
+        assert result.total_usage_time == pytest.approx(1.0)
+
+    def test_mixed_micro_and_full(self):
+        items = ItemList(
+            [Item(0, 1.0, 0.0, 2.0)] + [Item(i, 1e-9, 0.0, 2.0) for i in range(1, 50)]
+        )
+        result = run_packing(items, FirstFit())
+        # the full item excludes everything; micro items share one bin
+        assert result.num_bins == 2
+
+    def test_exact_boundary_fill_with_float_noise(self):
+        # 0.1 + 0.2 + 0.7 != 1.0 in floats; must still fit one bin
+        items = ItemList(
+            [Item(0, 0.1, 0.0, 1.0), Item(1, 0.2, 0.0, 1.0), Item(2, 0.7, 0.0, 1.0)]
+        )
+        result = run_packing(items, FirstFit())
+        assert result.num_bins == 1
+
+    def test_many_exact_thirds(self):
+        items = ItemList([Item(i, 1.0 / 3.0, 0.0, 1.0) for i in range(9)])
+        result = run_packing(items, FirstFit())
+        assert result.num_bins == 3
+
+
+class TestExtremeDurations:
+    def test_huge_mu(self):
+        items = ItemList(
+            [Item(0, 0.4, 0.0, 1e6), Item(1, 0.4, 0.0, 1.0)]
+        )
+        assert items.mu == pytest.approx(1e6)
+        result = run_packing(items, FirstFit())
+        assert result.total_usage_time == pytest.approx(1e6)
+        # the closed-form Theorem-1 chain must not overflow or misfire
+        report = verify_analysis(result, check_lemma2=False)
+        assert report.closed_form_slack >= -1e-6
+
+    def test_tiny_durations(self):
+        items = ItemList([Item(i, 0.3, i * 1e-6, (i + 1) * 1e-6) for i in range(50)])
+        result = run_packing(items, FirstFit())
+        assert result.num_bins >= 1
+        assert result.total_usage_time == pytest.approx(50e-6, rel=1e-6)
+
+
+class TestMassSimultaneity:
+    def test_thousand_simultaneous_arrivals(self):
+        items = ItemList([Item(i, 0.01, 0.0, 1.0) for i in range(1000)])
+        result = run_packing(items, FirstFit())
+        assert result.num_bins == 10
+        assert result.max_concurrent_bins == 10
+
+    def test_simultaneous_arrival_and_departure_chains(self):
+        # back-to-back unit jobs: [k, k+1) for k in range(100), one size
+        items = ItemList([Item(i, 1.0, float(i), float(i + 1)) for i in range(100)])
+        result = run_packing(items, FirstFit())
+        assert result.num_bins == 100  # bins close and are never reused
+        assert result.max_concurrent_bins == 1
+
+
+class TestLargeStreams:
+    def test_ten_thousand_jobs_smoke(self):
+        items = poisson_workload(10_000, seed=1, mu_target=8.0, arrival_rate=5.0)
+        result = run_packing(items, FirstFit())
+        assert set(result.item_bin) == {it.item_id for it in items}
+        assert result.total_usage_time >= items.span
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
+    def test_all_algorithms_large_smoke(self, name):
+        items = poisson_workload(2_000, seed=2, mu_target=6.0, arrival_rate=4.0)
+        result = run_packing(items, make_algorithm(name))
+        assert result.num_bins > 0
+
+
+class TestNumericsRoundTrips:
+    def test_trace_roundtrip_extreme_floats(self):
+        items = ItemList(
+            [
+                Item(0, 1e-6, 0.0, 1e6),
+                Item(1, 1.0, 1e-9, 1.0),
+                Item(2, 0.3333333333333333, 1.0 / 3.0, 2.0 / 3.0 + 1.0),
+            ]
+        )
+        back = from_json(to_json(items))
+        for a, b in zip(items, back):
+            assert a.size == b.size
+            assert a.arrival == b.arrival
+            assert a.departure == b.departure
+
+    def test_fractional_bound_huge_counts(self):
+        items = ItemList([Item(i, 0.001, 0.0, 1.0) for i in range(999)])
+        # 0.999 total → exactly 1 bin, no float round-up to 2
+        assert fractional_ceiling_bound(items) == pytest.approx(1.0)
+
+    def test_opt_total_on_equal_sizes_scales(self):
+        """Equal sizes make B&B symmetric — must stay fast and exact."""
+        items = ItemList([Item(i, 0.25, float(i % 7), float(i % 7) + 2.0)
+                          for i in range(60)])
+        opt = opt_total(items)
+        assert opt.exact

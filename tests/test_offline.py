@@ -1,0 +1,166 @@
+"""Tests for the offline non-migratory model and solvers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import FirstFit, make_algorithm, ALGORITHM_REGISTRY
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.offline import (
+    Assignment,
+    exact_offline,
+    greedy_offline,
+    group_cost,
+    group_feasible,
+    local_search,
+    marginal_cost,
+    max_level,
+)
+from repro.opt.opt_total import opt_total
+
+from .conftest import item_lists
+
+
+def items_(*tuples):
+    return [Item(i, s, a, d) for i, (s, a, d) in enumerate(tuples)]
+
+
+class TestGroupPrimitives:
+    def test_max_level_overlap(self):
+        g = items_((0.5, 0, 2), (0.4, 1, 3))
+        assert max_level(g) == pytest.approx(0.9)
+
+    def test_max_level_touching_intervals(self):
+        # [0,1) and [1,2): never concurrent (departures first at ties)
+        g = items_((0.8, 0, 1), (0.8, 1, 2))
+        assert max_level(g) == pytest.approx(0.8)
+
+    def test_group_feasible(self):
+        assert group_feasible(items_((0.5, 0, 2), (0.5, 1, 3)))
+        assert not group_feasible(items_((0.6, 0, 2), (0.6, 1, 3)))
+
+    def test_group_cost_is_union(self):
+        g = items_((0.1, 0, 2), (0.1, 1, 3), (0.1, 5, 6))
+        assert group_cost(g) == pytest.approx(4.0)
+
+    def test_marginal_cost(self):
+        g = items_((0.1, 0, 2))
+        new = Item(9, 0.1, 1.0, 5.0)
+        assert marginal_cost(g, new) == pytest.approx(3.0)
+        inside = Item(10, 0.1, 0.5, 1.5)
+        assert marginal_cost(g, inside) == pytest.approx(0.0)
+
+
+class TestAssignment:
+    def test_validate_accepts_good(self):
+        items = ItemList(items_((0.5, 0, 2), (0.5, 0, 2)))
+        a = Assignment(items, [[items[0], items[1]]])
+        a.validate()
+        assert a.is_feasible()
+
+    def test_validate_rejects_missing_item(self):
+        items = ItemList(items_((0.5, 0, 2), (0.5, 0, 2)))
+        a = Assignment(items, [[items[0]]])
+        with pytest.raises(ValueError, match="cover"):
+            a.validate()
+
+    def test_validate_rejects_duplicate(self):
+        items = ItemList(items_((0.5, 0, 2), (0.5, 0, 2)))
+        a = Assignment(items, [[items[0], items[0]], [items[1]]])
+        with pytest.raises(ValueError, match="more than one"):
+            a.validate()
+
+    def test_validate_rejects_overfull_group(self):
+        items = ItemList(items_((0.7, 0, 2), (0.7, 1, 3)))
+        a = Assignment(items, [[items[0], items[1]]])
+        with pytest.raises(ValueError, match="peaks"):
+            a.validate()
+
+    def test_cost_with_gap_counts_union(self):
+        items = ItemList(items_((0.1, 0, 1), (0.1, 5, 6)))
+        a = Assignment(items, [[items[0], items[1]]])
+        # reopening: the idle gap [1,5) is not billed
+        assert a.cost() == pytest.approx(2.0)
+
+
+class TestExactSolver:
+    def test_trivial(self):
+        items = ItemList(items_((0.5, 0, 2)))
+        a, certified = exact_offline(items)
+        assert certified
+        assert a.cost() == pytest.approx(2.0)
+
+    def test_consolidation_optimal(self):
+        # two tiny concurrent items: one group, cost = union = 3
+        items = ItemList(items_((0.1, 0, 2), (0.1, 1, 3)))
+        a, certified = exact_offline(items)
+        assert certified
+        assert a.cost() == pytest.approx(3.0)
+        assert a.num_groups == 1
+
+    def test_conflict_forces_two_groups(self):
+        items = ItemList(items_((0.8, 0, 2), (0.8, 1, 3)))
+        a, certified = exact_offline(items)
+        assert certified
+        assert a.num_groups == 2
+        assert a.cost() == pytest.approx(4.0)
+
+    def test_exact_beats_or_ties_greedy(self):
+        items = ItemList(items_(
+            (0.5, 0, 4), (0.5, 0, 1), (0.5, 2, 3), (0.3, 0.5, 3.5), (0.6, 1.2, 2.2)
+        ))
+        exact, certified = exact_offline(items)
+        assert certified
+        greedy = greedy_offline(items)
+        assert exact.cost() <= greedy.cost() + 1e-9
+
+    def test_budget_exhaustion_still_valid(self):
+        items = ItemList(items_(*[(0.3, i * 0.2, i * 0.2 + 2) for i in range(12)]))
+        a, certified = exact_offline(items, node_budget=30)
+        a.validate()  # even uncertified, the result is feasible
+
+    @given(item_lists(max_items=8))
+    @settings(max_examples=25, deadline=None)
+    def test_sandwich_property(self, items):
+        """repacking OPT ≤ offline exact ≤ every online algorithm."""
+        exact, certified = exact_offline(items)
+        assert certified
+        exact.validate()
+        opt = opt_total(items)
+        assert opt.lower <= exact.cost() + 1e-6
+        ff = run_packing(items, FirstFit())
+        assert exact.cost() <= ff.total_usage_time + 1e-6
+
+
+class TestGreedyAndLocalSearch:
+    @given(item_lists(max_items=20))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_always_feasible(self, items):
+        a = greedy_offline(items)
+        a.validate()
+
+    @given(item_lists(max_items=16))
+    @settings(max_examples=30, deadline=None)
+    def test_local_search_never_worse_and_feasible(self, items):
+        a = greedy_offline(items)
+        improved = local_search(a)
+        improved.validate()
+        assert improved.cost() <= a.cost() + 1e-9
+
+    def test_local_search_finds_an_improvement(self):
+        # greedy (longest first) makes a recoverable mistake here:
+        # long A [0,10) 0.5; long B [0,10) 0.5 join A (full);
+        # C [2,3) 0.6 needs its own group; D [4,5) 0.6 joins C's group
+        # at zero extension? construct a case where moving helps:
+        items = ItemList(items_(
+            (0.5, 0, 10), (0.5, 0, 10), (0.6, 2, 3), (0.6, 2.5, 3.5)
+        ))
+        a = greedy_offline(items)
+        improved = local_search(a)
+        assert improved.cost() <= a.cost() + 1e-9
+
+    def test_greedy_consolidates_nested_jobs(self):
+        items = ItemList(items_((0.5, 0, 10), (0.4, 2, 4), (0.4, 5, 7)))
+        a = greedy_offline(items)
+        assert a.num_groups == 1
+        assert a.cost() == pytest.approx(10.0)

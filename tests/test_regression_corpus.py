@@ -1,0 +1,71 @@
+"""Regression corpus: frozen traces with pinned exact costs.
+
+Seven instances (the paper's gadgets at fixed parameters, random and
+bursty workloads, and an adaptive-game instance personalised against
+First Fit) live under ``tests/data/`` with the exact cost of every
+registered algorithm and the certified OPT bracket recorded at freeze
+time.  Any behavioural change to an algorithm, the event ordering, the
+capacity tolerance or the OPT solver shows up here as an exact-value
+diff — on purpose.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import ALGORITHM_REGISTRY, make_algorithm
+from repro.core.packing import run_packing
+from repro.opt.opt_total import opt_total
+from repro.workloads.traces import load_trace
+
+DATA = Path(__file__).parent / "data"
+
+with open(DATA / "expected_costs.json") as f:
+    EXPECTED = json.load(f)
+
+TRACES = sorted(EXPECTED)
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {name: load_trace(DATA / f"{name}.json") for name in TRACES}
+
+
+class TestCorpusIntegrity:
+    def test_all_trace_files_present(self):
+        for name in TRACES:
+            assert (DATA / f"{name}.json").exists(), name
+
+    def test_expected_covers_all_algorithms(self):
+        for name, row in EXPECTED.items():
+            assert set(ALGORITHM_REGISTRY) <= set(row), name
+
+
+@pytest.mark.parametrize("trace_name", TRACES)
+class TestPinnedCosts:
+    def test_algorithm_costs_exact(self, trace_name, instances):
+        items = instances[trace_name]
+        row = EXPECTED[trace_name]
+        for algo in sorted(ALGORITHM_REGISTRY):
+            result = run_packing(items, make_algorithm(algo))
+            assert result.total_usage_time == pytest.approx(
+                row[algo]["usage"], abs=1e-7
+            ), f"{trace_name}/{algo} usage drifted"
+            assert result.num_bins == row[algo]["bins"], (
+                f"{trace_name}/{algo} bin count drifted"
+            )
+
+    def test_opt_bracket_exact(self, trace_name, instances):
+        items = instances[trace_name]
+        row = EXPECTED[trace_name]["_opt"]
+        opt = opt_total(items, node_budget=200_000)
+        assert opt.lower == pytest.approx(row["lower"], abs=1e-7)
+        assert opt.upper == pytest.approx(row["upper"], abs=1e-7)
+        assert opt.exact == row["exact"]
+
+    def test_theorem1_on_corpus(self, trace_name, instances):
+        items = instances[trace_name]
+        row = EXPECTED[trace_name]
+        ff = row["first-fit"]["usage"]
+        assert ff <= (items.mu + 4.0) * row["_opt"]["lower"] + 1e-7

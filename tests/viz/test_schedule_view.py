@@ -1,0 +1,54 @@
+"""Tests for the offline/schedule renderers."""
+
+import pytest
+
+from repro.core.items import Item, ItemList
+from repro.offline import exact_offline
+from repro.opt.schedule import RepackingSchedule, build_repacking_schedule
+from repro.viz.schedule_view import render_assignment, render_schedule
+from repro.workloads.random_workloads import poisson_workload
+
+
+def inst():
+    return poisson_workload(15, seed=4, mu_target=4.0, arrival_rate=1.5)
+
+
+class TestRenderAssignment:
+    def test_one_row_per_group(self):
+        assignment, _ = exact_offline(inst())
+        out = render_assignment(assignment)
+        assert out.count("group ") == assignment.num_groups
+        assert f"{assignment.num_groups} groups" in out
+
+    def test_mentions_cost(self):
+        assignment, _ = exact_offline(inst())
+        assert f"{assignment.cost():.3f}" in render_assignment(assignment)
+
+    def test_idle_gap_rendered_differently(self):
+        items = ItemList([Item(0, 0.2, 0.0, 1.0), Item(1, 0.2, 5.0, 6.0)])
+        assignment, _ = exact_offline(items)
+        out = render_assignment(assignment)
+        if assignment.num_groups == 1:  # both in one reopenable group
+            assert "·" in out  # the unbilled gap shows as dots
+
+
+class TestRenderSchedule:
+    def test_empty(self):
+        empty = RepackingSchedule(intervals=(), total_usage_time=0.0,
+                                  migrations=0, exact=True)
+        assert "empty" in render_schedule(empty)
+
+    def test_bin_count_rows(self):
+        sched = build_repacking_schedule(inst())
+        out = render_schedule(sched)
+        max_bins = max(iv.num_bins for iv in sched.intervals)
+        assert out.count(" bins |") == max_bins
+        assert "migrations" in out
+
+    def test_migration_marker_present_when_migrating(self):
+        sched = build_repacking_schedule(
+            poisson_workload(40, seed=3, mu_target=6.0, arrival_rate=3.0)
+        )
+        out = render_schedule(sched)
+        if sched.migrations > 0:
+            assert "!" in out

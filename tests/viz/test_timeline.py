@@ -1,0 +1,70 @@
+"""Tests for the ASCII timeline renderers."""
+
+from repro.algorithms import FirstFit
+from repro.analysis.supplier import analyze_suppliers
+from repro.analysis.usage_periods import decompose_usage_periods
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.viz.timeline import (
+    render_bins,
+    render_items,
+    render_subperiods,
+    render_usage_decomposition,
+)
+from repro.workloads.random_workloads import poisson_workload
+
+
+def sample():
+    return ItemList(
+        [Item(0, 0.5, 0.0, 2.0), Item(1, 0.3, 1.0, 3.0), Item(2, 0.4, 4.0, 6.0)]
+    )
+
+
+class TestRenderItems:
+    def test_one_row_per_item_plus_header_and_span(self):
+        out = render_items(sample())
+        lines = out.splitlines()
+        assert len(lines) == 1 + 3 + 1
+        assert "span" in lines[-1]
+
+    def test_mentions_sizes(self):
+        out = render_items(sample())
+        assert "s=0.5" in out
+
+    def test_bars_reflect_position(self):
+        out = render_items(sample(), width=60)
+        rows = out.splitlines()[1:-1]
+        # first item starts at the left edge, last item ends at the right
+        assert rows[0].split("|")[1].startswith("█")
+        assert rows[2].split("|")[1].rstrip().endswith("█")
+
+
+class TestRenderBins:
+    def test_counts_bins(self):
+        result = run_packing(sample(), FirstFit())
+        out = render_bins(result)
+        assert f"{result.num_bins} bins" in out
+        assert out.count("bin ") == result.num_bins
+
+
+class TestRenderDecomposition:
+    def test_renders_v_and_w_glyphs(self):
+        result = run_packing(
+            ItemList([Item(0, 0.7, 0.0, 3.0), Item(1, 0.7, 1.0, 5.0)]),
+            FirstFit(),
+        )
+        deco = decompose_usage_periods(result)
+        out = render_usage_decomposition(result, deco)
+        assert "░" in out and "█" in out
+        assert "span" in out
+
+
+class TestRenderSubperiods:
+    def test_renders_supplier_rows(self):
+        inst = poisson_workload(80, seed=3, mu_target=4.0, arrival_rate=4.0)
+        result = run_packing(inst, FirstFit())
+        analysis = analyze_suppliers(result)
+        out = render_subperiods(result, analysis)
+        assert "bin " in out
+        if analysis.groups:
+            assert "s" in out

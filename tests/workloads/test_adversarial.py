@@ -1,0 +1,150 @@
+"""Tests for the adversarial constructions — the paper's gadgets."""
+
+import pytest
+
+from repro.algorithms import ALGORITHM_REGISTRY, BestFit, FirstFit, NextFit, make_algorithm
+from repro.core.packing import run_packing
+from repro.opt.opt_total import opt_total
+from repro.workloads.adversarial import (
+    anyfit_pressure,
+    best_fit_staircase,
+    next_fit_lower_bound,
+    universal_lower_bound,
+)
+
+
+class TestNextFitLowerBound:
+    def test_structure(self):
+        inst = next_fit_lower_bound(8, 4.0)
+        assert len(inst) == 16
+        halves = [it for it in inst if it.size == 0.5]
+        tinies = [it for it in inst if it.size == pytest.approx(1 / 8)]
+        assert len(halves) == len(tinies) == 8
+        assert all(it.duration == 1.0 for it in halves)
+        assert all(it.duration == 4.0 for it in tinies)
+        assert inst.mu == 4.0
+
+    def test_nf_cost_exactly_n_mu(self):
+        for n, mu in [(4, 2.0), (8, 8.0), (32, 3.0)]:
+            result = run_packing(next_fit_lower_bound(n, mu), NextFit())
+            assert result.total_usage_time == pytest.approx(n * mu)
+
+    def test_opt_is_half_n_plus_mu(self):
+        n, mu = 8, 4.0
+        opt = opt_total(next_fit_lower_bound(n, mu))
+        assert opt.lower == pytest.approx(n / 2 + mu)
+
+    def test_ratio_approaches_two_mu(self):
+        """nµ/(n/2+µ) is increasing in n toward 2µ."""
+        mu = 4.0
+        prev = 0.0
+        for n in (4, 8, 16, 64, 256):
+            inst = next_fit_lower_bound(n, mu)
+            nf = run_packing(inst, NextFit()).total_usage_time
+            analytic = n * mu / (n / 2 + mu)
+            assert nf / (n / 2 + mu) == pytest.approx(analytic)
+            assert analytic > prev
+            prev = analytic
+        assert prev > 2 * mu * 0.9  # within 10% of the limit at n=256
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            next_fit_lower_bound(2, 4.0)
+        with pytest.raises(ValueError):
+            next_fit_lower_bound(8, 1.0)
+
+
+class TestUniversalLowerBound:
+    def test_every_unclassified_algorithm_pays_n_mu(self):
+        """The construction leaves no placement choice for Any Fit
+        algorithms and Next Fit — they all pay exactly nµ."""
+        n, mu = 10, 6.0
+        inst = universal_lower_bound(n, mu)
+        for name in ("first-fit", "best-fit", "worst-fit", "last-fit",
+                     "random-fit", "next-fit"):
+            cost = run_packing(inst, make_algorithm(name)).total_usage_time
+            assert cost == pytest.approx(n * mu), name
+
+    def test_classified_algorithms_escape_the_gadget(self):
+        """Size-classified policies segregate the ε-fillers into their own
+        bins and dodge the trap — exactly why hybrid algorithms can beat
+        the Any Fit lower bound (Section II)."""
+        n, mu = 10, 6.0
+        inst = universal_lower_bound(n, mu)
+        for name in ("hybrid-first-fit", "classified-next-fit"):
+            cost = run_packing(inst, make_algorithm(name)).total_usage_time
+            assert cost < 0.5 * n * mu, name
+
+    def test_each_round_opens_one_bin(self):
+        n = 8
+        result = run_packing(universal_lower_bound(n, 4.0), FirstFit())
+        assert result.num_bins == n
+
+    def test_opt_near_n_plus_mu(self):
+        n, mu = 10, 6.0
+        opt = opt_total(universal_lower_bound(n, mu))
+        assert opt.lower == pytest.approx(n + mu, rel=0.15)
+
+    def test_ratio_approaches_mu(self):
+        mu = 8.0
+        inst = universal_lower_bound(40, mu)
+        ff = run_packing(inst, FirstFit())
+        opt = opt_total(inst)
+        ratio = ff.total_usage_time / opt.lower
+        assert ratio > 0.8 * mu
+        assert ratio <= mu + 4.0  # Theorem 1 must still hold
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            universal_lower_bound(0, 4.0)
+        with pytest.raises(ValueError):
+            universal_lower_bound(8, 1.0)
+        with pytest.raises(ValueError):
+            universal_lower_bound(8, 4.0, delta=0.2)  # n·δ ≥ 1
+
+
+class TestBestFitStaircase:
+    def test_blockers_open_n_bins(self):
+        n = 12
+        inst = best_fit_staircase(n, 4.0)
+        result = run_packing(inst, FirstFit())
+        assert result.num_bins == n
+
+    def test_bf_scatters_ff_consolidates(self):
+        inst = best_fit_staircase(24, 8.0)
+        bf = run_packing(inst, BestFit())
+        ff = run_packing(inst, FirstFit())
+        # count bins that stay open past the blocker phase (close after t=2)
+        bf_long = sum(1 for b in bf.bins if b.closed_at > 2.0)
+        ff_long = sum(1 for b in ff.bins if b.closed_at > 2.0)
+        assert ff_long == 1
+        assert bf_long > 3
+
+    def test_separation_grows_with_mu(self):
+        gaps = []
+        for mu in (4.0, 16.0):
+            inst = best_fit_staircase(24, mu)
+            bf = run_packing(inst, BestFit()).total_usage_time
+            ff = run_packing(inst, FirstFit()).total_usage_time
+            gaps.append(bf / ff)
+        assert gaps[1] > gaps[0] > 1.0
+
+    def test_fillers_bounded(self):
+        with pytest.raises(ValueError):
+            best_fit_staircase(10, 4.0, fillers=100)
+
+
+class TestAnyfitPressure:
+    def test_rounds_scale_cost_linearly(self):
+        one = run_packing(anyfit_pressure(1, 8, 4.0), FirstFit()).total_usage_time
+        three = run_packing(anyfit_pressure(3, 8, 4.0), FirstFit()).total_usage_time
+        assert three == pytest.approx(3 * one)
+
+    def test_rounds_do_not_interact(self):
+        """Bins from different rounds never overlap in time."""
+        result = run_packing(anyfit_pressure(2, 6, 3.0), FirstFit())
+        periods = sorted((b.usage_period for b in result.bins), key=lambda p: p.left)
+        first_round = [p for p in periods if p.left < 3.0 + 1.0]
+        second_round = [p for p in periods if p.left >= 3.0 + 1.0]
+        assert first_round and second_round
+        assert max(p.right for p in first_round) <= min(p.left for p in second_round) + 1e-9

@@ -1,0 +1,98 @@
+"""Tests for the distribution objects."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    Clipped,
+    Constant,
+    DiscreteChoice,
+    Exponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+)
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestBasicDistributions:
+    def test_constant(self):
+        assert list(Constant(2.5).sample(rng(), 3)) == [2.5] * 3
+        assert Constant(2.5).mean == 2.5
+
+    def test_uniform_range_and_mean(self):
+        d = Uniform(1.0, 3.0)
+        xs = d.sample(rng(), 5000)
+        assert xs.min() >= 1.0 and xs.max() <= 3.0
+        assert xs.mean() == pytest.approx(2.0, abs=0.05)
+        assert d.mean == 2.0
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            Uniform(3.0, 1.0)
+
+    def test_exponential_mean(self):
+        d = Exponential(4.0)
+        assert d.sample(rng(), 20000).mean() == pytest.approx(4.0, rel=0.05)
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_pareto_support_and_mean(self):
+        d = Pareto(alpha=3.0, xm=2.0)
+        xs = d.sample(rng(), 20000)
+        assert xs.min() >= 2.0
+        assert d.mean == pytest.approx(3.0)
+        assert xs.mean() == pytest.approx(3.0, rel=0.1)
+
+    def test_pareto_infinite_mean(self):
+        assert Pareto(alpha=0.9, xm=1.0).mean == float("inf")
+
+    def test_lognormal_mean(self):
+        d = LogNormal(0.0, 0.5)
+        assert d.sample(rng(), 40000).mean() == pytest.approx(d.mean, rel=0.05)
+
+
+class TestDiscreteChoice:
+    def test_uniform_choice(self):
+        d = DiscreteChoice((1.0, 2.0, 3.0))
+        xs = d.sample(rng(), 1000)
+        assert set(xs) <= {1.0, 2.0, 3.0}
+        assert d.mean == 2.0
+
+    def test_weighted_choice(self):
+        d = DiscreteChoice((0.0, 1.0), weights=(1.0, 3.0))
+        assert d.mean == pytest.approx(0.75)
+        xs = d.sample(rng(), 20000)
+        assert xs.mean() == pytest.approx(0.75, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteChoice(())
+        with pytest.raises(ValueError):
+            DiscreteChoice((1.0,), weights=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            DiscreteChoice((1.0, 2.0), weights=(0.0, 0.0))
+
+
+class TestClipped:
+    def test_respects_bounds(self):
+        d = Clipped(Exponential(5.0), 1.0, 4.0)
+        xs = d.sample(rng(), 5000)
+        assert xs.min() >= 1.0 and xs.max() <= 4.0
+
+    def test_mean_estimate_within_bounds(self):
+        d = Clipped(Exponential(5.0), 1.0, 4.0)
+        assert 1.0 <= d.mean <= 4.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Clipped(Constant(1.0), 2.0, 1.0)
+
+    def test_deterministic_sampling(self):
+        d = Uniform(0.0, 1.0)
+        a = d.sample(np.random.default_rng(3), 10)
+        b = d.sample(np.random.default_rng(3), 10)
+        assert np.array_equal(a, b)

@@ -1,0 +1,50 @@
+"""Tests for the diurnal (non-homogeneous Poisson) generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.diurnal import diurnal_workload, sinusoidal_rate
+
+
+class TestSinusoidalRate:
+    def test_oscillates_around_base(self):
+        rate = sinusoidal_rate(2.0, 0.5, period=24.0)
+        assert rate(6.0) == pytest.approx(3.0)   # peak of sin at period/4
+        assert rate(18.0) == pytest.approx(1.0)  # trough
+        assert rate.max_rate == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sinusoidal_rate(0.0, 0.5)
+        with pytest.raises(ValueError):
+            sinusoidal_rate(1.0, 1.0)
+
+
+class TestDiurnalWorkload:
+    def test_arrivals_within_horizon(self):
+        inst = diurnal_workload(48.0, seed=1)
+        assert all(0 <= it.arrival < 48.0 for it in inst)
+
+    def test_reproducible(self):
+        a = diurnal_workload(24.0, seed=2)
+        b = diurnal_workload(24.0, seed=2)
+        assert len(a) == len(b)
+        assert [it.arrival for it in a] == [it.arrival for it in b]
+
+    def test_peak_hours_busier(self):
+        """More arrivals near the peak than near the trough (statistical)."""
+        rate = sinusoidal_rate(4.0, 0.9, period=24.0)
+        counts_peak = counts_trough = 0
+        for seed in range(10):
+            inst = diurnal_workload(24.0, seed=seed, rate_fn=rate)
+            counts_peak += sum(1 for it in inst if 3.0 <= it.arrival < 9.0)
+            counts_trough += sum(1 for it in inst if 15.0 <= it.arrival < 21.0)
+        assert counts_peak > counts_trough
+
+    def test_mu_bounded(self):
+        inst = diurnal_workload(48.0, seed=3, mu_target=6.0)
+        if len(inst) > 0:
+            assert inst.mu <= 6.0 + 1e-9
+
+    def test_zero_horizon_empty(self):
+        assert len(diurnal_workload(0.0, seed=1)) == 0

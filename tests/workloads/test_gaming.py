@@ -1,0 +1,49 @@
+"""Tests for the cloud-gaming workload generator."""
+
+import pytest
+
+from repro.workloads.distributions import LogNormal
+from repro.workloads.gaming import DEFAULT_CATALOGUE, GameProfile, gaming_workload
+
+
+class TestGameProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GameProfile("bad", 0.0, LogNormal(0, 1))
+        with pytest.raises(ValueError):
+            GameProfile("bad", 1.5, LogNormal(0, 1))
+        with pytest.raises(ValueError):
+            GameProfile("bad", 0.5, LogNormal(0, 1), popularity=0)
+
+
+class TestGamingWorkload:
+    def test_sizes_come_from_catalogue(self):
+        inst = gaming_workload(200, seed=1)
+        shares = {g.gpu_share for g in DEFAULT_CATALOGUE}
+        assert {it.size for it in inst} <= shares
+
+    def test_session_bounds_cap_mu(self):
+        inst = gaming_workload(300, seed=2, min_session=0.5, max_session=4.0)
+        eps = 1e-9  # duration = (arrival + dur) − arrival carries an ulp
+        assert all(0.5 - eps <= it.duration <= 4.0 + eps for it in inst)
+        assert inst.mu <= 8.0 + 1e-6
+
+    def test_reproducible(self):
+        a = gaming_workload(50, seed=3)
+        b = gaming_workload(50, seed=3)
+        assert [(it.size, it.arrival) for it in a] == [(it.size, it.arrival) for it in b]
+
+    def test_popular_titles_dominate(self):
+        inst = gaming_workload(2000, seed=4)
+        casual = sum(1 for it in inst if it.size == pytest.approx(0.10))
+        aaa = sum(1 for it in inst if it.size == pytest.approx(1.00))
+        assert casual > aaa  # popularity 4.0 vs 0.5
+
+    def test_custom_catalogue(self):
+        cat = (GameProfile("only", 0.25, LogNormal(0.0, 0.1)),)
+        inst = gaming_workload(20, seed=5, catalogue=cat)
+        assert all(it.size == 0.25 for it in inst)
+
+    def test_empty_catalogue_rejected(self):
+        with pytest.raises(ValueError):
+            gaming_workload(10, seed=1, catalogue=())

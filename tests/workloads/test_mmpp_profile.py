@@ -1,0 +1,90 @@
+"""Tests for the MMPP generator and instance profiler."""
+
+import pytest
+
+from repro.core.items import Item, ItemList
+from repro.workloads.mmpp import MMPPPhase, mmpp_workload, two_phase_bursty
+from repro.workloads.profile import profile_instance
+from repro.workloads.random_workloads import poisson_workload
+
+
+class TestMMPP:
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            MMPPPhase("bad", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            MMPPPhase("bad", 1.0, 0.0)
+        with pytest.raises(ValueError):
+            mmpp_workload(10.0, seed=1, phases=())
+
+    def test_arrivals_within_horizon(self):
+        inst = mmpp_workload(50.0, seed=1)
+        assert all(0 <= it.arrival < 50.0 for it in inst)
+
+    def test_reproducible(self):
+        a = mmpp_workload(40.0, seed=3)
+        b = mmpp_workload(40.0, seed=3)
+        assert [it.arrival for it in a] == [it.arrival for it in b]
+
+    def test_mu_respected(self):
+        inst = mmpp_workload(60.0, seed=2, mu_target=4.0)
+        if len(inst) > 1:
+            assert inst.mu <= 4.0 + 1e-9
+
+    def test_burstier_than_poisson(self):
+        """The two-phase MMPP shows higher arrival dispersion than a
+        rate-matched Poisson stream (statistical, averaged over seeds)."""
+        mmpp_b, poisson_b = [], []
+        for seed in range(8):
+            bursty = mmpp_workload(
+                80.0, seed=seed,
+                phases=two_phase_bursty(base_rate=0.5, burst_rate=12.0),
+            )
+            if len(bursty) < 5:
+                continue
+            mmpp_b.append(profile_instance(bursty).burstiness)
+            smooth = poisson_workload(len(bursty), seed=seed, arrival_rate=2.0)
+            poisson_b.append(profile_instance(smooth).burstiness)
+        assert sum(mmpp_b) / len(mmpp_b) > sum(poisson_b) / len(poisson_b)
+
+    def test_zero_rate_phase_produces_gaps(self):
+        phases = (
+            MMPPPhase("on", 8.0, 2.0),
+            MMPPPhase("off", 0.0, 2.0),
+        )
+        inst = mmpp_workload(60.0, seed=5, phases=phases)
+        assert len(inst) > 0
+
+
+class TestProfile:
+    def test_empty_instance(self):
+        p = profile_instance(ItemList([]))
+        assert p.n == 0
+        assert p.span == 0.0
+
+    def test_basic_numbers(self):
+        items = ItemList(
+            [Item(0, 0.5, 0.0, 2.0), Item(1, 0.6, 1.0, 3.0), Item(2, 0.1, 5.0, 6.0)]
+        )
+        p = profile_instance(items)
+        assert p.n == 3
+        assert p.mu == pytest.approx(2.0)
+        assert p.span == pytest.approx(4.0)
+        assert p.horizon == pytest.approx(6.0)
+        assert p.peak_concurrency == 2
+        assert p.large_item_fraction == pytest.approx(2 / 3)
+        assert p.mean_size == pytest.approx(0.4)
+
+    def test_mean_concurrency_identity(self):
+        """mean concurrency × horizon == Σ durations."""
+        items = poisson_workload(60, seed=9)
+        p = profile_instance(items)
+        total_durations = sum(it.duration for it in items)
+        assert p.mean_concurrency * p.horizon == pytest.approx(
+            total_durations, rel=1e-6
+        )
+
+    def test_render_contains_key_fields(self):
+        p = profile_instance(poisson_workload(30, seed=1))
+        text = p.render()
+        assert "µ" in text and "burstiness" in text and "OPT_total" in text

@@ -1,0 +1,67 @@
+"""Tests for the stochastic workload generators."""
+
+import pytest
+
+from repro.workloads.random_workloads import RandomWorkload, batch_workload, poisson_workload
+
+
+class TestPoissonWorkload:
+    def test_size_and_count(self):
+        inst = poisson_workload(50, seed=1)
+        assert len(inst) == 50
+
+    def test_reproducible(self):
+        a = poisson_workload(30, seed=9)
+        b = poisson_workload(30, seed=9)
+        assert [(it.size, it.arrival, it.departure) for it in a] == [
+            (it.size, it.arrival, it.departure) for it in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = poisson_workload(30, seed=1)
+        b = poisson_workload(30, seed=2)
+        assert [it.arrival for it in a] != [it.arrival for it in b]
+
+    def test_mu_respects_target(self):
+        inst = poisson_workload(200, seed=3, mu_target=5.0)
+        assert inst.mu <= 5.0 + 1e-9
+
+    def test_durations_at_least_min(self):
+        inst = poisson_workload(100, seed=4, mu_target=8.0)
+        assert min(it.duration for it in inst) >= 1.0 - 1e-12
+
+    def test_sizes_within_capacity(self):
+        inst = poisson_workload(100, seed=5)
+        assert all(0 < it.size <= 1.0 for it in inst)
+
+    def test_arrivals_increasing(self):
+        inst = poisson_workload(100, seed=6)
+        arrivals = [it.arrival for it in inst]
+        assert arrivals == sorted(arrivals)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            RandomWorkload(n=0)
+        with pytest.raises(ValueError):
+            RandomWorkload(n=5, arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            RandomWorkload(n=5, mu_target=0.5)
+
+
+class TestBatchWorkload:
+    def test_batch_structure(self):
+        inst = batch_workload(4, 5, seed=1, batch_spacing=2.0)
+        assert len(inst) == 20
+        arrivals = sorted({it.arrival for it in inst})
+        assert arrivals == [0.0, 2.0, 4.0, 6.0]
+
+    def test_batch_members_simultaneous(self):
+        inst = batch_workload(3, 7, seed=2)
+        from collections import Counter
+
+        counts = Counter(it.arrival for it in inst)
+        assert all(c == 7 for c in counts.values())
+
+    def test_mu_bounded(self):
+        inst = batch_workload(5, 10, seed=3, mu_target=4.0)
+        assert inst.mu <= 4.0 + 1e-9

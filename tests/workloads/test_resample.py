@@ -1,0 +1,53 @@
+"""Tests for trace resampling."""
+
+import pytest
+
+from repro.core.items import Item, ItemList
+from repro.workloads.random_workloads import poisson_workload
+from repro.workloads.resample import resample_trace
+
+
+class TestResample:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            resample_trace(ItemList([]), seed=1)
+
+    def test_same_size_by_default(self):
+        src = poisson_workload(40, seed=1)
+        out = resample_trace(src, seed=2)
+        assert len(out) == 40
+
+    def test_custom_size(self):
+        src = poisson_workload(40, seed=1)
+        assert len(resample_trace(src, seed=2, n=100)) == 100
+
+    def test_reproducible(self):
+        src = poisson_workload(30, seed=1)
+        a = resample_trace(src, seed=5)
+        b = resample_trace(src, seed=5)
+        assert [(it.size, it.arrival) for it in a] == [(it.size, it.arrival) for it in b]
+
+    def test_sizes_come_from_source(self):
+        src = poisson_workload(30, seed=3)
+        out = resample_trace(src, seed=4)
+        source_sizes = {it.size for it in src}
+        assert {it.size for it in out} <= source_sizes
+
+    def test_mu_preserved_by_default(self):
+        src = poisson_workload(50, seed=6, mu_target=4.0)
+        out = resample_trace(src, seed=7, duration_jitter=1.0, preserve_mu=True)
+        assert out.mu <= src.mu + 1e-6
+
+    def test_mu_can_grow_without_preservation(self):
+        src = poisson_workload(50, seed=6, mu_target=4.0)
+        out = resample_trace(src, seed=7, duration_jitter=1.5, preserve_mu=False)
+        # durations perturbed; µ very likely changed (either direction)
+        assert out.mu != pytest.approx(src.mu)
+
+    def test_arrival_jitter_bounded(self):
+        src = poisson_workload(30, seed=8)
+        out = resample_trace(src, seed=9, arrival_jitter=0.1)
+        src_arrivals = sorted(it.arrival for it in src)
+        for it in out:
+            # every output arrival is within jitter of some source arrival
+            assert any(abs(it.arrival - a) <= 0.1 + 1e-9 for a in src_arrivals) or it.arrival == 0.0

@@ -1,0 +1,77 @@
+"""Tests for trace serialisation round-trips."""
+
+import pytest
+
+from repro.core.items import Item, ItemList
+from repro.workloads.traces import (
+    from_csv,
+    from_json,
+    load_trace,
+    save_trace,
+    to_csv,
+    to_json,
+)
+
+
+def sample() -> ItemList:
+    return ItemList(
+        [
+            Item(0, 0.5, 0.0, 2.0),
+            Item(1, 1.0 / 3.0, 0.1, 7.3),
+            Item(7, 0.125, 5.0, 6.0),
+        ],
+        capacity=1.0,
+    )
+
+
+def items_equal(a: ItemList, b: ItemList) -> bool:
+    if a.capacity != b.capacity or len(a) != len(b):
+        return False
+    return all(
+        (x.item_id, x.size, x.arrival, x.departure)
+        == (y.item_id, y.size, y.arrival, y.departure)
+        for x, y in zip(a, b)
+    )
+
+
+class TestJson:
+    def test_roundtrip(self):
+        assert items_equal(sample(), from_json(to_json(sample())))
+
+    def test_capacity_preserved(self):
+        items = ItemList([Item(0, 1.5, 0, 1)], capacity=2.0)
+        assert from_json(to_json(items)).capacity == 2.0
+
+    def test_missing_capacity_defaults(self):
+        doc = '{"items": [{"id": 0, "size": 0.5, "arrival": 0, "departure": 1}]}'
+        assert from_json(doc).capacity == 1.0
+
+
+class TestCsv:
+    def test_roundtrip_exact_floats(self):
+        """repr-based CSV keeps exact float values (1/3 survives)."""
+        assert items_equal(sample(), from_csv(to_csv(sample())))
+
+    def test_capacity_comment(self):
+        items = ItemList([Item(0, 1.5, 0, 1)], capacity=2.0)
+        text = to_csv(items)
+        assert "# capacity=2.0" in text
+        assert from_csv(text).capacity == 2.0
+
+
+class TestFiles:
+    def test_save_load_json(self, tmp_path):
+        p = tmp_path / "trace.json"
+        save_trace(sample(), p)
+        assert items_equal(sample(), load_trace(p))
+
+    def test_save_load_csv(self, tmp_path):
+        p = tmp_path / "trace.csv"
+        save_trace(sample(), p)
+        assert items_equal(sample(), load_trace(p))
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace(sample(), tmp_path / "trace.parquet")
+        with pytest.raises(ValueError):
+            load_trace(tmp_path / "trace.parquet")
