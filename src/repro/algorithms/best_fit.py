@@ -10,7 +10,10 @@ while the optimum consolidates.  The construction is implemented in
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.bins import Bin
+from ..core.state import PackingState
 from .base import AnyFitAlgorithm
 
 __all__ = ["BestFit"]
@@ -19,15 +22,19 @@ __all__ = ["BestFit"]
 class BestFit(AnyFitAlgorithm):
     """Place each item into the feasible open bin with the highest level.
 
-    Ties are broken toward the earliest-opened bin, so Best Fit and First
-    Fit coincide when all open bins are empty-equal.
+    Ties (exact level equality) are broken toward the earliest-opened
+    bin, so Best Fit and First Fit coincide when all open bins are
+    empty-equal.
     """
 
     name = "best-fit"
 
+    def choose_bin(self, state: PackingState, size: float) -> Optional[Bin]:
+        return state.best_fit_bin(size)
+
     def select(self, candidates: list[Bin], size: float) -> Bin:
         best = candidates[0]
         for b in candidates[1:]:
-            if b.level > best.level + 1e-12:
+            if b.level > best.level:
                 best = b
         return best

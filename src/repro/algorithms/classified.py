@@ -25,7 +25,7 @@ from __future__ import annotations
 import bisect
 from typing import Optional, Sequence
 
-from ..core.bins import Bin
+from ..core.bins import CAPACITY_EPS, Bin
 from ..core.state import PackingState
 from .base import PackingAlgorithm
 
@@ -74,7 +74,7 @@ class ClassifiedAlgorithm(PackingAlgorithm):
         candidates = [
             b
             for b in self.class_bins(state, cls)
-            if b.level + size <= b.capacity + 1e-9
+            if b.level + size <= b.capacity + CAPACITY_EPS
         ]
         return self.select_in_class(state, cls, candidates, size)
 
@@ -137,7 +137,7 @@ class ClassifiedNextFit(ClassifiedAlgorithm):
         avail_idx = self._available.get(cls)
         if avail_idx is not None:
             b = state.bins[avail_idx]
-            if b.is_open and b.level + size <= b.capacity + 1e-9:
+            if b.is_open and b.level + size <= b.capacity + CAPACITY_EPS:
                 return b
         self._available[cls] = None
         return None

@@ -13,7 +13,10 @@ lower bound that applies to every online algorithm.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.bins import Bin
+from ..core.state import PackingState
 from .base import AnyFitAlgorithm
 
 __all__ = ["FirstFit"]
@@ -23,6 +26,11 @@ class FirstFit(AnyFitAlgorithm):
     """Place each item into the earliest-opened open bin that fits."""
 
     name = "first-fit"
+
+    def choose_bin(self, state: PackingState, size: float) -> Optional[Bin]:
+        # O(log n) on an indexed state, reference scan otherwise; both
+        # return the leftmost feasible bin (see docs/PERFORMANCE.md)
+        return state.first_fit_bin(size)
 
     def select(self, candidates: list[Bin], size: float) -> Bin:
         # candidates arrive in opening (index) order; earliest-opened is

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.bins import Bin
+from ..core.state import PackingState
 from .base import AnyFitAlgorithm
 
 __all__ = ["LastFit"]
@@ -17,6 +20,9 @@ class LastFit(AnyFitAlgorithm):
     """
 
     name = "last-fit"
+
+    def choose_bin(self, state: PackingState, size: float) -> Optional[Bin]:
+        return state.last_fit_bin(size)
 
     def select(self, candidates: list[Bin], size: float) -> Bin:
         return candidates[-1]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.bins import Bin
+from ..core.bins import CAPACITY_EPS, Bin
 from ..core.state import PackingState
 from .base import PackingAlgorithm
 
@@ -41,7 +41,7 @@ class NextFit(PackingAlgorithm):
 
     def choose_bin(self, state: PackingState, size: float) -> Optional[Bin]:
         avail = self._available
-        if avail is not None and avail.is_open and avail.level + size <= avail.capacity + 1e-9:
+        if avail is not None and avail.is_open and avail.level + size <= avail.capacity + CAPACITY_EPS:
             return avail
         # Either no available bin, the available bin closed (all of its
         # items departed), or the item does not fit: mark it unavailable

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.bins import Bin
+from ..core.state import PackingState
 from .base import AnyFitAlgorithm
 
 __all__ = ["WorstFit"]
@@ -11,15 +14,19 @@ __all__ = ["WorstFit"]
 class WorstFit(AnyFitAlgorithm):
     """Place each item into the feasible open bin with the lowest level.
 
-    Ties broken toward the earliest-opened bin.  Worst Fit is an Any Fit
-    algorithm, so the µ+1 Any-Fit lower bound applies to it.
+    Ties (exact level equality) broken toward the earliest-opened bin.
+    Worst Fit is an Any Fit algorithm, so the µ+1 Any-Fit lower bound
+    applies to it.
     """
 
     name = "worst-fit"
 
+    def choose_bin(self, state: PackingState, size: float) -> Optional[Bin]:
+        return state.worst_fit_bin(size)
+
     def select(self, candidates: list[Bin], size: float) -> Bin:
         worst = candidates[0]
         for b in candidates[1:]:
-            if b.level < worst.level - 1e-12:
+            if b.level < worst.level:
                 worst = b
         return worst

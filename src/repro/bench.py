@@ -1,0 +1,161 @@
+"""Bench-trajectory harness: measured throughput → ``BENCH_perf.json``.
+
+``repro bench --json BENCH_perf.json`` times the packing engine on a
+fixed grid of seeded Poisson instances — both the default (adaptively
+indexed) path and the ``indexed=False`` reference scans — plus one
+serial-vs-parallel Monte Carlo wall-clock comparison, and writes a
+machine-readable report.  The committed ``BENCH_perf.json`` is the
+regression baseline future PRs diff against: the *instances* are fully
+deterministic (seeded), so any structural slowdown shows up as a drop in
+``events_per_sec`` on the same cell.
+
+Timing methodology: best-of-``repeats`` wall clock per cell (the minimum
+is the standard noise-robust estimator for short benchmarks), events/sec
+= ``2 * n_items / seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .algorithms import make_algorithm
+from .core.packing import run_packing
+from .experiments.harness import format_table
+from .experiments.montecarlo import run_expected_ratio
+from .workloads.random_workloads import poisson_workload
+
+__all__ = ["run_bench", "BenchReport", "THROUGHPUT_GRID", "QUICK_GRID"]
+
+#: (label, n_items, arrival_rate) — seed and µ are fixed so every cell
+#: is the same instance on every machine.  ``n2000`` matches the
+#: instance in ``benchmarks/bench_perf.py`` (seed 99, µ=8, rate 4).
+THROUGHPUT_GRID: tuple[tuple[str, int, float], ...] = (
+    ("n2000", 2_000, 4.0),
+    ("n20000", 20_000, 4.0),
+    ("n100000", 100_000, 4.0),
+    ("n20000-highload", 20_000, 200.0),
+)
+
+QUICK_GRID: tuple[tuple[str, int, float], ...] = (
+    ("n2000", 2_000, 4.0),
+    ("n2000-highload", 2_000, 200.0),
+)
+
+ALGORITHMS = ("first-fit", "best-fit", "worst-fit")
+
+WORKLOAD_SEED = 99
+WORKLOAD_MU = 8.0
+
+
+@dataclass
+class BenchReport:
+    """The measured cells, renderable as a table or JSON."""
+
+    throughput: list[dict[str, Any]] = field(default_factory=list)
+    montecarlo: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": 1,
+            "meta": self.meta,
+            "throughput": self.throughput,
+            "montecarlo": self.montecarlo,
+        }
+
+    def render(self) -> str:
+        parts = ["== bench: packing engine throughput =="]
+        parts.append(format_table(self.throughput))
+        if self.montecarlo:
+            mc = self.montecarlo
+            parts.append(
+                f"monte carlo (X7 config {mc['config']}): "
+                f"serial {mc['serial_seconds']:.2f}s, "
+                f"parallel[{mc['workers']}] {mc['parallel_seconds']:.2f}s "
+                f"(speedup {mc['speedup']:.2f}x, results identical: "
+                f"{mc['identical']})"
+            )
+        return "\n".join(parts)
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int = 3,
+    json_path: Optional[str] = None,
+    montecarlo: bool = True,
+) -> BenchReport:
+    """Measure the throughput grid and (optionally) write the report."""
+    report = BenchReport(
+        meta={
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "seed": WORKLOAD_SEED,
+            "mu": WORKLOAD_MU,
+            "repeats": repeats,
+            "quick": quick,
+        }
+    )
+    grid = QUICK_GRID if quick else THROUGHPUT_GRID
+    for label, n, rate in grid:
+        items = poisson_workload(
+            n, seed=WORKLOAD_SEED, mu_target=WORKLOAD_MU, arrival_rate=rate
+        )
+        events = 2 * len(items)
+        for algo in ALGORITHMS:
+            for path, indexed in (("default", True), ("reference", False)):
+                secs = _best_of(
+                    repeats,
+                    lambda: run_packing(items, make_algorithm(algo), indexed=indexed),
+                )
+                report.throughput.append(
+                    {
+                        "instance": label,
+                        "n_items": n,
+                        "arrival_rate": rate,
+                        "algorithm": algo,
+                        "path": path,
+                        "seconds": round(secs, 6),
+                        "events_per_sec": round(events / secs),
+                    }
+                )
+    if montecarlo:
+        # heavy enough that process startup amortises on multi-core
+        # machines; on a single-CPU host workers=-1 degrades to serial
+        # and the speedup honestly reads ~1.0
+        config = dict(
+            n=70, replications=24, loads=(2.0, 6.0), mus=(8.0,), node_budget=60_000
+        )
+        t_serial = time.perf_counter()
+        serial = run_expected_ratio(**config, workers=None)
+        t_serial = time.perf_counter() - t_serial
+        t_par = time.perf_counter()
+        parallel = run_expected_ratio(**config, workers=-1)
+        t_par = time.perf_counter() - t_par
+        report.montecarlo = {
+            "config": config,
+            "serial_seconds": round(t_serial, 3),
+            "parallel_seconds": round(t_par, 3),
+            "workers": -1,
+            "speedup": round(t_serial / t_par, 3),
+            "identical": serial.rows == parallel.rows,
+        }
+    if json_path:
+        with open(json_path, "w") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+    return report

@@ -10,11 +10,13 @@ Usage (installed as the ``repro`` console script, or
     repro generate poisson --n 100 --seed 1 --out trace.json
     repro pack trace.json --algorithm first-fit --opt --render
     repro verify trace.json          # proof-invariant checkers on FF run
+    repro bench --json BENCH_perf.json   # throughput baseline
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Optional, Sequence
 
@@ -40,6 +42,13 @@ from .workloads import (
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one experiment by id")
     p_run.add_argument("experiment", choices=sorted(EXPERIMENT_REGISTRY))
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for sharded experiments "
+        "(default: serial; -1 = one per CPU; ignored by experiments "
+        "that do not shard)",
+    )
 
     p_bounds = sub.add_parser("bounds", help="analytic bounds table")
     p_bounds.add_argument("--mu", type=float, default=8.0)
@@ -82,6 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="run the proof-invariant checkers on a First Fit run"
     )
     p_verify.add_argument("trace")
+
+    p_bench = sub.add_parser(
+        "bench", help="throughput benchmarks; optionally write BENCH_perf.json"
+    )
+    p_bench.add_argument(
+        "--json", default=None, help="write the machine-readable report here"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="small instances only (smoke test, not a baseline)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=_positive_int, default=3,
+        help="timing repeats per cell (best-of, default 3)",
+    )
 
     p_inspect = sub.add_parser("inspect", help="profile a workload trace")
     p_inspect.add_argument("trace")
@@ -137,8 +169,12 @@ def cmd_list_experiments() -> int:
     return 0
 
 
-def cmd_run(experiment: str) -> int:
-    result = EXPERIMENT_REGISTRY[experiment]()
+def cmd_run(experiment: str, workers: Optional[int] = None) -> int:
+    fn = EXPERIMENT_REGISTRY[experiment]
+    kwargs = {}
+    if workers is not None and "workers" in inspect.signature(fn).parameters:
+        kwargs["workers"] = workers
+    result = fn(**kwargs)
     if isinstance(result, FigureOutput):
         print(result.rendering)
     else:
@@ -216,7 +252,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list-experiments":
         return cmd_list_experiments()
     if args.command == "run":
-        return cmd_run(args.experiment)
+        return cmd_run(args.experiment, workers=args.workers)
     if args.command == "bounds":
         print(bounds_table(args.mu))
         return 0
@@ -226,6 +262,12 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_pack(args.trace, args.algorithm, args.opt, args.render)
     if args.command == "verify":
         return cmd_verify(args.trace)
+    if args.command == "bench":
+        from .bench import run_bench
+
+        report = run_bench(quick=args.quick, repeats=args.repeats, json_path=args.json)
+        print(report.render())
+        return 0
     if args.command == "inspect":
         from .workloads.profile import profile_instance
 

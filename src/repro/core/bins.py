@@ -9,7 +9,9 @@ instances built from fractions like ``1/3`` pack exactly.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Optional
 
 from .intervals import Interval
@@ -87,21 +89,20 @@ class Bin:
 
         The history is piecewise constant and right-continuous: the level
         at ``t`` is the one set by the last event at time ``<= t``.
-        Returns 0 outside the usage period.
+        Returns 0 outside the usage period.  The history is ordered by
+        event time, so the lookup is a binary search, O(log events).
         """
-        lvl = 0.0
-        for time, level in self.level_history:
-            if time > t:
-                break
-            lvl = level
-        return lvl
+        idx = bisect_right(self.level_history, t, key=itemgetter(0))
+        if idx == 0:
+            return 0.0
+        return self.level_history[idx - 1][1]
 
     # -- mutations (called by the packing state) -----------------------------
     def place(self, item: Item, now: float) -> None:
         """Insert an arriving item; opens the bin on first placement."""
-        if self.is_closed:
+        if self.closed_at is not None:
             raise ValueError(f"bin {self.index} is closed; cannot place item")
-        if not self.fits(item):
+        if self.level + item.size > self.capacity + CAPACITY_EPS:
             raise ValueError(
                 f"bin {self.index}: item {item.item_id} (size {item.size}) "
                 f"does not fit at level {self.level}"

@@ -48,21 +48,24 @@ class Snapshot:
 
 
 def simulate(
-    items: ItemList, algorithm: "PackingAlgorithm"
+    items: ItemList, algorithm: "PackingAlgorithm", indexed: bool = True
 ) -> Iterator[Snapshot]:
     """Yield a :class:`Snapshot` after every applied event.
 
     The generator drives the same logic as
     :func:`repro.core.packing.run_packing`; exhausting it leaves all
     bins closed.  (For the final `PackingResult`, use ``run_packing`` —
-    this API is for streaming consumers.)
+    this API is for streaming consumers.)  Snapshots read the state's
+    incrementally maintained :attr:`~PackingState.total_level`, so each
+    one is O(1) instead of a re-sum over all open bins.
     """
     algorithm.reset()
-    state = PackingState(capacity=items.capacity)
+    state = PackingState(capacity=items.capacity, indexed=indexed)
+    clairvoyant = getattr(algorithm, "clairvoyant", False)
     for event in event_sequence(items):
         state.now = event.time
         if event.kind is EventKind.ARRIVE:
-            if getattr(algorithm, "clairvoyant", False):
+            if clairvoyant:
                 target = algorithm.choose_bin_clairvoyant(state, event.item)
             else:
                 target = algorithm.choose_bin(state, event.item.size)
@@ -76,7 +79,7 @@ def simulate(
             event=event,
             num_open_bins=state.num_open,
             num_bins_used=state.num_bins_used,
-            total_level=sum(b.level for b in state.open_bins()),
+            total_level=state.total_level,
         )
 
 

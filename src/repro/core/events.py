@@ -24,7 +24,7 @@ from typing import Iterable, Iterator, Sequence
 
 from .items import Item, ItemList
 
-__all__ = ["EventKind", "Event", "event_sequence", "EventQueue"]
+__all__ = ["EventKind", "Event", "event_sequence", "event_tuples", "EventQueue"]
 
 
 class EventKind(enum.IntEnum):
@@ -52,12 +52,41 @@ class Event:
     item: Item = field(compare=False)
 
 
+def _sort_key(event: Event) -> tuple[float, int, int]:
+    return (event.time, event.kind, event.seq)
+
+
 def event_sequence(items: ItemList | Sequence[Item]) -> list[Event]:
     """The full, sorted event sequence for an instance."""
     events: list[Event] = []
+    append = events.append
     for seq, it in enumerate(items):
-        events.append(Event(it.arrival, EventKind.ARRIVE, seq, it))
-        events.append(Event(it.departure, EventKind.DEPART, seq, it))
+        append(Event(it.arrival, EventKind.ARRIVE, seq, it))
+        append(Event(it.departure, EventKind.DEPART, seq, it))
+    # sorting by an extracted key tuple avoids one generated-__lt__
+    # Python call per comparison; the order is identical to Event's
+    # (time, kind, seq) dataclass ordering
+    events.sort(key=_sort_key)
+    return events
+
+
+def event_tuples(
+    items: ItemList | Sequence[Item],
+) -> list[tuple[float, int, int, Item]]:
+    """The event sequence as plain ``(time, kind, seq, item)`` tuples.
+
+    Same events in the same total order as :func:`event_sequence`
+    (``kind`` is the :class:`EventKind` integer value, so the tuple sort
+    applies rules 1–3 directly; ``seq`` is unique, so ``item`` is never
+    compared).  This is the packing drivers' hot path: it skips one
+    object construction per event and sorts with C-speed tuple
+    comparisons.
+    """
+    events: list[tuple[float, int, int, Item]] = []
+    append = events.append
+    for seq, it in enumerate(items):
+        append((it.arrival, 1, seq, it))
+        append((it.departure, 0, seq, it))
     events.sort()
     return events
 

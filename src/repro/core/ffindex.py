@@ -1,0 +1,265 @@
+"""The first-fit index: a segment tree over bin slots keyed by level.
+
+The index accelerates Any-Fit candidate selection from O(open bins) to
+O(log open bins) per arrival.  Each leaf is one *slot* holding an open
+bin; slots are ordered by bin opening index, so "leftmost feasible leaf"
+is exactly "earliest-opened feasible bin".  Every internal node stores
+the minimum and maximum level over the open bins in its subtree
+(``+inf`` / ``-inf`` for closed or empty slots, so they never look
+feasible).
+
+Feasibility of a bin at level ``l`` for an item of ``size`` is the exact
+predicate the reference scan applies per bin::
+
+    l + size <= bound        # bound = capacity + CAPACITY_EPS
+
+Floating-point addition is monotone non-decreasing, so if a subtree's
+*minimum* level fails the predicate, every bin in the subtree fails it —
+the descent prunes whole subtrees while reproducing the scan's per-bin
+comparisons bit-for-bit.  The queries implemented here therefore return
+*exactly* the bin the corresponding reference scan would return:
+
+- :meth:`first_fit` — leftmost (earliest-opened) feasible bin.
+- :meth:`last_fit` — rightmost (latest-opened) feasible bin.
+- :meth:`min_level` — leftmost bin attaining the minimum open level
+  (Worst Fit: the minimum-level bin is feasible whenever any bin is,
+  because the predicate is monotone in the level).
+- :meth:`max_feasible` — leftmost bin attaining the maximum feasible
+  level (Best Fit).
+
+Closed bins leave dead leaves behind; when the tree fills up it is
+rebuilt compacting the live slots (relative order preserved), so the
+height stays O(log open bins) — not O(log bins-ever-opened) — and the
+amortised cost of every update is O(log open bins).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["FirstFitIndex"]
+
+_INF = math.inf
+_MIN_LEAVES = 64
+
+
+class FirstFitIndex:
+    """Dynamic min/max segment tree over open-bin levels.
+
+    All public methods take/return *bin indices* (the permanent opening
+    order); the slot mapping is internal.
+    """
+
+    __slots__ = ("_leaves", "_mn", "_mx", "_n", "_slot_bin", "_bin_slot", "_track_max")
+
+    def __init__(self) -> None:
+        self._alloc(_MIN_LEAVES)
+        #: slot -> bin index (-1 for dead slots), increasing over live slots
+        self._slot_bin: list[int] = []
+        #: bin index -> slot, live bins only
+        self._bin_slot: dict[int, int] = {}
+        #: slots handed out since the last rebuild (live + dead)
+        self._n = 0
+        #: the max aggregate is only needed by Best Fit; it is built on
+        #: the first max_feasible() call and maintained from then on, so
+        #: the other policies pay for the min tree alone
+        self._track_max = False
+
+    def _alloc(self, leaves: int) -> None:
+        self._leaves = leaves
+        self._mn = [_INF] * (2 * leaves)
+        self._mx = [-_INF] * (2 * leaves)
+
+    def __len__(self) -> int:
+        return len(self._bin_slot)
+
+    # -- updates -------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Compact live slots (order preserved) into a right-sized tree."""
+        leaves, mn = self._leaves, self._mn
+        pairs = [
+            (b, mn[leaves + s]) for s, b in enumerate(self._slot_bin) if b >= 0
+        ]
+        live = len(pairs)
+        size = _MIN_LEAVES
+        while size < 2 * (live + 1):
+            size *= 2
+        self._alloc(size)
+        self._slot_bin = [b for b, _ in pairs]
+        self._bin_slot = {b: s for s, (b, _) in enumerate(pairs)}
+        self._n = live
+        mn = self._mn
+        for s, (_, lvl) in enumerate(pairs):
+            mn[size + s] = lvl
+        for i in range(size - 1, 0, -1):
+            left, right = 2 * i, 2 * i + 1
+            mn[i] = mn[left] if mn[left] <= mn[right] else mn[right]
+        if self._track_max:
+            self._track_max = False
+            self._ensure_max()
+
+    def _ensure_max(self) -> None:
+        """Build the max aggregate from the min leaves (idempotent)."""
+        if self._track_max:
+            return
+        self._track_max = True
+        mn, mx, leaves = self._mn, self._mx, self._leaves
+        for s in range(leaves):
+            v = mn[leaves + s]
+            mx[leaves + s] = -_INF if v == _INF else v
+        for i in range(leaves - 1, 0, -1):
+            left, right = 2 * i, 2 * i + 1
+            mx[i] = mx[left] if mx[left] >= mx[right] else mx[right]
+
+    def _update(self, slot: int, lo: float, hi: float) -> None:
+        mn = self._mn
+        i = self._leaves + slot
+        mn[i] = lo
+        if self._track_max:
+            mx = self._mx
+            mx[i] = hi
+            i >>= 1
+            while i:
+                j = i + i
+                lo = mn[j]
+                v = mn[j + 1]
+                if v < lo:
+                    lo = v
+                hi = mx[j]
+                v = mx[j + 1]
+                if v > hi:
+                    hi = v
+                if mn[i] == lo and mx[i] == hi:
+                    return
+                mn[i] = lo
+                mx[i] = hi
+                i >>= 1
+        else:
+            i >>= 1
+            while i:
+                j = i + i
+                lo = mn[j]
+                v = mn[j + 1]
+                if v < lo:
+                    lo = v
+                if mn[i] == lo:
+                    return
+                mn[i] = lo
+                i >>= 1
+
+    def append(self, bin_index: int, level: float = 0.0) -> None:
+        """Register a newly opened bin at ``level``.
+
+        Bin indices must arrive in increasing order (they do: a new bin
+        always gets the next opening index).
+        """
+        if self._n >= self._leaves:
+            self._rebuild()  # collects dead slots; grows only if needed
+        slot = self._n
+        self._n += 1
+        self._slot_bin.append(bin_index)
+        self._bin_slot[bin_index] = slot
+        self._update(slot, level, level)
+
+    def has(self, bin_index: int) -> bool:
+        """Whether ``bin_index`` is currently registered (open)."""
+        return bin_index in self._bin_slot
+
+    def set_level(self, bin_index: int, level: float) -> None:
+        """Record the new level of an open bin."""
+        self._update(self._bin_slot[bin_index], level, level)
+
+    def close(self, bin_index: int) -> None:
+        """Retire a bin: a closed bin is never a candidate again."""
+        slot = self._bin_slot.pop(bin_index)
+        self._slot_bin[slot] = -1
+        self._update(slot, _INF, -_INF)
+
+    # -- queries -------------------------------------------------------------
+    def first_fit(self, size: float, bound: float) -> Optional[int]:
+        """Earliest-opened bin whose level satisfies ``level + size <= bound``."""
+        mn = self._mn
+        if mn[1] + size > bound:
+            return None
+        node, leaves = 1, self._leaves
+        while node < leaves:
+            node *= 2
+            if mn[node] + size > bound:
+                node += 1
+        return self._slot_bin[node - leaves]
+
+    def last_fit(self, size: float, bound: float) -> Optional[int]:
+        """Latest-opened bin whose level satisfies ``level + size <= bound``."""
+        mn = self._mn
+        if mn[1] + size > bound:
+            return None
+        node, leaves = 1, self._leaves
+        while node < leaves:
+            node = 2 * node + 1
+            if mn[node] + size > bound:
+                node -= 1
+        return self._slot_bin[node - leaves]
+
+    def min_level(self, size: float, bound: float) -> Optional[int]:
+        """Earliest-opened bin attaining the global minimum open level.
+
+        Returns ``None`` when no open bin is feasible.  By monotonicity
+        the minimum-level bin is feasible iff *any* open bin is, so this
+        is the Worst Fit choice among the feasible candidates.
+        """
+        mn = self._mn
+        target = mn[1]
+        if target + size > bound:
+            return None
+        node, leaves = 1, self._leaves
+        while node < leaves:
+            node *= 2
+            if mn[node] != target:
+                node += 1
+        return self._slot_bin[node - leaves]
+
+    def max_feasible(self, size: float, bound: float) -> Optional[int]:
+        """Earliest-opened bin attaining the maximum feasible level (Best Fit).
+
+        Branch-and-bound DFS, left child first so equal levels resolve to
+        the earliest-opened bin exactly as the reference scan's strict
+        ``>`` replacement does.  A subtree is cut when every bin in it is
+        infeasible (its *min* fails the predicate) or when its *max*
+        cannot strictly beat the best feasible level found so far.  Once
+        a subtree's max is itself feasible the whole subtree resolves to
+        that max without descending further.
+        """
+        mn = self._mn
+        if mn[1] + size > bound:
+            return None
+        if not self._track_max:
+            self._ensure_max()
+        mx = self._mx
+        best = -_INF
+        best_node = 1
+        stack = [1]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            node = pop()
+            m = mx[node]
+            if m <= best or mn[node] + size > bound:
+                continue
+            if m + size <= bound:
+                best = m
+                best_node = node
+                continue
+            node += node
+            push(node + 1)
+            push(node)
+        return self._slot_bin[self._leftmost_at_max(best_node)]
+
+    def _leftmost_at_max(self, node: int) -> int:
+        mx, leaves = self._mx, self._leaves
+        target = mx[node]
+        while node < leaves:
+            node *= 2
+            if mx[node] != target:
+                node += 1
+        return node - leaves

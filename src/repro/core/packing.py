@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..algorithms.base import PackingAlgorithm
 
-from .events import Event, EventKind, event_sequence
+from .events import Event, EventKind, event_tuples
 from .items import Item, ItemList
 from .result import PackingResult
 from .state import PackingState
@@ -31,6 +31,7 @@ def run_packing(
     algorithm: "PackingAlgorithm",
     capacity: float = 1.0,
     observers: Sequence[PackingObserver] = (),
+    indexed: bool = True,
 ) -> PackingResult:
     """Pack ``items`` online with ``algorithm`` and return the result.
 
@@ -45,6 +46,10 @@ def run_packing(
         Bin capacity (the paper uses 1.0 w.l.o.g.).
     observers:
         Callbacks invoked after every applied event.
+    indexed:
+        Maintain the O(log n) first-fit index (default).  ``False``
+        selects the reference linear scans; both paths must produce
+        identical packings (pinned by the differential tests).
 
     Notes
     -----
@@ -61,34 +66,51 @@ def run_packing(
         )
 
     algorithm.reset()
-    state = PackingState(capacity=capacity)
+    state = PackingState(capacity=capacity, indexed=indexed)
 
-    for event in event_sequence(items):
-        state.now = event.time
-        if event.kind is EventKind.ARRIVE:
-            if getattr(algorithm, "clairvoyant", False):
-                # clairvoyant policies (known-departure model) receive
-                # the full item; see repro.algorithms.clairvoyant
-                target = algorithm.choose_bin_clairvoyant(state, event.item)
-            else:
-                target = algorithm.choose_bin(state, event.item.size)
+    clairvoyant = getattr(algorithm, "clairvoyant", False)
+    choose_bin = (
+        algorithm.choose_bin_clairvoyant if clairvoyant else algorithm.choose_bin
+    )
+    # most algorithms keep no per-placement state; skip the two no-op
+    # callback calls per event unless the subclass actually overrides
+    from ..algorithms.base import PackingAlgorithm as _Base
+
+    cls = type(algorithm)
+    on_placed = None if cls.on_placed is _Base.on_placed else algorithm.on_placed
+    on_departed = (
+        None if cls.on_departed is _Base.on_departed else algorithm.on_departed
+    )
+    place = state.place
+    depart = state.depart
+
+    for time, kind, seq, item in event_tuples(items):
+        state.now = time
+        if kind:  # EventKind.ARRIVE
+            # clairvoyant policies (known-departure model) receive the
+            # full item; see repro.algorithms.clairvoyant
+            target = choose_bin(state, item if clairvoyant else item.size)
             if target is not None:
                 if not target.is_open:
                     raise RuntimeError(
                         f"{algorithm.name} chose closed bin {target.index}"
                     )
-                if not target.fits(event.item):
+                if not target.fits(item):
                     raise RuntimeError(
                         f"{algorithm.name} chose bin {target.index} at level "
-                        f"{target.level} for item of size {event.item.size}"
+                        f"{target.level} for item of size {item.size}"
                     )
-            placed = state.place(event.item, target)
-            algorithm.on_placed(state, placed, event.item.size)
+            placed = place(item, target)
+            if on_placed is not None:
+                on_placed(state, placed, item.size)
         else:
-            source = state.depart(event.item)
-            algorithm.on_departed(state, source)
-        for obs in observers:
-            obs(event, state)
+            source = depart(item)
+            if on_departed is not None:
+                on_departed(state, source)
+        if observers:
+            event = Event(time, EventKind(kind), seq, item)
+            for obs in observers:
+                obs(event, state)
 
     assert state.num_open == 0, "all bins must be closed after the last departure"
     return PackingResult(

@@ -4,16 +4,49 @@
 gets: the currently open bins (in opening order) and their levels.  It
 deliberately exposes no departure times — the online model of the paper
 is that an item's departure time is unknown until it happens.
+
+Two execution paths coexist, selected by the ``indexed`` flag:
+
+- **indexed** (default): a :class:`~repro.core.ffindex.FirstFitIndex`
+  segment tree is maintained alongside the open set, so the Any-Fit
+  selection queries (:meth:`first_fit_bin`, :meth:`best_fit_bin`,
+  :meth:`worst_fit_bin`, :meth:`last_fit_bin`) cost O(log n) per
+  arrival and closing a bin costs O(log n).  The tree is activated
+  *adaptively*: below :data:`INDEX_THRESHOLD` simultaneously open bins
+  a C-level linear scan is faster than Python tree updates, so the
+  state runs on the scans until the open set first crosses the
+  threshold, then builds the index in one O(n) pass and maintains it
+  for the rest of the run.
+- **reference** (``indexed=False``): the linear scans, always.  The
+  indexed queries are constructed to reproduce the scans' float
+  comparisons bit-for-bit; ``tests/core/test_differential.py`` pins the
+  equivalence on random and adversarial instances.
+
+Either way the state keeps a running :attr:`total_level` so streaming
+consumers never re-sum all bins per event.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from .bins import Bin
+from .bins import Bin, CAPACITY_EPS
+from .ffindex import FirstFitIndex
 from .items import Item
 
-__all__ = ["PackingState"]
+__all__ = ["PackingState", "INDEX_THRESHOLD"]
+
+#: Open-bin count at which an indexed state switches from linear scans
+#: to the segment tree.  Below this the per-event tree maintenance costs
+#: more than it saves; above it the O(log n) queries win (see
+#: docs/PERFORMANCE.md for the crossover measurements).
+INDEX_THRESHOLD = 128
+
+#: Best Fit keeps scanning until far more bins are open: its tree query
+#: explores a max/feasibility "skyline" whose node count blows up on
+#: exactly the level distributions Best Fit creates (many bins clustered
+#: near full), so the measured crossover is ~1e3 bins, not ~1e2.
+_BEST_FIT_TREE_MIN = 1024
 
 
 class PackingState:
@@ -23,15 +56,27 @@ class PackingState:
     opening, matching the paper's convention ``U_1^- <= U_2^- <= ...``.
     """
 
-    def __init__(self, capacity: float = 1.0):
+    def __init__(self, capacity: float = 1.0, indexed: bool = True):
         self.capacity = float(capacity)
         self.now: float = 0.0
         #: all bins ever opened, by index
         self.bins: list[Bin] = []
-        #: indices of currently open bins, in increasing (opening) order
-        self._open_indices: list[int] = []
+        #: currently open bins keyed by index; insertion order == opening
+        #: order == increasing index, and deletion preserves it, so the
+        #: dict doubles as a sorted open set with O(1) removal.
+        self._open: dict[int, Bin] = {}
         #: item_id -> bin index
         self.item_bin: dict[int, int] = {}
+        #: running sum of open-bin levels (incremental accounting)
+        self.total_level: float = 0.0
+        #: whether the O(log n) first-fit index may be used; the tree
+        #: itself is built lazily once the open set reaches
+        #: INDEX_THRESHOLD bins (see _activate_index)
+        self.indexed = bool(indexed)
+        self._index: Optional[FirstFitIndex] = None
+        # the exact right-hand side every feasibility check compares
+        # against; precomputed once so scan and index agree bit-for-bit
+        self._cap_bound: float = self.capacity + CAPACITY_EPS
 
     # -- read-only views used by algorithms ----------------------------------
     def open_bins(self) -> list[Bin]:
@@ -40,15 +85,62 @@ class PackingState:
         First Fit scans exactly this order: "the bin which was opened
         earliest" among those that fit.
         """
-        return [self.bins[i] for i in self._open_indices]
+        return list(self._open.values())
 
     def open_bins_fitting(self, size: float) -> list[Bin]:
         """Open bins that can accommodate an item of ``size``, index order."""
-        return [b for b in self.open_bins() if b.level + size <= b.capacity + 1e-9]
+        bound = self._cap_bound
+        return [b for b in self._open.values() if b.level + size <= bound]
+
+    # -- O(log n) Any-Fit selection queries -----------------------------------
+    def first_fit_bin(self, size: float) -> Optional[Bin]:
+        """Earliest-opened open bin that fits ``size`` (First Fit)."""
+        if self._index is not None:
+            idx = self._index.first_fit(size, self._cap_bound)
+            return None if idx is None else self.bins[idx]
+        for b in self._open.values():
+            if b.level + size <= self._cap_bound:
+                return b
+        return None
+
+    def last_fit_bin(self, size: float) -> Optional[Bin]:
+        """Latest-opened open bin that fits ``size`` (Last Fit)."""
+        if self._index is not None:
+            idx = self._index.last_fit(size, self._cap_bound)
+            return None if idx is None else self.bins[idx]
+        found = None
+        for b in self._open.values():
+            if b.level + size <= self._cap_bound:
+                found = b
+        return found
+
+    def best_fit_bin(self, size: float) -> Optional[Bin]:
+        """Fullest feasible open bin, ties to the earliest-opened."""
+        if self._index is not None and len(self._open) >= _BEST_FIT_TREE_MIN:
+            idx = self._index.max_feasible(size, self._cap_bound)
+            return None if idx is None else self.bins[idx]
+        best = None
+        for b in self._open.values():
+            if b.level + size <= self._cap_bound:
+                if best is None or b.level > best.level:
+                    best = b
+        return best
+
+    def worst_fit_bin(self, size: float) -> Optional[Bin]:
+        """Emptiest feasible open bin, ties to the earliest-opened."""
+        if self._index is not None:
+            idx = self._index.min_level(size, self._cap_bound)
+            return None if idx is None else self.bins[idx]
+        worst = None
+        for b in self._open.values():
+            if b.level + size <= self._cap_bound:
+                if worst is None or b.level < worst.level:
+                    worst = b
+        return worst
 
     @property
     def num_open(self) -> int:
-        return len(self._open_indices)
+        return len(self._open)
 
     @property
     def num_bins_used(self) -> int:
@@ -60,27 +152,70 @@ class PackingState:
         return self.bins[self.item_bin[item_id]]
 
     # -- mutations (driver only) ----------------------------------------------
-    def open_new_bin(self) -> Bin:
-        """Open a fresh empty bin with the next index."""
+    def _new_bin(self) -> Bin:
+        """Allocate the next bin without registering it in the index yet."""
         b = Bin(index=len(self.bins), capacity=self.capacity)
         self.bins.append(b)
-        self._open_indices.append(b.index)
+        self._open[b.index] = b
+        return b
+
+    def _activate_index(self) -> None:
+        """Build the segment tree over the current open set, one O(n) pass.
+
+        ``self._open`` iterates in increasing bin index (insertion order
+        survives deletions), which is exactly the slot order the index
+        requires.  Once activated the index is maintained for the rest
+        of the run — the open set shrinking again cannot desync it.
+        """
+        index = FirstFitIndex()
+        for b in self._open.values():
+            index.append(b.index, b.level)
+        self._index = index
+
+    def open_new_bin(self) -> Bin:
+        """Open a fresh empty bin with the next index."""
+        b = self._new_bin()
+        if self._index is not None:
+            self._index.append(b.index)
+        elif self.indexed and len(self._open) >= INDEX_THRESHOLD:
+            self._activate_index()
         return b
 
     def place(self, item: Item, target: Optional[Bin]) -> Bin:
         """Place an arriving item into ``target`` (or a new bin if None)."""
-        if target is None:
-            target = self.open_new_bin()
-        elif not target.is_open and target.opened_at is not None:
+        fresh = target is None
+        if fresh:
+            target = self._new_bin()
+        elif target.closed_at is not None:
             raise ValueError(f"cannot place into closed bin {target.index}")
+        before = target.level
         target.place(item, self.now)
+        self.total_level += target.level - before
+        index = self._index
+        if index is not None:
+            if fresh:
+                # register the bin at its post-placement level: one
+                # O(log n) bubble instead of an append + set_level pair
+                index.append(target.index, target.level)
+            else:
+                index.set_level(target.index, target.level)
+        elif self.indexed and len(self._open) >= INDEX_THRESHOLD:
+            self._activate_index()
         self.item_bin[item.item_id] = target.index
         return target
 
     def depart(self, item: Item) -> Bin:
         """Process an item departure; closes the bin if it empties."""
         b = self.bin_of(item.item_id)
+        before = b.level
         b.remove(item, self.now)
+        self.total_level += b.level - before
         if b.is_closed:
-            self._open_indices.remove(b.index)
+            del self._open[b.index]
+            if self._index is not None:
+                self._index.close(b.index)
+            if not self._open:
+                self.total_level = 0.0  # snap float residue to exact zero
+        elif self._index is not None:
+            self._index.set_level(b.index, b.level)
         return b

@@ -1,0 +1,124 @@
+"""Differential tests: indexed fast path ≡ reference scans, bit for bit.
+
+The contract behind the whole perf tentpole is that the segment-tree
+index is a pure accelerator: for **every** registered algorithm, on any
+instance, ``run_packing(..., indexed=True)`` and ``indexed=False`` must
+produce the *same packing* — identical ``item_bin`` maps and identical
+(float-exact, not approximate) total usage time.  These tests pin that
+on the frozen adversarial corpus, on random workloads in both the
+low-load regime (tree never activates) and the high-load regime (tree
+active), and — by forcing the activation thresholds to zero — with the
+tree answering every single query from the first bin on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+
+import repro.core.state as state_mod
+from repro.algorithms import ALGORITHM_REGISTRY, make_algorithm
+from repro.core.packing import run_packing
+from repro.workloads.random_workloads import poisson_workload
+from repro.workloads.traces import load_trace
+
+from ..conftest import item_lists
+
+DATA = Path(__file__).parent.parent / "data"
+CORPUS = sorted(p for p in DATA.glob("*.json") if p.name != "expected_costs.json")
+ALL_ALGORITHMS = sorted(ALGORITHM_REGISTRY)
+
+
+def assert_identical_packing(items, algo_name):
+    fast = run_packing(items, make_algorithm(algo_name), indexed=True)
+    ref = run_packing(items, make_algorithm(algo_name), indexed=False)
+    assert fast.item_bin == ref.item_bin, f"{algo_name}: placements diverged"
+    # identical placements make identical bins, so the cost matches to
+    # the last bit — no approx
+    assert fast.total_usage_time == ref.total_usage_time
+    assert fast.num_bins == ref.num_bins
+
+
+@pytest.fixture
+def forced_tree(monkeypatch):
+    """Make the indexed path build and query the tree from bin one."""
+    monkeypatch.setattr(state_mod, "INDEX_THRESHOLD", 1)
+    monkeypatch.setattr(state_mod, "_BEST_FIT_TREE_MIN", 1)
+
+
+@pytest.mark.parametrize("algo_name", ALL_ALGORITHMS)
+@pytest.mark.parametrize("trace", CORPUS, ids=lambda p: p.stem)
+class TestCorpusDifferential:
+    def test_adversarial_corpus(self, trace, algo_name):
+        assert_identical_packing(load_trace(trace), algo_name)
+
+    def test_adversarial_corpus_forced_tree(self, trace, algo_name, forced_tree):
+        assert_identical_packing(load_trace(trace), algo_name)
+
+
+@pytest.mark.parametrize("algo_name", ALL_ALGORITHMS)
+def test_low_load_random(algo_name):
+    # a handful of open bins: the adaptive index stays on the scans
+    items = poisson_workload(400, seed=7, mu_target=8.0, arrival_rate=2.0)
+    assert_identical_packing(items, algo_name)
+
+
+@pytest.mark.parametrize("algo_name", ALL_ALGORITHMS)
+def test_high_load_random_activates_tree(algo_name):
+    # ~160 concurrently open bins: crosses INDEX_THRESHOLD so the tree
+    # serves the selection queries mid-run
+    items = poisson_workload(800, seed=11, mu_target=8.0, arrival_rate=200.0)
+    assert_identical_packing(items, algo_name)
+
+
+@pytest.mark.parametrize("algo_name", ALL_ALGORITHMS)
+def test_random_forced_tree(algo_name, forced_tree):
+    items = poisson_workload(300, seed=23, mu_target=12.0, arrival_rate=5.0)
+    assert_identical_packing(items, algo_name)
+
+
+def test_tree_actually_activates_in_high_load_run():
+    """Guard the guard: the high-load test must really exercise the tree."""
+    from repro.algorithms.first_fit import FirstFit
+    from repro.core.events import event_tuples
+    from repro.core.items import ItemList
+    from repro.core.state import PackingState
+
+    items = poisson_workload(800, seed=11, mu_target=8.0, arrival_rate=200.0)
+    state = PackingState(indexed=True)
+    algo = FirstFit()
+    algo.reset()
+    for time, kind, seq, item in event_tuples(ItemList(items)):
+        state.now = time
+        if kind:
+            state.place(item, algo.choose_bin(state, item.size))
+        else:
+            state.depart(item)
+    assert state._index is not None, "tree never activated at high load"
+
+
+@settings(max_examples=60, deadline=None)
+@given(items=item_lists(max_items=40))
+def test_property_differential_forced_tree(items):
+    """Hypothesis-random instances, tree forced on, core Any-Fit family."""
+    # parametrize-by-hand: hypothesis and pytest.mark.parametrize don't mix
+    orig_threshold = state_mod.INDEX_THRESHOLD
+    orig_bf = state_mod._BEST_FIT_TREE_MIN
+    state_mod.INDEX_THRESHOLD = 1
+    state_mod._BEST_FIT_TREE_MIN = 1
+    try:
+        for algo_name in ("first-fit", "best-fit", "worst-fit", "last-fit"):
+            assert_identical_packing(items, algo_name)
+    finally:
+        state_mod.INDEX_THRESHOLD = orig_threshold
+        state_mod._BEST_FIT_TREE_MIN = orig_bf
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=item_lists(max_items=30))
+def test_property_differential_adaptive(items):
+    """Same, with the production (adaptive) thresholds in force."""
+    for algo_name in ("first-fit", "next-fit", "hybrid-first-fit"):
+        assert_identical_packing(items, algo_name)

@@ -1,0 +1,141 @@
+"""Unit tests for the first-fit segment tree (`repro.core.ffindex`).
+
+Every query is checked against a brute-force oracle over the same
+(bin, level) map, across randomized open/update/close schedules long
+enough to force several compaction rebuilds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.ffindex import FirstFitIndex
+
+BOUND = 1.0 + 1e-9
+
+
+class Oracle:
+    """Dict-of-levels reference for every index query."""
+
+    def __init__(self):
+        self.levels: dict[int, float] = {}  # insertion order == index order
+
+    def first_fit(self, size, bound):
+        for idx, lvl in self.levels.items():
+            if lvl + size <= bound:
+                return idx
+        return None
+
+    def last_fit(self, size, bound):
+        found = None
+        for idx, lvl in self.levels.items():
+            if lvl + size <= bound:
+                found = idx
+        return found
+
+    def min_level(self, size, bound):
+        worst = None
+        for idx, lvl in self.levels.items():
+            if lvl + size <= bound and (worst is None or lvl < self.levels[worst]):
+                worst = idx
+        return worst
+
+    def max_feasible(self, size, bound):
+        best = None
+        for idx, lvl in self.levels.items():
+            if lvl + size <= bound and (best is None or lvl > self.levels[best]):
+                best = idx
+        return best
+
+
+def check_all_queries(index, oracle, sizes):
+    for size in sizes:
+        assert index.first_fit(size, BOUND) == oracle.first_fit(size, BOUND)
+        assert index.last_fit(size, BOUND) == oracle.last_fit(size, BOUND)
+        assert index.min_level(size, BOUND) == oracle.min_level(size, BOUND)
+        assert index.max_feasible(size, BOUND) == oracle.max_feasible(size, BOUND)
+
+
+def test_empty_index_returns_none():
+    index = FirstFitIndex()
+    assert index.first_fit(0.1, BOUND) is None
+    assert index.last_fit(0.1, BOUND) is None
+    assert index.min_level(0.1, BOUND) is None
+    assert index.max_feasible(0.1, BOUND) is None
+    assert len(index) == 0
+
+
+def test_single_bin_feasibility_boundary():
+    index = FirstFitIndex()
+    index.append(0, 0.5)
+    assert index.first_fit(0.5, BOUND) == 0  # 0.5 + 0.5 <= 1 + eps
+    assert index.first_fit(0.6, BOUND) is None
+    index.close(0)
+    assert index.first_fit(0.1, BOUND) is None
+
+
+def test_first_fit_prefers_earliest_on_equal_levels():
+    index = FirstFitIndex()
+    for i in range(8):
+        index.append(i, 0.5)
+    assert index.first_fit(0.3, BOUND) == 0
+    assert index.last_fit(0.3, BOUND) == 7
+    assert index.min_level(0.3, BOUND) == 0  # leftmost at the global min
+    assert index.max_feasible(0.3, BOUND) == 0  # leftmost at the max
+
+
+def test_close_reopens_nothing():
+    index = FirstFitIndex()
+    index.append(0, 0.2)
+    index.append(1, 0.9)
+    index.close(0)
+    assert index.first_fit(0.05, BOUND) == 1
+    assert not index.has(0)
+    assert index.has(1)
+
+
+def test_randomized_against_oracle_with_rebuilds():
+    rng = random.Random(42)
+    index = FirstFitIndex()
+    oracle = Oracle()
+    next_idx = 0
+    # enough churn to overflow the 64-leaf initial tree repeatedly and
+    # force compaction rebuilds with dead slots present
+    for step in range(3000):
+        op = rng.random()
+        if op < 0.45 or not oracle.levels:
+            lvl = rng.choice([0.0, rng.uniform(0, 1), 0.5, 1.0 - 1e-12])
+            index.append(next_idx, lvl)
+            oracle.levels[next_idx] = lvl
+            next_idx += 1
+        elif op < 0.8:
+            idx = rng.choice(list(oracle.levels))
+            lvl = rng.uniform(0, 1)
+            index.set_level(idx, lvl)
+            oracle.levels[idx] = lvl
+        else:
+            idx = rng.choice(list(oracle.levels))
+            index.close(idx)
+            del oracle.levels[idx]
+        if step % 97 == 0:
+            check_all_queries(
+                index, oracle, [0.0, 1e-12, rng.uniform(0, 1), 0.5, 1.0, 1.5]
+            )
+        assert len(index) == len(oracle.levels)
+    check_all_queries(index, oracle, [0.1 * k for k in range(12)])
+
+
+def test_exact_float_semantics_match_scan():
+    """Near-tie levels differing in the last ulp must resolve exactly."""
+    index = FirstFitIndex()
+    a = 0.1 + 0.2  # 0.30000000000000004
+    b = 0.3
+    index.append(0, a)
+    index.append(1, b)
+    # max_feasible: a > b by one ulp, so bin 0 wins outright
+    assert index.max_feasible(0.1, BOUND) == 0
+    # min_level: b < a, bin 1 is the unique min
+    assert index.min_level(0.1, BOUND) == 1
+    # the feasibility predicate itself is evaluated exactly
+    tight = 1.0 - a
+    assert index.first_fit(tight, 1.0) == (0 if a + tight <= 1.0 else 1)

@@ -1,0 +1,52 @@
+"""Tests for the bench-trajectory harness (`repro.bench`).
+
+The structural test keeps tier-1 fast by using the quick grid with the
+Monte Carlo section disabled; the full baseline run is ``bench``-marked
+and excluded from the default pytest invocation (select it with
+``pytest -m bench``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import ALGORITHMS, QUICK_GRID, THROUGHPUT_GRID, run_bench
+
+
+def test_quick_bench_structure(tmp_path):
+    out = tmp_path / "bench.json"
+    report = run_bench(quick=True, repeats=1, json_path=str(out), montecarlo=False)
+    assert len(report.throughput) == len(QUICK_GRID) * len(ALGORITHMS) * 2
+    for row in report.throughput:
+        assert row["events_per_sec"] > 0
+        assert row["path"] in ("default", "reference")
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert payload["meta"]["seed"] == 99
+    assert len(payload["throughput"]) == len(report.throughput)
+
+
+def test_render_mentions_every_algorithm():
+    report = run_bench(quick=True, repeats=1, montecarlo=False)
+    text = report.render()
+    for algo in ALGORITHMS:
+        assert algo in text
+
+
+@pytest.mark.bench
+def test_full_bench_baseline(tmp_path):
+    """The committed-baseline configuration end to end (slow)."""
+    out = tmp_path / "BENCH_perf.json"
+    report = run_bench(quick=False, repeats=3, json_path=str(out))
+    assert len(report.throughput) == len(THROUGHPUT_GRID) * len(ALGORITHMS) * 2
+    assert report.montecarlo["identical"] is True
+    # the acceptance floor: first-fit on the 2000-job instance must beat
+    # the seed engine's ~238k events/sec by at least 2x
+    ff2k = next(
+        r for r in report.throughput
+        if r["instance"] == "n2000" and r["algorithm"] == "first-fit"
+        and r["path"] == "default"
+    )
+    assert ff2k["events_per_sec"] >= 2 * 238_000
