@@ -9,17 +9,40 @@ import pytest
 
 from repro.algorithms import ALGORITHM_REGISTRY, make_algorithm
 from repro.core.packing import run_packing
+from repro.multidim import make_vector_algorithm, run_vector_packing, vector_workload
 from repro.opt.opt_total import opt_total
 from repro.workloads.random_workloads import poisson_workload
 
 INSTANCE = poisson_workload(2000, seed=99, mu_target=8.0, arrival_rate=4.0)
 SMALL = poisson_workload(60, seed=7, mu_target=6.0, arrival_rate=2.0)
+VECTOR_INSTANCE = vector_workload(2000, seed=99, dimensions=2, arrival_rate=4.0)
+# enough simultaneously open bins (~hundreds) that the default path
+# activates the VectorFirstFitIndex mid-run
+VECTOR_HIGHLOAD = vector_workload(2000, seed=99, dimensions=2, arrival_rate=200.0)
 
 
 @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
 def test_packing_throughput(benchmark, name):
     """Pack 2000 jobs (4000 events) with each policy."""
     result = benchmark(lambda: run_packing(INSTANCE, make_algorithm(name)))
+    assert result.num_bins > 0
+
+
+@pytest.mark.parametrize("name", ["vector-first-fit", "vector-best-fit"])
+def test_vector_packing_throughput(benchmark, name):
+    """Pack 2000 two-dimensional jobs through the unified driver."""
+    result = benchmark(
+        lambda: run_vector_packing(VECTOR_INSTANCE, make_vector_algorithm(name))
+    )
+    assert result.num_bins > 0
+
+
+@pytest.mark.parametrize("name", ["vector-first-fit", "vector-best-fit"])
+def test_vector_packing_throughput_highload(benchmark, name):
+    """High-load vector packing: exercises the indexed first-fit path."""
+    result = benchmark(
+        lambda: run_vector_packing(VECTOR_HIGHLOAD, make_vector_algorithm(name))
+    )
     assert result.num_bins > 0
 
 

@@ -2,9 +2,10 @@
 
 ``repro bench --json BENCH_perf.json`` times the packing engine on a
 fixed grid of seeded Poisson instances — both the default (adaptively
-indexed) path and the ``indexed=False`` reference scans — plus one
-serial-vs-parallel Monte Carlo wall-clock comparison, and writes a
-machine-readable report.  The committed ``BENCH_perf.json`` is the
+indexed) path and the ``indexed=False`` reference scans, for the scalar
+grid and the 2-D vector grid (both run through the unified event
+driver) — plus one serial-vs-parallel Monte Carlo wall-clock
+comparison, and writes a machine-readable report.  The committed ``BENCH_perf.json`` is the
 regression baseline future PRs diff against: the *instances* are fully
 deterministic (seeded), so any structural slowdown shows up as a drop in
 ``events_per_sec`` on the same cell.
@@ -16,6 +17,7 @@ is the standard noise-robust estimator for short benchmarks), events/sec
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -27,9 +29,17 @@ from .algorithms import make_algorithm
 from .core.packing import run_packing
 from .experiments.harness import format_table
 from .experiments.montecarlo import run_expected_ratio
+from .multidim import make_vector_algorithm, run_vector_packing, vector_workload
 from .workloads.random_workloads import poisson_workload
 
-__all__ = ["run_bench", "BenchReport", "THROUGHPUT_GRID", "QUICK_GRID"]
+__all__ = [
+    "run_bench",
+    "BenchReport",
+    "THROUGHPUT_GRID",
+    "QUICK_GRID",
+    "VECTOR_GRID",
+    "VECTOR_QUICK_GRID",
+]
 
 #: (label, n_items, arrival_rate) — seed and µ are fixed so every cell
 #: is the same instance on every machine.  ``n2000`` matches the
@@ -47,6 +57,23 @@ QUICK_GRID: tuple[tuple[str, int, float], ...] = (
 )
 
 ALGORITHMS = ("first-fit", "best-fit", "worst-fit")
+
+#: Vector (2-D) cells through the same unified driver.  The high-load
+#: cell holds a few hundred bins open at once, so it exercises the
+#: adaptively activated :class:`~repro.core.ffindex.VectorFirstFitIndex`
+#: on the default path; the low-load cell stays under the activation
+#: threshold and measures the linear-scan regime.
+VECTOR_GRID: tuple[tuple[str, int, float], ...] = (
+    ("v20000", 20_000, 4.0),
+    ("v20000-highload", 20_000, 200.0),
+)
+
+VECTOR_QUICK_GRID: tuple[tuple[str, int, float], ...] = (
+    ("v2000", 2_000, 4.0),
+)
+
+VECTOR_ALGORITHMS = ("vector-first-fit", "vector-best-fit")
+VECTOR_DIMENSIONS = 2
 
 WORKLOAD_SEED = 99
 WORKLOAD_MU = 8.0
@@ -84,11 +111,28 @@ class BenchReport:
 
 
 def _best_of(repeats: int, fn) -> float:
+    """Best-of-``repeats`` wall clock with the cyclic GC paused.
+
+    Without this, generation-2 collections triggered by allocations in
+    *earlier* grid cells fire mid-measurement in later ones (each scan
+    walks the whole live instance), so a cell's number depends on its
+    position in the grid — measured ~35% distortion on the 100k-job
+    cell.  Pausing the collector (what ``timeit`` does) makes cells
+    order-independent; packing garbage is acyclic, so refcounting frees
+    it as usual.
+    """
     best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+    gc.collect()
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if enabled:
+            gc.enable()
     return best
 
 
@@ -121,6 +165,31 @@ def run_bench(
                 secs = _best_of(
                     repeats,
                     lambda: run_packing(items, make_algorithm(algo), indexed=indexed),
+                )
+                report.throughput.append(
+                    {
+                        "instance": label,
+                        "n_items": n,
+                        "arrival_rate": rate,
+                        "algorithm": algo,
+                        "path": path,
+                        "seconds": round(secs, 6),
+                        "events_per_sec": round(events / secs),
+                    }
+                )
+    vector_grid = VECTOR_QUICK_GRID if quick else VECTOR_GRID
+    for label, n, rate in vector_grid:
+        vitems = vector_workload(
+            n, seed=WORKLOAD_SEED, dimensions=VECTOR_DIMENSIONS, arrival_rate=rate
+        )
+        events = 2 * len(vitems)
+        for algo in VECTOR_ALGORITHMS:
+            for path, indexed in (("default", True), ("reference", False)):
+                secs = _best_of(
+                    repeats,
+                    lambda: run_vector_packing(
+                        vitems, make_vector_algorithm(algo), indexed=indexed
+                    ),
                 )
                 report.throughput.append(
                     {

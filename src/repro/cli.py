@@ -101,7 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("trace")
 
     p_bench = sub.add_parser(
-        "bench", help="throughput benchmarks; optionally write BENCH_perf.json"
+        "bench",
+        help=(
+            "throughput benchmarks (scalar + 2-D vector grids); "
+            "optionally write BENCH_perf.json"
+        ),
     )
     p_bench.add_argument(
         "--json", default=None, help="write the machine-readable report here"

@@ -6,7 +6,7 @@ from .billing import (
     HourlyBilling,
     PerSecondBilling,
 )
-from .dispatcher import DispatchReport, Dispatcher
+from .dispatcher import ConcurrencyMeter, DispatchReport, Dispatcher
 from .fleet import (
     DEFAULT_FLEET_CATALOGUE,
     BestDensity,
@@ -52,6 +52,7 @@ __all__ = [
     "SmallestFitting",
     "ContinuousBilling",
     "DispatchReport",
+    "ConcurrencyMeter",
     "Dispatcher",
     "GamingComparison",
     "GamingScenario",

@@ -11,15 +11,51 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Optional, Sequence
 
 from ..algorithms.base import PackingAlgorithm
 from ..core.items import ItemList
-from ..core.packing import run_packing
+from ..core.packing import PackingObserver, run_packing
 from ..core.result import PackingResult
 from .billing import BillingPolicy, ContinuousBilling
 from .server import InstanceType, ServerRecord
 
-__all__ = ["DispatchReport", "Dispatcher"]
+__all__ = ["ConcurrencyMeter", "DispatchReport", "Dispatcher"]
+
+
+class ConcurrencyMeter:
+    """Observer tracking how many servers run concurrently.
+
+    Written against the unified engine's shared state surface
+    (``event.time`` and ``state.num_open``), so the same instance meters
+    a scalar :func:`~repro.core.packing.run_packing` run or a vector
+    :func:`~repro.multidim.packing.run_vector_packing` run unchanged.
+    Records the peak and the time-weighted mean number of open servers
+    (each inter-event interval is attributed to the concurrency that
+    held *during* it, i.e. before the event applied).
+    """
+
+    def __init__(self) -> None:
+        self.peak_open: int = 0
+        self._last_time: Optional[float] = None
+        self._prev_open: int = 0
+        self._weighted: float = 0.0
+        self._span: float = 0.0
+
+    def __call__(self, event, state) -> None:
+        if self._last_time is not None:
+            dt = event.time - self._last_time
+            self._weighted += self._prev_open * dt
+            self._span += dt
+        self._last_time = event.time
+        self._prev_open = state.num_open
+        if state.num_open > self.peak_open:
+            self.peak_open = state.num_open
+
+    @property
+    def mean_open(self) -> float:
+        """Time-weighted mean concurrency over the observed span."""
+        return self._weighted / self._span if self._span else 0.0
 
 DEFAULT_INSTANCE = InstanceType("standard", capacity=1.0, hourly_price=1.0)
 
@@ -85,10 +121,22 @@ class Dispatcher:
         self.billing = billing if billing is not None else ContinuousBilling()
         self.instance_type = instance_type
 
-    def dispatch(self, jobs: ItemList) -> DispatchReport:
-        """Run the full arrival/departure stream and bill the servers."""
+    def dispatch(
+        self,
+        jobs: ItemList,
+        observers: Sequence[PackingObserver] = (),
+    ) -> DispatchReport:
+        """Run the full arrival/departure stream and bill the servers.
+
+        ``observers`` are forwarded to the unified packing driver and
+        invoked after every applied event — e.g. a
+        :class:`ConcurrencyMeter` for fleet-size statistics.
+        """
         packing = run_packing(
-            jobs, self.algorithm, capacity=self.instance_type.capacity
+            jobs,
+            self.algorithm,
+            capacity=self.instance_type.capacity,
+            observers=observers,
         )
         servers = tuple(
             ServerRecord.from_bin(b, self.instance_type, self.billing)

@@ -1,6 +1,7 @@
 """Core substrate: intervals, items, events, bins, and the packing driver."""
 
 from .bins import Bin, CAPACITY_EPS
+from .driver import run_events
 from .engine import (
     Collector,
     OpenBinsCollector,
@@ -29,9 +30,10 @@ from .metrics import (
 )
 from .packing import run_packing
 from .result import PackingResult
-from .state import PackingState
+from .state import BasePackingState, PackingState
 
 __all__ = [
+    "BasePackingState",
     "Bin",
     "Collector",
     "OpenBinsCollector",
@@ -55,6 +57,7 @@ __all__ = [
     "intervals_intersect",
     "merge_intervals",
     "open_bins_timeline",
+    "run_events",
     "run_packing",
     "span",
     "time_weighted_average",

@@ -1,0 +1,124 @@
+"""The resource-agnostic event driver shared by every packing engine.
+
+:func:`run_events` is the *single* event loop of the repository: the
+scalar 1-D engine (:func:`repro.core.packing.run_packing`) and the
+multi-dimensional engine (:func:`repro.multidim.packing.run_vector_packing`)
+are thin wrappers that build an instance-specific state and hand it to
+this loop.  The driver — not the algorithm and not the wrapper — owns
+correctness: it streams events in the canonical order (time-ordered,
+departures before arrivals at ties, instance order within a kind, as
+C-sorted tuples), validates every placement against the chosen bin's
+lifecycle and capacity, reveals departures only when they occur, and
+dispatches observers after each applied event.
+
+The loop is generic over the *resource type* via a small structural
+protocol (see ``docs/ARCHITECTURE.md``):
+
+- ``item.size`` — the demand revealed to the policy (a ``float`` for the
+  scalar engine, a tuple of floats for the vector engine).  Departure
+  times are never revealed.
+- ``bin.index`` / ``bin.is_open`` / ``bin.fits(item)`` / ``bin.level``
+  — lifecycle and feasibility on the bin side.
+- ``state.place`` / ``state.depart`` / ``state.num_open`` — the
+  mutations, implemented once in
+  :class:`~repro.core.state.BasePackingState`.
+
+Because both engines raise from the same lines below, infeasible and
+closed-bin placements produce *identical* error messages in the scalar
+and vector engines — pinned by ``tests/multidim/test_guardrails.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from .events import Event, EventKind, event_tuples
+
+__all__ = ["run_events", "Observer"]
+
+#: Observer callback signature: ``(event, state)`` after each event is
+#: applied.  The state is the engine-specific packing state (scalar or
+#: vector); observers that only read the shared surface
+#: (``num_open``, ``num_bins_used``, ``total_level``, ``now``) work
+#: unchanged on both engines.
+Observer = Callable[[Event, object], None]
+
+
+def run_events(
+    items: Iterable,
+    algorithm,
+    state,
+    observers: Sequence[Observer] = (),
+    hook_base: type | None = None,
+) -> None:
+    """Replay ``items``'s arrival/departure stream through ``algorithm``.
+
+    Parameters
+    ----------
+    items:
+        Any iterable of items with ``arrival``/``departure`` attributes
+        (:class:`~repro.core.items.ItemList`,
+        :class:`~repro.multidim.items.VectorItemList`, ...).
+    algorithm:
+        The placement policy.  It is ``reset()`` before the run and its
+        ``choose_bin(state, size)`` is called once per arrival — or
+        ``choose_bin_clairvoyant(state, item)`` when the policy declares
+        ``clairvoyant = True`` (known-departure reference model).
+    state:
+        A :class:`~repro.core.state.BasePackingState` subclass instance.
+        Mutated in place; read the packing off it afterwards.
+    observers:
+        Callbacks invoked after every applied event.
+    hook_base:
+        The algorithm base class whose ``on_placed``/``on_departed`` are
+        known no-ops.  Most policies keep no per-placement state, so the
+        driver skips the two callback calls per event unless the
+        concrete class actually overrides them.  ``None`` always calls.
+    """
+    algorithm.reset()
+
+    clairvoyant = getattr(algorithm, "clairvoyant", False)
+    choose_bin = (
+        algorithm.choose_bin_clairvoyant if clairvoyant else algorithm.choose_bin
+    )
+    cls = type(algorithm)
+    if hook_base is None:
+        on_placed = algorithm.on_placed
+        on_departed = algorithm.on_departed
+    else:
+        on_placed = None if cls.on_placed is hook_base.on_placed else algorithm.on_placed
+        on_departed = (
+            None if cls.on_departed is hook_base.on_departed else algorithm.on_departed
+        )
+    place = state.place
+    depart = state.depart
+
+    for time, kind, seq, item in event_tuples(items):
+        state.now = time
+        if kind:  # EventKind.ARRIVE
+            # clairvoyant policies (known-departure model) receive the
+            # full item; everyone else sees only the demand
+            target = choose_bin(state, item if clairvoyant else item.size)
+            if target is not None:
+                if not target.is_open:
+                    raise RuntimeError(
+                        f"{algorithm.name} chose closed bin {target.index}"
+                    )
+                if not target.fits(item):
+                    raise RuntimeError(
+                        f"{algorithm.name} chose bin {target.index} at level "
+                        f"{target.level} for item of size {item.size}"
+                    )
+            placed = place(item, target)
+            if on_placed is not None:
+                on_placed(state, placed, item.size)
+        else:
+            source = depart(item)
+            if on_departed is not None:
+                on_departed(state, source)
+        if observers:
+            event = Event(time, EventKind(kind), seq, item)
+            for obs in observers:
+                obs(event, state)
+
+    assert state.num_open == 0, "all bins must be closed after the last departure"

@@ -2,7 +2,11 @@
 
 The simulation is event-driven: the only times at which the system state
 changes are item arrivals and departures.  This module turns an item list
-into a deterministic, totally ordered event sequence.
+into a deterministic, totally ordered event sequence.  It is resource
+agnostic: any item with ``arrival``/``departure`` attributes streams
+through it, so the scalar :class:`~repro.core.items.ItemList` and the
+vector :class:`~repro.multidim.items.VectorItemList` share the exact
+same ordering (and the same C-speed tuple sort).
 
 Ordering rules (these are load-bearing and pinned by tests):
 
@@ -71,16 +75,16 @@ def event_sequence(items: ItemList | Sequence[Item]) -> list[Event]:
 
 
 def event_tuples(
-    items: ItemList | Sequence[Item],
+    items: ItemList | Sequence[Item] | Iterable,
 ) -> list[tuple[float, int, int, Item]]:
     """The event sequence as plain ``(time, kind, seq, item)`` tuples.
 
     Same events in the same total order as :func:`event_sequence`
     (``kind`` is the :class:`EventKind` integer value, so the tuple sort
     applies rules 1–3 directly; ``seq`` is unique, so ``item`` is never
-    compared).  This is the packing drivers' hot path: it skips one
-    object construction per event and sorts with C-speed tuple
-    comparisons.
+    compared).  This is the unified packing driver's hot path — scalar
+    and vector items alike: it skips one object construction per event
+    and sorts with C-speed tuple comparisons.
     """
     events: list[tuple[float, int, int, Item]] = []
     append = events.append

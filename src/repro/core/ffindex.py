@@ -36,9 +36,9 @@ amortised cost of every update is O(log open bins).
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Sequence
 
-__all__ = ["FirstFitIndex"]
+__all__ = ["FirstFitIndex", "VectorFirstFitIndex"]
 
 _INF = math.inf
 _MIN_LEAVES = 64
@@ -263,3 +263,162 @@ class FirstFitIndex:
             if mx[node] != target:
                 node += 1
         return node - leaves
+
+
+class VectorFirstFitIndex:
+    """The vector-aware fast path: per-dimension min trees over bin slots.
+
+    Same slot discipline as :class:`FirstFitIndex` (slots in bin-opening
+    order, dead slots left behind on close, compacting rebuild when the
+    tree fills), but every node stores one minimum level *per resource
+    dimension*.  Vector feasibility is a conjunction over dimensions::
+
+        level[d] + size[d] <= bound[d]   for every d
+
+    so a subtree can be **pruned** whenever some dimension's subtree
+    minimum already fails its component predicate — every bin below
+    fails in that dimension.  The converse does not hold: per-dimension
+    minima of a subtree may come from *different* bins, so an interior
+    node passing all component checks is inconclusive.  The query
+    therefore descends (leftmost child first) instead of committing, and
+    resolves at the leaves, where the stored minima are the exact levels
+    of a single bin and the componentwise check *is* the reference
+    scan's ``VectorBin`` feasibility test — that leaf-level fallback is
+    what makes the query exact (bit-identical to the scan, pinned by
+    ``tests/multidim/test_unified_differential.py``).
+
+    Worst case the descent is O(open bins) — an adversary can make every
+    interior bound inconclusive — but on real workloads the prune fires
+    on most subtrees and the query behaves like the scalar descent.
+    """
+
+    __slots__ = ("_dims", "_leaves", "_mn", "_n", "_slot_bin", "_bin_slot")
+
+    def __init__(self, dimensions: int) -> None:
+        if dimensions < 1:
+            raise ValueError("need at least one dimension")
+        self._dims = dimensions
+        self._alloc(_MIN_LEAVES)
+        #: slot -> bin index (-1 for dead slots), increasing over live slots
+        self._slot_bin: list[int] = []
+        #: bin index -> slot, live bins only
+        self._bin_slot: dict[int, int] = {}
+        #: slots handed out since the last rebuild (live + dead)
+        self._n = 0
+
+    def _alloc(self, leaves: int) -> None:
+        self._leaves = leaves
+        #: one min-aggregate array per dimension (list-of-lists beats an
+        #: array of tuples: updates touch one dimension's lane at a time
+        #: and the query reads lanes independently)
+        self._mn = [[_INF] * (2 * leaves) for _ in range(self._dims)]
+
+    def __len__(self) -> int:
+        return len(self._bin_slot)
+
+    # -- updates -------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Compact live slots (order preserved) into a right-sized tree."""
+        leaves = self._leaves
+        old_mn = self._mn
+        pairs = [
+            (b, [old_mn[d][leaves + s] for d in range(self._dims)])
+            for s, b in enumerate(self._slot_bin)
+            if b >= 0
+        ]
+        live = len(pairs)
+        size = _MIN_LEAVES
+        while size < 2 * (live + 1):
+            size *= 2
+        self._alloc(size)
+        self._slot_bin = [b for b, _ in pairs]
+        self._bin_slot = {b: s for s, (b, _) in enumerate(pairs)}
+        self._n = live
+        for d in range(self._dims):
+            mn = self._mn[d]
+            for s, (_, levels) in enumerate(pairs):
+                mn[size + s] = levels[d]
+            for i in range(size - 1, 0, -1):
+                left, right = 2 * i, 2 * i + 1
+                mn[i] = mn[left] if mn[left] <= mn[right] else mn[right]
+
+    def _update(self, slot: int, levels: Sequence[float]) -> None:
+        leaves = self._leaves
+        for d in range(self._dims):
+            mn = self._mn[d]
+            i = leaves + slot
+            mn[i] = levels[d]
+            i >>= 1
+            while i:
+                j = i + i
+                lo = mn[j]
+                v = mn[j + 1]
+                if v < lo:
+                    lo = v
+                if mn[i] == lo:
+                    break
+                mn[i] = lo
+                i >>= 1
+
+    def append(self, bin_index: int, levels: Optional[Sequence[float]] = None) -> None:
+        """Register a newly opened bin at ``levels`` (default: empty).
+
+        Bin indices must arrive in increasing order (they do: a new bin
+        always gets the next opening index).
+        """
+        if self._n >= self._leaves:
+            self._rebuild()  # collects dead slots; grows only if needed
+        slot = self._n
+        self._n += 1
+        self._slot_bin.append(bin_index)
+        self._bin_slot[bin_index] = slot
+        self._update(slot, levels if levels is not None else (0.0,) * self._dims)
+
+    def has(self, bin_index: int) -> bool:
+        """Whether ``bin_index`` is currently registered (open)."""
+        return bin_index in self._bin_slot
+
+    def set_level(self, bin_index: int, levels: Sequence[float]) -> None:
+        """Record the new level vector of an open bin."""
+        self._update(self._bin_slot[bin_index], levels)
+
+    def close(self, bin_index: int) -> None:
+        """Retire a bin: a closed bin is never a candidate again."""
+        slot = self._bin_slot.pop(bin_index)
+        self._slot_bin[slot] = -1
+        self._update(slot, (_INF,) * self._dims)
+
+    # -- queries -------------------------------------------------------------
+    def first_fit(
+        self, sizes: Sequence[float], bounds: Sequence[float]
+    ) -> Optional[int]:
+        """Earliest-opened bin feasible in every dimension, or ``None``.
+
+        Depth-first, left child first, pruning any subtree whose minimum
+        fails a component predicate; inconclusive interior nodes fall
+        through to the exact leaf check (see the class docstring).
+        """
+        mn = self._mn
+        leaves = self._leaves
+        dims = range(self._dims)
+        stack = [1]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            node = pop()
+            feasible = True
+            for d in dims:
+                if mn[d][node] + sizes[d] > bounds[d]:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            if node >= leaves:
+                # leaf minima are the actual levels of one bin, so the
+                # componentwise check above was exact; dead slots carry
+                # +inf levels and never reach here
+                return self._slot_bin[node - leaves]
+            node += node
+            push(node + 1)
+            push(node)
+        return None

@@ -1,20 +1,23 @@
-"""The online packing driver.
+"""The scalar online packing entry point.
 
 :func:`run_packing` replays an instance's event sequence through an
 online algorithm and returns a :class:`~repro.core.result.PackingResult`.
-The driver — not the algorithm — owns correctness: it validates every
-placement against bin capacity, reveals departures only when they occur,
-and closes bins exactly when their last item departs.
+The event loop itself lives in :mod:`repro.core.driver` — the single,
+resource-agnostic driver shared with the vector engine
+(:func:`repro.multidim.packing.run_vector_packing`).  The driver — not
+the algorithm — owns correctness: it validates every placement against
+bin capacity, reveals departures only when they occur, and closes bins
+exactly when their last item departs.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..algorithms.base import PackingAlgorithm
 
-from .events import Event, EventKind, event_tuples
+from .driver import Observer, run_events
 from .items import Item, ItemList
 from .result import PackingResult
 from .state import PackingState
@@ -23,7 +26,9 @@ __all__ = ["run_packing", "PackingObserver"]
 
 #: Observer callback signature: ``(event, state)`` after each event is
 #: applied.  Used by metrics collection and the cloud cost accountant.
-PackingObserver = Callable[[Event, PackingState], None]
+#: (Alias of :data:`repro.core.driver.Observer` — observers written
+#: against the shared state surface work on both engines.)
+PackingObserver = Observer
 
 
 def run_packing(
@@ -65,54 +70,11 @@ def run_packing(
             f"run requested {capacity}"
         )
 
-    algorithm.reset()
-    state = PackingState(capacity=capacity, indexed=indexed)
-
-    clairvoyant = getattr(algorithm, "clairvoyant", False)
-    choose_bin = (
-        algorithm.choose_bin_clairvoyant if clairvoyant else algorithm.choose_bin
-    )
-    # most algorithms keep no per-placement state; skip the two no-op
-    # callback calls per event unless the subclass actually overrides
+    # deferred import: algorithms.base imports core.state (cycle guard)
     from ..algorithms.base import PackingAlgorithm as _Base
 
-    cls = type(algorithm)
-    on_placed = None if cls.on_placed is _Base.on_placed else algorithm.on_placed
-    on_departed = (
-        None if cls.on_departed is _Base.on_departed else algorithm.on_departed
-    )
-    place = state.place
-    depart = state.depart
-
-    for time, kind, seq, item in event_tuples(items):
-        state.now = time
-        if kind:  # EventKind.ARRIVE
-            # clairvoyant policies (known-departure model) receive the
-            # full item; see repro.algorithms.clairvoyant
-            target = choose_bin(state, item if clairvoyant else item.size)
-            if target is not None:
-                if not target.is_open:
-                    raise RuntimeError(
-                        f"{algorithm.name} chose closed bin {target.index}"
-                    )
-                if not target.fits(item):
-                    raise RuntimeError(
-                        f"{algorithm.name} chose bin {target.index} at level "
-                        f"{target.level} for item of size {item.size}"
-                    )
-            placed = place(item, target)
-            if on_placed is not None:
-                on_placed(state, placed, item.size)
-        else:
-            source = depart(item)
-            if on_departed is not None:
-                on_departed(state, source)
-        if observers:
-            event = Event(time, EventKind(kind), seq, item)
-            for obs in observers:
-                obs(event, state)
-
-    assert state.num_open == 0, "all bins must be closed after the last departure"
+    state = PackingState(capacity=capacity, indexed=indexed)
+    run_events(items, algorithm, state, observers, hook_base=_Base)
     return PackingResult(
         items=items,
         bins=tuple(state.bins),

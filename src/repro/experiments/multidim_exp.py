@@ -5,19 +5,43 @@ closed-form lower bound (span vs binding-resource time–space).  Also
 sweeps demand correlation: at correlation 1 the instance is effectively
 one-dimensional and ratios match the 1-D behaviour; lower correlation
 increases packing tension and all ratios rise.
+
+Every (sweep point, algorithm, seed) cell is an independent packing run,
+so the grid shards through :func:`repro.parallel.parallel_map` —
+``repro run X1 --workers -1`` fans the cells across CPUs and merges in
+task order, producing the exact rows of the serial run.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..multidim import (
     VECTOR_REGISTRY,
-    run_vector_packing,
     correlated_vector_workload,
+    make_vector_algorithm,
+    run_vector_packing,
     vector_workload,
 )
+from ..parallel import parallel_map
 from .harness import ExperimentResult
 
 __all__ = ["run_multidim"]
+
+
+def _run_cell(task: tuple[str, float, str, int, int]) -> float:
+    """One shard: pack one seeded instance, return its ratio.
+
+    Top-level and argument-seeded so it pickles into worker processes
+    (the :mod:`repro.parallel` determinism contract).
+    """
+    sweep, value, algo_name, seed, n = task
+    if sweep == "dimensions":
+        inst = vector_workload(n, seed=seed, dimensions=int(value))
+    else:
+        inst = correlated_vector_workload(n, seed=seed, correlation=value)
+    res = run_vector_packing(inst, make_vector_algorithm(algo_name))
+    return res.ratio_vs_lower_bound()
 
 
 def run_multidim(
@@ -25,6 +49,7 @@ def run_multidim(
     seeds: tuple[int, ...] = (1, 2, 3),
     dimensions: tuple[int, ...] = (1, 2, 3),
     correlations: tuple[float, ...] = (0.0, 0.5, 1.0),
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Dimension sweep + correlation sweep for vector policies."""
     exp = ExperimentResult(
@@ -36,36 +61,30 @@ def run_multidim(
             "number of independent dimensions grows (packing tension)."
         ),
     )
-    for dim in dimensions:
-        for algo_name, factory in VECTOR_REGISTRY.items():
-            ratios = []
-            for seed in seeds:
-                inst = vector_workload(n, seed=seed, dimensions=dim)
-                res = run_vector_packing(inst, factory())
-                ratios.append(res.ratio_vs_lower_bound())
-            exp.rows.append(
-                {
-                    "sweep": "dimensions",
-                    "value": dim,
-                    "algorithm": algo_name,
-                    "mean_ratio": sum(ratios) / len(ratios),
-                    "max_ratio": max(ratios),
-                }
-            )
-    for corr in correlations:
-        for algo_name, factory in VECTOR_REGISTRY.items():
-            ratios = []
-            for seed in seeds:
-                inst = correlated_vector_workload(n, seed=seed, correlation=corr)
-                res = run_vector_packing(inst, factory())
-                ratios.append(res.ratio_vs_lower_bound())
-            exp.rows.append(
-                {
-                    "sweep": "correlation",
-                    "value": corr,
-                    "algorithm": algo_name,
-                    "mean_ratio": sum(ratios) / len(ratios),
-                    "max_ratio": max(ratios),
-                }
-            )
+    groups: list[tuple[str, float, str]] = [
+        ("dimensions", dim, algo_name)
+        for dim in dimensions
+        for algo_name in VECTOR_REGISTRY
+    ] + [
+        ("correlation", corr, algo_name)
+        for corr in correlations
+        for algo_name in VECTOR_REGISTRY
+    ]
+    tasks = [
+        (sweep, value, algo_name, seed, n)
+        for sweep, value, algo_name in groups
+        for seed in seeds
+    ]
+    ratios = parallel_map(_run_cell, tasks, workers=workers)
+    for g, (sweep, value, algo_name) in enumerate(groups):
+        cell = ratios[g * len(seeds) : (g + 1) * len(seeds)]
+        exp.rows.append(
+            {
+                "sweep": sweep,
+                "value": value,
+                "algorithm": algo_name,
+                "mean_ratio": sum(cell) / len(cell),
+                "max_ratio": max(cell),
+            }
+        )
     return exp

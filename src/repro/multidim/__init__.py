@@ -1,4 +1,9 @@
-"""Multi-dimensional MinUsageTime DBP — the paper's future-work extension."""
+"""Multi-dimensional MinUsageTime DBP — the paper's future-work extension.
+
+Runs on the unified packing core: the same event driver, bin lifecycle,
+observers, and adaptive first-fit indexing as the scalar engine (see
+``docs/ARCHITECTURE.md``).
+"""
 
 from .algorithms import (
     VECTOR_REGISTRY,
@@ -7,10 +12,12 @@ from .algorithms import (
     VectorFirstFit,
     VectorNextFit,
     VectorWorstFit,
+    make_vector_algorithm,
 )
 from .bins import VectorBin
 from .items import VectorItem, VectorItemList
 from .packing import VectorPackingResult, run_vector_packing
+from .state import VectorPackingState
 from .workloads import correlated_vector_workload, vector_workload
 
 __all__ = [
@@ -23,8 +30,10 @@ __all__ = [
     "VectorItemList",
     "VectorNextFit",
     "VectorPackingResult",
+    "VectorPackingState",
     "VectorWorstFit",
     "correlated_vector_workload",
+    "make_vector_algorithm",
     "run_vector_packing",
     "vector_workload",
 ]

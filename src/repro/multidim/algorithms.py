@@ -1,5 +1,14 @@
 """Vector packing policies: FF / BF / WF / NF lifted to D dimensions.
 
+Since the engine unification these are *thin adapters* over the shared
+core: each policy is a selection query against
+:class:`~repro.multidim.state.VectorPackingState`, exactly as the scalar
+policies are queries against :class:`~repro.core.state.PackingState`.
+The interface mirrors the scalar
+:class:`~repro.algorithms.base.PackingAlgorithm` — ``choose_bin`` sees
+the revealed demand vector (never departure times) and the state; the
+driver owns placement, validation, and lifecycle.
+
 Feasibility is componentwise; Best/Worst Fit rank candidate bins by the
 max-norm fullness (see :meth:`repro.multidim.bins.VectorBin.fullness`).
 """
@@ -7,9 +16,10 @@ max-norm fullness (see :meth:`repro.multidim.bins.VectorBin.fullness`).
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
 
 from .bins import VectorBin
+from .state import VectorPackingState
 
 __all__ = [
     "VectorAlgorithm",
@@ -18,11 +28,21 @@ __all__ = [
     "VectorWorstFit",
     "VectorNextFit",
     "VECTOR_REGISTRY",
+    "make_vector_algorithm",
 ]
 
 
 class VectorAlgorithm(abc.ABC):
-    """Interface mirroring the 1-D :class:`PackingAlgorithm`."""
+    """Interface mirroring the 1-D :class:`PackingAlgorithm`.
+
+    Lifecycle (driven by :func:`repro.core.driver.run_events`)::
+
+        algo.reset()                        # before each run
+        target = algo.choose_bin(state, sizes)   # None => open a new bin
+        ... driver places the item ...
+        algo.on_placed(state, bin, sizes)   # bookkeeping hook (Next Fit)
+        algo.on_departed(state, bin)        # after each departure
+    """
 
     name = "vector-abstract"
 
@@ -30,23 +50,30 @@ class VectorAlgorithm(abc.ABC):
         """Clear per-run state."""
 
     @abc.abstractmethod
-    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
-        """Pick an open bin for the arriving item; None opens a new one."""
+    def choose_bin(
+        self, state: VectorPackingState, sizes: Sequence[float]
+    ) -> Optional[VectorBin]:
+        """Pick an open bin for the arriving demand vector; None opens one."""
 
-    def on_placed(self, target: VectorBin, new_bin: bool) -> None:
-        """Hook after placement (Next Fit bookkeeping)."""
+    def on_placed(
+        self, state: VectorPackingState, target: VectorBin, sizes: Sequence[float]
+    ) -> None:
+        """Hook after the driver placed the item into ``target``."""
+
+    def on_departed(self, state: VectorPackingState, source: VectorBin) -> None:
+        """Hook after a departure was processed (``source`` may be closed)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
 
 
 class VectorFirstFit(VectorAlgorithm):
-    """Earliest-opened feasible bin."""
+    """Earliest-opened feasible bin (O(log n) on an indexed state)."""
 
     name = "vector-first-fit"
 
-    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
-        for b in open_bins:
-            if b.fits(item):
-                return b
-        return None
+    def choose_bin(self, state, sizes):
+        return state.first_fit_bin(sizes)
 
 
 class VectorBestFit(VectorAlgorithm):
@@ -54,12 +81,8 @@ class VectorBestFit(VectorAlgorithm):
 
     name = "vector-best-fit"
 
-    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
-        best: Optional[VectorBin] = None
-        for b in open_bins:
-            if b.fits(item) and (best is None or b.fullness() > best.fullness() + 1e-12):
-                best = b
-        return best
+    def choose_bin(self, state, sizes):
+        return state.best_fit_bin(sizes)
 
 
 class VectorWorstFit(VectorAlgorithm):
@@ -67,14 +90,8 @@ class VectorWorstFit(VectorAlgorithm):
 
     name = "vector-worst-fit"
 
-    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
-        worst: Optional[VectorBin] = None
-        for b in open_bins:
-            if b.fits(item) and (
-                worst is None or b.fullness() < worst.fullness() - 1e-12
-            ):
-                worst = b
-        return worst
+    def choose_bin(self, state, sizes):
+        return state.worst_fit_bin(sizes)
 
 
 class VectorNextFit(VectorAlgorithm):
@@ -88,15 +105,18 @@ class VectorNextFit(VectorAlgorithm):
     def reset(self) -> None:
         self._available = None
 
-    def choose_bin(self, open_bins: list[VectorBin], item) -> Optional[VectorBin]:
+    def choose_bin(self, state, sizes):
         avail = self._available
-        if avail is not None and avail.is_open and avail.fits(item):
+        if avail is not None and avail.is_open and avail.fits_sizes(sizes):
             return avail
+        # no available bin, it closed, or the item misses it: mark it
+        # unavailable forever and request a fresh bin
         self._available = None
         return None
 
-    def on_placed(self, target: VectorBin, new_bin: bool) -> None:
-        if new_bin:
+    def on_placed(self, state, target, sizes):
+        if self._available is None:
+            # the driver opened a new bin for us; it becomes available
             self._available = target
 
 
@@ -106,3 +126,13 @@ VECTOR_REGISTRY = {
     "vector-worst-fit": VectorWorstFit,
     "vector-next-fit": VectorNextFit,
 }
+
+
+def make_vector_algorithm(name: str) -> VectorAlgorithm:
+    """Instantiate a registered vector policy by name."""
+    try:
+        return VECTOR_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown vector algorithm {name!r}; known: {sorted(VECTOR_REGISTRY)}"
+        ) from None

@@ -45,6 +45,16 @@ class VectorItem:
         return len(self.sizes)
 
     @property
+    def size(self) -> tuple[float, ...]:
+        """The demand vector, under the unified engine's protocol name.
+
+        The generic driver reveals ``item.size`` to non-clairvoyant
+        policies; for a vector item that is the full ``sizes`` tuple
+        (and never the departure time).
+        """
+        return self.sizes
+
+    @property
     def interval(self) -> Interval:
         return Interval(self.arrival, self.departure)
 

@@ -1,13 +1,27 @@
-"""Event-driven driver for multi-dimensional MinUsageTime DBP."""
+"""Multi-dimensional MinUsageTime DBP — the vector engine entry point.
+
+Since the engine unification this module contains **no event loop**:
+:func:`run_vector_packing` builds a
+:class:`~repro.multidim.state.VectorPackingState` and hands it to the
+shared :func:`repro.core.driver.run_events`, the same driver that powers
+the scalar :func:`~repro.core.packing.run_packing`.  Event ordering,
+departures-before-arrivals ties, placement validation, observer
+dispatch, O(1) bin close, and the adaptive first-fit index therefore
+behave identically in both engines, and every driver-level improvement
+reaches vector workloads for free.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Iterable, Optional, Sequence
 
+from ..core.driver import Observer, run_events
 from .algorithms import VectorAlgorithm
 from .bins import VectorBin
 from .items import VectorItem, VectorItemList
+from .state import VectorPackingState
 
 __all__ = ["VectorPackingResult", "run_vector_packing"]
 
@@ -38,48 +52,61 @@ class VectorPackingResult:
 
 
 def run_vector_packing(
-    items: VectorItemList, algorithm: VectorAlgorithm
+    items: VectorItemList | Iterable[VectorItem],
+    algorithm: VectorAlgorithm,
+    capacity: Optional[Sequence[float]] = None,
+    observers: Sequence[Observer] = (),
+    indexed: bool = True,
 ) -> VectorPackingResult:
-    """Replay arrivals/departures through a vector policy.
+    """Pack vector ``items`` online with ``algorithm`` and return the result.
 
-    Event ordering matches the 1-D driver: time-ordered, departures
-    before arrivals at ties, instance order within a kind.
+    Parameters
+    ----------
+    items:
+        The instance.  A plain iterable is wrapped into a
+        :class:`~repro.multidim.items.VectorItemList` (validating sizes
+        against ``capacity``, which then defaults to the unit vector of
+        the items' dimension).
+    algorithm:
+        The placement policy.  It is ``reset()`` before the run.
+    capacity:
+        Per-dimension bin capacity.  When ``items`` is already a
+        ``VectorItemList`` this must match the list's capacity (same
+        guardrail — and same error message — as the scalar engine).
+    observers:
+        Callbacks invoked after every applied event.
+    indexed:
+        Maintain the O(log n) vector first-fit index (default).
+        ``False`` selects the reference linear scans; both paths must
+        produce identical packings (pinned by the differential tests).
+
+    Notes
+    -----
+    Simultaneous events are ordered departures-first (half-open
+    intervals), then by instance order — identical to the 1-D engine,
+    because it *is* the 1-D engine's driver.
     """
-    algorithm.reset()
-    events: list[tuple[float, int, int, VectorItem]] = []
-    for seq, it in enumerate(items):
-        events.append((it.arrival, 1, seq, it))
-        events.append((it.departure, 0, seq, it))
-    events.sort(key=lambda e: (e[0], e[1], e[2]))
+    if not isinstance(items, VectorItemList):
+        materialised = tuple(items)
+        if capacity is None:
+            if not materialised:
+                raise ValueError("cannot infer capacity from an empty instance")
+            capacity = (1.0,) * materialised[0].dimensions
+        items = VectorItemList(materialised, capacity=capacity)
+    elif capacity is not None and (
+        len(items.capacity) != len(tuple(capacity))
+        or any(abs(a - float(b)) > 1e-12 for a, b in zip(items.capacity, capacity))
+    ):
+        raise ValueError(
+            f"capacity mismatch: ItemList built with {items.capacity}, "
+            f"run requested {tuple(float(c) for c in capacity)}"
+        )
 
-    bins: list[VectorBin] = []
-    open_bins: list[VectorBin] = []
-    item_bin: dict[int, int] = {}
-    for time, kind, _seq, it in events:
-        if kind == 1:  # arrival
-            target = algorithm.choose_bin(open_bins, it)
-            new_bin = target is None
-            if new_bin:
-                target = VectorBin(index=len(bins), capacity=items.capacity)
-                bins.append(target)
-                open_bins.append(target)
-            elif not target.fits(it):
-                raise RuntimeError(
-                    f"{algorithm.name} chose an infeasible bin {target.index}"
-                )
-            target.place(it, time)
-            item_bin[it.item_id] = target.index
-            algorithm.on_placed(target, new_bin)
-        else:  # departure
-            b = bins[item_bin[it.item_id]]
-            b.remove(it, time)
-            if not b.is_open:
-                open_bins.remove(b)
-
-    assert not open_bins, "all vector bins must close after the last departure"
+    state = VectorPackingState(capacity=items.capacity, indexed=indexed)
+    run_events(items, algorithm, state, observers, hook_base=VectorAlgorithm)
     return VectorPackingResult(
         items=items,
-        bins=tuple(bins),
+        bins=tuple(state.bins),
         algorithm_name=algorithm.name,
-        item_bin=item_bin,
+        item_bin=dict(state.item_bin),
     )

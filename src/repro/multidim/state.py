@@ -1,0 +1,149 @@
+"""Vector packing state: the multi-dimensional client of the unified core.
+
+:class:`VectorPackingState` subclasses
+:class:`~repro.core.state.BasePackingState` and inherits the generic
+``place``/``depart`` mutations unchanged — open-set bookkeeping is the
+shared dict (O(1) close), the item→bin map is shared, and index
+activation follows the same adaptive :data:`~repro.core.state.INDEX_THRESHOLD`
+policy as the scalar engine.  What this class adds is the vector
+resource binding:
+
+- per-dimension incremental accounting (:attr:`total_level` is a tuple,
+  one running open-level sum per resource);
+- the :class:`~repro.core.ffindex.VectorFirstFitIndex` fast path for
+  First Fit, adaptively activated exactly like the scalar tree;
+- the selection queries vector policies use.  The Best/Worst Fit scans
+  reproduce the historical vector engine's comparisons bit-for-bit
+  (max-norm fullness with the 1e-12 tie hysteresis), so packings are
+  pinned across the unification by the frozen corpus in
+  ``tests/data/multidim/``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.bins import CAPACITY_EPS
+from ..core.ffindex import VectorFirstFitIndex
+from ..core.state import BasePackingState
+from .bins import VectorBin
+
+__all__ = ["VectorPackingState"]
+
+#: Hysteresis of the historical vector Best/Worst Fit comparisons: a bin
+#: must beat the incumbent's fullness by more than this to displace it.
+#: Kept for bit-identical packings across the engine unification.
+FULLNESS_EPS = 1e-12
+
+
+class VectorPackingState(BasePackingState):
+    """Open bins, closed bins, and item→bin bookkeeping for a vector run."""
+
+    def __init__(self, capacity: Sequence[float] = (1.0,), indexed: bool = True):
+        super().__init__(indexed=indexed)
+        self.capacity: tuple[float, ...] = tuple(float(c) for c in capacity)
+        if not self.capacity or any(c <= 0 for c in self.capacity):
+            raise ValueError("capacities must be positive")
+        self.dimensions = len(self.capacity)
+        # running per-dimension sum of open-bin levels; mutable so
+        # _account updates in place (exposed as a tuple via total_level)
+        self._total: list[float] = [0.0] * self.dimensions
+        self._index: Optional[VectorFirstFitIndex] = None
+        # precomputed per-dimension feasibility bounds, the exact values
+        # the reference scan and the tree both compare against
+        self._cap_bound: tuple[float, ...] = tuple(
+            c + CAPACITY_EPS for c in self.capacity
+        )
+
+    # -- resource bindings ----------------------------------------------------
+    def _new_bin(self) -> VectorBin:
+        b = VectorBin(index=len(self.bins), capacity=self.capacity)
+        self.bins.append(b)
+        self._open[b.index] = b
+        return b
+
+    def _make_index(self) -> VectorFirstFitIndex:
+        return VectorFirstFitIndex(self.dimensions)
+
+    def _account(self, before: Sequence[float], after: Sequence[float]) -> None:
+        total = self._total
+        for d, a in enumerate(after):
+            total[d] = total[d] + a - before[d]
+
+    def _reset_total(self) -> None:
+        for d in range(self.dimensions):
+            self._total[d] = 0.0
+
+    @property
+    def total_level(self) -> tuple[float, ...]:
+        """Running per-dimension sum of open-bin levels."""
+        return tuple(self._total)
+
+    # -- read-only views used by algorithms ----------------------------------
+    def open_bins_fitting(self, sizes: Sequence[float]) -> list[VectorBin]:
+        """Open bins feasible in every dimension, index order."""
+        bound = self._cap_bound
+        return [
+            b
+            for b in self._open.values()
+            if all(l + s <= c for l, s, c in zip(b.levels, sizes, bound))
+        ]
+
+    # -- selection queries -----------------------------------------------------
+    def first_fit_bin(self, sizes: Sequence[float]) -> Optional[VectorBin]:
+        """Earliest-opened open bin feasible in every dimension."""
+        if self._index is not None:
+            idx = self._index.first_fit(sizes, self._cap_bound)
+            return None if idx is None else self.bins[idx]
+        # explicit for/else instead of all(genexpr): this scan runs once
+        # per arrival while the tree is inactive, and a generator frame
+        # per candidate bin dominates the low-load profile
+        bound = self._cap_bound
+        for b in self._open.values():
+            for l, s, c in zip(b.levels, sizes, bound):
+                if l + s > c:
+                    break
+            else:
+                return b
+        return None
+
+    def best_fit_bin(self, sizes: Sequence[float]) -> Optional[VectorBin]:
+        """Feasible bin with the highest max-norm fullness.
+
+        Linear scan (the fullness objective does not decompose per
+        dimension, so the min-tree cannot prune for it); comparisons
+        replicate the historical vector Best Fit exactly.
+        """
+        bound = self._cap_bound
+        capacity = self.capacity
+        best: Optional[VectorBin] = None
+        best_full = 0.0
+        for b in self._open.values():
+            levels = b.levels
+            for l, s, c in zip(levels, sizes, bound):
+                if l + s > c:
+                    break
+            else:
+                full = max(l / c for l, c in zip(levels, capacity))
+                if best is None or full > best_full + FULLNESS_EPS:
+                    best = b
+                    best_full = full
+        return best
+
+    def worst_fit_bin(self, sizes: Sequence[float]) -> Optional[VectorBin]:
+        """Feasible bin with the lowest max-norm fullness."""
+        bound = self._cap_bound
+        capacity = self.capacity
+        worst: Optional[VectorBin] = None
+        worst_full = 0.0
+        for b in self._open.values():
+            levels = b.levels
+            for l, s, c in zip(levels, sizes, bound):
+                if l + s > c:
+                    break
+            else:
+                full = max(l / c for l, c in zip(levels, capacity))
+                if worst is None or full < worst_full - FULLNESS_EPS:
+                    worst = b
+                    worst_full = full
+        return worst

@@ -4,7 +4,7 @@ import pytest
 
 from repro.algorithms import FirstFit, NextFit
 from repro.cloud.billing import ContinuousBilling, HourlyBilling
-from repro.cloud.dispatcher import Dispatcher
+from repro.cloud.dispatcher import ConcurrencyMeter, Dispatcher
 from repro.cloud.server import InstanceType, ServerRecord
 from repro.core.items import Item, ItemList
 from repro.workloads.gaming import gaming_workload
@@ -60,6 +60,38 @@ class TestDispatcher:
         report = Dispatcher(NextFit()).dispatch(jobs())
         s = report.summary()
         assert "next-fit" in s and "servers" in s
+
+
+class TestConcurrencyMeter:
+    def test_observer_is_forwarded_to_the_driver(self):
+        meter = ConcurrencyMeter()
+        report = Dispatcher(FirstFit()).dispatch(jobs(), observers=[meter])
+        # items 0 and 1 overlap on [0.5, 1.5): two servers at the peak
+        assert meter.peak_open == report.num_servers == 2
+        assert 0.0 < meter.mean_open <= meter.peak_open
+
+    def test_same_meter_works_on_the_vector_engine(self):
+        from repro.multidim import (
+            VectorItem,
+            VectorItemList,
+            make_vector_algorithm,
+            run_vector_packing,
+        )
+
+        meter = ConcurrencyMeter()
+        items = VectorItemList(
+            [
+                VectorItem(0, (0.6, 0.6), 0.0, 2.0),
+                VectorItem(1, (0.5, 0.5), 0.5, 1.5),
+                VectorItem(2, (0.4, 0.4), 1.0, 3.0),
+            ],
+            capacity=(1.0, 1.0),
+        )
+        run_vector_packing(
+            items, make_vector_algorithm("vector-first-fit"), observers=[meter]
+        )
+        assert meter.peak_open == 2
+        assert 0.0 < meter.mean_open <= meter.peak_open
 
 
 class TestInstanceType:

@@ -1,0 +1,135 @@
+"""Unit tests for the vector first-fit segment tree.
+
+:class:`~repro.core.ffindex.VectorFirstFitIndex` keeps one min-lane per
+dimension; a subtree is prunable iff *some* dimension's minimum already
+fails, and an inconclusive interior node is resolved by descending to
+exact leaf checks.  The oracle is the reference scan the vector state
+uses when unindexed: leftmost open bin feasible in every dimension,
+compared with the exact same floats.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.ffindex import VectorFirstFitIndex
+
+BOUND2 = (1.0 + 1e-9, 1.0 + 1e-9)
+
+
+class VectorOracle:
+    """Dict-of-level-vectors reference for the first-fit query."""
+
+    def __init__(self):
+        self.levels: dict[int, tuple[float, ...]] = {}
+
+    def first_fit(self, sizes, bounds):
+        for idx, lvls in self.levels.items():
+            if all(l + s <= c for l, s, c in zip(lvls, sizes, bounds)):
+                return idx
+        return None
+
+
+def test_empty_index_returns_none():
+    index = VectorFirstFitIndex(2)
+    assert index.first_fit((0.1, 0.1), BOUND2) is None
+    assert len(index) == 0
+
+
+def test_append_defaults_to_zero_levels():
+    index = VectorFirstFitIndex(3)
+    index.append(0)
+    assert index.first_fit((1.0, 1.0, 1.0), (1.0,) * 3) == 0
+
+
+def test_per_dimension_feasibility_boundary():
+    index = VectorFirstFitIndex(2)
+    index.append(0, (0.5, 0.9))
+    # fits in dim 0 but not dim 1 → infeasible
+    assert index.first_fit((0.5, 0.2), BOUND2) is None
+    # fits in both → feasible
+    assert index.first_fit((0.5, 0.1), BOUND2) == 0
+
+
+def test_leftmost_wins_among_feasible():
+    index = VectorFirstFitIndex(2)
+    index.append(0, (0.9, 0.1))  # infeasible in dim 0 for 0.3
+    index.append(1, (0.2, 0.2))
+    index.append(2, (0.0, 0.0))
+    assert index.first_fit((0.3, 0.3), BOUND2) == 1
+
+
+def test_close_and_set_level():
+    index = VectorFirstFitIndex(2)
+    index.append(0, (0.2, 0.2))
+    index.append(1, (0.4, 0.4))
+    assert index.first_fit((0.3, 0.3), BOUND2) == 0
+    index.close(0)
+    assert not index.has(0)
+    assert index.has(1)
+    assert index.first_fit((0.3, 0.3), BOUND2) == 1
+    index.set_level(1, (0.9, 0.9))
+    assert index.first_fit((0.3, 0.3), BOUND2) is None
+    assert index.first_fit((0.1, 0.1), BOUND2) == 1
+
+
+def test_interior_node_min_is_inconclusive_but_leaves_resolve():
+    """Per-dimension minima can come from *different* bins.
+
+    The subtree minimum vector (0.1, 0.1) looks feasible for (0.8, 0.8),
+    but no single bin is — the query must descend and honestly return
+    None rather than trust the interior aggregate.
+    """
+    index = VectorFirstFitIndex(2)
+    index.append(0, (0.1, 0.9))
+    index.append(1, (0.9, 0.1))
+    assert index.first_fit((0.8, 0.8), BOUND2) is None
+    # and a genuinely feasible later bin is still found
+    index.append(2, (0.15, 0.15))
+    assert index.first_fit((0.8, 0.8), BOUND2) == 2
+
+
+def test_randomized_against_oracle_with_rebuilds():
+    rng = random.Random(99)
+    for dims in (1, 2, 3):
+        index = VectorFirstFitIndex(dims)
+        oracle = VectorOracle()
+        bounds = tuple(1.0 + 1e-9 for _ in range(dims))
+        next_idx = 0
+        # enough churn to overflow the initial leaf array repeatedly and
+        # force compaction rebuilds with dead slots present
+        for step in range(2000):
+            op = rng.random()
+            if op < 0.45 or not oracle.levels:
+                lvls = tuple(rng.uniform(0, 1) for _ in range(dims))
+                index.append(next_idx, lvls)
+                oracle.levels[next_idx] = lvls
+                next_idx += 1
+            elif op < 0.8:
+                idx = rng.choice(list(oracle.levels))
+                lvls = tuple(rng.uniform(0, 1) for _ in range(dims))
+                index.set_level(idx, lvls)
+                oracle.levels[idx] = lvls
+            else:
+                idx = rng.choice(list(oracle.levels))
+                index.close(idx)
+                del oracle.levels[idx]
+            if step % 59 == 0:
+                for _ in range(4):
+                    sizes = tuple(rng.uniform(0, 1.2) for _ in range(dims))
+                    assert index.first_fit(sizes, bounds) == oracle.first_fit(
+                        sizes, bounds
+                    )
+            assert len(index) == len(oracle.levels)
+
+
+def test_exact_float_semantics_match_scan():
+    """Feasibility is evaluated with the scan's exact floats per dim."""
+    index = VectorFirstFitIndex(2)
+    a = 0.1 + 0.2  # 0.30000000000000004 — one ulp above 0.3
+    index.append(0, (a, 0.0))
+    tight = 1.0 - 0.3
+    # dim 0: a + tight > 1.0 exactly (the extra ulp), dim 1 trivially fits
+    assert index.first_fit((tight, 0.0), (1.0, 1.0)) == (
+        0 if a + tight <= 1.0 else None
+    )

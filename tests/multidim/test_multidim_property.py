@@ -85,15 +85,14 @@ class TestVectorProperties:
     def test_vector_first_fit_is_any_fit(self, items):
         """Vector FF opens a bin only when no open bin fits."""
         from repro.multidim.algorithms import VectorFirstFit
-        from repro.multidim.bins import VectorBin
 
         opened_badly = []
 
         class Watch(VectorFirstFit):
-            def choose_bin(self, open_bins, item):
-                target = super().choose_bin(open_bins, item)
-                if target is None and any(b.fits(item) for b in open_bins):
-                    opened_badly.append(item.item_id)
+            def choose_bin(self, state, sizes):
+                target = super().choose_bin(state, sizes)
+                if target is None and state.open_bins_fitting(sizes):
+                    opened_badly.append(sizes)
                 return target
 
         run_vector_packing(items, Watch())

@@ -12,13 +12,28 @@ import json
 
 import pytest
 
-from repro.bench import ALGORITHMS, QUICK_GRID, THROUGHPUT_GRID, run_bench
+from repro.bench import (
+    ALGORITHMS,
+    QUICK_GRID,
+    THROUGHPUT_GRID,
+    VECTOR_ALGORITHMS,
+    VECTOR_GRID,
+    VECTOR_QUICK_GRID,
+    run_bench,
+)
+
+
+def expected_rows(scalar_grid, vector_grid):
+    return (
+        len(scalar_grid) * len(ALGORITHMS) * 2
+        + len(vector_grid) * len(VECTOR_ALGORITHMS) * 2
+    )
 
 
 def test_quick_bench_structure(tmp_path):
     out = tmp_path / "bench.json"
     report = run_bench(quick=True, repeats=1, json_path=str(out), montecarlo=False)
-    assert len(report.throughput) == len(QUICK_GRID) * len(ALGORITHMS) * 2
+    assert len(report.throughput) == expected_rows(QUICK_GRID, VECTOR_QUICK_GRID)
     for row in report.throughput:
         assert row["events_per_sec"] > 0
         assert row["path"] in ("default", "reference")
@@ -28,10 +43,19 @@ def test_quick_bench_structure(tmp_path):
     assert len(payload["throughput"]) == len(report.throughput)
 
 
+def test_quick_bench_includes_vector_cells():
+    report = run_bench(quick=True, repeats=1, montecarlo=False)
+    vector_rows = [
+        r for r in report.throughput if r["algorithm"].startswith("vector-")
+    ]
+    assert {r["algorithm"] for r in vector_rows} == set(VECTOR_ALGORITHMS)
+    assert {r["path"] for r in vector_rows} == {"default", "reference"}
+
+
 def test_render_mentions_every_algorithm():
     report = run_bench(quick=True, repeats=1, montecarlo=False)
     text = report.render()
-    for algo in ALGORITHMS:
+    for algo in ALGORITHMS + VECTOR_ALGORITHMS:
         assert algo in text
 
 
@@ -40,7 +64,7 @@ def test_full_bench_baseline(tmp_path):
     """The committed-baseline configuration end to end (slow)."""
     out = tmp_path / "BENCH_perf.json"
     report = run_bench(quick=False, repeats=3, json_path=str(out))
-    assert len(report.throughput) == len(THROUGHPUT_GRID) * len(ALGORITHMS) * 2
+    assert len(report.throughput) == expected_rows(THROUGHPUT_GRID, VECTOR_GRID)
     assert report.montecarlo["identical"] is True
     # the acceptance floor: first-fit on the 2000-job instance must beat
     # the seed engine's ~238k events/sec by at least 2x
@@ -50,3 +74,11 @@ def test_full_bench_baseline(tmp_path):
         and r["path"] == "default"
     )
     assert ff2k["events_per_sec"] >= 2 * 238_000
+    # the unification floor: high-load vector first-fit must beat the
+    # pre-unification driver's ~38k events/sec on the same cell
+    vff = next(
+        r for r in report.throughput
+        if r["instance"] == "v20000-highload"
+        and r["algorithm"] == "vector-first-fit" and r["path"] == "default"
+    )
+    assert vff["events_per_sec"] >= 2 * 38_000
