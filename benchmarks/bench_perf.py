@@ -46,6 +46,22 @@ def test_vector_packing_throughput_highload(benchmark, name):
     assert result.num_bins > 0
 
 
+def test_streaming_replay_throughput(benchmark):
+    """Replay the 2000-job instance through the service's push path."""
+    from repro.service import StreamingEngine
+
+    ordered = sorted(INSTANCE, key=lambda it: it.arrival)
+
+    def run():
+        engine = StreamingEngine.scalar(make_algorithm("first-fit"))
+        for it in ordered:
+            engine.submit(it)
+        return engine.finish()
+
+    result = benchmark(run)
+    assert result.num_bins > 0
+
+
 def test_opt_total_small_instance(benchmark):
     """Exact OPT_total on a 60-job instance (event-interval B&B)."""
     opt = benchmark(lambda: opt_total(SMALL))

@@ -4,7 +4,10 @@
 fixed grid of seeded Poisson instances — both the default (adaptively
 indexed) path and the ``indexed=False`` reference scans, for the scalar
 grid and the 2-D vector grid (both run through the unified event
-driver) — plus one serial-vs-parallel Monte Carlo wall-clock
+driver) — plus the service-layer cells (streaming push-path replays,
+bare and with metrics, and one closed-loop run against an in-process
+asyncio server; that cell's throughput counts request round trips) and
+one serial-vs-parallel Monte Carlo wall-clock
 comparison, and writes a machine-readable report.  The committed ``BENCH_perf.json`` is the
 regression baseline future PRs diff against: the *instances* are fully
 deterministic (seeded), so any structural slowdown shows up as a drop in
@@ -17,6 +20,7 @@ is the standard noise-robust estimator for short benchmarks), events/sec
 
 from __future__ import annotations
 
+import asyncio
 import gc
 import json
 import os
@@ -39,6 +43,8 @@ __all__ = [
     "QUICK_GRID",
     "VECTOR_GRID",
     "VECTOR_QUICK_GRID",
+    "SERVICE_GRID",
+    "SERVICE_QUICK_GRID",
 ]
 
 #: (label, n_items, arrival_rate) — seed and µ are fixed so every cell
@@ -75,6 +81,24 @@ VECTOR_QUICK_GRID: tuple[tuple[str, int, float], ...] = (
 VECTOR_ALGORITHMS = ("vector-first-fit", "vector-best-fit")
 VECTOR_DIMENSIONS = 2
 
+#: Service-layer cells: the same seeded instances replayed through the
+#: streaming push path (``StreamingEngine.submit``/``finish``), bare and
+#: with the metrics registry attached, plus one loopback cell that
+#: drives a real asyncio JSON-lines server with the closed-loop load
+#: generator (protocol + event loop overhead included).
+SERVICE_GRID: tuple[tuple[str, int, float], ...] = (
+    ("n20000", 20_000, 4.0),
+    ("n20000-highload", 20_000, 200.0),
+)
+
+SERVICE_QUICK_GRID: tuple[tuple[str, int, float], ...] = (
+    ("n2000", 2_000, 4.0),
+)
+
+#: The loopback cell is bounded by per-request round trips, not packing,
+#: so a smaller instance keeps the full bench run short.
+SERVICE_LOOPBACK_JOBS = 2_000
+
 WORKLOAD_SEED = 99
 WORKLOAD_MU = 8.0
 
@@ -84,20 +108,25 @@ class BenchReport:
     """The measured cells, renderable as a table or JSON."""
 
     throughput: list[dict[str, Any]] = field(default_factory=list)
+    service: list[dict[str, Any]] = field(default_factory=list)
     montecarlo: dict[str, Any] = field(default_factory=dict)
     meta: dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> dict[str, Any]:
         return {
-            "schema": 1,
+            "schema": 2,
             "meta": self.meta,
             "throughput": self.throughput,
+            "service": self.service,
             "montecarlo": self.montecarlo,
         }
 
     def render(self) -> str:
         parts = ["== bench: packing engine throughput =="]
         parts.append(format_table(self.throughput))
+        if self.service:
+            parts.append("== bench: service layer (streaming path) ==")
+            parts.append(format_table(self.service))
         if self.montecarlo:
             mc = self.montecarlo
             parts.append(
@@ -134,6 +163,73 @@ def _best_of(repeats: int, fn) -> float:
         if enabled:
             gc.enable()
     return best
+
+
+def _stream_replay(ordered, with_metrics: bool) -> None:
+    """One full replay through the streaming push path (submit + drain)."""
+    from .service import MetricsRegistry, StreamingEngine
+
+    engine = StreamingEngine.scalar(
+        make_algorithm("first-fit"),
+        metrics=MetricsRegistry() if with_metrics else None,
+    )
+    for it in ordered:
+        engine.submit(it)
+    engine.finish()
+
+
+async def _loopback_replay(ordered):
+    """Closed-loop load generation against an in-process asyncio server."""
+    from .service import AllocationService, build_engine, run_loadgen
+
+    service = AllocationService(build_engine(), quiet=True)
+    port = await service.start("127.0.0.1", 0)
+    waiter = asyncio.ensure_future(service.wait_closed())
+    client = await run_loadgen(ordered, port=port, shutdown=True)
+    await waiter
+    return client
+
+
+def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
+    grid = SERVICE_QUICK_GRID if quick else SERVICE_GRID
+    for label, n, rate in grid:
+        items = poisson_workload(
+            n, seed=WORKLOAD_SEED, mu_target=WORKLOAD_MU, arrival_rate=rate
+        )
+        ordered = sorted(items, key=lambda it: it.arrival)
+        events = 2 * len(items)
+        for mode, with_metrics in (("stream", False), ("stream+metrics", True)):
+            secs = _best_of(repeats, lambda: _stream_replay(ordered, with_metrics))
+            report.service.append(
+                {
+                    "instance": label,
+                    "n_items": n,
+                    "arrival_rate": rate,
+                    "mode": mode,
+                    "seconds": round(secs, 6),
+                    "events_per_sec": round(events / secs),
+                }
+            )
+    loop_items = poisson_workload(
+        SERVICE_LOOPBACK_JOBS, seed=WORKLOAD_SEED, mu_target=WORKLOAD_MU,
+        arrival_rate=4.0,
+    )
+    ordered = sorted(loop_items, key=lambda it: it.arrival)
+    best = None
+    for _ in range(repeats):
+        client = asyncio.run(_loopback_replay(ordered))
+        if best is None or client.wall_seconds < best.wall_seconds:
+            best = client
+    report.service.append(
+        {
+            "instance": f"n{SERVICE_LOOPBACK_JOBS}",
+            "n_items": SERVICE_LOOPBACK_JOBS,
+            "arrival_rate": 4.0,
+            "mode": "server-loopback",
+            "seconds": round(best.wall_seconds, 6),
+            "events_per_sec": round(best.requests_per_sec),
+        }
+    )
 
 
 def run_bench(
@@ -202,6 +298,7 @@ def run_bench(
                         "events_per_sec": round(events / secs),
                     }
                 )
+    _bench_service(report, quick, repeats)
     if montecarlo:
         # heavy enough that process startup amortises on multi-core
         # machines; on a single-CPU host workers=-1 degrades to serial

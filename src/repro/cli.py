@@ -11,6 +11,8 @@ Usage (installed as the ``repro`` console script, or
     repro pack trace.json --algorithm first-fit --opt --render
     repro verify trace.json          # proof-invariant checkers on FF run
     repro bench --json BENCH_perf.json   # throughput baseline
+    repro serve --port 7077          # live allocation service (JSON lines)
+    repro loadgen --port 7077 --n 500    # replay a workload against it
 """
 
 from __future__ import annotations
@@ -49,6 +51,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _workers_int(text: str) -> int:
+    value = int(text)
+    if value == 0 or value < -1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, or -1 for one worker per CPU; got {value}"
+        )
+    return value
+
+
+def _port_int(text: str) -> int:
+    value = int(text)
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"must be a port in [0, 65535] (0 = ephemeral), got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -64,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment", choices=sorted(EXPERIMENT_REGISTRY))
     p_run.add_argument(
         "--workers",
-        type=int,
+        type=_workers_int,
         default=None,
         help="worker processes for sharded experiments "
         "(default: serial; -1 = one per CPU; ignored by experiments "
@@ -80,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["poisson", "gaming", "mmpp", "nextfit-lb", "universal-lb", "staircase"],
     )
     p_gen.add_argument("--out", required=True, help=".json or .csv path")
-    p_gen.add_argument("--n", type=int, default=100)
+    p_gen.add_argument("--n", type=_positive_int, default=100)
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--mu", type=float, default=8.0)
     p_gen.add_argument("--rate", type=float, default=2.0)
@@ -121,6 +141,75 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_inspect = sub.add_parser("inspect", help="profile a workload trace")
     p_inspect.add_argument("trace")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the live allocation service (JSON lines over TCP)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=_port_int, default=7077, help="0 = ephemeral port"
+    )
+    p_serve.add_argument(
+        "--port-file", default=None,
+        help="write the bound port here (how scripts discover --port 0)",
+    )
+    p_serve.add_argument(
+        "--algorithm", default="first-fit", choices=sorted(ALGORITHM_REGISTRY)
+    )
+    p_serve.add_argument("--capacity", type=float, default=1.0)
+    p_serve.add_argument(
+        "--reference", action="store_true",
+        help="disable the adaptive first-fit index (reference scans)",
+    )
+    p_serve.add_argument(
+        "--admission", default="admit-all",
+        choices=["admit-all", "reject", "queue", "shed"],
+        help="overload behaviour (reject/queue need --max-open, shed --max-load)",
+    )
+    p_serve.add_argument(
+        "--max-open", type=_positive_int, default=None,
+        help="open-server budget for --admission reject|queue",
+    )
+    p_serve.add_argument(
+        "--max-load", type=float, default=None,
+        help="load ceiling (bins' worth of work) for --admission shed",
+    )
+    p_serve.add_argument(
+        "--log", default=None,
+        help="append the per-decision JSON-lines trace to this file",
+    )
+    p_serve.add_argument("--quiet", action="store_true")
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="replay a workload as live traffic against a running service",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=_port_int, default=7077)
+    p_load.add_argument(
+        "--trace", default=None,
+        help="replay this saved trace file instead of generating one",
+    )
+    p_load.add_argument(
+        "--kind", choices=["poisson", "gaming"], default="poisson",
+        help="generated workload kind (ignored with --trace)",
+    )
+    p_load.add_argument("--n", type=_positive_int, default=200)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--mu", type=float, default=8.0)
+    p_load.add_argument("--rate", type=float, default=2.0)
+    p_load.add_argument(
+        "--speed", type=float, default=0.0,
+        help="trace-time units per wall-clock second (0 = closed loop)",
+    )
+    p_load.add_argument(
+        "--shutdown", action="store_true",
+        help="send a shutdown op after draining (stops the service)",
+    )
+    p_load.add_argument(
+        "--json", default=None, help="write the client-side report here"
+    )
 
     p_report = sub.add_parser(
         "report", help="run all experiments and write a consolidated report"
@@ -237,6 +326,76 @@ def cmd_verify(trace: str) -> int:
     return 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import DecisionLog, build_engine, make_admission_policy, serve
+
+    try:
+        admission = make_admission_policy(
+            args.admission, max_open=args.max_open, max_load=args.max_load
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sink = open(args.log, "a") if args.log else None
+    try:
+        engine = build_engine(
+            algorithm=args.algorithm,
+            capacity=args.capacity,
+            indexed=not args.reference,
+            admission=admission,
+            decision_log=DecisionLog(sink) if sink is not None else None,
+        )
+        return asyncio.run(
+            serve(
+                engine,
+                host=args.host,
+                port=args.port,
+                quiet=args.quiet,
+                port_file=args.port_file,
+            )
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def cmd_loadgen(args) -> int:
+    import json
+
+    from .service import loadgen
+
+    if args.trace:
+        items = load_trace(args.trace)
+    elif args.kind == "gaming":
+        items = gaming_workload(args.n, seed=args.seed, request_rate=args.rate)
+    else:
+        items = poisson_workload(
+            args.n, seed=args.seed, mu_target=args.mu, arrival_rate=args.rate
+        )
+    try:
+        report = loadgen(
+            items,
+            host=args.host,
+            port=args.port,
+            speed=args.speed,
+            shutdown=args.shutdown,
+        )
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach the service at {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report.to_json(), f, indent=2, sort_keys=True)
+            f.write("\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _dispatch(argv)
@@ -272,6 +431,10 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         report = run_bench(quick=args.quick, repeats=args.repeats, json_path=args.json)
         print(report.render())
         return 0
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "loadgen":
+        return cmd_loadgen(args)
     if args.command == "inspect":
         from .workloads.profile import profile_instance
 

@@ -20,7 +20,7 @@ from ..core.result import PackingResult
 from .billing import BillingPolicy, ContinuousBilling
 from .server import InstanceType, ServerRecord
 
-__all__ = ["ConcurrencyMeter", "DispatchReport", "Dispatcher"]
+__all__ = ["ConcurrencyMeter", "DispatchReport", "Dispatcher", "LiveDispatch"]
 
 
 class ConcurrencyMeter:
@@ -146,4 +146,68 @@ class Dispatcher:
             packing=packing,
             servers=servers,
             billing_name=type(self.billing).__name__,
+        )
+
+    def live(self, **engine_kwargs) -> "LiveDispatch":
+        """The streaming counterpart of :meth:`dispatch`.
+
+        Returns a :class:`LiveDispatch` whose engine places jobs as they
+        are pushed and **bills each server the moment it shuts down** —
+        the running cost is observable mid-stream, which the batch path
+        cannot offer.  Keyword arguments are forwarded to
+        :meth:`repro.service.engine.StreamingEngine.scalar` (admission
+        policy, metrics registry, decision log, observers).
+        """
+        # deferred import: the cloud layer may be used without the
+        # service layer, and service → core must stay cloud-free
+        from ..service.engine import StreamingEngine
+
+        engine = StreamingEngine.scalar(
+            self.algorithm, capacity=self.instance_type.capacity, **engine_kwargs
+        )
+        return LiveDispatch(self, engine)
+
+
+class LiveDispatch:
+    """A dispatcher bound to a streaming engine, billing servers live.
+
+    Delegates the push API (``submit`` / ``depart`` / ``advance``) to
+    the underlying :class:`~repro.service.engine.StreamingEngine`; every
+    bin-close event immediately produces a :class:`ServerRecord`, so
+    :attr:`cost_so_far` tracks the bill in real time.  :meth:`settle`
+    drains the stream and returns the same :class:`DispatchReport` the
+    batch path produces.
+    """
+
+    def __init__(self, dispatcher: Dispatcher, engine):
+        self.dispatcher = dispatcher
+        self.engine = engine
+        self.records: list[ServerRecord] = []
+        self.cost_so_far: float = 0.0
+        engine.bin_closed_callbacks.append(self._on_bin_closed)
+
+    def _on_bin_closed(self, b) -> None:
+        record = ServerRecord.from_bin(
+            b, self.dispatcher.instance_type, self.dispatcher.billing
+        )
+        self.records.append(record)
+        self.cost_so_far += record.cost
+
+    # -- push API -------------------------------------------------------------
+    def submit(self, job, **kwargs):
+        return self.engine.submit(job, **kwargs)
+
+    def depart(self, job_id: int, now=None) -> None:
+        self.engine.depart(job_id, now)
+
+    def advance(self, now: float) -> int:
+        return self.engine.advance(now)
+
+    def settle(self) -> DispatchReport:
+        """Drain the stream and produce the final cost accounting."""
+        packing = self.engine.finish()
+        return DispatchReport(
+            packing=packing,
+            servers=tuple(sorted(self.records, key=lambda r: r.server_id)),
+            billing_name=type(self.dispatcher.billing).__name__,
         )

@@ -34,7 +34,7 @@ from typing import Callable, Iterable, Sequence
 
 from .events import Event, EventKind, event_tuples
 
-__all__ = ["run_events", "Observer"]
+__all__ = ["run_events", "bind_policy", "EventStepper", "Observer"]
 
 #: Observer callback signature: ``(event, state)`` after each event is
 #: applied.  The state is the engine-specific packing state (scalar or
@@ -42,6 +42,110 @@ __all__ = ["run_events", "Observer"]
 #: (``num_open``, ``num_bins_used``, ``total_level``, ``now``) work
 #: unchanged on both engines.
 Observer = Callable[[Event, object], None]
+
+
+def bind_policy(algorithm, hook_base: type | None):
+    """Reset ``algorithm`` and resolve its per-event callables.
+
+    Returns ``(clairvoyant, choose_bin, on_placed, on_departed)`` where
+    the two hooks are ``None`` when the concrete class inherits them
+    unchanged from ``hook_base`` (so callers can skip the two no-op
+    calls per event).  Shared by the batch loop (:func:`run_events`) and
+    the incremental stepper (:class:`EventStepper`) so both paths make
+    identical skip decisions.
+    """
+    algorithm.reset()
+    clairvoyant = getattr(algorithm, "clairvoyant", False)
+    choose_bin = (
+        algorithm.choose_bin_clairvoyant if clairvoyant else algorithm.choose_bin
+    )
+    cls = type(algorithm)
+    if hook_base is None:
+        on_placed = algorithm.on_placed
+        on_departed = algorithm.on_departed
+    else:
+        on_placed = None if cls.on_placed is hook_base.on_placed else algorithm.on_placed
+        on_departed = (
+            None if cls.on_departed is hook_base.on_departed else algorithm.on_departed
+        )
+    return clairvoyant, choose_bin, on_placed, on_departed
+
+
+class EventStepper:
+    """One-event-at-a-time interface to the unified driver.
+
+    The streaming service (:mod:`repro.service`) cannot hand the driver
+    a materialised item list — jobs are pushed one at a time — so this
+    class exposes the loop *body* of :func:`run_events` as two methods,
+    :meth:`arrive` and :meth:`depart`.  Feeding the stepper the canonical
+    event sequence of an instance must reproduce a batch run bit for
+    bit: same placements, same validation, identical error messages,
+    same observer dispatch (pinned by
+    ``tests/service/test_stream_differential.py``).
+
+    :func:`run_events` keeps its own inlined copy of these bodies — the
+    batch loop is the throughput baseline and must not pay a method
+    call per event — but both are built on :func:`bind_policy`, and any
+    behavioural edit to one must land in the other.
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        state,
+        observers: Sequence[Observer] = (),
+        hook_base: type | None = None,
+    ):
+        self.algorithm = algorithm
+        self.state = state
+        self.observers = tuple(observers)
+        (
+            self.clairvoyant,
+            self._choose_bin,
+            self._on_placed,
+            self._on_departed,
+        ) = bind_policy(algorithm, hook_base)
+
+    def arrive(self, time: float, seq: int, item):
+        """Apply one arrival; returns the bin the item was placed in."""
+        state = self.state
+        state.now = time
+        target = self._choose_bin(state, item if self.clairvoyant else item.size)
+        if target is not None:
+            if not target.is_open:
+                raise RuntimeError(
+                    f"{self.algorithm.name} chose closed bin {target.index}"
+                )
+            if not target.fits(item):
+                raise RuntimeError(
+                    f"{self.algorithm.name} chose bin {target.index} at level "
+                    f"{target.level} for item of size {item.size}"
+                )
+        placed = state.place(item, target)
+        if self._on_placed is not None:
+            self._on_placed(state, placed, item.size)
+        if self.observers:
+            event = Event(time, EventKind.ARRIVE, seq, item)
+            for obs in self.observers:
+                obs(event, state)
+        return placed
+
+    def depart(self, time: float, seq: int, item):
+        """Apply one departure; returns the bin the item left (may be closed)."""
+        state = self.state
+        state.now = time
+        source = state.depart(item)
+        if self._on_departed is not None:
+            self._on_departed(state, source)
+        if self.observers:
+            event = Event(time, EventKind.DEPART, seq, item)
+            for obs in self.observers:
+                obs(event, state)
+        return source
+
+    def finish(self) -> None:
+        """Assert the terminal invariant of a complete run."""
+        assert self.state.num_open == 0, "all bins must be closed after the last departure"
 
 
 def run_events(
@@ -75,21 +179,7 @@ def run_events(
         driver skips the two callback calls per event unless the
         concrete class actually overrides them.  ``None`` always calls.
     """
-    algorithm.reset()
-
-    clairvoyant = getattr(algorithm, "clairvoyant", False)
-    choose_bin = (
-        algorithm.choose_bin_clairvoyant if clairvoyant else algorithm.choose_bin
-    )
-    cls = type(algorithm)
-    if hook_base is None:
-        on_placed = algorithm.on_placed
-        on_departed = algorithm.on_departed
-    else:
-        on_placed = None if cls.on_placed is hook_base.on_placed else algorithm.on_placed
-        on_departed = (
-            None if cls.on_departed is hook_base.on_departed else algorithm.on_departed
-        )
+    clairvoyant, choose_bin, on_placed, on_departed = bind_policy(algorithm, hook_base)
     place = state.place
     depart = state.depart
 

@@ -1,0 +1,63 @@
+"""The live allocation service layer.
+
+Everything below this package serves *streams*, not materialised
+instances: a push-based :class:`StreamingEngine` bit-identical to the
+batch engines on any replayed trace, checkpoint/restore of the full
+packing state, admission control with per-policy accounting, a metrics
+registry with Prometheus text exposition, a per-decision trace log, and
+an asyncio JSON-lines server with a matching load generator (``repro
+serve`` / ``repro loadgen``).  See the "Service layer" section of
+``docs/ARCHITECTURE.md``.
+"""
+
+from .admission import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    SHED,
+    AdmissionPolicy,
+    AdmitAll,
+    LoadShedding,
+    OpenServerBudget,
+    make_admission_policy,
+)
+from .engine import Placement, StreamingEngine
+from .loadgen import LoadgenReport, loadgen, run_loadgen
+from .metrics import (
+    Counter,
+    DecisionLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .server import AllocationService, build_engine, serve
+from .snapshot import dumps, loads, restore_engine, snapshot_engine
+
+__all__ = [
+    "ADMIT",
+    "QUEUE",
+    "REJECT",
+    "SHED",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "AllocationService",
+    "Counter",
+    "DecisionLog",
+    "Gauge",
+    "Histogram",
+    "LoadShedding",
+    "LoadgenReport",
+    "MetricsRegistry",
+    "OpenServerBudget",
+    "Placement",
+    "StreamingEngine",
+    "build_engine",
+    "dumps",
+    "loadgen",
+    "loads",
+    "make_admission_policy",
+    "restore_engine",
+    "run_loadgen",
+    "serve",
+    "snapshot_engine",
+]

@@ -1,0 +1,161 @@
+"""Admission control for the live allocation service.
+
+A batch experiment packs every item unconditionally — the instance is
+the instance.  A live service facing heavy traffic cannot: open-server
+budgets (a fleet quota) and utilisation budgets (a load ceiling) bound
+what it may accept, and the remaining choices are the classic three —
+**reject** the job outright, **queue** it until capacity frees up, or
+**shed** it under overload.  Policies here decide; the
+:class:`~repro.service.engine.StreamingEngine` executes the decision
+and accounts it per policy and in the metrics registry.
+
+Decisions are plain strings (``"admit" | "reject" | "queue" | "shed"``)
+so the per-decision trace log stays schema-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import StreamingEngine
+
+__all__ = [
+    "ADMIT",
+    "REJECT",
+    "QUEUE",
+    "SHED",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "OpenServerBudget",
+    "LoadShedding",
+    "make_admission_policy",
+]
+
+ADMIT = "admit"
+REJECT = "reject"
+QUEUE = "queue"
+SHED = "shed"
+
+_ACTIONS = (ADMIT, REJECT, QUEUE, SHED)
+
+
+class AdmissionPolicy:
+    """Base policy: admit everything, count everything.
+
+    Subclasses override :meth:`decide`; the engine calls
+    :meth:`account` with the action actually taken, so ``counts`` is
+    the per-policy accounting the service exposes (a queued job that is
+    later placed is counted once under ``queue`` and once under
+    ``admit`` at placement time).
+    """
+
+    name = "admit-all"
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {a: 0 for a in _ACTIONS}
+
+    def decide(self, engine: "StreamingEngine", item) -> str:
+        """Classify an arriving item.  Must not mutate the engine."""
+        return ADMIT
+
+    def admit_queued(self, engine: "StreamingEngine", item) -> bool:
+        """Whether a queued item may be placed now (head-of-line retry)."""
+        return self.decide(engine, item) == ADMIT
+
+    def account(self, action: str) -> None:
+        if action not in self.counts:
+            raise ValueError(f"unknown admission action {action!r}")
+        self.counts[action] += 1
+
+    # -- checkpoint support ---------------------------------------------------
+    def snapshot(self) -> dict:
+        return dict(self.counts)
+
+    def restore(self, payload: dict) -> None:
+        self.counts = {a: int(payload.get(a, 0)) for a in _ACTIONS}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} {self.counts}>"
+
+
+class AdmitAll(AdmissionPolicy):
+    """The no-op policy — the default, and the bit-identity baseline.
+
+    Replaying a trace through an engine with :class:`AdmitAll` must
+    reproduce the batch engines exactly (the differential tests run
+    through this policy).
+    """
+
+
+class OpenServerBudget(AdmissionPolicy):
+    """Cap the number of simultaneously open servers.
+
+    A job is turned away only when admitting it would *open a new
+    server* beyond the budget — jobs that fit into an already-open bin
+    are always admitted (they consume no new fleet quota).  ``on_full``
+    selects the overload behaviour: ``"reject"`` (default) or
+    ``"queue"`` (hold in FIFO order until a departure frees capacity).
+    """
+
+    def __init__(self, max_open: int, on_full: str = REJECT):
+        super().__init__()
+        if max_open < 1:
+            raise ValueError(f"max_open must be >= 1, got {max_open}")
+        if on_full not in (REJECT, QUEUE):
+            raise ValueError(f"on_full must be 'reject' or 'queue', got {on_full!r}")
+        self.max_open = int(max_open)
+        self.on_full = on_full
+        self.name = f"open-server-budget({max_open},{on_full})"
+
+    def decide(self, engine: "StreamingEngine", item) -> str:
+        if engine.state.num_open < self.max_open or engine.can_fit(item):
+            return ADMIT
+        return self.on_full
+
+
+class LoadShedding(AdmissionPolicy):
+    """Shed arrivals once the fleet-wide load crosses a ceiling.
+
+    Load is measured in *bins' worth of work*: the running sum of open
+    bin levels divided by capacity (per dimension for the vector
+    engine, taking the binding resource).  When placing the item would
+    push the load above ``max_load`` the job is shed — dropped under
+    overload rather than queued, the standard backpressure behaviour
+    for latency-sensitive traffic.
+    """
+
+    def __init__(self, max_load: float):
+        super().__init__()
+        if max_load <= 0:
+            raise ValueError(f"max_load must be positive, got {max_load}")
+        self.max_load = float(max_load)
+        self.name = f"load-shedding({max_load:g})"
+
+    def decide(self, engine: "StreamingEngine", item) -> str:
+        if engine.load() + engine.item_load(item) > self.max_load:
+            return SHED
+        return ADMIT
+
+
+def make_admission_policy(
+    spec: str, max_open: int | None = None, max_load: float | None = None
+) -> AdmissionPolicy:
+    """Build a policy from CLI-ish arguments.
+
+    ``spec`` ∈ {"admit-all", "reject", "queue", "shed"}; the budgeted
+    specs require the matching budget argument.
+    """
+    if spec == "admit-all":
+        return AdmitAll()
+    if spec in (REJECT, QUEUE):
+        if max_open is None:
+            raise ValueError(f"admission policy {spec!r} requires --max-open")
+        return OpenServerBudget(max_open, on_full=spec)
+    if spec == SHED:
+        if max_load is None:
+            raise ValueError("admission policy 'shed' requires --max-load")
+        return LoadShedding(max_load)
+    raise ValueError(
+        f"unknown admission policy {spec!r}; known: admit-all, reject, queue, shed"
+    )

@@ -1,0 +1,549 @@
+"""The streaming allocation engine — the push-based core of the service.
+
+Every batch engine in the repository consumes a fully materialised
+instance; the paper's setting is a *stream*: jobs arrive one at a time
+with unknown departures and must be placed immediately (Section I).
+:class:`StreamingEngine` is that missing layer.  It exposes a push API —
+
+- :meth:`submit` — place one arriving job *now*, through admission
+  control, and (by default) schedule its departure;
+- :meth:`depart` — process an explicit departure (the live-operation
+  path, where departures are only known when they happen);
+- :meth:`advance` — move the service clock forward, applying every
+  scheduled departure on the way and retrying queued jobs as capacity
+  frees up;
+- :meth:`finish` — drain the stream and return the same result object
+  the batch engines produce.
+
+It is layered on the unified driver's incremental stepper
+(:class:`~repro.core.driver.EventStepper`) over the same packing states
+the batch engines use, so replaying any trace through the stream path
+is **bit-identical** to :func:`~repro.core.packing.run_packing` /
+:func:`~repro.multidim.packing.run_vector_packing` — same placements,
+same usage time, on the indexed and reference paths alike (pinned by
+``tests/service/test_stream_differential.py`` on the frozen corpora).
+
+Ordering semantics match the batch driver exactly: events apply in time
+order, departures before arrivals at equal times (half-open intervals),
+ties within a kind in submission order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..core.driver import EventStepper, Observer
+from ..core.items import Item, ItemList
+from ..core.result import PackingResult
+from ..core.state import PackingState
+from .admission import ADMIT, QUEUE, AdmissionPolicy, AdmitAll
+from .metrics import (
+    DEFAULT_LEVEL_BUCKETS,
+    DEFAULT_WAIT_BUCKETS,
+    DecisionLog,
+    MetricsRegistry,
+)
+
+__all__ = ["Placement", "StreamingEngine"]
+
+#: Placement actions, as they appear in responses and the decision log.
+PLACED = "placed"
+REJECTED = "rejected"
+QUEUED = "queued"
+SHED = "shed"
+EXPIRED = "expired"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The service's answer to one submitted job."""
+
+    item_id: int
+    action: str  # placed | rejected | queued | shed
+    bin_index: Optional[int]  # set iff action == "placed"
+    new_bin: bool
+    time: float
+
+    @property
+    def accepted(self) -> bool:
+        return self.action in (PLACED, QUEUED)
+
+    def to_dict(self) -> dict:
+        return {
+            "item_id": self.item_id,
+            "action": self.action,
+            "bin": self.bin_index,
+            "new_bin": self.new_bin,
+            "time": self.time,
+        }
+
+
+class StreamingEngine:
+    """Push-based online packing over the unified driver state machinery.
+
+    Use the :meth:`scalar` / :meth:`vector` factories unless you are
+    wiring a custom state.  The engine owns the event ordering that the
+    batch driver gets from sorting: the service clock never moves
+    backwards, and scheduled departures are applied before any arrival
+    at the same instant.
+
+    >>> from repro.algorithms import FirstFit
+    >>> from repro.core.items import Item
+    >>> eng = StreamingEngine.scalar(FirstFit())
+    >>> eng.submit(Item(1, 0.4, 0.0, 2.0)).action
+    'placed'
+    >>> eng.submit(Item(2, 0.5, 1.0, 3.0)).bin_index
+    0
+    >>> eng.finish().num_bins
+    1
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        state,
+        *,
+        hook_base: type | None = None,
+        admission: Optional[AdmissionPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        decision_log: Optional[DecisionLog] = None,
+        observers: Sequence[Observer] = (),
+        result_factory: Optional[Callable] = None,
+    ):
+        self.algorithm = algorithm
+        self.state = state
+        self.admission = admission if admission is not None else AdmitAll()
+        self.metrics = metrics
+        self.decision_log = decision_log
+        self._stepper = EventStepper(algorithm, state, observers, hook_base)
+        self._result_factory = result_factory
+        #: callbacks invoked with each bin the moment it closes (the
+        #: cloud layer bills servers on this hook)
+        self.bin_closed_callbacks: list[Callable] = []
+
+        #: service clock: the time of the last applied event
+        self.clock: float = 0.0
+        self._started = False  # clock is meaningless until the first event
+        #: scheduled departures: heap of (time, seq, item)
+        self._pending: list[tuple[float, int, object]] = []
+        self._departed: set[int] = set()  # lazy deletion for the heap
+        #: admission queue (FIFO): (submit_time, seq, item)
+        self._queue: list[tuple[float, int, object]] = []
+        self._seq = 0
+        #: items placed, in placement order (builds the result instance)
+        self._placed_items: list = []
+        self._active: dict[int, object] = {}  # item_id -> item, placed & not departed
+
+        if metrics is not None:
+            self._declare_metrics(metrics)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def scalar(
+        cls,
+        algorithm,
+        capacity: float = 1.0,
+        indexed: bool = True,
+        state: Optional[PackingState] = None,
+        **kwargs,
+    ) -> "StreamingEngine":
+        """A streaming engine over the scalar (1-D) packing state.
+
+        ``state`` is for checkpoint restoration: a pre-populated state
+        takes precedence over ``capacity``/``indexed``.
+        """
+        from ..algorithms.base import PackingAlgorithm
+
+        if state is None:
+            state = PackingState(capacity=capacity, indexed=indexed)
+        capacity = state.capacity
+
+        def result(items, bins, name, item_bin):
+            return PackingResult(
+                items=ItemList(items, capacity=capacity),
+                bins=bins,
+                algorithm_name=name,
+                item_bin=item_bin,
+            )
+
+        return cls(
+            algorithm,
+            state,
+            hook_base=PackingAlgorithm,
+            result_factory=result,
+            **kwargs,
+        )
+
+    @classmethod
+    def vector(
+        cls,
+        algorithm,
+        capacity: Sequence[float] = (1.0,),
+        indexed: bool = True,
+        state=None,
+        **kwargs,
+    ) -> "StreamingEngine":
+        """A streaming engine over the multi-dimensional packing state."""
+        from ..multidim.algorithms import VectorAlgorithm
+        from ..multidim.items import VectorItemList
+        from ..multidim.packing import VectorPackingResult
+        from ..multidim.state import VectorPackingState
+
+        if state is None:
+            state = VectorPackingState(capacity=capacity, indexed=indexed)
+
+        def result(items, bins, name, item_bin):
+            return VectorPackingResult(
+                items=VectorItemList(items, capacity=state.capacity),
+                bins=bins,
+                algorithm_name=name,
+                item_bin=item_bin,
+            )
+
+        return cls(
+            algorithm,
+            state,
+            hook_base=VectorAlgorithm,
+            result_factory=result,
+            **kwargs,
+        )
+
+    # -- views ----------------------------------------------------------------
+    def can_fit(self, item) -> bool:
+        """Whether any currently open bin can accommodate ``item``."""
+        return self.state.first_fit_bin(item.size) is not None
+
+    def load(self) -> float:
+        """Fleet-wide load in bins' worth of work (binding resource)."""
+        total = self.state.total_level
+        if isinstance(total, tuple):
+            return max(t / c for t, c in zip(total, self.state.capacity))
+        return total / self.state.capacity
+
+    def item_load(self, item) -> float:
+        """``item``'s contribution to :meth:`load`."""
+        size = item.size
+        if isinstance(size, tuple):
+            return max(s / c for s, c in zip(size, self.state.capacity))
+        return size / self.state.capacity
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def pending_departures(self) -> int:
+        return sum(
+            1 for _, _, it in self._pending if it.item_id not in self._departed
+        )
+
+    def stats(self) -> dict:
+        """A light status snapshot for the service's ``stats`` op."""
+        return {
+            "clock": self.clock,
+            "open_bins": self.state.num_open,
+            "bins_used": self.state.num_bins_used,
+            "placed": len(self._placed_items),
+            "active": len(self._active),
+            "queue_depth": self.queue_depth,
+            "pending_departures": self.pending_departures,
+            "load": self.load(),
+            "admission": dict(self.admission.counts),
+            "policy": self.admission.name,
+            "algorithm": self.algorithm.name,
+        }
+
+    # -- the push API ---------------------------------------------------------
+    def submit(self, item, *, schedule_departure: bool = True) -> Placement:
+        """Handle one arriving job at its arrival time.
+
+        Moves the clock to ``item.arrival`` (applying any scheduled
+        departure due on the way — departures precede arrivals at equal
+        times), runs admission control, and places / queues / turns the
+        job away.  With ``schedule_departure`` (default) the item's
+        departure time is queued for :meth:`advance`; pass ``False``
+        when departures are only known live (then call :meth:`depart`).
+        """
+        arrival = item.arrival
+        if self._started and arrival < self.clock:
+            raise ValueError(
+                f"item {item.item_id} arrives at {arrival}, before the service "
+                f"clock {self.clock} — the stream must be time-ordered"
+            )
+        self._drain_until(arrival)
+        self._set_clock(arrival)
+
+        decision = self.admission.decide(self, item)
+        self.admission.account(decision)
+        if decision == ADMIT:
+            placement = self._place(item, arrival, self._next_seq(), schedule_departure)
+        elif decision == QUEUE:
+            self._queue.append((arrival, self._next_seq(), item))
+            placement = Placement(item.item_id, QUEUED, None, False, arrival)
+            self._count("repro_service_jobs_queued_total")
+            self._gauge("repro_service_queue_depth", len(self._queue))
+        else:  # reject | shed
+            action = REJECTED if decision == "reject" else SHED
+            placement = Placement(item.item_id, action, None, False, arrival)
+            self._count(f"repro_service_jobs_{action}_total")
+        self._count("repro_service_jobs_submitted_total")
+        self._log(
+            t=arrival,
+            op="submit",
+            item=item.item_id,
+            action=placement.action,
+            bin=placement.bin_index,
+            new_bin=placement.new_bin,
+            open=self.state.num_open,
+            queue_depth=len(self._queue),
+        )
+        return placement
+
+    def depart(self, item_id: int, now: Optional[float] = None) -> None:
+        """Process an explicit departure of a placed item at time ``now``.
+
+        ``now`` defaults to the item's recorded departure time.  The
+        live-operation path: a client that submitted with
+        ``schedule_departure=False`` announces departures itself.
+        """
+        item = self._active.get(item_id)
+        if item is None:
+            raise KeyError(f"item {item_id} is not active in the service")
+        when = item.departure if now is None else now
+        if self._started and when < self.clock:
+            raise ValueError(
+                f"departure of item {item_id} at {when} is before the "
+                f"service clock {self.clock}"
+            )
+        self._drain_until(when)
+        self._apply_departure(when, self._next_seq(), item)
+        self._retry_queue(when)
+
+    def advance(self, now: float) -> int:
+        """Move the clock to ``now``; apply all scheduled departures due.
+
+        Returns the number of departures applied.  Queued jobs are
+        retried as departures free capacity.
+        """
+        if self._started and now < self.clock:
+            raise ValueError(f"cannot advance to {now}: clock is at {self.clock}")
+        before = len(self._departed)
+        self._drain_until(now, inclusive=True)
+        self._set_clock(now)
+        self._retry_queue(self.clock)
+        return len(self._departed) - before
+
+    def finish(self):
+        """Drain the stream completely and return the batch-shaped result.
+
+        Applies every scheduled departure, gives queued jobs their last
+        chance (a job the policy still refuses on an empty fleet can
+        never be placed and is dropped as shed), asserts the terminal
+        invariant, and builds the same result object the corresponding
+        batch engine returns.
+        """
+        while True:
+            nxt = self._next_pending()
+            if nxt is None:
+                break
+            self.advance(nxt)
+        # queued leftovers: nothing else will ever depart, so a refusal
+        # now is a refusal forever
+        while self._queue:
+            when, seq, item = self._queue[0]
+            if item.departure > self.clock and self.admission.admit_queued(self, item):
+                self._queue.pop(0)
+                self._place(item, max(self.clock, item.arrival), seq, True, queued_at=when)
+                while True:
+                    nxt = self._next_pending()
+                    if nxt is None:
+                        break
+                    self.advance(nxt)
+            else:
+                self._queue.pop(0)
+                self._drop_queued(item, EXPIRED if item.departure <= self.clock else SHED)
+        self._gauge("repro_service_queue_depth", 0)
+        self._stepper.finish()
+        return self.result()
+
+    def result(self):
+        """The result object for everything placed so far.
+
+        Requires all placed items to have departed (the batch result
+        types assume closed bins); :meth:`finish` guarantees that.
+        """
+        if self._result_factory is None:
+            raise RuntimeError("engine was built without a result factory")
+        return self._result_factory(
+            list(self._placed_items),
+            tuple(self.state.bins),
+            self.algorithm.name,
+            dict(self.state.item_bin),
+        )
+
+    # -- internals ------------------------------------------------------------
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _set_clock(self, now: float) -> None:
+        if not self._started or now > self.clock:
+            self.clock = now
+        self._started = True
+        self._gauge("repro_service_clock", self.clock)
+
+    def _next_pending(self) -> Optional[float]:
+        """Time of the next live scheduled departure, skipping cancelled."""
+        while self._pending and self._pending[0][2].item_id in self._departed:
+            heapq.heappop(self._pending)
+        return self._pending[0][0] if self._pending else None
+
+    def _drain_until(self, bound: float, inclusive: bool = True) -> None:
+        """Apply scheduled departures with time <= ``bound``.
+
+        Departures at one instant are applied together (in schedule
+        order) before the queue is retried at that instant, preserving
+        the batch driver's departures-before-arrivals tie rule.
+        """
+        while True:
+            nxt = self._next_pending()
+            if nxt is None or (nxt > bound if inclusive else nxt >= bound):
+                return
+            t = nxt
+            while True:
+                nxt = self._next_pending()
+                if nxt is None or nxt != t:
+                    break
+                _, seq, item = heapq.heappop(self._pending)
+                self._apply_departure(t, seq, item)
+            self._retry_queue(t)
+
+    def _apply_departure(self, time: float, seq: int, item) -> None:
+        self._set_clock(time)
+        source = self._stepper.depart(time, seq, item)
+        self._departed.add(item.item_id)
+        self._active.pop(item.item_id, None)
+        self._count("repro_service_departures_total")
+        self._gauge("repro_service_open_bins", self.state.num_open)
+        self._gauge("repro_service_load", self.load())
+        if source.is_closed:
+            self._count("repro_service_bins_closed_total")
+            for cb in self.bin_closed_callbacks:
+                cb(source)
+        self._log(
+            t=time,
+            op="depart",
+            item=item.item_id,
+            action="departed",
+            bin=source.index,
+            closed=source.is_closed,
+            open=self.state.num_open,
+        )
+
+    def _place(
+        self, item, time: float, seq: int, schedule_departure: bool, queued_at=None
+    ) -> Placement:
+        bins_before = self.state.num_bins_used
+        target = self._stepper.arrive(time, seq, item)
+        new_bin = self.state.num_bins_used > bins_before
+        self._placed_items.append(item)
+        self._active[item.item_id] = item
+        if schedule_departure:
+            heapq.heappush(self._pending, (item.departure, seq, item))
+        self._count("repro_service_jobs_placed_total")
+        if new_bin:
+            self._count("repro_service_bins_opened_total")
+        self._gauge("repro_service_open_bins", self.state.num_open)
+        self._gauge("repro_service_load", self.load())
+        if self.metrics is not None:
+            level = target.level
+            fullness = (
+                max(l / c for l, c in zip(level, self.state.capacity))
+                if isinstance(level, tuple)
+                else level / self.state.capacity
+            )
+            self.metrics.get("repro_service_bin_level").observe(fullness)
+            self.metrics.get("repro_service_job_load").observe(self.item_load(item))
+            if queued_at is not None:
+                self.metrics.get("repro_service_queue_wait").observe(time - queued_at)
+        if queued_at is not None:
+            self.admission.account(ADMIT)
+            self._gauge("repro_service_queue_depth", len(self._queue))
+            self._log(
+                t=time,
+                op="dequeue",
+                item=item.item_id,
+                action=PLACED,
+                bin=target.index,
+                new_bin=new_bin,
+                waited=time - queued_at,
+                open=self.state.num_open,
+            )
+        return Placement(item.item_id, PLACED, target.index, new_bin, time)
+
+    def _retry_queue(self, time: float) -> None:
+        """Give the queue head its chance after capacity may have freed."""
+        while self._queue:
+            queued_at, seq, item = self._queue[0]
+            if item.departure <= time:
+                self._queue.pop(0)
+                self._drop_queued(item, EXPIRED)
+                continue
+            if not self.admission.admit_queued(self, item):
+                return  # FIFO: head-of-line blocks, preserving order
+            self._queue.pop(0)
+            self._place(item, time, seq, True, queued_at=queued_at)
+
+    def _drop_queued(self, item, why: str) -> None:
+        self.admission.account("shed")
+        self._count("repro_service_jobs_shed_total")
+        self._gauge("repro_service_queue_depth", len(self._queue))
+        self._log(
+            t=self.clock, op="dequeue", item=item.item_id, action=why,
+            bin=None, open=self.state.num_open,
+        )
+
+    # -- metrics plumbing (no-ops when no registry is attached) ---------------
+    def _declare_metrics(self, reg: MetricsRegistry) -> None:
+        reg.counter("repro_service_jobs_submitted_total", "jobs submitted")
+        reg.counter("repro_service_jobs_placed_total", "jobs placed into a bin")
+        reg.counter("repro_service_jobs_rejected_total", "jobs rejected by admission")
+        reg.counter("repro_service_jobs_queued_total", "jobs parked in the admission queue")
+        reg.counter("repro_service_jobs_shed_total", "jobs shed (dropped under load)")
+        reg.counter("repro_service_departures_total", "departures processed")
+        reg.counter("repro_service_bins_opened_total", "servers opened")
+        reg.counter("repro_service_bins_closed_total", "servers closed")
+        reg.gauge("repro_service_open_bins", "currently open servers")
+        reg.gauge("repro_service_queue_depth", "jobs waiting in the admission queue")
+        reg.gauge("repro_service_load", "total open-bin load, in bins' worth of work")
+        reg.gauge("repro_service_clock", "service clock (trace time)")
+        reg.histogram(
+            "repro_service_bin_level",
+            "bin fullness after each placement",
+            DEFAULT_LEVEL_BUCKETS,
+        )
+        reg.histogram(
+            "repro_service_job_load",
+            "normalised demand of each placed job",
+            DEFAULT_LEVEL_BUCKETS,
+        )
+        reg.histogram(
+            "repro_service_queue_wait",
+            "trace-time wait of queued jobs until placement",
+            DEFAULT_WAIT_BUCKETS,
+        )
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None and name in self.metrics:
+            self.metrics.get(name).inc(amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None and name in self.metrics:
+            self.metrics.get(name).set(value)
+
+    def _log(self, **record) -> None:
+        if self.decision_log is not None:
+            self.decision_log.log(**record)

@@ -1,0 +1,171 @@
+"""Closed/open-loop load generator for the allocation service.
+
+``repro loadgen`` replays any workload the repository can generate (or
+any saved trace) as live traffic against a running ``repro serve``
+endpoint, measuring what the *client* sees: request throughput and
+response-time percentiles, plus the placement outcomes.
+
+Two driving modes:
+
+- **closed-loop** (``speed = 0``, default): each submission waits for
+  the previous response — back-to-back requests, measuring the
+  service's sustainable throughput;
+- **open-loop** (``speed > 0``): submissions are paced to the trace's
+  arrival times, with ``speed`` trace-time units per wall-clock second
+  — measuring latency at a controlled offered load.
+
+Departures ride on the server's own scheduler (the engine applies each
+job's departure when the clock passes it), so the generator only sends
+arrivals plus one final ``drain``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.items import ItemList
+
+__all__ = ["LoadgenReport", "run_loadgen", "loadgen"]
+
+
+@dataclass
+class LoadgenReport:
+    """What the load generator observed, client side."""
+
+    jobs: int = 0
+    actions: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+    drain: dict = field(default_factory=dict)
+    errors: int = 0
+
+    @property
+    def requests_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.jobs / self.wall_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th latency percentile in milliseconds (nearest-rank)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered) - 1, max(0, int(q / 100.0 * len(ordered))))
+        return ordered[rank]
+
+    def render(self) -> str:
+        lines = [
+            f"loadgen: {self.jobs} jobs in {self.wall_seconds:.3f}s "
+            f"({self.requests_per_sec:.0f} req/s)",
+            "outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.actions.items())),
+            f"latency ms: p50={self.latency_percentile(50):.3f} "
+            f"p90={self.latency_percentile(90):.3f} "
+            f"p99={self.latency_percentile(99):.3f}",
+        ]
+        if self.drain:
+            lines.append(
+                f"final packing: {self.drain.get('bins')} servers, "
+                f"usage time {self.drain.get('total_usage_time', 0.0):.4f}"
+            )
+        if self.errors:
+            lines.append(f"errors: {self.errors}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "actions": self.actions,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "requests_per_sec": round(self.requests_per_sec, 1),
+            "latency_ms": {
+                "p50": round(self.latency_percentile(50), 3),
+                "p90": round(self.latency_percentile(90), 3),
+                "p99": round(self.latency_percentile(99), 3),
+            },
+            "drain": self.drain,
+            "errors": self.errors,
+        }
+
+
+async def run_loadgen(
+    items: ItemList,
+    host: str = "127.0.0.1",
+    port: int = 7077,
+    speed: float = 0.0,
+    drain: bool = True,
+    shutdown: bool = False,
+    timeout: float = 30.0,
+) -> LoadgenReport:
+    """Replay ``items`` as live traffic; returns the client-side report.
+
+    Jobs are submitted in arrival order (the online order).  ``speed``
+    selects the driving mode — see the module docstring.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    report = LoadgenReport()
+
+    async def call(payload: dict) -> dict:
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    ordered = sorted(items, key=lambda it: it.arrival)
+    t0 = time.perf_counter()
+    trace_start = ordered[0].arrival if ordered else 0.0
+    for it in ordered:
+        if speed > 0:
+            due = t0 + (it.arrival - trace_start) / speed
+            delay = due - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        sent = time.perf_counter()
+        response = await call(
+            {
+                "op": "submit",
+                "job": {
+                    "id": it.item_id,
+                    "size": it.size,
+                    "arrival": it.arrival,
+                    "departure": it.departure,
+                },
+            }
+        )
+        report.latencies_ms.append((time.perf_counter() - sent) * 1e3)
+        report.jobs += 1
+        if response.get("ok"):
+            action = response["placement"]["action"]
+            report.actions[action] = report.actions.get(action, 0) + 1
+        else:
+            report.errors += 1
+    if drain:
+        response = await call({"op": "drain"})
+        if response.get("ok"):
+            report.drain = {
+                k: v for k, v in response.items() if k not in ("ok",)
+            }
+        else:
+            report.errors += 1
+    report.wall_seconds = time.perf_counter() - t0
+    if shutdown:
+        await call({"op": "shutdown"})
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+        pass
+    return report
+
+
+def loadgen(items: ItemList, **kwargs) -> LoadgenReport:
+    """Synchronous wrapper around :func:`run_loadgen`."""
+    return asyncio.run(run_loadgen(items, **kwargs))

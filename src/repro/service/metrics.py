@@ -1,0 +1,256 @@
+"""Service observability: a metrics registry and a per-decision trace log.
+
+The live allocation service is long-running, so its observables cannot
+be computed after the fact from a :class:`~repro.core.result.PackingResult`
+the way the batch experiments do — they must be *maintained* as the
+stream flows.  This module provides the three standard metric kinds
+(counter, gauge, histogram), a registry that renders them in the
+Prometheus text exposition format (version 0.0.4, what ``/metrics``
+endpoints serve), and a structured per-decision trace log.
+
+Everything here is snapshot/restorable: a checkpoint of the streaming
+engine includes its metric values, so a restored service reports the
+same counters as one that never stopped (pinned by
+``tests/service/test_checkpoint.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Iterable, Optional, Sequence, TextIO
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DecisionLog",
+    "DEFAULT_LEVEL_BUCKETS",
+    "DEFAULT_WAIT_BUCKETS",
+]
+
+#: Bin levels and job sizes live in [0, capacity] with capacity 1.0
+#: throughout the paper, so the level buckets are utilisation deciles
+#: plus the near-full band where Any Fit behaviour is decided.
+DEFAULT_LEVEL_BUCKETS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0,
+)
+
+#: Queue waits are in trace time units (the minimum job duration is ~1
+#: after the paper's normalisation), so the buckets span sub-unit waits
+#: to pathological backlogs.
+DEFAULT_WAIT_BUCKETS: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus number formatting: integers without the trailing .0."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def expose(self) -> list[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+    def snapshot(self) -> Any:
+        return self.value
+
+    def restore(self, payload: Any) -> None:
+        self.value = float(payload)
+
+
+class Gauge:
+    """A value that can go up and down (open servers, queue depth, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def expose(self) -> list[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+    def snapshot(self) -> Any:
+        return self.value
+
+    def restore(self, payload: Any) -> None:
+        self.value = float(payload)
+
+
+class Histogram:
+    """A cumulative histogram with fixed upper bounds (Prometheus shape).
+
+    ``observe(v)`` increments every bucket whose bound is >= v, plus the
+    implicit ``+Inf`` bucket; ``_sum`` and ``_count`` are maintained so
+    scrapers can derive means and rates.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_LEVEL_BUCKETS):
+        self.name = name
+        self.help = help
+        self.bounds: tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket")
+        # counts[i] = observations with value <= bounds[i] (cumulative on
+        # exposition; stored per-bucket and summed when rendering)
+        self._counts: list[int] = [0] * (len(self.bounds) + 1)  # +1 = +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def expose(self) -> list[str]:
+        lines = []
+        cumulative = 0
+        for bound, n in zip(self.bounds, self._counts):
+            cumulative += n
+            lines.append(f'{self.name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{self.name}_sum {_fmt(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+    def snapshot(self) -> Any:
+        return {"counts": list(self._counts), "sum": self.sum, "count": self.count}
+
+    def restore(self, payload: Any) -> None:
+        counts = [int(c) for c in payload["counts"]]
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name}: snapshot has {len(counts)} buckets, "
+                f"registry has {len(self._counts)}"
+            )
+        self._counts = counts
+        self.sum = float(payload["sum"])
+        self.count = int(payload["count"])
+
+
+class MetricsRegistry:
+    """A named collection of metrics with Prometheus text exposition.
+
+    >>> reg = MetricsRegistry()
+    >>> c = reg.counter("repro_jobs_total", "jobs seen")
+    >>> c.inc()
+    >>> print(reg.expose_text().splitlines()[2])
+    repro_jobs_total 1
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _register(self, metric):
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_LEVEL_BUCKETS
+    ) -> Histogram:
+        return self._register(Histogram(name, help, buckets))
+
+    def get(self, name: str) -> Counter | Gauge | Histogram:
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def expose_text(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.expose())
+        return "\n".join(lines) + "\n"
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat name → value view (histograms as sum/count dicts)."""
+        out: dict[str, Any] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                out[name] = {"sum": metric.sum, "count": metric.count}
+            else:
+                out[name] = metric.value
+        return out
+
+    # -- checkpoint support ---------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        return {name: m.snapshot() for name, m in self._metrics.items()}
+
+    def restore(self, payload: dict[str, Any]) -> None:
+        """Restore values into an already-declared registry.
+
+        The metric *declarations* (names, kinds, buckets) come from the
+        engine that owns the registry; the snapshot carries values only.
+        """
+        for name, value in payload.items():
+            if name in self._metrics:
+                self._metrics[name].restore(value)
+
+
+class DecisionLog:
+    """Structured per-decision trace of the streaming engine.
+
+    Every placement decision (placed / rejected / queued / shed /
+    departed) is appended as one dict; with a ``sink`` the record is
+    also written immediately as one JSON line (the service's audit
+    trail).  The in-memory tail is bounded by ``keep`` so a long-lived
+    service does not grow without bound.
+    """
+
+    def __init__(self, sink: Optional[TextIO] = None, keep: int = 10_000):
+        self.sink = sink
+        self.keep = int(keep)
+        self.records: list[dict[str, Any]] = []
+        self.total: int = 0
+
+    def log(self, **record: Any) -> None:
+        self.total += 1
+        self.records.append(record)
+        if len(self.records) > self.keep:
+            del self.records[: len(self.records) - self.keep]
+        if self.sink is not None:
+            self.sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def tail(self, n: int = 10) -> list[dict[str, Any]]:
+        return self.records[-n:]

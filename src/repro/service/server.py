@@ -1,0 +1,208 @@
+"""The allocation service's network face: a JSON-lines protocol over TCP.
+
+``repro serve`` binds a :class:`~repro.service.engine.StreamingEngine`
+to a socket.  One request per line, one JSON response per line — the
+simplest protocol that a load generator, a sidecar, or ``nc`` can speak.
+All engine operations run on the event loop thread, so concurrent
+connections are serialised naturally; the engine itself never needs a
+lock.
+
+Operations
+----------
+``{"op": "submit", "job": {"id", "size" | "sizes", "arrival", "departure"}}``
+    Place a job (through admission control).  Response carries the
+    placement: action, bin, whether a new server was opened.
+``{"op": "depart", "id": ..., "now": ...}``
+    Explicit departure (``now`` optional — defaults to the job's
+    recorded departure time).
+``{"op": "advance", "now": ...}``
+    Move the service clock, applying scheduled departures.
+``{"op": "drain"}``
+    Apply *all* scheduled departures (end of stream) and report the
+    final packing summary.
+``{"op": "stats"}`` / ``{"op": "metrics"}``
+    Engine status dict / Prometheus text exposition.
+``{"op": "checkpoint", "path": ...}``
+    Snapshot the engine; inline in the response, or to ``path``.
+``{"op": "ping"}`` / ``{"op": "shutdown"}``
+    Liveness / stop the server (used by tests and ``repro loadgen
+    --shutdown``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from ..algorithms import ALGORITHM_REGISTRY, make_algorithm
+from ..core.items import Item
+from .admission import AdmissionPolicy
+from .engine import StreamingEngine
+from .metrics import DecisionLog, MetricsRegistry
+from .snapshot import snapshot_engine
+
+__all__ = ["AllocationService", "build_engine", "serve"]
+
+
+def build_engine(
+    algorithm: str = "first-fit",
+    capacity: float = 1.0,
+    indexed: bool = True,
+    admission: Optional[AdmissionPolicy] = None,
+    with_metrics: bool = True,
+    decision_log: Optional[DecisionLog] = None,
+) -> StreamingEngine:
+    """The standard scalar service engine (metrics on by default)."""
+    if algorithm not in ALGORITHM_REGISTRY:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHM_REGISTRY)}"
+        )
+    return StreamingEngine.scalar(
+        make_algorithm(algorithm),
+        capacity=capacity,
+        indexed=indexed,
+        admission=admission,
+        metrics=MetricsRegistry() if with_metrics else None,
+        decision_log=decision_log,
+    )
+
+
+def _job_from_request(job: dict) -> Item:
+    try:
+        return Item(
+            int(job["id"]),
+            float(job["size"]),
+            float(job["arrival"]),
+            float(job["departure"]),
+        )
+    except KeyError as exc:
+        raise ValueError(f"job record is missing field {exc.args[0]!r}") from None
+
+
+class AllocationService:
+    """One engine behind an asyncio JSON-lines endpoint."""
+
+    def __init__(self, engine: StreamingEngine, quiet: bool = True):
+        self.engine = engine
+        self.quiet = quiet
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+        self.requests_served = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind and start serving; returns the actual port (for port 0)."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        bound = self._server.sockets[0].getsockname()[1]
+        if not self.quiet:
+            print(f"repro service listening on {host}:{bound}")
+        return bound
+
+    async def wait_closed(self) -> None:
+        """Block until a ``shutdown`` op arrives, then close the socket."""
+        await self._shutdown.wait()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def serve_until_shutdown(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        await self.start(host, port)
+        await self.wait_closed()
+        return 0
+
+    # -- protocol -------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self._dispatch_line(line)
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+                if response.get("bye"):
+                    self._shutdown.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _dispatch_line(self, line: bytes) -> dict:
+        self.requests_served += 1
+        try:
+            request = json.loads(line)
+            return self._dispatch(request)
+        except Exception as exc:  # protocol boundary: report, don't crash
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        engine = self.engine
+        if op == "submit":
+            placement = engine.submit(_job_from_request(request["job"]))
+            return {"ok": True, "placement": placement.to_dict()}
+        if op == "depart":
+            engine.depart(int(request["id"]), request.get("now"))
+            return {"ok": True, "clock": engine.clock}
+        if op == "advance":
+            applied = engine.advance(float(request["now"]))
+            return {"ok": True, "departed": applied, "clock": engine.clock}
+        if op == "drain":
+            result = engine.finish()
+            return {
+                "ok": True,
+                "bins": result.num_bins,
+                "total_usage_time": result.total_usage_time,
+                "algorithm": result.algorithm_name,
+            }
+        if op == "stats":
+            return {"ok": True, "stats": engine.stats()}
+        if op == "metrics":
+            if engine.metrics is None:
+                return {"ok": False, "error": "service was started without metrics"}
+            return {"ok": True, "text": engine.metrics.expose_text()}
+        if op == "checkpoint":
+            doc = snapshot_engine(engine)
+            path = request.get("path")
+            if path:
+                with open(path, "w") as f:
+                    json.dump(doc, f, sort_keys=True)
+                return {"ok": True, "path": path}
+            return {"ok": True, "snapshot": doc}
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def serve(
+    engine: StreamingEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = False,
+    port_file: Optional[str] = None,
+) -> int:
+    """Run the service until a ``shutdown`` op arrives.
+
+    ``port_file`` (when given) receives the bound port as text — how
+    tests and scripts discover a ``--port 0`` ephemeral binding.
+    """
+    service = AllocationService(engine, quiet=quiet)
+    bound = await service.start(host, port)
+    if port_file:
+        with open(port_file, "w") as f:
+            f.write(str(bound))
+    await service.wait_closed()
+    if not quiet:
+        print(
+            f"service stopped after {service.requests_served} requests; "
+            f"{engine.state.num_bins_used} servers used"
+        )
+    return 0

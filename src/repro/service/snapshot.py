@@ -1,0 +1,302 @@
+"""Checkpoint/restore for the streaming engine.
+
+A long-lived allocation service must survive restarts without forgetting
+which jobs live on which servers.  :func:`snapshot_engine` captures the
+*entire* packing state as one JSON-serialisable document — every bin
+(open and closed, with level histories), the item→bin map, the running
+level totals, the adaptive first-fit index's **activation status**, the
+scheduled-departure heap, the admission queue and counters, the metric
+values, and the placement policy's internal state (Next Fit's available
+bin, the classified policies' class maps, seeded RNG states).
+:func:`restore_engine` rebuilds a live engine from the document.
+
+The contract is exact resumption: checkpointing mid-trace and restoring
+into a fresh process must reproduce the uninterrupted run bit for bit —
+placements *and* metrics (pinned by the randomized differential test in
+``tests/service/test_checkpoint.py``).  JSON round-trips Python floats
+exactly (``repr`` shortest-round-trip), so no precision is lost.
+
+Restoring the index deserves a note: the snapshot records only *whether*
+the tree was active, not its internals.  Rebuilding it from the open set
+assigns fresh slots, but slots are always in increasing bin-index order
+(closed bins merely mark their slot infeasible), and every tree query
+resolves ties by bin index — so a rebuilt tree answers every query
+identically to the incrementally maintained one.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Optional
+
+from ..core.bins import Bin
+from ..core.items import Item
+from ..core.state import PackingState
+
+__all__ = ["SNAPSHOT_VERSION", "snapshot_engine", "restore_engine", "dumps", "loads"]
+
+SNAPSHOT_VERSION = 1
+
+
+# -- algorithm-state codec ----------------------------------------------------
+def _encode_value(value: Any) -> Any:
+    """Encode one algorithm attribute into JSON-safe form.
+
+    Handles the state the registry policies actually keep: primitives,
+    tuples, dicts with non-string keys, ``random.Random`` instances and
+    live :class:`Bin` references.  Anything else is a hard error — an
+    algorithm with exotic state must not silently checkpoint wrong.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"__list__": [_encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        return {
+            "__map__": [
+                [_encode_value(k), _encode_value(v)] for k, v in value.items()
+            ]
+        }
+    if isinstance(value, random.Random):
+        version, internal, gauss = value.getstate()
+        return {"__rng__": [version, list(internal), gauss]}
+    if hasattr(value, "index") and hasattr(value, "is_open"):  # a bin reference
+        return {"__bin__": value.index}
+    raise TypeError(
+        f"cannot checkpoint algorithm attribute of type {type(value).__name__}"
+    )
+
+
+def _decode_value(value: Any, bins: list) -> Any:
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(_decode_value(v, bins) for v in value["__tuple__"])
+        if "__list__" in value:
+            return [_decode_value(v, bins) for v in value["__list__"]]
+        if "__map__" in value:
+            return {
+                _decode_value(k, bins): _decode_value(v, bins)
+                for k, v in value["__map__"]
+            }
+        if "__rng__" in value:
+            version, internal, gauss = value["__rng__"]
+            rng = random.Random()
+            rng.setstate((version, tuple(internal), gauss))
+            return rng
+        if "__bin__" in value:
+            return bins[value["__bin__"]]
+        raise ValueError(f"unrecognised snapshot marker in {sorted(value)}")
+    return value
+
+
+# -- item / bin codecs --------------------------------------------------------
+def _item_record(item, scalar: bool) -> list:
+    size = item.size if scalar else list(item.sizes)
+    return [item.item_id, size, item.arrival, item.departure]
+
+
+def _make_item(rec: list, scalar: bool):
+    if scalar:
+        return Item(rec[0], rec[1], rec[2], rec[3])
+    from ..multidim.items import VectorItem
+
+    return VectorItem(rec[0], tuple(rec[1]), rec[2], rec[3])
+
+
+def _bin_record(b, scalar: bool) -> dict:
+    rec = {
+        "index": b.index,
+        "opened_at": b.opened_at,
+        "closed_at": b.closed_at,
+        "active": sorted(b.active_items),
+        "all": [it.item_id for it in b.all_items],
+    }
+    if scalar:
+        rec["level"] = b.level
+        rec["history"] = [[t, lvl] for t, lvl in b.level_history]
+    else:
+        rec["levels"] = list(b.levels)
+    return rec
+
+
+def _make_bin(rec: dict, items: dict, capacity, scalar: bool):
+    if scalar:
+        b = Bin(index=rec["index"], capacity=capacity)
+        b.level = rec["level"]
+        b.level_history = [(t, lvl) for t, lvl in rec["history"]]
+    else:
+        from ..multidim.bins import VectorBin
+
+        b = VectorBin(index=rec["index"], capacity=capacity)
+        b.levels = tuple(rec["levels"])
+    b.opened_at = rec["opened_at"]
+    b.closed_at = rec["closed_at"]
+    b.active_items = {iid: items[iid] for iid in rec["active"]}
+    b.all_items = [items[iid] for iid in rec["all"]]
+    return b
+
+
+# -- engine snapshot ----------------------------------------------------------
+def snapshot_engine(engine) -> dict:
+    """The engine's full state as one JSON-serialisable document."""
+    state = engine.state
+    scalar = isinstance(state, PackingState)
+
+    # the item table: everything the restored process may still touch
+    items: dict[int, Any] = {}
+    for b in state.bins:
+        for it in b.all_items:
+            items[it.item_id] = it
+    for _, _, it in engine._pending:
+        items[it.item_id] = it
+    for _, _, it in engine._queue:
+        items[it.item_id] = it
+
+    doc = {
+        "version": SNAPSHOT_VERSION,
+        "kind": "scalar" if scalar else "vector",
+        "algorithm": engine.algorithm.name,
+        "capacity": state.capacity if scalar else list(state.capacity),
+        "indexed": state.indexed,
+        "index_active": state._index is not None,
+        "now": state.now,
+        "clock": engine.clock,
+        "started": engine._started,
+        "seq": engine._seq,
+        "total_level": state.total_level
+        if scalar
+        else list(state.total_level),
+        "items": {str(iid): _item_record(it, scalar) for iid, it in items.items()},
+        "bins": [_bin_record(b, scalar) for b in state.bins],
+        "open": sorted(state._open),
+        "item_bin": [[iid, idx] for iid, idx in state.item_bin.items()],
+        "placed_order": [it.item_id for it in engine._placed_items],
+        "active": sorted(engine._active),
+        "departed": sorted(engine._departed),
+        "pending": [
+            [t, seq, it.item_id]
+            for t, seq, it in engine._pending
+            if it.item_id not in engine._departed
+        ],
+        "queue": [[t, seq, it.item_id] for t, seq, it in engine._queue],
+        "algorithm_state": {
+            k: _encode_value(v) for k, v in vars(engine.algorithm).items()
+        },
+        "admission": engine.admission.snapshot(),
+        "metrics": engine.metrics.snapshot() if engine.metrics is not None else None,
+    }
+    return doc
+
+
+def restore_engine(
+    doc: dict,
+    algorithm,
+    *,
+    admission=None,
+    metrics=None,
+    decision_log=None,
+    observers=(),
+):
+    """Rebuild a live :class:`~repro.service.engine.StreamingEngine`.
+
+    ``algorithm`` must be a fresh instance of the same policy (same
+    constructor arguments) that produced the snapshot; its internal
+    state is restored from the document.  ``admission`` likewise: pass
+    a policy of the same shape and its accounting is restored.  Pass a
+    fresh :class:`~repro.service.metrics.MetricsRegistry` to resume the
+    metric values; the decision log starts fresh (it is an audit trail,
+    not state).
+    """
+    import heapq
+
+    from .engine import StreamingEngine
+
+    if doc.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot version {doc.get('version')!r} not supported "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    if doc["algorithm"] != algorithm.name:
+        raise ValueError(
+            f"snapshot was taken under policy {doc['algorithm']!r}, "
+            f"got {algorithm.name!r}"
+        )
+    scalar = doc["kind"] == "scalar"
+
+    # 1. the packing state
+    if scalar:
+        state = PackingState(capacity=doc["capacity"], indexed=doc["indexed"])
+    else:
+        from ..multidim.state import VectorPackingState
+
+        state = VectorPackingState(
+            capacity=tuple(doc["capacity"]), indexed=doc["indexed"]
+        )
+    state.now = doc["now"]
+    items = {
+        int(iid): _make_item(rec, scalar) for iid, rec in doc["items"].items()
+    }
+    capacity = state.capacity
+    state.bins = [_make_bin(rec, items, capacity, scalar) for rec in doc["bins"]]
+    state._open = {idx: state.bins[idx] for idx in doc["open"]}
+    state.item_bin = {int(iid): idx for iid, idx in doc["item_bin"]}
+    if scalar:
+        state.total_level = doc["total_level"]
+    else:
+        state._total = list(doc["total_level"])
+    if doc["index_active"]:
+        # once activated, the index stays active for the rest of the run
+        # even if the open set has shrunk below the threshold since
+        state._activate_index()
+
+    # 2. the engine shell (constructing it resets the algorithm...)
+    if scalar:
+        engine = StreamingEngine.scalar(
+            algorithm,
+            state=state,
+            admission=admission,
+            metrics=metrics,
+            decision_log=decision_log,
+            observers=observers,
+        )
+    else:
+        engine = StreamingEngine.vector(
+            algorithm,
+            state=state,
+            admission=admission,
+            metrics=metrics,
+            decision_log=decision_log,
+            observers=observers,
+        )
+
+    # 3. ...so the algorithm's internals are restored afterwards
+    for key, value in doc["algorithm_state"].items():
+        setattr(algorithm, key, _decode_value(value, state.bins))
+
+    # 4. engine bookkeeping
+    engine.clock = doc["clock"]
+    engine._started = doc["started"]
+    engine._seq = doc["seq"]
+    engine._departed = set(doc["departed"])
+    engine._active = {iid: items[iid] for iid in doc["active"]}
+    engine._placed_items = [items[iid] for iid in doc["placed_order"]]
+    engine._pending = [(t, seq, items[iid]) for t, seq, iid in doc["pending"]]
+    heapq.heapify(engine._pending)
+    engine._queue = [(t, seq, items[iid]) for t, seq, iid in doc["queue"]]
+    engine.admission.restore(doc["admission"])
+    if metrics is not None and doc["metrics"] is not None:
+        metrics.restore(doc["metrics"])
+    return engine
+
+
+def dumps(engine) -> str:
+    """Checkpoint ``engine`` to a JSON string."""
+    return json.dumps(snapshot_engine(engine), sort_keys=True)
+
+
+def loads(text: str, algorithm, **kwargs):
+    """Restore an engine from a :func:`dumps` checkpoint."""
+    return restore_engine(json.loads(text), algorithm, **kwargs)

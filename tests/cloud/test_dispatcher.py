@@ -94,6 +94,109 @@ class TestConcurrencyMeter:
         assert 0.0 < meter.mean_open <= meter.peak_open
 
 
+class _Event:
+    def __init__(self, time):
+        self.time = time
+
+
+class _State:
+    def __init__(self, num_open):
+        self.num_open = num_open
+
+
+class TestConcurrencyMeterEdgeCases:
+    def test_empty_trace(self):
+        """No events at all: the meter reports zeros, not a ZeroDivisionError."""
+        meter = ConcurrencyMeter()
+        from repro.core.packing import run_packing
+
+        run_packing(ItemList([]), FirstFit(), observers=[meter])
+        assert meter.peak_open == 0
+        assert meter.mean_open == 0.0
+
+    def test_single_item(self):
+        """One job: open exactly during [arrival, departure) → mean 1.0."""
+        meter = ConcurrencyMeter()
+        from repro.core.packing import run_packing
+
+        run_packing(ItemList([Item(0, 0.5, 1.0, 3.0)]), FirstFit(), observers=[meter])
+        assert meter.peak_open == 1
+        assert meter.mean_open == pytest.approx(1.0)
+
+    def test_zero_duration_intervals_at_ties(self):
+        """Simultaneous events produce dt=0 intervals that must not skew
+        the mean: two bins over [0,2), one over [2,4) → mean 1.5."""
+        meter = ConcurrencyMeter()
+        from repro.core.packing import run_packing
+
+        run_packing(
+            ItemList(
+                [
+                    Item(0, 0.6, 0.0, 2.0),
+                    Item(1, 0.6, 0.0, 2.0),
+                    Item(2, 0.6, 2.0, 4.0),
+                ]
+            ),
+            FirstFit(),
+            observers=[meter],
+        )
+        assert meter.peak_open == 2
+        assert meter.mean_open == pytest.approx(1.5)
+
+    def test_zero_span_pins_mean_to_zero(self):
+        """All observed events at one instant: span 0 → mean 0.0 (pinned),
+        while the peak still reflects what was seen."""
+        meter = ConcurrencyMeter()
+        meter(_Event(1.0), _State(3))
+        meter(_Event(1.0), _State(0))
+        assert meter.peak_open == 3
+        assert meter.mean_open == 0.0
+
+
+class TestLiveDispatch:
+    def test_live_settle_matches_batch_dispatch(self):
+        """The streaming dispatcher bills exactly what the batch one does."""
+        items = gaming_workload(200, seed=13)
+        batch = Dispatcher(FirstFit()).dispatch(items)
+        live = Dispatcher(FirstFit()).live()
+        for it in sorted(items, key=lambda it: it.arrival):
+            live.submit(it)
+        report = live.settle()
+        assert report.packing.item_bin == batch.packing.item_bin
+        assert report.total_usage_time == batch.total_usage_time
+        assert report.total_cost == pytest.approx(batch.total_cost)
+        assert report.num_servers == batch.num_servers
+        assert [s.server_id for s in report.servers] == [
+            s.server_id for s in batch.servers
+        ]
+
+    def test_cost_accrues_as_servers_close(self):
+        live = Dispatcher(FirstFit(), billing=HourlyBilling()).live()
+        live.submit(Item(0, 0.9, 0.0, 2.0))
+        live.submit(Item(1, 0.9, 0.5, 4.0))
+        assert live.cost_so_far == 0.0  # nothing closed yet
+        live.advance(3.0)  # server 0 shuts down at t=2
+        assert len(live.records) == 1
+        mid_cost = live.cost_so_far
+        assert mid_cost > 0
+        report = live.settle()
+        assert report.total_cost == pytest.approx(live.cost_so_far)
+        assert live.cost_so_far > mid_cost
+
+    def test_live_forwards_engine_kwargs(self):
+        from repro.service import MetricsRegistry, make_admission_policy
+
+        live = Dispatcher(FirstFit()).live(
+            admission=make_admission_policy("reject", max_open=1),
+            metrics=MetricsRegistry(),
+        )
+        assert live.submit(Item(0, 0.9, 0.0, 5.0)).action == "placed"
+        assert live.submit(Item(1, 0.9, 1.0, 5.0)).action == "rejected"
+        assert live.engine.metrics.as_dict()["repro_service_jobs_rejected_total"] == 1
+        report = live.settle()
+        assert report.num_servers == 1
+
+
 class TestInstanceType:
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,163 @@
+"""Admission control: reject / queue / shed semantics and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.items import Item
+from repro.service import (
+    ADMIT,
+    AdmitAll,
+    LoadShedding,
+    MetricsRegistry,
+    OpenServerBudget,
+    StreamingEngine,
+    make_admission_policy,
+)
+from repro.workloads import poisson_workload
+
+
+def engine_with(policy, **kwargs):
+    return StreamingEngine.scalar(
+        make_algorithm("first-fit"), admission=policy, **kwargs
+    )
+
+
+class TestFactory:
+    def test_specs(self):
+        assert isinstance(make_admission_policy("admit-all"), AdmitAll)
+        assert isinstance(
+            make_admission_policy("reject", max_open=3), OpenServerBudget
+        )
+        queue = make_admission_policy("queue", max_open=3)
+        assert isinstance(queue, OpenServerBudget) and queue.on_full == "queue"
+        assert isinstance(make_admission_policy("shed", max_load=2.0), LoadShedding)
+
+    def test_missing_budget_is_an_error(self):
+        with pytest.raises(ValueError, match="max-open"):
+            make_admission_policy("reject")
+        with pytest.raises(ValueError, match="max-load"):
+            make_admission_policy("shed")
+        with pytest.raises(ValueError, match="unknown"):
+            make_admission_policy("nope")
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            OpenServerBudget(0)
+        with pytest.raises(ValueError):
+            OpenServerBudget(1, on_full="shed")
+        with pytest.raises(ValueError):
+            LoadShedding(0.0)
+
+
+class TestOpenServerBudgetReject:
+    def test_cap_is_enforced_but_fitting_jobs_still_admitted(self):
+        engine = engine_with(OpenServerBudget(2, on_full="reject"))
+        # three large jobs: the third would need a third server -> rejected
+        assert engine.submit(Item(1, 0.9, 0.0, 10.0)).action == "placed"
+        assert engine.submit(Item(2, 0.9, 0.0, 10.0)).action == "placed"
+        assert engine.submit(Item(3, 0.9, 0.0, 10.0)).action == "rejected"
+        # a small job fits into an open server: no new quota needed
+        assert engine.submit(Item(4, 0.05, 1.0, 5.0)).action == "placed"
+        assert engine.state.num_open == 2
+        counts = engine.admission.counts
+        assert counts["admit"] == 3 and counts["reject"] == 1
+        # rejected jobs are not in the result
+        result = engine.finish()
+        assert result.num_bins == 2
+        assert 3 not in result.item_bin
+
+    def test_bulk_rejection_accounting(self):
+        items = poisson_workload(400, seed=5, mu_target=8.0, arrival_rate=80.0)
+        engine = engine_with(
+            OpenServerBudget(5, on_full="reject"), capacity=items.capacity
+        )
+        placements = [
+            engine.submit(it) for it in sorted(items, key=lambda it: it.arrival)
+        ]
+        rejected = sum(1 for p in placements if p.action == "rejected")
+        assert rejected > 0
+        assert engine.admission.counts["reject"] == rejected
+        assert engine.admission.counts["admit"] == len(items) - rejected
+        result = engine.finish()
+        assert result.num_bins <= 5 or engine.state.num_open == 0
+        assert len(result.item_bin) == len(items) - rejected
+
+
+class TestOpenServerBudgetQueue:
+    def test_queued_job_placed_after_departure(self):
+        engine = engine_with(
+            OpenServerBudget(1, on_full="queue"), metrics=MetricsRegistry()
+        )
+        engine.submit(Item(1, 0.9, 0.0, 4.0))
+        p = engine.submit(Item(2, 0.9, 1.0, 10.0))
+        assert p.action == "queued"
+        assert engine.queue_depth == 1
+        # item 1 departs at t=4: the queue head gets its server
+        engine.advance(5.0)
+        assert engine.queue_depth == 0
+        result = engine.finish()
+        assert result.item_bin == {1: 0, 2: 1}
+        # queued-then-placed is accounted under both queue and admit
+        assert engine.admission.counts["queue"] == 1
+        assert engine.admission.counts["admit"] == 2
+        wait = engine.metrics.get("repro_service_queue_wait")
+        assert wait.count == 1
+        assert wait.sum == pytest.approx(3.0)  # queued at 1, placed at 4
+
+    def test_expired_queued_job_is_dropped(self):
+        engine = engine_with(OpenServerBudget(1, on_full="queue"))
+        engine.submit(Item(1, 0.9, 0.0, 10.0))
+        assert engine.submit(Item(2, 0.9, 1.0, 3.0)).action == "queued"
+        # item 2's departure (t=3) passes while it still waits: dropped
+        result = engine.finish()
+        assert 2 not in result.item_bin
+        assert engine.admission.counts["shed"] == 1
+
+    def test_fifo_head_of_line_blocking(self):
+        engine = engine_with(OpenServerBudget(1, on_full="queue"))
+        engine.submit(Item(1, 0.9, 0.0, 4.0))
+        engine.submit(Item(2, 0.8, 1.0, 20.0))  # queued first
+        engine.submit(Item(3, 0.2, 2.0, 20.0))  # doesn't fit bin 0: waits
+        assert engine.queue_depth == 2
+        engine.advance(4.0)
+        # both dequeue at t=4, head first: 2 opens bin 1, 3 fits behind it
+        result = engine.finish()
+        assert result.item_bin[2] == 1
+        assert result.item_bin[3] == 1
+
+
+class TestLoadShedding:
+    def test_shed_above_ceiling(self):
+        engine = engine_with(LoadShedding(1.0))
+        assert engine.submit(Item(1, 0.6, 0.0, 10.0)).action == "placed"
+        assert engine.submit(Item(2, 0.6, 1.0, 10.0)).action == "shed"
+        assert engine.submit(Item(3, 0.3, 2.0, 10.0)).action == "placed"
+        counts = engine.admission.counts
+        assert counts["admit"] == 2 and counts["shed"] == 1
+
+    def test_load_recovers_after_departures(self):
+        engine = engine_with(LoadShedding(0.5))
+        engine.submit(Item(1, 0.5, 0.0, 2.0))
+        assert engine.submit(Item(2, 0.5, 1.0, 3.0)).action == "shed"
+        # item 1 departs at 2: load drops to zero, admissions resume
+        assert engine.submit(Item(3, 0.5, 2.5, 4.0)).action == "placed"
+        engine.finish()
+
+
+class TestPlacementObject:
+    def test_accepted_property(self):
+        engine = engine_with(OpenServerBudget(1, on_full="queue"))
+        placed = engine.submit(Item(1, 0.9, 0.0, 5.0))
+        queued = engine.submit(Item(2, 0.9, 1.0, 9.0))
+        assert placed.accepted and queued.accepted
+        d = placed.to_dict()
+        assert d["action"] == "placed" and d["bin"] == 0 and d["new_bin"] is True
+
+    def test_rejected_not_accepted(self):
+        engine = engine_with(OpenServerBudget(1, on_full="reject"))
+        engine.submit(Item(1, 0.9, 0.0, 5.0))
+        p = engine.submit(Item(2, 0.9, 1.0, 9.0))
+        assert not p.accepted
+        assert p.bin_index is None

@@ -1,0 +1,173 @@
+"""The metrics registry, Prometheus text exposition, and the decision log."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.items import Item
+from repro.service import (
+    Counter,
+    DecisionLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StreamingEngine,
+)
+from repro.workloads import poisson_workload
+
+
+class TestPrimitives:
+    def test_counter_is_monotone(self):
+        c = Counter("x_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("x")
+        g.set(5)
+        g.dec(2)
+        g.inc()
+        assert g.value == 4
+
+    def test_histogram_cumulative_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.7, 3.0, 7.0, 99.0):
+            h.observe(v)
+        text = "\n".join(h.expose())
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="5"} 3' in text
+        assert 'lat_bucket{le="10"} 4' in text
+        assert 'lat_bucket{le="+Inf"} 5' in text
+        assert "lat_count 5" in text
+        assert h.sum == pytest.approx(110.2)
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("empty", buckets=())
+
+    def test_histogram_snapshot_roundtrip(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(9.0)
+        h2 = Histogram("lat", buckets=(1.0, 2.0))
+        h2.restore(h.snapshot())
+        assert h2.expose() == h.expose()
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram("lat", buckets=(1.0,)).restore(h.snapshot())
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a_total")
+
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs seen").inc(7)
+        reg.gauge("open_bins", "open now").set(3)
+        text = reg.expose_text()
+        assert "# HELP jobs_total jobs seen" in text
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 7" in text
+        assert "# TYPE open_bins gauge" in text
+        assert "open_bins 3" in text
+        assert text.endswith("\n")
+
+    def test_contains_and_as_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        assert "a_total" in reg and "missing" not in reg
+        d = reg.as_dict()
+        assert d["a_total"] == 1.0
+        assert d["h"] == {"sum": 0.5, "count": 1}
+
+
+class TestEngineMetrics:
+    def replay(self, n=120, rate=4.0, **kwargs):
+        items = poisson_workload(n, seed=21, mu_target=8.0, arrival_rate=rate)
+        engine = StreamingEngine.scalar(
+            make_algorithm("first-fit"),
+            capacity=items.capacity,
+            metrics=MetricsRegistry(),
+            **kwargs,
+        )
+        for it in sorted(items, key=lambda it: it.arrival):
+            engine.submit(it)
+        engine.finish()
+        return engine
+
+    def test_counters_balance(self):
+        engine = self.replay()
+        m = engine.metrics.as_dict()
+        assert m["repro_service_jobs_submitted_total"] == 120
+        assert m["repro_service_jobs_placed_total"] == 120
+        assert m["repro_service_departures_total"] == 120
+        assert (
+            m["repro_service_bins_opened_total"]
+            == m["repro_service_bins_closed_total"]
+            == engine.state.num_bins_used
+        )
+        assert m["repro_service_open_bins"] == 0
+        assert m["repro_service_load"] == 0
+        assert m["repro_service_bin_level"]["count"] == 120
+
+    def test_exposition_contains_service_families(self):
+        engine = self.replay()
+        text = engine.metrics.expose_text()
+        for family in (
+            "repro_service_jobs_submitted_total",
+            "repro_service_open_bins",
+            "repro_service_bin_level_bucket",
+            "repro_service_queue_wait_count",
+        ):
+            assert family in text
+
+    def test_engine_without_metrics_is_silent(self):
+        items = poisson_workload(50, seed=2, mu_target=6.0, arrival_rate=3.0)
+        engine = StreamingEngine.scalar(
+            make_algorithm("first-fit"), capacity=items.capacity
+        )
+        for it in sorted(items, key=lambda it: it.arrival):
+            engine.submit(it)
+        engine.finish()
+        assert engine.metrics is None
+
+
+class TestDecisionLog:
+    def test_records_and_sink(self):
+        sink = io.StringIO()
+        log = DecisionLog(sink=sink)
+        engine = StreamingEngine.scalar(
+            make_algorithm("first-fit"), decision_log=log
+        )
+        engine.submit(Item(1, 0.4, 0.0, 2.0))
+        engine.submit(Item(2, 0.5, 1.0, 3.0))
+        engine.finish()
+        # submit x2 + depart x2
+        assert log.total == 4
+        assert [r["op"] for r in log.records] == [
+            "submit", "submit", "depart", "depart",
+        ]
+        lines = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert len(lines) == 4
+        assert lines[0]["action"] == "placed" and lines[0]["new_bin"] is True
+        assert lines[2]["action"] == "departed"
+
+    def test_in_memory_tail_is_bounded(self):
+        log = DecisionLog(keep=5)
+        for i in range(12):
+            log.log(op="submit", item=i)
+        assert log.total == 12
+        assert len(log.records) == 5
+        assert log.tail(2) == [{"op": "submit", "item": 10},
+                               {"op": "submit", "item": 11}]

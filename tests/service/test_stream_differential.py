@@ -1,0 +1,196 @@
+"""The service tentpole's core guarantee: stream path ≡ batch path.
+
+Replaying any trace through :class:`StreamingEngine.submit`/:meth:`finish`
+must be **bit-identical** to the batch engines — same item→bin map, same
+float-exact usage time, same bin count.  This is pinned on the frozen
+corpora (the seven scalar regression traces and all twelve multidim
+instances) for every registered policy, on the default adaptively
+indexed path, the ``indexed=False`` reference path, and with the
+first-fit tree forced on from bin one.
+
+Jobs are submitted in arrival order (ties kept in instance order —
+``sorted`` is stable), which is the only order a time-monotone stream
+can deliver; the equality below proves the engine's departure-before-
+arrival tie handling matches the batch driver's canonical event sort.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.core.state as state_mod
+from repro.algorithms import ALGORITHM_REGISTRY, make_algorithm
+from repro.core.packing import run_packing
+from repro.multidim import (
+    VECTOR_REGISTRY,
+    VectorItem,
+    VectorItemList,
+    make_vector_algorithm,
+    run_vector_packing,
+)
+from repro.service import StreamingEngine
+from repro.workloads import poisson_workload
+from repro.workloads.traces import load_trace
+
+DATA = Path(__file__).parent.parent / "data"
+MULTIDIM = sorted((DATA / "multidim").glob("*.json"))
+
+with open(DATA / "expected_costs.json") as f:
+    SCALAR_TRACES = sorted(json.load(f))
+
+ALL_SCALAR = sorted(ALGORITHM_REGISTRY)
+ALL_VECTOR = sorted(VECTOR_REGISTRY)
+
+
+def load_vector_corpus(path):
+    with open(path) as f:
+        data = json.load(f)
+    return VectorItemList(
+        [
+            VectorItem(d["item_id"], tuple(d["sizes"]), d["arrival"], d["departure"])
+            for d in data["items"]
+        ],
+        capacity=tuple(data["capacity"]),
+    )
+
+
+def stream_scalar(items, algo_name, indexed):
+    engine = StreamingEngine.scalar(
+        make_algorithm(algo_name), capacity=items.capacity, indexed=indexed
+    )
+    for it in sorted(items, key=lambda it: it.arrival):
+        placement = engine.submit(it)
+        assert placement.action == "placed"
+    return engine.finish()
+
+
+def stream_vector(items, algo_name, indexed):
+    engine = StreamingEngine.vector(
+        make_vector_algorithm(algo_name), capacity=items.capacity, indexed=indexed
+    )
+    for it in sorted(items, key=lambda it: it.arrival):
+        assert engine.submit(it).action == "placed"
+    return engine.finish()
+
+
+def assert_bit_identical(stream, batch):
+    assert stream.item_bin == batch.item_bin
+    assert stream.total_usage_time == batch.total_usage_time  # exact, no approx
+    assert stream.num_bins == batch.num_bins
+    assert stream.algorithm_name == batch.algorithm_name
+
+
+@pytest.fixture
+def forced_tree(monkeypatch):
+    """Build and query the first-fit tree from the very first bin."""
+    monkeypatch.setattr(state_mod, "INDEX_THRESHOLD", 1)
+
+
+@pytest.mark.parametrize("trace_name", SCALAR_TRACES)
+class TestScalarCorpus:
+    @pytest.fixture(scope="class")
+    def instances(self):
+        return {name: load_trace(DATA / f"{name}.json") for name in SCALAR_TRACES}
+
+    @pytest.mark.parametrize("algo_name", ALL_SCALAR)
+    def test_default_path(self, trace_name, algo_name, instances):
+        items = instances[trace_name]
+        batch = run_packing(
+            items, make_algorithm(algo_name), capacity=items.capacity
+        )
+        assert_bit_identical(stream_scalar(items, algo_name, True), batch)
+
+    @pytest.mark.parametrize("algo_name", ALL_SCALAR)
+    def test_reference_path(self, trace_name, algo_name, instances):
+        items = instances[trace_name]
+        batch = run_packing(
+            items, make_algorithm(algo_name), capacity=items.capacity, indexed=False
+        )
+        assert_bit_identical(stream_scalar(items, algo_name, False), batch)
+
+    @pytest.mark.parametrize("algo_name", ALL_SCALAR)
+    def test_forced_tree(self, trace_name, algo_name, instances, forced_tree):
+        items = instances[trace_name]
+        batch = run_packing(
+            items, make_algorithm(algo_name), capacity=items.capacity
+        )
+        assert_bit_identical(stream_scalar(items, algo_name, True), batch)
+
+
+@pytest.mark.parametrize("trace", MULTIDIM, ids=lambda p: p.stem)
+class TestVectorCorpus:
+    @pytest.mark.parametrize("algo_name", ALL_VECTOR)
+    def test_default_path(self, trace, algo_name):
+        items = load_vector_corpus(trace)
+        batch = run_vector_packing(items, make_vector_algorithm(algo_name))
+        assert_bit_identical(stream_vector(items, algo_name, True), batch)
+
+    @pytest.mark.parametrize("algo_name", ALL_VECTOR)
+    def test_reference_path(self, trace, algo_name):
+        items = load_vector_corpus(trace)
+        batch = run_vector_packing(
+            items, make_vector_algorithm(algo_name), indexed=False
+        )
+        assert_bit_identical(stream_vector(items, algo_name, False), batch)
+
+    @pytest.mark.parametrize("algo_name", ALL_VECTOR)
+    def test_forced_tree(self, trace, algo_name, forced_tree):
+        items = load_vector_corpus(trace)
+        batch = run_vector_packing(items, make_vector_algorithm(algo_name))
+        assert_bit_identical(stream_vector(items, algo_name, True), batch)
+
+
+class TestHighLoadActivation:
+    """The tree activates *mid-stream* and the identity still holds."""
+
+    @pytest.mark.parametrize("algo_name", ALL_SCALAR)
+    def test_scalar_tree_activates_mid_stream(self, algo_name):
+        # a few hundred concurrently open bins crosses INDEX_THRESHOLD
+        items = poisson_workload(800, seed=23, mu_target=8.0, arrival_rate=300.0)
+        batch = run_packing(items, make_algorithm(algo_name), capacity=items.capacity)
+        assert_bit_identical(stream_scalar(items, algo_name, True), batch)
+
+
+class TestPushApiShapes:
+    """Light structural checks on the push API itself."""
+
+    def test_out_of_order_arrival_rejected(self):
+        from repro.core.items import Item
+
+        engine = StreamingEngine.scalar(make_algorithm("first-fit"))
+        engine.submit(Item(1, 0.3, 5.0, 9.0))
+        with pytest.raises(ValueError, match="time-ordered"):
+            engine.submit(Item(2, 0.3, 4.0, 9.0))
+
+    def test_explicit_departure_path(self):
+        from repro.core.items import Item
+
+        engine = StreamingEngine.scalar(make_algorithm("first-fit"))
+        engine.submit(Item(1, 0.4, 0.0, 10.0), schedule_departure=False)
+        engine.submit(Item(2, 0.4, 1.0, 4.0), schedule_departure=False)
+        assert engine.state.num_open == 1
+        engine.depart(2, now=4.0)
+        engine.depart(1)  # defaults to the recorded departure time
+        result = engine.finish()
+        assert result.num_bins == 1
+        assert engine.state.num_open == 0
+
+    def test_depart_unknown_item_raises(self):
+        engine = StreamingEngine.scalar(make_algorithm("first-fit"))
+        with pytest.raises(KeyError):
+            engine.depart(42)
+
+    def test_advance_applies_scheduled_departures(self):
+        from repro.core.items import Item
+
+        engine = StreamingEngine.scalar(make_algorithm("first-fit"))
+        engine.submit(Item(1, 0.4, 0.0, 2.0))
+        engine.submit(Item(2, 0.4, 1.0, 3.0))
+        assert engine.advance(2.5) == 1
+        assert engine.clock == 2.5
+        assert engine.advance(10.0) == 1
+        with pytest.raises(ValueError):
+            engine.advance(5.0)  # the clock never moves backwards

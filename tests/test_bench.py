@@ -15,6 +15,8 @@ import pytest
 from repro.bench import (
     ALGORITHMS,
     QUICK_GRID,
+    SERVICE_GRID,
+    SERVICE_QUICK_GRID,
     THROUGHPUT_GRID,
     VECTOR_ALGORITHMS,
     VECTOR_GRID,
@@ -37,10 +39,17 @@ def test_quick_bench_structure(tmp_path):
     for row in report.throughput:
         assert row["events_per_sec"] > 0
         assert row["path"] in ("default", "reference")
+    # two replay modes per grid cell plus the one loopback cell
+    assert len(report.service) == 2 * len(SERVICE_QUICK_GRID) + 1
+    modes = {r["mode"] for r in report.service}
+    assert modes == {"stream", "stream+metrics", "server-loopback"}
+    for row in report.service:
+        assert row["events_per_sec"] > 0
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["meta"]["seed"] == 99
     assert len(payload["throughput"]) == len(report.throughput)
+    assert len(payload["service"]) == len(report.service)
 
 
 def test_quick_bench_includes_vector_cells():
@@ -65,6 +74,7 @@ def test_full_bench_baseline(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     report = run_bench(quick=False, repeats=3, json_path=str(out))
     assert len(report.throughput) == expected_rows(THROUGHPUT_GRID, VECTOR_GRID)
+    assert len(report.service) == 2 * len(SERVICE_GRID) + 1
     assert report.montecarlo["identical"] is True
     # the acceptance floor: first-fit on the 2000-job instance must beat
     # the seed engine's ~238k events/sec by at least 2x

@@ -19,6 +19,88 @@ class TestParser:
             build_parser().parse_args(["pack", "x.json", "--algorithm", "nope"])
 
 
+class TestIntOptionValidation:
+    """Integer options fail fast with a clear argparse error (exit 2)."""
+
+    def test_workers_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            main(["run", "X1", "--workers", "0"])
+        assert e.value.code == 2
+        assert "one worker per CPU" in capsys.readouterr().err
+
+    def test_workers_below_minus_one_rejected(self):
+        with pytest.raises(SystemExit) as e:
+            main(["run", "X1", "--workers", "-3"])
+        assert e.value.code == 2
+
+    def test_workers_minus_one_parses(self):
+        args = build_parser().parse_args(["run", "X1", "--workers", "-1"])
+        assert args.workers == -1
+
+    def test_workers_positive_parses(self):
+        args = build_parser().parse_args(["run", "X1", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_generate_n_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            main(["generate", "poisson", "--n", "0", "--out", "x.json"])
+        assert e.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_bench_repeats_zero_rejected(self):
+        with pytest.raises(SystemExit) as e:
+            main(["bench", "--repeats", "0"])
+        assert e.value.code == 2
+
+
+class TestGeneratePackRoundTrip:
+    """`repro generate` → `repro pack` through a tmp dir, with fidelity."""
+
+    def test_saved_trace_is_faithful_to_the_generator(self, tmp_path):
+        from repro.workloads import load_trace, poisson_workload
+
+        out = str(tmp_path / "trace.json")
+        assert main(["generate", "poisson", "--n", "40", "--seed", "9",
+                     "--mu", "6", "--rate", "3", "--out", out]) == 0
+        direct = poisson_workload(40, seed=9, mu_target=6.0, arrival_rate=3.0)
+        loaded = load_trace(out)
+        assert len(loaded) == len(direct)
+        assert loaded.capacity == direct.capacity
+        for a, b in zip(loaded, direct):
+            assert (a.item_id, a.size, a.arrival, a.departure) == (
+                b.item_id, b.size, b.arrival, b.departure
+            )
+
+    def test_pack_reports_generator_cost(self, tmp_path, capsys):
+        from repro.algorithms import make_algorithm
+        from repro.core.packing import run_packing
+        from repro.workloads import poisson_workload
+
+        out = str(tmp_path / "trace.json")
+        main(["generate", "poisson", "--n", "40", "--seed", "9",
+              "--mu", "6", "--rate", "3", "--out", out])
+        capsys.readouterr()
+        assert main(["pack", out, "--algorithm", "best-fit"]) == 0
+        printed = capsys.readouterr().out
+        direct = run_packing(
+            poisson_workload(40, seed=9, mu_target=6.0, arrival_rate=3.0),
+            make_algorithm("best-fit"),
+        )
+        assert f"{direct.total_usage_time:.4f}" in printed
+        assert "best-fit" in printed
+
+    def test_csv_roundtrip_and_render_smoke(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.csv")
+        assert main(["generate", "gaming", "--n", "12", "--seed", "2",
+                     "--out", out]) == 0
+        assert main(["pack", out, "--render"]) == 0
+        assert "bin " in capsys.readouterr().out
+
+    def test_pack_missing_trace_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["pack", str(tmp_path / "nope.json")])
+
+
 class TestCommands:
     def test_list_algorithms(self, capsys):
         assert main(["list-algorithms"]) == 0
