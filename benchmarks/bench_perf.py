@@ -62,6 +62,30 @@ def test_streaming_replay_throughput(benchmark):
     assert result.num_bins > 0
 
 
+@pytest.mark.parametrize("fsync", ["never", "interval"])
+def test_streaming_replay_with_wal_throughput(benchmark, fsync, tmp_path_factory):
+    """The same replay with the write-ahead log on the request path."""
+    from repro.service import DurableEngine, StreamingEngine, WriteAheadLog
+
+    ordered = sorted(INSTANCE, key=lambda it: it.arrival)
+
+    def run():
+        directory = str(tmp_path_factory.mktemp(f"wal-{fsync}"))
+        engine = DurableEngine(
+            StreamingEngine.scalar(make_algorithm("first-fit")),
+            WriteAheadLog(directory, fsync=fsync),
+            auto_checkpoint=False,
+        )
+        for it in ordered:
+            engine.submit(it)
+        result = engine.finish()
+        engine.close()
+        return result
+
+    result = benchmark(run)
+    assert result.num_bins > 0
+
+
 def test_opt_total_small_instance(benchmark):
     """Exact OPT_total on a 60-job instance (event-interval B&B)."""
     opt = benchmark(lambda: opt_total(SMALL))

@@ -179,7 +179,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--log", default=None,
         help="append the per-decision JSON-lines trace to this file",
     )
+    p_serve.add_argument(
+        "--wal-dir", default=None,
+        help="durability directory: write-ahead log + checkpoints; an "
+        "existing directory is recovered from on startup",
+    )
+    p_serve.add_argument(
+        "--fsync", default="interval", choices=["never", "interval", "always"],
+        help="WAL fsync policy (default: interval)",
+    )
+    p_serve.add_argument(
+        "--fsync-interval", type=_positive_int, default=512,
+        help="records between fsyncs for --fsync interval (default 512)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-interval", type=_positive_int, default=1000,
+        help="WAL records between automatic checkpoints (default 1000)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-bytes", type=_positive_int, default=None,
+        help="also checkpoint after this many WAL bytes",
+    )
+    p_serve.add_argument(
+        "--segment-bytes", type=_positive_int, default=None,
+        help="WAL segment rotation threshold (default 4 MiB)",
+    )
+    p_serve.add_argument(
+        "--fault-plan", default=None,
+        help="JSON fault-injection plan (chaos testing; see docs/OPERATIONS.md)",
+    )
+    p_serve.add_argument(
+        "--max-line-bytes", type=_positive_int, default=None,
+        help="max request line length (default 1 MiB)",
+    )
+    p_serve.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="close connections idle for this many seconds",
+    )
     p_serve.add_argument("--quiet", action="store_true")
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="inspect/recover a --wal-dir: restore the latest checkpoint, "
+        "replay the WAL tail, report the recovered state",
+    )
+    p_recover.add_argument("wal_dir", help="the service's --wal-dir")
+    p_recover.add_argument(
+        "--algorithm", default="first-fit", choices=sorted(ALGORITHM_REGISTRY),
+        help="policy for a cold replay when no checkpoint exists",
+    )
+    p_recover.add_argument("--capacity", type=float, default=1.0)
+    p_recover.add_argument(
+        "--checkpoint", action="store_true",
+        help="cut a fresh checkpoint of the recovered state (and prune the WAL)",
+    )
+    p_recover.add_argument(
+        "--json", default=None, help="write the recovery report here"
+    )
 
     p_load = sub.add_parser(
         "loadgen",
@@ -206,6 +262,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--shutdown", action="store_true",
         help="send a shutdown op after draining (stops the service)",
+    )
+    p_load.add_argument(
+        "--retries", type=int, default=0,
+        help="retry lost requests up to N times (exponential backoff + "
+        "jitter; submits carry request ids, so retries are exactly-once)",
+    )
+    p_load.add_argument(
+        "--retry-seed", type=int, default=0,
+        help="seed for the retry jitter and the request-id namespace",
     )
     p_load.add_argument(
         "--json", default=None, help="write the client-side report here"
@@ -329,7 +394,17 @@ def cmd_verify(trace: str) -> int:
 def cmd_serve(args) -> int:
     import asyncio
 
-    from .service import DecisionLog, build_engine, make_admission_policy, serve
+    from .service import (
+        DecisionLog,
+        FaultInjector,
+        FaultPlan,
+        KillPoint,
+        MetricsRegistry,
+        build_engine,
+        make_admission_policy,
+        recover,
+        serve,
+    )
 
     try:
         admission = make_admission_policy(
@@ -338,33 +413,128 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    injector = None
+    if args.fault_plan:
+        try:
+            injector = FaultInjector(FaultPlan.from_file(args.fault_plan))
+        except (OSError, ValueError) as exc:
+            print(f"error: bad fault plan: {exc}", file=sys.stderr)
+            return 2
     sink = open(args.log, "a") if args.log else None
     try:
-        engine = build_engine(
-            algorithm=args.algorithm,
-            capacity=args.capacity,
-            indexed=not args.reference,
-            admission=admission,
-            decision_log=DecisionLog(sink) if sink is not None else None,
-        )
-        return asyncio.run(
-            serve(
-                engine,
-                host=args.host,
-                port=args.port,
-                quiet=args.quiet,
-                port_file=args.port_file,
+        decision_log = DecisionLog(sink) if sink is not None else None
+        if args.wal_dir:
+            engine, report = recover(
+                args.wal_dir,
+                engine_builder=lambda: build_engine(
+                    algorithm=args.algorithm,
+                    capacity=args.capacity,
+                    indexed=not args.reference,
+                    admission=admission,
+                    decision_log=decision_log,
+                ),
+                admission=admission,
+                metrics=MetricsRegistry(),
+                decision_log=decision_log,
+                fsync=args.fsync,
+                fsync_every=args.fsync_interval,
+                segment_bytes=args.segment_bytes,
+                checkpoint_every=args.checkpoint_interval,
+                checkpoint_bytes=args.checkpoint_bytes,
+                injector=injector,
             )
-        )
+            if not args.quiet:
+                print(report.render())
+        else:
+            engine = build_engine(
+                algorithm=args.algorithm,
+                capacity=args.capacity,
+                indexed=not args.reference,
+                admission=admission,
+                decision_log=decision_log,
+            )
+        service_kwargs = {}
+        if args.max_line_bytes is not None:
+            service_kwargs["max_line_bytes"] = args.max_line_bytes
+        if args.idle_timeout is not None:
+            service_kwargs["idle_timeout"] = args.idle_timeout
+        try:
+            return asyncio.run(
+                serve(
+                    engine,
+                    host=args.host,
+                    port=args.port,
+                    quiet=args.quiet,
+                    port_file=args.port_file,
+                    injector=injector,
+                    **service_kwargs,
+                )
+            )
+        except KillPoint as exc:
+            # a fault-plan kill simulates an abrupt crash: die here,
+            # skipping every cleanup path (no WAL close, no checkpoint)
+            # so recovery faces exactly what kill -9 would leave behind
+            import os
+
+            print(f"fault injection: {exc}", file=sys.stderr)
+            sys.stderr.flush()
+            os._exit(70)
+        finally:
+            if args.wal_dir:
+                engine.close()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if sink is not None:
             sink.close()
 
 
+def cmd_recover(args) -> int:
+    import json
+
+    from .service import MetricsRegistry, StreamingEngine, recover
+
+    try:
+        engine, report = recover(
+            args.wal_dir,
+            engine_builder=lambda: StreamingEngine.scalar(
+                make_algorithm(args.algorithm),
+                capacity=args.capacity,
+                metrics=MetricsRegistry(),
+            ),
+            metrics=MetricsRegistry(),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    stats = engine.stats()
+    print(
+        f"recovered state: clock {stats['clock']:g}, "
+        f"{stats['open_bins']} open / {stats['bins_used']} used servers, "
+        f"{stats['placed']} placed, {stats['active']} active, "
+        f"queue depth {stats['queue_depth']}, policy {stats['algorithm']}"
+    )
+    if args.checkpoint:
+        path = engine.checkpoint_now()
+        print(f"checkpointed recovered state to {path}")
+    engine.close()
+    if args.json:
+        payload = report.to_json()
+        payload["stats"] = {
+            k: v for k, v in stats.items() if k != "admission"
+        }
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True, default=str)
+            f.write("\n")
+    return 0
+
+
 def cmd_loadgen(args) -> int:
     import json
 
-    from .service import loadgen
+    from .service import RetryPolicy, loadgen
 
     if args.trace:
         items = load_trace(args.trace)
@@ -381,6 +551,7 @@ def cmd_loadgen(args) -> int:
             port=args.port,
             speed=args.speed,
             shutdown=args.shutdown,
+            retry=RetryPolicy(retries=args.retries, seed=args.retry_seed),
         )
     except (ConnectionError, OSError) as exc:
         print(
@@ -433,6 +604,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "recover":
+        return cmd_recover(args)
     if args.command == "loadgen":
         return cmd_loadgen(args)
     if args.command == "inspect":

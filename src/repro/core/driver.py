@@ -87,7 +87,19 @@ class EventStepper:
     batch loop is the throughput baseline and must not pay a method
     call per event — but both are built on :func:`bind_policy`, and any
     behavioural edit to one must land in the other.
+
+    ``fault_hook`` is the chaos-testing seam: when set (by the fault
+    injection harness, :mod:`repro.service.faults`), it is called with
+    a point name at the four named kill-points of the step —
+    ``arrive.pre`` / ``arrive.post`` / ``depart.pre`` / ``depart.post``
+    — so crash-recovery tests can kill the engine *inside* an event,
+    between the WAL append and the state mutation, or between the
+    mutation and the acknowledgement.  ``None`` (the default) costs one
+    attribute test per step; the batch loop is untouched.
     """
+
+    #: set to a callable(name) to arm the named kill-points
+    fault_hook = None
 
     def __init__(
         self,
@@ -108,6 +120,8 @@ class EventStepper:
 
     def arrive(self, time: float, seq: int, item):
         """Apply one arrival; returns the bin the item was placed in."""
+        if self.fault_hook is not None:
+            self.fault_hook("arrive.pre")
         state = self.state
         state.now = time
         target = self._choose_bin(state, item if self.clairvoyant else item.size)
@@ -128,10 +142,14 @@ class EventStepper:
             event = Event(time, EventKind.ARRIVE, seq, item)
             for obs in self.observers:
                 obs(event, state)
+        if self.fault_hook is not None:
+            self.fault_hook("arrive.post")
         return placed
 
     def depart(self, time: float, seq: int, item):
         """Apply one departure; returns the bin the item left (may be closed)."""
+        if self.fault_hook is not None:
+            self.fault_hook("depart.pre")
         state = self.state
         state.now = time
         source = state.depart(item)
@@ -141,6 +159,8 @@ class EventStepper:
             event = Event(time, EventKind.DEPART, seq, item)
             for obs in self.observers:
                 obs(event, state)
+        if self.fault_hook is not None:
+            self.fault_hook("depart.post")
         return source
 
     def finish(self) -> None:

@@ -6,8 +6,11 @@ batch engines on any replayed trace, checkpoint/restore of the full
 packing state, admission control with per-policy accounting, a metrics
 registry with Prometheus text exposition, a per-decision trace log, and
 an asyncio JSON-lines server with a matching load generator (``repro
-serve`` / ``repro loadgen``).  See the "Service layer" section of
-``docs/ARCHITECTURE.md``.
+serve`` / ``repro loadgen``).  On top of that sits the fault-tolerance
+layer: a CRC-checksummed write-ahead log (:mod:`.wal`), crash recovery
+by checkpoint + replay (:mod:`.recovery`), and a deterministic fault
+-injection harness (:mod:`.faults`) — see ``docs/OPERATIONS.md`` for
+the operator's view.
 """
 
 from .admission import (
@@ -22,7 +25,8 @@ from .admission import (
     make_admission_policy,
 )
 from .engine import Placement, StreamingEngine
-from .loadgen import LoadgenReport, loadgen, run_loadgen
+from .faults import FaultInjected, FaultInjector, FaultPlan, KillPoint
+from .loadgen import LoadgenReport, RetryPolicy, loadgen, run_loadgen
 from .metrics import (
     Counter,
     DecisionLog,
@@ -30,8 +34,23 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .server import AllocationService, build_engine, serve
-from .snapshot import dumps, loads, restore_engine, snapshot_engine
+from .recovery import (
+    DedupWindow,
+    DurableEngine,
+    RecoveryReport,
+    latest_checkpoint,
+    recover,
+)
+from .server import AllocationService, ProtocolError, build_engine, serve
+from .snapshot import (
+    dumps,
+    loads,
+    read_checkpoint,
+    restore_engine,
+    snapshot_engine,
+    write_checkpoint,
+)
+from .wal import WalCorruptionError, WalError, WriteAheadLog, replay_wal
 
 __all__ = [
     "ADMIT",
@@ -43,6 +62,12 @@ __all__ = [
     "AllocationService",
     "Counter",
     "DecisionLog",
+    "DedupWindow",
+    "DurableEngine",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "KillPoint",
     "Gauge",
     "Histogram",
     "LoadShedding",
@@ -50,14 +75,25 @@ __all__ = [
     "MetricsRegistry",
     "OpenServerBudget",
     "Placement",
+    "ProtocolError",
+    "RecoveryReport",
+    "RetryPolicy",
     "StreamingEngine",
+    "WalCorruptionError",
+    "WalError",
+    "WriteAheadLog",
     "build_engine",
     "dumps",
+    "latest_checkpoint",
     "loadgen",
     "loads",
     "make_admission_policy",
+    "read_checkpoint",
+    "recover",
+    "replay_wal",
     "restore_engine",
     "run_loadgen",
     "serve",
     "snapshot_engine",
+    "write_checkpoint",
 ]

@@ -79,6 +79,17 @@ class Placement:
             "time": self.time,
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Placement":
+        """Inverse of :meth:`to_dict` (used by the idempotency cache)."""
+        return cls(
+            item_id=doc["item_id"],
+            action=doc["action"],
+            bin_index=doc["bin"],
+            new_bin=doc["new_bin"],
+            time=doc["time"],
+        )
+
 
 class StreamingEngine:
     """Push-based online packing over the unified driver state machinery.
@@ -271,6 +282,16 @@ class StreamingEngine:
             raise ValueError(
                 f"item {item.item_id} arrives at {arrival}, before the service "
                 f"clock {self.clock} — the stream must be time-ordered"
+            )
+        # ids are forever: reusing one would corrupt the item→bin map and
+        # the scheduled-departure bookkeeping, so it is refused *before*
+        # any state is touched (the reply is a clean protocol error)
+        if item.item_id in self.state.item_bin or any(
+            it.item_id == item.item_id for _, _, it in self._queue
+        ):
+            raise ValueError(
+                f"item {item.item_id} was already submitted — job ids must be "
+                f"unique for the life of the service"
             )
         self._drain_until(arrival)
         self._set_clock(arrival)

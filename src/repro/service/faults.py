@@ -1,0 +1,177 @@
+"""Deterministic fault injection for the allocation service.
+
+Crash recovery and protocol hardening are only trustworthy if failure
+is *reproducible*: a bug found by a random kill must replay from its
+seed.  A :class:`FaultPlan` is a small declarative description of what
+goes wrong — kill-points, I/O errors, torn WAL writes, clock skew,
+delayed or dropped connections — and a :class:`FaultInjector` executes
+it deterministically (one seeded ``random.Random``, explicit hit
+counters).  Plans load from JSON (``repro serve --fault-plan plan.json``)
+or are built inline by the chaos tests.
+
+Kill semantics: :class:`KillPoint` subclasses ``BaseException`` on
+purpose — the service's protocol boundary catches ``Exception`` so a
+malformed request can never crash the server, but an injected kill
+*must* tear the process down through those handlers, exactly like
+``kill -9`` would.
+
+Plan format (all fields optional)::
+
+    {
+      "seed": 7,
+      "kill": {"wal.write": 120},      // die at the 120th hit of a point
+      "torn_tail": true,               // that kill tears the in-flight record
+      "io_error_rate": 0.01,           // P[OSError] per WAL write/fsync
+      "clock_skew": 0.5,               // +/- uniform skew on client times
+      "delay_ms": 5.0,                 // max server-side reply delay
+      "drop_rate": 0.02                // P[close connection before reply]
+    }
+
+Named points currently wired: ``wal.write`` / ``wal.fsync`` (inside
+:class:`~repro.service.wal.WriteAheadLog`), ``wal.appended`` /
+``applied`` / ``checkpoint`` (inside the durable engine), and
+``arrive.pre`` / ``arrive.post`` / ``depart.pre`` / ``depart.post``
+(inside :class:`~repro.core.driver.EventStepper` — mid-step kills).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+import random
+
+__all__ = ["FaultInjected", "KillPoint", "FaultPlan", "FaultInjector"]
+
+
+class FaultInjected(Exception):
+    """An injected recoverable fault (I/O error stand-in base)."""
+
+
+class KillPoint(BaseException):
+    """An injected crash.  ``BaseException`` so no handler 'survives' it."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seeded description of the injected failure mode."""
+
+    seed: int = 0
+    #: point name -> 1-based hit count at which the process dies
+    kill: dict[str, int] = field(default_factory=dict)
+    #: when the kill lands on ``wal.write``, tear the in-flight record
+    torn_tail: bool = False
+    #: probability of an injected ``OSError`` per WAL write/fsync
+    io_error_rate: float = 0.0
+    #: max absolute uniform skew added to client-supplied times
+    clock_skew: float = 0.0
+    #: max server-side delay before each reply, milliseconds
+    delay_ms: float = 0.0
+    #: probability the server drops the connection instead of replying
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, rate in (
+            ("io_error_rate", self.io_error_rate),
+            ("drop_rate", self.drop_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        for name, value in (
+            ("clock_skew", self.clock_skew),
+            ("delay_ms", self.delay_ms),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        for point, hit in self.kill.items():
+            if int(hit) < 1:
+                raise ValueError(f"kill[{point!r}] must be >= 1, got {hit}")
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "FaultPlan":
+        known = {
+            "seed", "kill", "torn_tail", "io_error_rate",
+            "clock_skew", "delay_ms", "drop_rate",
+        }
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown fault-plan fields: {', '.join(unknown)}")
+        kill = {str(k): int(v) for k, v in dict(doc.get("kill", {})).items()}
+        return cls(
+            seed=int(doc.get("seed", 0)),
+            kill=kill,
+            torn_tail=bool(doc.get("torn_tail", False)),
+            io_error_rate=float(doc.get("io_error_rate", 0.0)),
+            clock_skew=float(doc.get("clock_skew", 0.0)),
+            delay_ms=float(doc.get("delay_ms", 0.0)),
+            drop_rate=float(doc.get("drop_rate", 0.0)),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path) as f:
+            doc = json.load(f)
+        if not isinstance(doc, dict):
+            raise ValueError(f"fault plan {path} must be a JSON object")
+        return cls.from_dict(doc)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`; all decisions come from one seed.
+
+    The injector is shared across the layers it haunts: the WAL passes
+    it as its ``io_hook``, the durable engine and the event stepper call
+    :meth:`point`, the server asks :meth:`reply_fate` before each reply
+    and :meth:`skew` on each client-supplied time.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.hits: dict[str, int] = {}
+        self.injected_io_errors = 0
+        self.kills = 0
+
+    # -- kill-points ----------------------------------------------------------
+    def point(self, name: str) -> None:
+        """Register a hit at a named point; dies when the plan says so."""
+        count = self.hits.get(name, 0) + 1
+        self.hits[name] = count
+        if self.plan.kill.get(name) == count:
+            self.kills += 1
+            raise KillPoint(f"injected kill at {name} (hit {count})")
+
+    # -- WAL io_hook contract -------------------------------------------------
+    def __call__(self, op: str, seq: int) -> Optional[str]:
+        if op == "torn":
+            # the WAL wrote the partial record; now the process dies
+            self.kills += 1
+            raise KillPoint(f"injected kill after torn write of record {seq}")
+        if self.plan.io_error_rate and self.rng.random() < self.plan.io_error_rate:
+            self.injected_io_errors += 1
+            raise OSError(f"injected I/O error on wal {op} (record {seq})")
+        name = f"wal.{op}"
+        count = self.hits.get(name, 0) + 1
+        self.hits[name] = count
+        if self.plan.kill.get(name) == count:
+            if op == "write" and self.plan.torn_tail:
+                return "tear"  # the WAL half-writes, then calls back with "torn"
+            self.kills += 1
+            raise KillPoint(f"injected kill at {name} (hit {count})")
+        return None
+
+    # -- connection faults ----------------------------------------------------
+    def reply_fate(self) -> tuple[str, float]:
+        """What happens to the next reply: ``("drop"|"ok", delay_seconds)``."""
+        delay = 0.0
+        if self.plan.delay_ms:
+            delay = self.rng.uniform(0.0, self.plan.delay_ms) / 1e3
+        if self.plan.drop_rate and self.rng.random() < self.plan.drop_rate:
+            return "drop", delay
+        return "ok", delay
+
+    def skew(self, t: float) -> float:
+        """A client clock gone wrong: uniform skew on a submitted time."""
+        if not self.plan.clock_skew:
+            return t
+        return t + self.rng.uniform(-self.plan.clock_skew, self.plan.clock_skew)

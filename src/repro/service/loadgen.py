@@ -17,19 +17,47 @@ Two driving modes:
 Departures ride on the server's own scheduler (the engine applies each
 job's departure when the clock passes it), so the generator only sends
 arrivals plus one final ``drain``.
+
+Retry policy (``retries > 0``): every submit carries a client-generated
+``request_id``, and a timed-out or dropped request is resent — after an
+exponential backoff with full jitter (the standard contention-avoiding
+schedule), over a fresh connection if the old one died.  The server's
+idempotency window makes the retried submit **exactly-once**: a job
+whose first attempt was applied but whose reply was lost is not applied
+again (pinned by ``tests/service/test_faults.py`` under injected reply
+drops).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.items import ItemList
 
-__all__ = ["LoadgenReport", "run_loadgen", "loadgen"]
+__all__ = ["LoadgenReport", "RetryPolicy", "run_loadgen", "loadgen"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attempt ``k`` (0-based retry) sleeps ``uniform(0, base * 2**k)``
+    seconds, capped at ``max_backoff``.  ``seed`` makes a run's jitter
+    reproducible.
+    """
+
+    retries: int = 0
+    base: float = 0.05
+    max_backoff: float = 2.0
+    seed: int = 0
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        return rng.uniform(0.0, min(self.max_backoff, self.base * (2 ** attempt)))
 
 
 @dataclass
@@ -42,6 +70,8 @@ class LoadgenReport:
     latencies_ms: list[float] = field(default_factory=list)
     drain: dict = field(default_factory=dict)
     errors: int = 0
+    retries: int = 0
+    reconnects: int = 0
 
     @property
     def requests_per_sec(self) -> float:
@@ -67,6 +97,10 @@ class LoadgenReport:
             f"p90={self.latency_percentile(90):.3f} "
             f"p99={self.latency_percentile(99):.3f}",
         ]
+        if self.retries or self.reconnects:
+            lines.append(
+                f"retries: {self.retries} ({self.reconnects} reconnects)"
+            )
         if self.drain:
             lines.append(
                 f"final packing: {self.drain.get('bins')} servers, "
@@ -89,7 +123,49 @@ class LoadgenReport:
             },
             "drain": self.drain,
             "errors": self.errors,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
         }
+
+
+class _Connection:
+    """One reconnectable JSON-lines client connection."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def ensure(self) -> None:
+        if self.writer is None or self.writer.is_closing():
+            self.reader, self.writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout
+            )
+
+    async def call(self, payload: dict) -> dict:
+        await self.ensure()
+        assert self.reader is not None and self.writer is not None
+        self.writer.write((json.dumps(payload) + "\n").encode())
+        await self.writer.drain()
+        line = await asyncio.wait_for(self.reader.readline(), self.timeout)
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    async def drop(self) -> None:
+        """Abandon the current connection (it is presumed broken)."""
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self.reader = self.writer = None
+
+    async def close(self) -> None:
+        await self.drop()
 
 
 async def run_loadgen(
@@ -100,46 +176,65 @@ async def run_loadgen(
     drain: bool = True,
     shutdown: bool = False,
     timeout: float = 30.0,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadgenReport:
     """Replay ``items`` as live traffic; returns the client-side report.
 
     Jobs are submitted in arrival order (the online order).  ``speed``
-    selects the driving mode — see the module docstring.
+    selects the driving mode — see the module docstring.  With a
+    :class:`RetryPolicy`, submits carry request ids and lost replies are
+    retried exactly-once.
     """
-    reader, writer = await asyncio.wait_for(
-        asyncio.open_connection(host, port), timeout
-    )
+    policy = retry if retry is not None else RetryPolicy()
+    rng = random.Random(policy.seed)
+    conn = _Connection(host, port, timeout)
+    await conn.ensure()
     report = LoadgenReport()
 
-    async def call(payload: dict) -> dict:
-        writer.write((json.dumps(payload) + "\n").encode())
-        await writer.drain()
-        line = await asyncio.wait_for(reader.readline(), timeout)
-        if not line:
-            raise ConnectionError("service closed the connection")
-        return json.loads(line)
+    async def call(payload: dict, idempotent: bool) -> dict:
+        """One request, retried per the policy when it is safe to."""
+        attempts = policy.retries + 1 if idempotent else 1
+        for attempt in range(attempts):
+            try:
+                return await conn.call(payload)
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                if attempt + 1 >= attempts:
+                    raise
+                report.retries += 1
+                await conn.drop()
+                report.reconnects += 1
+                await asyncio.sleep(policy.backoff(attempt, rng))
+        raise AssertionError("unreachable")
 
     ordered = sorted(items, key=lambda it: it.arrival)
     t0 = time.perf_counter()
     trace_start = ordered[0].arrival if ordered else 0.0
-    for it in ordered:
+    for n, it in enumerate(ordered):
         if speed > 0:
             due = t0 + (it.arrival - trace_start) / speed
             delay = due - time.perf_counter()
             if delay > 0:
                 await asyncio.sleep(delay)
+        payload = {
+            "op": "submit",
+            "job": {
+                "id": it.item_id,
+                "size": it.size,
+                "arrival": it.arrival,
+                "departure": it.departure,
+            },
+        }
+        if policy.retries:
+            # the request id is what makes the retry exactly-once
+            payload["request_id"] = f"lg-{policy.seed}-{n}"
         sent = time.perf_counter()
-        response = await call(
-            {
-                "op": "submit",
-                "job": {
-                    "id": it.item_id,
-                    "size": it.size,
-                    "arrival": it.arrival,
-                    "departure": it.departure,
-                },
-            }
-        )
+        try:
+            response = await call(payload, idempotent=bool(policy.retries))
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            report.errors += 1
+            report.jobs += 1
+            await conn.drop()
+            continue
         report.latencies_ms.append((time.perf_counter() - sent) * 1e3)
         report.jobs += 1
         if response.get("ok"):
@@ -148,7 +243,9 @@ async def run_loadgen(
         else:
             report.errors += 1
     if drain:
-        response = await call({"op": "drain"})
+        # drain is not idempotent-tagged, but it *is* safe to retry: a
+        # second drain on a drained engine returns the same summary
+        response = await call({"op": "drain"}, idempotent=bool(policy.retries))
         if response.get("ok"):
             report.drain = {
                 k: v for k, v in response.items() if k not in ("ok",)
@@ -157,12 +254,8 @@ async def run_loadgen(
             report.errors += 1
     report.wall_seconds = time.perf_counter() - t0
     if shutdown:
-        await call({"op": "shutdown"})
-    writer.close()
-    try:
-        await writer.wait_closed()
-    except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-        pass
+        await call({"op": "shutdown"}, idempotent=False)
+    await conn.close()
     return report
 
 

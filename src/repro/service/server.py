@@ -1,17 +1,32 @@
 """The allocation service's network face: a JSON-lines protocol over TCP.
 
 ``repro serve`` binds a :class:`~repro.service.engine.StreamingEngine`
-to a socket.  One request per line, one JSON response per line — the
-simplest protocol that a load generator, a sidecar, or ``nc`` can speak.
-All engine operations run on the event loop thread, so concurrent
-connections are serialised naturally; the engine itself never needs a
-lock.
+(optionally wrapped in a :class:`~repro.service.recovery.DurableEngine`
+for WAL durability) to a socket.  One request per line, one JSON
+response per line — the simplest protocol that a load generator, a
+sidecar, or ``nc`` can speak.  All engine operations run on the event
+loop thread, so concurrent connections are serialised naturally; the
+engine itself never needs a lock.
+
+Hardening contract (pinned by ``tests/service/test_protocol_fuzz.py``):
+malformed JSON, oversized lines, unknown ops, bad field types, protocol
+violations, and client disconnects at any byte **never crash the
+server** — they produce one structured error reply
+(``{"ok": false, "error": ..., "error_type": ...}``) or a clean close,
+and a metrics counter.  Only an injected
+:class:`~repro.service.faults.KillPoint` (which subclasses
+``BaseException`` precisely so these handlers cannot swallow it) tears
+the service down.
 
 Operations
 ----------
-``{"op": "submit", "job": {"id", "size" | "sizes", "arrival", "departure"}}``
+``{"op": "submit", "job": {"id", "size" | "sizes", "arrival", "departure"},
+   "request_id": ...}``
     Place a job (through admission control).  Response carries the
-    placement: action, bin, whether a new server was opened.
+    placement: action, bin, whether a new server was opened.  With a
+    client-supplied ``request_id`` the submit is idempotent: a retry of
+    an acknowledged id returns the cached placement (exactly-once under
+    the load generator's retry policy).
 ``{"op": "depart", "id": ..., "now": ...}``
     Explicit departure (``now`` optional — defaults to the job's
     recorded departure time).
@@ -23,7 +38,8 @@ Operations
 ``{"op": "stats"}`` / ``{"op": "metrics"}``
     Engine status dict / Prometheus text exposition.
 ``{"op": "checkpoint", "path": ...}``
-    Snapshot the engine; inline in the response, or to ``path``.
+    Snapshot the engine atomically; inline in the response, or to
+    ``path``.  On a durable engine this cuts a real WAL checkpoint.
 ``{"op": "ping"}`` / ``{"op": "shutdown"}``
     Liveness / stop the server (used by tests and ``repro loadgen
     --shutdown``).
@@ -33,16 +49,28 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Optional
 
 from ..algorithms import ALGORITHM_REGISTRY, make_algorithm
 from ..core.items import Item
 from .admission import AdmissionPolicy
 from .engine import StreamingEngine
+from .faults import FaultInjector, KillPoint
 from .metrics import DecisionLog, MetricsRegistry
-from .snapshot import snapshot_engine
+from .recovery import DedupWindow, DurableEngine
+from .snapshot import snapshot_engine, write_checkpoint
 
-__all__ = ["AllocationService", "build_engine", "serve"]
+__all__ = ["AllocationService", "ProtocolError", "build_engine", "serve"]
+
+#: Default cap on one request line.  A line beyond it is a protocol
+#: violation (the connection is closed after the error reply, since the
+#: stream cannot be resynchronised mid-line).
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A structurally invalid request (reported, never fatal)."""
 
 
 def build_engine(
@@ -68,43 +96,97 @@ def build_engine(
     )
 
 
-def _job_from_request(job: dict) -> Item:
+def _finite(value, name: str) -> float:
     try:
-        return Item(
-            int(job["id"]),
-            float(job["size"]),
-            float(job["arrival"]),
-            float(job["departure"]),
+        out = float(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(f"job field {name!r} is not a number: {value!r}") from None
+    if not math.isfinite(out):
+        raise ProtocolError(f"job field {name!r} must be finite, got {out!r}")
+    return out
+
+
+def _job_from_request(job) -> Item:
+    if not isinstance(job, dict):
+        raise ProtocolError(f"'job' must be an object, got {type(job).__name__}")
+    missing = [k for k in ("id", "size", "arrival", "departure") if k not in job]
+    if missing:
+        raise ProtocolError(f"job record is missing field {missing[0]!r}")
+    try:
+        item_id = int(job["id"])
+    except (TypeError, ValueError):
+        raise ProtocolError(f"job id must be an integer, got {job['id']!r}") from None
+    size = _finite(job["size"], "size")
+    arrival = _finite(job["arrival"], "arrival")
+    departure = _finite(job["departure"], "departure")
+    if size <= 0:
+        raise ProtocolError(f"job size must be positive, got {size}")
+    if departure <= arrival:
+        raise ProtocolError(
+            f"job departure ({departure}) must be after arrival ({arrival})"
         )
-    except KeyError as exc:
-        raise ValueError(f"job record is missing field {exc.args[0]!r}") from None
+    return Item(item_id, size, arrival, departure)
 
 
 class AllocationService:
-    """One engine behind an asyncio JSON-lines endpoint."""
+    """One engine behind an asyncio JSON-lines endpoint.
 
-    def __init__(self, engine: StreamingEngine, quiet: bool = True):
+    ``request_timeout`` bounds each read-dispatch-write cycle once a
+    request has started arriving (and every write); ``idle_timeout``
+    optionally reaps connections that go silent between requests.
+    """
+
+    def __init__(
+        self,
+        engine: StreamingEngine | DurableEngine,
+        quiet: bool = True,
+        *,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        request_timeout: float = 30.0,
+        idle_timeout: Optional[float] = None,
+        injector: Optional[FaultInjector] = None,
+    ):
         self.engine = engine
         self.quiet = quiet
+        self.max_line_bytes = int(max_line_bytes)
+        self.request_timeout = request_timeout
+        self.idle_timeout = idle_timeout
+        self.injector = injector
+        self._durable = isinstance(engine, DurableEngine)
+        #: idempotency window for non-durable engines (a durable engine
+        #: owns its own, rebuilt by recovery)
+        self._dedup = engine.dedup if self._durable else DedupWindow()
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
+        self._fatal: Optional[BaseException] = None
         self.requests_served = 0
+        if engine.metrics is not None:
+            self._declare_metrics(engine.metrics)
 
     # -- lifecycle ------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
         """Bind and start serving; returns the actual port (for port 0)."""
-        self._server = await asyncio.start_server(self._handle, host, port)
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=self.max_line_bytes
+        )
         bound = self._server.sockets[0].getsockname()[1]
         if not self.quiet:
             print(f"repro service listening on {host}:{bound}")
         return bound
 
     async def wait_closed(self) -> None:
-        """Block until a ``shutdown`` op arrives, then close the socket."""
+        """Block until a ``shutdown`` op arrives, then close the socket.
+
+        Re-raises an injected :class:`KillPoint` after closing: the kill
+        fires inside a per-connection handler task, where asyncio would
+        otherwise log it and keep the server alive.
+        """
         await self._shutdown.wait()
         assert self._server is not None
         self._server.close()
         await self._server.wait_closed()
+        if self._fatal is not None:
+            raise self._fatal
 
     async def serve_until_shutdown(self, host: str = "127.0.0.1", port: int = 0) -> int:
         await self.start(host, port)
@@ -115,43 +197,155 @@ class AllocationService:
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         try:
             while not reader.at_eof():
-                line = await reader.readline()
+                try:
+                    line = await asyncio.wait_for(
+                        reader.readline(), self.idle_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self._count("repro_service_request_timeouts_total")
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # the line outgrew the buffer limit: report and close —
+                    # there is no way to resynchronise mid-line
+                    self._count("repro_service_malformed_requests_total")
+                    await self._reply(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": f"request line exceeds {self.max_line_bytes} bytes",
+                            "error_type": "line_too_long",
+                        },
+                    )
+                    break
                 if not line:
                     break
+                if not line.endswith(b"\n") and reader.at_eof():
+                    # a torn final request: the client died mid-line
+                    self._count("repro_service_disconnects_total")
+                    break
                 response = self._dispatch_line(line)
-                writer.write((json.dumps(response) + "\n").encode())
-                await writer.drain()
+                if self.injector is not None:
+                    fate, delay = self.injector.reply_fate()
+                    if delay:
+                        await asyncio.sleep(delay)
+                    if fate == "drop":
+                        self._count("repro_service_dropped_replies_total")
+                        break
+                sent = await self._reply(writer, response)
+                if not sent:
+                    break
                 if response.get("bye"):
                     self._shutdown.set()
                     break
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-            pass
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            # the client vanished mid-request: count it, close cleanly —
+            # never let it surface as an unhandled task exception
+            self._count("repro_service_disconnects_total")
+        except KillPoint as exc:
+            # an injected crash must take the whole process down, but it
+            # fires inside this connection's task — asyncio would log it
+            # and carry on.  Escalate through the shutdown path instead.
+            self._fatal = exc
+            self._shutdown.set()
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    async def _reply(self, writer: asyncio.StreamWriter, response: dict) -> bool:
+        """Send one response line; False when the client is gone."""
+        try:
+            writer.write((json.dumps(response) + "\n").encode())
+            await asyncio.wait_for(writer.drain(), self.request_timeout)
+            return True
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            self._count("repro_service_disconnects_total")
+            return False
 
     def _dispatch_line(self, line: bytes) -> dict:
         self.requests_served += 1
         try:
             request = json.loads(line)
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._count("repro_service_malformed_requests_total")
+            return {
+                "ok": False,
+                "error": f"malformed JSON: {exc}",
+                "error_type": "malformed_json",
+            }
+        if not isinstance(request, dict):
+            self._count("repro_service_malformed_requests_total")
+            return {
+                "ok": False,
+                "error": f"request must be a JSON object, got {type(request).__name__}",
+                "error_type": "protocol",
+            }
+        try:
             return self._dispatch(request)
+        except ProtocolError as exc:
+            self._count("repro_service_protocol_errors_total")
+            return {"ok": False, "error": str(exc), "error_type": "protocol"}
+        except (ValueError, KeyError) as exc:
+            # engine-level refusals (time-ordering, unknown ids, ...)
+            self._count("repro_service_protocol_errors_total")
+            detail = exc.args[0] if exc.args else str(exc)
+            return {"ok": False, "error": str(detail), "error_type": "rejected"}
+        except OSError as exc:
+            # WAL I/O failure: the operation was refused, state is intact
+            return {
+                "ok": False,
+                "error": f"durability failure: {exc}",
+                "error_type": "wal_unavailable",
+            }
         except Exception as exc:  # protocol boundary: report, don't crash
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            self._count("repro_service_internal_errors_total")
+            return {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_type": "internal",
+            }
 
     def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
         engine = self.engine
+        injector = self.injector
         if op == "submit":
-            placement = engine.submit(_job_from_request(request["job"]))
+            if "job" not in request:
+                raise ProtocolError("submit needs a 'job' object")
+            item = _job_from_request(request["job"])
+            if injector is not None and injector.plan.clock_skew:
+                item = Item(
+                    item.item_id,
+                    item.size,
+                    injector.skew(item.arrival),
+                    item.departure,
+                )
+            rid = request.get("request_id")
+            if rid is not None:
+                rid = str(rid)
+            if self._durable:
+                placement = engine.submit(item, request_id=rid)
+            else:
+                if rid is not None:
+                    cached = self._dedup.get(rid)
+                    if cached is not None:
+                        self._count("repro_service_duplicate_requests_total")
+                        return {"ok": True, "placement": cached, "duplicate": True}
+                placement = engine.submit(item)
+                if rid is not None:
+                    self._dedup.put(rid, placement.to_dict())
             return {"ok": True, "placement": placement.to_dict()}
         if op == "depart":
+            if "id" not in request:
+                raise ProtocolError("depart needs an 'id'")
             engine.depart(int(request["id"]), request.get("now"))
             return {"ok": True, "clock": engine.clock}
         if op == "advance":
-            applied = engine.advance(float(request["now"]))
+            if "now" not in request:
+                raise ProtocolError("advance needs a 'now'")
+            applied = engine.advance(_finite(request["now"], "now"))
             return {"ok": True, "departed": applied, "clock": engine.clock}
         if op == "drain":
             result = engine.finish()
@@ -165,36 +359,71 @@ class AllocationService:
             return {"ok": True, "stats": engine.stats()}
         if op == "metrics":
             if engine.metrics is None:
-                return {"ok": False, "error": "service was started without metrics"}
+                return {
+                    "ok": False,
+                    "error": "service was started without metrics",
+                    "error_type": "protocol",
+                }
             return {"ok": True, "text": engine.metrics.expose_text()}
         if op == "checkpoint":
-            doc = snapshot_engine(engine)
+            if self._durable and not request.get("path"):
+                path = engine.checkpoint_now()
+                return {"ok": True, "path": path}
+            doc = snapshot_engine(engine.engine if self._durable else engine)
             path = request.get("path")
             if path:
-                with open(path, "w") as f:
-                    json.dump(doc, f, sort_keys=True)
+                write_checkpoint(str(path), doc)
                 return {"ok": True, "path": path}
             return {"ok": True, "snapshot": doc}
         if op == "ping":
             return {"ok": True, "pong": True}
         if op == "shutdown":
             return {"ok": True, "bye": True}
-        return {"ok": False, "error": f"unknown op {op!r}"}
+        raise ProtocolError(f"unknown op {op!r}")
+
+    # -- metrics plumbing -----------------------------------------------------
+    def _declare_metrics(self, reg: MetricsRegistry) -> None:
+        for name, help_text in (
+            ("repro_service_malformed_requests_total",
+             "requests that were not valid JSON"),
+            ("repro_service_protocol_errors_total",
+             "structurally invalid or refused requests"),
+            ("repro_service_internal_errors_total",
+             "requests that hit an unexpected server error"),
+            ("repro_service_disconnects_total",
+             "client connections lost mid-request"),
+            ("repro_service_request_timeouts_total",
+             "connections reaped by the idle timeout"),
+            ("repro_service_dropped_replies_total",
+             "replies dropped by fault injection"),
+            ("repro_service_duplicate_requests_total",
+             "submits answered from the idempotency window"),
+        ):
+            if name not in reg:
+                reg.counter(name, help_text)
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        metrics = self.engine.metrics
+        if metrics is not None and name in metrics:
+            metrics.get(name).inc(amount)
 
 
 async def serve(
-    engine: StreamingEngine,
+    engine: StreamingEngine | DurableEngine,
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = False,
     port_file: Optional[str] = None,
+    **service_kwargs,
 ) -> int:
     """Run the service until a ``shutdown`` op arrives.
 
     ``port_file`` (when given) receives the bound port as text — how
-    tests and scripts discover a ``--port 0`` ephemeral binding.
+    tests and scripts discover a ``--port 0`` ephemeral binding.  Extra
+    keyword arguments reach :class:`AllocationService` (timeouts, line
+    limits, fault injector).
     """
-    service = AllocationService(engine, quiet=quiet)
+    service = AllocationService(engine, quiet=quiet, **service_kwargs)
     bound = await service.start(host, port)
     if port_file:
         with open(port_file, "w") as f:

@@ -27,6 +27,7 @@ identically to the incrementally maintained one.
 from __future__ import annotations
 
 import json
+import os
 import random
 from typing import Any, Optional
 
@@ -34,9 +35,67 @@ from ..core.bins import Bin
 from ..core.items import Item
 from ..core.state import PackingState
 
-__all__ = ["SNAPSHOT_VERSION", "snapshot_engine", "restore_engine", "dumps", "loads"]
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "snapshot_engine",
+    "restore_engine",
+    "dumps",
+    "loads",
+    "write_checkpoint",
+    "read_checkpoint",
+    "check_version",
+]
 
 SNAPSHOT_VERSION = 1
+
+
+def check_version(version: Any) -> None:
+    """Refuse snapshots this code cannot faithfully restore.
+
+    A *newer* snapshot than the code means a downgraded service is
+    looking at state written by its future self — restoring a subset of
+    it would silently drop fields, so the error says exactly that.
+    """
+    if version == SNAPSHOT_VERSION:
+        return
+    if isinstance(version, int) and version > SNAPSHOT_VERSION:
+        raise ValueError(
+            f"checkpoint schema version {version} is newer than this code "
+            f"supports ({SNAPSHOT_VERSION}) — refusing to load it with an "
+            f"older service; upgrade the service or restore from an older "
+            f"checkpoint"
+        )
+    raise ValueError(
+        f"snapshot version {version!r} not supported (expected {SNAPSHOT_VERSION})"
+    )
+
+
+def write_checkpoint(path: str, doc: dict) -> None:
+    """Write a checkpoint document atomically (tmp file + ``os.replace``).
+
+    A crash mid-write must never leave a half-written checkpoint where
+    recovery will find it: the document lands in ``<path>.tmp`` first,
+    is flushed and fsynced, and only then renamed over ``path`` — the
+    rename is atomic on POSIX, so ``path`` always holds either the old
+    complete document or the new one.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(doc, f, sort_keys=True, separators=(",", ":"))
+        f.write("\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def read_checkpoint(path: str) -> dict:
+    """Load a checkpoint document, enforcing the schema-version gate."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"checkpoint {path} is not a JSON object")
+    check_version(doc.get("version"))
+    return doc
 
 
 # -- algorithm-state codec ----------------------------------------------------
@@ -214,11 +273,7 @@ def restore_engine(
 
     from .engine import StreamingEngine
 
-    if doc.get("version") != SNAPSHOT_VERSION:
-        raise ValueError(
-            f"snapshot version {doc.get('version')!r} not supported "
-            f"(expected {SNAPSHOT_VERSION})"
-        )
+    check_version(doc.get("version"))
     if doc["algorithm"] != algorithm.name:
         raise ValueError(
             f"snapshot was taken under policy {doc['algorithm']!r}, "

@@ -1,0 +1,409 @@
+"""A durable write-ahead log for the allocation service.
+
+The paper's setting is irreversibly online: a server allocator that
+loses its open-bin state on a crash cannot re-pack the past — usage
+time is already billed, jobs already live on servers.  Checkpoints
+(:mod:`repro.service.snapshot`) bound the loss to one interval; the WAL
+closes the remaining window by appending every accepted operation
+*before* it is applied, so crash recovery (:mod:`repro.service.recovery`)
+can replay the tail and land bit-identical to an uninterrupted run.
+
+On-disk layout (one directory, shared with the checkpoints):
+
+``wal-<first_seq:010d>.log``
+    One segment per file, named by the sequence number of its first
+    record.  Rotation at :attr:`~WriteAheadLog.segment_bytes` keeps
+    segments prunable: once a checkpoint covers a whole segment the
+    file is deleted (:meth:`WriteAheadLog.prune`).
+
+Each record is one line::
+
+    <seq> <crc32 of "seq payload", 8 hex digits> <payload JSON>\n
+
+The CRC detects torn writes and bit rot; the sequence number makes
+replay idempotent against a checkpoint (records ``<= wal_seq`` of the
+checkpoint are skipped).  A *torn tail* — a partial final record from a
+crash mid-write — is expected and tolerated: replay stops at the first
+undecodable record of the **last** segment, and reopening the log for
+append truncates the torn bytes.  An undecodable record anywhere else
+is real corruption and raises :class:`WalCorruptionError` — recovery
+must not silently skip acknowledged operations.
+
+Durability knobs (``fsync`` policy):
+
+``"always"``
+    ``fsync`` after every append — no acknowledged record can be lost,
+    at the cost of one disk flush per request.
+``"interval"``
+    ``fsync`` every :attr:`~WriteAheadLog.fsync_every` appends (and on
+    rotation/close) — bounds power-failure loss to the last interval.
+    The flush itself runs on a *background thread* (the classic group
+    -commit arrangement, e.g. Redis ``appendfsync everysec``): appends
+    push bytes into the OS page cache and return, and the disk barrier
+    proceeds in parallel, so the request path never waits on the
+    platter.  The default.
+``"never"``
+    Leave flushing to the OS page cache — fastest, loses up to the
+    cache window on power failure (still crash-safe against *process*
+    death, since the file descriptor's writes survive).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "FSYNC_MODES",
+    "WalCorruptionError",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_segment",
+    "replay_wal",
+    "wal_segments",
+]
+
+FSYNC_MODES = ("never", "interval", "always")
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+
+#: Default rotation threshold.  Segments are the unit of pruning, so
+#: they should be small enough that a checkpoint usually retires a few.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+class WalError(Exception):
+    """Base class for WAL failures."""
+
+
+class WalCorruptionError(WalError):
+    """An undecodable record *before* the tail — acknowledged data is gone."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record."""
+
+    seq: int
+    payload: dict[str, Any]
+
+
+def _encode(seq: int, payload: "dict[str, Any] | str") -> bytes:
+    """Encode one record line; ``payload`` may be pre-serialized JSON.
+
+    The pre-serialized form is the hot-path contract with the durable
+    engine: its submit path formats the payload with an f-string (2-3x
+    faster than ``json.dumps`` for these small fixed-shape objects), and
+    the CRC covers whatever text was actually written.
+    """
+    body = (
+        payload
+        if isinstance(payload, str)
+        else json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    )
+    encoded = body.encode()
+    crc = zlib.crc32(b"%d " % seq)
+    crc = zlib.crc32(encoded, crc)
+    return b"%d %08x %s\n" % (seq, crc, encoded)
+
+
+def _decode(line: bytes) -> WalRecord:
+    """Decode one record line; raises ``ValueError`` on any defect."""
+    if not line.endswith(b"\n"):
+        raise ValueError("record line is not newline-terminated (torn write)")
+    text = line[:-1].decode("utf-8")
+    seq_text, crc_text, body = text.split(" ", 2)
+    seq = int(seq_text)
+    if f"{zlib.crc32(f'{seq} {body}'.encode()):08x}" != crc_text:
+        raise ValueError(f"CRC mismatch on record {seq}")
+    payload = json.loads(body)
+    if not isinstance(payload, dict):
+        raise ValueError(f"record {seq} payload is not an object")
+    return WalRecord(seq, payload)
+
+
+def _segment_path(directory: str, first_seq: int) -> str:
+    return os.path.join(
+        directory, f"{SEGMENT_PREFIX}{first_seq:010d}{SEGMENT_SUFFIX}"
+    )
+
+
+def wal_segments(directory: str) -> list[str]:
+    """Paths of the WAL segments under ``directory``, in sequence order."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    return [
+        os.path.join(directory, name)
+        for name in sorted(names)
+        if name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)
+    ]
+
+
+def read_segment(path: str, *, tolerate_tail: bool = False) -> tuple[list[WalRecord], int]:
+    """Decode one segment file.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the file
+    offset up to which records decoded cleanly.  With ``tolerate_tail``
+    a trailing undecodable region is accepted (the torn-write case);
+    without it any defect raises :class:`WalCorruptionError`.
+    """
+    records: list[WalRecord] = []
+    valid = 0
+    with open(path, "rb") as f:
+        data = f.read()
+    offset = 0
+    while offset < len(data):
+        end = data.find(b"\n", offset)
+        chunk = data[offset:] if end < 0 else data[offset : end + 1]
+        try:
+            records.append(_decode(chunk))
+        except (ValueError, UnicodeDecodeError) as exc:
+            if tolerate_tail:
+                return records, valid
+            raise WalCorruptionError(
+                f"{os.path.basename(path)} at byte {offset}: {exc}"
+            ) from exc
+        offset += len(chunk)
+        valid = offset
+    return records, valid
+
+
+def replay_wal(
+    directory: str, after_seq: int = 0
+) -> tuple[list[WalRecord], int]:
+    """All records with ``seq > after_seq``, in order.
+
+    Returns ``(records, torn_bytes)``.  Only the *last* segment may end
+    in a torn tail (``torn_bytes`` counts the discarded bytes); a defect
+    in any earlier segment raises :class:`WalCorruptionError`, as does a
+    gap in the sequence numbers.
+    """
+    segments = wal_segments(directory)
+    out: list[WalRecord] = []
+    torn = 0
+    last_seq: Optional[int] = None
+    for i, path in enumerate(segments):
+        tail = i == len(segments) - 1
+        records, valid = read_segment(path, tolerate_tail=tail)
+        if tail:
+            torn = os.path.getsize(path) - valid
+        for rec in records:
+            if last_seq is not None and rec.seq != last_seq + 1:
+                raise WalCorruptionError(
+                    f"sequence gap: record {rec.seq} follows {last_seq} "
+                    f"in {os.path.basename(path)}"
+                )
+            last_seq = rec.seq
+            if rec.seq > after_seq:
+                out.append(rec)
+    return out, torn
+
+
+class WriteAheadLog:
+    """Append-only, CRC-checksummed, segment-rotated operation log.
+
+    ``io_hook`` is the fault-injection seam: called as
+    ``io_hook(op, seq)`` with ``op`` in ``("write", "fsync")`` before
+    the matching I/O.  It may raise (an injected ``OSError`` leaves the
+    record unwritten and the log usable), raise a kill exception, or
+    return ``"tear"`` to make this *write* torn — the record's first
+    half hits the disk and the kill propagates, which is exactly the
+    crash window recovery must survive.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        fsync: str = "interval",
+        fsync_every: int = 512,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        io_hook: Optional[Callable[[str, int], Optional[str]]] = None,
+    ):
+        if fsync not in FSYNC_MODES:
+            raise ValueError(
+                f"fsync mode must be one of {FSYNC_MODES}, got {fsync!r}"
+            )
+        if fsync_every < 1:
+            raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
+        if segment_bytes < 1:
+            raise ValueError(f"segment_bytes must be >= 1, got {segment_bytes}")
+        self.directory = directory
+        self.fsync = fsync
+        self.fsync_every = int(fsync_every)
+        self.segment_bytes = int(segment_bytes)
+        self.io_hook = io_hook
+        # observability (mirrored into the metrics registry by the
+        # durable engine)
+        self.records_written = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        #: torn bytes truncated from the tail when the log was reopened
+        self.recovered_torn_bytes = 0
+
+        os.makedirs(directory, exist_ok=True)
+        self._file = None
+        self._segment_size = 0
+        self._unsynced = 0
+        self.last_seq = 0
+        # background group-commit machinery ("interval" mode): the lock
+        # covers the (file object, fsync) pair — the flusher must never
+        # fsync a descriptor the writer is rotating or closing
+        self._fd_lock = threading.Lock()
+        self._fsync_due = threading.Event()
+        self._stopping = False
+        self._flusher: Optional[threading.Thread] = None
+        self._open_tail()
+
+    # -- opening / rotation ---------------------------------------------------
+    def _open_tail(self) -> None:
+        """Resume the existing log: truncate a torn tail, continue appending."""
+        segments = wal_segments(self.directory)
+        for i, path in enumerate(segments):
+            tail = i == len(segments) - 1
+            records, valid = read_segment(path, tolerate_tail=tail)
+            if records:
+                self.last_seq = records[-1].seq
+            if tail and valid < os.path.getsize(path):
+                self.recovered_torn_bytes = os.path.getsize(path) - valid
+                with open(path, "r+b") as f:
+                    f.truncate(valid)
+        if segments:
+            # unbuffered: each append is one raw write straight into the
+            # OS page cache — no userspace buffer to flush or lose
+            self._file = open(segments[-1], "ab", buffering=0)
+            self._segment_size = os.path.getsize(segments[-1])
+        else:
+            self._start_segment(1)
+
+    def _start_segment(self, first_seq: int) -> None:
+        with self._fd_lock:
+            if self._file is not None:
+                self._flush(force=self.fsync != "never")
+                self._file.close()
+            self._file = open(
+                _segment_path(self.directory, first_seq), "ab", buffering=0
+            )
+            self._segment_size = 0
+
+    # -- the write path -------------------------------------------------------
+    def append(self, payload: "dict[str, Any] | str") -> int:
+        """Durably record one operation; returns its sequence number.
+
+        ``payload`` is a JSON object, either as a dict or pre-serialized
+        text (the hot-path form — see :func:`_encode`).  The record is
+        on disk (subject to the fsync policy) when this returns.  On an
+        injected/real ``OSError`` nothing is logged and the caller must
+        *not* apply the operation.
+        """
+        if self._file is None:
+            raise WalError("write-ahead log is closed")
+        seq = self.last_seq + 1
+        data = _encode(seq, payload)
+        if self._segment_size > 0 and self._segment_size + len(data) > self.segment_bytes:
+            self._start_segment(seq)
+        if self.io_hook is not None:
+            if self.io_hook("write", seq) == "tear":
+                # simulate a crash mid-write: half the record reaches
+                # the disk, then the process dies (the hook's kill
+                # fires below)
+                self._file.write(data[: max(1, len(data) // 2)])
+                self.io_hook("torn", seq)
+                raise WalError(f"torn write injected at record {seq}")
+        self._file.write(data)
+        self.last_seq = seq
+        self.records_written += 1
+        self.bytes_written += len(data)
+        self._segment_size += len(data)
+        self._unsynced += 1
+        if self.fsync == "always":
+            self._flush(force=True)
+        elif self.fsync == "interval" and self._unsynced >= self.fsync_every:
+            if self._flusher is None:
+                # started lazily: a log that never accumulates an
+                # interval's worth of records never needs the thread
+                self._flusher = threading.Thread(
+                    target=self._flusher_loop, name="wal-fsync", daemon=True
+                )
+                self._flusher.start()
+            self._fsync_due.set()
+        return seq
+
+    def _flush(self, force: bool) -> None:
+        assert self._file is not None
+        if force:
+            if self.io_hook is not None:
+                self.io_hook("fsync", self.last_seq)
+            os.fsync(self._file.fileno())
+            self.fsyncs += 1
+        self._unsynced = 0
+
+    def _flusher_loop(self) -> None:
+        """Background group commit: fsync when an interval's worth is due.
+
+        Runs ``os.fsync`` off the request path (the GIL is released for
+        the syscall's duration, so appends proceed in parallel).  The
+        fault-injection ``io_hook`` is *not* consulted here — injected
+        I/O faults stay on the deterministic synchronous paths.
+        """
+        while True:
+            self._fsync_due.wait()
+            self._fsync_due.clear()
+            if self._stopping:
+                return
+            with self._fd_lock:
+                if self._stopping or self._file is None:
+                    return
+                covered = self._unsynced
+                try:
+                    os.fsync(self._file.fileno())
+                except (OSError, ValueError):  # pragma: no cover - racing close
+                    continue
+                self.fsyncs += 1
+                self._unsynced = max(0, self._unsynced - covered)
+
+    def sync(self) -> None:
+        """Force a synchronous fsync regardless of policy (checkpoint barrier)."""
+        with self._fd_lock:
+            if self._file is not None:
+                self._flush(force=True)
+
+    # -- maintenance ----------------------------------------------------------
+    def prune(self, upto_seq: int) -> int:
+        """Delete whole segments entirely covered by ``upto_seq``.
+
+        A segment is removable when the *next* segment starts at or
+        below ``upto_seq + 1`` — i.e. every record in it is already
+        captured by a checkpoint.  Returns the number of files removed.
+        """
+        segments = wal_segments(self.directory)
+        removed = 0
+        for path, nxt in zip(segments, segments[1:]):
+            name = os.path.basename(nxt)
+            first_of_next = int(name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)])
+            if first_of_next <= upto_seq + 1:
+                os.remove(path)
+                removed += 1
+            else:
+                break
+        return removed
+
+    def close(self) -> None:
+        self._stopping = True
+        if self._flusher is not None:
+            self._fsync_due.set()
+            self._flusher.join(timeout=5.0)
+            self._flusher = None
+        with self._fd_lock:
+            if self._file is not None:
+                self._flush(force=self.fsync != "never")
+                self._file.close()
+                self._file = None

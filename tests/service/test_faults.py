@@ -1,0 +1,257 @@
+"""Fault injection: plan validation (tier-1) and chaos scenarios.
+
+The unmarked tests pin the :class:`FaultPlan`/:class:`FaultInjector`
+contract — validation, determinism, kill semantics — and run in the
+tier-1 suite.  The ``chaos``-marked tests drive the full stack through
+seeded storms (random WAL I/O errors, dropped replies under a retrying
+load generator) and assert the durability and exactly-once guarantees
+hold; they run as their own CI step (``pytest -m chaos``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.cli import main
+from repro.service import (
+    AllocationService,
+    DurableEngine,
+    FaultInjector,
+    FaultPlan,
+    KillPoint,
+    MetricsRegistry,
+    RetryPolicy,
+    StreamingEngine,
+    WriteAheadLog,
+    recover,
+    run_loadgen,
+)
+from repro.workloads import poisson_workload
+
+
+# -- plan contract (tier-1) ---------------------------------------------------
+def test_plan_validation():
+    with pytest.raises(ValueError, match="io_error_rate"):
+        FaultPlan(io_error_rate=1.5)
+    with pytest.raises(ValueError, match="drop_rate"):
+        FaultPlan(drop_rate=-0.1)
+    with pytest.raises(ValueError, match="clock_skew"):
+        FaultPlan(clock_skew=-1.0)
+    with pytest.raises(ValueError, match="delay_ms"):
+        FaultPlan(delay_ms=-5.0)
+    with pytest.raises(ValueError, match="kill"):
+        FaultPlan(kill={"wal.write": 0})
+    with pytest.raises(ValueError, match="unknown fault-plan fields"):
+        FaultPlan.from_dict({"seed": 1, "explosions": True})
+
+
+def test_plan_from_file_roundtrip(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps({
+        "seed": 7, "kill": {"applied": 3}, "torn_tail": True,
+        "io_error_rate": 0.25, "drop_rate": 0.1,
+    }))
+    plan = FaultPlan.from_file(str(path))
+    assert plan.seed == 7
+    assert plan.kill == {"applied": 3}
+    assert plan.torn_tail is True
+    assert plan.io_error_rate == 0.25
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2]")
+    with pytest.raises(ValueError, match="JSON object"):
+        FaultPlan.from_file(str(bad))
+
+
+def test_kill_point_fires_at_exact_hit_and_is_uncatchable_as_exception():
+    injector = FaultInjector(FaultPlan(kill={"applied": 3}))
+    injector.point("applied")
+    injector.point("applied")
+    with pytest.raises(KillPoint):
+        injector.point("applied")
+    assert injector.kills == 1
+    # BaseException on purpose: a bare `except Exception` must not
+    # swallow an injected crash
+    assert not issubclass(KillPoint, Exception)
+
+
+def test_injected_kill_tears_the_whole_service_down(tmp_path):
+    """A kill inside a connection handler stops the server itself.
+
+    The KillPoint fires in a per-connection asyncio task; left alone,
+    the event loop would log it as an unhandled task exception and keep
+    serving.  The service must escalate it out of ``wait_closed`` so
+    the process dies at the kill point, exactly like ``kill -9``.
+    """
+    injector = FaultInjector(FaultPlan(kill={"wal.write": 2}))
+    engine = DurableEngine(
+        StreamingEngine.scalar(make_algorithm("first-fit")),
+        WriteAheadLog(str(tmp_path), fsync="never"),
+        injector=injector,
+    )
+    jobs = [
+        {"id": 1, "size": 0.5, "arrival": 0.0, "departure": 1.0},
+        {"id": 2, "size": 0.4, "arrival": 0.5, "departure": 1.5},
+    ]
+
+    async def scenario():
+        service = AllocationService(engine, quiet=True, injector=injector)
+        port = await service.start("127.0.0.1", 0)
+        waiter = asyncio.ensure_future(service.wait_closed())
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        replies = []
+        for i, job in enumerate(jobs):
+            writer.write((json.dumps(
+                {"op": "submit", "request_id": f"k-{i}", "job": job}
+            ) + "\n").encode())
+            await writer.drain()
+            replies.append(await reader.readline())
+        first = json.loads(replies[0])
+        assert first["ok"] and first["placement"]["action"] == "placed"
+        # the killed handler closed the connection without replying
+        assert replies[1] == b""
+        writer.close()
+        await waiter  # re-raises the KillPoint
+
+    with pytest.raises(KillPoint, match="wal.write"):
+        asyncio.run(scenario())
+    engine.wal.close()  # the "dead" process's fd
+
+    # the kill landed before record 2 was written: recovery sees one job
+    recovered, _ = recover(
+        str(tmp_path),
+        engine_builder=lambda: StreamingEngine.scalar(make_algorithm("first-fit")),
+        fsync="never",
+    )
+    assert recovered.stats()["placed"] == 1
+    recovered.close()
+
+
+def test_injector_is_deterministic_per_seed():
+    plan = FaultPlan(seed=42, drop_rate=0.3, delay_ms=4.0, clock_skew=0.5)
+    a = FaultInjector(plan)
+    b = FaultInjector(plan)
+    assert [a.reply_fate() for _ in range(50)] == [b.reply_fate() for _ in range(50)]
+    assert [a.skew(1.0) for _ in range(20)] == [b.skew(1.0) for _ in range(20)]
+
+
+def test_serve_rejects_unreadable_fault_plan(tmp_path, capsys):
+    rc = main(["serve", "--fault-plan", str(tmp_path / "missing.json")])
+    assert rc == 2
+    assert "fault plan" in capsys.readouterr().err
+
+
+# -- chaos scenarios ----------------------------------------------------------
+@pytest.mark.chaos
+def test_wal_io_error_storm_refuses_cleanly_and_recovers_consistently(tmp_path):
+    """Random injected write errors refuse ops; recovery matches exactly.
+
+    Every submit the WAL refused must be absent from the recovered
+    state, every acknowledged one present — the recovered engine equals
+    a clean engine fed only the acknowledged jobs.
+    """
+    items = poisson_workload(120, seed=23, mu_target=8.0, arrival_rate=4.0)
+    ordered = sorted(items, key=lambda it: it.arrival)
+    injector = FaultInjector(FaultPlan(seed=11, io_error_rate=0.3))
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=items.capacity
+    )
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    durable = DurableEngine(make_engine(), wal, injector=injector)
+    accepted = []
+    for i, it in enumerate(ordered):
+        try:
+            durable.submit(it, request_id=f"op-{i}")
+        except OSError:
+            continue
+        accepted.append(it)
+    wal.close()  # crash here: no drain, no final checkpoint
+    assert injector.injected_io_errors > 0, "the storm must actually hit"
+    assert 0 < len(accepted) < len(ordered)
+
+    recovered, report = recover(
+        str(tmp_path), engine_builder=make_engine, fsync="never"
+    )
+    assert report.dedup_entries == len(accepted)
+    clean = make_engine()
+    for it in accepted:
+        clean.submit(it)
+    a, b = recovered.finish(), clean.finish()
+    assert a.item_bin == b.item_bin
+    assert a.total_usage_time == b.total_usage_time
+    recovered.close()
+
+
+@pytest.mark.chaos
+def test_loadgen_exactly_once_under_dropped_replies(tmp_path):
+    """Dropped replies + client retries = every job placed exactly once."""
+    items = poisson_workload(80, seed=31, mu_target=8.0, arrival_rate=4.0)
+    injector = FaultInjector(FaultPlan(seed=13, drop_rate=0.15))
+    engine = DurableEngine(
+        StreamingEngine.scalar(
+            make_algorithm("first-fit"),
+            capacity=items.capacity,
+            metrics=MetricsRegistry(),
+        ),
+        WriteAheadLog(str(tmp_path), fsync="never"),
+    )
+
+    async def scenario():
+        service = AllocationService(engine, quiet=True, injector=injector)
+        port = await service.start("127.0.0.1", 0)
+        try:
+            return await run_loadgen(
+                items,
+                port=port,
+                retry=RetryPolicy(retries=8, base=0.002, seed=5),
+            )
+        finally:
+            service._shutdown.set()
+            await service.wait_closed()
+
+    report = asyncio.run(scenario())
+    assert report.errors == 0
+    assert report.actions == {"placed": len(items)}
+    assert report.retries > 0, "the storm must actually drop replies"
+    # exactly-once server-side: retries were absorbed by the dedup
+    # window, the engine placed each job a single time
+    stats = engine.stats()
+    assert stats["placed"] == len(items)
+    dup = engine.metrics.get("repro_service_duplicate_requests_total").value
+    assert dup >= 1
+    engine.close()
+
+
+@pytest.mark.chaos
+def test_clock_skew_still_yields_a_consistent_packing(tmp_path):
+    """Skewed client clocks may reorder arrivals; the service stays sane.
+
+    Out-of-order submits are refused (the engine validates before
+    mutating), accepted ones pack normally — the invariant is zero
+    crashes and a drainable final state, not a particular packing.
+    """
+    items = poisson_workload(60, seed=37, mu_target=6.0, arrival_rate=2.0)
+    injector = FaultInjector(FaultPlan(seed=3, clock_skew=0.4))
+    engine = StreamingEngine.scalar(
+        make_algorithm("first-fit"),
+        capacity=items.capacity,
+        metrics=MetricsRegistry(),
+    )
+
+    async def scenario():
+        service = AllocationService(engine, quiet=True, injector=injector)
+        port = await service.start("127.0.0.1", 0)
+        try:
+            return await run_loadgen(items, port=port)
+        finally:
+            service._shutdown.set()
+            await service.wait_closed()
+
+    report = asyncio.run(scenario())
+    placed = report.actions.get("placed", 0)
+    assert placed + report.errors == len(items)
+    assert placed > 0
+    assert report.drain["bins"] > 0

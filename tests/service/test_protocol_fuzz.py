@@ -1,0 +1,203 @@
+"""Protocol abuse: the server answers garbage with errors, never dies.
+
+The hardening contract from ``repro.service.server``: malformed JSON,
+binary noise, oversized lines, unknown ops, bad field types, duplicate
+request ids, and clients that vanish mid-request each produce one
+structured ``{"ok": false, "error_type": ...}`` reply (or a clean
+close) — and the *next* request still works.  Everything here runs on a
+loopback socket with no sleeps, so it stays in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+
+from repro.service import AllocationService, build_engine
+
+
+async def fuzz_session(service_kwargs, script):
+    """Start a service, run ``script(port)`` against it, return its value."""
+    engine = build_engine(algorithm="first-fit")
+    service = AllocationService(engine, quiet=True, **service_kwargs)
+    port = await service.start("127.0.0.1", 0)
+    try:
+        return await script(port), service
+    finally:
+        service._shutdown.set()
+        await service.wait_closed()
+
+
+async def open_call(port):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+    async def call_raw(line: bytes) -> dict:
+        writer.write(line)
+        await writer.drain()
+        return json.loads(await reader.readline())
+
+    async def call(payload: dict) -> dict:
+        return await call_raw((json.dumps(payload) + "\n").encode())
+
+    return reader, writer, call_raw, call
+
+
+def run(script, **service_kwargs):
+    return asyncio.run(fuzz_session(service_kwargs, script))
+
+
+def test_malformed_lines_get_structured_errors():
+    cases = [
+        b'{"op": "sub\n',                      # truncated JSON
+        b"{not json at all\n",
+        b"\x00\xff\xfe\x80garbage\x9c\n",      # invalid UTF-8
+        b"42\n",                                # JSON, but not an object
+        b"[1, 2, 3]\n",
+        b'"just a string"\n',
+        b"null\n",
+    ]
+
+    async def script(port):
+        _, writer, call_raw, call = await open_call(port)
+        replies = [await call_raw(c) for c in cases]
+        pong = await call({"op": "ping"})      # the server is still alive
+        writer.close()
+        return replies, pong
+
+    (replies, pong), service = run(script)
+    for reply in replies:
+        assert reply["ok"] is False
+        assert reply["error_type"] in ("malformed_json", "protocol")
+        assert reply["error"]
+    assert pong == {"ok": True, "pong": True}
+    metrics = service.engine.metrics.as_dict()
+    assert metrics["repro_service_malformed_requests_total"] == len(cases)
+
+
+def test_bad_requests_are_rejected_not_fatal():
+    cases = [
+        {"op": "frobnicate"},
+        {"no_op_at_all": 1},
+        {"op": "submit"},                                       # no job
+        {"op": "submit", "job": "not an object"},
+        {"op": "submit", "job": {"id": 1}},                     # missing fields
+        {"op": "submit", "job": {"id": "x", "size": 0.5,
+                                 "arrival": 0.0, "departure": 1.0}},
+        {"op": "submit", "job": {"id": 1, "size": "huge",
+                                 "arrival": 0.0, "departure": 1.0}},
+        {"op": "submit", "job": {"id": 1, "size": -0.5,
+                                 "arrival": 0.0, "departure": 1.0}},
+        {"op": "submit", "job": {"id": 1, "size": 0.5,
+                                 "arrival": 5.0, "departure": 1.0}},
+        {"op": "depart"},                                       # no id
+        {"op": "depart", "id": 999},                            # unknown id
+        {"op": "advance"},                                      # no now
+        {"op": "advance", "now": "later"},
+        {"op": "submit", "job": {"id": 2, "size": 0.5,
+                                 "arrival": 0.0, "departure": 1e400}},
+    ]
+
+    async def script(port):
+        _, writer, _, call = await open_call(port)
+        replies = [await call(c) for c in cases]
+        ok = await call({"op": "submit", "job": {
+            "id": 3, "size": 0.5, "arrival": 0.0, "departure": 1.0}})
+        writer.close()
+        return replies, ok
+
+    (replies, ok), _ = run(script)
+    for case, reply in zip(cases, replies):
+        assert reply["ok"] is False, case
+        assert reply["error_type"] in ("protocol", "rejected"), case
+    assert ok["ok"] is True
+    assert ok["placement"]["action"] == "placed"
+
+
+def test_oversized_line_reported_then_connection_closed():
+    async def script(port):
+        reader, writer, call_raw, _ = await open_call(port)
+        reply = await call_raw(b'{"pad": "' + b"x" * 4096 + b'"}\n')
+        closed = (await reader.readline()) == b""  # server hung up
+        writer.close()
+        # a fresh connection works fine
+        _, writer2, _, call2 = await open_call(port)
+        pong = await call2({"op": "ping"})
+        writer2.close()
+        return reply, closed, pong
+
+    (reply, closed, pong), _ = run(script, max_line_bytes=1024)
+    assert reply["ok"] is False
+    assert reply["error_type"] == "line_too_long"
+    assert closed, "the stream cannot be resynchronised mid-line"
+    assert pong == {"ok": True, "pong": True}
+
+
+def test_client_vanishing_mid_line_is_counted_not_crashed():
+    async def script(port):
+        # half a request, then the socket dies
+        _, writer, _, _ = await open_call(port)
+        writer.write(b'{"op": "submit", "job": {"id": 1,')
+        await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+        # an empty open-close, for good measure
+        _, writer2, _, _ = await open_call(port)
+        writer2.close()
+        await writer2.wait_closed()
+        # give the handler tasks their turn to observe the EOFs
+        await asyncio.sleep(0)
+        _, writer3, _, call = await open_call(port)
+        stats = await call({"op": "stats"})
+        metrics = await call({"op": "metrics"})
+        writer3.close()
+        return stats, metrics
+
+    (stats, metrics), _ = run(script)
+    assert stats["ok"] is True
+    assert "repro_service_disconnects_total 1" in metrics["text"]
+
+
+def test_duplicate_request_ids_place_once():
+    async def script(port):
+        _, writer, _, call = await open_call(port)
+        job = {"id": 1, "size": 0.4, "arrival": 0.0, "departure": 2.0}
+        first = await call({"op": "submit", "job": job, "request_id": "r-1"})
+        second = await call({"op": "submit", "job": job, "request_id": "r-1"})
+        third = await call({"op": "submit", "job": job, "request_id": "r-1"})
+        stats = await call({"op": "stats"})
+        writer.close()
+        return first, second, third, stats
+
+    (first, second, third, stats), _ = run(script)
+    assert first["ok"] and second["ok"] and third["ok"]
+    assert second["placement"] == first["placement"]
+    assert second["duplicate"] is True and third["duplicate"] is True
+    # the engine saw exactly one job
+    assert stats["stats"]["placed"] == 1
+
+
+def test_seeded_random_garbage_never_kills_the_server():
+    rng = random.Random(0)
+    lines = []
+    for _ in range(60):
+        n = rng.randrange(1, 120)
+        # any byte but the protocol's line separator, so each blob is
+        # exactly one request and the reply stream stays in step
+        body = bytes(b for b in (rng.randrange(1, 256) for _ in range(n)) if b != 10)
+        lines.append(body + b"\n")
+
+    async def script(port):
+        _, writer, call_raw, call = await open_call(port)
+        failures = 0
+        for line in lines:
+            reply = await call_raw(line)
+            failures += reply["ok"] is False
+        pong = await call({"op": "ping"})
+        writer.close()
+        return failures, pong
+
+    (failures, pong), service = run(script)
+    assert failures == len(lines), "random bytes must never be accepted"
+    assert pong == {"ok": True, "pong": True}
+    assert service.requests_served == len(lines) + 1

@@ -1,0 +1,322 @@
+"""Crash recovery: killed-anywhere ≡ never-killed, bit for bit.
+
+The property test at the heart of the durability claim: run a seeded
+trace through a :class:`DurableEngine` with a fault plan that kills the
+process at *every possible event index* — before the WAL append, after
+the append but before the apply, and after the apply — then
+:func:`recover` from the directory and resume the trace from the killed
+index.  Retried submits carry the same ``request_id`` as the original,
+so the idempotency window absorbs the may-or-may-not-have-applied
+ambiguity, and the final packing (``item_bin``, float-exact
+``total_usage_time``) must equal the run that never crashed.  Variants
+cover torn tail records, the vector engine, and cuts landing while the
+adaptive first-fit index is active.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.core.state as state_mod
+from repro.algorithms import make_algorithm
+from repro.multidim import make_vector_algorithm, vector_workload
+from repro.service import (
+    DedupWindow,
+    DurableEngine,
+    FaultInjector,
+    FaultPlan,
+    KillPoint,
+    MetricsRegistry,
+    StreamingEngine,
+    WriteAheadLog,
+    recover,
+)
+from repro.service.recovery import CHECKPOINT_PREFIX, CHECKPOINT_SUFFIX
+from repro.service.snapshot import SNAPSHOT_VERSION
+from repro.workloads import poisson_workload
+
+CHECKPOINT_EVERY = 7  # small, so most kill runs cross several checkpoints
+
+
+def scalar_ops(n=36, seed=17, arrival_rate=4.0):
+    items = poisson_workload(n, seed=seed, mu_target=8.0, arrival_rate=arrival_rate)
+    ordered = sorted(items, key=lambda it: it.arrival)
+    ops = []
+    for i, it in enumerate(ordered):
+        ops.append(("submit", it))
+        if i % 10 == 9:  # sprinkle explicit clock moves into the log
+            ops.append(("advance", it.arrival))
+    return items.capacity, ops
+
+
+def vector_ops(n=30, seed=19):
+    items = vector_workload(n, seed=seed, dimensions=2, arrival_rate=10.0)
+    ordered = sorted(items, key=lambda it: it.arrival)
+    return items.capacity, [("submit", it) for it in ordered]
+
+
+def apply_op(engine, i, op, durable):
+    kind, arg = op
+    if kind == "submit":
+        if durable:
+            engine.submit(arg, request_id=f"op-{i}")
+        else:
+            engine.submit(arg)
+    else:
+        engine.advance(arg)
+
+
+def baseline_result(make_engine, ops):
+    engine = make_engine()
+    for i, op in enumerate(ops):
+        apply_op(engine, i, op, durable=False)
+    return engine.finish()
+
+
+def run_with_kill(directory, make_engine, ops, point, hit, torn=False):
+    """One crash-recovery round trip; returns (result, report)."""
+    plan = FaultPlan(seed=1, kill={point: hit}, torn_tail=torn)
+    injector = FaultInjector(plan)
+    wal = WriteAheadLog(directory, fsync="never")
+    durable = DurableEngine(
+        make_engine(), wal, checkpoint_every=CHECKPOINT_EVERY, injector=injector
+    )
+    killed_at = None
+    try:
+        for i, op in enumerate(ops):
+            apply_op(durable, i, op, durable=True)
+        durable.finish()
+    except KillPoint:
+        killed_at = i
+    finally:
+        wal.close()
+    assert killed_at is not None, f"kill {point}@{hit} never fired"
+
+    recovered, report = recover(
+        directory,
+        engine_builder=make_engine,
+        fsync="never",
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    # the restarted client retries from the killed event with the same
+    # request ids — the dedup window absorbs the maybe-applied one
+    for i in range(killed_at, len(ops)):
+        apply_op(recovered, i, ops[i], durable=True)
+    result = recovered.finish()
+    recovered.close()
+    return result, report
+
+
+# every hit index, for the kill windows on either side of the apply:
+# before the WAL append (nothing durable) and after the apply (both the
+# log and the in-memory state saw the op)
+@pytest.mark.parametrize("point", ["wal.write", "applied"])
+def test_scalar_kill_at_every_event_index(tmp_path, point):
+    capacity, ops = scalar_ops()
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    expected = baseline_result(make_engine, ops)
+    for hit in range(1, len(ops) + 1):
+        result, _ = run_with_kill(
+            str(tmp_path / f"{point}-{hit}"), make_engine, ops, point, hit
+        )
+        assert result.item_bin == expected.item_bin, f"{point}@{hit}"
+        assert result.total_usage_time == expected.total_usage_time, f"{point}@{hit}"
+        assert result.num_bins == expected.num_bins, f"{point}@{hit}"
+
+
+def test_scalar_kill_between_append_and_apply(tmp_path):
+    """The narrowest window: logged but never applied.  Replay applies it."""
+    capacity, ops = scalar_ops()
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    expected = baseline_result(make_engine, ops)
+    for hit in range(1, len(ops) + 1, 3):
+        result, report = run_with_kill(
+            str(tmp_path / f"gap-{hit}"), make_engine, ops, "wal.appended", hit
+        )
+        assert result.item_bin == expected.item_bin, f"wal.appended@{hit}"
+        assert result.total_usage_time == expected.total_usage_time
+
+
+def test_scalar_kill_with_torn_tail(tmp_path):
+    """The kill tears the in-flight record; recovery truncates and resumes."""
+    capacity, ops = scalar_ops()
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    expected = baseline_result(make_engine, ops)
+    saw_torn = 0
+    for hit in range(1, len(ops) + 1, 2):
+        result, report = run_with_kill(
+            str(tmp_path / f"torn-{hit}"), make_engine, ops, "wal.write", hit,
+            torn=True,
+        )
+        saw_torn += report.torn_bytes > 0
+        assert result.item_bin == expected.item_bin, f"torn@{hit}"
+        assert result.total_usage_time == expected.total_usage_time, f"torn@{hit}"
+    assert saw_torn > 0, "at least one run must recover an actual torn tail"
+
+
+def test_vector_kill_at_every_event_index(tmp_path):
+    capacity, ops = vector_ops()
+    make_engine = lambda: StreamingEngine.vector(
+        make_vector_algorithm("vector-first-fit"), capacity=capacity
+    )
+    expected = baseline_result(make_engine, ops)
+    for hit in range(1, len(ops) + 1):
+        result, _ = run_with_kill(
+            str(tmp_path / f"v-{hit}"), make_engine, ops, "applied", hit
+        )
+        assert result.item_bin == expected.item_bin, f"vector applied@{hit}"
+        assert result.total_usage_time == expected.total_usage_time
+
+
+def test_scalar_kill_with_index_active(tmp_path, monkeypatch):
+    """Cuts landing in the adaptive-tree regime recover identically."""
+    monkeypatch.setattr(state_mod, "INDEX_THRESHOLD", 1)
+    capacity, ops = scalar_ops(n=25, seed=3, arrival_rate=30.0)
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    expected = baseline_result(make_engine, ops)
+    for hit in range(1, len(ops) + 1, 2):
+        result, _ = run_with_kill(
+            str(tmp_path / f"tree-{hit}"), make_engine, ops, "applied", hit
+        )
+        assert result.item_bin == expected.item_bin, f"tree applied@{hit}"
+        assert result.total_usage_time == expected.total_usage_time
+
+
+def test_mid_step_kill_inside_the_driver(tmp_path):
+    """Kills landing *inside* the engine's event step still recover."""
+    capacity, ops = scalar_ops(n=20, seed=5)
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    expected = baseline_result(make_engine, ops)
+    for point in ("arrive.pre", "arrive.post"):
+        for hit in (1, 5, 11):
+            result, _ = run_with_kill(
+                str(tmp_path / f"{point}-{hit}"), make_engine, ops, point, hit
+            )
+            assert result.item_bin == expected.item_bin, f"{point}@{hit}"
+            assert result.total_usage_time == expected.total_usage_time
+
+
+def test_recovery_metrics_and_report(tmp_path):
+    capacity, ops = scalar_ops(n=15, seed=9)
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity, metrics=MetricsRegistry()
+    )
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    durable = DurableEngine(make_engine(), wal, checkpoint_every=1000)
+    for i, op in enumerate(ops):
+        apply_op(durable, i, op, durable=True)
+    wal.close()  # no checkpoint, no clean shutdown: a full-tail replay
+
+    recovered, report = recover(
+        str(tmp_path), engine_builder=make_engine, fsync="never"
+    )
+    assert report.checkpoint_path is None
+    assert report.replayed == len(ops)
+    assert report.replay_errors == 0
+    assert report.dedup_entries == sum(1 for k, _ in ops if k == "submit")
+    reg = recovered.metrics
+    assert reg.get("repro_service_recoveries_total").value == 1
+    assert reg.get("repro_service_wal_replayed_total").value == len(ops)
+    text = report.render()
+    assert "cold replay" in text
+    assert f"replayed {len(ops)} WAL records" in text
+    recovered.close()
+
+
+def test_duplicate_submit_is_answered_from_the_window(tmp_path):
+    capacity, ops = scalar_ops(n=10, seed=21)
+    engine = StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity, metrics=MetricsRegistry()
+    )
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    durable = DurableEngine(engine, wal)
+    item = ops[0][1]
+    first = durable.submit(item, request_id="rid-1")
+    again = durable.submit(item, request_id="rid-1")
+    assert again.to_dict() == first.to_dict()
+    assert wal.records_written == 1, "the duplicate must not touch the log"
+    assert (
+        engine.metrics.get("repro_service_duplicate_requests_total").value == 1
+    )
+    durable.close()
+
+
+def test_newer_schema_checkpoint_is_refused(tmp_path):
+    doc = {"version": SNAPSHOT_VERSION + 1, "wal_seq": 5, "engine": {}}
+    path = tmp_path / f"{CHECKPOINT_PREFIX}{5:010d}{CHECKPOINT_SUFFIX}"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="newer than this code"):
+        recover(
+            str(tmp_path),
+            engine_builder=lambda: StreamingEngine.scalar(
+                make_algorithm("first-fit")
+            ),
+        )
+
+
+def test_unreadable_checkpoint_is_skipped_for_an_older_one(tmp_path):
+    capacity, ops = scalar_ops(n=12, seed=33)
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    durable = DurableEngine(make_engine(), wal, checkpoint_every=1000)
+    for i, op in enumerate(ops):
+        apply_op(durable, i, op, durable=True)
+    good = durable.checkpoint_now()
+    wal.close()
+    # a newer checkpoint truncated by a crash predating atomic writes
+    bad = tmp_path / f"{CHECKPOINT_PREFIX}{9999:010d}{CHECKPOINT_SUFFIX}"
+    bad.write_text('{"version": 1, "wal_')
+
+    recovered, report = recover(str(tmp_path), engine_builder=make_engine)
+    assert report.checkpoint_path == good
+    assert report.skipped_checkpoints == [str(bad)]
+    assert recovered.engine.state.num_bins_used > 0
+    recovered.close()
+
+
+def test_checkpoint_retention_keeps_three(tmp_path):
+    capacity, ops = scalar_ops(n=20, seed=41)
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    durable = DurableEngine(
+        StreamingEngine.scalar(make_algorithm("first-fit"), capacity=capacity),
+        wal,
+        checkpoint_every=2,
+    )
+    for i, op in enumerate(ops):
+        apply_op(durable, i, op, durable=True)
+    durable.close()
+    checkpoints = [
+        n for n in os.listdir(str(tmp_path)) if n.startswith(CHECKPOINT_PREFIX)
+    ]
+    assert 1 <= len(checkpoints) <= 3
+
+
+def test_cold_start_without_builder_is_an_error(tmp_path):
+    with pytest.raises(ValueError, match="engine_builder"):
+        recover(str(tmp_path))
+
+
+def test_dedup_window_is_bounded():
+    window = DedupWindow(limit=3)
+    for i in range(5):
+        window.put(f"r{i}", {"n": i})
+    assert len(window) == 3
+    assert "r0" not in window and "r1" not in window
+    assert window.get("r4") == {"n": 4}
+    with pytest.raises(ValueError):
+        DedupWindow(limit=0)

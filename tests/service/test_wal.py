@@ -1,0 +1,199 @@
+"""The write-ahead log: record format, rotation, torn tails, corruption.
+
+The WAL is the durability floor of the service — every guarantee the
+recovery layer makes reduces to these properties: records round-trip
+exactly, a torn *tail* is tolerated and truncated on reopen, any other
+defect (bit rot, a sequence gap) is loud corruption, and segments rotate
+and prune so the log never grows without bound.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service.wal import (
+    WalCorruptionError,
+    WalError,
+    WriteAheadLog,
+    read_segment,
+    replay_wal,
+    wal_segments,
+)
+
+
+def test_roundtrip_in_order(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    payloads = [{"op": "submit", "job": [i, 0.5, 0.0, 1.0]} for i in range(20)]
+    seqs = [wal.append(p) for p in payloads]
+    wal.close()
+    assert seqs == list(range(1, 21))
+    records, torn = replay_wal(str(tmp_path))
+    assert torn == 0
+    assert [r.seq for r in records] == seqs
+    assert [r.payload for r in records] == payloads
+
+
+def test_preserialized_payload_equals_dict_payload(tmp_path):
+    """The hot-path str form and the dict form decode identically."""
+    import json
+
+    a = WriteAheadLog(str(tmp_path / "a"), fsync="never")
+    b = WriteAheadLog(str(tmp_path / "b"), fsync="never")
+    payload = {"job": [7, 0.25, 0.0, 3.5], "op": "submit", "sd": True}
+    a.append(payload)
+    b.append(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    a.close()
+    b.close()
+    rec_a, _ = replay_wal(str(tmp_path / "a"))
+    rec_b, _ = replay_wal(str(tmp_path / "b"))
+    assert rec_a[0].payload == rec_b[0].payload
+    # identical serialization means identical bytes (CRC included)
+    assert (
+        open(wal_segments(str(tmp_path / "a"))[0], "rb").read()
+        == open(wal_segments(str(tmp_path / "b"))[0], "rb").read()
+    )
+
+
+def test_replay_after_seq_skips_checkpointed_records(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    for i in range(10):
+        wal.append({"op": "advance", "now": float(i)})
+    wal.close()
+    records, _ = replay_wal(str(tmp_path), after_seq=6)
+    assert [r.seq for r in records] == [7, 8, 9, 10]
+
+
+def test_rotation_and_prune(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="never", segment_bytes=200)
+    for i in range(30):
+        wal.append({"op": "advance", "now": float(i)})
+    segments = wal_segments(str(tmp_path))
+    assert len(segments) > 2, "the tiny segment size must force rotation"
+    records, _ = replay_wal(str(tmp_path))
+    assert [r.seq for r in records] == list(range(1, 31))
+    # prune everything covered by a checkpoint at seq 30: every segment
+    # but the live tail goes away, and replay still works
+    removed = wal.prune(30)
+    assert removed == len(segments) - 1
+    assert len(wal_segments(str(tmp_path))) == 1
+    wal.append({"op": "drain"})
+    wal.close()
+    records, _ = replay_wal(str(tmp_path))
+    assert records[-1].seq == 31
+
+
+def test_torn_tail_is_tolerated_and_truncated_on_reopen(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    for i in range(5):
+        wal.append({"op": "advance", "now": float(i)})
+    wal.close()
+    path = wal_segments(str(tmp_path))[0]
+    size = os.path.getsize(path)
+    with open(path, "ab") as f:
+        f.write(b"6 deadbeef {half a rec")  # a crash mid-write
+    records, torn = replay_wal(str(tmp_path))
+    assert [r.seq for r in records] == [1, 2, 3, 4, 5]
+    assert torn == os.path.getsize(path) - size
+    # reopening for append truncates the torn bytes and resumes the
+    # sequence where the intact prefix ended
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    assert wal.recovered_torn_bytes == torn
+    assert os.path.getsize(path) == size
+    assert wal.append({"op": "drain"}) == 6
+    wal.close()
+    records, torn = replay_wal(str(tmp_path))
+    assert [r.seq for r in records] == [1, 2, 3, 4, 5, 6]
+    assert torn == 0
+
+
+def test_corruption_before_the_tail_raises(tmp_path):
+    """Bit rot in a non-final segment is not a torn tail — it is loss."""
+    wal = WriteAheadLog(str(tmp_path), fsync="never", segment_bytes=120)
+    for i in range(12):
+        wal.append({"op": "advance", "now": float(i)})
+    wal.close()
+    first = wal_segments(str(tmp_path))[0]
+    data = bytearray(open(first, "rb").read())
+    data[len(data) // 2] ^= 0xFF
+    with open(first, "wb") as f:
+        f.write(data)
+    with pytest.raises(WalCorruptionError):
+        replay_wal(str(tmp_path))
+    with pytest.raises(WalCorruptionError):
+        read_segment(first)
+
+
+def test_sequence_gap_raises(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    for i in range(4):
+        wal.append({"op": "advance", "now": float(i)})
+    wal.close()
+    path = wal_segments(str(tmp_path))[0]
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    with open(path, "wb") as f:
+        f.write(lines[0] + lines[2] + lines[3])  # drop record 2
+    with pytest.raises(WalCorruptionError, match="sequence gap"):
+        replay_wal(str(tmp_path))
+
+
+def test_fsync_policies(tmp_path):
+    always = WriteAheadLog(str(tmp_path / "a"), fsync="always")
+    for i in range(3):
+        always.append({"op": "advance", "now": float(i)})
+    assert always.fsyncs == 3
+    always.close()
+
+    never = WriteAheadLog(str(tmp_path / "n"), fsync="never")
+    for i in range(3):
+        never.append({"op": "advance", "now": float(i)})
+    never.close()
+    assert never.fsyncs == 0
+
+    interval = WriteAheadLog(str(tmp_path / "i"), fsync="interval", fsync_every=4)
+    for i in range(3):
+        interval.append({"op": "advance", "now": float(i)})
+    interval.sync()  # the checkpoint barrier forces one regardless
+    assert interval.fsyncs >= 1
+    interval.close()
+    # everything written under every policy is replayable
+    for sub in ("a", "n", "i"):
+        records, _ = replay_wal(str(tmp_path / sub))
+        assert len(records) == 3
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(ValueError, match="fsync mode"):
+        WriteAheadLog(str(tmp_path), fsync="sometimes")
+    with pytest.raises(ValueError, match="fsync_every"):
+        WriteAheadLog(str(tmp_path), fsync_every=0)
+    with pytest.raises(ValueError, match="segment_bytes"):
+        WriteAheadLog(str(tmp_path), segment_bytes=0)
+
+
+def test_append_after_close_raises(tmp_path):
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    wal.close()
+    with pytest.raises(WalError, match="closed"):
+        wal.append({"op": "drain"})
+
+
+def test_io_hook_error_leaves_log_usable(tmp_path):
+    """An injected write error refuses the record, nothing else."""
+    fail_next = {"on": False}
+
+    def hook(op, seq):
+        if op == "write" and fail_next["on"]:
+            fail_next["on"] = False
+            raise OSError("injected")
+
+    wal = WriteAheadLog(str(tmp_path), fsync="never", io_hook=hook)
+    wal.append({"op": "advance", "now": 1.0})
+    fail_next["on"] = True
+    with pytest.raises(OSError):
+        wal.append({"op": "advance", "now": 2.0})
+    assert wal.append({"op": "advance", "now": 3.0}) == 2
+    wal.close()
+    records, _ = replay_wal(str(tmp_path))
+    assert [r.payload["now"] for r in records] == [1.0, 3.0]

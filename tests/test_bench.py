@@ -39,10 +39,17 @@ def test_quick_bench_structure(tmp_path):
     for row in report.throughput:
         assert row["events_per_sec"] > 0
         assert row["path"] in ("default", "reference")
-    # two replay modes per grid cell plus the one loopback cell
-    assert len(report.service) == 2 * len(SERVICE_QUICK_GRID) + 1
+    # two replay modes per grid cell, three WAL cells, one loopback cell
+    assert len(report.service) == 2 * len(SERVICE_QUICK_GRID) + 3 + 1
     modes = {r["mode"] for r in report.service}
-    assert modes == {"stream", "stream+metrics", "server-loopback"}
+    assert modes == {
+        "stream",
+        "stream+metrics",
+        "stream+wal(never)",
+        "stream+wal(interval)",
+        "stream+wal(always)",
+        "server-loopback",
+    }
     for row in report.service:
         assert row["events_per_sec"] > 0
     payload = json.loads(out.read_text())
@@ -74,8 +81,18 @@ def test_full_bench_baseline(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     report = run_bench(quick=False, repeats=3, json_path=str(out))
     assert len(report.throughput) == expected_rows(THROUGHPUT_GRID, VECTOR_GRID)
-    assert len(report.service) == 2 * len(SERVICE_GRID) + 1
+    assert len(report.service) == 2 * len(SERVICE_GRID) + 3 + 1
     assert report.montecarlo["identical"] is True
+    # the durability floor: streaming with the WAL in the loop at the
+    # default group-commit policy stays within 2x of the bare stream cell
+    stream = next(
+        r for r in report.service
+        if r["mode"] == "stream" and r["instance"] == SERVICE_GRID[0][0]
+    )
+    wal = next(
+        r for r in report.service if r["mode"] == "stream+wal(interval)"
+    )
+    assert wal["seconds"] <= 2 * stream["seconds"]
     # the acceptance floor: first-fit on the 2000-job instance must beat
     # the seed engine's ~238k events/sec by at least 2x
     ff2k = next(
