@@ -6,6 +6,8 @@ Usage (installed as the ``repro`` console script, or
     repro list-algorithms            # available policies + known bounds
     repro list-experiments           # the DESIGN.md experiment index
     repro run T2                     # regenerate one experiment
+    repro run T5 --workers -1 --json t5.json  # sharded + JSON artifact
+    repro report --workers -1 --resume       # cached, resumable report
     repro bounds --mu 8              # analytic bounds table at a µ
     repro generate poisson --n 100 --seed 1 --out trace.json
     repro pack trace.json --algorithm first-fit --opt --render
@@ -18,7 +20,6 @@ Usage (installed as the ``repro`` console script, or
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 from typing import Optional, Sequence
 
@@ -27,8 +28,9 @@ from .algorithms import ALGORITHM_REGISTRY, CLAIRVOYANT_REGISTRY, make_algorithm
 from .analysis.bounds import KNOWN_BOUNDS, bounds_table
 from .analysis.verification import verify_analysis
 from .core.packing import run_packing
-from .experiments import EXPERIMENT_REGISTRY
+from .experiments import EXPERIMENT_ORDER, SPEC_REGISTRY
 from .experiments.figures import FigureOutput
+from .experiments.spec import PROFILES
 from .opt.opt_total import opt_total
 from .viz.timeline import render_bins
 from .workloads import (
@@ -81,14 +83,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-experiments", help="the experiment index")
 
     p_run = sub.add_parser("run", help="run one experiment by id")
-    p_run.add_argument("experiment", choices=sorted(EXPERIMENT_REGISTRY))
+    p_run.add_argument("experiment", choices=list(EXPERIMENT_ORDER))
     p_run.add_argument(
         "--workers",
         type=_workers_int,
         default=None,
         help="worker processes for sharded experiments "
-        "(default: serial; -1 = one per CPU; ignored by experiments "
-        "that do not shard)",
+        "(default: serial; -1 = one per CPU; single-task experiments "
+        "always run serially)",
+    )
+    p_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment's seed parameter (seed, seeds or "
+        "random_seeds — whichever the spec declares; errors otherwise)",
+    )
+    p_run.add_argument(
+        "--node-budget", type=_positive_int, default=None,
+        help="override the spec's node_budget parameter (OPT search "
+        "effort; errors if the spec has none)",
+    )
+    p_run.add_argument(
+        "--profile", choices=list(PROFILES), default=None,
+        help="parameter profile (default: full; smoke = small CI config)",
+    )
+    p_run.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the JSON result artifact here",
     )
 
     p_bounds = sub.add_parser("bounds", help="analytic bounds table")
@@ -284,6 +304,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", nargs="*", default=None,
         help="experiment ids to include (default: all)",
     )
+    p_report.add_argument(
+        "--workers", type=_workers_int, default=None,
+        help="fan experiment shards across worker processes "
+        "(default: serial; -1 = one per CPU)",
+    )
+    p_report.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="store each experiment's JSON artifact here as it completes",
+    )
+    p_report.add_argument(
+        "--resume", action="store_true",
+        help="serve results from the cache instead of recomputing "
+        "(defaults --cache-dir to .repro-cache)",
+    )
+    p_report.add_argument(
+        "--profile", choices=list(PROFILES), default=None,
+        help="parameter profile (default: full; smoke = small CI config)",
+    )
+    p_report.add_argument(
+        "--stamp", default=None,
+        help="fixed timestamp for the report header (byte-reproducible "
+        "output; SOURCE_DATE_EPOCH is honoured too)",
+    )
 
     return parser
 
@@ -320,23 +363,50 @@ def cmd_list_algorithms() -> int:
 def cmd_list_experiments() -> int:
     print(f"{'id':6s} target")
     print("-" * 60)
-    for eid in sorted(EXPERIMENT_REGISTRY):
-        fn = EXPERIMENT_REGISTRY[eid]
-        doc = (fn.__doc__ or "").strip().splitlines()[0]
-        print(f"{eid:6s} {doc}")
+    for eid in EXPERIMENT_ORDER:
+        print(f"{eid:6s} {SPEC_REGISTRY[eid].doc}")
     return 0
 
 
-def cmd_run(experiment: str, workers: Optional[int] = None) -> int:
-    fn = EXPERIMENT_REGISTRY[experiment]
-    kwargs = {}
-    if workers is not None and "workers" in inspect.signature(fn).parameters:
-        kwargs["workers"] = workers
-    result = fn(**kwargs)
+def _seed_override(spec, seed: Optional[int]) -> dict:
+    """Map ``--seed`` onto whichever seed parameter the spec declares."""
+    if seed is None:
+        return {}
+    for name in ("seed", "seeds", "random_seeds"):
+        if spec.has_param(name):
+            return {name: seed if name == "seed" else (seed,)}
+    raise ValueError(
+        f"{spec.id}: no seed parameter "
+        f"(declared: {', '.join(spec.param_names()) or 'none'})"
+    )
+
+
+def cmd_run(args) -> int:
+    import json
+
+    from .experiments.runner import artifact_document, run_spec
+
+    spec = SPEC_REGISTRY[args.experiment]
+    try:
+        overrides = {"node_budget": args.node_budget}
+        overrides.update(_seed_override(spec, args.seed))
+        # resolve up front: a typo'd flag must fail before any compute,
+        # and --json needs the resolved params for the artifact
+        params = spec.resolve(overrides, profile=args.profile)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_spec(spec, overrides, workers=args.workers, profile=args.profile)
     if isinstance(result, FigureOutput):
         print(result.rendering)
     else:
         print(result.render())
+    if args.json:
+        with open(args.json, "w") as f:
+            # no sort_keys: row dicts are insertion-ordered (column order)
+            json.dump(artifact_document(spec, params, result), f, indent=1)
+            f.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 
@@ -586,7 +656,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list-experiments":
         return cmd_list_experiments()
     if args.command == "run":
-        return cmd_run(args.experiment, workers=args.workers)
+        return cmd_run(args)
     if args.command == "bounds":
         print(bounds_table(args.mu))
         return 0
@@ -614,14 +684,27 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         print(profile_instance(load_trace(args.trace)).render())
         return 0
     if args.command == "report":
-        from .experiments.report import generate_report
+        from .experiments.report import generate_report_summary
 
-        path = generate_report(
-            args.out,
-            only=tuple(args.only) if args.only else None,
-            progress=lambda eid: print(f"running {eid} ..."),
-        )
+        cache_dir = args.cache_dir
+        if cache_dir is None and args.resume:
+            cache_dir = ".repro-cache"
+        try:
+            path, summary = generate_report_summary(
+                args.out,
+                only=tuple(args.only) if args.only else None,
+                progress=lambda eid: print(f"running {eid} ..."),
+                workers=args.workers,
+                cache_dir=cache_dir,
+                resume=args.resume,
+                profile=args.profile,
+                stamp=args.stamp,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(f"wrote {path}")
+        print(summary.render())
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 

@@ -1,18 +1,29 @@
-"""Per-figure/table experiment harness (see DESIGN.md §3 for the index)."""
+"""Per-figure/table experiment harness (see DESIGN.md §3 for the index).
 
-from .adaptive import run_adaptive_adversary
-from .anatomy import run_cost_anatomy
-from .augmentation_exp import run_augmentation
+Every experiment is a declarative :class:`~repro.experiments.spec.ExperimentSpec`
+(``SPEC_REGISTRY``) driven by the :mod:`~repro.experiments.runner`
+framework — sharded execution, content-addressed artifact cache, resume.
+The historical ``run_*`` callables (``EXPERIMENT_REGISTRY``) remain as
+thin back-compat wrappers that run their spec through the serial runner.
+"""
+
+from .adaptive import ADAPTIVE_SPEC, run_adaptive_adversary
+from .anatomy import ANATOMY_SPEC, run_cost_anatomy
+from .augmentation_exp import AUGMENTATION_SPEC, run_augmentation
 from .ablation import (
+    CONSTANTS_ABLATION_SPEC,
+    HFF_THRESHOLD_SPEC,
+    SELECTION_ABLATION_SPEC,
     run_constants_ablation,
     run_hff_threshold_ablation,
     run_selection_ablation,
 )
-from .cloud_gaming import run_cloud_gaming
-from .comparison import run_bounds_table, suite_instances
-from .deferral_exp import run_deferral
-from .fleet_exp import run_fleet_comparison
+from .cloud_gaming import CLOUD_GAMING_SPEC, run_cloud_gaming
+from .comparison import BOUNDS_TABLE_SPEC, run_bounds_table, suite_instances
+from .deferral_exp import DEFERRAL_SPEC, run_deferral
+from .fleet_exp import FLEET_SPEC, run_fleet_comparison
 from .figures import (
+    FIGURE_SPECS,
     FigureOutput,
     figure1_instance,
     figure1_span,
@@ -22,19 +33,60 @@ from .figures import (
     figures56_nonintersection,
 )
 from .harness import ExperimentResult, RatioMeasurement, format_table, measure_ratio
-from .exploration import run_worst_case_search
-from .information import run_information_price
-from .lower_bounds import run_bestfit_staircase, run_universal_lower_bound
-from .migration_exp import run_migration_budget
-from .montecarlo import bootstrap_ci, run_expected_ratio
-from .multidim_exp import run_multidim
-from .nextfit import run_nextfit_lower_bound
-from .predictions_exp import run_predictions
+from .exploration import WORST_CASE_SPEC, run_worst_case_search
+from .information import INFORMATION_SPEC, run_information_price
+from .lower_bounds import (
+    BESTFIT_STAIRCASE_SPEC,
+    UNIVERSAL_LB_SPEC,
+    run_bestfit_staircase,
+    run_universal_lower_bound,
+)
+from .migration_exp import MIGRATION_SPEC, run_migration_budget
+from .montecarlo import EXPECTED_RATIO_SPEC, bootstrap_ci, run_expected_ratio
+from .multidim_exp import MULTIDIM_SPEC, run_multidim
+from .nextfit import NEXTFIT_LB_SPEC, run_nextfit_lower_bound
+from .predictions_exp import PREDICTIONS_SPEC, run_predictions
 from .report import generate_report, run_all_experiments
-from .retention_exp import run_retention
-from .theorem1 import run_theorem1
+from .retention_exp import RETENTION_SPEC, run_retention
+from .runner import ExperimentRunner, ResultCache, RunSummary, run_spec
+from .spec import ExperimentSpec, ParamSpec
+from .theorem1 import THEOREM1_SPEC, run_theorem1
 
-#: id → runnable, mirroring the DESIGN.md experiment index.
+#: id → spec, in the natural DESIGN.md experiment-index order
+#: (figures, then theorem tables, then extensions).
+SPEC_REGISTRY: dict[str, ExperimentSpec] = {
+    spec.id: spec
+    for spec in (
+        *FIGURE_SPECS,
+        THEOREM1_SPEC,
+        NEXTFIT_LB_SPEC,
+        UNIVERSAL_LB_SPEC,
+        BESTFIT_STAIRCASE_SPEC,
+        BOUNDS_TABLE_SPEC,
+        CLOUD_GAMING_SPEC,
+        FLEET_SPEC,
+        RETENTION_SPEC,
+        MULTIDIM_SPEC,
+        SELECTION_ABLATION_SPEC,
+        HFF_THRESHOLD_SPEC,
+        CONSTANTS_ABLATION_SPEC,
+        INFORMATION_SPEC,
+        ADAPTIVE_SPEC,
+        WORST_CASE_SPEC,
+        AUGMENTATION_SPEC,
+        EXPECTED_RATIO_SPEC,
+        PREDICTIONS_SPEC,
+        DEFERRAL_SPEC,
+        MIGRATION_SPEC,
+        ANATOMY_SPEC,
+    )
+}
+
+#: experiment ids in report/index order — NOT lexicographic (sorted()
+#: would interleave X1, X10, X11, X2a, …)
+EXPERIMENT_ORDER: tuple[str, ...] = tuple(SPEC_REGISTRY)
+
+#: id → back-compat runnable, mirroring the DESIGN.md experiment index.
 EXPERIMENT_REGISTRY = {
     "F1": figure1_span,
     "F2": figure2_usage_periods,
@@ -64,11 +116,20 @@ EXPERIMENT_REGISTRY = {
     "X11": run_cost_anatomy,
 }
 
+assert set(EXPERIMENT_REGISTRY) == set(SPEC_REGISTRY), "registries diverged"
+
 __all__ = [
+    "EXPERIMENT_ORDER",
     "EXPERIMENT_REGISTRY",
+    "SPEC_REGISTRY",
     "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
     "FigureOutput",
+    "ParamSpec",
     "RatioMeasurement",
+    "ResultCache",
+    "RunSummary",
     "figure1_instance",
     "figure1_span",
     "figure2_usage_periods",
@@ -93,6 +154,7 @@ __all__ = [
     "run_adaptive_adversary",
     "run_augmentation",
     "run_expected_ratio",
+    "run_spec",
     "bootstrap_ci",
     "generate_report",
     "run_all_experiments",

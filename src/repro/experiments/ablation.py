@@ -30,11 +30,20 @@ from ..opt.opt_total import opt_total
 from ..workloads.random_workloads import batch_workload, poisson_workload
 from .comparison import suite_instances
 from .harness import ExperimentResult, measure_ratio
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_selection_ablation", "run_hff_threshold_ablation", "run_constants_ablation"]
+__all__ = [
+    "CONSTANTS_ABLATION_SPEC",
+    "HFF_THRESHOLD_SPEC",
+    "SELECTION_ABLATION_SPEC",
+    "run_constants_ablation",
+    "run_hff_threshold_ablation",
+    "run_selection_ablation",
+]
 
 
-def run_selection_ablation(
+def _selection_ablation(
     mu: float = 8.0, node_budget: int = 100_000
 ) -> ExperimentResult:
     """X2a: Any-Fit selection rules over the standard suite."""
@@ -60,7 +69,7 @@ def run_selection_ablation(
     return exp
 
 
-def run_hff_threshold_ablation(
+def _hff_threshold_ablation(
     mu: float = 8.0,
     thresholds: tuple[tuple[float, ...], ...] = (
         (0.5,),
@@ -98,7 +107,7 @@ def run_hff_threshold_ablation(
     return exp
 
 
-def run_constants_ablation(
+def _constants_ablation(
     seeds: tuple[int, ...] = tuple(range(25)),
     n: int = 70,
 ) -> ExperimentResult:
@@ -152,3 +161,49 @@ def run_constants_ablation(
             }
         )
     return exp
+
+
+SELECTION_ABLATION_SPEC = simple_spec(
+    "X2a",
+    "Any-Fit selection-rule ablation",
+    _selection_ablation,
+    smoke=dict(mu=4.0, node_budget=8_000),
+)
+
+HFF_THRESHOLD_SPEC = simple_spec(
+    "X2b",
+    "Hybrid First Fit threshold ablation",
+    _hff_threshold_ablation,
+    smoke=dict(mu=4.0, thresholds=((0.5,), ()), seeds=(1,), node_budget=8_000),
+)
+
+CONSTANTS_ABLATION_SPEC = simple_spec(
+    "X2c",
+    "Analysis-constant reconstruction: Lemma-2 violation rates",
+    _constants_ablation,
+    smoke=dict(seeds=(0, 1, 2, 3), n=40),
+)
+
+
+def run_selection_ablation(**overrides) -> ExperimentResult:
+    """X2a: Any-Fit selection rules over the standard suite.
+
+    Back-compat wrapper: runs the X2a spec through the serial runner.
+    """
+    return run_spec(SELECTION_ABLATION_SPEC, overrides)
+
+
+def run_hff_threshold_ablation(**overrides) -> ExperimentResult:
+    """X2b: Hybrid First Fit threshold sweep.
+
+    Back-compat wrapper: runs the X2b spec through the serial runner.
+    """
+    return run_spec(HFF_THRESHOLD_SPEC, overrides)
+
+
+def run_constants_ablation(**overrides) -> ExperimentResult:
+    """X2c: Lemma 2 holds under (µ, µ+1), fails under neighbours.
+
+    Back-compat wrapper: runs the X2c spec through the serial runner.
+    """
+    return run_spec(CONSTANTS_ABLATION_SPEC, overrides)

@@ -17,8 +17,10 @@ from ..adversary.strategies import KeepAliveAdversary
 from ..algorithms import ALGORITHM_REGISTRY, make_algorithm
 from ..opt.opt_total import opt_total
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_adaptive_adversary"]
+__all__ = ["ADAPTIVE_SPEC", "run_adaptive_adversary"]
 
 DEFAULT_TARGETS = (
     "first-fit",
@@ -30,7 +32,7 @@ DEFAULT_TARGETS = (
 )
 
 
-def run_adaptive_adversary(
+def _adaptive_adversary(
     waves: int = 6,
     k: int = 5,
     bins_per_wave: int = 3,
@@ -67,3 +69,19 @@ def run_adaptive_adversary(
                 }
             )
     return exp
+
+
+ADAPTIVE_SPEC = simple_spec(
+    "X4",
+    "Adaptive keep-alive adversary vs deterministic policies",
+    _adaptive_adversary,
+    smoke=dict(waves=2, k=3, bins_per_wave=2, mus=(4.0,), node_budget=30_000),
+)
+
+
+def run_adaptive_adversary(**overrides) -> ExperimentResult:
+    """Play the keep-alive game against each policy and measure ratios.
+
+    Back-compat wrapper: runs the X4 spec through the serial runner.
+    """
+    return run_spec(ADAPTIVE_SPEC, overrides)

@@ -27,11 +27,13 @@ from ..workloads.gaming import gaming_workload
 from ..workloads.mmpp import mmpp_workload
 from ..workloads.random_workloads import batch_workload, poisson_workload
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_cost_anatomy"]
+__all__ = ["ANATOMY_SPEC", "run_cost_anatomy"]
 
 
-def run_cost_anatomy(node_budget: int = 80_000) -> ExperimentResult:
+def _cost_anatomy(node_budget: int = 80_000) -> ExperimentResult:
     """span / V(h) / V(l) shares of FF cost across workload families."""
     exp = ExperimentResult(
         "X11",
@@ -71,3 +73,19 @@ def run_cost_anatomy(node_budget: int = 80_000) -> ExperimentResult:
             }
         )
     return exp
+
+
+ANATOMY_SPEC = simple_spec(
+    "X11",
+    "Anatomy of First Fit's cost: span vs overlapped-h vs overlapped-l",
+    _cost_anatomy,
+    smoke=dict(node_budget=10_000),
+)
+
+
+def run_cost_anatomy(**overrides) -> ExperimentResult:
+    """span / V(h) / V(l) shares of FF cost across workload families.
+
+    Back-compat wrapper: runs the X11 spec through the serial runner.
+    """
+    return run_spec(ANATOMY_SPEC, overrides)

@@ -14,11 +14,13 @@ from ..opt.opt_total import opt_total
 from ..workloads.adversarial import next_fit_lower_bound, universal_lower_bound
 from ..workloads.random_workloads import poisson_workload
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_augmentation"]
+__all__ = ["AUGMENTATION_SPEC", "run_augmentation"]
 
 
-def run_augmentation(
+def _augmentation(
     epsilons: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 1.0),
     mu: float = 8.0,
     n: int = 16,
@@ -54,3 +56,19 @@ def run_augmentation(
             row[f"eps={eps:g}"] = augmented_ratio(items, algo, eps, opt=opt)
         exp.rows.append(row)
     return exp
+
+
+AUGMENTATION_SPEC = simple_spec(
+    "X6",
+    "Resource augmentation: ALG at capacity 1+ε vs OPT at 1",
+    _augmentation,
+    smoke=dict(epsilons=(0.0, 0.5), n=8, mu=4.0, node_budget=20_000),
+)
+
+
+def run_augmentation(**overrides) -> ExperimentResult:
+    """ε sweep on the two gadgets and a random workload.
+
+    Back-compat wrapper: runs the X6 spec through the serial runner.
+    """
+    return run_spec(AUGMENTATION_SPEC, overrides)

@@ -13,11 +13,13 @@ from __future__ import annotations
 from ..cloud.billing import ContinuousBilling, HourlyBilling
 from ..cloud.gaming_service import GamingScenario, run_gaming_comparison
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_cloud_gaming"]
+__all__ = ["CLOUD_GAMING_SPEC", "run_cloud_gaming"]
 
 
-def run_cloud_gaming(
+def _cloud_gaming(
     num_sessions: int = 300,
     rates: tuple[float, ...] = (1.0, 4.0, 12.0),
     seed: int = 42,
@@ -59,3 +61,19 @@ def run_cloud_gaming(
                     }
                 )
     return exp
+
+
+CLOUD_GAMING_SPEC = simple_spec(
+    "T6",
+    "Cloud gaming dispatch: total renting cost by policy and billing",
+    _cloud_gaming,
+    smoke=dict(num_sessions=40, rates=(2.0,)),
+)
+
+
+def run_cloud_gaming(**overrides) -> ExperimentResult:
+    """Sweep load level × billing model for all candidate policies.
+
+    Back-compat wrapper: runs the T6 spec through the serial runner.
+    """
+    return run_spec(CLOUD_GAMING_SPEC, overrides)

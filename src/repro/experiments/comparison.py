@@ -14,7 +14,6 @@ from ..algorithms import ALGORITHM_REGISTRY, make_algorithm
 from ..analysis.bounds import KNOWN_BOUNDS
 from ..core.items import ItemList
 from ..opt.opt_total import opt_total
-from ..parallel import parallel_map
 from ..workloads.adversarial import (
     best_fit_staircase,
     next_fit_lower_bound,
@@ -22,8 +21,10 @@ from ..workloads.adversarial import (
 )
 from ..workloads.random_workloads import batch_workload, poisson_workload
 from .harness import ExperimentResult, measure_ratio
+from .runner import run_spec
+from .spec import ExperimentSpec, params_from_signature
 
-__all__ = ["run_bounds_table", "suite_instances"]
+__all__ = ["BOUNDS_TABLE_SPEC", "run_bounds_table", "suite_instances"]
 
 DEFAULT_ALGOS = (
     "first-fit",
@@ -59,18 +60,23 @@ def _opt_bracket(task: tuple[ItemList, int]):
     return opt_total(items, node_budget=node_budget)
 
 
-def run_bounds_table(
+def _bounds_table_defaults(
     mu: float = 8.0,
     algorithms: tuple[str, ...] = DEFAULT_ALGOS,
     node_budget: int = 100_000,
-    workers: int | None = None,
-) -> ExperimentResult:
-    """Measured worst ratios next to the analytic bounds at one µ.
+) -> None:
+    """Signature-only carrier of the T5 parameter table."""
 
-    The per-instance OPT brackets dominate the runtime; ``workers``
-    shards them over processes (serial by default).  The algorithm runs
-    themselves are fast and stay in-process.
-    """
+
+def _bounds_table_tasks(params: dict) -> list[tuple[ItemList, int]]:
+    """One shard per suite instance: its OPT bracket (the hot part)."""
+    suite = suite_instances(params["mu"])
+    return [(inst, params["node_budget"]) for _, inst in suite]
+
+
+def _bounds_table_merge(params: dict, brackets: list) -> ExperimentResult:
+    """Algorithm runs + table assembly (fast, stays in-process)."""
+    mu = params["mu"]
     exp = ExperimentResult(
         "T5",
         f"Known bounds vs measured worst-case ratios at µ = {mu:g}",
@@ -82,12 +88,9 @@ def run_bounds_table(
         ),
     )
     suite = suite_instances(mu)
-    brackets = parallel_map(
-        _opt_bracket, [(inst, node_budget) for _, inst in suite], workers=workers
-    )
     opts = {name: bracket for (name, _), bracket in zip(suite, brackets)}
     bound_by_name = {b.algorithm: b for b in KNOWN_BOUNDS}
-    for algo_name in algorithms:
+    for algo_name in params["algorithms"]:
         worst = 0.0
         worst_on = ""
         for inst_name, inst in suite:
@@ -109,3 +112,29 @@ def run_bounds_table(
             }
         )
     return exp
+
+
+BOUNDS_TABLE_SPEC = ExperimentSpec(
+    id="T5",
+    title="Known bounds vs measured worst-case ratios at one µ",
+    doc="Measured worst ratios next to the analytic bounds at one µ.",
+    params=params_from_signature(
+        _bounds_table_defaults,
+        smoke=dict(mu=4.0, algorithms=("first-fit", "next-fit"), node_budget=8_000),
+    ),
+    tasks=_bounds_table_tasks,
+    run_task=_opt_bracket,
+    merge=_bounds_table_merge,
+    module=__name__,
+)
+
+
+def run_bounds_table(workers: int | None = None, **overrides) -> ExperimentResult:
+    """Measured worst ratios next to the analytic bounds at one µ.
+
+    Back-compat wrapper over the T5 spec: the per-instance OPT brackets
+    dominate the runtime, so the spec shards one task per suite
+    instance and ``workers`` spreads them over processes (serial by
+    default, ``-1`` = one per CPU).
+    """
+    return run_spec(BOUNDS_TABLE_SPEC, overrides, workers=workers)

@@ -14,11 +14,13 @@ from ..core.packing import run_packing
 from ..deferral.engine import run_deferred_first_fit
 from ..workloads.gaming import gaming_workload
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_deferral"]
+__all__ = ["DEFERRAL_SPEC", "run_deferral"]
 
 
-def run_deferral(
+def _deferral(
     delays: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 1.0, 2.0),
     num_sessions: int = 300,
     request_rate: float = 8.0,
@@ -50,3 +52,19 @@ def run_deferral(
             }
         )
     return exp
+
+
+DEFERRAL_SPEC = simple_spec(
+    "X9",
+    "Deferred dispatch: usage cost vs waiting time (patience sweep)",
+    _deferral,
+    smoke=dict(delays=(0.0, 0.5), num_sessions=60, request_rate=4.0),
+)
+
+
+def run_deferral(**overrides) -> ExperimentResult:
+    """Patience sweep on one gaming stream.
+
+    Back-compat wrapper: runs the X9 spec through the serial runner.
+    """
+    return run_spec(DEFERRAL_SPEC, overrides)

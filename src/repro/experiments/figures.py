@@ -24,8 +24,11 @@ from ..viz.timeline import (
     render_usage_decomposition,
 )
 from ..workloads.random_workloads import poisson_workload
+from .runner import run_spec
+from .spec import simple_spec
 
 __all__ = [
+    "FIGURE_SPECS",
     "figure1_instance",
     "figure1_span",
     "figure2_usage_periods",
@@ -44,6 +47,39 @@ class FigureOutput:
     rendering: str
     data: object
 
+    def to_json(self) -> dict:
+        """JSON-artifact document; inverse of :meth:`from_json`.
+
+        The rendering (the figure's durable surface — what reports
+        embed) always round-trips byte-identically.  ``data`` is kept
+        when it is plain JSON-representable structure and dropped
+        otherwise (analysis objects hold full packing results; an
+        artifact is not a pickle).
+        """
+        from .harness import encode_value
+
+        try:
+            data = encode_value(self.data)
+            has_data = True
+        except TypeError:
+            data, has_data = None, False
+        return {
+            "kind": "figure",
+            "figure_id": self.figure_id,
+            "rendering": self.rendering,
+            "data": data,
+            "data_serialized": has_data,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FigureOutput":
+        from .harness import decode_value
+
+        data = decode_value(doc["data"]) if doc.get("data_serialized") else None
+        return cls(
+            figure_id=doc["figure_id"], rendering=doc["rendering"], data=data
+        )
+
 
 def figure1_instance() -> ItemList:
     """The three-item example in the spirit of Figure 1.
@@ -61,7 +97,7 @@ def figure1_instance() -> ItemList:
     )
 
 
-def figure1_span() -> FigureOutput:
+def _figure1_span() -> FigureOutput:
     """F1: items and their span."""
     items = figure1_instance()
     return FigureOutput("F1", render_items(items), items)
@@ -82,7 +118,7 @@ def _four_bin_instance() -> ItemList:
     )
 
 
-def figure2_usage_periods() -> FigureOutput:
+def _figure2_usage_periods() -> FigureOutput:
     """F2: the U/V/W/E decomposition on a four-bin First Fit run."""
     result = run_packing(_four_bin_instance(), FirstFit())
     deco = decompose_usage_periods(result)
@@ -95,7 +131,7 @@ def _subperiod_rich_result(seed: int = 3, n: int = 80) -> PackingResult:
     return run_packing(inst, FirstFit())
 
 
-def figure3_subperiods() -> FigureOutput:
+def _figure3_subperiods() -> FigureOutput:
     """F3: small-item selection and l/h-subperiod split."""
     result = _subperiod_rich_result()
     subs = build_subperiods(result)
@@ -103,14 +139,14 @@ def figure3_subperiods() -> FigureOutput:
     return FigureOutput("F3", render_subperiods(result, analysis), subs)
 
 
-def figure4_supplier() -> FigureOutput:
+def _figure4_supplier() -> FigureOutput:
     """F4: supplier bins, pairing/consolidation and supplier periods."""
     result = _subperiod_rich_result(seed=5)
     analysis = analyze_suppliers(result)
     return FigureOutput("F4", render_subperiods(result, analysis), analysis)
 
 
-def figures56_nonintersection(
+def _figures56_nonintersection(
     seeds: tuple[int, ...] = tuple(range(20)), n: int = 70
 ) -> FigureOutput:
     """F5/F6: Lemma 2 (supplier periods never intersect) across instances.
@@ -131,3 +167,51 @@ def figures56_nonintersection(
         f"{violations} supplier-period intersections found."
     )
     return FigureOutput("F5-F6", rendering, {"checked": checked, "violations": violations})
+
+
+F1_SPEC = simple_spec("F1", "Figure 1: items and their span", _figure1_span)
+F2_SPEC = simple_spec(
+    "F2", "Figure 2: U/V/W/E usage-period decomposition", _figure2_usage_periods
+)
+F3_SPEC = simple_spec(
+    "F3", "Figure 3: small-item selection and l/h-subperiod split",
+    _figure3_subperiods,
+)
+F4_SPEC = simple_spec(
+    "F4", "Figure 4: supplier bins, pairing and supplier periods",
+    _figure4_supplier,
+)
+F56_SPEC = simple_spec(
+    "F5-F6",
+    "Figures 5-6: supplier periods never intersect (Lemma 2)",
+    _figures56_nonintersection,
+    smoke=dict(seeds=(0, 1), n=40),
+)
+
+#: the five figure specs in DESIGN.md order
+FIGURE_SPECS = (F1_SPEC, F2_SPEC, F3_SPEC, F4_SPEC, F56_SPEC)
+
+
+def figure1_span(**overrides) -> FigureOutput:
+    """F1: items and their span (back-compat wrapper over the F1 spec)."""
+    return run_spec(F1_SPEC, overrides)
+
+
+def figure2_usage_periods(**overrides) -> FigureOutput:
+    """F2: the U/V/W/E decomposition on a four-bin First Fit run."""
+    return run_spec(F2_SPEC, overrides)
+
+
+def figure3_subperiods(**overrides) -> FigureOutput:
+    """F3: small-item selection and l/h-subperiod split."""
+    return run_spec(F3_SPEC, overrides)
+
+
+def figure4_supplier(**overrides) -> FigureOutput:
+    """F4: supplier bins, pairing/consolidation and supplier periods."""
+    return run_spec(F4_SPEC, overrides)
+
+
+def figures56_nonintersection(**overrides) -> FigureOutput:
+    """F5/F6: Lemma 2 (supplier periods never intersect) across instances."""
+    return run_spec(F56_SPEC, overrides)

@@ -19,11 +19,13 @@ from ..cloud.fleet import (
 from ..cloud.server import InstanceType
 from ..workloads.gaming import gaming_workload
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_fleet_comparison"]
+__all__ = ["FLEET_SPEC", "run_fleet_comparison"]
 
 
-def run_fleet_comparison(
+def _fleet_comparison(
     num_sessions: int = 300,
     rates: tuple[float, ...] = (2.0, 8.0),
     seed: int = 7,
@@ -65,3 +67,19 @@ def run_fleet_comparison(
                 }
             )
     return exp
+
+
+FLEET_SPEC = simple_spec(
+    "T7",
+    "Heterogeneous fleet: launch policies vs homogeneous baseline",
+    _fleet_comparison,
+    smoke=dict(num_sessions=60, rates=(4.0,)),
+)
+
+
+def run_fleet_comparison(**overrides) -> ExperimentResult:
+    """Launch-policy × load sweep, homogeneous baseline included.
+
+    Back-compat wrapper: runs the T7 spec through the serial runner.
+    """
+    return run_spec(FLEET_SPEC, overrides)

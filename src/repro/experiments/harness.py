@@ -10,7 +10,51 @@ from ..core.items import ItemList
 from ..core.packing import run_packing
 from ..opt.opt_total import OptTotalBracket, opt_total
 
-__all__ = ["ExperimentResult", "format_table", "measure_ratio", "RatioMeasurement"]
+__all__ = [
+    "ExperimentResult",
+    "decode_value",
+    "encode_value",
+    "format_table",
+    "measure_ratio",
+    "RatioMeasurement",
+]
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a result value for a JSON artifact, reversibly.
+
+    JSON has no tuple type, and the experiment tables rely on the
+    list/tuple distinction surviving a round trip (rendered reprs must
+    be byte-identical).  Tuples are tagged; every other supported type
+    maps onto JSON directly (``float('nan')``/infinities ride on
+    Python's ``allow_nan`` JSON extension).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise TypeError(f"non-string artifact key {k!r}")
+            out[k] = encode_value(v)
+        return out
+    raise TypeError(f"value {value!r} of type {type(value).__name__} "
+                    "is not JSON-artifact serializable")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(decode_value(v) for v in value["__tuple__"])
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -86,6 +130,25 @@ class ExperimentResult:
 
     def column(self, name: str) -> list[Any]:
         return [row.get(name) for row in self.rows]
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-artifact document; inverse of :meth:`from_json`."""
+        return {
+            "kind": "table",
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [encode_value(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=doc["experiment_id"],
+            title=doc["title"],
+            rows=[decode_value(row) for row in doc["rows"]],
+            notes=doc["notes"],
+        )
 
 
 def _fmt(value: Any) -> str:

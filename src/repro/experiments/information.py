@@ -21,11 +21,13 @@ from ..offline.solvers import exact_offline, greedy_offline, local_search
 from ..opt.opt_total import opt_total
 from ..workloads.random_workloads import poisson_workload
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_information_price"]
+__all__ = ["INFORMATION_SPEC", "run_information_price"]
 
 
-def run_information_price(
+def _information_price(
     n: int = 13,
     seeds: tuple[int, ...] = tuple(range(10)),
     mu_target: float = 6.0,
@@ -79,3 +81,19 @@ def run_information_price(
             }
         )
     return exp
+
+
+INFORMATION_SPEC = simple_spec(
+    "X3",
+    "Price of information and migration (normalised to repacking OPT)",
+    _information_price,
+    smoke=dict(n=8, seeds=(0,), node_budget=100_000),
+)
+
+
+def run_information_price(**overrides) -> ExperimentResult:
+    """Compare the three models on small exactly-solvable instances.
+
+    Back-compat wrapper: runs the X3 spec through the serial runner.
+    """
+    return run_spec(INFORMATION_SPEC, overrides)

@@ -17,11 +17,18 @@ from ..algorithms import BestFit, FirstFit, LastFit, NextFit, WorstFit
 from ..opt.opt_total import opt_total
 from ..workloads.adversarial import best_fit_staircase, universal_lower_bound
 from .harness import ExperimentResult, measure_ratio
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_universal_lower_bound", "run_bestfit_staircase"]
+__all__ = [
+    "BESTFIT_STAIRCASE_SPEC",
+    "UNIVERSAL_LB_SPEC",
+    "run_bestfit_staircase",
+    "run_universal_lower_bound",
+]
 
 
-def run_universal_lower_bound(
+def _universal_lower_bound(
     ns: tuple[int, ...] = (8, 16, 32),
     mus: tuple[float, ...] = (2.0, 4.0, 8.0),
     node_budget: int = 100_000,
@@ -61,7 +68,7 @@ def run_universal_lower_bound(
     return exp
 
 
-def run_bestfit_staircase(
+def _bestfit_staircase(
     ns: tuple[int, ...] = (12, 24, 48),
     mus: tuple[float, ...] = (4.0, 8.0, 16.0),
     node_budget: int = 100_000,
@@ -96,3 +103,34 @@ def run_bestfit_staircase(
                 }
             )
     return exp
+
+
+UNIVERSAL_LB_SPEC = simple_spec(
+    "T3",
+    "Universal lower-bound construction: all algorithms → µ",
+    _universal_lower_bound,
+    smoke=dict(ns=(8,), mus=(4.0,), node_budget=10_000),
+)
+
+BESTFIT_STAIRCASE_SPEC = simple_spec(
+    "T4",
+    "Best Fit staircase: BF/FF separation grows with n and µ",
+    _bestfit_staircase,
+    smoke=dict(ns=(12,), mus=(4.0,), node_budget=10_000),
+)
+
+
+def run_universal_lower_bound(**overrides) -> ExperimentResult:
+    """T3: every algorithm forced to the same ≈ µ·n/(n+µ) ratio.
+
+    Back-compat wrapper: runs the T3 spec through the serial runner.
+    """
+    return run_spec(UNIVERSAL_LB_SPEC, overrides)
+
+
+def run_bestfit_staircase(**overrides) -> ExperimentResult:
+    """T4: Best Fit scatters, First Fit consolidates.
+
+    Back-compat wrapper: runs the T4 spec through the serial runner.
+    """
+    return run_spec(BESTFIT_STAIRCASE_SPEC, overrides)

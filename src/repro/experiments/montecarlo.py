@@ -16,11 +16,12 @@ import numpy as np
 from ..algorithms import make_algorithm
 from ..core.packing import run_packing
 from ..opt.opt_total import opt_total
-from ..parallel import parallel_map
 from ..workloads.random_workloads import poisson_workload
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import ExperimentSpec, params_from_signature
 
-__all__ = ["run_expected_ratio", "bootstrap_ci"]
+__all__ = ["EXPECTED_RATIO_SPEC", "run_expected_ratio", "bootstrap_ci"]
 
 
 def _replication_ratios(
@@ -58,23 +59,33 @@ def bootstrap_ci(
     )
 
 
-def run_expected_ratio(
+def _expected_ratio_defaults(
     n: int = 60,
     replications: int = 12,
     algorithms: tuple[str, ...] = ("first-fit", "best-fit", "next-fit"),
     loads: tuple[float, ...] = (0.5, 2.0, 6.0),
     mus: tuple[float, ...] = (2.0, 8.0),
     node_budget: int = 60_000,
-    workers: int | None = None,
-) -> ExperimentResult:
-    """Load × µ sweep of mean ratios with bootstrap 95% CIs.
+) -> None:
+    """Signature-only carrier of the X7 parameter table."""
 
-    Each (µ, load, replication) cell — instance generation, the OPT
-    bracket, and all algorithm runs — is one shard; ``workers`` spreads
-    the shards over processes (serial by default, ``-1`` = all cores).
+
+def _expected_ratio_tasks(params: dict) -> list[tuple]:
+    """One shard per (µ, load, replication) Monte Carlo cell.
+
     Seeds travel inside the shards, so the numbers are worker-count
     independent.
     """
+    algorithms = tuple(params["algorithms"])
+    return [
+        (params["n"], mu, load, rep, algorithms, params["node_budget"])
+        for mu in params["mus"]
+        for load in params["loads"]
+        for rep in range(params["replications"])
+    ]
+
+
+def _expected_ratio_merge(params: dict, shard_rows: list) -> ExperimentResult:
     exp = ExperimentResult(
         "X7",
         "Expected competitive ratio vs load and µ (bootstrap 95% CI)",
@@ -83,20 +94,13 @@ def run_expected_ratio(
             "bound; ci95 is a percentile bootstrap on the mean."
         ),
     )
-    algorithms = tuple(algorithms)
-    tasks = [
-        (n, mu, load, rep, algorithms, node_budget)
-        for mu in mus
-        for load in loads
-        for rep in range(replications)
-    ]
+    algorithms = tuple(params["algorithms"])
     # one row of ratios (indexed by algorithm) per replication, merged
     # back in task order: the exact sequence the serial loops produced
-    shard_rows = parallel_map(_replication_ratios, tasks, workers=workers)
     rows = iter(shard_rows)
-    for mu in mus:
-        for load in loads:
-            block = [next(rows) for _ in range(replications)]
+    for mu in params["mus"]:
+        for load in params["loads"]:
+            block = [next(rows) for _ in range(params["replications"])]
             for j, name in enumerate(algorithms):
                 ratios = np.array([row[j] for row in block])
                 lo, hi = bootstrap_ci(ratios)
@@ -112,3 +116,36 @@ def run_expected_ratio(
                     }
                 )
     return exp
+
+
+EXPECTED_RATIO_SPEC = ExperimentSpec(
+    id="X7",
+    title="Expected competitive ratio vs load and µ (bootstrap 95% CI)",
+    doc="Load × µ sweep of mean ratios with bootstrap 95% CIs.",
+    params=params_from_signature(
+        _expected_ratio_defaults,
+        smoke=dict(
+            n=20,
+            replications=2,
+            algorithms=("first-fit", "next-fit"),
+            loads=(2.0,),
+            mus=(2.0,),
+            node_budget=5_000,
+        ),
+    ),
+    tasks=_expected_ratio_tasks,
+    run_task=_replication_ratios,
+    merge=_expected_ratio_merge,
+    module=__name__,
+)
+
+
+def run_expected_ratio(workers: int | None = None, **overrides) -> ExperimentResult:
+    """Load × µ sweep of mean ratios with bootstrap 95% CIs.
+
+    Back-compat wrapper over the X7 spec: each (µ, load, replication)
+    cell — instance generation, the OPT bracket, and all algorithm runs
+    — is one shard; ``workers`` spreads the shards over processes
+    (serial by default, ``-1`` = all cores).
+    """
+    return run_spec(EXPECTED_RATIO_SPEC, overrides, workers=workers)

@@ -23,10 +23,11 @@ from ..multidim import (
     run_vector_packing,
     vector_workload,
 )
-from ..parallel import parallel_map
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import ExperimentSpec, params_from_signature
 
-__all__ = ["run_multidim"]
+__all__ = ["MULTIDIM_SPEC", "run_multidim"]
 
 
 def _run_cell(task: tuple[str, float, str, int, int]) -> float:
@@ -44,14 +45,37 @@ def _run_cell(task: tuple[str, float, str, int, int]) -> float:
     return res.ratio_vs_lower_bound()
 
 
-def run_multidim(
+def _multidim_defaults(
     n: int = 120,
     seeds: tuple[int, ...] = (1, 2, 3),
     dimensions: tuple[int, ...] = (1, 2, 3),
     correlations: tuple[float, ...] = (0.0, 0.5, 1.0),
-    workers: Optional[int] = None,
-) -> ExperimentResult:
-    """Dimension sweep + correlation sweep for vector policies."""
+) -> None:
+    """Signature-only carrier of the X1 parameter table."""
+
+
+def _multidim_groups(params: dict) -> list[tuple[str, float, str]]:
+    return [
+        ("dimensions", dim, algo_name)
+        for dim in params["dimensions"]
+        for algo_name in VECTOR_REGISTRY
+    ] + [
+        ("correlation", corr, algo_name)
+        for corr in params["correlations"]
+        for algo_name in VECTOR_REGISTRY
+    ]
+
+
+def _multidim_tasks(params: dict) -> list[tuple[str, float, str, int, int]]:
+    """One shard per (sweep point, algorithm, seed) grid cell."""
+    return [
+        (sweep, value, algo_name, seed, params["n"])
+        for sweep, value, algo_name in _multidim_groups(params)
+        for seed in params["seeds"]
+    ]
+
+
+def _multidim_merge(params: dict, ratios: list[float]) -> ExperimentResult:
     exp = ExperimentResult(
         "X1",
         "Multi-dimensional MinUsageTime DBP (paper future work)",
@@ -61,23 +85,9 @@ def run_multidim(
             "number of independent dimensions grows (packing tension)."
         ),
     )
-    groups: list[tuple[str, float, str]] = [
-        ("dimensions", dim, algo_name)
-        for dim in dimensions
-        for algo_name in VECTOR_REGISTRY
-    ] + [
-        ("correlation", corr, algo_name)
-        for corr in correlations
-        for algo_name in VECTOR_REGISTRY
-    ]
-    tasks = [
-        (sweep, value, algo_name, seed, n)
-        for sweep, value, algo_name in groups
-        for seed in seeds
-    ]
-    ratios = parallel_map(_run_cell, tasks, workers=workers)
-    for g, (sweep, value, algo_name) in enumerate(groups):
-        cell = ratios[g * len(seeds) : (g + 1) * len(seeds)]
+    n_seeds = len(params["seeds"])
+    for g, (sweep, value, algo_name) in enumerate(_multidim_groups(params)):
+        cell = ratios[g * n_seeds : (g + 1) * n_seeds]
         exp.rows.append(
             {
                 "sweep": sweep,
@@ -88,3 +98,28 @@ def run_multidim(
             }
         )
     return exp
+
+
+MULTIDIM_SPEC = ExperimentSpec(
+    id="X1",
+    title="Multi-dimensional MinUsageTime DBP (paper future work)",
+    doc="Dimension sweep + correlation sweep for vector policies.",
+    params=params_from_signature(
+        _multidim_defaults,
+        smoke=dict(n=30, seeds=(1,), dimensions=(1, 2), correlations=(1.0,)),
+    ),
+    tasks=_multidim_tasks,
+    run_task=_run_cell,
+    merge=_multidim_merge,
+    module=__name__,
+)
+
+
+def run_multidim(workers: Optional[int] = None, **overrides) -> ExperimentResult:
+    """Dimension sweep + correlation sweep for vector policies.
+
+    Back-compat wrapper over the X1 spec; ``workers`` fans the grid
+    cells across CPUs with rows merged in task order, producing the
+    exact rows of the serial run.
+    """
+    return run_spec(MULTIDIM_SPEC, overrides, workers=workers)

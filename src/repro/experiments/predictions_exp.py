@@ -20,11 +20,13 @@ from ..core.packing import run_packing
 from ..opt.opt_total import opt_total
 from ..workloads.random_workloads import poisson_workload
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_predictions"]
+__all__ = ["PREDICTIONS_SPEC", "run_predictions"]
 
 
-def run_predictions(
+def _predictions(
     sigmas: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 2.0),
     n: int = 70,
     replications: int = 8,
@@ -69,3 +71,19 @@ def run_predictions(
         )
     exp.rows.append({"policy": "first-fit (no info)", "sigma": float("nan"), "mean_ratio": ff})
     return exp
+
+
+PREDICTIONS_SPEC = simple_spec(
+    "X8",
+    "Learning-augmented packing: ratio vs departure-prediction noise",
+    _predictions,
+    smoke=dict(sigmas=(0.0, 1.0), n=30, replications=2, node_budget=10_000),
+)
+
+
+def run_predictions(**overrides) -> ExperimentResult:
+    """Noise sweep; First Fit and the oracle as anchors.
+
+    Back-compat wrapper: runs the X8 spec through the serial runner.
+    """
+    return run_spec(PREDICTIONS_SPEC, overrides)

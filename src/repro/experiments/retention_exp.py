@@ -23,11 +23,13 @@ from ..cloud.retention import (
 )
 from ..workloads.gaming import gaming_workload
 from .harness import ExperimentResult
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_retention"]
+__all__ = ["RETENTION_SPEC", "run_retention"]
 
 
-def run_retention(
+def _retention(
     num_sessions: int = 300,
     rates: tuple[float, ...] = (2.0, 8.0),
     seed: int = 13,
@@ -77,3 +79,19 @@ def run_retention(
                     }
                 )
     return exp
+
+
+RETENTION_SPEC = simple_spec(
+    "T8",
+    "Warm-server retention: cost vs policy under each billing model",
+    _retention,
+    smoke=dict(num_sessions=60, rates=(2.0,)),
+)
+
+
+def run_retention(**overrides) -> ExperimentResult:
+    """Retention-policy × billing × load sweep on the gaming workload.
+
+    Back-compat wrapper: runs the T8 spec through the serial runner.
+    """
+    return run_spec(RETENTION_SPEC, overrides)

@@ -15,11 +15,13 @@ from ..opt.opt_total import opt_total
 from ..workloads.adversarial import universal_lower_bound
 from ..workloads.random_workloads import poisson_workload
 from .harness import ExperimentResult, measure_ratio
+from .runner import run_spec
+from .spec import simple_spec
 
-__all__ = ["run_theorem1"]
+__all__ = ["THEOREM1_SPEC", "run_theorem1"]
 
 
-def run_theorem1(
+def _theorem1(
     mus: tuple[float, ...] = (2.0, 4.0, 8.0, 16.0),
     adversarial_n: int = 24,
     random_n: int = 80,
@@ -69,3 +71,19 @@ def run_theorem1(
             }
         )
     return exp
+
+
+THEOREM1_SPEC = simple_spec(
+    "T1",
+    "First Fit competitive ratio vs Theorem 1 bound (µ+4)",
+    _theorem1,
+    smoke=dict(
+        mus=(2.0,), adversarial_n=8, random_n=20, random_seeds=(1,),
+        node_budget=10_000,
+    ),
+)
+
+
+def run_theorem1(**overrides) -> ExperimentResult:
+    """Measure the FF ratio against µ+4 across µ and workload families."""
+    return run_spec(THEOREM1_SPEC, overrides)

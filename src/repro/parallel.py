@@ -32,6 +32,58 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+class _ShardFailure:
+    """Picklable carrier for an exception raised inside a worker."""
+
+    __slots__ = ("index", "task_repr", "exc")
+
+    def __init__(self, index: int, task_repr: str, exc: BaseException):
+        self.index = index
+        self.task_repr = task_repr
+        self.exc = exc
+
+
+def _task_repr(task: object) -> str:
+    try:
+        text = repr(task)
+    except Exception:  # pragma: no cover - defensive
+        text = f"<unreprable {type(task).__name__}>"
+    return text if len(text) <= 200 else text[:200] + "…"
+
+
+def _raise_with_context(index: int, task_repr: str, exc: BaseException) -> None:
+    """Re-raise a shard exception annotated with which task failed.
+
+    The original exception type is preserved (callers keep catching
+    what the task function raises); the shard index and argument ride
+    along as an exception note.
+    """
+    if hasattr(exc, "add_note"):
+        exc.add_note(f"parallel_map: shard {index} failed on task {task_repr}")
+    raise exc
+
+
+class _IndexedCall:
+    """Wrap ``fn`` so worker-side failures return a tagged carrier.
+
+    Raising inside the worker would strip everything but the exception
+    itself on its way through the pool; returning the carrier lets the
+    parent re-raise with the shard index and argument attached.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]):
+        self.fn = fn
+
+    def __call__(self, pair: tuple[int, T]):
+        index, task = pair
+        try:
+            return self.fn(task)
+        except Exception as exc:
+            return _ShardFailure(index, _task_repr(task), exc)
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalise a ``workers`` argument to an effective process count.
 
@@ -77,8 +129,20 @@ def parallel_map(
     task_list: Sequence[T] = list(tasks)
     n_workers = min(resolve_workers(workers), len(task_list))
     if n_workers <= 1:
-        return [fn(t) for t in task_list]
+        out: list[R] = []
+        for index, task in enumerate(task_list):
+            try:
+                out.append(fn(task))
+            except Exception as exc:
+                _raise_with_context(index, _task_repr(task), exc)
+        return out
     with ProcessPoolExecutor(max_workers=n_workers) as ex:
         # Executor.map yields results in submission order regardless of
         # which worker finishes first — the ordered merge is free.
-        return list(ex.map(fn, task_list, chunksize=chunksize))
+        results = list(
+            ex.map(_IndexedCall(fn), enumerate(task_list), chunksize=chunksize)
+        )
+    for value in results:
+        if isinstance(value, _ShardFailure):
+            _raise_with_context(value.index, value.task_repr, value.exc)
+    return results

@@ -58,6 +58,39 @@ def _boom(x):
     return 1 // x
 
 
+class TestShardErrorContext:
+    """A failing shard must say which task it was working on."""
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_exception_carries_shard_index_and_task(self, workers):
+        with pytest.raises(ZeroDivisionError) as excinfo:
+            parallel_map(_boom, [1, 2, 0, 3], workers=workers)
+        notes = "\n".join(getattr(excinfo.value, "__notes__", ()))
+        assert "parallel_map: shard 2" in notes
+        assert "0" in notes
+
+    @pytest.mark.parametrize("workers", [None, 2])
+    def test_original_exception_type_preserved(self, workers):
+        with pytest.raises(KeyError):
+            parallel_map(_lookup, [{"k": 1}, {}], workers=workers)
+
+    def test_long_task_reprs_are_truncated(self):
+        big = list(range(10_000))
+        with pytest.raises(ZeroDivisionError) as excinfo:
+            parallel_map(_boom_on_list, [big])
+        notes = "\n".join(getattr(excinfo.value, "__notes__", ()))
+        assert "…" in notes
+        assert len(notes) < 400
+
+
+def _lookup(d):
+    return d["k"]
+
+
+def _boom_on_list(xs):
+    return 1 // (len(xs) - len(xs))
+
+
 class TestExperimentDeterminism:
     """Serial and parallel experiment shards must agree exactly."""
 
