@@ -5,8 +5,10 @@ fixed grid of seeded Poisson instances — both the default (adaptively
 indexed) path and the ``indexed=False`` reference scans, for the scalar
 grid and the 2-D vector grid (both run through the unified event
 driver) — plus the service-layer cells (streaming push-path replays,
-bare and with metrics, and one closed-loop run against an in-process
-asyncio server; that cell's throughput counts request round trips) and
+bare and with metrics, and closed-loop runs against an in-process
+asyncio server over both wire protocols — JSON lines and the
+length-prefixed binary fast path, with and without pipelining; those
+cells' throughput counts request round trips) and
 one serial-vs-parallel Monte Carlo wall-clock
 comparison, and writes a machine-readable report.  The committed ``BENCH_perf.json`` is the
 regression baseline future PRs diff against: the *instances* are fully
@@ -83,9 +85,10 @@ VECTOR_DIMENSIONS = 2
 
 #: Service-layer cells: the same seeded instances replayed through the
 #: streaming push path (``StreamingEngine.submit``/``finish``), bare and
-#: with the metrics registry attached, plus one loopback cell that
-#: drives a real asyncio JSON-lines server with the closed-loop load
-#: generator (protocol + event loop overhead included).
+#: with the metrics registry attached, plus the loopback cells that
+#: drive a real asyncio server with the closed-loop load generator
+#: (protocol + event loop overhead included) over JSON lines and the
+#: binary fast path, batched and pipelined.
 SERVICE_GRID: tuple[tuple[str, int, float], ...] = (
     ("n20000", 20_000, 4.0),
     ("n20000-highload", 20_000, 200.0),
@@ -95,9 +98,22 @@ SERVICE_QUICK_GRID: tuple[tuple[str, int, float], ...] = (
     ("n2000", 2_000, 4.0),
 )
 
-#: The loopback cell is bounded by per-request round trips, not packing,
-#: so a smaller instance keeps the full bench run short.
+#: The loopback cells are bounded by per-request round trips, not
+#: packing, so a smaller instance keeps the full bench run short.
 SERVICE_LOOPBACK_JOBS = 2_000
+
+#: Arrival rate for the high-load loopback cell: the same job count
+#: packed into a far denser arrival window, so many more bins are open
+#: at once and each request does more packing work.
+SERVICE_LOOPBACK_HIGHLOAD_RATE = 200.0
+
+#: Frame size / in-flight window for the binary loopback cells — the
+#: settings the pipelined load generator defaults are tuned around.
+#: 512 jobs per frame measured fastest on the loopback scan (larger
+#: frames amortise the per-frame event-loop round trip further, with
+#: diminishing returns past this point).
+SERVICE_LOOPBACK_BATCH = 512
+SERVICE_LOOPBACK_PIPELINE = 8
 
 #: ``fsync="always"`` pays one disk flush per record, so its cell uses a
 #: smaller instance (events/sec stays comparable across cell sizes).
@@ -208,16 +224,42 @@ def _wal_stream_replay(ordered, fsync: str) -> None:
         shutil.rmtree(directory, ignore_errors=True)
 
 
-async def _loopback_replay(ordered):
+async def _loopback_replay(ordered, **loadgen_kwargs):
     """Closed-loop load generation against an in-process asyncio server."""
     from .service import AllocationService, build_engine, run_loadgen
 
     service = AllocationService(build_engine(), quiet=True)
     port = await service.start("127.0.0.1", 0)
     waiter = asyncio.ensure_future(service.wait_closed())
-    client = await run_loadgen(ordered, port=port, shutdown=True)
+    client = await run_loadgen(
+        ordered, port=port, shutdown=True, **loadgen_kwargs
+    )
     await waiter
     return client
+
+
+def _loopback_cell(ordered, repeats: int, **loadgen_kwargs):
+    """Best-of-``repeats`` loopback replay with the cyclic GC paused.
+
+    Same collector treatment as :func:`_best_of` (see its docstring):
+    the loopback cells exist to compare wire protocols against each
+    other, and a generation-2 scan landing inside one protocol's lap
+    but not the other's would distort exactly the ratio the rows are
+    read for.
+    """
+    best = None
+    gc.collect()
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            client = asyncio.run(_loopback_replay(ordered, **loadgen_kwargs))
+            if best is None or client.wall_seconds < best.wall_seconds:
+                best = client
+    finally:
+        if enabled:
+            gc.enable()
+    return best
 
 
 def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
@@ -261,9 +303,13 @@ def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
         )
         for fsync in fsyncs:
             cell = wal_ordered if fsync != "always" else wal_ordered[:always_n]
+            # the WAL cells sit on the disk, and I/O latency swings far
+            # more lap-to-lap than CPU time does (observed ~60% vs ~5%
+            # on the container) — double their laps so the best-of
+            # estimate actually reaches each cell's floor
             laps[fsync] = min(
                 laps[fsync],
-                _best_of(1, lambda f=fsync, c=cell: _wal_stream_replay(c, f)),
+                _best_of(2, lambda f=fsync, c=cell: _wal_stream_replay(c, f)),
             )
     stream_row = next(
         r for r in report.service
@@ -285,26 +331,51 @@ def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
                 "events_per_sec": round(2 * cell_n / secs),
             }
         )
+    # Loopback cells: a real asyncio server driven by the closed-loop
+    # load generator.  The JSON cells measure the debug/compat wire; the
+    # binary cells measure the negotiated fast path, first one request
+    # per frame window (batch only), then with eight frames in flight
+    # (pipelining).  All four run the same seeded instances, so the
+    # rows' ratio is the protocol cost and nothing else.
     loop_items = poisson_workload(
         SERVICE_LOOPBACK_JOBS, seed=WORKLOAD_SEED, mu_target=WORKLOAD_MU,
         arrival_rate=4.0,
     )
     ordered = sorted(loop_items, key=lambda it: it.arrival)
-    best = None
-    for _ in range(repeats):
-        client = asyncio.run(_loopback_replay(ordered))
-        if best is None or client.wall_seconds < best.wall_seconds:
-            best = client
-    report.service.append(
-        {
-            "instance": f"n{SERVICE_LOOPBACK_JOBS}",
-            "n_items": SERVICE_LOOPBACK_JOBS,
-            "arrival_rate": 4.0,
-            "mode": "server-loopback",
-            "seconds": round(best.wall_seconds, 6),
-            "events_per_sec": round(best.requests_per_sec),
-        }
+    high_items = poisson_workload(
+        SERVICE_LOOPBACK_JOBS, seed=WORKLOAD_SEED, mu_target=WORKLOAD_MU,
+        arrival_rate=SERVICE_LOOPBACK_HIGHLOAD_RATE,
     )
+    high_ordered = sorted(high_items, key=lambda it: it.arrival)
+    binary = {
+        "protocol": "binary",
+        "batch": SERVICE_LOOPBACK_BATCH,
+        "pipeline": 1,
+    }
+    pipelined = dict(binary, pipeline=SERVICE_LOOPBACK_PIPELINE)
+    loop_cells = (
+        ("server-loopback", ordered, 4.0, {}),
+        (
+            "server-loopback-highload",
+            high_ordered,
+            SERVICE_LOOPBACK_HIGHLOAD_RATE,
+            {},
+        ),
+        ("server-loopback-binary", ordered, 4.0, binary),
+        ("server-loopback-pipelined", ordered, 4.0, pipelined),
+    )
+    for mode, cell_ordered, rate, loadgen_kwargs in loop_cells:
+        best = _loopback_cell(cell_ordered, repeats, **loadgen_kwargs)
+        report.service.append(
+            {
+                "instance": f"n{SERVICE_LOOPBACK_JOBS}",
+                "n_items": SERVICE_LOOPBACK_JOBS,
+                "arrival_rate": rate,
+                "mode": mode,
+                "seconds": round(best.wall_seconds, 6),
+                "events_per_sec": round(best.requests_per_sec),
+            }
+        )
 
 
 def run_bench(

@@ -15,6 +15,7 @@ Usage (installed as the ``repro`` console script, or
     repro bench --json BENCH_perf.json   # throughput baseline
     repro serve --port 7077          # live allocation service (JSON lines)
     repro loadgen --port 7077 --n 500    # replay a workload against it
+    repro loadgen --port 7077 --n 5000 --protocol binary --batch 256 --pipeline 8
 """
 
 from __future__ import annotations
@@ -236,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--idle-timeout", type=float, default=None,
         help="close connections idle for this many seconds",
     )
+    p_serve.add_argument(
+        "--uvloop", action="store_true",
+        help="use the uvloop event loop if installed (warns and falls "
+        "back to asyncio otherwise)",
+    )
     p_serve.add_argument("--quiet", action="store_true")
 
     p_recover = sub.add_parser(
@@ -291,6 +297,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--retry-seed", type=int, default=0,
         help="seed for the retry jitter and the request-id namespace",
+    )
+    p_load.add_argument(
+        "--protocol", choices=["json", "binary"], default="json",
+        help="wire protocol: json lines (debug/compat) or the "
+        "length-prefixed binary fast path",
+    )
+    p_load.add_argument(
+        "--pipeline", type=_positive_int, default=1,
+        help="frames kept in flight (>1 requires --protocol binary)",
+    )
+    p_load.add_argument(
+        "--batch", type=_positive_int, default=1,
+        help="submits per frame (>1 requires --protocol binary)",
+    )
+    p_load.add_argument(
+        "--uvloop", action="store_true",
+        help="use the uvloop event loop if installed (warns and falls "
+        "back to asyncio otherwise)",
     )
     p_load.add_argument(
         "--json", default=None, help="write the client-side report here"
@@ -461,6 +485,28 @@ def cmd_verify(trace: str) -> int:
     return 1
 
 
+def _maybe_uvloop(enabled: bool) -> bool:
+    """Install uvloop as the event-loop policy when asked and available.
+
+    The container may not ship uvloop (it is an optional accelerator,
+    never a dependency) — in that case warn once and keep stock asyncio,
+    so ``--uvloop`` is always safe to pass.
+    """
+    if not enabled:
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        print(
+            "warning: --uvloop requested but uvloop is not installed; "
+            "using the stock asyncio event loop",
+            file=sys.stderr,
+        )
+        return False
+    uvloop.install()
+    return True
+
+
 def cmd_serve(args) -> int:
     import asyncio
 
@@ -528,6 +574,7 @@ def cmd_serve(args) -> int:
             service_kwargs["max_line_bytes"] = args.max_line_bytes
         if args.idle_timeout is not None:
             service_kwargs["idle_timeout"] = args.idle_timeout
+        _maybe_uvloop(args.uvloop)
         try:
             return asyncio.run(
                 serve(
@@ -614,6 +661,7 @@ def cmd_loadgen(args) -> int:
         items = poisson_workload(
             args.n, seed=args.seed, mu_target=args.mu, arrival_rate=args.rate
         )
+    _maybe_uvloop(args.uvloop)
     try:
         report = loadgen(
             items,
@@ -622,7 +670,13 @@ def cmd_loadgen(args) -> int:
             speed=args.speed,
             shutdown=args.shutdown,
             retry=RetryPolicy(retries=args.retries, seed=args.retry_seed),
+            protocol=args.protocol,
+            pipeline=args.pipeline,
+            batch=args.batch,
         )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (ConnectionError, OSError) as exc:
         print(
             f"error: cannot reach the service at {args.host}:{args.port} ({exc})",

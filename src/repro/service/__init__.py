@@ -5,8 +5,11 @@ instances: a push-based :class:`StreamingEngine` bit-identical to the
 batch engines on any replayed trace, checkpoint/restore of the full
 packing state, admission control with per-policy accounting, a metrics
 registry with Prometheus text exposition, a per-decision trace log, and
-an asyncio JSON-lines server with a matching load generator (``repro
-serve`` / ``repro loadgen``).  On top of that sits the fault-tolerance
+an asyncio server with a matching load generator (``repro serve`` /
+``repro loadgen``).  The server speaks JSON lines by default and
+negotiates up to a length-prefixed binary protocol (:mod:`.protocol`)
+for the hot path; the load generator adds request pipelining and
+batched frames on top.  On top of that sits the fault-tolerance
 layer: a CRC-checksummed write-ahead log (:mod:`.wal`), crash recovery
 by checkpoint + replay (:mod:`.recovery`), and a deterministic fault
 -injection harness (:mod:`.faults`) — see ``docs/OPERATIONS.md`` for
@@ -33,6 +36,11 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    PROTOCOLS,
+    FrameError,
 )
 from .recovery import (
     DedupWindow,
@@ -67,7 +75,10 @@ __all__ = [
     "FaultInjected",
     "FaultInjector",
     "FaultPlan",
+    "FrameError",
     "KillPoint",
+    "PROTOCOLS",
+    "PROTOCOL_VERSION",
     "Gauge",
     "Histogram",
     "LoadShedding",

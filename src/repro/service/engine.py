@@ -147,6 +147,21 @@ class StreamingEngine:
         self._placed_items: list = []
         self._active: dict[int, object] = {}  # item_id -> item, placed & not departed
 
+        # metric objects resolved once at declaration: the submit path
+        # touches half a dozen of them per job, and two dict lookups
+        # through the registry each time is measurable at stream rates
+        self._metric_cache: dict[str, object] = {}
+        self._h_bin_level = None
+        self._h_job_load = None
+        self._h_queue_wait = None
+        self._m_submitted = None
+        self._m_placed = None
+        self._m_departures = None
+        self._m_bins_opened = None
+        self._m_bins_closed = None
+        self._m_open_bins = None
+        self._m_load = None
+        self._m_clock = None
         if metrics is not None:
             self._declare_metrics(metrics)
 
@@ -286,8 +301,9 @@ class StreamingEngine:
         # ids are forever: reusing one would corrupt the item→bin map and
         # the scheduled-departure bookkeeping, so it is refused *before*
         # any state is touched (the reply is a clean protocol error)
-        if item.item_id in self.state.item_bin or any(
-            it.item_id == item.item_id for _, _, it in self._queue
+        if item.item_id in self.state.item_bin or (
+            self._queue
+            and any(it.item_id == item.item_id for _, _, it in self._queue)
         ):
             raise ValueError(
                 f"item {item.item_id} was already submitted — job ids must be "
@@ -309,17 +325,19 @@ class StreamingEngine:
             action = REJECTED if decision == "reject" else SHED
             placement = Placement(item.item_id, action, None, False, arrival)
             self._count(f"repro_service_jobs_{action}_total")
-        self._count("repro_service_jobs_submitted_total")
-        self._log(
-            t=arrival,
-            op="submit",
-            item=item.item_id,
-            action=placement.action,
-            bin=placement.bin_index,
-            new_bin=placement.new_bin,
-            open=self.state.num_open,
-            queue_depth=len(self._queue),
-        )
+        if self._m_submitted is not None:
+            self._m_submitted.value += 1.0
+        if self.decision_log is not None:
+            self._log(
+                t=arrival,
+                op="submit",
+                item=item.item_id,
+                action=placement.action,
+                bin=placement.bin_index,
+                new_bin=placement.new_bin,
+                open=self.state.num_open,
+                queue_depth=len(self._queue),
+            )
         return placement
 
     def depart(self, item_id: int, now: Optional[float] = None) -> None:
@@ -414,7 +432,8 @@ class StreamingEngine:
         if not self._started or now > self.clock:
             self.clock = now
         self._started = True
-        self._gauge("repro_service_clock", self.clock)
+        if self._m_clock is not None:
+            self._m_clock.value = self.clock
 
     def _next_pending(self) -> Optional[float]:
         """Time of the next live scheduled departure, skipping cancelled."""
@@ -447,22 +466,27 @@ class StreamingEngine:
         source = self._stepper.depart(time, seq, item)
         self._departed.add(item.item_id)
         self._active.pop(item.item_id, None)
-        self._count("repro_service_departures_total")
-        self._gauge("repro_service_open_bins", self.state.num_open)
-        self._gauge("repro_service_load", self.load())
+        if self._m_departures is not None:
+            # direct .value stores: same values as inc()/set(), minus
+            # one method call each — this runs once per departure
+            self._m_departures.value += 1.0
+            self._m_open_bins.value = self.state.num_open
+            self._m_load.value = self.load()
         if source.is_closed:
-            self._count("repro_service_bins_closed_total")
+            if self._m_bins_closed is not None:
+                self._m_bins_closed.inc()
             for cb in self.bin_closed_callbacks:
                 cb(source)
-        self._log(
-            t=time,
-            op="depart",
-            item=item.item_id,
-            action="departed",
-            bin=source.index,
-            closed=source.is_closed,
-            open=self.state.num_open,
-        )
+        if self.decision_log is not None:
+            self._log(
+                t=time,
+                op="depart",
+                item=item.item_id,
+                action="departed",
+                bin=source.index,
+                closed=source.is_closed,
+                open=self.state.num_open,
+            )
 
     def _place(
         self, item, time: float, seq: int, schedule_departure: bool, queued_at=None
@@ -474,22 +498,24 @@ class StreamingEngine:
         self._active[item.item_id] = item
         if schedule_departure:
             heapq.heappush(self._pending, (item.departure, seq, item))
-        self._count("repro_service_jobs_placed_total")
-        if new_bin:
-            self._count("repro_service_bins_opened_total")
-        self._gauge("repro_service_open_bins", self.state.num_open)
-        self._gauge("repro_service_load", self.load())
-        if self.metrics is not None:
+        if self._m_placed is not None:
+            # direct .value stores (see _apply_departure)
+            self._m_placed.value += 1.0
+            if new_bin:
+                self._m_bins_opened.value += 1.0
+            self._m_open_bins.value = self.state.num_open
+            self._m_load.value = self.load()
+        if self._h_bin_level is not None:
             level = target.level
             fullness = (
                 max(l / c for l, c in zip(level, self.state.capacity))
                 if isinstance(level, tuple)
                 else level / self.state.capacity
             )
-            self.metrics.get("repro_service_bin_level").observe(fullness)
-            self.metrics.get("repro_service_job_load").observe(self.item_load(item))
+            self._h_bin_level.observe(fullness)
+            self._h_job_load.observe(self.item_load(item))
             if queued_at is not None:
-                self.metrics.get("repro_service_queue_wait").observe(time - queued_at)
+                self._h_queue_wait.observe(time - queued_at)
         if queued_at is not None:
             self.admission.account(ADMIT)
             self._gauge("repro_service_queue_depth", len(self._queue))
@@ -529,41 +555,61 @@ class StreamingEngine:
 
     # -- metrics plumbing (no-ops when no registry is attached) ---------------
     def _declare_metrics(self, reg: MetricsRegistry) -> None:
-        reg.counter("repro_service_jobs_submitted_total", "jobs submitted")
-        reg.counter("repro_service_jobs_placed_total", "jobs placed into a bin")
-        reg.counter("repro_service_jobs_rejected_total", "jobs rejected by admission")
-        reg.counter("repro_service_jobs_queued_total", "jobs parked in the admission queue")
-        reg.counter("repro_service_jobs_shed_total", "jobs shed (dropped under load)")
-        reg.counter("repro_service_departures_total", "departures processed")
-        reg.counter("repro_service_bins_opened_total", "servers opened")
-        reg.counter("repro_service_bins_closed_total", "servers closed")
-        reg.gauge("repro_service_open_bins", "currently open servers")
-        reg.gauge("repro_service_queue_depth", "jobs waiting in the admission queue")
-        reg.gauge("repro_service_load", "total open-bin load, in bins' worth of work")
-        reg.gauge("repro_service_clock", "service clock (trace time)")
-        reg.histogram(
+        cache = self._metric_cache
+        for name, help_text in (
+            ("repro_service_jobs_submitted_total", "jobs submitted"),
+            ("repro_service_jobs_placed_total", "jobs placed into a bin"),
+            ("repro_service_jobs_rejected_total", "jobs rejected by admission"),
+            ("repro_service_jobs_queued_total", "jobs parked in the admission queue"),
+            ("repro_service_jobs_shed_total", "jobs shed (dropped under load)"),
+            ("repro_service_departures_total", "departures processed"),
+            ("repro_service_bins_opened_total", "servers opened"),
+            ("repro_service_bins_closed_total", "servers closed"),
+        ):
+            cache[name] = reg.counter(name, help_text)
+        for name, help_text in (
+            ("repro_service_open_bins", "currently open servers"),
+            ("repro_service_queue_depth", "jobs waiting in the admission queue"),
+            ("repro_service_load", "total open-bin load, in bins' worth of work"),
+            ("repro_service_clock", "service clock (trace time)"),
+        ):
+            cache[name] = reg.gauge(name, help_text)
+        self._h_bin_level = reg.histogram(
             "repro_service_bin_level",
             "bin fullness after each placement",
             DEFAULT_LEVEL_BUCKETS,
         )
-        reg.histogram(
+        self._h_job_load = reg.histogram(
             "repro_service_job_load",
             "normalised demand of each placed job",
             DEFAULT_LEVEL_BUCKETS,
         )
-        reg.histogram(
+        self._h_queue_wait = reg.histogram(
             "repro_service_queue_wait",
             "trace-time wait of queued jobs until placement",
             DEFAULT_WAIT_BUCKETS,
         )
+        # the per-submit path touches these on every job: bind the
+        # metric objects as attributes so the hot methods skip even the
+        # cache dict hop (all-or-nothing with the declarations above)
+        self._m_submitted = cache["repro_service_jobs_submitted_total"]
+        self._m_placed = cache["repro_service_jobs_placed_total"]
+        self._m_departures = cache["repro_service_departures_total"]
+        self._m_bins_opened = cache["repro_service_bins_opened_total"]
+        self._m_bins_closed = cache["repro_service_bins_closed_total"]
+        self._m_open_bins = cache["repro_service_open_bins"]
+        self._m_load = cache["repro_service_load"]
+        self._m_clock = cache["repro_service_clock"]
 
     def _count(self, name: str, amount: float = 1.0) -> None:
-        if self.metrics is not None and name in self.metrics:
-            self.metrics.get(name).inc(amount)
+        metric = self._metric_cache.get(name)
+        if metric is not None:
+            metric.inc(amount)
 
     def _gauge(self, name: str, value: float) -> None:
-        if self.metrics is not None and name in self.metrics:
-            self.metrics.get(name).set(value)
+        metric = self._metric_cache.get(name)
+        if metric is not None:
+            metric.set(value)
 
     def _log(self, **record) -> None:
         if self.decision_log is not None:

@@ -21,6 +21,7 @@ Plan format (all fields optional)::
       "seed": 7,
       "kill": {"wal.write": 120},      // die at the 120th hit of a point
       "torn_tail": true,               // that kill tears the in-flight record
+      "torn_reply": true,              // a "reply" kill tears the in-flight reply
       "io_error_rate": 0.01,           // P[OSError] per WAL write/fsync
       "clock_skew": 0.5,               // +/- uniform skew on client times
       "delay_ms": 5.0,                 // max server-side reply delay
@@ -29,9 +30,12 @@ Plan format (all fields optional)::
 
 Named points currently wired: ``wal.write`` / ``wal.fsync`` (inside
 :class:`~repro.service.wal.WriteAheadLog`), ``wal.appended`` /
-``applied`` / ``checkpoint`` (inside the durable engine), and
+``applied`` / ``checkpoint`` (inside the durable engine),
 ``arrive.pre`` / ``arrive.post`` / ``depart.pre`` / ``depart.post``
-(inside :class:`~repro.core.driver.EventStepper` — mid-step kills).
+(inside :class:`~repro.core.driver.EventStepper` — mid-step kills), and
+``reply`` (inside the server, before a response line/frame is written —
+with ``torn_reply`` the client receives *half* the reply bytes before
+the process dies, the mid-frame crash the binary protocol must survive).
 """
 
 from __future__ import annotations
@@ -61,6 +65,8 @@ class FaultPlan:
     kill: dict[str, int] = field(default_factory=dict)
     #: when the kill lands on ``wal.write``, tear the in-flight record
     torn_tail: bool = False
+    #: when the kill lands on ``reply``, tear the in-flight reply frame
+    torn_reply: bool = False
     #: probability of an injected ``OSError`` per WAL write/fsync
     io_error_rate: float = 0.0
     #: max absolute uniform skew added to client-supplied times
@@ -90,7 +96,7 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "FaultPlan":
         known = {
-            "seed", "kill", "torn_tail", "io_error_rate",
+            "seed", "kill", "torn_tail", "torn_reply", "io_error_rate",
             "clock_skew", "delay_ms", "drop_rate",
         }
         unknown = sorted(set(doc) - known)
@@ -101,6 +107,7 @@ class FaultPlan:
             seed=int(doc.get("seed", 0)),
             kill=kill,
             torn_tail=bool(doc.get("torn_tail", False)),
+            torn_reply=bool(doc.get("torn_reply", False)),
             io_error_rate=float(doc.get("io_error_rate", 0.0)),
             clock_skew=float(doc.get("clock_skew", 0.0)),
             delay_ms=float(doc.get("delay_ms", 0.0)),
@@ -161,6 +168,30 @@ class FaultInjector:
         return None
 
     # -- connection faults ----------------------------------------------------
+    def reply_kill(self) -> Optional[str]:
+        """Kill-point check before the server writes a reply.
+
+        Counts a hit at the ``reply`` point.  When the plan's kill lands
+        here, either dies immediately or — with ``torn_reply`` — returns
+        ``"tear"``: the server then writes *half* the reply bytes and
+        calls :meth:`reply_torn`, so the client observes a torn frame
+        from a process that crashed mid-write.
+        """
+        name = "reply"
+        count = self.hits.get(name, 0) + 1
+        self.hits[name] = count
+        if self.plan.kill.get(name) == count:
+            if self.plan.torn_reply:
+                return "tear"
+            self.kills += 1
+            raise KillPoint(f"injected kill at reply (hit {count})")
+        return None
+
+    def reply_torn(self) -> None:
+        """The server wrote the partial reply; now the process dies."""
+        self.kills += 1
+        raise KillPoint("injected kill mid-reply (torn frame)")
+
     def reply_fate(self) -> tuple[str, float]:
         """What happens to the next reply: ``("drop"|"ok", delay_seconds)``."""
         delay = 0.0

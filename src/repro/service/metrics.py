@@ -28,6 +28,7 @@ __all__ = [
     "DecisionLog",
     "DEFAULT_LEVEL_BUCKETS",
     "DEFAULT_WAIT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
 ]
 
 #: Bin levels and job sizes live in [0, capacity] with capacity 1.0
@@ -41,6 +42,14 @@ DEFAULT_LEVEL_BUCKETS: tuple[float, ...] = (
 #: after the paper's normalisation), so the buckets span sub-unit waits
 #: to pathological backlogs.
 DEFAULT_WAIT_BUCKETS: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0)
+
+#: Server-side request latencies are wall-clock seconds: microseconds
+#: for an in-memory placement, milliseconds once a WAL fsync or a batch
+#: of pipelined ops sits in front of it.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.5, 1.0,
+)
 
 
 def _fmt(value: float) -> str:

@@ -1,0 +1,453 @@
+"""The binary wire protocol: length-prefixed frames over TCP.
+
+The JSON-lines protocol (:mod:`repro.service.server`) is the service's
+debug/compat surface — anything that can speak ``nc`` can drive it.  It
+is also ~30x slower than the engine it fronts: one request per round
+trip, ``json.dumps``/``json.loads`` per message.  This module is the
+fast path: a length-prefixed binary encoding of the *same operation
+set*, negotiated per-connection, with batch frames so a pipelined
+client amortises the round trip and the event-loop wakeup over hundreds
+of operations.
+
+Negotiation
+-----------
+Every connection starts in JSON-lines mode.  A client that wants the
+binary protocol sends one ordinary JSON request as its first line::
+
+    {"op": "hello", "protocol": "binary", "version": 1}
+
+and the server answers with a JSON line
+(``{"ok": true, "protocol": "binary", "version": 1}``); from the next
+byte onward **both directions speak binary frames**.  A hello naming
+``"protocol": "json"`` (or no hello at all) leaves the connection in
+JSON-lines mode, so old clients keep working unchanged.
+
+Frame format
+------------
+Every frame, both directions::
+
+    +----------------+---------------------+
+    | length, u32 BE | payload (length B)  |
+    +----------------+---------------------+
+
+The payload's first byte is an opcode.  All integers are big-endian;
+all floats are IEEE-754 doubles (bit-exact with the engine's Python
+floats, which is what makes the JSON/binary differential land
+bit-identical).  Request opcodes:
+
+========  ======  =====================================================
+``0x00``  JSON    UTF-8 JSON object — any op the JSON protocol accepts
+``0x01``  SUBMIT  flags u8, id i64, then scalar ``size f64`` or vector
+                  ``dim-count u16 + f64 per dim``, arrival f64,
+                  departure f64, optional request-id (u16 len + UTF-8)
+``0x02``  DEPART  flags u8, id i64, optional ``now`` f64
+``0x03``  ADVANCE ``now`` f64
+``0x10``  BATCH   count u32, then count sub-requests, each u32
+                  length-prefixed (any opcode above; no nesting)
+========  ======  =====================================================
+
+Response opcodes mirror the JSON response shapes: ``0x01`` PLACEMENT is
+a fixed 23-byte record (flags/action/item-id/bin/time), ``0x02`` CLOCK
+acknowledges depart/advance, ``0x00`` JSON carries anything else
+(stats, metrics, checkpoints, every error), and ``0x10`` BATCH bundles
+one sub-response per sub-request, in order.  :func:`decode_response`
+returns exactly the dict the JSON protocol would have sent, so client
+code above the codec is protocol-agnostic.
+
+A malformed payload *inside* a well-formed frame is answered with a
+structured error and the connection survives (the length prefix keeps
+the stream in sync); only an oversized declared length or a torn frame
+forces a close — the binary analogues of the JSON protocol's
+``line_too_long`` and half-line disconnects.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Optional, Sequence
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "PROTOCOLS",
+    "FrameError",
+    "HEADER",
+    "OP_JSON",
+    "OP_SUBMIT",
+    "OP_DEPART",
+    "OP_ADVANCE",
+    "OP_BATCH",
+    "RESP_JSON",
+    "RESP_PLACEMENT",
+    "RESP_CLOCK",
+    "RESP_BATCH",
+    "ACTIONS",
+    "hello_line",
+    "frame",
+    "encode_json_request",
+    "encode_submit",
+    "encode_depart",
+    "encode_advance",
+    "encode_batch",
+    "split_batch",
+    "decode_submit",
+    "decode_depart",
+    "decode_advance",
+    "encode_json_response",
+    "encode_placement",
+    "encode_clock",
+    "decode_response",
+    "scan_batch_actions",
+]
+
+PROTOCOL_VERSION = 1
+PROTOCOLS = ("json", "binary")
+
+#: Frame header: payload length as an unsigned 32-bit big-endian int.
+HEADER = struct.Struct(">I")
+
+# request opcodes
+OP_JSON = 0x00
+OP_SUBMIT = 0x01
+OP_DEPART = 0x02
+OP_ADVANCE = 0x03
+OP_BATCH = 0x10
+
+# response opcodes
+RESP_JSON = 0x00
+RESP_PLACEMENT = 0x01
+RESP_CLOCK = 0x02
+RESP_BATCH = 0x10
+
+# submit flags
+FLAG_RID = 0x01
+FLAG_VECTOR = 0x02
+
+# depart flags
+FLAG_NOW = 0x01
+
+# placement-response flags
+FLAG_DUPLICATE = 0x01
+FLAG_NEW_BIN = 0x02
+FLAG_HAS_BIN = 0x04
+
+#: Placement actions by wire code (the response carries the index).
+ACTIONS = ("placed", "rejected", "queued", "shed")
+_ACTION_CODE = {name: i for i, name in enumerate(ACTIONS)}
+
+_SUBMIT_SCALAR = struct.Struct(">BBqddd")  # op, flags, id, size, arrival, departure
+_SUBMIT_VECTOR = struct.Struct(">BBqddH")  # op, flags, id, arrival, departure, dims
+_RID_LEN = struct.Struct(">H")
+_DEPART = struct.Struct(">BBq")  # op, flags, id
+_NOW = struct.Struct(">d")
+_ADVANCE = struct.Struct(">Bd")  # op, now
+_BATCH_HEAD = struct.Struct(">BI")  # op, count
+_SUB_LEN = struct.Struct(">I")
+_PLACEMENT = struct.Struct(">BBBqid")  # op, flags, action, item_id, bin, time
+_CLOCK = struct.Struct(">BBid")  # op, kind (0=depart, 1=advance), departed, clock
+
+
+class FrameError(ValueError):
+    """A structurally invalid frame payload (reported, never fatal)."""
+
+
+def hello_line(protocol: str = "binary", version: int = PROTOCOL_VERSION) -> bytes:
+    """The negotiation request, as one JSON line (sent *before* upgrade)."""
+    return (
+        json.dumps({"op": "hello", "protocol": protocol, "version": version}) + "\n"
+    ).encode()
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap one payload in the length-prefixed frame header."""
+    return HEADER.pack(len(payload)) + payload
+
+
+# -- request encoding (client side) -------------------------------------------
+def encode_json_request(request: dict[str, Any]) -> bytes:
+    """Any JSON-protocol request as an ``OP_JSON`` payload."""
+    return b"\x00" + json.dumps(request).encode()
+
+
+def encode_submit(item, request_id: Optional[str] = None) -> bytes:
+    """One submit payload from an ``Item``/``VectorItem``.
+
+    Falls back to the ``OP_JSON`` encoding for values the fixed-width
+    fields cannot carry (a job id beyond int64, a request id beyond
+    64 KiB) — correctness never depends on the fast encoding.
+    """
+    flags = 0
+    rid_blob = b""
+    if request_id is not None:
+        encoded = request_id.encode()
+        if len(encoded) > 0xFFFF:
+            return _submit_json_fallback(item, request_id)
+        flags |= FLAG_RID
+        rid_blob = _RID_LEN.pack(len(encoded)) + encoded
+    sizes = getattr(item, "sizes", None)
+    try:
+        if sizes is not None:
+            body = _SUBMIT_VECTOR.pack(
+                OP_SUBMIT, flags | FLAG_VECTOR, item.item_id,
+                item.arrival, item.departure, len(sizes),
+            ) + struct.pack(f">{len(sizes)}d", *sizes)
+        else:
+            body = _SUBMIT_SCALAR.pack(
+                OP_SUBMIT, flags, item.item_id,
+                item.size, item.arrival, item.departure,
+            )
+    except struct.error:
+        return _submit_json_fallback(item, request_id)
+    return body + rid_blob
+
+
+def _submit_json_fallback(item, request_id: Optional[str]) -> bytes:
+    sizes = getattr(item, "sizes", None)
+    job: dict[str, Any] = {"id": item.item_id, "arrival": item.arrival,
+                           "departure": item.departure}
+    if sizes is not None:
+        job["sizes"] = list(sizes)
+    else:
+        job["size"] = item.size
+    request: dict[str, Any] = {"op": "submit", "job": job}
+    if request_id is not None:
+        request["request_id"] = request_id
+    return encode_json_request(request)
+
+
+def encode_depart(item_id: int, now: Optional[float] = None) -> bytes:
+    if now is None:
+        return _DEPART.pack(OP_DEPART, 0, item_id)
+    return _DEPART.pack(OP_DEPART, FLAG_NOW, item_id) + _NOW.pack(now)
+
+
+def encode_advance(now: float) -> bytes:
+    return _ADVANCE.pack(OP_ADVANCE, now)
+
+
+def encode_batch(subs: Sequence[bytes]) -> bytes:
+    """Bundle sub-request (or sub-response) payloads into one BATCH payload."""
+    parts = [_BATCH_HEAD.pack(OP_BATCH, len(subs))]
+    pack_len = _SUB_LEN.pack
+    for sub in subs:
+        parts.append(pack_len(len(sub)))
+        parts.append(sub)
+    return b"".join(parts)
+
+
+def split_batch(payload) -> "list[memoryview]":
+    """The length-prefixed sub-payloads of a BATCH frame, in order.
+
+    Works for request and response batches alike (the layout is shared).
+    Raises :class:`FrameError` on any structural defect — a count or a
+    sub-length that disagrees with the actual byte count.
+    """
+    try:
+        _, count = _BATCH_HEAD.unpack_from(payload)
+    except struct.error as exc:
+        raise FrameError(f"malformed batch header: {exc}") from None
+    if count == 0:
+        raise FrameError("batch frame declares zero sub-requests")
+    mv = memoryview(payload)
+    total = len(mv)
+    offset = _BATCH_HEAD.size
+    unpack_len = _SUB_LEN.unpack_from
+    subs: list[memoryview] = []
+    for _ in range(count):
+        if offset + 4 > total:
+            raise FrameError(
+                f"batch declares {count} sub-requests but the payload "
+                f"ends after {len(subs)}"
+            )
+        (length,) = unpack_len(mv, offset)
+        offset += 4
+        if length == 0 or offset + length > total:
+            raise FrameError(
+                f"batch sub-request {len(subs)} declares {length} bytes "
+                f"with {total - offset} remaining"
+            )
+        subs.append(mv[offset : offset + length])
+        offset += length
+    if offset != total:
+        raise FrameError(
+            f"batch payload has {total - offset} trailing bytes"
+        )
+    return subs
+
+
+# -- request decoding (server side) -------------------------------------------
+def decode_submit(payload):
+    """``(item_id, size_or_sizes, arrival, departure, vector, rid)``.
+
+    ``size_or_sizes`` is a float for scalar submits, a tuple of floats
+    for vector submits (``vector`` tells which).  Raises
+    :class:`FrameError` on any structural defect, including trailing
+    bytes (a declared-length mismatch smuggled inside a valid frame).
+    """
+    try:
+        if payload[1] & FLAG_VECTOR:
+            (_, flags, item_id, arrival, departure, dims
+             ) = _SUBMIT_VECTOR.unpack_from(payload)
+            if dims == 0:
+                raise FrameError("vector submit declares zero dimensions")
+            offset = _SUBMIT_VECTOR.size
+            size = struct.unpack_from(f">{dims}d", payload, offset)
+            offset += 8 * dims
+        else:
+            (_, flags, item_id, size, arrival, departure
+             ) = _SUBMIT_SCALAR.unpack_from(payload)
+            offset = _SUBMIT_SCALAR.size
+        rid = None
+        if flags & FLAG_RID:
+            (rid_len,) = _RID_LEN.unpack_from(payload, offset)
+            offset += 2
+            if offset + rid_len > len(payload):
+                raise FrameError("request id overruns the submit payload")
+            rid = bytes(payload[offset : offset + rid_len]).decode()
+            offset += rid_len
+        if offset != len(payload):
+            raise FrameError(
+                f"submit payload has {len(payload) - offset} trailing bytes"
+            )
+        return item_id, size, arrival, departure, bool(flags & FLAG_VECTOR), rid
+    except FrameError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise FrameError(f"malformed submit payload: {exc}") from None
+
+
+def decode_depart(payload) -> tuple[int, Optional[float]]:
+    try:
+        _, flags, item_id = _DEPART.unpack_from(payload)
+        now = None
+        offset = _DEPART.size
+        if flags & FLAG_NOW:
+            (now,) = _NOW.unpack_from(payload, offset)
+            offset += 8
+        if offset != len(payload):
+            raise FrameError("depart payload length mismatch")
+        return item_id, now
+    except FrameError:
+        raise
+    except struct.error as exc:
+        raise FrameError(f"malformed depart payload: {exc}") from None
+
+
+def decode_advance(payload) -> float:
+    try:
+        if len(payload) != _ADVANCE.size:
+            raise FrameError("advance payload length mismatch")
+        _, now = _ADVANCE.unpack(payload)
+        return now
+    except FrameError:
+        raise
+    except struct.error as exc:
+        raise FrameError(f"malformed advance payload: {exc}") from None
+
+
+# -- response encoding (server side) ------------------------------------------
+def encode_json_response(response: dict[str, Any]) -> bytes:
+    """Any JSON-protocol response dict as a ``RESP_JSON`` payload."""
+    return b"\x00" + json.dumps(response).encode()
+
+
+def encode_placement(
+    item_id: int,
+    action: str,
+    bin_index: Optional[int],
+    new_bin: bool,
+    time: float,
+    duplicate: bool = False,
+) -> bytes:
+    """A submit acknowledgement as the fixed-width PLACEMENT record."""
+    code = _ACTION_CODE.get(action)
+    if code is None:  # future actions ride the JSON fallback
+        doc: dict[str, Any] = {"ok": True, "placement": {
+            "item_id": item_id, "action": action, "bin": bin_index,
+            "new_bin": new_bin, "time": time}}
+        if duplicate:
+            doc["duplicate"] = True
+        return encode_json_response(doc)
+    flags = 0
+    if duplicate:
+        flags |= FLAG_DUPLICATE
+    if new_bin:
+        flags |= FLAG_NEW_BIN
+    if bin_index is not None:
+        flags |= FLAG_HAS_BIN
+    try:
+        return _PLACEMENT.pack(
+            RESP_PLACEMENT, flags, code, item_id,
+            bin_index if bin_index is not None else -1, time,
+        )
+    except struct.error:
+        doc = {"ok": True, "placement": {
+            "item_id": item_id, "action": action, "bin": bin_index,
+            "new_bin": new_bin, "time": time}}
+        if duplicate:
+            doc["duplicate"] = True
+        return encode_json_response(doc)
+
+
+def encode_clock(clock: float, departed: Optional[int] = None) -> bytes:
+    """The depart (``departed is None``) / advance acknowledgement."""
+    if departed is None:
+        return _CLOCK.pack(RESP_CLOCK, 0, 0, clock)
+    return _CLOCK.pack(RESP_CLOCK, 1, departed, clock)
+
+
+# -- response decoding (client side) ------------------------------------------
+def decode_response(payload) -> dict[str, Any]:
+    """One response payload as the dict the JSON protocol would send."""
+    try:
+        kind = payload[0]
+        if kind == RESP_PLACEMENT:
+            _, flags, action, item_id, bin_index, time = _PLACEMENT.unpack(payload)
+            doc: dict[str, Any] = {"ok": True, "placement": {
+                "item_id": item_id,
+                "action": ACTIONS[action],
+                "bin": bin_index if flags & FLAG_HAS_BIN else None,
+                "new_bin": bool(flags & FLAG_NEW_BIN),
+                "time": time,
+            }}
+            if flags & FLAG_DUPLICATE:
+                doc["duplicate"] = True
+            return doc
+        if kind == RESP_CLOCK:
+            _, ack_kind, departed, clock = _CLOCK.unpack(payload)
+            if ack_kind == 0:
+                return {"ok": True, "clock": clock}
+            return {"ok": True, "departed": departed, "clock": clock}
+        if kind == RESP_JSON:
+            doc = json.loads(bytes(payload[1:]))
+            if not isinstance(doc, dict):
+                raise FrameError("JSON response payload is not an object")
+            return doc
+    except FrameError:
+        raise
+    except (struct.error, IndexError, ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"malformed response payload: {exc}") from None
+    raise FrameError(f"unknown response opcode 0x{kind:02x}")
+
+
+def scan_batch_actions(payload) -> tuple[list[int], int, list[dict[str, Any]]]:
+    """Fast client-side scan of one BATCH response.
+
+    Returns ``(action_counts, duplicates, other_docs)`` where
+    ``action_counts[i]`` counts PLACEMENT records with action code
+    ``i`` (see :data:`ACTIONS`) and ``other_docs`` holds every
+    non-PLACEMENT sub-response fully decoded (errors, JSON fallbacks).
+    The load generator's hot loop only needs the tallies, so the
+    placement records are never materialised as dicts.
+    """
+    counts = [0] * len(ACTIONS)
+    duplicates = 0
+    others: list[dict[str, Any]] = []
+    for sub in split_batch(payload):
+        if sub[0] == RESP_PLACEMENT and len(sub) == _PLACEMENT.size:
+            counts[sub[2]] += 1
+            if sub[1] & FLAG_DUPLICATE:
+                duplicates += 1
+        else:
+            others.append(decode_response(sub))
+    return counts, duplicates, others

@@ -43,6 +43,14 @@ Operations
 ``{"op": "ping"}`` / ``{"op": "shutdown"}``
     Liveness / stop the server (used by tests and ``repro loadgen
     --shutdown``).
+``{"op": "hello", "protocol": "json" | "binary", "version": 1}``
+    Protocol negotiation.  Acknowledging a ``"binary"`` hello switches
+    the connection to the length-prefixed binary framing of
+    :mod:`repro.service.protocol` — same op set, same error taxonomy,
+    ~10x the throughput once the client batches and pipelines.  The
+    JSON-lines protocol stays the debug/compat surface; the two are
+    differential-tested bit-identical
+    (``tests/service/test_protocol_differential.py``).
 """
 
 from __future__ import annotations
@@ -50,16 +58,25 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+from dataclasses import replace
+from time import perf_counter
 from typing import Optional
 
 from ..algorithms import ALGORITHM_REGISTRY, make_algorithm
 from ..core.items import Item
+from ..core.state import PackingState
+from ..multidim.items import VectorItem
+from . import protocol as wire
 from .admission import AdmissionPolicy
 from .engine import StreamingEngine
 from .faults import FaultInjector, KillPoint
-from .metrics import DecisionLog, MetricsRegistry
+from .metrics import DEFAULT_LATENCY_BUCKETS, DecisionLog, MetricsRegistry
 from .recovery import DedupWindow, DurableEngine
 from .snapshot import snapshot_engine, write_checkpoint
+
+# bound once for the binary submit hot path (see _binary_item)
+_ITEM_NEW = Item.__new__
+_FROZEN_SET = object.__setattr__
 
 __all__ = ["AllocationService", "ProtocolError", "build_engine", "serve"]
 
@@ -106,26 +123,38 @@ def _finite(value, name: str) -> float:
     return out
 
 
-def _job_from_request(job) -> Item:
+def _job_from_request(job, scalar: bool = True):
     if not isinstance(job, dict):
         raise ProtocolError(f"'job' must be an object, got {type(job).__name__}")
-    missing = [k for k in ("id", "size", "arrival", "departure") if k not in job]
+    size_field = "size" if scalar else "sizes"
+    missing = [k for k in ("id", size_field, "arrival", "departure") if k not in job]
     if missing:
         raise ProtocolError(f"job record is missing field {missing[0]!r}")
     try:
         item_id = int(job["id"])
     except (TypeError, ValueError):
         raise ProtocolError(f"job id must be an integer, got {job['id']!r}") from None
-    size = _finite(job["size"], "size")
     arrival = _finite(job["arrival"], "arrival")
     departure = _finite(job["departure"], "departure")
-    if size <= 0:
-        raise ProtocolError(f"job size must be positive, got {size}")
     if departure <= arrival:
         raise ProtocolError(
             f"job departure ({departure}) must be after arrival ({arrival})"
         )
-    return Item(item_id, size, arrival, departure)
+    if scalar:
+        size = _finite(job["size"], "size")
+        if size <= 0:
+            raise ProtocolError(f"job size must be positive, got {size}")
+        return Item(item_id, size, arrival, departure)
+    raw = job["sizes"]
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ProtocolError(
+            f"job field 'sizes' must be a non-empty array, got {raw!r}"
+        )
+    sizes = tuple(_finite(s, "sizes") for s in raw)
+    try:
+        return VectorItem(item_id, sizes, arrival, departure)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from None
 
 
 class AllocationService:
@@ -156,10 +185,22 @@ class AllocationService:
         #: idempotency window for non-durable engines (a durable engine
         #: owns its own, rebuilt by recovery)
         self._dedup = engine.dedup if self._durable else DedupWindow()
+        base = engine.engine if self._durable else engine
+        self._scalar = isinstance(base.state, PackingState)
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
         self._fatal: Optional[BaseException] = None
         self.requests_served = 0
+        #: service-owned observables (request latency): kept *out* of the
+        #: engine registry on purpose — engine metrics are checkpointed
+        #: and differential-compared, and wall-clock latency is neither
+        #: replayable nor deterministic
+        self.service_metrics = MetricsRegistry()
+        self._latency = self.service_metrics.histogram(
+            "repro_service_request_latency_seconds",
+            "server-side request handling latency, dispatch to reply written",
+            DEFAULT_LATENCY_BUCKETS,
+        )
         if engine.metrics is not None:
             self._declare_metrics(engine.metrics)
 
@@ -223,6 +264,7 @@ class AllocationService:
                     # a torn final request: the client died mid-line
                     self._count("repro_service_disconnects_total")
                     break
+                started = perf_counter()
                 response = self._dispatch_line(line)
                 if self.injector is not None:
                     fate, delay = self.injector.reply_fate()
@@ -234,8 +276,14 @@ class AllocationService:
                 sent = await self._reply(writer, response)
                 if not sent:
                     break
+                self._latency.observe(perf_counter() - started)
                 if response.get("bye"):
                     self._shutdown.set()
+                    break
+                if response.get("ok") and response.get("protocol") == "binary":
+                    # the hello ack is on the wire; from the next byte
+                    # both directions speak length-prefixed binary frames
+                    await self._handle_binary(reader, writer)
                     break
         except (ConnectionError, asyncio.IncompleteReadError, OSError):
             # the client vanished mid-request: count it, close cleanly —
@@ -256,8 +304,21 @@ class AllocationService:
 
     async def _reply(self, writer: asyncio.StreamWriter, response: dict) -> bool:
         """Send one response line; False when the client is gone."""
+        return await self._write_reply(
+            writer, (json.dumps(response) + "\n").encode()
+        )
+
+    async def _write_reply(self, writer: asyncio.StreamWriter, data: bytes) -> bool:
+        """Write one encoded reply (line or frame), torn-kill seam included."""
+        injector = self.injector
         try:
-            writer.write((json.dumps(response) + "\n").encode())
+            if injector is not None and injector.reply_kill() == "tear":
+                # crash mid-reply: half the bytes reach the client, then
+                # the process dies (reply_torn raises the KillPoint)
+                writer.write(data[: max(1, len(data) // 2)])
+                await asyncio.wait_for(writer.drain(), self.request_timeout)
+                injector.reply_torn()
+            writer.write(data)
             await asyncio.wait_for(writer.drain(), self.request_timeout)
             return True
         except (ConnectionError, asyncio.TimeoutError, OSError):
@@ -282,6 +343,10 @@ class AllocationService:
                 "error": f"request must be a JSON object, got {type(request).__name__}",
                 "error_type": "protocol",
             }
+        return self._dispatch_safely(request)
+
+    def _dispatch_safely(self, request: dict) -> dict:
+        """Dispatch one parsed request under the full error taxonomy."""
         try:
             return self._dispatch(request)
         except ProtocolError as exc:
@@ -314,14 +379,9 @@ class AllocationService:
         if op == "submit":
             if "job" not in request:
                 raise ProtocolError("submit needs a 'job' object")
-            item = _job_from_request(request["job"])
+            item = _job_from_request(request["job"], self._scalar)
             if injector is not None and injector.plan.clock_skew:
-                item = Item(
-                    item.item_id,
-                    item.size,
-                    injector.skew(item.arrival),
-                    item.departure,
-                )
+                item = replace(item, arrival=injector.skew(item.arrival))
             rid = request.get("request_id")
             if rid is not None:
                 rid = str(rid)
@@ -364,7 +424,11 @@ class AllocationService:
                     "error": "service was started without metrics",
                     "error_type": "protocol",
                 }
-            return {"ok": True, "text": engine.metrics.expose_text()}
+            return {
+                "ok": True,
+                "text": engine.metrics.expose_text()
+                + self.service_metrics.expose_text(),
+            }
         if op == "checkpoint":
             if self._durable and not request.get("path"):
                 path = engine.checkpoint_now()
@@ -379,7 +443,410 @@ class AllocationService:
             return {"ok": True, "pong": True}
         if op == "shutdown":
             return {"ok": True, "bye": True}
+        if op == "hello":
+            proto = request.get("protocol", "json")
+            if proto not in wire.PROTOCOLS:
+                raise ProtocolError(
+                    f"unknown protocol {proto!r}; known: {list(wire.PROTOCOLS)}"
+                )
+            version = request.get("version", wire.PROTOCOL_VERSION)
+            if version != wire.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {version!r} "
+                    f"(this server speaks {wire.PROTOCOL_VERSION})"
+                )
+            return {"ok": True, "protocol": proto, "version": wire.PROTOCOL_VERSION}
         raise ProtocolError(f"unknown op {op!r}")
+
+    # -- binary protocol ------------------------------------------------------
+    async def _handle_binary(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """The post-hello frame loop: same ops, same taxonomy, no JSON.
+
+        Framing keeps the stream in sync, so a malformed payload inside
+        a well-formed frame is answered and the connection survives.
+        Only two defects force a close: a declared length beyond
+        ``max_line_bytes`` (``frame_too_long`` — reading it out would be
+        unbounded) and a frame torn by a disconnect.
+        """
+        header_size = wire.HEADER.size
+        unpack_header = wire.HEADER.unpack
+        while True:
+            try:
+                head = await asyncio.wait_for(
+                    reader.readexactly(header_size), self.idle_timeout
+                )
+            except asyncio.TimeoutError:
+                self._count("repro_service_request_timeouts_total")
+                return
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:  # torn header: the client died mid-frame
+                    self._count("repro_service_disconnects_total")
+                return
+            (length,) = unpack_header(head)
+            if length == 0:
+                self.requests_served += 1
+                self._count("repro_service_malformed_requests_total")
+                out = wire.encode_json_response({
+                    "ok": False,
+                    "error": "zero-length frame",
+                    "error_type": "malformed_frame",
+                })
+                if not await self._write_reply(writer, wire.frame(out)):
+                    return
+                continue
+            if length > self.max_line_bytes:
+                self.requests_served += 1
+                self._count("repro_service_malformed_requests_total")
+                out = wire.encode_json_response({
+                    "ok": False,
+                    "error": (
+                        f"frame declares {length} bytes, "
+                        f"limit is {self.max_line_bytes}"
+                    ),
+                    "error_type": "frame_too_long",
+                })
+                await self._write_reply(writer, wire.frame(out))
+                return
+            try:
+                payload = await asyncio.wait_for(
+                    reader.readexactly(length), self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                self._count("repro_service_request_timeouts_total")
+                return
+            except asyncio.IncompleteReadError:
+                self._count("repro_service_disconnects_total")
+                return
+            started = perf_counter()
+            out, bye = self._dispatch_frame(payload)
+            if self.injector is not None:
+                fate, delay = self.injector.reply_fate()
+                if delay:
+                    await asyncio.sleep(delay)
+                if fate == "drop":
+                    self._count("repro_service_dropped_replies_total")
+                    return
+            if not await self._write_reply(writer, wire.frame(out)):
+                return
+            self._latency.observe(perf_counter() - started)
+            if bye:
+                self._shutdown.set()
+                return
+
+    def _dispatch_frame(self, payload: bytes) -> tuple[bytes, bool]:
+        """One frame payload -> ``(response payload, shutdown?)``."""
+        if payload[0] == wire.OP_BATCH:
+            return self._dispatch_batch(payload)
+        return self._dispatch_binary_one(payload)
+
+    def _dispatch_binary_one(self, sub) -> tuple[bytes, bool]:
+        """One non-batch sub-request (top-level or inside a batch)."""
+        self.requests_served += 1
+        op = sub[0]
+        if op == wire.OP_SUBMIT:
+            return self._binary_submit(sub), False
+        if op == wire.OP_DEPART:
+            try:
+                item_id, now = wire.decode_depart(sub)
+            except wire.FrameError as exc:
+                return self._frame_error(exc), False
+            request: dict = {"op": "depart", "id": item_id}
+            if now is not None:
+                request["now"] = now
+            return self._encode_response(self._dispatch_safely(request)), False
+        if op == wire.OP_ADVANCE:
+            try:
+                now = wire.decode_advance(sub)
+            except wire.FrameError as exc:
+                return self._frame_error(exc), False
+            response = self._dispatch_safely({"op": "advance", "now": now})
+            return self._encode_response(response), False
+        if op == wire.OP_JSON:
+            try:
+                request = json.loads(bytes(sub[1:]))
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._count("repro_service_malformed_requests_total")
+                return wire.encode_json_response({
+                    "ok": False,
+                    "error": f"malformed JSON: {exc}",
+                    "error_type": "malformed_json",
+                }), False
+            if not isinstance(request, dict):
+                self._count("repro_service_malformed_requests_total")
+                return wire.encode_json_response({
+                    "ok": False,
+                    "error": (
+                        "request must be a JSON object, "
+                        f"got {type(request).__name__}"
+                    ),
+                    "error_type": "protocol",
+                }), False
+            response = self._dispatch_safely(request)
+            return self._encode_response(response), bool(response.get("bye"))
+        if op == wire.OP_BATCH:
+            return self._frame_error(
+                wire.FrameError("batch frames cannot nest")
+            ), False
+        self._count("repro_service_protocol_errors_total")
+        return wire.encode_json_response({
+            "ok": False,
+            "error": f"unknown opcode 0x{op:02x}",
+            "error_type": "protocol",
+        }), False
+
+    def _binary_submit(self, sub) -> bytes:
+        try:
+            item_id, size, arrival, departure, vector, rid = wire.decode_submit(sub)
+        except wire.FrameError as exc:
+            return self._frame_error(exc)
+        try:
+            item = self._binary_item(item_id, size, arrival, departure, vector)
+        except ProtocolError as exc:
+            self._count("repro_service_protocol_errors_total")
+            return wire.encode_json_response(
+                {"ok": False, "error": str(exc), "error_type": "protocol"}
+            )
+        injector = self.injector
+        if injector is not None and injector.plan.clock_skew:
+            item = replace(item, arrival=injector.skew(item.arrival))
+        return self._submit_one(item, rid)
+
+    def _binary_item(self, item_id, size, arrival, departure, vector: bool):
+        """Decoded submit fields -> an item, validated like the JSON path."""
+        if vector == self._scalar:
+            kind = "vector" if vector else "scalar"
+            want = "scalar" if self._scalar else "vector"
+            raise ProtocolError(f"{kind} submit against a {want} engine")
+        if not (math.isfinite(arrival) and math.isfinite(departure)):
+            raise ProtocolError("job times must be finite")
+        if departure <= arrival:
+            raise ProtocolError(
+                f"job departure ({departure}) must be after arrival ({arrival})"
+            )
+        if vector:
+            for s in size:
+                if not math.isfinite(s):
+                    raise ProtocolError(f"job field 'sizes' must be finite, got {s!r}")
+            try:
+                return VectorItem(item_id, size, arrival, departure)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from None
+        if not math.isfinite(size):
+            raise ProtocolError(f"job field 'size' must be finite, got {size!r}")
+        if size <= 0:
+            raise ProtocolError(f"job size must be positive, got {size}")
+        # the checks above are a strict superset of Item.__post_init__'s
+        # (isfinite implies not-NaN), so build the frozen instance
+        # directly instead of paying the dataclass __init__ plus a
+        # second validation pass on every submit
+        item = _ITEM_NEW(Item)
+        _FROZEN_SET(item, "item_id", item_id)
+        _FROZEN_SET(item, "size", size)
+        _FROZEN_SET(item, "arrival", arrival)
+        _FROZEN_SET(item, "departure", departure)
+        return item
+
+    def _submit_one(self, item, rid: Optional[str]) -> bytes:
+        """The binary submit hot path; same taxonomy as the JSON path."""
+        engine = self.engine
+        try:
+            if self._durable:
+                placement = engine.submit(item, request_id=rid)
+                return wire.encode_placement(
+                    placement.item_id, placement.action, placement.bin_index,
+                    placement.new_bin, placement.time,
+                )
+            if rid is not None:
+                cached = self._dedup.get(rid)
+                if cached is not None:
+                    self._count("repro_service_duplicate_requests_total")
+                    return wire.encode_placement(
+                        cached["item_id"], cached["action"], cached["bin"],
+                        cached["new_bin"], cached["time"], duplicate=True,
+                    )
+            placement = engine.submit(item)
+            if rid is not None:
+                self._dedup.put(rid, placement.to_dict())
+            return wire.encode_placement(
+                placement.item_id, placement.action, placement.bin_index,
+                placement.new_bin, placement.time,
+            )
+        except (ValueError, KeyError) as exc:
+            self._count("repro_service_protocol_errors_total")
+            detail = exc.args[0] if exc.args else str(exc)
+            return wire.encode_json_response(
+                {"ok": False, "error": str(detail), "error_type": "rejected"}
+            )
+        except OSError as exc:
+            return wire.encode_json_response({
+                "ok": False,
+                "error": f"durability failure: {exc}",
+                "error_type": "wal_unavailable",
+            })
+        except Exception as exc:
+            self._count("repro_service_internal_errors_total")
+            return wire.encode_json_response({
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_type": "internal",
+            })
+
+    def _dispatch_batch(self, payload) -> tuple[bytes, bool]:
+        try:
+            subs = wire.split_batch(payload)
+        except wire.FrameError as exc:
+            self.requests_served += 1
+            return self._frame_error(exc), False
+        op_submit = wire.OP_SUBMIT
+        if all(sub[0] == op_submit for sub in subs):
+            return self._dispatch_submit_batch(subs), False
+        parts: list[bytes] = []
+        bye = False
+        for sub in subs:
+            out, sub_bye = self._dispatch_binary_one(sub)
+            bye = bye or sub_bye
+            parts.append(out)
+        return wire.encode_batch(parts), bye
+
+    def _dispatch_submit_batch(self, subs) -> bytes:
+        """An all-submit batch: decode everything, then one engine pass.
+
+        On a durable engine the whole batch goes through
+        :meth:`~repro.service.recovery.DurableEngine.submit_many` — one
+        WAL group-commit window (one fsync under ``fsync="always"``)
+        instead of one per job.
+        """
+        self.requests_served += len(subs)
+        parts: list = [None] * len(subs)
+        decode = wire.decode_submit
+        injector = self.injector
+        skewing = injector is not None and injector.plan.clock_skew
+        if self._durable:
+            # two-phase: decode the whole batch, then one group-commit
+            # window through submit_many
+            requests: list = []
+            indices: list[int] = []
+            for i, sub in enumerate(subs):
+                try:
+                    item_id, size, arrival, departure, vector, rid = decode(sub)
+                    item = self._binary_item(item_id, size, arrival, departure, vector)
+                except wire.FrameError as exc:
+                    parts[i] = self._frame_error(exc)
+                    continue
+                except ProtocolError as exc:
+                    self._count("repro_service_protocol_errors_total")
+                    parts[i] = wire.encode_json_response(
+                        {"ok": False, "error": str(exc), "error_type": "protocol"}
+                    )
+                    continue
+                if skewing:
+                    item = replace(item, arrival=injector.skew(item.arrival))
+                indices.append(i)
+                requests.append((item, rid))
+            if requests:
+                outcomes = self.engine.submit_many(requests)
+                for i, outcome in zip(indices, outcomes):
+                    parts[i] = self._encode_outcome(outcome)
+            return wire.encode_batch(parts)
+        # non-durable: single fused pass (this loop IS the loopback hot
+        # path — every call it avoids per job is measurable in bench)
+        engine = self.engine
+        binary_item = self._binary_item
+        encode_placement = wire.encode_placement
+        for i, sub in enumerate(subs):
+            try:
+                item_id, size, arrival, departure, vector, rid = decode(sub)
+                item = binary_item(item_id, size, arrival, departure, vector)
+            except wire.FrameError as exc:
+                parts[i] = self._frame_error(exc)
+                continue
+            except ProtocolError as exc:
+                self._count("repro_service_protocol_errors_total")
+                parts[i] = wire.encode_json_response(
+                    {"ok": False, "error": str(exc), "error_type": "protocol"}
+                )
+                continue
+            if skewing:
+                item = replace(item, arrival=injector.skew(item.arrival))
+            if rid is not None:
+                parts[i] = self._submit_one(item, rid)
+                continue
+            try:
+                p = engine.submit(item)
+            except (ValueError, KeyError) as exc:
+                self._count("repro_service_protocol_errors_total")
+                detail = exc.args[0] if exc.args else str(exc)
+                parts[i] = wire.encode_json_response(
+                    {"ok": False, "error": str(detail), "error_type": "rejected"}
+                )
+                continue
+            except Exception as exc:
+                self._count("repro_service_internal_errors_total")
+                parts[i] = wire.encode_json_response({
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "error_type": "internal",
+                })
+                continue
+            parts[i] = encode_placement(
+                p.item_id, p.action, p.bin_index, p.new_bin, p.time
+            )
+        return wire.encode_batch(parts)
+
+    def _encode_outcome(self, outcome) -> bytes:
+        """One :meth:`submit_many` outcome as a binary sub-response."""
+        kind, value = outcome
+        if kind == "placed":
+            return wire.encode_placement(
+                value.item_id, value.action, value.bin_index,
+                value.new_bin, value.time,
+            )
+        if kind == "cached":
+            # the durable dedup window answers with the original
+            # placement, unflagged — exactly what the JSON path sends
+            return wire.encode_placement(
+                value["item_id"], value["action"], value["bin"],
+                value["new_bin"], value["time"],
+            )
+        exc = value
+        if isinstance(exc, OSError):
+            return wire.encode_json_response({
+                "ok": False,
+                "error": f"durability failure: {exc}",
+                "error_type": "wal_unavailable",
+            })
+        self._count("repro_service_protocol_errors_total")
+        detail = exc.args[0] if exc.args else str(exc)
+        return wire.encode_json_response(
+            {"ok": False, "error": str(detail), "error_type": "rejected"}
+        )
+
+    def _frame_error(self, exc: Exception) -> bytes:
+        self._count("repro_service_malformed_requests_total")
+        return wire.encode_json_response(
+            {"ok": False, "error": str(exc), "error_type": "malformed_frame"}
+        )
+
+    def _encode_response(self, response: dict) -> bytes:
+        """A dispatch result re-encoded in the binary response scheme."""
+        if response.get("ok"):
+            placement = response.get("placement")
+            if placement is not None:
+                return wire.encode_placement(
+                    placement["item_id"], placement["action"], placement["bin"],
+                    placement["new_bin"], placement["time"],
+                    duplicate=bool(response.get("duplicate")),
+                )
+            if "clock" in response:
+                if "departed" in response:
+                    return wire.encode_clock(
+                        response["clock"], response["departed"]
+                    )
+                if len(response) == 2:
+                    return wire.encode_clock(response["clock"])
+        return wire.encode_json_response(response)
 
     # -- metrics plumbing -----------------------------------------------------
     def _declare_metrics(self, reg: MetricsRegistry) -> None:

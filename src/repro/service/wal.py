@@ -337,6 +337,65 @@ class WriteAheadLog:
             self._fsync_due.set()
         return seq
 
+    def append_many(self, payloads) -> list[int]:
+        """Durably record a batch of operations; returns their sequences.
+
+        One pipelined client batch becomes **one write and one fsync
+        window**: the records are encoded, written with a single
+        ``write`` call, and the durability policy is consulted once for
+        the whole batch — under ``fsync="always"`` that is one barrier
+        instead of ``len(payloads)``, which is the group-commit payoff.
+        The record bytes on disk are identical to the same payloads
+        appended one at a time (rotation happens on batch boundaries
+        rather than mid-batch, so only segment *placement* can differ).
+
+        Fault semantics (the ``io_hook`` seam): every injected fault is
+        resolved *before* any byte is written, so an injected ``OSError``
+        refuses the batch atomically — nothing is logged, the caller
+        must not apply any of it.  A ``"tear"`` at record *k* writes
+        records ``0..k-1`` whole plus half of record *k* and then dies,
+        exactly the crash window a torn single append leaves behind.
+        """
+        if self._file is None:
+            raise WalError("write-ahead log is closed")
+        if not payloads:
+            return []
+        first = self.last_seq + 1
+        blobs = [_encode(first + i, payload) for i, payload in enumerate(payloads)]
+        total = sum(len(b) for b in blobs)
+        if self._segment_size > 0 and self._segment_size + total > self.segment_bytes:
+            self._start_segment(first)
+        if self.io_hook is not None:
+            tear_at = None
+            for i in range(len(blobs)):
+                if self.io_hook("write", first + i) == "tear":
+                    tear_at = i
+                    break
+            if tear_at is not None:
+                torn = blobs[tear_at]
+                self._file.write(
+                    b"".join(blobs[:tear_at]) + torn[: max(1, len(torn) // 2)]
+                )
+                self.io_hook("torn", first + tear_at)
+                raise WalError(f"torn write injected at record {first + tear_at}")
+        data = b"".join(blobs)
+        self._file.write(data)
+        self.last_seq = first + len(blobs) - 1
+        self.records_written += len(blobs)
+        self.bytes_written += len(data)
+        self._segment_size += len(data)
+        self._unsynced += len(blobs)
+        if self.fsync == "always":
+            self._flush(force=True)
+        elif self.fsync == "interval" and self._unsynced >= self.fsync_every:
+            if self._flusher is None:
+                self._flusher = threading.Thread(
+                    target=self._flusher_loop, name="wal-fsync", daemon=True
+                )
+                self._flusher.start()
+            self._fsync_due.set()
+        return list(range(first, self.last_seq + 1))
+
     def _flush(self, force: bool) -> None:
         assert self._file is not None
         if force:

@@ -52,13 +52,14 @@ def test_plan_validation():
 def test_plan_from_file_roundtrip(tmp_path):
     path = tmp_path / "plan.json"
     path.write_text(json.dumps({
-        "seed": 7, "kill": {"applied": 3}, "torn_tail": True,
-        "io_error_rate": 0.25, "drop_rate": 0.1,
+        "seed": 7, "kill": {"applied": 3, "reply": 9}, "torn_tail": True,
+        "torn_reply": True, "io_error_rate": 0.25, "drop_rate": 0.1,
     }))
     plan = FaultPlan.from_file(str(path))
     assert plan.seed == 7
-    assert plan.kill == {"applied": 3}
+    assert plan.kill == {"applied": 3, "reply": 9}
     assert plan.torn_tail is True
+    assert plan.torn_reply is True
     assert plan.io_error_rate == 0.25
     bad = tmp_path / "bad.json"
     bad.write_text("[1, 2]")
@@ -255,3 +256,83 @@ def test_clock_skew_still_yields_a_consistent_packing(tmp_path):
     assert placed + report.errors == len(items)
     assert placed > 0
     assert report.drain["bins"] > 0
+
+
+@pytest.mark.chaos
+def test_binary_torn_reply_kill_recovers_the_unacknowledged_submit(tmp_path):
+    """The server dies writing half a binary reply; the WAL tells the truth.
+
+    A ``reply`` kill with ``torn_reply`` lands after the submit was
+    WAL-appended and applied but while its acknowledgement frame is on
+    the wire — the worst crash window the binary protocol has.  The
+    client must observe a torn frame (not a clean close), and recovery
+    must contain every *acknowledged* submit plus the one in flight,
+    with its request id in the dedup window so a client retry after
+    restart stays exactly-once.
+    """
+    from repro.service import protocol as wire
+
+    items = poisson_workload(40, seed=41, mu_target=8.0, arrival_rate=4.0)
+    ordered = sorted(items, key=lambda it: it.arrival)
+    injector = FaultInjector(FaultPlan(kill={"reply": 12}, torn_reply=True))
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=items.capacity
+    )
+    engine = DurableEngine(
+        make_engine(),
+        WriteAheadLog(str(tmp_path), fsync="never"),
+        injector=injector,
+    )
+    seen = {"acked": 0, "torn_bytes": -1}
+
+    async def scenario():
+        service = AllocationService(engine, quiet=True, injector=injector)
+        port = await service.start("127.0.0.1", 0)
+        waiter = asyncio.ensure_future(service.wait_closed())
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(wire.hello_line())
+        await writer.drain()
+        ack = json.loads(await reader.readline())
+        assert ack["ok"] and ack["protocol"] == "binary"
+        for i, it in enumerate(ordered):
+            writer.write(wire.frame(wire.encode_submit(it, request_id=f"t-{i}")))
+            await writer.drain()
+            try:
+                head = await reader.readexactly(wire.HEADER.size)
+                (length,) = wire.HEADER.unpack(head)
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                seen["torn_bytes"] = len(exc.partial)
+                break
+            doc = wire.decode_response(memoryview(payload))
+            assert doc["ok"] is True, doc
+            seen["acked"] += 1
+        else:
+            raise AssertionError("the kill never fired")
+        writer.close()
+        await waiter  # re-raises the KillPoint
+
+    with pytest.raises(KillPoint, match="torn frame"):
+        asyncio.run(scenario())
+    engine.wal.close()  # the "dead" process's fd
+    assert seen["acked"] > 0
+    # a *torn* frame: some — but not all — of the reply bytes arrived
+    assert seen["torn_bytes"] > 0
+
+    recovered, report = recover(
+        str(tmp_path), engine_builder=make_engine, fsync="never"
+    )
+    applied = seen["acked"] + 1  # the unacknowledged submit was logged
+    assert recovered.stats()["placed"] == applied
+    assert report.dedup_entries == applied
+    # the in-flight request id survived: a restarted client's retry of
+    # the lost reply is answered from the dedup window, not re-placed
+    retry = recovered.submit(ordered[applied - 1], request_id=f"t-{applied - 1}")
+    assert recovered.stats()["placed"] == applied
+    clean = make_engine()
+    for it in ordered[:applied]:
+        clean.submit(it)
+    a, b = recovered.finish(), clean.finish()
+    assert a.item_bin == b.item_bin
+    assert a.total_usage_time == b.total_usage_time
+    recovered.close()

@@ -4,8 +4,12 @@ The hardening contract from ``repro.service.server``: malformed JSON,
 binary noise, oversized lines, unknown ops, bad field types, duplicate
 request ids, and clients that vanish mid-request each produce one
 structured ``{"ok": false, "error_type": ...}`` reply (or a clean
-close) — and the *next* request still works.  Everything here runs on a
-loopback socket with no sleeps, so it stays in the tier-1 suite.
+close) — and the *next* request still works.  The binary protocol gets
+the same treatment after the handshake: truncated frames, zero-length
+frames, declared lengths past the cap, unknown opcodes, garbage
+payloads inside well-formed frames, and malformed batch containers.
+Everything here runs on a loopback socket with no sleeps, so it stays
+in the tier-1 suite.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import json
 import random
 
 from repro.service import AllocationService, build_engine
+from repro.service import protocol as wire
 
 
 async def fuzz_session(service_kwargs, script):
@@ -201,3 +206,250 @@ def test_seeded_random_garbage_never_kills_the_server():
     assert failures == len(lines), "random bytes must never be accepted"
     assert pong == {"ok": True, "pong": True}
     assert service.requests_served == len(lines) + 1
+
+# -- binary protocol abuse ----------------------------------------------------
+
+
+def _item(item_id=1, size=0.5, arrival=0.0, departure=1.0):
+    from repro.core.items import Item
+
+    return Item(
+        item_id=item_id, size=size, arrival=arrival, departure=departure
+    )
+
+
+async def open_binary(port):
+    """Connect, negotiate the binary protocol, return frame-level I/O."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(wire.hello_line())
+    await writer.drain()
+    ack = json.loads(await reader.readline())
+    assert ack["ok"] is True and ack["protocol"] == "binary"
+
+    async def read_frame() -> bytes:
+        header = await reader.readexactly(wire.HEADER.size)
+        (length,) = wire.HEADER.unpack(header)
+        return await reader.readexactly(length)
+
+    async def call_frame(payload: bytes) -> dict:
+        writer.write(wire.frame(payload))
+        await writer.drain()
+        reply = memoryview(await read_frame())
+        if reply[0] == wire.RESP_BATCH:
+            return {
+                "responses": [
+                    wire.decode_response(sub) for sub in wire.split_batch(reply)
+                ]
+            }
+        return wire.decode_response(reply)
+
+    return reader, writer, read_frame, call_frame
+
+
+def test_bad_hello_is_a_protocol_error_and_stays_json():
+    async def script(port):
+        _, writer, _, call = await open_call(port)
+        bad_version = await call(
+            {"op": "hello", "protocol": "binary", "version": 999}
+        )
+        bad_protocol = await call({"op": "hello", "protocol": "carrier-pigeon"})
+        # the connection never switched: JSON still works
+        pong = await call({"op": "ping"})
+        writer.close()
+        return bad_version, bad_protocol, pong
+
+    (bad_version, bad_protocol, pong), _ = run(script)
+    assert bad_version["ok"] is False
+    assert bad_version["error_type"] == "protocol"
+    assert bad_protocol["ok"] is False
+    assert bad_protocol["error_type"] == "protocol"
+    assert pong == {"ok": True, "pong": True}
+
+
+def test_binary_roundtrip_then_json_errors_stay_structured():
+    async def script(port):
+        _, writer, _, call_frame = await open_binary(port)
+        placed = await call_frame(wire.encode_submit(_item()))
+        departed = await call_frame(wire.encode_depart(1, now=0.5))
+        clock = await call_frame(wire.encode_advance(5.0))
+        writer.close()
+        return placed, departed, clock
+
+    (placed, departed, clock), _ = run(script)
+    assert placed["ok"] is True
+    assert placed["placement"]["action"] == "placed"
+    assert departed["ok"] is True
+    assert clock["ok"] is True and clock["clock"] == 5.0
+
+
+def test_binary_zero_length_frame_survives():
+    async def script(port):
+        reader, writer, read_frame, call_frame = await open_binary(port)
+        writer.write(wire.HEADER.pack(0))  # empty frame: no payload at all
+        await writer.drain()
+        reply = wire.decode_response(memoryview(await read_frame()))
+        ok = await call_frame(wire.encode_submit(_item()))
+        writer.close()
+        return reply, ok
+
+    (reply, ok), service = run(script)
+    assert reply["ok"] is False
+    assert reply["error_type"] == "malformed_frame"
+    assert ok["ok"] is True
+    metrics = service.engine.metrics.as_dict()
+    assert metrics["repro_service_malformed_requests_total"] == 1
+
+
+def test_binary_unknown_opcode_survives():
+    async def script(port):
+        _, writer, read_frame, call_frame = await open_binary(port)
+        writer.write(wire.frame(b"\xee" + b"payload"))
+        await writer.drain()
+        reply = wire.decode_response(memoryview(await read_frame()))
+        ok = await call_frame(wire.encode_submit(_item()))
+        writer.close()
+        return reply, ok
+
+    (reply, ok), _ = run(script)
+    assert reply["ok"] is False
+    assert reply["error_type"] == "protocol"
+    assert ok["ok"] is True
+
+
+def test_binary_oversized_declared_length_closes_connection():
+    async def script(port):
+        reader, writer, read_frame, _ = await open_binary(port)
+        writer.write(wire.HEADER.pack(10_000))  # past max_line_bytes
+        await writer.drain()
+        reply = wire.decode_response(memoryview(await read_frame()))
+        closed = (await reader.read(1)) == b""  # server hung up
+        writer.close()
+        # a fresh binary connection negotiates and works fine
+        _, writer2, _, call2 = await open_binary(port)
+        ok = await call2(wire.encode_submit(_item()))
+        writer2.close()
+        return reply, closed, ok
+
+    (reply, closed, ok), _ = run(script, max_line_bytes=1024)
+    assert reply["ok"] is False
+    assert reply["error_type"] == "frame_too_long"
+    assert closed, "the stream cannot be resynchronised mid-frame"
+    assert ok["ok"] is True
+
+
+def test_binary_client_vanishing_mid_frame_counts_disconnect():
+    async def script(port):
+        # a header promising 100 bytes, then only 10 arrive
+        _, writer, _, _ = await open_binary(port)
+        writer.write(wire.HEADER.pack(100) + b"x" * 10)
+        await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+        # half a *header*, then the socket dies
+        _, writer2, _, _ = await open_binary(port)
+        writer2.write(b"\x00\x00")
+        await writer2.drain()
+        writer2.close()
+        await writer2.wait_closed()
+        await asyncio.sleep(0)
+        _, writer3, _, call = await open_call(port)
+        metrics = await call({"op": "metrics"})
+        writer3.close()
+        return metrics
+
+    metrics, _ = run(script)
+    assert "repro_service_disconnects_total 2" in metrics["text"]
+
+
+def test_binary_malformed_submit_payloads_survive():
+    good = wire.encode_submit(_item())
+    cases = [
+        good[:8],                      # truncated mid-struct
+        good + b"trailing-bytes",      # declared fields + junk after
+        bytes([wire.OP_SUBMIT]),       # opcode alone, no body
+        bytes([wire.OP_DEPART]) + b"\x01",     # depart body too short
+        bytes([wire.OP_ADVANCE]) + b"\x00" * 3,  # advance body too short
+    ]
+
+    async def script(port):
+        _, writer, _, call_frame = await open_binary(port)
+        replies = [await call_frame(c) for c in cases]
+        ok = await call_frame(wire.encode_submit(_item()))
+        writer.close()
+        return replies, ok
+
+    (replies, ok), service = run(script)
+    for case, reply in zip(cases, replies):
+        assert reply["ok"] is False, case
+        assert reply["error_type"] == "malformed_frame", case
+    assert ok["ok"] is True
+    metrics = service.engine.metrics.as_dict()
+    assert metrics["repro_service_malformed_requests_total"] == len(cases)
+
+
+def test_binary_malformed_batches_survive():
+    sub = wire.encode_submit(_item())
+    nested = wire.encode_batch([wire.encode_batch([sub])])
+    truncated = wire.encode_batch([sub])[:-3]  # inner length overruns
+    lying = bytes([wire.OP_BATCH]) + wire.HEADER.pack(10_000) + b"x" * 4
+
+    async def script(port):
+        _, writer, _, call_frame = await open_binary(port)
+        replies = [await call_frame(c) for c in (nested, truncated, lying)]
+        ok = await call_frame(wire.encode_submit(_item()))
+        writer.close()
+        return replies, ok
+
+    (replies, ok), _ = run(script)
+    for reply in replies:
+        doc = reply
+        if "responses" in reply:       # a BATCH of error sub-responses
+            doc = reply["responses"][0]
+        assert doc["ok"] is False
+        assert doc["error_type"] == "malformed_frame"
+    assert ok["ok"] is True
+
+
+def test_binary_duplicate_request_ids_place_once():
+    payload = wire.encode_submit(_item(size=0.4, departure=2.0), request_id="r-9")
+
+    async def script(port):
+        _, writer, _, call_frame = await open_binary(port)
+        first = await call_frame(payload)
+        second = await call_frame(payload)
+        batch = await call_frame(wire.encode_batch([payload, payload]))
+        writer.close()
+        return first, second, batch
+
+    (first, second, batch), service = run(script)
+    assert first["ok"] and second["ok"]
+    assert second["placement"] == first["placement"]
+    assert second["duplicate"] is True
+    for doc in batch["responses"]:
+        assert doc["ok"] is True
+        assert doc["placement"] == first["placement"]
+        assert doc["duplicate"] is True
+    assert service.engine.stats()["placed"] == 1
+
+
+def test_binary_seeded_random_garbage_never_kills_the_server():
+    rng = random.Random(7)
+    frames = [
+        bytes(rng.randrange(256) for _ in range(rng.randrange(1, 80)))
+        for _ in range(60)
+    ]
+
+    async def script(port):
+        _, writer, _, call_frame = await open_binary(port)
+        failures = 0
+        for payload in frames:
+            reply = await call_frame(payload)
+            doc = reply["responses"][0] if "responses" in reply else reply
+            failures += doc["ok"] is False
+        ok = await call_frame(wire.encode_submit(_item()))
+        writer.close()
+        return failures, ok
+
+    (failures, ok), _ = run(script)
+    assert failures == len(frames), "random payloads must never be accepted"
+    assert ok["ok"] is True

@@ -203,3 +203,105 @@ class TestLoopbackCli:
             main(["serve", "--port", "70000"])
         with pytest.raises(SystemExit):
             main(["loadgen", "--port", "-1"])
+
+
+class TestReportAndBinaryCli:
+    def test_report_percentiles_render_and_json(self):
+        report = LoadgenReport(
+            jobs=100,
+            actions={"placed": 100},
+            wall_seconds=2.0,
+            latencies_ms=[float(i + 1) for i in range(100)],
+        )
+        assert report.latency_percentile(50) == 51.0
+        assert report.latency_percentile(95) == 96.0
+        text = report.render()
+        assert "p50=51.000" in text
+        assert "p95=96.000" in text
+        assert "p99=100.000" in text
+        payload = report.to_json()
+        assert payload["latency_ms"] == {
+            "p50": 51.0, "p90": 91.0, "p95": 96.0, "p99": 100.0,
+        }
+
+    def test_request_latency_histogram_on_metrics_endpoint(self):
+        """Per-request latency is service-owned — observed on both wire
+        protocols, exposed on the metrics op, and absent from the engine
+        registry (which checkpoints and must stay protocol-independent)."""
+        items = poisson_workload(30, seed=5, mu_target=8.0, arrival_rate=4.0)
+        engine = build_engine(algorithm="first-fit", capacity=items.capacity)
+
+        async def scenario():
+            return await serve_and_drive(
+                engine,
+                lambda port: run_loadgen(
+                    items, port=port, shutdown=True,
+                    protocol="binary", batch=8, pipeline=2,
+                ),
+            )
+
+        report, service = asyncio.run(scenario())
+        assert report.errors == 0
+        text = service.service_metrics.expose_text()
+        assert "repro_service_request_latency_seconds_count" in text
+        assert "repro_service_request_latency_seconds_bucket" in text
+        assert "repro_service_request_latency_seconds" not in (
+            engine.metrics.expose_text()
+        )
+
+    def test_pipeline_requires_binary_protocol(self, capsys):
+        rc = main(["loadgen", "--port", "1", "--n", "5", "--pipeline", "4"])
+        assert rc == 2
+        assert "binary" in capsys.readouterr().err
+
+    def test_uvloop_flag_warns_and_falls_back_when_missing(self, capsys):
+        """--uvloop must never be fatal: absent uvloop -> warn + stock loop."""
+        from repro.cli import _maybe_uvloop
+
+        try:
+            import uvloop  # noqa: F401
+        except ImportError:
+            pass
+        else:
+            pytest.skip("uvloop is installed in this environment")
+        assert _maybe_uvloop(False) is False
+        assert capsys.readouterr().err == ""
+        assert _maybe_uvloop(True) is False
+        err = capsys.readouterr().err
+        assert "uvloop" in err and "not installed" in err
+
+    def test_serve_and_loadgen_binary_pipelined_cli(self, tmp_path, capsys):
+        port_file = tmp_path / "port.txt"
+        report_file = tmp_path / "loadgen.json"
+        server = threading.Thread(
+            target=main,
+            args=(
+                ["serve", "--port", "0", "--port-file", str(port_file),
+                 "--quiet"],
+            ),
+            daemon=True,
+        )
+        server.start()
+        deadline = time.time() + 10
+        while not port_file.exists() and time.time() < deadline:
+            time.sleep(0.02)
+        assert port_file.exists(), "serve never wrote its port file"
+        port = port_file.read_text().strip()
+
+        rc = main([
+            "loadgen", "--port", port, "--n", "80", "--seed", "3",
+            "--protocol", "binary", "--batch", "16", "--pipeline", "4",
+            "--shutdown", "--json", str(report_file),
+        ])
+        assert rc == 0
+        server.join(timeout=10)
+        assert not server.is_alive()
+        out = capsys.readouterr().out
+        assert "80 jobs" in out
+        assert "placed=80" in out
+        assert "p95=" in out
+        payload = json.loads(report_file.read_text())
+        assert payload["jobs"] == 80
+        assert payload["errors"] == 0
+        assert payload["actions"] == {"placed": 80}
+        assert payload["drain"]["bins"] > 0

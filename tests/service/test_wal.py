@@ -197,3 +197,38 @@ def test_io_hook_error_leaves_log_usable(tmp_path):
     wal.close()
     records, _ = replay_wal(str(tmp_path))
     assert [r.payload["now"] for r in records] == [1.0, 3.0]
+
+
+def test_append_many_bytes_equal_sequential_appends(tmp_path):
+    """Group commit is an I/O optimisation, not a format change.
+
+    The same payloads through ``append_many`` and through one-at-a-time
+    ``append`` leave byte-identical segment files (CRCs included) — the
+    invariant the wire-protocol differential relies on — while paying
+    one fsync barrier per batch instead of one per record.
+    """
+    payloads = [
+        {"op": "submit", "job": [i, 0.5, float(i), float(i) + 1.0]}
+        for i in range(20)
+    ]
+
+    one = WriteAheadLog(str(tmp_path / "one"), fsync="always")
+    for p in payloads:
+        one.append(p)
+    one.close()
+
+    many = WriteAheadLog(str(tmp_path / "many"), fsync="always")
+    seqs = many.append_many(payloads[:8])
+    seqs += many.append_many(payloads[8:])
+    assert many.append_many([]) == []
+    assert many.fsyncs == 2, "one barrier per batch is the group-commit payoff"
+    many.close()
+
+    assert seqs == list(range(1, 21))
+    assert (
+        open(wal_segments(str(tmp_path / "one"))[0], "rb").read()
+        == open(wal_segments(str(tmp_path / "many"))[0], "rb").read()
+    )
+    records, torn = replay_wal(str(tmp_path / "many"))
+    assert torn == 0
+    assert [r.payload for r in records] == payloads
