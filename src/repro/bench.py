@@ -119,6 +119,17 @@ SERVICE_LOOPBACK_PIPELINE = 8
 #: smaller instance (events/sec stays comparable across cell sizes).
 SERVICE_WAL_ALWAYS_JOBS = 2_000
 
+#: Router-loopback cells: the same closed-loop load generator driven
+#: through a :class:`~repro.service.router.ShardRouter` fronting N
+#: in-process workers, on the binary pipelined fast path.  On this
+#: 1-CPU container every worker shares the core, so shard counts > 1
+#: measure the router's *coordination* overhead, not parallel speedup —
+#: the number to read is the 1-shard row against the same-run direct
+#: baseline (the router-as-transparent-proxy tax).
+SERVICE_ROUTER_SHARDS: tuple[int, ...] = (1, 2, 4)
+SERVICE_ROUTER_QUICK_SHARDS: tuple[int, ...] = (1, 2)
+SERVICE_ROUTER_TENANTS = 16
+
 WORKLOAD_SEED = 99
 WORKLOAD_MU = 8.0
 
@@ -262,6 +273,83 @@ def _loopback_cell(ordered, repeats: int, **loadgen_kwargs):
     return best
 
 
+async def _router_loopback_replay(ordered, shards, **loadgen_kwargs):
+    """Closed-loop load generation through the consistent-hash router."""
+    from .service import AllocationService, ShardRouter, build_engine, run_loadgen
+
+    services = [
+        AllocationService(build_engine(), quiet=True) for _ in range(shards)
+    ]
+    ports = [await s.start("127.0.0.1", 0) for s in services]
+    router = ShardRouter(
+        [("127.0.0.1", p) for p in ports], tenants=SERVICE_ROUTER_TENANTS
+    )
+    await router.connect()
+    front = await router.start("127.0.0.1", 0)
+    waiters = [asyncio.ensure_future(s.wait_closed()) for s in services]
+    # the shutdown broadcast takes the workers down through the router
+    client = await run_loadgen(
+        ordered, port=front, shutdown=True, tenants=SERVICE_ROUTER_TENANTS,
+        **loadgen_kwargs,
+    )
+    await router.wait_closed()
+    for waiter in waiters:
+        await waiter
+    return client
+
+
+def _bench_router(report: "BenchReport", ordered, quick: bool, repeats: int) -> None:
+    """Router-loopback cells, interleaved with their direct baseline.
+
+    The direct (router-less) lap runs inside the same repeat loop as the
+    router laps, so machine drift between distant measurements cannot
+    masquerade as router overhead — the ratio the rows exist to expose.
+    All cells run the binary pipelined fast path with the same tenant
+    keying, so the only variable is the router hop (and, above one
+    shard, its fan-out bookkeeping on this single CPU).
+    """
+    shard_counts = SERVICE_ROUTER_QUICK_SHARDS if quick else SERVICE_ROUTER_SHARDS
+    kwargs = {
+        "protocol": "binary",
+        "batch": SERVICE_LOOPBACK_BATCH,
+        "pipeline": SERVICE_LOOPBACK_PIPELINE,
+        "tenants": SERVICE_ROUTER_TENANTS,
+    }
+    best: dict[Any, Any] = {"direct": None, **{s: None for s in shard_counts}}
+    gc.collect()
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            laps = {"direct": asyncio.run(_loopback_replay(ordered, **kwargs))}
+            for shards in shard_counts:
+                laps[shards] = asyncio.run(
+                    _router_loopback_replay(ordered, shards, **{
+                        k: v for k, v in kwargs.items() if k != "tenants"
+                    })
+                )
+            for key, client in laps.items():
+                if best[key] is None or client.wall_seconds < best[key].wall_seconds:
+                    best[key] = client
+    finally:
+        if enabled:
+            gc.enable()
+    rows = [("router-loopback-direct", best["direct"])] + [
+        (f"router-loopback-{s}shard", best[s]) for s in shard_counts
+    ]
+    for mode, client in rows:
+        report.service.append(
+            {
+                "instance": f"n{len(ordered)}",
+                "n_items": len(ordered),
+                "arrival_rate": 4.0,
+                "mode": mode,
+                "seconds": round(client.wall_seconds, 6),
+                "events_per_sec": round(client.requests_per_sec),
+            }
+        )
+
+
 def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
     grid = SERVICE_QUICK_GRID if quick else SERVICE_GRID
     for label, n, rate in grid:
@@ -376,6 +464,7 @@ def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
                 "events_per_sec": round(best.requests_per_sec),
             }
         )
+    _bench_router(report, ordered, quick, repeats)
 
 
 def run_bench(

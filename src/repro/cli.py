@@ -16,6 +16,8 @@ Usage (installed as the ``repro`` console script, or
     repro serve --port 7077          # live allocation service (JSON lines)
     repro loadgen --port 7077 --n 500    # replay a workload against it
     repro loadgen --port 7077 --n 5000 --protocol binary --batch 256 --pipeline 8
+    repro fleet --shards 4 --wal-dir /var/lib/repro --port 7070  # sharded fleet
+    repro loadgen --port 7070 --tenants 16 --n 5000  # multi-tenant traffic
 """
 
 from __future__ import annotations
@@ -230,6 +232,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON fault-injection plan (chaos testing; see docs/OPERATIONS.md)",
     )
     p_serve.add_argument(
+        "--shard-id", type=int, default=0,
+        help="this worker's shard index in a fleet (default 0)",
+    )
+    p_serve.add_argument(
+        "--num-shards", type=_positive_int, default=1,
+        help="total shards in the fleet this worker belongs to "
+        "(default 1 = standalone); recorded in the WAL dir MANIFEST",
+    )
+    p_serve.add_argument(
         "--max-line-bytes", type=_positive_int, default=None,
         help="max request line length (default 1 MiB)",
     )
@@ -243,6 +254,64 @@ def build_parser() -> argparse.ArgumentParser:
         "back to asyncio otherwise)",
     )
     p_serve.add_argument("--quiet", action="store_true")
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded fleet: N serve workers behind a "
+        "consistent-hash router, restarted on crash",
+    )
+    p_fleet.add_argument(
+        "--shards", type=_positive_int, default=2,
+        help="number of shard workers (default 2)",
+    )
+    p_fleet.add_argument(
+        "--wal-dir", required=True,
+        help="fleet root: each worker gets <wal-dir>/shard-XX",
+    )
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument(
+        "--port", type=_port_int, default=7070,
+        help="router front port (0 = ephemeral)",
+    )
+    p_fleet.add_argument(
+        "--port-file", default=None,
+        help="write the router's bound port here",
+    )
+    p_fleet.add_argument(
+        "--tenants", type=int, default=0,
+        help="route key = id %% tenants (0 = raw job ids)",
+    )
+    p_fleet.add_argument(
+        "--algorithm", default="first-fit", choices=sorted(ALGORITHM_REGISTRY)
+    )
+    p_fleet.add_argument("--capacity", type=float, default=1.0)
+    p_fleet.add_argument(
+        "--reference", action="store_true",
+        help="disable the adaptive first-fit index in every worker",
+    )
+    p_fleet.add_argument(
+        "--fsync", default="interval", choices=["never", "interval", "always"],
+        help="workers' WAL fsync policy (default: interval)",
+    )
+    p_fleet.add_argument(
+        "--fsync-interval", type=_positive_int, default=512,
+        help="records between fsyncs for --fsync interval (default 512)",
+    )
+    p_fleet.add_argument(
+        "--checkpoint-interval", type=_positive_int, default=1000,
+        help="WAL records between automatic checkpoints (default 1000)",
+    )
+    p_fleet.add_argument(
+        "--fault-plan", action="append", default=None, metavar="SHARD=PATH",
+        help="inject a fault plan into one shard's first boot "
+        "(chaos testing; repeatable)",
+    )
+    p_fleet.add_argument(
+        "--uvloop", action="store_true",
+        help="use the uvloop event loop if installed (warns and falls "
+        "back to asyncio otherwise)",
+    )
+    p_fleet.add_argument("--quiet", action="store_true")
 
     p_recover = sub.add_parser(
         "recover",
@@ -310,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--batch", type=_positive_int, default=1,
         help="submits per frame (>1 requires --protocol binary)",
+    )
+    p_load.add_argument(
+        "--tenants", type=int, default=0,
+        help="rewrite job ids into N stable per-tenant key streams and "
+        "report the fleet router's per-shard request counts (0 = off)",
     )
     p_load.add_argument(
         "--uvloop", action="store_true",
@@ -515,10 +589,9 @@ def cmd_serve(args) -> int:
         FaultInjector,
         FaultPlan,
         KillPoint,
-        MetricsRegistry,
-        build_engine,
+        ShardContext,
+        ShardSpec,
         make_admission_policy,
-        recover,
         serve,
     )
 
@@ -539,46 +612,39 @@ def cmd_serve(args) -> int:
     sink = open(args.log, "a") if args.log else None
     try:
         decision_log = DecisionLog(sink) if sink is not None else None
-        if args.wal_dir:
-            engine, report = recover(
-                args.wal_dir,
-                engine_builder=lambda: build_engine(
-                    algorithm=args.algorithm,
-                    capacity=args.capacity,
-                    indexed=not args.reference,
-                    admission=admission,
-                    decision_log=decision_log,
-                ),
-                admission=admission,
-                metrics=MetricsRegistry(),
-                decision_log=decision_log,
-                fsync=args.fsync,
-                fsync_every=args.fsync_interval,
-                segment_bytes=args.segment_bytes,
-                checkpoint_every=args.checkpoint_interval,
-                checkpoint_bytes=args.checkpoint_bytes,
-                injector=injector,
-            )
-            if not args.quiet:
-                print(report.render())
-        else:
-            engine = build_engine(
-                algorithm=args.algorithm,
-                capacity=args.capacity,
-                indexed=not args.reference,
-                admission=admission,
-                decision_log=decision_log,
-            )
+        # one boot path whether this process is a standalone service or
+        # one worker of a fleet: the default spec (0 of 1) is the
+        # degenerate single-shard case
+        spec = ShardSpec(shard_id=args.shard_id, num_shards=args.num_shards)
+        context = ShardContext.create(
+            spec,
+            algorithm=args.algorithm,
+            capacity=args.capacity,
+            indexed=not args.reference,
+            admission=admission,
+            decision_log=decision_log,
+            wal_dir=args.wal_dir or None,
+            fsync=args.fsync,
+            fsync_every=args.fsync_interval,
+            segment_bytes=args.segment_bytes,
+            checkpoint_every=args.checkpoint_interval,
+            checkpoint_bytes=args.checkpoint_bytes,
+            injector=injector,
+        )
+        if context.recovery_report is not None and not args.quiet:
+            print(context.recovery_report.render())
         service_kwargs = {}
         if args.max_line_bytes is not None:
             service_kwargs["max_line_bytes"] = args.max_line_bytes
         if args.idle_timeout is not None:
             service_kwargs["idle_timeout"] = args.idle_timeout
+        if args.num_shards > 1:
+            service_kwargs["shard"] = spec
         _maybe_uvloop(args.uvloop)
         try:
             return asyncio.run(
                 serve(
-                    engine,
+                    context.engine,
                     host=args.host,
                     port=args.port,
                     quiet=args.quiet,
@@ -597,14 +663,71 @@ def cmd_serve(args) -> int:
             sys.stderr.flush()
             os._exit(70)
         finally:
-            if args.wal_dir:
-                engine.close()
+            context.close()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
         if sink is not None:
             sink.close()
+
+
+def cmd_fleet(args) -> int:
+    import asyncio
+
+    from .service import FleetSupervisor
+
+    fault_plans: dict[int, str] = {}
+    for entry in args.fault_plan or ():
+        shard_text, sep, path = entry.partition("=")
+        if not sep or not shard_text.isdigit() or not path:
+            print(
+                f"error: --fault-plan wants SHARD=PATH, got {entry!r}",
+                file=sys.stderr,
+            )
+            return 2
+        fault_plans[int(shard_text)] = path
+    bad = [i for i in fault_plans if i >= args.shards]
+    if bad:
+        print(
+            f"error: --fault-plan shard(s) {bad} out of range "
+            f"for --shards {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
+    serve_args = [
+        "--algorithm", args.algorithm,
+        "--capacity", str(args.capacity),
+        "--fsync", args.fsync,
+        "--fsync-interval", str(args.fsync_interval),
+        "--checkpoint-interval", str(args.checkpoint_interval),
+    ]
+    if args.reference:
+        serve_args.append("--reference")
+    supervisor = FleetSupervisor(
+        args.shards,
+        args.wal_dir,
+        host=args.host,
+        tenants=args.tenants,
+        serve_args=serve_args,
+        fault_plans=fault_plans,
+        quiet=args.quiet,
+    )
+    _maybe_uvloop(args.uvloop)
+    try:
+        return asyncio.run(
+            supervisor.run(
+                front_host=args.host,
+                front_port=args.port,
+                port_file=args.port_file,
+            )
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def cmd_recover(args) -> int:
@@ -673,6 +796,7 @@ def cmd_loadgen(args) -> int:
             protocol=args.protocol,
             pipeline=args.pipeline,
             batch=args.batch,
+            tenants=args.tenants,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -728,6 +852,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "fleet":
+        return cmd_fleet(args)
     if args.command == "recover":
         return cmd_recover(args)
     if args.command == "loadgen":

@@ -14,6 +14,12 @@ layer: a CRC-checksummed write-ahead log (:mod:`.wal`), crash recovery
 by checkpoint + replay (:mod:`.recovery`), and a deterministic fault
 -injection harness (:mod:`.faults`) — see ``docs/OPERATIONS.md`` for
 the operator's view.
+
+The fleet layer scales the same service horizontally: each worker is a
+shard-scoped context (:mod:`.shard` — engine + WAL dir + manifest-bound
+identity), a consistent-hash router (:mod:`.router`) fronts N of them
+on both wire protocols, and a supervisor (:mod:`.fleet` /
+``repro fleet``) spawns, restarts, and live-hands-off the workers.
 """
 
 from .admission import (
@@ -29,13 +35,16 @@ from .admission import (
 )
 from .engine import Placement, StreamingEngine
 from .faults import FaultInjected, FaultInjector, FaultPlan, KillPoint
-from .loadgen import LoadgenReport, RetryPolicy, loadgen, run_loadgen
+from .fleet import FleetSupervisor
+from .loadgen import LoadgenReport, RetryPolicy, loadgen, run_loadgen, tenantize
 from .metrics import (
     Counter,
     DecisionLog,
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_expositions,
+    relabel_exposition,
 )
 from .protocol import (
     PROTOCOL_VERSION,
@@ -49,8 +58,11 @@ from .recovery import (
     latest_checkpoint,
     recover,
 )
+from .router import BackendLink, HashRing, ShardRouter, partition_items, route_key
 from .server import AllocationService, ProtocolError, build_engine, serve
+from .shard import ShardContext, ShardSpec, shard_manifest
 from .snapshot import (
+    config_fingerprint,
     dumps,
     loads,
     read_checkpoint,
@@ -58,7 +70,14 @@ from .snapshot import (
     snapshot_engine,
     write_checkpoint,
 )
-from .wal import WalCorruptionError, WalError, WriteAheadLog, replay_wal
+from .wal import (
+    WalCorruptionError,
+    WalError,
+    WriteAheadLog,
+    read_manifest,
+    replay_wal,
+    write_manifest,
+)
 
 __all__ = [
     "ADMIT",
@@ -68,6 +87,7 @@ __all__ = [
     "AdmissionPolicy",
     "AdmitAll",
     "AllocationService",
+    "BackendLink",
     "Counter",
     "DecisionLog",
     "DedupWindow",
@@ -75,7 +95,9 @@ __all__ = [
     "FaultInjected",
     "FaultInjector",
     "FaultPlan",
+    "FleetSupervisor",
     "FrameError",
+    "HashRing",
     "KillPoint",
     "PROTOCOLS",
     "PROTOCOL_VERSION",
@@ -89,22 +111,34 @@ __all__ = [
     "ProtocolError",
     "RecoveryReport",
     "RetryPolicy",
+    "ShardContext",
+    "ShardRouter",
+    "ShardSpec",
     "StreamingEngine",
     "WalCorruptionError",
     "WalError",
     "WriteAheadLog",
     "build_engine",
+    "config_fingerprint",
     "dumps",
     "latest_checkpoint",
     "loadgen",
     "loads",
     "make_admission_policy",
+    "merge_expositions",
+    "partition_items",
     "read_checkpoint",
+    "read_manifest",
     "recover",
+    "relabel_exposition",
     "replay_wal",
     "restore_engine",
+    "route_key",
     "run_loadgen",
     "serve",
+    "shard_manifest",
     "snapshot_engine",
+    "tenantize",
     "write_checkpoint",
+    "write_manifest",
 ]

@@ -281,6 +281,24 @@ class StreamingEngine:
             "algorithm": self.algorithm.name,
         }
 
+    def config(self) -> dict:
+        """The engine's static configuration, as a canonical dict.
+
+        This is the identity a WAL directory is bound to (the shard
+        MANIFEST fingerprints it): two engines with equal configs replay
+        the same log to the same state, two with different configs must
+        never share a log.  Only construction-time knobs belong here —
+        nothing that changes as the stream runs.
+        """
+        capacity = self.state.capacity
+        return {
+            "kind": "scalar" if isinstance(self.state, PackingState) else "vector",
+            "algorithm": self.algorithm.name,
+            "capacity": list(capacity) if isinstance(capacity, tuple) else capacity,
+            "indexed": self.state.indexed,
+            "admission": self.admission.name,
+        }
+
     # -- the push API ---------------------------------------------------------
     def submit(self, item, *, schedule_departure: bool = True) -> Placement:
         """Handle one arriving job at its arrival time.

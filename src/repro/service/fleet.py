@@ -1,0 +1,274 @@
+"""Fleet supervisor: N shard workers + one router, restart on crash.
+
+``repro fleet --shards N`` turns the single-process service into a
+horizontally sharded one without changing a line of engine code: the
+supervisor spawns N ``repro serve`` worker processes (each a
+:class:`~repro.service.shard.ShardContext` bound to its own
+``<wal-root>/shard-XX`` directory), fronts them with a
+:class:`~repro.service.router.ShardRouter`, and babysits the processes:
+
+- **Crash restart.**  A worker that dies mid-stream is respawned on the
+  same WAL directory — ``repro serve --wal-dir`` *is* ``repro recover``
+  followed by listening, so the restarted worker comes back with the
+  exact engine state, dedup window, and metrics it crashed with.  The
+  router's backend link holds the unacknowledged window meanwhile and
+  resends it after the redirect; the dedup window turns the resends
+  into cached replies.  Clients see a latency blip, not an error.
+- **Live handoff.**  ``{"op": "handoff", "shard": k}`` (or
+  :meth:`FleetSupervisor.handoff`) drains shard *k*'s in-flight window,
+  checkpoints it, stops the worker, boots a replacement on the same
+  directory, and repoints the link — the drain/checkpoint/restore move
+  behind one pause gate, losing no accepted request.
+
+Worker stdout/stderr are inherited, so ``--fault-plan`` kill messages
+and recovery reports land in the fleet's own log stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import time
+from typing import Optional, Sequence
+
+from .router import ShardRouter
+
+__all__ = ["FleetSupervisor"]
+
+PORT_FILE_NAME = "PORT"
+
+
+class FleetSupervisor:
+    """Owns the worker processes and the router that fronts them.
+
+    ``serve_args`` is passed through to every ``repro serve`` worker
+    verbatim (engine and durability flags: ``--algorithm``, ``--fsync``,
+    ...).  ``fault_plans`` maps shard index → fault-plan path, applied
+    only to the *first* boot of that worker — the respawn after the
+    planned crash must come up clean, which is exactly the scenario the
+    chaos suite drives.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        wal_root: str,
+        *,
+        host: str = "127.0.0.1",
+        tenants: int = 0,
+        serve_args: Optional[Sequence[str]] = None,
+        fault_plans: Optional[dict[int, str]] = None,
+        quiet: bool = True,
+        spawn_deadline: float = 20.0,
+        reconnect_wait: float = 30.0,
+    ):
+        if shards < 1:
+            raise ValueError(f"fleet needs at least one shard, got {shards}")
+        self.num_shards = shards
+        self.wal_root = wal_root
+        self.host = host
+        self.quiet = quiet
+        self.serve_args = list(serve_args or ())
+        self.fault_plans = dict(fault_plans or {})
+        self.spawn_deadline = spawn_deadline
+        self.reconnect_wait = reconnect_wait
+        self.procs: list[Optional[subprocess.Popen]] = [None] * shards
+        self.ports: list[int] = [0] * shards
+        self.restarts: list[int] = [0] * shards
+        self.router: Optional[ShardRouter] = None
+        self._moving = [False] * shards  # handoff in progress: monitor, hands off
+        self._stopping = False
+        self._tenants = tenants
+
+    # -- worker processes -----------------------------------------------------
+    def shard_dir(self, index: int) -> str:
+        return os.path.join(self.wal_root, f"shard-{index:02d}")
+
+    def _port_file(self, index: int) -> str:
+        return os.path.join(self.shard_dir(index), PORT_FILE_NAME)
+
+    def worker_command(self, index: int, *, first_boot: bool) -> list[str]:
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host,
+            "--port", "0",
+            "--port-file", self._port_file(index),
+            "--wal-dir", self.shard_dir(index),
+            "--shard-id", str(index),
+            "--num-shards", str(self.num_shards),
+        ]
+        if self.quiet:
+            cmd.append("--quiet")
+        cmd.extend(self.serve_args)
+        if first_boot and index in self.fault_plans:
+            cmd.extend(["--fault-plan", self.fault_plans[index]])
+        return cmd
+
+    def spawn(self, index: int, *, first_boot: bool = False) -> int:
+        """Start worker ``index`` and wait for its bound port."""
+        os.makedirs(self.shard_dir(index), exist_ok=True)
+        port_file = self._port_file(index)
+        try:
+            os.remove(port_file)
+        except FileNotFoundError:
+            pass
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        paths = [p for p in (src_root, env.get("PYTHONPATH")) if p]
+        env["PYTHONPATH"] = os.pathsep.join(paths)
+        proc = subprocess.Popen(
+            self.worker_command(index, first_boot=first_boot), env=env
+        )
+        self.procs[index] = proc
+        deadline = time.monotonic() + self.spawn_deadline
+        while time.monotonic() < deadline:
+            try:
+                with open(port_file) as f:
+                    text = f.read().strip()
+                if text:
+                    self.ports[index] = int(text)
+                    return self.ports[index]
+            except (FileNotFoundError, ValueError):
+                pass
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"shard {index} worker exited with rc {proc.returncode} "
+                    f"before binding a port"
+                )
+            time.sleep(0.02)
+        proc.kill()
+        raise RuntimeError(
+            f"shard {index} worker did not bind a port within "
+            f"{self.spawn_deadline:.0f}s"
+        )
+
+    def spawn_all(self) -> list[tuple[str, int]]:
+        for index in range(self.num_shards):
+            self.spawn(index, first_boot=True)
+            if not self.quiet:
+                print(
+                    f"repro fleet: shard {index} up at "
+                    f"{self.host}:{self.ports[index]} "
+                    f"(wal {self.shard_dir(index)})"
+                )
+        return [(self.host, port) for port in self.ports]
+
+    def stop_workers(self, timeout: float = 5.0) -> None:
+        for proc in self.procs:
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + timeout
+        for proc in self.procs:
+            if proc is None:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    # -- supervision ----------------------------------------------------------
+    async def _monitor(self, interval: float = 0.1) -> None:
+        """Respawn crashed workers and repoint their router links."""
+        assert self.router is not None
+        while True:
+            await asyncio.sleep(interval)
+            if self._stopping:
+                return
+            for index, proc in enumerate(self.procs):
+                if proc is None or proc.poll() is None or self._moving[index]:
+                    continue
+                rc = proc.returncode
+                if not self.quiet:
+                    print(
+                        f"repro fleet: shard {index} worker died (rc {rc}); "
+                        f"restarting on {self.shard_dir(index)}"
+                    )
+                self.restarts[index] += 1
+                # the respawn runs in a thread so a slow recovery does
+                # not stall routing (and crash detection) for the fleet
+                port = await asyncio.get_event_loop().run_in_executor(
+                    None, self.spawn, index
+                )
+                await self.router.redirect_shard(index, self.host, port)
+
+    async def handoff(self, index: int) -> dict:
+        """Drain → checkpoint → restart on the same WAL dir → repoint.
+
+        The pause gate holds new requests for the shard while its
+        in-flight window drains; the checkpoint and shutdown ride the
+        ``control`` lane past the gate.  Nothing accepted is lost: the
+        replacement worker recovers the checkpoint (and any WAL tail)
+        before the gate reopens.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ValueError(f"no shard {index} in a {self.num_shards}-shard fleet")
+        assert self.router is not None
+        if self._moving[index]:
+            raise RuntimeError(f"shard {index} handoff already in progress")
+        self._moving[index] = True
+        try:
+            await self.router.pause_shard(index)
+            doc = await self.router.shard_control(index, {"op": "checkpoint"})
+            if not doc.get("ok"):
+                raise RuntimeError(
+                    f"shard {index} checkpoint failed: {doc.get('error')}"
+                )
+            await self.router.shard_control(index, {"op": "shutdown"})
+            proc = self.procs[index]
+            loop = asyncio.get_event_loop()
+            if proc is not None:
+                await loop.run_in_executor(None, proc.wait)
+            port = await loop.run_in_executor(
+                None, lambda: self.spawn(index)
+            )
+            await self.router.redirect_shard(index, self.host, port)
+            self.restarts[index] += 1
+            return {"port": port, "checkpoint": doc.get("path")}
+        finally:
+            self.router.resume_shard(index)
+            self._moving[index] = False
+
+    # -- the fleet entry point ------------------------------------------------
+    async def run(
+        self,
+        *,
+        front_host: str = "127.0.0.1",
+        front_port: int = 0,
+        port_file: Optional[str] = None,
+    ) -> int:
+        """Boot the workers, front them, serve until shutdown."""
+        backends = await asyncio.get_event_loop().run_in_executor(
+            None, self.spawn_all
+        )
+        self.router = ShardRouter(
+            backends,
+            tenants=self._tenants,
+            quiet=self.quiet,
+            reconnect_wait=self.reconnect_wait,
+            handoff_callback=self.handoff,
+        )
+        monitor: Optional[asyncio.Task] = None
+        try:
+            await self.router.connect()
+            bound = await self.router.start(front_host, front_port)
+            if port_file:
+                with open(port_file, "w") as f:
+                    f.write(f"{bound}\n")
+            monitor = asyncio.ensure_future(self._monitor())
+            await self.router.wait_closed()
+        finally:
+            self._stopping = True
+            if monitor is not None:
+                monitor.cancel()
+                try:
+                    await monitor
+                except (asyncio.CancelledError, Exception):
+                    pass
+            await asyncio.get_event_loop().run_in_executor(
+                None, self.stop_workers
+            )
+        return 0

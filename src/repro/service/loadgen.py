@@ -44,14 +44,37 @@ import asyncio
 import json
 import random
 import time
+import zlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..core.items import ItemList
 from . import protocol as wire
 
-__all__ = ["LoadgenReport", "RetryPolicy", "run_loadgen", "loadgen"]
+__all__ = ["LoadgenReport", "RetryPolicy", "run_loadgen", "loadgen", "tenantize"]
+
+
+def tenantize(ordered: list, tenants: int) -> list:
+    """Rewrite job ids so each job belongs to one of ``tenants`` tenants.
+
+    Multi-tenant traffic against the fleet router: the router keys
+    ``id % tenants``, so every job of a tenant must carry that residue.
+    Job ``i`` (in submission order) is assigned tenant
+    ``crc32("tenant-i") % tenants`` — deterministic across runs and
+    processes, no extra seed — and its id becomes
+    ``tenant + tenants * k`` where ``k`` counts the tenant's jobs so
+    far.  Ids stay unique; sizes and times are untouched.
+    """
+    if tenants < 1:
+        raise ValueError(f"tenants must be >= 1, got {tenants}")
+    counts = [0] * tenants
+    out = []
+    for i, it in enumerate(ordered):
+        tenant = zlib.crc32(b"tenant-%d" % i) % tenants
+        out.append(replace(it, item_id=tenant + tenants * counts[tenant]))
+        counts[tenant] += 1
+    return out
 
 
 @dataclass(frozen=True)
@@ -84,6 +107,9 @@ class LoadgenReport:
     errors: int = 0
     retries: int = 0
     reconnects: int = 0
+    #: shard index -> job ops routed there (fleet runs with ``tenants``;
+    #: empty against a plain single-process server)
+    per_shard: dict[str, int] = field(default_factory=dict)
 
     @property
     def requests_per_sec(self) -> float:
@@ -119,6 +145,13 @@ class LoadgenReport:
                 f"final packing: {self.drain.get('bins')} servers, "
                 f"usage time {self.drain.get('total_usage_time', 0.0):.4f}"
             )
+        if self.per_shard:
+            lines.append(
+                "per-shard requests: "
+                + ", ".join(
+                    f"shard {k}={v}" for k, v in sorted(self.per_shard.items())
+                )
+            )
         if self.errors:
             lines.append(f"errors: {self.errors}")
         return "\n".join(lines)
@@ -139,6 +172,7 @@ class LoadgenReport:
             "errors": self.errors,
             "retries": self.retries,
             "reconnects": self.reconnects,
+            "per_shard": self.per_shard,
         }
 
 
@@ -366,6 +400,7 @@ async def run_loadgen(
     protocol: str = "json",
     pipeline: int = 1,
     batch: int = 1,
+    tenants: int = 0,
 ) -> LoadgenReport:
     """Replay ``items`` as live traffic; returns the client-side report.
 
@@ -375,7 +410,10 @@ async def run_loadgen(
     retried exactly-once.  ``protocol="binary"`` switches to the
     length-prefixed fast path; ``batch`` jobs share one frame and up to
     ``pipeline`` frames stay in flight (both require the binary
-    protocol).
+    protocol).  ``tenants > 0`` rewrites job ids into ``tenants``
+    stable per-tenant key streams (:func:`tenantize`) and, after the
+    drain, asks the endpoint for its per-shard request counts — the
+    fleet router reports them; a plain server leaves them empty.
     """
     if protocol not in wire.PROTOCOLS:
         raise ValueError(
@@ -414,6 +452,8 @@ async def run_loadgen(
         raise AssertionError("unreachable")
 
     ordered = sorted(items, key=lambda it: it.arrival)
+    if tenants > 0:
+        ordered = tenantize(ordered, tenants)
     t0 = time.perf_counter()
     if protocol == "binary":
         await _run_pipelined(
@@ -462,6 +502,15 @@ async def run_loadgen(
         else:
             report.errors += 1
     report.wall_seconds = time.perf_counter() - t0
+    if tenants > 0:
+        # stats is read-only, so always safe to retry
+        response = await call({"op": "stats"}, idempotent=True)
+        router = response.get("stats", {}).get("router") if response.get("ok") else None
+        if isinstance(router, dict):
+            report.per_shard = {
+                str(i): int(n)
+                for i, n in enumerate(router.get("per_shard_requests", ()))
+            }
     if shutdown:
         await call({"op": "shutdown"}, idempotent=False)
     await conn.close()

@@ -29,6 +29,8 @@ __all__ = [
     "DEFAULT_LEVEL_BUCKETS",
     "DEFAULT_WAIT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "merge_expositions",
+    "relabel_exposition",
 ]
 
 #: Bin levels and job sizes live in [0, capacity] with capacity 1.0
@@ -235,6 +237,52 @@ class MetricsRegistry:
         for name, value in payload.items():
             if name in self._metrics:
                 self._metrics[name].restore(value)
+
+
+# -- fleet aggregation --------------------------------------------------------
+def relabel_exposition(text: str, labels: dict[str, str]) -> str:
+    """Attach ``labels`` to every sample line of an exposition text.
+
+    The fleet router scrapes each worker's (label-free) registry and
+    re-exposes the union under a ``shard`` label; individual registries
+    stay label-free so engine metrics remain checkpointable as plain
+    name → value maps.  Comment lines (``# HELP`` / ``# TYPE``) pass
+    through; sample lines gain the labels, merged in front of any
+    existing ones (histogram ``le`` bounds keep working).
+    """
+    blob = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    out: list[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        name_part, _, value = line.rpartition(" ")
+        if "{" in name_part:
+            name, rest = name_part.split("{", 1)
+            out.append(f"{name}{{{blob},{rest} {value}")
+        else:
+            out.append(f"{name_part}{{{blob}}} {value}")
+    return "\n".join(out) + "\n"
+
+
+def merge_expositions(texts: Iterable[str]) -> str:
+    """Concatenate exposition texts, keeping one ``#`` header per metric.
+
+    Every shard declares the same metric families, so a plain
+    concatenation would repeat each ``# HELP``/``# TYPE`` N times (and
+    Prometheus rejects duplicate TYPE lines).  Sample lines are kept in
+    order of appearance.
+    """
+    seen: set[str] = set()
+    out: list[str] = []
+    for text in texts:
+        for line in text.splitlines():
+            if line.startswith("#"):
+                if line in seen:
+                    continue
+                seen.add(line)
+            out.append(line)
+    return "\n".join(out) + "\n"
 
 
 class DecisionLog:

@@ -605,6 +605,7 @@ def recover(
     checkpoint_bytes: Optional[int] = None,
     dedup_limit: int = 4096,
     injector: Optional[FaultInjector] = None,
+    manifest: Optional[dict] = None,
 ) -> tuple[DurableEngine, RecoveryReport]:
     """Rebuild a live durable engine from ``directory``.
 
@@ -620,8 +621,36 @@ def recover(
     kind).  ``engine_builder()`` supplies the *fresh* engine when no
     checkpoint exists (a cold start or a crash before the first one);
     without it an empty directory is an error.
+
+    ``manifest`` binds the directory to a shard identity: on a fresh
+    directory it is written as the MANIFEST file; on an existing one it
+    must match the recorded MANIFEST field for field, or recovery
+    refuses with :class:`ValueError` **before** touching the log —
+    silently replaying another shard's WAL into the wrong engine is the
+    one mistake this layer must never make.  ``None`` (the default)
+    keeps the pre-fleet behaviour: no manifest is written or checked.
     """
-    from .wal import DEFAULT_SEGMENT_BYTES
+    from .wal import DEFAULT_SEGMENT_BYTES, read_manifest, write_manifest
+
+    if manifest is not None:
+        recorded = read_manifest(directory)
+        if recorded is None:
+            write_manifest(directory, manifest)
+        elif recorded != manifest:
+            diffs = sorted(
+                key
+                for key in set(recorded) | set(manifest)
+                if recorded.get(key) != manifest.get(key)
+            )
+            detail = ", ".join(
+                f"{key}: recorded {recorded.get(key)!r} != given {manifest.get(key)!r}"
+                for key in diffs
+            )
+            raise ValueError(
+                f"WAL directory {directory} belongs to a different shard/config "
+                f"({detail}) — refusing to replay it; pick the matching "
+                f"--shard-id/--num-shards/engine flags or a fresh --wal-dir"
+            )
 
     report = RecoveryReport(directory=directory)
     wal = WriteAheadLog(

@@ -1,0 +1,911 @@
+"""The fleet's front door: consistent-hash routing onto N shard workers.
+
+One asyncio process accepts client connections on the same two wire
+protocols the single-process service speaks (JSON lines and the
+length-prefixed binary framing of :mod:`repro.service.protocol`) and
+fans each operation out to the worker that owns its key:
+
+- ``submit`` / ``depart`` route by the job id's session key — with
+  ``tenants=M`` the key is ``id % M`` (every session of a tenant lands
+  on the same shard), otherwise the raw id.  The key → shard map is a
+  consistent-hash ring (:class:`HashRing`, CRC-32 points so the mapping
+  is identical in every process), which keeps most keys in place when
+  the fleet is resized.
+- ``advance`` / ``drain`` / ``stats`` / ``metrics`` / ``checkpoint`` /
+  ``shutdown`` broadcast to every shard and aggregate: departures sum,
+  clocks max, metrics are re-exposed under a ``shard`` label
+  (:func:`repro.service.metrics.relabel_exposition`).
+- batch frames are split per shard (order within each shard preserved —
+  the per-key subsequence a shard sees is exactly the subsequence of
+  the global stream, which is what makes the differential test's
+  fleet ≡ standalone-shard equivalence hold) and the sub-responses are
+  reassembled in the client's order.  With a single backend, binary
+  frames are relayed verbatim — the 1-shard router overhead is one
+  socket hop, pinned ≤15% by the ``router-loopback`` bench cells.
+
+Each backend is one persistent pipelined binary connection
+(:class:`BackendLink`): requests enqueue onto an unacknowledged window
+and complete FIFO.  When a worker dies the link keeps the window, waits
+for the supervisor to restart the worker (``redirect``), then resends
+it — with request ids the recovered worker's dedup window absorbs the
+replays, so a mid-stream crash loses no acknowledged operation
+(at-least-once delivery + idempotent submits = exactly-once).  Live
+handoff (drain → checkpoint → restore elsewhere) uses ``pause`` /
+``control`` / ``redirect`` / ``resume`` on the same machinery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import zlib
+from bisect import bisect_right
+from collections import deque
+from time import monotonic
+from typing import Awaitable, Callable, Optional, Sequence
+
+from . import protocol as wire
+from .metrics import merge_expositions, relabel_exposition
+from .server import DEFAULT_MAX_LINE_BYTES, ProtocolError
+
+__all__ = [
+    "BackendLink",
+    "HashRing",
+    "ShardRouter",
+    "partition_items",
+    "route_key",
+]
+
+_SUB_ID = struct.Struct(">q")  # item id at bytes 2:10 of SUBMIT/DEPART
+
+#: vnodes per backend — enough that a 2..16-shard ring is well mixed
+DEFAULT_REPLICAS = 64
+
+
+def route_key(item_id: int, tenants: int = 0) -> int:
+    """The session/tenant routing key of a job id."""
+    return item_id % tenants if tenants > 0 else item_id
+
+
+class HashRing:
+    """A consistent-hash ring over ``nodes`` backends.
+
+    Points are CRC-32 digests (Python's ``hash`` is salted per process
+    — useless for a mapping that the router, the tests, and any future
+    second router must all agree on).  Each node contributes
+    ``replicas`` vnodes; a key belongs to the first point clockwise
+    from its own hash.
+    """
+
+    def __init__(self, nodes: int, replicas: int = DEFAULT_REPLICAS):
+        if nodes < 1:
+            raise ValueError(f"ring needs at least one node, got {nodes}")
+        points = sorted(
+            (zlib.crc32(b"shard-%d#vnode-%d" % (node, r)), node)
+            for node in range(nodes)
+            for r in range(replicas)
+        )
+        self.num_nodes = nodes
+        self._hashes = [h for h, _ in points]
+        self._nodes = [n for _, n in points]
+
+    def node_for_key(self, key: int) -> int:
+        if self.num_nodes == 1:
+            return 0
+        h = zlib.crc32(b"key-%d" % key)
+        i = bisect_right(self._hashes, h)
+        if i == len(self._hashes):
+            i = 0
+        return self._nodes[i]
+
+
+def partition_items(items, shards: int, tenants: int = 0,
+                    replicas: int = DEFAULT_REPLICAS) -> list[list]:
+    """Split a trace into the per-shard subsequences the router produces.
+
+    Order within each subsequence is the items' order in ``items`` —
+    exactly what each worker sees through the router.  The differential
+    suite replays these standalone and compares WAL/checkpoint bytes.
+    """
+    ring = HashRing(shards, replicas)
+    parts: list[list] = [[] for _ in range(shards)]
+    for item in items:
+        parts[ring.node_for_key(route_key(item.item_id, tenants))].append(item)
+    return parts
+
+
+class BackendLink:
+    """One persistent, pipelined binary connection to a shard worker.
+
+    ``request`` enqueues the payload onto the unacknowledged window and
+    resolves FIFO when the worker's reply arrives.  A broken connection
+    triggers reconnection (same address, or the new one supplied by
+    ``redirect`` when the supervisor restarted the worker elsewhere)
+    and the whole window is resent.  ``pause`` gates new requests and
+    waits for the window to drain — the quiesce step of a live handoff;
+    ``control`` bypasses the gate for the handoff's own checkpoint/
+    shutdown ops.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        label: str = "",
+        reconnect_wait: float = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_LINE_BYTES,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.label = label or f"{host}:{port}"
+        self.reconnect_wait = reconnect_wait
+        self.max_frame_bytes = max_frame_bytes
+        self.reconnects = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: deque[tuple[bytes, asyncio.Future]] = deque()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._redirected = asyncio.Event()
+        self._closing = False
+
+    # -- connection management ------------------------------------------------
+    async def connect(self) -> None:
+        """Establish the connection (reviving a given-up link too)."""
+        await self._do_connect()
+        if self._reader_task is None or self._reader_task.done():
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _do_connect(self) -> None:
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port, limit=self.max_frame_bytes
+        )
+        writer.write(wire.hello_line())
+        await writer.drain()
+        ack_line = await reader.readline()
+        try:
+            ack = json.loads(ack_line)
+        except ValueError:
+            ack = None
+        if not (isinstance(ack, dict) and ack.get("ok")):
+            writer.close()
+            raise ConnectionError(
+                f"backend {self.label} refused the binary hello: {ack_line!r}"
+            )
+        self._reader, self._writer = reader, writer
+        # resend the unacknowledged window, oldest first — replies stay
+        # FIFO, and the worker's dedup window absorbs any duplicates
+        if self._pending:
+            for payload, _ in self._pending:
+                writer.write(wire.frame(payload))
+            await writer.drain()
+
+    async def redirect(self, host: str, port: int) -> None:
+        """Retarget the link (the worker moved) and reconnect if dead."""
+        self.host, self.port = host, int(port)
+        self._redirected.set()
+        if self._writer is None and (
+            self._reader_task is None or self._reader_task.done()
+        ):
+            await self.connect()
+
+    async def close(self) -> None:
+        self._closing = True
+        self._gate.set()
+        task = self._reader_task
+        if task is not None and not task.done():
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_pending(ConnectionError(f"backend link {self.label} closed"))
+
+    # -- the request path -----------------------------------------------------
+    async def request(self, payload: bytes) -> bytes:
+        """Send one frame payload; resolves with the reply payload."""
+        if not self._gate.is_set():
+            await self._gate.wait()
+        return await self._enqueue(payload)
+
+    async def control(self, payload: bytes) -> bytes:
+        """A request that bypasses the pause gate (handoff bookkeeping)."""
+        return await self._enqueue(payload)
+
+    async def _enqueue(self, payload: bytes) -> bytes:
+        if self._closing:
+            raise ConnectionError(f"backend link {self.label} is closed")
+        fut: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending.append((payload, fut))
+        self._idle.clear()
+        writer = self._writer
+        if writer is not None:
+            try:
+                writer.write(wire.frame(payload))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # the read loop notices the break and resends
+        return await fut
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    # -- handoff quiesce ------------------------------------------------------
+    async def pause(self) -> None:
+        """Stop accepting requests and wait for the window to drain."""
+        self._gate.clear()
+        await self._idle.wait()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    # -- reply pump + reconnection --------------------------------------------
+    async def _read_loop(self) -> None:
+        while True:
+            try:
+                assert self._reader is not None
+                head = await self._reader.readexactly(wire.HEADER.size)
+                (length,) = wire.HEADER.unpack(head)
+                if length == 0 or length > self.max_frame_bytes:
+                    raise ConnectionError(
+                        f"backend {self.label} sent an invalid frame length {length}"
+                    )
+                payload = await self._reader.readexactly(length)
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                if self._closing:
+                    return
+                if await self._reconnect():
+                    self.reconnects += 1
+                    continue
+                self._writer = None
+                self._fail_pending(
+                    ConnectionError(f"backend {self.label} unreachable")
+                )
+                return  # a later redirect() revives the link
+            if self._pending:
+                _, fut = self._pending.popleft()
+                if not fut.done():
+                    fut.set_result(payload)
+                if not self._pending:
+                    self._idle.set()
+
+    async def _reconnect(self) -> bool:
+        self._writer = None
+        deadline = monotonic() + self.reconnect_wait
+        delay = 0.05
+        while monotonic() < deadline:
+            self._redirected.clear()
+            try:
+                await self._do_connect()
+                return True
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                pass
+            if self._closing:
+                return False
+            try:
+                # a redirect retargets the address and retries at once
+                await asyncio.wait_for(self._redirected.wait(), timeout=delay)
+            except asyncio.TimeoutError:
+                pass
+            delay = min(delay * 2, 0.5)
+        return False
+
+    def _fail_pending(self, exc: Exception) -> None:
+        while self._pending:
+            _, fut = self._pending.popleft()
+            if not fut.done():
+                fut.set_exception(exc)
+        self._idle.set()
+
+
+class ShardRouter:
+    """The consistent-hash front-end over N backend workers.
+
+    Speaks both client protocols (the JSON-lines debug surface and the
+    binary framing) with the single-process service's error taxonomy;
+    always speaks binary to the backends.  ``handoff_callback`` (set by
+    the fleet supervisor) serves the ``{"op": "handoff", "shard": k}``
+    operation — the router itself only quiesces links; moving processes
+    is the supervisor's job.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[tuple[str, int]],
+        *,
+        tenants: int = 0,
+        replicas: int = DEFAULT_REPLICAS,
+        quiet: bool = True,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        request_timeout: float = 30.0,
+        reconnect_wait: float = 30.0,
+        handoff_callback: Optional[Callable[[int], Awaitable[Optional[dict]]]] = None,
+    ):
+        if not backends:
+            raise ValueError("router needs at least one backend")
+        self.tenants = int(tenants)
+        self.quiet = quiet
+        self.max_line_bytes = int(max_line_bytes)
+        self.request_timeout = request_timeout
+        self.handoff_callback = handoff_callback
+        self.links = [
+            BackendLink(
+                host, port, label=f"shard-{i}@{host}:{port}",
+                reconnect_wait=reconnect_wait, max_frame_bytes=max_line_bytes,
+            )
+            for i, (host, port) in enumerate(backends)
+        ]
+        self.ring = HashRing(len(self.links), replicas)
+        self.requests_served = 0
+        #: job ops forwarded per shard (the loadgen imbalance report)
+        self.requests_routed = [0] * len(self.links)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.links)
+
+    def shard_of(self, item_id: int) -> int:
+        return self.ring.node_for_key(route_key(item_id, self.tenants))
+
+    # -- lifecycle ------------------------------------------------------------
+    async def connect(self) -> None:
+        await asyncio.gather(*(link.connect() for link in self.links))
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=self.max_line_bytes
+        )
+        bound = self._server.sockets[0].getsockname()[1]
+        if not self.quiet:
+            print(
+                f"repro router listening on {host}:{bound} "
+                f"({self.num_shards} shards, tenants={self.tenants or 'raw ids'})"
+            )
+        return bound
+
+    async def wait_closed(self) -> None:
+        await self._shutdown.wait()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        for link in self.links:
+            await link.close()
+
+    async def serve_until_shutdown(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> int:
+        await self.connect()
+        await self.start(host, port)
+        await self.wait_closed()
+        return 0
+
+    def shutdown(self) -> None:
+        self._shutdown.set()
+
+    # -- shard plumbing for the supervisor ------------------------------------
+    async def pause_shard(self, index: int) -> None:
+        await self.links[index].pause()
+
+    def resume_shard(self, index: int) -> None:
+        self.links[index].resume()
+
+    async def redirect_shard(self, index: int, host: str, port: int) -> None:
+        await self.links[index].redirect(host, port)
+
+    async def shard_control(self, index: int, request: dict) -> dict:
+        """A pause-proof JSON op against one shard (handoff checkpoints)."""
+        out = await self.links[index].control(wire.encode_json_request(request))
+        return wire.decode_response(out)
+
+    # -- front: JSON lines ----------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not reader.at_eof():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._reply(writer, {
+                        "ok": False,
+                        "error": f"request line exceeds {self.max_line_bytes} bytes",
+                        "error_type": "line_too_long",
+                    })
+                    break
+                if not line:
+                    break
+                if not line.endswith(b"\n") and reader.at_eof():
+                    break
+                response = await self._dispatch_line(line)
+                if not await self._reply(writer, response):
+                    break
+                if response.get("bye"):
+                    self._shutdown.set()
+                    break
+                if response.get("ok") and response.get("protocol") == "binary":
+                    await self._handle_binary(reader, writer)
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _reply(self, writer: asyncio.StreamWriter, response: dict) -> bool:
+        return await self._write(writer, (json.dumps(response) + "\n").encode())
+
+    async def _write(self, writer: asyncio.StreamWriter, data: bytes) -> bool:
+        try:
+            writer.write(data)
+            await asyncio.wait_for(writer.drain(), self.request_timeout)
+            return True
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            return False
+
+    async def _dispatch_line(self, line: bytes) -> dict:
+        self.requests_served += 1
+        try:
+            request = json.loads(line)
+        except (ValueError, UnicodeDecodeError) as exc:
+            return {
+                "ok": False,
+                "error": f"malformed JSON: {exc}",
+                "error_type": "malformed_json",
+            }
+        if not isinstance(request, dict):
+            return {
+                "ok": False,
+                "error": f"request must be a JSON object, got {type(request).__name__}",
+                "error_type": "protocol",
+            }
+        return await self._dispatch_safely(request)
+
+    async def _dispatch_safely(self, request: dict) -> dict:
+        try:
+            return await self._dispatch(request)
+        except _ShardError as exc:
+            return exc.doc
+        except ProtocolError as exc:
+            return {"ok": False, "error": str(exc), "error_type": "protocol"}
+        except ConnectionError as exc:
+            return {
+                "ok": False,
+                "error": str(exc),
+                "error_type": "shard_unavailable",
+            }
+        except Exception as exc:  # protocol boundary: report, don't crash
+            return {
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_type": "internal",
+            }
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "submit":
+            job = request.get("job")
+            key = job.get("id") if isinstance(job, dict) else None
+            return await self._forward_json(self._shard_for_raw(key), request)
+        if op == "depart":
+            return await self._forward_json(
+                self._shard_for_raw(request.get("id")), request
+            )
+        if op == "advance":
+            docs = self._require_ok(await self._broadcast_json(request))
+            return {
+                "ok": True,
+                "departed": sum(d.get("departed", 0) for d in docs),
+                "clock": max(d.get("clock", 0.0) for d in docs),
+            }
+        if op == "drain":
+            docs = self._require_ok(await self._broadcast_json(request))
+            return {
+                "ok": True,
+                "bins": sum(d["bins"] for d in docs),
+                "total_usage_time": sum(d["total_usage_time"] for d in docs),
+                "algorithm": docs[0]["algorithm"],
+                "shards": [
+                    {"bins": d["bins"], "total_usage_time": d["total_usage_time"]}
+                    for d in docs
+                ],
+            }
+        if op == "stats":
+            docs = await self._broadcast_json(request)
+            shards = [d.get("stats", d) for d in docs]
+            totals: dict = {}
+            for field in ("open_bins", "bins_used", "placed", "active",
+                          "queue_depth"):
+                values = [s.get(field) for s in shards]
+                if all(isinstance(v, (int, float)) for v in values):
+                    totals[field] = sum(values)
+            return {"ok": True, "stats": {
+                "router": {
+                    "shards": self.num_shards,
+                    "tenants": self.tenants,
+                    "per_shard_requests": list(self.requests_routed),
+                    "reconnects": [link.reconnects for link in self.links],
+                },
+                "shards": shards,
+                "totals": totals,
+            }}
+        if op == "metrics":
+            docs = await self._broadcast_json(request)
+            texts = [
+                relabel_exposition(d["text"], {"shard": str(i)})
+                for i, d in enumerate(docs)
+                if d.get("ok") and "text" in d
+            ]
+            texts.append(self._own_exposition())
+            if not texts:
+                return self._require_ok(docs)[0]  # propagate the error
+            return {"ok": True, "text": merge_expositions(texts)}
+        if op == "checkpoint":
+            docs = self._require_ok(await self._broadcast_json(request))
+            return {"ok": True, "shards": docs}
+        if op == "ping":
+            return {"ok": True, "pong": True, "shards": self.num_shards}
+        if op == "shutdown":
+            await self._broadcast_json({"op": "shutdown"})
+            return {"ok": True, "bye": True}
+        if op == "handoff":
+            if self.handoff_callback is None:
+                raise ProtocolError("no fleet supervisor: handoff unavailable")
+            shard = request.get("shard")
+            if not isinstance(shard, int) or not 0 <= shard < self.num_shards:
+                raise ProtocolError(
+                    f"handoff needs a 'shard' in [0, {self.num_shards})"
+                )
+            detail = await self.handoff_callback(shard)
+            out = {"ok": True, "shard": shard}
+            if isinstance(detail, dict):
+                out.update(detail)
+            return out
+        if op == "hello":
+            proto = request.get("protocol", "json")
+            if proto not in wire.PROTOCOLS:
+                raise ProtocolError(
+                    f"unknown protocol {proto!r}; known: {list(wire.PROTOCOLS)}"
+                )
+            version = request.get("version", wire.PROTOCOL_VERSION)
+            if version != wire.PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {version!r} "
+                    f"(this server speaks {wire.PROTOCOL_VERSION})"
+                )
+            return {"ok": True, "protocol": proto, "version": wire.PROTOCOL_VERSION}
+        # anything else (including unknown ops): let shard 0 answer, so
+        # the error taxonomy has exactly one source of truth
+        return await self._forward_json(0, request)
+
+    def _shard_for_raw(self, raw_id) -> int:
+        """Routing for a client-supplied id that may be malformed.
+
+        A bad id still goes to a real worker (shard 0) so the client
+        gets the worker's own validation error, byte-identical to the
+        single-process service's.
+        """
+        try:
+            return self.shard_of(int(raw_id))
+        except (TypeError, ValueError):
+            return 0
+
+    async def _forward_json(self, index: int, request: dict) -> dict:
+        out = await self._forward(index, wire.encode_json_request(request))
+        return wire.decode_response(out)
+
+    async def _forward(self, index: int, payload: bytes) -> bytes:
+        self.requests_routed[index] += 1
+        return await self.links[index].request(payload)
+
+    async def _broadcast_json(self, request: dict) -> list[dict]:
+        payload = wire.encode_json_request(request)
+        outs = await asyncio.gather(
+            *(link.request(payload) for link in self.links),
+            return_exceptions=True,
+        )
+        docs: list[dict] = []
+        for i, out in enumerate(outs):
+            if isinstance(out, BaseException):
+                docs.append({
+                    "ok": False,
+                    "error": f"shard {i}: {out}",
+                    "error_type": "shard_unavailable",
+                })
+            else:
+                docs.append(wire.decode_response(out))
+        return docs
+
+    @staticmethod
+    def _require_ok(docs: list[dict]) -> list[dict]:
+        for doc in docs:
+            if not doc.get("ok"):
+                raise _ShardError(doc)
+        return docs
+
+    def _own_exposition(self) -> str:
+        lines = [
+            "# HELP repro_router_requests_total job ops routed to each shard",
+            "# TYPE repro_router_requests_total counter",
+        ]
+        lines += [
+            f'repro_router_requests_total{{shard="{i}"}} {n}'
+            for i, n in enumerate(self.requests_routed)
+        ]
+        lines += [
+            "# HELP repro_router_reconnects_total backend link reconnections",
+            "# TYPE repro_router_reconnects_total counter",
+        ]
+        lines += [
+            f'repro_router_reconnects_total{{shard="{i}"}} {link.reconnects}'
+            for i, link in enumerate(self.links)
+        ]
+        return "\n".join(lines) + "\n"
+
+    # -- front: binary frames -------------------------------------------------
+    async def _handle_binary(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        header_size = wire.HEADER.size
+        unpack_header = wire.HEADER.unpack
+        while True:
+            try:
+                head = await reader.readexactly(header_size)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            (length,) = unpack_header(head)
+            if length == 0:
+                self.requests_served += 1
+                out = wire.encode_json_response({
+                    "ok": False,
+                    "error": "zero-length frame",
+                    "error_type": "malformed_frame",
+                })
+                if not await self._write(writer, wire.frame(out)):
+                    return
+                continue
+            if length > self.max_line_bytes:
+                self.requests_served += 1
+                out = wire.encode_json_response({
+                    "ok": False,
+                    "error": (
+                        f"frame declares {length} bytes, "
+                        f"limit is {self.max_line_bytes}"
+                    ),
+                    "error_type": "frame_too_long",
+                })
+                await self._write(writer, wire.frame(out))
+                return
+            try:
+                payload = await asyncio.wait_for(
+                    reader.readexactly(length), self.request_timeout
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError, OSError):
+                return
+            out, bye = await self._dispatch_frame(payload)
+            if not await self._write(writer, wire.frame(out)):
+                return
+            if bye:
+                self._shutdown.set()
+                return
+
+    async def _dispatch_frame(self, payload: bytes) -> tuple[bytes, bool]:
+        op = payload[0]
+        if op != wire.OP_JSON and self.num_shards == 1:
+            # single-backend fast path: relay the frame verbatim — no
+            # decode, no re-encode (the ≤15% 1-shard overhead budget)
+            self.requests_served += 1
+            self.requests_routed[0] += 1
+            try:
+                return await self.links[0].request(payload), False
+            except ConnectionError as exc:
+                return self._unavailable(0, exc), False
+        if op == wire.OP_SUBMIT or op == wire.OP_DEPART:
+            self.requests_served += 1
+            try:
+                (item_id,) = _SUB_ID.unpack_from(payload, 2)
+            except Exception:
+                index = 0  # malformed: the worker owns the error message
+            else:
+                index = self.shard_of(item_id)
+            try:
+                return await self._forward(index, payload), False
+            except ConnectionError as exc:
+                return self._unavailable(index, exc), False
+        if op == wire.OP_ADVANCE:
+            self.requests_served += 1
+            response = await self._dispatch_safely(
+                {"op": "advance", "now": self._advance_now(payload)}
+            )
+            if response.get("ok"):
+                return wire.encode_clock(
+                    response["clock"], response["departed"]
+                ), False
+            return wire.encode_json_response(response), False
+        if op == wire.OP_BATCH:
+            return await self._dispatch_batch(payload)
+        if op == wire.OP_JSON:
+            return await self._dispatch_json_frame(payload)
+        self.requests_served += 1
+        return wire.encode_json_response({
+            "ok": False,
+            "error": f"unknown opcode 0x{op:02x}",
+            "error_type": "protocol",
+        }), False
+
+    @staticmethod
+    def _advance_now(payload: bytes):
+        try:
+            return wire.decode_advance(payload)
+        except wire.FrameError:
+            return None  # the JSON path reports "advance needs a 'now'"
+
+    async def _dispatch_json_frame(self, payload: bytes) -> tuple[bytes, bool]:
+        self.requests_served += 1
+        try:
+            request = json.loads(bytes(payload[1:]))
+        except (ValueError, UnicodeDecodeError) as exc:
+            return wire.encode_json_response({
+                "ok": False,
+                "error": f"malformed JSON: {exc}",
+                "error_type": "malformed_json",
+            }), False
+        if not isinstance(request, dict):
+            return wire.encode_json_response({
+                "ok": False,
+                "error": (
+                    f"request must be a JSON object, got {type(request).__name__}"
+                ),
+                "error_type": "protocol",
+            }), False
+        op = request.get("op")
+        if op in ("submit", "depart"):
+            # single-shard JSON op: relay the original payload so the
+            # worker's binary response (RESP_PLACEMENT/RESP_CLOCK)
+            # reaches the client byte-identical to a direct connection
+            if op == "submit":
+                job = request.get("job")
+                raw = job.get("id") if isinstance(job, dict) else None
+            else:
+                raw = request.get("id")
+            index = self._shard_for_raw(raw)
+            try:
+                return await self._forward(index, payload), False
+            except ConnectionError as exc:
+                return self._unavailable(index, exc), False
+        response = await self._dispatch_safely(request)
+        return self._encode_response(response), bool(response.get("bye"))
+
+    async def _dispatch_batch(self, payload: bytes) -> tuple[bytes, bool]:
+        try:
+            subs = wire.split_batch(payload)
+        except wire.FrameError as exc:
+            self.requests_served += 1
+            return wire.encode_json_response({
+                "ok": False, "error": str(exc), "error_type": "malformed_frame",
+            }), False
+        self.requests_served += len(subs)
+        if all(sub[0] == wire.OP_SUBMIT or sub[0] == wire.OP_DEPART
+               for sub in subs):
+            return await self._route_job_batch(payload, subs), False
+        # a mixed batch (advance/JSON riding along): strictly sequential
+        # per-sub dispatch, preserving the client's op order globally
+        parts: list[bytes] = []
+        bye = False
+        for sub in subs:
+            self.requests_served -= 1  # _dispatch_frame counts it again
+            out, sub_bye = await self._dispatch_frame(bytes(sub))
+            bye = bye or sub_bye
+            parts.append(out)
+        return wire.encode_batch(parts), bye
+
+    async def _route_job_batch(self, payload: bytes, subs) -> bytes:
+        """An all-job batch: split per shard, fan out, reassemble."""
+        groups: dict[int, list[int]] = {}
+        order: list[int] = []  # shard of each sub, in client order
+        for sub in subs:
+            try:
+                (item_id,) = _SUB_ID.unpack_from(sub, 2)
+                index = self.shard_of(item_id)
+            except Exception:
+                index = 0
+            if index not in groups:
+                groups[index] = []
+            groups[index].append(len(order))
+            order.append(index)
+        if len(groups) == 1:
+            index = next(iter(groups))
+            self.requests_routed[index] += len(subs)
+            try:
+                return await self.links[index].request(payload)
+            except ConnectionError as exc:
+                return wire.encode_batch(
+                    [self._unavailable(index, exc)] * len(subs)
+                )
+        indices = list(groups)
+
+        async def one(index: int) -> "bytes | Exception":
+            sub_payload = wire.encode_batch(
+                [bytes(subs[i]) for i in groups[index]]
+            )
+            self.requests_routed[index] += len(groups[index])
+            try:
+                return await self.links[index].request(sub_payload)
+            except ConnectionError as exc:
+                return exc
+
+        replies = await asyncio.gather(*(one(i) for i in indices))
+        parts: list[Optional[bytes]] = [None] * len(subs)
+        for index, reply in zip(indices, replies):
+            positions = groups[index]
+            if isinstance(reply, Exception):
+                err = self._unavailable(index, reply)
+                for pos in positions:
+                    parts[pos] = err
+                continue
+            try:
+                sub_replies = wire.split_batch(reply)
+            except wire.FrameError as exc:
+                err = wire.encode_json_response({
+                    "ok": False,
+                    "error": f"shard {index} sent a malformed batch: {exc}",
+                    "error_type": "internal",
+                })
+                sub_replies = None
+            if sub_replies is None or len(sub_replies) != len(positions):
+                if sub_replies is not None:
+                    err = wire.encode_json_response({
+                        "ok": False,
+                        "error": (
+                            f"shard {index} answered {len(sub_replies)} of "
+                            f"{len(positions)} batch ops"
+                        ),
+                        "error_type": "internal",
+                    })
+                for pos in positions:
+                    parts[pos] = err
+                continue
+            for pos, sub_reply in zip(positions, sub_replies):
+                parts[pos] = bytes(sub_reply)
+        return wire.encode_batch(parts)  # type: ignore[arg-type]
+
+    def _unavailable(self, index: int, exc: Exception) -> bytes:
+        return wire.encode_json_response({
+            "ok": False,
+            "error": f"shard {index}: {exc}",
+            "error_type": "shard_unavailable",
+        })
+
+    def _encode_response(self, response: dict) -> bytes:
+        """A router-composed dict in the binary response scheme."""
+        if response.get("ok") and "clock" in response and "departed" in response:
+            return wire.encode_clock(response["clock"], response["departed"])
+        return wire.encode_json_response(response)
+
+
+class _ShardError(Exception):
+    """Carries a shard's error dict up through an aggregation."""
+
+    def __init__(self, doc: dict):
+        super().__init__(doc.get("error", "shard error"))
+        self.doc = doc

@@ -72,6 +72,7 @@ from .engine import StreamingEngine
 from .faults import FaultInjector, KillPoint
 from .metrics import DEFAULT_LATENCY_BUCKETS, DecisionLog, MetricsRegistry
 from .recovery import DedupWindow, DurableEngine
+from .shard import ShardSpec
 from .snapshot import snapshot_engine, write_checkpoint
 
 # bound once for the binary submit hot path (see _binary_item)
@@ -174,9 +175,12 @@ class AllocationService:
         request_timeout: float = 30.0,
         idle_timeout: Optional[float] = None,
         injector: Optional[FaultInjector] = None,
+        shard: Optional["ShardSpec"] = None,
     ):
         self.engine = engine
         self.quiet = quiet
+        #: fleet identity; None = standalone service (stats unchanged)
+        self.shard = shard
         self.max_line_bytes = int(max_line_bytes)
         self.request_timeout = request_timeout
         self.idle_timeout = idle_timeout
@@ -416,7 +420,14 @@ class AllocationService:
                 "algorithm": result.algorithm_name,
             }
         if op == "stats":
-            return {"ok": True, "stats": engine.stats()}
+            stats = engine.stats()
+            if self.shard is not None:
+                stats = dict(stats)
+                stats["shard"] = {
+                    "id": self.shard.shard_id,
+                    "of": self.shard.num_shards,
+                }
+            return {"ok": True, "stats": stats}
         if op == "metrics":
             if engine.metrics is None:
                 return {

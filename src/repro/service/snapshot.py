@@ -26,6 +26,7 @@ identically to the incrementally maintained one.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import random
@@ -44,9 +45,23 @@ __all__ = [
     "write_checkpoint",
     "read_checkpoint",
     "check_version",
+    "config_fingerprint",
 ]
 
 SNAPSHOT_VERSION = 1
+
+
+def config_fingerprint(config: dict) -> str:
+    """A stable hex digest of an engine-configuration dict.
+
+    Canonical JSON (sorted keys, compact separators) in, sha256 out —
+    the same config always fingerprints the same across processes and
+    Python versions.  The shard MANIFEST stores this next to the raw
+    config so a WAL directory can refuse an engine it was not written
+    by (see :mod:`repro.service.shard`).
+    """
+    blob = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 def check_version(version: Any) -> None:

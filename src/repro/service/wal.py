@@ -59,13 +59,16 @@ from typing import Any, Callable, Iterator, Optional
 
 __all__ = [
     "FSYNC_MODES",
+    "MANIFEST_NAME",
     "WalCorruptionError",
     "WalError",
     "WalRecord",
     "WriteAheadLog",
+    "read_manifest",
     "read_segment",
     "replay_wal",
     "wal_segments",
+    "write_manifest",
 ]
 
 FSYNC_MODES = ("never", "interval", "always")
@@ -73,9 +76,46 @@ FSYNC_MODES = ("never", "interval", "always")
 SEGMENT_PREFIX = "wal-"
 SEGMENT_SUFFIX = ".log"
 
+#: The WAL directory's identity card.  Written once when a shard first
+#: claims the directory; recovery refuses to replay a log whose manifest
+#: names a different shard or engine config (see
+#: :func:`repro.service.recovery.recover` and ``repro.service.shard``).
+#: Deliberately *outside* the WAL/checkpoint byte streams so that shard
+#: identity never leaks into replayable state.
+MANIFEST_NAME = "MANIFEST"
+
 #: Default rotation threshold.  Segments are the unit of pruning, so
 #: they should be small enough that a checkpoint usually retires a few.
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+
+def read_manifest(directory: str) -> Optional[dict]:
+    """Load the directory's MANIFEST, or ``None`` when it has none."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return None
+    except ValueError as exc:
+        raise WalError(f"unreadable manifest {path}: {exc}") from None
+    if not isinstance(doc, dict):
+        raise WalError(f"manifest {path} is not a JSON object")
+    return doc
+
+
+def write_manifest(directory: str, doc: dict) -> str:
+    """Write the directory's MANIFEST atomically (tmp + ``os.replace``)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, MANIFEST_NAME)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(doc, f, sort_keys=True, separators=(",", ":"))
+        f.write("\n")
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return path
 
 
 class WalError(Exception):

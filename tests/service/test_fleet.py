@@ -1,0 +1,174 @@
+"""The fleet supervisor: real worker processes behind the router.
+
+Two layers are exercised here.  The tier-1 smoke drives the actual
+``repro fleet`` CLI as a subprocess — workers spawn, the router binds,
+a tenant-keyed loadgen runs through it, and a clean ``shutdown``
+broadcast takes the whole fleet down with rc 0.  The chaos test runs
+the :class:`FleetSupervisor` in-process and murders one worker
+mid-stream with a fault plan; the supervisor must respawn it on the
+same WAL directory and the client must observe zero errors (the link
+window resend + the recovered dedup window = exactly-once).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import (
+    FleetSupervisor,
+    RetryPolicy,
+    partition_items,
+    read_manifest,
+    run_loadgen,
+    tenantize,
+)
+from repro.workloads import poisson_workload
+
+TENANTS = 8
+SHARDS = 2
+
+
+def trace(n=160, seed=7):
+    items = poisson_workload(n, seed=seed, mu_target=8.0, arrival_rate=6.0)
+    return sorted(items, key=lambda it: it.arrival)
+
+
+def _env_with_src():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    paths = [p for p in (src, env.get("PYTHONPATH")) if p]
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    return env
+
+
+def wait_for_port(port_file, proc=None, deadline=30.0):
+    """Poll ``port_file`` until a port appears (or ``proc`` dies)."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        try:
+            with open(port_file) as f:
+                text = f.read().strip()
+            if text:
+                return int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        if proc is not None and proc.poll() is not None:
+            raise RuntimeError(f"fleet exited early with rc {proc.returncode}")
+        time.sleep(0.02)
+    raise RuntimeError(f"no port in {port_file} after {deadline:.0f}s")
+
+
+def test_fleet_cli_smoke(tmp_path):
+    """``repro fleet``: spawn 2 workers, loadgen through the router,
+    clean shutdown — and each shard directory carries its MANIFEST."""
+    wal_root = str(tmp_path / "fleet")
+    port_file = str(tmp_path / "PORT")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "fleet",
+            "--shards", str(SHARDS),
+            "--wal-dir", wal_root,
+            "--port", "0",
+            "--port-file", port_file,
+            "--tenants", str(TENANTS),
+            "--fsync", "never",
+            "--quiet",
+        ],
+        env=_env_with_src(),
+    )
+    try:
+        port = wait_for_port(port_file, proc)
+        report = asyncio.run(
+            run_loadgen(
+                trace(),
+                port=port,
+                tenants=TENANTS,
+                protocol="binary",
+                batch=16,
+                pipeline=2,
+                retry=RetryPolicy(retries=2),
+                shutdown=True,
+            )
+        )
+    finally:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    assert proc.returncode == 0
+    assert report.errors == 0
+    assert report.jobs == len(trace())
+    assert report.actions.get("placed", 0) + report.actions.get(
+        "rejected", 0
+    ) == report.jobs
+    assert set(report.per_shard) == {str(i) for i in range(SHARDS)}
+    assert sum(report.per_shard.values()) == report.jobs
+    assert report.drain.get("bins", 0) > 0
+    # every worker stamped its shard identity onto its WAL directory
+    for i in range(SHARDS):
+        manifest = read_manifest(os.path.join(wal_root, f"shard-{i:02d}"))
+        assert manifest is not None
+        assert manifest["shard_id"] == i
+        assert manifest["num_shards"] == SHARDS
+
+
+@pytest.mark.chaos
+def test_fleet_restarts_killed_worker_without_client_errors(tmp_path):
+    """A worker murdered mid-stream (fault-plan kill at a WAL-applied
+    hit) is respawned on its WAL dir; the client sees zero errors."""
+    items = tenantize(trace(240, seed=23), TENANTS)
+    parts = partition_items(items, SHARDS, tenants=TENANTS)
+    assert len(parts[1]) >= 9, "trace must land enough jobs on shard 1"
+    plan_path = str(tmp_path / "plan.json")
+    with open(plan_path, "w") as f:
+        json.dump({"seed": 5, "kill": {"applied": len(parts[1]) // 3}}, f)
+
+    supervisor = FleetSupervisor(
+        SHARDS,
+        str(tmp_path / "fleet"),
+        tenants=TENANTS,
+        serve_args=["--fsync", "never"],
+        fault_plans={1: plan_path},
+        reconnect_wait=20.0,
+    )
+    port_file = str(tmp_path / "PORT")
+
+    async def go():
+        runner = asyncio.ensure_future(
+            supervisor.run(front_host="127.0.0.1", front_port=0,
+                           port_file=port_file)
+        )
+        loop = asyncio.get_event_loop()
+        port = await loop.run_in_executor(
+            None, lambda: wait_for_port(port_file)
+        )
+        report = await run_loadgen(
+            items,
+            port=port,
+            protocol="binary",
+            batch=8,
+            pipeline=2,
+            retry=RetryPolicy(retries=3),
+            shutdown=True,
+        )
+        rc = await asyncio.wait_for(runner, timeout=30)
+        return report, rc
+
+    report, rc = asyncio.run(go())
+    assert rc == 0
+    assert report.errors == 0
+    assert report.jobs == len(items)
+    assert supervisor.restarts[1] >= 1, "the fault plan must have fired"
+    assert supervisor.restarts[0] == 0
+    # nothing double-placed: every job got exactly one verdict
+    assert report.actions.get("placed", 0) + report.actions.get(
+        "rejected", 0
+    ) == report.jobs

@@ -1,0 +1,187 @@
+"""Shard-scoped contexts and WAL-directory identity (the MANIFEST).
+
+The fleet refactor's contract: every service process — standalone or
+one worker of N — boots through :meth:`ShardContext.create`, and a WAL
+directory can only ever be replayed by the shard/config that wrote it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.items import Item
+from repro.service import (
+    ShardContext,
+    ShardSpec,
+    WalError,
+    build_engine,
+    config_fingerprint,
+    read_manifest,
+    recover,
+    shard_manifest,
+    write_manifest,
+)
+from repro.service.wal import MANIFEST_NAME
+
+
+def job(i, size=0.3, arrival=0.0, departure=10.0):
+    return Item(item_id=i, size=size, arrival=arrival, departure=departure)
+
+
+# -- specs and manifests ------------------------------------------------------
+def test_shard_spec_validates():
+    assert ShardSpec() == ShardSpec(0, 1)
+    ShardSpec(3, 4)
+    with pytest.raises(ValueError):
+        ShardSpec(0, 0)
+    with pytest.raises(ValueError):
+        ShardSpec(4, 4)
+    with pytest.raises(ValueError):
+        ShardSpec(-1, 2)
+
+
+def test_engine_config_is_canonical():
+    config = build_engine().config()
+    assert config == {
+        "kind": "scalar",
+        "algorithm": "first-fit",
+        "capacity": 1.0,
+        "indexed": True,
+        "admission": "admit-all",
+    }
+    # same config -> same fingerprint, regardless of dict insertion order
+    shuffled = dict(reversed(list(config.items())))
+    assert config_fingerprint(config) == config_fingerprint(shuffled)
+    other = build_engine(algorithm="best-fit").config()
+    assert config_fingerprint(other) != config_fingerprint(config)
+
+
+def test_shard_manifest_shape():
+    config = build_engine().config()
+    doc = shard_manifest(ShardSpec(2, 8), config)
+    assert doc["shard_id"] == 2
+    assert doc["num_shards"] == 8
+    assert doc["engine"] == config
+    assert doc["fingerprint"] == config_fingerprint(config)
+
+
+def test_manifest_roundtrip(tmp_path):
+    directory = str(tmp_path / "wal")
+    assert read_manifest(directory) is None  # no dir yet, no error
+    write_manifest(directory, {"a": 1})
+    assert read_manifest(directory) == {"a": 1}
+    write_manifest(directory, {"a": 2})  # atomic overwrite
+    assert read_manifest(directory) == {"a": 2}
+    with open(os.path.join(directory, MANIFEST_NAME), "w") as f:
+        f.write("not json{")
+    with pytest.raises(WalError):
+        read_manifest(directory)
+
+
+# -- boot paths ---------------------------------------------------------------
+def test_create_without_wal_dir_is_a_plain_engine():
+    context = ShardContext.create()
+    assert not context.durable
+    assert context.wal_dir is None
+    assert context.recovery_report is None
+    placement = context.engine.submit(job(1))
+    assert placement.action == "placed"
+    assert context.metrics is not None
+    context.close()
+
+
+def test_create_with_wal_dir_writes_manifest_and_recovers(tmp_path):
+    wal_dir = str(tmp_path / "shard")
+    spec = ShardSpec(1, 4)
+    context = ShardContext.create(spec, wal_dir=wal_dir, fsync="never")
+    assert context.durable
+    assert context.recovery_report is not None
+    context.engine.submit(job(1))
+    context.close()
+    manifest = read_manifest(wal_dir)
+    assert manifest["shard_id"] == 1 and manifest["num_shards"] == 4
+    # reboot with the same identity: recovers the placed job
+    again = ShardContext.create(spec, wal_dir=wal_dir, fsync="never")
+    assert again.engine.stats()["placed"] == 1
+    again.close()
+
+
+@pytest.mark.parametrize(
+    "kwargs,needle",
+    [
+        ({"spec": ShardSpec(0, 4)}, "shard_id"),
+        ({"spec": ShardSpec(1, 2)}, "num_shards"),
+        ({"spec": ShardSpec(1, 4), "algorithm": "best-fit"}, "fingerprint"),
+        ({"spec": ShardSpec(1, 4), "capacity": 2.0}, "fingerprint"),
+    ],
+    ids=["shard-id", "shard-count", "algorithm", "capacity"],
+)
+def test_mismatched_identity_is_refused(tmp_path, kwargs, needle):
+    wal_dir = str(tmp_path / "shard")
+    ShardContext.create(ShardSpec(1, 4), wal_dir=wal_dir, fsync="never").close()
+    kwargs = dict(kwargs)
+    spec = kwargs.pop("spec")
+    with pytest.raises(ValueError) as err:
+        ShardContext.create(spec, wal_dir=wal_dir, fsync="never", **kwargs)
+    assert needle in str(err.value)
+    assert "refusing" in str(err.value)
+
+
+def test_recover_without_manifest_keeps_prefleet_behaviour(tmp_path):
+    """``recover()`` callers that predate the fleet see no MANIFEST."""
+    wal_dir = str(tmp_path / "wal")
+    engine, _ = recover(wal_dir, engine_builder=build_engine, fsync="never")
+    engine.submit(job(1))
+    engine.close()
+    assert MANIFEST_NAME not in os.listdir(wal_dir)
+    # and a later manifest-aware boot adopts the directory (first write)
+    context = ShardContext.create(wal_dir=wal_dir, fsync="never")
+    assert context.engine.stats()["placed"] == 1
+    context.close()
+    assert read_manifest(wal_dir) is not None
+
+
+def test_manifest_stays_out_of_the_durable_byte_stream(tmp_path):
+    """Same traffic, with and without a manifest: same WAL/checkpoint bytes."""
+    def run(wal_dir, manifest):
+        if manifest:
+            context = ShardContext.create(
+                ShardSpec(0, 2), wal_dir=wal_dir, fsync="never"
+            )
+            engine = context.engine
+        else:
+            engine, _ = recover(
+                wal_dir, engine_builder=build_engine, fsync="never"
+            )
+        for i in range(20):
+            engine.submit(job(i, arrival=float(i), departure=float(i) + 5.0))
+        engine.checkpoint_now()
+        engine.close()
+
+    run(str(tmp_path / "a"), manifest=True)
+    run(str(tmp_path / "b"), manifest=False)
+    names_a = sorted(
+        n for n in os.listdir(tmp_path / "a") if n != MANIFEST_NAME
+    )
+    names_b = sorted(os.listdir(tmp_path / "b"))
+    assert names_a == names_b and names_a
+    for name in names_a:
+        with open(tmp_path / "a" / name, "rb") as f:
+            blob_a = f.read()
+        with open(tmp_path / "b" / name, "rb") as f:
+            blob_b = f.read()
+        assert blob_a == blob_b, name
+
+
+def test_stats_carry_shard_identity_only_when_asked():
+    from repro.service import AllocationService
+
+    plain = AllocationService(build_engine())
+    assert "shard" not in plain._dispatch({"op": "stats"})["stats"]
+    sharded = AllocationService(build_engine(), shard=ShardSpec(2, 4))
+    assert sharded._dispatch({"op": "stats"})["stats"]["shard"] == {
+        "id": 2, "of": 4,
+    }

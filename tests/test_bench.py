@@ -17,6 +17,8 @@ from repro.bench import (
     QUICK_GRID,
     SERVICE_GRID,
     SERVICE_QUICK_GRID,
+    SERVICE_ROUTER_QUICK_SHARDS,
+    SERVICE_ROUTER_SHARDS,
     THROUGHPUT_GRID,
     VECTOR_ALGORITHMS,
     VECTOR_GRID,
@@ -39,8 +41,12 @@ def test_quick_bench_structure(tmp_path):
     for row in report.throughput:
         assert row["events_per_sec"] > 0
         assert row["path"] in ("default", "reference")
-    # two replay modes per grid cell, three WAL cells, four loopback cells
-    assert len(report.service) == 2 * len(SERVICE_QUICK_GRID) + 3 + 4
+    # two replay modes per grid cell, three WAL cells, four loopback
+    # cells, and the router cells (direct baseline + quick shard counts)
+    assert len(report.service) == (
+        2 * len(SERVICE_QUICK_GRID) + 3 + 4
+        + 1 + len(SERVICE_ROUTER_QUICK_SHARDS)
+    )
     modes = {r["mode"] for r in report.service}
     assert modes == {
         "stream",
@@ -52,6 +58,8 @@ def test_quick_bench_structure(tmp_path):
         "server-loopback-highload",
         "server-loopback-binary",
         "server-loopback-pipelined",
+        "router-loopback-direct",
+        *(f"router-loopback-{s}shard" for s in SERVICE_ROUTER_QUICK_SHARDS),
     }
     for row in report.service:
         assert row["events_per_sec"] > 0
@@ -84,8 +92,20 @@ def test_full_bench_baseline(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     report = run_bench(quick=False, repeats=3, json_path=str(out))
     assert len(report.throughput) == expected_rows(THROUGHPUT_GRID, VECTOR_GRID)
-    assert len(report.service) == 2 * len(SERVICE_GRID) + 3 + 4
+    assert len(report.service) == (
+        2 * len(SERVICE_GRID) + 3 + 4 + 1 + len(SERVICE_ROUTER_SHARDS)
+    )
     assert report.montecarlo["identical"] is True
+    # the fleet floor: the 1-shard router on the binary fast path costs
+    # at most 15% over the same-run direct (router-less) baseline — the
+    # transparent-proxy tax, measured interleaved to cancel drift
+    router = {
+        r["mode"]: r for r in report.service
+        if r["mode"].startswith("router-loopback")
+    }
+    assert router["router-loopback-1shard"]["seconds"] <= (
+        1.15 * router["router-loopback-direct"]["seconds"]
+    )
     # the wire-protocol floor: the binary loopback cells must clear 10x
     # the JSON loopback cell measured in the same run
     loop = {
