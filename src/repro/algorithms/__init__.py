@@ -29,6 +29,7 @@ from .best_fit import BestFit
 from .clairvoyant import (
     ClairvoyantAlgorithm,
     DepartureAlignedFit,
+    DurationClassifiedFirstFit,
     DurationClassifiedFit,
 )
 from .classified import ClassifiedAlgorithm, ClassifiedNextFit, HybridFirstFit
@@ -45,6 +46,7 @@ __all__ = [
     "BestFit",
     "ClairvoyantAlgorithm",
     "DepartureAlignedFit",
+    "DurationClassifiedFirstFit",
     "DurationClassifiedFit",
     "ClassifiedAlgorithm",
     "ClassifiedNextFit",
@@ -82,6 +84,7 @@ ALGORITHM_REGISTRY: dict[str, Callable[[], PackingAlgorithm]] = {
 CLAIRVOYANT_REGISTRY: dict[str, Callable[[], PackingAlgorithm]] = {
     "departure-aligned-fit": DepartureAlignedFit,
     "duration-classified-fit": DurationClassifiedFit,
+    "duration-classified-ff": DurationClassifiedFirstFit,
     "predicted-departure-fit": PredictedDepartureFit,
 }
 

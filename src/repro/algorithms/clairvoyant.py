@@ -14,14 +14,21 @@ the non-clairvoyant model.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from ..core.bins import Bin
+from ..core.ffindex import FirstFitIndex
 from ..core.items import Item
 from ..core.state import PackingState
 from .base import PackingAlgorithm
 
-__all__ = ["ClairvoyantAlgorithm", "DepartureAlignedFit", "DurationClassifiedFit"]
+__all__ = [
+    "ClairvoyantAlgorithm",
+    "DepartureAlignedFit",
+    "DurationClassifiedFit",
+    "DurationClassifiedFirstFit",
+]
 
 
 class ClairvoyantAlgorithm(PackingAlgorithm):
@@ -124,3 +131,101 @@ class DurationClassifiedFit(ClairvoyantAlgorithm):
         if target.index not in self._bin_class:
             newest = target.all_items[-1]
             self._bin_class[target.index] = self.class_of(newest.duration)
+
+
+class DurationClassifiedFirstFit(ClairvoyantAlgorithm):
+    """First Fit within a *bounded* number of geometric duration classes,
+    each class packing through its own segment-tree first-fit index.
+
+    The trace-scale sibling of :class:`DurationClassifiedFit`: where that
+    policy scans every feasible open bin per arrival (O(open bins)), this
+    one keeps one :class:`~repro.core.ffindex.FirstFitIndex` per class
+    and answers each arrival in O(log open bins of that class) — the
+    Murhekar et al. duration-classified scheme at the same asymptotic
+    cost as plain indexed First Fit.
+
+    Classes are geometric with ratio ``base`` anchored at ``anchor``:
+    class ``k`` holds durations in ``[anchor·base^k, anchor·base^(k+1))``,
+    clamped into ``[0, classes-1]`` so out-of-range durations land in the
+    end classes rather than opening unbounded pools.
+
+    With ``classes=1`` every item shares one class, the single index
+    covers all open bins in opening order, and the policy degenerates to
+    plain First Fit **bit-for-bit** (the index reproduces the reference
+    scan's float comparisons exactly); ``tests/algorithms/
+    test_duration_classified_ff.py`` pins that differential.  On a
+    non-indexed reference state (``indexed=False``) the policy scans
+    ``state.open_bins()`` filtered by class, so the indexed/reference
+    differential applies to this policy too.
+    """
+
+    name = "duration-classified-ff"
+
+    def __init__(self, classes: int = 4, base: float = 2.0, anchor: float = 1.0):
+        if classes < 1:
+            raise ValueError("classes must be at least 1")
+        if base <= 1.0:
+            raise ValueError("base must exceed 1")
+        if anchor <= 0.0:
+            raise ValueError("anchor must be positive")
+        self.classes = int(classes)
+        self.base = base
+        self.anchor = anchor
+        self._bin_class: dict[int, int] = {}
+        self._indices: dict[int, FirstFitIndex] = {}
+
+    def reset(self) -> None:
+        self._bin_class = {}
+        self._indices = {}
+
+    def class_of(self, duration: float) -> int:
+        if self.classes == 1:
+            return 0
+        k = int(math.floor(math.log(duration / self.anchor, self.base) + 1e-12))
+        return min(self.classes - 1, max(0, k))
+
+    def choose_bin_clairvoyant(
+        self, state: PackingState, item: Item
+    ) -> Optional[Bin]:
+        cls = self.class_of(item.duration)
+        if state.indexed:
+            index = self._indices.get(cls)
+            if index is None:
+                return None
+            # the exact bound the state's own scans compare against, so
+            # the per-class query matches a class-filtered scan bit-for-bit
+            idx = index.first_fit(item.size, state._cap_bound)
+            return None if idx is None else state.bins[idx]
+        bound = state._cap_bound
+        for b in state.open_bins():
+            if self._bin_class.get(b.index) == cls and b.level + item.size <= bound:
+                return b
+        return None
+
+    def on_placed(self, state: PackingState, target: Bin, size: float) -> None:
+        cls = self._bin_class.get(target.index)
+        if cls is None:
+            # fresh bin: classified by the item that opened it (the
+            # newest); its index is globally increasing, so per-class
+            # appends arrive in the order the index requires
+            cls = self.class_of(target.all_items[-1].duration)
+            self._bin_class[target.index] = cls
+            if state.indexed:
+                index = self._indices.get(cls)
+                if index is None:
+                    index = self._indices[cls] = FirstFitIndex()
+                index.append(target.index, target.level)
+        elif state.indexed:
+            self._indices[cls].set_level(target.index, target.level)
+
+    def on_departed(self, state: PackingState, source: Bin) -> None:
+        cls = self._bin_class.get(source.index)
+        if cls is None:
+            return
+        index = self._indices.get(cls) if state.indexed else None
+        if source.is_closed:
+            del self._bin_class[source.index]
+            if index is not None:
+                index.close(source.index)
+        elif index is not None:
+            index.set_level(source.index, source.level)

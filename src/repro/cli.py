@@ -18,6 +18,11 @@ Usage (installed as the ``repro`` console script, or
     repro loadgen --port 7077 --n 5000 --protocol binary --batch 256 --pipeline 8
     repro fleet --shards 4 --wal-dir /var/lib/repro --port 7070  # sharded fleet
     repro loadgen --port 7070 --tenants 16 --n 5000  # multi-tenant traffic
+    repro trace generate --schema azure --n 10000 --out az.csv.gz  # synthetic trace file
+    repro trace info az.csv.gz           # schema detection + streaming stats
+    repro trace convert az.csv.gz --out az.json   # external schema -> internal trace
+    repro trace sample az.csv.gz --out small.csv --fraction 0.1  # entity-keyed thinning
+    repro loadgen --port 7070 --trace az.csv.gz --trace-schema azure --departs --speed 50
 """
 
 from __future__ import annotations
@@ -343,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay this saved trace file instead of generating one",
     )
     p_load.add_argument(
+        "--trace-schema", choices=["auto", "azure", "google"], default=None,
+        help="treat --trace as an external cluster trace in this schema "
+        "(auto = sniff it); default: the internal trace format",
+    )
+    p_load.add_argument(
+        "--departs", action="store_true",
+        help="also announce each job's departure as an explicit depart "
+        "request at its trace time (trace replay mode)",
+    )
+    p_load.add_argument(
         "--kind", choices=["poisson", "gaming"], default="poisson",
         help="generated workload kind (ignored with --trace)",
     )
@@ -393,6 +408,73 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--json", default=None, help="write the client-side report here"
     )
+
+    p_trace = sub.add_parser(
+        "trace", help="cluster-trace ingestion (Azure / Google schemas)"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_gen = trace_sub.add_parser(
+        "generate", help="write a seeded synthetic trace file in an external schema"
+    )
+    t_gen.add_argument("--schema", choices=["azure", "google"], required=True)
+    t_gen.add_argument("--out", required=True, help="output path (.gz compresses)")
+    t_gen.add_argument("--n", type=_positive_int, default=1000)
+    t_gen.add_argument("--seed", type=int, default=0)
+    t_gen.add_argument("--mu", type=float, default=50.0,
+                       help="duration spread (max/min ratio)")
+    t_gen.add_argument("--rate", type=float, default=None,
+                       help="arrival rate (azure: VMs/day, google: tasks/sec)")
+    t_gen.add_argument("--censored", type=float, default=0.0,
+                       help="azure: fraction of VMs with no endtime")
+    t_gen.add_argument("--malformed", type=float, default=0.0,
+                       help="fraction of unparsable records")
+    t_gen.add_argument("--orphaned", type=float, default=0.0,
+                       help="google: fraction of FINISHes with no SUBMIT")
+    t_gen.add_argument("--unfinished", type=float, default=0.0,
+                       help="google: fraction of SUBMITs never FINISHed")
+
+    t_info = trace_sub.add_parser(
+        "info", help="detect the schema and stream summary statistics"
+    )
+    t_info.add_argument("trace", help="trace file (.gz ok)")
+    t_info.add_argument("--schema", choices=["azure", "google"], default=None,
+                        help="skip detection and force a schema")
+    t_info.add_argument("--strict", action="store_true",
+                        help="raise on the first malformed record")
+
+    t_conv = trace_sub.add_parser(
+        "convert", help="convert an external trace into the internal format"
+    )
+    t_conv.add_argument("trace", help="trace file (.gz ok)")
+    t_conv.add_argument("--out", required=True,
+                        help="internal trace path (.json/.csv, .gz ok)")
+    t_conv.add_argument("--schema", choices=["azure", "google"], default=None)
+    t_conv.add_argument("--vector", action="store_true",
+                        help="emit vector (cpu, memory) items (JSON only)")
+    t_conv.add_argument("--window", type=float, nargs=2, default=None,
+                        metavar=("START", "END"),
+                        help="keep items arriving in [START, END)")
+    t_conv.add_argument("--sample", type=float, default=None,
+                        help="keep a deterministic fraction of items (0, 1]")
+    t_conv.add_argument("--seed", type=int, default=0,
+                        help="sampling seed")
+    t_conv.add_argument("--scale", type=float, default=1.0,
+                        help="divide sizes by this capacity factor")
+    t_conv.add_argument("--no-clamp", action="store_true",
+                        help="do not cap sizes at bin capacity")
+    t_conv.add_argument("--strict", action="store_true",
+                        help="raise on the first malformed record")
+
+    t_sample = trace_sub.add_parser(
+        "sample", help="thin a raw trace file, keeping whole entities"
+    )
+    t_sample.add_argument("trace", help="trace file (.gz ok)")
+    t_sample.add_argument("--out", required=True, help="thinned trace path")
+    t_sample.add_argument("--fraction", type=float, required=True,
+                          help="fraction of entities to keep (0, 1]")
+    t_sample.add_argument("--seed", type=int, default=0)
+    t_sample.add_argument("--schema", choices=["azure", "google"], default=None)
 
     p_report = sub.add_parser(
         "report", help="run all experiments and write a consolidated report"
@@ -776,7 +858,20 @@ def cmd_loadgen(args) -> int:
 
     from .service import RetryPolicy, loadgen
 
-    if args.trace:
+    if args.trace and args.trace_schema:
+        from .traces import load_items, normalize_items
+
+        schema = None if args.trace_schema == "auto" else args.trace_schema
+        items, stats = load_items(args.trace, schema=schema)
+        # rebase to t=0 and clamp dirty sizes so the replay starts
+        # immediately and every job is admissible
+        items, _ = normalize_items(items)
+        print(
+            f"trace: {stats.items} jobs from {args.trace} "
+            f"(skipped {stats.malformed} malformed, {stats.orphaned} orphaned, "
+            f"{stats.censored} censored; {stats.unfinished} unfinished)"
+        )
+    elif args.trace:
         items = load_trace(args.trace)
     elif args.kind == "gaming":
         items = gaming_workload(args.n, seed=args.seed, request_rate=args.rate)
@@ -797,6 +892,7 @@ def cmd_loadgen(args) -> int:
             pipeline=args.pipeline,
             batch=args.batch,
             tenants=args.tenants,
+            departs=args.departs,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -813,6 +909,91 @@ def cmd_loadgen(args) -> int:
             json.dump(report.to_json(), f, indent=2, sort_keys=True)
             f.write("\n")
     return 0
+
+
+def cmd_trace(args) -> int:
+    from .traces import (
+        TraceFormatError,
+        detect_schema,
+        generate_trace,
+        get_adapter,
+        load_items,
+        normalize_items,
+        sample_trace_file,
+    )
+
+    try:
+        if args.trace_command == "generate":
+            knobs = {"mu": args.mu}
+            if args.rate is not None:
+                key = "rate_per_day" if args.schema == "azure" else "rate_per_sec"
+                knobs[key] = args.rate
+            if args.schema == "azure":
+                knobs.update(censored=args.censored, malformed=args.malformed)
+            else:
+                knobs.update(
+                    orphaned=args.orphaned,
+                    unfinished=args.unfinished,
+                    malformed=args.malformed,
+                )
+            lines = generate_trace(args.schema, args.out, args.n, seed=args.seed, **knobs)
+            print(f"wrote {lines} lines ({args.schema} schema) to {args.out}")
+            return 0
+
+        if args.trace_command == "info":
+            adapter = (
+                get_adapter(args.schema) if args.schema else detect_schema(args.trace)
+            )
+            instance, stats = load_items(
+                args.trace, schema=adapter.name, strict=args.strict
+            )
+            print(f"schema: {adapter.name} — {adapter.description}")
+            for key, value in stats.as_dict().items():
+                print(f"{key}: {value}")
+            if len(instance):
+                period = instance.packing_period
+                print(f"span: {instance.span:.6f}")
+                print(f"mu: {instance.mu:.3f}")
+                print(f"packing period: [{period.left:.6f}, {period.right:.6f}]")
+                print(f"time-space demand: {instance.time_space_demand:.6f}")
+            return 0
+
+        if args.trace_command == "convert":
+            instance, stats = load_items(
+                args.trace, schema=args.schema, vector=args.vector,
+                strict=args.strict,
+            )
+            window = tuple(args.window) if args.window else None
+            instance, norm = normalize_items(
+                instance,
+                window=window,
+                sample=args.sample,
+                seed=args.seed,
+                scale=args.scale,
+                clamp=None if args.no_clamp else 1.0,
+            )
+            save_trace(instance, args.out)
+            print(
+                f"converted {stats.items} -> kept {norm.kept} items "
+                f"({norm.dropped_window} outside window, "
+                f"{norm.dropped_sample} sampled out, {norm.clamped} clamped); "
+                f"wrote {args.out}"
+            )
+            return 0
+
+        if args.trace_command == "sample":
+            schema = args.schema or detect_schema(args.trace).name
+            kept, total = sample_trace_file(
+                args.trace, args.out, schema, args.fraction, seed=args.seed
+            )
+            print(f"kept {kept}/{total} data lines ({schema}); wrote {args.out}")
+            return 0
+    except BrokenPipeError:
+        raise  # stdout consumer closed the pipe; main() handles this
+    except (TraceFormatError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled trace command {args.trace_command}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -858,6 +1039,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_recover(args)
     if args.command == "loadgen":
         return cmd_loadgen(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     if args.command == "inspect":
         from .workloads.profile import profile_instance
 

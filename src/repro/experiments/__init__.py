@@ -51,6 +51,7 @@ from .retention_exp import RETENTION_SPEC, run_retention
 from .runner import ExperimentRunner, ResultCache, RunSummary, run_spec
 from .spec import ExperimentSpec, ParamSpec
 from .theorem1 import THEOREM1_SPEC, run_theorem1
+from .traces_exp import TRACES_SPEC, run_trace_benchmark
 
 #: id → spec, in the natural DESIGN.md experiment-index order
 #: (figures, then theorem tables, then extensions).
@@ -79,6 +80,7 @@ SPEC_REGISTRY: dict[str, ExperimentSpec] = {
         DEFERRAL_SPEC,
         MIGRATION_SPEC,
         ANATOMY_SPEC,
+        TRACES_SPEC,
     )
 }
 
@@ -114,6 +116,7 @@ EXPERIMENT_REGISTRY = {
     "X9": run_deferral,
     "X10": run_migration_budget,
     "X11": run_cost_anatomy,
+    "X12": run_trace_benchmark,
 }
 
 assert set(EXPERIMENT_REGISTRY) == set(SPEC_REGISTRY), "registries diverged"
@@ -161,6 +164,7 @@ __all__ = [
     "run_information_price",
     "run_selection_ablation",
     "run_theorem1",
+    "run_trace_benchmark",
     "run_universal_lower_bound",
     "run_worst_case_search",
     "suite_instances",

@@ -364,9 +364,19 @@ class StreamingEngine:
         ``now`` defaults to the item's recorded departure time.  The
         live-operation path: a client that submitted with
         ``schedule_departure=False`` announces departures itself.
+
+        Idempotent against the scheduler: if the item's *scheduled*
+        departure already fired (or fires during the drain below —
+        which is guaranteed when ``now`` defaults to the recorded
+        departure time and the submit scheduled it), the explicit
+        depart is a no-op rather than a double-apply.  Trace replay
+        leans on this: the load generator announces every departure to
+        a server that also schedules them.
         """
         item = self._active.get(item_id)
         if item is None:
+            if item_id in self._departed:
+                return  # scheduled departure already applied
             raise KeyError(f"item {item_id} is not active in the service")
         when = item.departure if now is None else now
         if self._started and when < self.clock:
@@ -375,6 +385,8 @@ class StreamingEngine:
                 f"service clock {self.clock}"
             )
         self._drain_until(when)
+        if item.item_id in self._departed:
+            return  # the drain applied this item's scheduled departure
         self._apply_departure(when, self._next_seq(), item)
         self._retry_queue(when)
 

@@ -15,8 +15,18 @@ Two driving modes:
   — measuring latency at a controlled offered load.
 
 Departures ride on the server's own scheduler (the engine applies each
-job's departure when the clock passes it), so the generator only sends
-arrivals plus one final ``drain``.
+job's departure when the clock passes it), so by default the generator
+only sends arrivals plus one final ``drain``.  With ``departs=True``
+(trace replay: ``repro loadgen --trace``) the generator *also* announces
+every departure as an explicit ``depart`` request at its trace time —
+the event stream then interleaves submits and departs exactly as the
+trace orders them (departures first at simultaneous instants, matching
+the engines' tie rule).  The engine's depart idempotence makes the
+announcements safe alongside its own scheduler.
+
+Both protocols drive one shared timed event loop (:func:`build_events`):
+synthetic arrival-only runs and trace replays differ only in whether the
+event stream carries depart events, never in pacing or accounting.
 
 Retry policy (``retries > 0``): every submit carries a client-generated
 ``request_id``, and a timed-out or dropped request is resent — after an
@@ -52,7 +62,39 @@ from typing import Optional
 from ..core.items import ItemList
 from . import protocol as wire
 
-__all__ = ["LoadgenReport", "RetryPolicy", "run_loadgen", "loadgen", "tenantize"]
+__all__ = [
+    "LoadgenReport",
+    "RetryPolicy",
+    "build_events",
+    "run_loadgen",
+    "loadgen",
+    "tenantize",
+    "DEPART_EVENT",
+    "SUBMIT_EVENT",
+]
+
+#: Event kinds in the unified timed stream.  DEPART sorts before SUBMIT
+#: at equal times — the same departures-before-arrivals tie rule the
+#: batch driver and the streaming engine apply.
+DEPART_EVENT = 0
+SUBMIT_EVENT = 1
+
+
+def build_events(ordered: list, departs: bool) -> list:
+    """The unified timed event stream: ``(time, kind, item)`` tuples.
+
+    ``ordered`` must already be in submission (arrival) order.  Without
+    ``departs`` the stream is just the arrivals — the synthetic
+    workload path.  With ``departs`` every item contributes a second,
+    explicit depart event at its departure time, and the merge is a
+    stable sort on ``(time, kind)`` so simultaneous events keep
+    departures first and preserve instance order within a kind.
+    """
+    events = [(it.arrival, SUBMIT_EVENT, it) for it in ordered]
+    if departs:
+        events.extend((it.departure, DEPART_EVENT, it) for it in ordered)
+        events.sort(key=lambda ev: (ev[0], ev[1]))
+    return events
 
 
 def tenantize(ordered: list, tenants: int) -> list:
@@ -100,6 +142,10 @@ class LoadgenReport:
     """What the load generator observed, client side."""
 
     jobs: int = 0
+    #: explicit depart requests sent (trace replay); scheduled
+    #: departures the server applies on its own are *not* client events
+    #: and are never mixed into this count
+    departs: int = 0
     actions: dict[str, int] = field(default_factory=dict)
     wall_seconds: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
@@ -110,12 +156,19 @@ class LoadgenReport:
     #: shard index -> job ops routed there (fleet runs with ``tenants``;
     #: empty against a plain single-process server)
     per_shard: dict[str, int] = field(default_factory=dict)
+    #: tenant -> {"submits": n, "departs": n} — submits and departs
+    #: tallied separately (a depart is not a job)
+    per_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def count_tenant(self, tenant: int, kind: str) -> None:
+        row = self.per_tenant.setdefault(str(tenant), {"submits": 0, "departs": 0})
+        row[kind] += 1
 
     @property
     def requests_per_sec(self) -> float:
         if self.wall_seconds <= 0:
             return 0.0
-        return self.jobs / self.wall_seconds
+        return (self.jobs + self.departs) / self.wall_seconds
 
     def latency_percentile(self, q: float) -> float:
         """q-th latency percentile in milliseconds (nearest-rank)."""
@@ -126,8 +179,11 @@ class LoadgenReport:
         return ordered[rank]
 
     def render(self) -> str:
+        jobs = f"{self.jobs} jobs"
+        if self.departs:
+            jobs += f" + {self.departs} departs"
         lines = [
-            f"loadgen: {self.jobs} jobs in {self.wall_seconds:.3f}s "
+            f"loadgen: {jobs} in {self.wall_seconds:.3f}s "
             f"({self.requests_per_sec:.0f} req/s)",
             "outcomes: "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.actions.items())),
@@ -152,6 +208,14 @@ class LoadgenReport:
                     f"shard {k}={v}" for k, v in sorted(self.per_shard.items())
                 )
             )
+        if self.per_tenant:
+            lines.append(
+                "per-tenant (submits/departs): "
+                + ", ".join(
+                    f"{k}={v['submits']}/{v['departs']}"
+                    for k, v in sorted(self.per_tenant.items(), key=lambda kv: int(kv[0]))
+                )
+            )
         if self.errors:
             lines.append(f"errors: {self.errors}")
         return "\n".join(lines)
@@ -159,6 +223,7 @@ class LoadgenReport:
     def to_json(self) -> dict:
         return {
             "jobs": self.jobs,
+            "departs": self.departs,
             "actions": self.actions,
             "wall_seconds": round(self.wall_seconds, 6),
             "requests_per_sec": round(self.requests_per_sec, 1),
@@ -173,6 +238,7 @@ class LoadgenReport:
             "retries": self.retries,
             "reconnects": self.reconnects,
             "per_shard": self.per_shard,
+            "per_tenant": self.per_tenant,
         }
 
 
@@ -267,18 +333,85 @@ def _job_payload(it) -> dict:
 
 
 def _tally(report: LoadgenReport, doc: dict) -> None:
-    """Fold one decoded sub-response into the report."""
+    """Fold one decoded sub-response into the report.
+
+    Three shapes are success: a placement (submit ack, counted per
+    action), a bare clock (depart ack — the server applied or had
+    already applied the departure), and a clock with a departed count
+    (advance ack).  Only a non-ok document is an error; a depart ack
+    must never be miscounted as one.
+    """
     if doc.get("ok"):
         placement = doc.get("placement")
         if placement is not None:
             action = placement["action"]
             report.actions[action] = report.actions.get(action, 0) + 1
             return
+        if "clock" in doc:
+            return  # depart/advance acknowledgement
     report.errors += 1
 
 
+class _FrameMeta:
+    """Static accounting for one wire frame built from event groups."""
+
+    __slots__ = ("first_time", "submits", "departs", "tenant_events")
+
+    def __init__(self, group: list, tenants: int):
+        self.first_time = group[0][0]
+        self.submits = sum(1 for _, kind, _ in group if kind == SUBMIT_EVENT)
+        self.departs = len(group) - self.submits
+        #: (tenant, kind-name) pairs, resolved once at build time
+        self.tenant_events: list = []
+        if tenants > 0:
+            self.tenant_events = [
+                (
+                    it.item_id % tenants,
+                    "submits" if kind == SUBMIT_EVENT else "departs",
+                )
+                for _, kind, it in group
+            ]
+
+    def account(self, report: LoadgenReport) -> None:
+        """Count this frame's events (called on ack *or* on loss)."""
+        report.jobs += self.submits
+        report.departs += self.departs
+        for tenant, kind in self.tenant_events:
+            report.count_tenant(tenant, kind)
+
+
+def _build_frames(
+    events: list, batch: int, policy: RetryPolicy, tenants: int
+) -> tuple[list[bytes], list[_FrameMeta]]:
+    """Pack the timed event stream into wire frames of ``batch`` events.
+
+    Submits and departs may share a frame (the server dispatches each
+    sub-request by opcode), so the frame sequence preserves the event
+    stream's order exactly — a replayed trace hits the engine in trace
+    order even at batch > 1.
+    """
+    frames: list[bytes] = []
+    metas: list[_FrameMeta] = []
+    for gi in range(0, len(events), batch):
+        group = events[gi : gi + batch]
+        subs = [
+            wire.encode_submit(
+                it,
+                request_id=(
+                    f"lg-{policy.seed}-{gi}-{k}" if policy.retries else None
+                ),
+            )
+            if kind == SUBMIT_EVENT
+            else wire.encode_depart(it.item_id)
+            for k, (_, kind, it) in enumerate(group)
+        ]
+        frames.append(wire.encode_batch(subs) if batch > 1 else subs[0])
+        metas.append(_FrameMeta(group, tenants))
+    return frames, metas
+
+
 async def _run_pipelined(
-    ordered: list,
+    events: list,
     conn: _Connection,
     report: LoadgenReport,
     policy: RetryPolicy,
@@ -287,6 +420,7 @@ async def _run_pipelined(
     pipeline: int,
     batch: int,
     t0: float,
+    tenants: int,
 ) -> None:
     """The binary fast path: batched frames, ``pipeline`` in flight.
 
@@ -294,31 +428,22 @@ async def _run_pipelined(
     writer once per fill, then blocks on the oldest outstanding frame.
     On a connection failure the whole unacknowledged window is resent
     (same frames, same request ids) over a fresh connection — the
-    server's idempotency window turns the replay into exactly-once.
+    server's idempotency window makes replayed submits exactly-once,
+    and the engine's depart idempotence does the same for departs.
     """
-    groups = [ordered[i : i + batch] for i in range(0, len(ordered), batch)]
-    frames: list[bytes] = []
-    for gi, group in enumerate(groups):
-        subs = [
-            wire.encode_submit(
-                it,
-                request_id=f"lg-{policy.seed}-{gi}-{k}" if policy.retries else None,
-            )
-            for k, it in enumerate(group)
-        ]
-        frames.append(wire.encode_batch(subs) if batch > 1 else subs[0])
+    frames, metas = _build_frames(events, batch, policy, tenants)
 
-    trace_start = ordered[0].arrival if ordered else 0.0
-    pending: deque = deque()  # (group index, sent perf_counter)
+    trace_start = events[0][0] if events else 0.0
+    pending: deque = deque()  # (frame index, sent perf_counter)
     next_gi = 0
-    total = len(groups)
+    total = len(frames)
     failures = 0
     resp_batch = wire.RESP_BATCH
     while next_gi < total or pending:
         try:
             while next_gi < total and len(pending) < pipeline:
                 if speed > 0:
-                    due = t0 + (groups[next_gi][0].arrival - trace_start) / speed
+                    due = t0 + (metas[next_gi].first_time - trace_start) / speed
                     now = time.perf_counter()
                     if now < due:
                         if pending:
@@ -335,10 +460,12 @@ async def _run_pipelined(
             pending.popleft()
             failures = 0
             latency = (time.perf_counter() - sent) * 1e3
-            group = groups[gi]
-            report.jobs += len(group)
-            # every job in the frame shares the frame's round trip
-            report.latencies_ms.extend([latency] * len(group))
+            meta = metas[gi]
+            meta.account(report)
+            # every event in the frame shares the frame's round trip
+            report.latencies_ms.extend(
+                [latency] * (meta.submits + meta.departs)
+            )
             if payload[0] == resp_batch:
                 counts, _dups, others = wire.scan_batch_actions(payload)
                 for code, count in enumerate(counts):
@@ -374,17 +501,15 @@ async def _run_pipelined(
             # out of retries (or none configured): the window is lost
             window_was_empty = not pending
             for gi, _ in pending:
-                lost = len(groups[gi])
-                report.jobs += lost
-                report.errors += lost
+                metas[gi].account(report)
+                report.errors += metas[gi].submits + metas[gi].departs
             pending.clear()
             failures = 0
             if window_was_empty and next_gi < total:
                 # nothing was in flight (the connect itself failed):
-                # charge the next group so the loop always advances
-                lost = len(groups[next_gi])
-                report.jobs += lost
-                report.errors += lost
+                # charge the next frame so the loop always advances
+                metas[next_gi].account(report)
+                report.errors += metas[next_gi].submits + metas[next_gi].departs
                 next_gi += 1
 
 
@@ -401,6 +526,7 @@ async def run_loadgen(
     pipeline: int = 1,
     batch: int = 1,
     tenants: int = 0,
+    departs: bool = False,
 ) -> LoadgenReport:
     """Replay ``items`` as live traffic; returns the client-side report.
 
@@ -408,12 +534,14 @@ async def run_loadgen(
     selects the driving mode — see the module docstring.  With a
     :class:`RetryPolicy`, submits carry request ids and lost replies are
     retried exactly-once.  ``protocol="binary"`` switches to the
-    length-prefixed fast path; ``batch`` jobs share one frame and up to
-    ``pipeline`` frames stay in flight (both require the binary
+    length-prefixed fast path; ``batch`` events share one frame and up
+    to ``pipeline`` frames stay in flight (both require the binary
     protocol).  ``tenants > 0`` rewrites job ids into ``tenants``
     stable per-tenant key streams (:func:`tenantize`) and, after the
     drain, asks the endpoint for its per-shard request counts — the
     fleet router reports them; a plain server leaves them empty.
+    ``departs=True`` (trace replay) interleaves explicit depart
+    requests at each job's departure time — see the module docstring.
     """
     if protocol not in wire.PROTOCOLS:
         raise ValueError(
@@ -454,26 +582,34 @@ async def run_loadgen(
     ordered = sorted(items, key=lambda it: it.arrival)
     if tenants > 0:
         ordered = tenantize(ordered, tenants)
+    events = build_events(ordered, departs)
     t0 = time.perf_counter()
     if protocol == "binary":
         await _run_pipelined(
-            ordered, conn, report, policy, rng, speed, pipeline, batch, t0
+            events, conn, report, policy, rng, speed, pipeline, batch, t0, tenants
         )
     else:
-        trace_start = ordered[0].arrival if ordered else 0.0
-        for n, it in enumerate(ordered):
+        trace_start = events[0][0] if events else 0.0
+        for n, (when, kind, it) in enumerate(events):
             if speed > 0:
-                due = t0 + (it.arrival - trace_start) / speed
+                due = t0 + (when - trace_start) / speed
                 delay = due - time.perf_counter()
                 if delay > 0:
                     await asyncio.sleep(delay)
-            payload = {"op": "submit", "job": _job_payload(it)}
-            if policy.retries:
-                # the request id is what makes the retry exactly-once
-                payload["request_id"] = f"lg-{policy.seed}-{n}"
+            is_submit = kind == SUBMIT_EVENT
+            if is_submit:
+                payload = {"op": "submit", "job": _job_payload(it)}
+                if policy.retries:
+                    # the request id is what makes the retry exactly-once
+                    payload["request_id"] = f"lg-{policy.seed}-{n}"
+                idempotent = bool(policy.retries)
+            else:
+                # depart is engine-idempotent, so always safe to retry
+                payload = {"op": "depart", "id": it.item_id}
+                idempotent = True
             sent = time.perf_counter()
             try:
-                response = await call(payload, idempotent=bool(policy.retries))
+                response = await call(payload, idempotent=idempotent)
             except (
                 ConnectionError,
                 asyncio.IncompleteReadError,
@@ -481,16 +617,20 @@ async def run_loadgen(
                 OSError,
             ):
                 report.errors += 1
-                report.jobs += 1
                 await conn.drop()
+                response = None
+            if is_submit:
+                report.jobs += 1
+            else:
+                report.departs += 1
+            if tenants > 0:
+                report.count_tenant(
+                    it.item_id % tenants, "submits" if is_submit else "departs"
+                )
+            if response is None:
                 continue
             report.latencies_ms.append((time.perf_counter() - sent) * 1e3)
-            report.jobs += 1
-            if response.get("ok"):
-                action = response["placement"]["action"]
-                report.actions[action] = report.actions.get(action, 0) + 1
-            else:
-                report.errors += 1
+            _tally(report, response)
     if drain:
         # drain is not idempotent-tagged, but it *is* safe to retry: a
         # second drain on a drained engine returns the same summary

@@ -1,0 +1,62 @@
+"""Cluster-trace ingestion: external schemas → internal item format.
+
+The subsystem in one breath: a shared streaming :mod:`reader <repro.traces.reader>`
+(gzip/CSV/JSONL framing, :class:`TraceFormatError` with file/line/field
+context), schema :mod:`adapters <repro.traces.adapter>` for the Azure
+Packing Trace and Google cluster-trace task_events
+(:data:`SCHEMA_REGISTRY`, auto-detection), a
+:mod:`normalization <repro.traces.normalize>` stage (window / rebase /
+scale / clamp / seeded deterministic sampling), and seeded synthetic
+:mod:`generators <repro.traces.generate>` that write files in the
+external schemas so the whole pipeline is testable byte-for-byte with
+no real data downloads.
+
+See ``docs/TRACES.md`` for schemas, fetching the real datasets, and a
+replay cookbook.
+"""
+
+from .adapter import (
+    AdapterStats,
+    SCHEMA_REGISTRY,
+    TraceAdapter,
+    detect_schema,
+    get_adapter,
+    load_items,
+    register_adapter,
+)
+from .azure import AzureAdapter
+from .generate import GENERATORS, generate_azure_trace, generate_google_trace, generate_trace
+from .google import GoogleAdapter
+from .normalize import (
+    NormalizeStats,
+    keep_fraction,
+    normalize_items,
+    normalize_stream,
+    sample_trace_file,
+)
+from .reader import TraceFormatError, open_trace, sniff_lines, trace_suffix
+
+__all__ = [
+    "AdapterStats",
+    "AzureAdapter",
+    "GENERATORS",
+    "GoogleAdapter",
+    "NormalizeStats",
+    "SCHEMA_REGISTRY",
+    "TraceAdapter",
+    "TraceFormatError",
+    "detect_schema",
+    "generate_azure_trace",
+    "generate_google_trace",
+    "generate_trace",
+    "get_adapter",
+    "keep_fraction",
+    "load_items",
+    "normalize_items",
+    "normalize_stream",
+    "open_trace",
+    "register_adapter",
+    "sample_trace_file",
+    "sniff_lines",
+    "trace_suffix",
+]

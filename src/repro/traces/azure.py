@@ -1,0 +1,120 @@
+"""Adapter for the Azure Packing Trace schema.
+
+The Azure Packing Trace (Hadary et al., OSDI'20; the dataset Lee &
+Tang's DVBP evaluation benchmarks on) describes VM requests with
+fractional resource demands.  We consume the *flattened* CSV form —
+one row per VM request with its type's resource fractions joined in:
+
+    vmId,tenantId,vmTypeId,priority,core,memory,starttime,endtime
+
+- ``core``/``memory`` are fractions of a server's capacity, in
+  ``(0, 1]``;
+- ``starttime``/``endtime`` are in fractional days relative to the
+  trace start.  ``starttime`` may be negative (the VM predates the
+  collection window);
+- an empty ``endtime`` means the VM outlived the trace (right-censored)
+  — such rows are counted in ``stats.censored`` and skipped, since a
+  MinUsageTime instance needs finite intervals.
+
+Each surviving row becomes one item: scalar size = ``core`` (CPU is
+the binding resource in this trace), vector sizes = ``(core, memory)``.
+Item ids are assigned densely in file order so converted instances are
+byte-stable and directly usable by the service loadgen.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Union
+
+from ..core.items import Item
+from ..multidim.items import VectorItem
+from .adapter import AdapterStats, TraceAdapter, register_adapter
+from .reader import TraceFormatError, iter_csv_records, record_float, record_str
+
+__all__ = ["AzureAdapter", "AZURE_FIELDS"]
+
+PathLike = Union[str, Path]
+
+AZURE_FIELDS = (
+    "vmId",
+    "tenantId",
+    "vmTypeId",
+    "priority",
+    "core",
+    "memory",
+    "starttime",
+    "endtime",
+)
+
+
+class AzureAdapter(TraceAdapter):
+    name = "azure"
+    description = (
+        "Azure Packing Trace (flattened CSV: vmId,tenantId,vmTypeId,"
+        "priority,core,memory,starttime,endtime; fractional sizes, "
+        "times in days)"
+    )
+    vector_dimensions = 2
+
+    def sniff(self, lines: list[str]) -> bool:
+        for line in lines:
+            stripped = line.lstrip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            head = [c.strip() for c in stripped.split(",")]
+            return "vmId" in head and "starttime" in head
+        return False
+
+    def iter_items(
+        self,
+        path: PathLike,
+        stats: AdapterStats,
+        vector: bool = False,
+    ) -> Iterator[Union[Item, VectorItem]]:
+        name = str(path)
+        next_id = 0
+        for lineno, rec in iter_csv_records(
+            path, required=("vmId", "core", "memory", "starttime", "endtime")
+        ):
+            stats.records += 1
+            end_raw = rec.get("endtime", "")
+            if end_raw is None or not end_raw.strip():
+                stats.censored += 1
+                continue
+            try:
+                record_str(rec, "vmId", name, lineno)
+                core = record_float(rec, "core", name, lineno)
+                memory = record_float(rec, "memory", name, lineno)
+                start = record_float(rec, "starttime", name, lineno)
+                end = record_float(rec, "endtime", name, lineno)
+                if core <= 0.0:
+                    raise TraceFormatError(
+                        f"core must be positive, got {core}", name, lineno, "core"
+                    )
+                if memory < 0.0:
+                    raise TraceFormatError(
+                        f"memory must be non-negative, got {memory}",
+                        name,
+                        lineno,
+                        "memory",
+                    )
+                if end <= start:
+                    raise TraceFormatError(
+                        f"endtime {end} not after starttime {start}",
+                        name,
+                        lineno,
+                        "endtime",
+                    )
+            except TraceFormatError as exc:
+                stats.skip(exc.field or "parse-error", exc)
+                continue
+            if vector:
+                yield VectorItem(next_id, (core, memory), start, end)
+            else:
+                yield Item(next_id, core, start, end)
+            next_id += 1
+            stats.items += 1
+
+
+register_adapter(AzureAdapter())

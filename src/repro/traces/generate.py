@@ -1,0 +1,188 @@
+"""Seeded synthetic trace-*file* generators, one per supported schema.
+
+These write files in the *external* schemas (Azure Packing Trace CSV,
+Google task_events CSV) so tests, CI, and benches exercise the full
+adapter pipeline byte-for-byte — framing, pairing, dirty-record
+accounting — without downloading real datasets or checking binary
+blobs into git.  Everything is driven by one ``random.Random(seed)``,
+and values are formatted with fixed precision, so a (schema, n, seed,
+knobs) tuple always produces identical bytes; golden tests pin on
+that.
+
+The dirt knobs (``censored``/``malformed``/``orphaned``/
+``unfinished``) inject exactly the defects the adapters must count and
+skip.  Generation itself is streaming: Azure rows are independent, and
+the Google event stream is merged with a heap of pending FINISHes, so
+memory is O(concurrent tasks) and CI can generate multi-hundred-MB
+files for the bounded-memory test.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from pathlib import Path
+from typing import Iterator, Union
+
+from .reader import write_trace
+
+__all__ = [
+    "generate_azure_trace",
+    "generate_google_trace",
+    "generate_trace",
+    "GENERATORS",
+    "AZURE_VM_TYPES",
+]
+
+PathLike = Union[str, Path]
+
+# (core, memory) fractions of a server, shaped like the real trace's
+# discrete VM type catalogue
+AZURE_VM_TYPES = (
+    (0.020833, 0.027778),
+    (0.041667, 0.055556),
+    (0.083333, 0.111111),
+    (0.166667, 0.222222),
+    (0.333333, 0.444444),
+    (0.500000, 0.500000),
+    (1.000000, 1.000000),
+)
+
+GOOGLE_CPU_REQUESTS = (0.0125, 0.025, 0.03125, 0.05, 0.0625, 0.125)
+GOOGLE_MEM_REQUESTS = (0.0062, 0.0124, 0.0155, 0.0248, 0.0311, 0.0621)
+
+
+def _azure_rows(
+    n: int,
+    seed: int,
+    rate_per_day: float,
+    mu: float,
+    censored: float,
+    malformed: float,
+) -> Iterator[str]:
+    rng = random.Random(seed)
+    yield "vmId,tenantId,vmTypeId,priority,core,memory,starttime,endtime"
+    clock = 0.0
+    min_days = 1.0 / rate_per_day  # shortest VM lives one mean gap
+    tenants = max(2, n // 20)
+    for vm_id in range(n):
+        clock += rng.expovariate(rate_per_day)
+        type_id = rng.randrange(len(AZURE_VM_TYPES))
+        core, memory = AZURE_VM_TYPES[type_id]
+        tenant = rng.randrange(tenants)
+        priority = rng.randrange(2)
+        duration = min_days * (mu ** rng.random())
+        if malformed > 0.0 and rng.random() < malformed:
+            core_s = "bogus"  # unparsable size → the adapter must skip it
+        else:
+            core_s = f"{core:.6f}"
+        if censored > 0.0 and rng.random() < censored:
+            end_s = ""  # VM outlives the trace window
+        else:
+            end_s = f"{clock + duration:.6f}"
+        yield (
+            f"{vm_id},{tenant},{type_id},{priority},"
+            f"{core_s},{memory:.6f},{clock:.6f},{end_s}"
+        )
+
+
+def generate_azure_trace(
+    path: PathLike,
+    n: int,
+    seed: int = 0,
+    rate_per_day: float = 200.0,
+    mu: float = 50.0,
+    censored: float = 0.0,
+    malformed: float = 0.0,
+) -> int:
+    """Write an ``n``-row Azure-schema CSV (``.gz`` ok); returns lines."""
+    return write_trace(
+        path, _azure_rows(n, seed, rate_per_day, mu, censored, malformed)
+    )
+
+
+def _google_row(ts: int, job: int, task: int, etype: int, cpu: str, mem: str) -> str:
+    # 13 columns: timestamp,missing_info,job_id,task_index,machine_id,
+    # event_type,user,sched_class,priority,cpu,mem,disk,different_machine
+    return f"{ts},,{job},{task},,{etype},user{job % 7},1,0,{cpu},{mem},0.0001,"
+
+
+def _google_rows(
+    n: int,
+    seed: int,
+    rate_per_sec: float,
+    mu: float,
+    orphaned: float,
+    unfinished: float,
+    malformed: float,
+) -> Iterator[str]:
+    rng = random.Random(seed)
+    mean_gap_us = 1e6 / rate_per_sec
+    min_us = mean_gap_us  # shortest task lives one mean inter-arrival
+    job_base = 6_250_000_000
+    clock = 0.0
+    # pending departures: (finish_ts, job, task) — popped once the
+    # stream has advanced past them, so the file is time-ordered and
+    # memory stays O(concurrent tasks)
+    pending: list[tuple[int, int, int]] = []
+
+    def drain(until: float) -> Iterator[str]:
+        while pending and pending[0][0] <= until:
+            fts, job, task = heapq.heappop(pending)
+            yield _google_row(fts, job, task, 4, "", "")
+
+    for i in range(n):
+        clock += rng.expovariate(rate_per_sec) * 1e6
+        ts = int(clock)
+        job = job_base + i // 5
+        task = i % 5
+        cpu = rng.choice(GOOGLE_CPU_REQUESTS)
+        mem = rng.choice(GOOGLE_MEM_REQUESTS)
+        duration = int(min_us * (mu ** rng.random())) + 1
+        yield from drain(clock)
+        if malformed > 0.0 and rng.random() < malformed:
+            yield _google_row(ts, job, task, 0, "oops", f"{mem:.4f}")
+            continue  # unparsable SUBMIT: the task never opens
+        if orphaned > 0.0 and rng.random() < orphaned:
+            # FINISH for a task whose SUBMIT predates the trace slice
+            yield _google_row(ts, job_base - 1 - i, 0, 4, "", "")
+            continue
+        yield _google_row(ts, job, task, 0, f"{cpu:.4f}", f"{mem:.4f}")
+        # a SCHEDULE event the adapter must ignore (but count)
+        yield _google_row(ts + 1000, job, task, 1, "", "")
+        if not (unfinished > 0.0 and rng.random() < unfinished):
+            heapq.heappush(pending, (ts + duration, job, task))
+    yield from drain(float("inf"))
+
+
+def generate_google_trace(
+    path: PathLike,
+    n: int,
+    seed: int = 0,
+    rate_per_sec: float = 5.0,
+    mu: float = 50.0,
+    orphaned: float = 0.0,
+    unfinished: float = 0.0,
+    malformed: float = 0.0,
+) -> int:
+    """Write an ``n``-task Google task_events CSV (``.gz`` ok)."""
+    return write_trace(
+        path,
+        _google_rows(n, seed, rate_per_sec, mu, orphaned, unfinished, malformed),
+    )
+
+
+GENERATORS = {
+    "azure": generate_azure_trace,
+    "google": generate_google_trace,
+}
+
+
+def generate_trace(schema: str, path: PathLike, n: int, seed: int = 0, **knobs) -> int:
+    """Dispatch to the schema's generator; returns lines written."""
+    try:
+        gen = GENERATORS[schema]
+    except KeyError:
+        known = ", ".join(sorted(GENERATORS))
+        raise ValueError(f"no generator for schema {schema!r} (known: {known})") from None
+    return gen(path, n, seed=seed, **knobs)

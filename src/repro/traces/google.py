@@ -1,0 +1,183 @@
+"""Adapter for the Google cluster-trace ``task_events`` schema.
+
+The 2011 Google cluster trace publishes task lifecycles as an *event
+stream*: one row per transition, 13 headerless CSV columns
+
+    timestamp, missing_info, job_id, task_index, machine_id,
+    event_type, user, scheduling_class, priority,
+    cpu_request, memory_request, disk_request, different_machine
+
+with microsecond timestamps and resource requests normalized to the
+largest machine.  A task is alive from its SUBMIT (event type 0) to its
+FINISH (event type 4); this adapter pairs those transitions keyed by
+``(job_id, task_index)`` and emits one item per completed pair, so the
+duration is *inferred* rather than stored — exactly the shape the
+MinUsageTime problem hides from online algorithms.
+
+Real trace slices are messy, and the adapter accounts for all of it:
+
+- a FINISH with no open SUBMIT is **orphaned** (the SUBMIT predates the
+  slice) — counted in ``stats.orphaned``, skipped;
+- a SUBMIT never FINISHed by end-of-file is **unfinished** (the task
+  outlives the slice) — counted in ``stats.unfinished``, skipped;
+- rows with missing/non-numeric fields or non-positive durations are
+  malformed — counted per reason, skipped (raised when strict);
+- other event types (SCHEDULE, EVICT, KILL, ...) are valid stream
+  records we simply don't need — counted in ``stats.records`` only.
+
+A ``.jsonl`` file with the same field *names* is accepted too (handy
+for hand-written fixtures); framing is picked by file extension.
+Memory while streaming is O(open tasks), never O(file).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, Tuple, Union
+
+from ..core.items import Item
+from ..multidim.items import VectorItem
+from .adapter import AdapterStats, TraceAdapter, register_adapter
+from .reader import (
+    TraceFormatError,
+    iter_csv_records,
+    iter_jsonl_records,
+    record_float,
+    record_int,
+    trace_suffix,
+)
+
+__all__ = ["GoogleAdapter", "GOOGLE_FIELDS", "EVENT_SUBMIT", "EVENT_FINISH"]
+
+PathLike = Union[str, Path]
+
+GOOGLE_FIELDS = (
+    "timestamp",
+    "missing_info",
+    "job_id",
+    "task_index",
+    "machine_id",
+    "event_type",
+    "user",
+    "scheduling_class",
+    "priority",
+    "cpu_request",
+    "memory_request",
+    "disk_request",
+    "different_machine",
+)
+
+EVENT_SUBMIT = 0
+EVENT_FINISH = 4
+
+_MICROS = 1e6  # trace timestamps are microseconds; items use seconds
+
+
+class GoogleAdapter(TraceAdapter):
+    name = "google"
+    description = (
+        "Google cluster-trace task_events (13-column headerless CSV, "
+        "SUBMIT/FINISH pairs keyed by job_id/task_index, microsecond "
+        "timestamps, normalized cpu/memory requests)"
+    )
+    vector_dimensions = 2
+
+    def sniff(self, lines: list[str]) -> bool:
+        for line in lines:
+            stripped = line.lstrip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if stripped.startswith("{"):
+                return '"job_id"' in stripped and '"event_type"' in stripped
+            cols = stripped.split(",")
+            if len(cols) != len(GOOGLE_FIELDS):
+                return False
+            try:
+                int(cols[0]), int(cols[2]), int(cols[5])
+            except ValueError:
+                return False
+            return True
+        return False
+
+    def iter_items(
+        self,
+        path: PathLike,
+        stats: AdapterStats,
+        vector: bool = False,
+    ) -> Iterator[Union[Item, VectorItem]]:
+        name = str(path)
+        if trace_suffix(path) == ".jsonl":
+            records = iter_jsonl_records(path)
+        else:
+            records = iter_csv_records(path, fieldnames=GOOGLE_FIELDS)
+        # open tasks: (job_id, task_index) -> (submit_seconds, cpu, memory)
+        open_tasks: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+        next_id = 0
+        for lineno, rec in records:
+            stats.records += 1
+            try:
+                etype = record_int(rec, "event_type", name, lineno)
+                if etype not in (EVENT_SUBMIT, EVENT_FINISH):
+                    continue
+                when = record_int(rec, "timestamp", name, lineno) / _MICROS
+                key = (
+                    record_int(rec, "job_id", name, lineno),
+                    record_int(rec, "task_index", name, lineno),
+                )
+                if etype == EVENT_SUBMIT:
+                    cpu = record_float(rec, "cpu_request", name, lineno)
+                    memory = record_float(rec, "memory_request", name, lineno)
+                    if cpu <= 0.0:
+                        raise TraceFormatError(
+                            f"cpu_request must be positive, got {cpu}",
+                            name,
+                            lineno,
+                            "cpu_request",
+                        )
+                    if memory < 0.0:
+                        raise TraceFormatError(
+                            f"memory_request must be non-negative, got {memory}",
+                            name,
+                            lineno,
+                            "memory_request",
+                        )
+                    if key in open_tasks:
+                        raise TraceFormatError(
+                            f"duplicate SUBMIT for task {key} while still open",
+                            name,
+                            lineno,
+                            "event_type",
+                        )
+                    open_tasks[key] = (when, cpu, memory)
+                    continue
+            except TraceFormatError as exc:
+                stats.skip(exc.field or "parse-error", exc)
+                continue
+            # FINISH path: pair with the open SUBMIT, if any
+            pending = open_tasks.pop(key, None)
+            if pending is None:
+                stats.orphaned += 1
+                continue
+            submitted, cpu, memory = pending
+            if when <= submitted:
+                stats.skip(
+                    "non-positive-duration",
+                    TraceFormatError(
+                        f"FINISH at {when} not after SUBMIT at {submitted} "
+                        f"for task {key}",
+                        name,
+                        lineno,
+                        "timestamp",
+                    ),
+                )
+                continue
+            if vector:
+                yield VectorItem(next_id, (cpu, memory), submitted, when)
+            else:
+                yield Item(next_id, cpu, submitted, when)
+            next_id += 1
+            stats.items += 1
+        stats.unfinished += len(open_tasks)
+
+
+register_adapter(GoogleAdapter())

@@ -1,0 +1,274 @@
+"""Normalization, windowing, and deterministic sampling for traces.
+
+Converted trace instances rarely go straight into an engine: a real
+trace spans weeks, sizes carry rounding garbage slightly above
+capacity, and experiments want a reproducible subset.  This stage
+provides the knobs, all streaming-safe and all deterministic:
+
+- **window** — keep items arriving within ``[start, end)``;
+- **rebase** — shift times so the window (or first arrival) is t=0;
+- **scale** — divide sizes by a capacity factor (pack the same demand
+  onto bigger servers);
+- **clamp** — cap sizes at bin capacity, counting every clamp so a
+  conversion reports how much it touched;
+- **sample** — keep a deterministic pseudo-random fraction of items,
+  keyed by ``crc32(seed:item_id)`` so the same seed always keeps the
+  same subset regardless of iteration order or Python hash salt.
+
+:func:`sample_trace_file` is the schema-preserving variant: it thins a
+*raw* trace file line-by-line, keyed by the schema's entity key (vmId;
+job/task pair) so Google SUBMIT/FINISH pairs survive together, and
+writes kept lines byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from ..core.items import Item, ItemList
+from ..multidim.items import VectorItem, VectorItemList
+from .adapter import get_adapter
+from .reader import TraceFormatError, open_trace, write_trace
+
+__all__ = [
+    "NormalizeStats",
+    "normalize_stream",
+    "normalize_items",
+    "keep_fraction",
+    "sample_trace_file",
+]
+
+PathLike = Union[str, Path]
+AnyItem = Union[Item, VectorItem]
+
+_HASH_SPACE = float(2**32)
+
+
+@dataclass
+class NormalizeStats:
+    kept: int = 0
+    dropped_window: int = 0
+    dropped_sample: int = 0
+    clamped: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "kept": self.kept,
+            "dropped_window": self.dropped_window,
+            "dropped_sample": self.dropped_sample,
+            "clamped": self.clamped,
+        }
+
+
+def keep_fraction(key: str, fraction: float, seed: int) -> bool:
+    """Deterministic Bernoulli(fraction) draw keyed on ``(seed, key)``.
+
+    crc32 rather than ``hash()``: stable across processes and Python
+    versions, so sampled instances are pinnable in golden tests.
+    """
+    if fraction >= 1.0:
+        return True
+    if fraction <= 0.0:
+        return False
+    draw = zlib.crc32(f"{seed}:{key}".encode("utf-8")) & 0xFFFFFFFF
+    return draw < fraction * _HASH_SPACE
+
+
+def _clamp_item(item: AnyItem, capacity: float, stats: NormalizeStats) -> AnyItem:
+    if isinstance(item, VectorItem):
+        if any(s > capacity for s in item.sizes):
+            stats.clamped += 1
+            return replace(
+                item, sizes=tuple(min(s, capacity) for s in item.sizes)
+            )
+        return item
+    if item.size > capacity:
+        stats.clamped += 1
+        return replace(item, size=capacity)
+    return item
+
+
+def _scale_item(item: AnyItem, scale: float) -> AnyItem:
+    if isinstance(item, VectorItem):
+        return replace(item, sizes=tuple(s / scale for s in item.sizes))
+    return replace(item, size=item.size / scale)
+
+
+def normalize_stream(
+    items: Iterable[AnyItem],
+    stats: NormalizeStats,
+    window: Optional[Tuple[float, float]] = None,
+    sample: Optional[float] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    clamp: Optional[float] = 1.0,
+    rebase_to: Optional[float] = None,
+) -> Iterator[AnyItem]:
+    """Stream items through the normalization knobs (O(1) memory).
+
+    ``window`` keeps items by *arrival* in ``[start, end)`` (the full
+    interval is retained — a window selects demand, it does not
+    truncate it).  ``rebase_to`` subtracts the given origin from both
+    endpoints; by default it is the window start when a window is set,
+    else times pass through unchanged (the materialising
+    :func:`normalize_items` can rebase to the first arrival because it
+    sees the whole instance).  ``scale`` divides sizes; ``clamp`` then
+    caps them at the given capacity (count in ``stats.clamped``).
+    """
+    if scale <= 0.0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if sample is not None and not (0.0 < sample <= 1.0):
+        raise ValueError(f"sample must be in (0, 1], got {sample}")
+    if window is not None and not (window[1] > window[0]):
+        raise ValueError(f"window end must be after start, got {window}")
+    origin = rebase_to
+    if origin is None and window is not None:
+        origin = window[0]
+    for item in items:
+        if window is not None and not (window[0] <= item.arrival < window[1]):
+            stats.dropped_window += 1
+            continue
+        if sample is not None and not keep_fraction(
+            str(item.item_id), sample, seed
+        ):
+            stats.dropped_sample += 1
+            continue
+        if scale != 1.0:
+            item = _scale_item(item, scale)
+        if clamp is not None:
+            item = _clamp_item(item, clamp, stats)
+        if origin:
+            item = replace(
+                item,
+                arrival=item.arrival - origin,
+                departure=item.departure - origin,
+            )
+        stats.kept += 1
+        yield item
+
+
+def normalize_items(
+    instance: Union[ItemList, VectorItemList],
+    window: Optional[Tuple[float, float]] = None,
+    sample: Optional[float] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    clamp: Optional[float] = 1.0,
+    rebase: bool = True,
+) -> Tuple[Union[ItemList, VectorItemList], NormalizeStats]:
+    """Materialising wrapper: normalize a whole instance at once.
+
+    With ``rebase=True`` and no window, times shift so the earliest
+    *kept* arrival is 0 (the streaming path can't know it in advance).
+    """
+    stats = NormalizeStats()
+    kept = list(
+        normalize_stream(
+            instance,
+            stats,
+            window=window,
+            sample=sample,
+            seed=seed,
+            scale=scale,
+            clamp=clamp,
+            rebase_to=window[0] if (rebase and window is not None) else None,
+        )
+    )
+    if rebase and window is None and kept:
+        origin = min(it.arrival for it in kept)
+        if origin:
+            kept = [
+                replace(
+                    it,
+                    arrival=it.arrival - origin,
+                    departure=it.departure - origin,
+                )
+                for it in kept
+            ]
+    if isinstance(instance, VectorItemList):
+        return VectorItemList(kept, capacity=instance.capacity), stats
+    return ItemList(kept, capacity=instance.capacity), stats
+
+
+# ---------------------------------------------------------------------------
+# Schema-preserving raw-file sampling
+# ---------------------------------------------------------------------------
+
+
+def _azure_line_key(line: str) -> Optional[str]:
+    return line.split(",", 1)[0].strip()
+
+
+def _google_line_key(line: str) -> Optional[str]:
+    stripped = line.lstrip()
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(stripped)
+            return f"{doc['job_id']}/{doc['task_index']}"
+        except (ValueError, KeyError):
+            return None
+    parts = line.split(",")
+    if len(parts) < 4:
+        return None
+    return f"{parts[2].strip()}/{parts[3].strip()}"
+
+
+_LINE_KEYS = {"azure": _azure_line_key, "google": _google_line_key}
+
+
+def sample_trace_file(
+    src: PathLike,
+    dst: PathLike,
+    schema: str,
+    fraction: float,
+    seed: int = 0,
+) -> Tuple[int, int]:
+    """Thin a raw trace file to ``fraction`` of its entities.
+
+    Streams ``src`` → ``dst`` (either side may be ``.gz``), keeping or
+    dropping whole *entities* — every line sharing a vmId (Azure) or
+    job/task pair (Google) survives or vanishes together, so event
+    pairs stay pairable and the output is still a valid trace in the
+    same schema.  Header and comment lines always pass through, kept
+    lines are byte-identical.  Returns ``(kept_lines, total_lines)``.
+    """
+    get_adapter(schema)  # validate the name against the registry
+    try:
+        line_key = _LINE_KEYS[schema]
+    except KeyError:
+        raise ValueError(f"schema {schema!r} has no raw-line sampler") from None
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+
+    counters = {"kept": 0, "total": 0}
+
+    def kept_lines() -> Iterator[str]:
+        saw_header = False
+        with open_trace(src) as handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    yield line
+                    continue
+                if schema == "azure" and not saw_header:
+                    saw_header = True  # header row always survives
+                    yield line
+                    continue
+                counters["total"] += 1
+                key = line_key(line)
+                if key is None:
+                    raise TraceFormatError(
+                        "cannot extract entity key for sampling",
+                        str(src),
+                        counters["total"],
+                    )
+                if keep_fraction(key, fraction, seed):
+                    counters["kept"] += 1
+                    yield line
+
+    write_trace(dst, kept_lines())
+    return counters["kept"], counters["total"]

@@ -1,7 +1,20 @@
-"""Trace (de)serialisation: item lists as JSON or CSV.
+"""Internal trace (de)serialisation: item lists as JSON or CSV.
 
 Lets experiments pin exact instances to disk (for regression baselines)
-and lets users bring their own traces into the dispatcher.
+and lets users bring their own traces into the dispatcher.  This is the
+*internal* format — converted cluster traces land here via
+``repro trace convert``; the external schemas live in
+:mod:`repro.traces`.
+
+Parsing rides the shared streaming reader (:mod:`repro.traces.reader`),
+so malformed input raises :class:`~repro.traces.reader.TraceFormatError`
+naming the offending line and field instead of a bare ``KeyError`` from
+three layers down, and ``.gz`` files load/save transparently.
+
+JSON documents carry either scalar records (``size``) or vector records
+(``sizes`` plus a ``capacity`` list) — :func:`from_json` returns the
+matching instance type.  CSV stays scalar-only (the pinned baseline
+format predates the vector engine).
 """
 
 from __future__ import annotations
@@ -13,20 +26,47 @@ from pathlib import Path
 from typing import Union
 
 from ..core.items import Item, ItemList
+from ..multidim.items import VectorItem, VectorItemList
+from ..traces.reader import (
+    TraceFormatError,
+    iter_csv_records,
+    open_trace,
+    record_float,
+    record_int,
+    trace_suffix,
+)
 
-__all__ = ["to_json", "from_json", "to_csv", "from_csv", "save_trace", "load_trace"]
+__all__ = [
+    "TraceFormatError",
+    "to_json",
+    "from_json",
+    "to_csv",
+    "from_csv",
+    "save_trace",
+    "load_trace",
+]
 
 PathLike = Union[str, Path]
+AnyItemList = Union[ItemList, VectorItemList]
 
 
-def to_json(items: ItemList) -> str:
-    """Serialise to a JSON document (capacity + item records)."""
+def to_json(items: AnyItemList) -> str:
+    """Serialise to a JSON document (capacity + item records).
+
+    Scalar instances write ``size`` per record and a float capacity;
+    vector instances write ``sizes`` lists and a capacity list.
+    """
+    vector = isinstance(items, VectorItemList)
     doc = {
-        "capacity": items.capacity,
+        "capacity": list(items.capacity) if vector else items.capacity,
         "items": [
             {
                 "id": it.item_id,
-                "size": it.size,
+                **(
+                    {"sizes": list(it.sizes)}
+                    if vector
+                    else {"size": it.size}
+                ),
                 "arrival": it.arrival,
                 "departure": it.departure,
             }
@@ -36,23 +76,75 @@ def to_json(items: ItemList) -> str:
     return json.dumps(doc, indent=2)
 
 
-def from_json(text: str) -> ItemList:
-    """Parse an instance from :func:`to_json` output."""
-    doc = json.loads(text)
-    return ItemList(
-        (
-            Item(rec["id"], rec["size"], rec["arrival"], rec["departure"])
-            for rec in doc["items"]
-        ),
-        capacity=doc.get("capacity", 1.0),
+def _item_from_record(rec: dict, index: int, vector: bool):
+    where = f"items[{index}]"
+    if not isinstance(rec, dict):
+        raise TraceFormatError(
+            f"item record must be an object, got {type(rec).__name__}",
+            None,
+            None,
+            where,
+        )
+    item_id = record_int(rec, "id", where)
+    arrival = record_float(rec, "arrival", where)
+    departure = record_float(rec, "departure", where)
+    try:
+        if vector:
+            sizes = rec.get("sizes")
+            if not isinstance(sizes, (list, tuple)) or not sizes:
+                raise TraceFormatError(
+                    "vector record needs a non-empty 'sizes' list",
+                    where,
+                    None,
+                    "sizes",
+                )
+            return VectorItem(
+                item_id, tuple(float(s) for s in sizes), arrival, departure
+            )
+        return Item(item_id, record_float(rec, "size", where), arrival, departure)
+    except ValueError as exc:
+        if isinstance(exc, TraceFormatError):
+            raise
+        raise TraceFormatError(str(exc), None, None, where) from None
+
+
+def from_json(text: str) -> AnyItemList:
+    """Parse an instance from :func:`to_json` output (scalar or vector)."""
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise TraceFormatError(f"malformed JSON: {exc}") from None
+    if not isinstance(doc, dict) or not isinstance(doc.get("items"), list):
+        raise TraceFormatError(
+            "document must be an object with an 'items' list", field="items"
+        )
+    capacity = doc.get("capacity", 1.0)
+    vector = isinstance(capacity, (list, tuple)) or any(
+        isinstance(rec, dict) and "sizes" in rec for rec in doc["items"]
     )
+    items = [
+        _item_from_record(rec, i, vector) for i, rec in enumerate(doc["items"])
+    ]
+    try:
+        if vector:
+            if not isinstance(capacity, (list, tuple)):
+                capacity = [float(capacity)]
+            return VectorItemList(items, capacity=tuple(capacity))
+        return ItemList(items, capacity=float(capacity))
+    except ValueError as exc:
+        raise TraceFormatError(str(exc)) from None
 
 
 def to_csv(items: ItemList) -> str:
     """Serialise to CSV with header ``id,size,arrival,departure``.
 
-    Capacity is recorded in a leading comment line.
+    Capacity is recorded in a leading comment line.  Scalar only — the
+    vector instances serialise via :func:`to_json`.
     """
+    if isinstance(items, VectorItemList):
+        raise TraceFormatError(
+            "vector instances cannot be written as CSV; use the JSON format"
+        )
     buf = io.StringIO()
     buf.write(f"# capacity={items.capacity}\n")
     writer = csv.writer(buf)
@@ -65,46 +157,75 @@ def to_csv(items: ItemList) -> str:
 def from_csv(text: str) -> ItemList:
     """Parse an instance from :func:`to_csv` output."""
     capacity = 1.0
-    lines = text.splitlines()
-    body_start = 0
-    for i, line in enumerate(lines):
-        if line.startswith("#"):
-            if "capacity=" in line:
-                capacity = float(line.split("capacity=", 1)[1].strip())
-            body_start = i + 1
-        else:
-            break
-    reader = csv.DictReader(lines[body_start:])
-    return ItemList(
-        (
-            Item(
-                int(row["id"]),
-                float(row["size"]),
-                float(row["arrival"]),
-                float(row["departure"]),
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            if "capacity=" in stripped:
+                raw = stripped.split("capacity=", 1)[1].strip()
+                try:
+                    capacity = float(raw)
+                except ValueError:
+                    raise TraceFormatError(
+                        f"expected a number, got {raw!r}", None, None, "capacity"
+                    ) from None
+            continue
+        break
+    items = []
+    for lineno, rec in iter_csv_records(
+        iter(text.splitlines(keepends=True)),
+        required=("id", "size", "arrival", "departure"),
+    ):
+        try:
+            items.append(
+                Item(
+                    record_int(rec, "id", None, lineno),
+                    record_float(rec, "size", None, lineno),
+                    record_float(rec, "arrival", None, lineno),
+                    record_float(rec, "departure", None, lineno),
+                )
             )
-            for row in reader
-        ),
-        capacity=capacity,
-    )
+        except ValueError as exc:
+            if isinstance(exc, TraceFormatError):
+                raise
+            raise TraceFormatError(str(exc), None, lineno) from None
+    try:
+        return ItemList(items, capacity=capacity)
+    except ValueError as exc:
+        raise TraceFormatError(str(exc)) from None
 
 
-def save_trace(items: ItemList, path: PathLike) -> None:
-    """Write an instance to ``path`` (.json or .csv by extension)."""
+def save_trace(items: AnyItemList, path: PathLike) -> None:
+    """Write an instance to ``path`` (.json or .csv by extension; .gz ok)."""
     path = Path(path)
-    if path.suffix == ".json":
-        path.write_text(to_json(items))
-    elif path.suffix == ".csv":
-        path.write_text(to_csv(items))
+    suffix = trace_suffix(path)
+    if suffix == ".json":
+        text = to_json(items)
+    elif suffix == ".csv":
+        text = to_csv(items)
     else:
-        raise ValueError(f"unsupported trace extension: {path.suffix!r}")
+        raise ValueError(f"unsupported trace extension: {suffix!r}")
+    with open_trace(path, "wt") as handle:
+        handle.write(text)
 
 
-def load_trace(path: PathLike) -> ItemList:
+def load_trace(path: PathLike) -> AnyItemList:
     """Read an instance written by :func:`save_trace`."""
     path = Path(path)
-    if path.suffix == ".json":
-        return from_json(path.read_text())
-    if path.suffix == ".csv":
-        return from_csv(path.read_text())
-    raise ValueError(f"unsupported trace extension: {path.suffix!r}")
+    suffix = trace_suffix(path)
+    if suffix not in (".json", ".csv"):
+        raise ValueError(f"unsupported trace extension: {suffix!r}")
+    with open_trace(path) as handle:
+        text = handle.read()
+    try:
+        if suffix == ".json":
+            return from_json(text)
+        if suffix == ".csv":
+            return from_csv(text)
+    except TraceFormatError as exc:
+        # attach the file name when the text-level parser had none
+        raise TraceFormatError(
+            exc.message, exc.source or str(path), exc.line, exc.field
+        ) from None
+    raise ValueError(f"unsupported trace extension: {suffix!r}")

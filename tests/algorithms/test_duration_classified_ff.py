@@ -1,0 +1,110 @@
+"""Differential tests for the indexed duration-classified First Fit.
+
+Two bit-identity pins, both acceptance criteria for the trace PR:
+
+- ``classes=1`` degenerates to plain First Fit **bit-for-bit** (same
+  bins, same placements, same float usage times) on both the indexed
+  and the reference path;
+- for every class count, the indexed path equals the reference scan —
+  the per-class segment trees are an optimisation, never a policy
+  change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    CLAIRVOYANT_REGISTRY,
+    DurationClassifiedFirstFit,
+    FirstFit,
+)
+from repro.core.items import Item, ItemList
+from repro.core.packing import run_packing
+from repro.workloads import poisson_workload
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def fingerprint(result):
+    """Everything a packing decides, floats uncoerced."""
+    return (
+        result.item_bin,
+        [
+            (b.index, b.opened_at, b.closed_at, b.usage_time)
+            for b in result.bins
+        ],
+    )
+
+
+def workload(seed, n=400):
+    return poisson_workload(n, seed=seed, mu_target=10.0, arrival_rate=6.0)
+
+
+class TestDegenerateClassEqualsFirstFit:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("indexed", (True, False))
+    def test_classes_1_is_plain_ff_bit_identical(self, seed, indexed):
+        items = workload(seed)
+        plain = run_packing(items, FirstFit(), indexed=indexed)
+        classified = run_packing(
+            items, DurationClassifiedFirstFit(classes=1), indexed=indexed
+        )
+        assert fingerprint(classified) == fingerprint(plain)
+
+
+class TestIndexedMatchesReference:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("classes", (2, 4, 8))
+    def test_differential(self, seed, classes):
+        items = workload(seed)
+        ref = run_packing(
+            items, DurationClassifiedFirstFit(classes=classes), indexed=False
+        )
+        idx = run_packing(
+            items, DurationClassifiedFirstFit(classes=classes), indexed=True
+        )
+        assert fingerprint(idx) == fingerprint(ref)
+
+
+class TestClassification:
+    def test_geometric_classes_clamped(self):
+        algo = DurationClassifiedFirstFit(classes=4, base=2.0, anchor=1.0)
+        assert algo.class_of(0.01) == 0   # below anchor clamps down
+        assert algo.class_of(1.0) == 0
+        assert algo.class_of(2.0) == 1
+        assert algo.class_of(4.0) == 2
+        assert algo.class_of(8.0) == 3
+        assert algo.class_of(1e9) == 3    # above range clamps up
+
+    def test_single_class_ignores_duration(self):
+        algo = DurationClassifiedFirstFit(classes=1)
+        assert algo.class_of(1e-9) == 0
+        assert algo.class_of(1e9) == 0
+
+    def test_items_share_bins_only_within_a_class(self):
+        items = ItemList(
+            [
+                Item(0, 0.3, 0.0, 1.5),    # class 0 (short)
+                Item(1, 0.3, 0.1, 40.0),   # class high (long)
+                Item(2, 0.3, 0.2, 1.6),    # short again — joins bin 0
+            ]
+        )
+        result = run_packing(
+            items, DurationClassifiedFirstFit(classes=4, anchor=1.0)
+        )
+        assert result.item_bin[0] == result.item_bin[2]
+        assert result.item_bin[1] != result.item_bin[0]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            DurationClassifiedFirstFit(classes=0)
+        with pytest.raises(ValueError):
+            DurationClassifiedFirstFit(base=1.0)
+        with pytest.raises(ValueError):
+            DurationClassifiedFirstFit(anchor=0.0)
+
+    def test_registered_as_clairvoyant(self):
+        algo = CLAIRVOYANT_REGISTRY["duration-classified-ff"]()
+        assert algo.clairvoyant
+        assert isinstance(algo, DurationClassifiedFirstFit)

@@ -4,7 +4,7 @@ Covers the refactor's equivalence guarantees:
 
 - golden tests pin the rendered output of representative experiments to
   their pre-refactor captures, byte for byte, through the spec runner,
-- the registry smoke suite runs all 26 specs under ``profile="smoke"``
+- the registry smoke suite runs all 27 specs under ``profile="smoke"``
   and round-trips every result through the JSON artifact format,
 - the cache serves a second run entirely from artifacts,
 - the report order follows the natural DESIGN.md index, and
@@ -105,7 +105,7 @@ class TestNaturalOrder:
             "F1", "F2", "F3", "F4", "F5-F6",
             "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
             "X1", "X2a", "X2b", "X2c", "X3", "X4", "X5", "X6",
-            "X7", "X8", "X9", "X10", "X11",
+            "X7", "X8", "X9", "X10", "X11", "X12",
         )
         # the historical bug: lexicographic order interleaves the index
         assert list(EXPERIMENT_ORDER) != sorted(EXPERIMENT_ORDER)

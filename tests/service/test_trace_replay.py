@@ -1,0 +1,131 @@
+"""Trace replay through the load generator, end to end.
+
+Library-level (converted Azure trace → ``run_loadgen(departs=True)`` on
+an ephemeral-port service) and CLI-level (``repro trace generate`` →
+``repro serve``/``repro loadgen --trace … --trace-schema azure
+--departs``, the replay recipe the docs show).  The core assertions:
+zero client errors, every submit matched by its depart, and the
+per-tenant table counting the two separately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.cli import main
+from repro.service import build_engine, run_loadgen
+from repro.traces import generate_azure_trace, load_items, normalize_items
+
+from .test_server_loadgen import serve_and_drive
+
+
+def converted_azure(tmp_path, n=120, seed=6):
+    raw = tmp_path / "az.csv"
+    generate_azure_trace(raw, n, seed=seed)
+    items, _ = load_items(raw, schema="azure")
+    items, _ = normalize_items(items)
+    return items
+
+
+class TestLibraryReplay:
+    def test_departs_replayed_and_counted(self, tmp_path):
+        items = converted_azure(tmp_path)
+        engine = build_engine(algorithm="first-fit", capacity=items.capacity)
+
+        async def scenario():
+            return await serve_and_drive(
+                engine,
+                lambda port: run_loadgen(
+                    items, port=port, shutdown=True, departs=True, tenants=4
+                ),
+            )
+
+        report, _ = asyncio.run(scenario())
+        assert report.errors == 0
+        assert report.jobs == len(items)
+        assert report.departs == len(items)
+        assert report.actions == {"placed": len(items)}
+        # per-tenant table: submits and departs tracked separately,
+        # and every tenant's submits eventually departed
+        assert sum(r["submits"] for r in report.per_tenant.values()) == len(items)
+        for row in report.per_tenant.values():
+            assert row["submits"] == row["departs"]
+        # explicit departs drained everything: the final drain adds no bins
+        assert report.drain["bins"] > 0
+        text = report.render()
+        assert f"{len(items)} jobs + {len(items)} departs" in text
+
+    def test_binary_pipelined_replay_matches_json(self, tmp_path):
+        items = converted_azure(tmp_path)
+
+        def run(protocol, **kw):
+            engine = build_engine(
+                algorithm="first-fit", capacity=items.capacity
+            )
+
+            async def scenario():
+                return await serve_and_drive(
+                    engine,
+                    lambda port: run_loadgen(
+                        items, port=port, shutdown=True, departs=True,
+                        protocol=protocol, **kw,
+                    ),
+                )
+
+            return asyncio.run(scenario())[0]
+
+        js = run("json")
+        binary = run("binary", batch=16, pipeline=4)
+        assert binary.errors == js.errors == 0
+        assert binary.jobs == js.jobs
+        assert binary.departs == js.departs
+        # both wire protocols drained to the identical packing
+        assert binary.drain == js.drain
+
+
+class TestCliReplay:
+    def test_trace_generate_serve_loadgen(self, tmp_path, capsys):
+        raw = tmp_path / "az.csv.gz"
+        port_file = tmp_path / "port.txt"
+        report_file = tmp_path / "replay.json"
+        assert main([
+            "trace", "generate", "--schema", "azure",
+            "--out", str(raw), "--n", "100", "--seed", "4",
+        ]) == 0
+        server = threading.Thread(
+            target=main,
+            args=(
+                ["serve", "--port", "0", "--port-file", str(port_file),
+                 "--quiet"],
+            ),
+            daemon=True,
+        )
+        server.start()
+        deadline = time.time() + 10
+        while not port_file.exists() and time.time() < deadline:
+            time.sleep(0.02)
+        assert port_file.exists(), "serve never wrote its port file"
+        port = port_file.read_text().strip()
+
+        rc = main([
+            "loadgen", "--port", port,
+            "--trace", str(raw), "--trace-schema", "azure", "--departs",
+            "--protocol", "binary", "--batch", "16", "--pipeline", "4",
+            "--tenants", "4", "--shutdown", "--json", str(report_file),
+        ])
+        assert rc == 0
+        server.join(timeout=10)
+        assert not server.is_alive()
+        out = capsys.readouterr().out
+        assert "trace: 100 jobs" in out
+        assert "100 jobs + 100 departs" in out
+        payload = json.loads(report_file.read_text())
+        assert payload["jobs"] == 100
+        assert payload["departs"] == 100
+        assert payload["errors"] == 0
+        assert sum(
+            r["submits"] for r in payload["per_tenant"].values()
+        ) == 100

@@ -27,10 +27,22 @@ from repro.bench import (
 )
 
 
+#: the trace-replay cells: {scalar, vector} × {trace, poisson baseline}
+TRACE_ROWS = 4
+
+TRACE_PATHS = {
+    "trace-replay",
+    "poisson-baseline",
+    "trace-replay-vector",
+    "poisson-baseline-vector",
+}
+
+
 def expected_rows(scalar_grid, vector_grid):
     return (
         len(scalar_grid) * len(ALGORITHMS) * 2
         + len(vector_grid) * len(VECTOR_ALGORITHMS) * 2
+        + TRACE_ROWS
     )
 
 
@@ -40,7 +52,11 @@ def test_quick_bench_structure(tmp_path):
     assert len(report.throughput) == expected_rows(QUICK_GRID, VECTOR_QUICK_GRID)
     for row in report.throughput:
         assert row["events_per_sec"] > 0
-        assert row["path"] in ("default", "reference")
+        assert row["path"] in {"default", "reference"} | TRACE_PATHS
+    trace_rows = [r for r in report.throughput if r["path"] in TRACE_PATHS]
+    assert {r["path"] for r in trace_rows} == TRACE_PATHS
+    for row in trace_rows:
+        assert row["instance"].startswith("trace-azure-")
     # two replay modes per grid cell, three WAL cells, four loopback
     # cells, and the router cells (direct baseline + quick shard counts)
     assert len(report.service) == (
@@ -73,7 +89,8 @@ def test_quick_bench_structure(tmp_path):
 def test_quick_bench_includes_vector_cells():
     report = run_bench(quick=True, repeats=1, montecarlo=False)
     vector_rows = [
-        r for r in report.throughput if r["algorithm"].startswith("vector-")
+        r for r in report.throughput
+        if r["algorithm"].startswith("vector-") and r["path"] not in TRACE_PATHS
     ]
     assert {r["algorithm"] for r in vector_rows} == set(VECTOR_ALGORITHMS)
     assert {r["path"] for r in vector_rows} == {"default", "reference"}

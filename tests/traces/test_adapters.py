@@ -1,0 +1,163 @@
+"""Golden tests: checked-in fixture slices → pinned adapter output.
+
+The fixtures in ``tests/data/traces`` are hand-written, one deliberately
+dirty record per failure class, so every counter in
+:class:`~repro.traces.AdapterStats` is exercised with an exact expected
+value — not just "some rows were skipped".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.items import ItemList
+from repro.multidim.items import VectorItemList
+from repro.traces import (
+    AdapterStats,
+    TraceFormatError,
+    detect_schema,
+    get_adapter,
+    load_items,
+)
+
+DATA = Path(__file__).resolve().parent.parent / "data" / "traces"
+AZURE = DATA / "azure_mini.csv"
+GOOGLE = DATA / "google_mini.csv"
+
+
+def quads(items):
+    return [(it.item_id, it.size, it.arrival, it.departure) for it in items]
+
+
+class TestAzureGolden:
+    def test_scalar_items_pinned(self):
+        items, stats = load_items(AZURE, schema="azure")
+        assert isinstance(items, ItemList)
+        assert quads(items) == [
+            (0, 0.25, 0.0, 1.5),
+            (1, 0.5, 0.25, 2.0),
+            (2, 0.125, 1.25, 4.0),
+        ]
+        assert stats.as_dict() == {
+            "records": 6,
+            "items": 3,
+            "malformed": 2,
+            "orphaned": 0,
+            "unfinished": 0,
+            "censored": 1,
+            "skip_reasons": {"core": 1, "endtime": 1},
+        }
+
+    def test_vector_items_pinned(self):
+        items, stats = load_items(AZURE, schema="azure", vector=True)
+        assert isinstance(items, VectorItemList)
+        assert items.capacity == (1.0, 1.0)
+        assert [it.sizes for it in items] == [
+            (0.25, 0.125),
+            (0.5, 0.25),
+            (0.125, 0.0625),
+        ]
+        assert stats.items == 3
+
+    def test_strict_raises_on_first_dirty_row(self):
+        with pytest.raises(TraceFormatError) as exc:
+            load_items(AZURE, schema="azure", strict=True)
+        assert exc.value.field == "core"
+        assert "azure_mini.csv" in str(exc.value)
+        assert exc.value.line == 6  # comment + header + 3 rows before vm-d
+
+    def test_censored_rows_skip_even_in_strict(self):
+        """Censoring is a property of the slice, not a defect in it."""
+        stats = AdapterStats(strict=True)
+        adapter = get_adapter("azure")
+        seen = []
+        with pytest.raises(TraceFormatError):
+            for item in adapter.iter_items(AZURE, stats):
+                seen.append(item.item_id)
+        # vm-c (censored, row before the strict failure) was skipped
+        assert stats.censored == 1
+        assert seen == [0, 1]
+
+
+class TestGoogleGolden:
+    def test_scalar_items_pinned(self):
+        items, stats = load_items(GOOGLE, schema="google")
+        # durations are inferred from SUBMIT/FINISH pairing, in seconds
+        assert quads(items) == [
+            (0, 0.25, 0.0, 1.0),
+            (1, 0.5, 0.5, 2.0),
+        ]
+        assert stats.as_dict() == {
+            "records": 10,
+            "items": 2,
+            "malformed": 2,
+            "orphaned": 1,
+            "unfinished": 1,
+            "censored": 0,
+            "skip_reasons": {"cpu_request": 1, "non-positive-duration": 1},
+        }
+
+    def test_vector_items_pinned(self):
+        items, _ = load_items(GOOGLE, schema="google", vector=True)
+        assert [it.sizes for it in items] == [(0.25, 0.125), (0.5, 0.25)]
+
+    def test_jsonl_framing_equivalent(self, tmp_path):
+        """The same events as JSONL parse to the identical instance."""
+        import csv as csv_mod
+        import json
+
+        rows = []
+        with open(GOOGLE) as f:
+            for line in f:
+                if not line.strip() or line.startswith("#"):
+                    continue
+                rows.append(next(csv_mod.reader([line])))
+        p = tmp_path / "mini.jsonl"
+        with open(p, "w") as f:
+            for row in rows:
+                f.write(json.dumps(dict(zip(
+                    ("timestamp", "missing_info", "job_id", "task_index",
+                     "machine_id", "event_type", "user", "scheduling_class",
+                     "priority", "cpu_request", "memory_request",
+                     "disk_request", "different_machine"), row))) + "\n")
+        csv_items, csv_stats = load_items(GOOGLE, schema="google")
+        jl_items, jl_stats = load_items(p, schema="google")
+        assert quads(csv_items) == quads(jl_items)
+        assert csv_stats.as_dict() == jl_stats.as_dict()
+
+
+class TestDetection:
+    def test_fixture_schemas_detected(self):
+        assert detect_schema(AZURE).name == "azure"
+        assert detect_schema(GOOGLE).name == "google"
+
+    def test_unknown_schema_named_in_error(self):
+        with pytest.raises(ValueError) as exc:
+            get_adapter("borg")
+        assert "azure" in str(exc.value) and "google" in str(exc.value)
+
+    def test_undetectable_file_raises(self, tmp_path):
+        p = tmp_path / "mystery.csv"
+        p.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(TraceFormatError) as exc:
+            detect_schema(p)
+        assert "--schema" in str(exc.value)
+
+    def test_empty_file_raises(self, tmp_path):
+        p = tmp_path / "empty.csv"
+        p.write_text("")
+        with pytest.raises(TraceFormatError):
+            detect_schema(p)
+
+    def test_gzipped_fixture_detects_and_loads_identically(self, tmp_path):
+        import gzip
+
+        p = tmp_path / "azure_mini.csv.gz"
+        with gzip.open(p, "wt") as f:
+            f.write(AZURE.read_text())
+        assert detect_schema(p).name == "azure"
+        plain, _ = load_items(AZURE, schema="azure")
+        zipped, _ = load_items(p, schema="azure")
+        assert quads(plain) == quads(zipped)

@@ -1,0 +1,124 @@
+"""CLI-level tests for the ``repro trace`` command group.
+
+The full conversion pipeline the README documents: generate a seeded
+synthetic trace file, inspect it, thin it, convert it to the internal
+format, then pack the converted instance with ``repro run``-style flow
+(``repro pack``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.workloads.traces import load_trace
+
+
+class TestGenerate:
+    def test_generate_then_info(self, tmp_path, capsys):
+        out = tmp_path / "az.csv"
+        assert main([
+            "trace", "generate", "--schema", "azure",
+            "--out", str(out), "--n", "150", "--seed", "5",
+            "--censored", "0.1", "--malformed", "0.05",
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["trace", "info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "schema: azure" in info
+        assert "records: 150" in info
+        assert "mu:" in info and "time-space demand:" in info
+
+    def test_generate_google_and_detect(self, tmp_path, capsys):
+        out = tmp_path / "goog.csv.gz"
+        assert main([
+            "trace", "generate", "--schema", "google",
+            "--out", str(out), "--n", "200", "--seed", "5",
+            "--orphaned", "0.05",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "schema: google" in info
+        assert "orphaned:" in info
+
+
+class TestConvert:
+    def test_convert_to_internal_then_pack(self, tmp_path, capsys):
+        raw = tmp_path / "az.csv"
+        internal = tmp_path / "az.json"
+        main(["trace", "generate", "--schema", "azure",
+              "--out", str(raw), "--n", "120", "--seed", "2"])
+        assert main([
+            "trace", "convert", str(raw), "--out", str(internal),
+        ]) == 0
+        assert "converted 120 -> kept 120 items" in capsys.readouterr().out
+        items = load_trace(internal)
+        assert len(items) == 120
+        assert items[0].arrival == 0.0  # rebased
+        # the converted instance is a first-class internal trace
+        assert main(["pack", str(internal), "--algorithm", "first-fit"]) == 0
+        assert "bins" in capsys.readouterr().out
+
+    def test_convert_with_sample_and_window(self, tmp_path, capsys):
+        raw = tmp_path / "az.csv"
+        internal = tmp_path / "thin.json"
+        main(["trace", "generate", "--schema", "azure",
+              "--out", str(raw), "--n", "300", "--seed", "2"])
+        capsys.readouterr()
+        assert main([
+            "trace", "convert", str(raw), "--out", str(internal),
+            "--sample", "0.5", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sampled out" in out
+        kept = len(load_trace(internal))
+        assert 0 < kept < 300
+
+    def test_convert_vector_json(self, tmp_path):
+        raw = tmp_path / "az.csv"
+        internal = tmp_path / "vec.json"
+        main(["trace", "generate", "--schema", "azure",
+              "--out", str(raw), "--n", "50", "--seed", "2"])
+        assert main([
+            "trace", "convert", str(raw), "--out", str(internal), "--vector",
+        ]) == 0
+        doc = json.loads(internal.read_text())
+        assert doc["capacity"] == [1.0, 1.0]
+        assert "sizes" in doc["items"][0]
+        vec = load_trace(internal)
+        assert vec.capacity == (1.0, 1.0)
+
+    def test_strict_mode_fails_on_dirty_trace(self, tmp_path, capsys):
+        raw = tmp_path / "dirty.csv"
+        main(["trace", "generate", "--schema", "azure",
+              "--out", str(raw), "--n", "100", "--seed", "2",
+              "--malformed", "0.2"])
+        capsys.readouterr()
+        rc = main(["trace", "convert", str(raw),
+                   "--out", str(tmp_path / "x.json"), "--strict"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "line" in err  # the error names where the defect is
+
+
+class TestSample:
+    def test_sample_thins_in_schema(self, tmp_path, capsys):
+        raw = tmp_path / "az.csv"
+        thin = tmp_path / "thin.csv"
+        main(["trace", "generate", "--schema", "azure",
+              "--out", str(raw), "--n", "200", "--seed", "3"])
+        capsys.readouterr()
+        assert main([
+            "trace", "sample", str(raw), "--out", str(thin),
+            "--fraction", "0.25", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kept" in out and "azure" in out
+        # output is still loadable in the same schema
+        assert main(["trace", "info", str(thin), "--schema", "azure"]) == 0
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["trace", "info", str(tmp_path / "nope.csv")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

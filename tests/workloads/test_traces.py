@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.items import Item, ItemList
 from repro.workloads.traces import (
+    TraceFormatError,
     from_csv,
     from_json,
     load_trace,
@@ -75,3 +76,80 @@ class TestFiles:
             save_trace(sample(), tmp_path / "trace.parquet")
         with pytest.raises(ValueError):
             load_trace(tmp_path / "trace.parquet")
+
+
+class TestFormatErrors:
+    """Satellite of the trace PR: parse failures name line and field."""
+
+    def test_csv_bad_value_names_line_and_field(self):
+        text = "id,size,arrival,departure\n0,0.5,0.0,2.0\n1,huge,1.0,3.0\n"
+        with pytest.raises(TraceFormatError) as exc:
+            from_csv(text)
+        assert exc.value.line == 3
+        assert exc.value.field == "size"
+        assert "line 3" in str(exc.value) and "'size'" in str(exc.value)
+
+    def test_csv_missing_column_rejected_up_front(self):
+        with pytest.raises(TraceFormatError) as exc:
+            from_csv("id,size,arrival\n0,0.5,0.0\n")
+        assert "departure" in str(exc.value)
+
+    def test_csv_bad_capacity_comment(self):
+        with pytest.raises(TraceFormatError) as exc:
+            from_csv("# capacity=lots\nid,size,arrival,departure\n")
+        assert exc.value.field == "capacity"
+
+    def test_json_malformed_document(self):
+        with pytest.raises(TraceFormatError):
+            from_json("{not json")
+        with pytest.raises(TraceFormatError):
+            from_json('{"capacity": 1.0}')
+
+    def test_json_bad_record_names_index(self):
+        doc = ('{"items": [{"id": 0, "size": 0.5, "arrival": 0, '
+               '"departure": 1}, {"id": 1, "arrival": 0, "departure": 1}]}')
+        with pytest.raises(TraceFormatError) as exc:
+            from_json(doc)
+        assert "items[1]" in str(exc.value)
+
+    def test_load_trace_attaches_the_path(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("id,size,arrival,departure\n0,nope,0.0,1.0\n")
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(p)
+        assert str(p) in str(exc.value)
+        assert exc.value.line == 2
+
+    def test_error_is_still_a_value_error(self):
+        with pytest.raises(ValueError):
+            from_csv("id,size,arrival,departure\n0,x,0.0,1.0\n")
+
+
+class TestVectorAndGzip:
+    def test_vector_json_roundtrip(self):
+        from repro.multidim.items import VectorItem, VectorItemList
+
+        vec = VectorItemList(
+            [VectorItem(0, (0.5, 0.25), 0.0, 2.0),
+             VectorItem(1, (0.25, 0.5), 1.0, 3.0)],
+            capacity=(1.0, 1.0),
+        )
+        back = from_json(to_json(vec))
+        assert isinstance(back, VectorItemList)
+        assert back.capacity == (1.0, 1.0)
+        assert [it.sizes for it in back] == [(0.5, 0.25), (0.25, 0.5)]
+
+    def test_vector_csv_rejected_with_guidance(self):
+        from repro.multidim.items import VectorItem, VectorItemList
+
+        vec = VectorItemList([VectorItem(0, (0.5,), 0.0, 1.0)], capacity=(1.0,))
+        with pytest.raises(TraceFormatError) as exc:
+            to_csv(vec)
+        assert "JSON" in str(exc.value)
+
+    def test_gzipped_roundtrip_both_formats(self, tmp_path):
+        for name in ("t.json.gz", "t.csv.gz"):
+            p = tmp_path / name
+            save_trace(sample(), p)
+            assert p.read_bytes()[:2] == b"\x1f\x8b"  # really gzipped
+            assert items_equal(sample(), load_trace(p))
