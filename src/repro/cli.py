@@ -312,11 +312,69 @@ def build_parser() -> argparse.ArgumentParser:
         "(chaos testing; repeatable)",
     )
     p_fleet.add_argument(
+        "--router-fault-plan", default=None, metavar="PATH",
+        help="arm the plan's net faults (delay/drop/truncate/reorder/"
+        "partition, keyed by backend-<k> link name) on the router's "
+        "worker links (chaos testing)",
+    )
+    p_fleet.add_argument(
+        "--probe-interval", type=float, default=0.0,
+        help="seconds between health probes of each worker "
+        "(0 = probing disabled, the default)",
+    )
+    p_fleet.add_argument(
+        "--probe-timeout", type=float, default=1.0,
+        help="seconds a health probe may take before it counts as missed "
+        "(default 1.0)",
+    )
+    p_fleet.add_argument(
+        "--probe-misses", type=_positive_int, default=3,
+        help="consecutive missed probes before a worker is declared hung "
+        "and restarted (default 3)",
+    )
+    p_fleet.add_argument(
+        "--breaker-window", type=_positive_int, default=20,
+        help="per-shard circuit breaker: sliding window of recent "
+        "outcomes (default 20)",
+    )
+    p_fleet.add_argument(
+        "--breaker-threshold", type=float, default=0.5,
+        help="failure rate over the window that opens the breaker "
+        "(default 0.5)",
+    )
+    p_fleet.add_argument(
+        "--breaker-cooldown", type=float, default=1.0,
+        help="seconds an open breaker waits before half-open probing "
+        "(default 1.0)",
+    )
+    p_fleet.add_argument(
+        "--degraded", choices=["failfast", "queue"], default="failfast",
+        help="what an open breaker does with requests: answer "
+        "shard_unavailable immediately (failfast, the default) or park "
+        "them until the breaker closes (queue)",
+    )
+    p_fleet.add_argument(
         "--uvloop", action="store_true",
         help="use the uvloop event loop if installed (warns and falls "
         "back to asyncio otherwise)",
     )
     p_fleet.add_argument("--quiet", action="store_true")
+
+    p_wal = sub.add_parser(
+        "wal", help="offline write-ahead-log maintenance tools"
+    )
+    wal_sub = p_wal.add_subparsers(dest="wal_command", required=True)
+    w_verify = wal_sub.add_parser(
+        "verify",
+        help="integrity-scan a WAL dir without booting an engine: "
+        "record CRCs, sequence gaps, torn tails, checkpoint "
+        "readability, MANIFEST fingerprint (rc 0 clean, 1 problems)",
+    )
+    w_verify.add_argument("wal_dir", help="the service's --wal-dir")
+    w_verify.add_argument(
+        "--json", default=None,
+        help="write the scan report here ('-' for stdout)",
+    )
 
     p_recover = sub.add_parser(
         "recover",
@@ -399,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--tenants", type=int, default=0,
         help="rewrite job ids into N stable per-tenant key streams and "
         "report the fleet router's per-shard request counts (0 = off)",
+    )
+    p_load.add_argument(
+        "--deadline-ms", type=float, default=0.0,
+        help="attach an end-to-end deadline budget (milliseconds) to "
+        "every request; each hop spends from it and an exhausted budget "
+        "answers deadline_exceeded (0 = no deadline, the default)",
     )
     p_load.add_argument(
         "--uvloop", action="store_true",
@@ -786,6 +850,22 @@ def cmd_fleet(args) -> int:
     ]
     if args.reference:
         serve_args.append("--reference")
+    router_kwargs = {
+        "degraded": args.degraded,
+        "breaker_window": args.breaker_window,
+        "breaker_threshold": args.breaker_threshold,
+        "breaker_cooldown": args.breaker_cooldown,
+    }
+    if args.router_fault_plan:
+        from .service import FaultInjector, FaultPlan
+
+        try:
+            router_kwargs["fault_injector"] = FaultInjector(
+                FaultPlan.from_file(args.router_fault_plan)
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: bad router fault plan: {exc}", file=sys.stderr)
+            return 2
     supervisor = FleetSupervisor(
         args.shards,
         args.wal_dir,
@@ -794,6 +874,10 @@ def cmd_fleet(args) -> int:
         serve_args=serve_args,
         fault_plans=fault_plans,
         quiet=args.quiet,
+        probe_interval=args.probe_interval,
+        probe_timeout=args.probe_timeout,
+        probe_misses=args.probe_misses,
+        router_kwargs=router_kwargs,
     )
     _maybe_uvloop(args.uvloop)
     try:
@@ -810,6 +894,54 @@ def cmd_fleet(args) -> int:
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def cmd_wal(args) -> int:
+    import json
+
+    from .service.wal import verify_wal_dir
+
+    if args.wal_command != "verify":  # pragma: no cover - argparse enforces
+        raise AssertionError(f"unhandled wal command {args.wal_command}")
+    report = verify_wal_dir(args.wal_dir)
+    if args.json:
+        blob = json.dumps(report, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(blob)
+        else:
+            with open(args.json, "w") as f:
+                f.write(blob)
+    if args.json != "-":
+        seg_count = len(report["segments"])
+        ckpt_ok = sum(1 for c in report["checkpoints"] if c["ok"])
+        print(
+            f"wal verify {report['directory']}: {report['records']} records "
+            f"in {seg_count} segment(s), seq "
+            f"{report['first_seq'] or 0}..{report['last_seq'] or 0}"
+        )
+        print(
+            f"checkpoints: {ckpt_ok}/{len(report['checkpoints'])} loadable; "
+            f"manifest: "
+            + (
+                "absent"
+                if not report["manifest"]["present"]
+                else "fingerprint "
+                + {
+                    True: "ok",
+                    False: "MISMATCH",
+                    None: "not recorded",
+                }[report["manifest"]["fingerprint_ok"]]
+            )
+        )
+        if report["torn_tail_bytes"]:
+            print(
+                f"torn tail: {report['torn_tail_bytes']} bytes "
+                f"(recovery truncates these)"
+            )
+        for line in report["errors"]:
+            print(f"problem: {line}")
+        print("clean" if report["ok"] else f"{len(report['errors'])} problem(s)")
+    return 0 if report["ok"] else 1
 
 
 def cmd_recover(args) -> int:
@@ -893,6 +1025,7 @@ def cmd_loadgen(args) -> int:
             batch=args.batch,
             tenants=args.tenants,
             departs=args.departs,
+            deadline_ms=args.deadline_ms,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1035,6 +1168,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_serve(args)
     if args.command == "fleet":
         return cmd_fleet(args)
+    if args.command == "wal":
+        return cmd_wal(args)
     if args.command == "recover":
         return cmd_recover(args)
     if args.command == "loadgen":

@@ -25,8 +25,26 @@ Plan format (all fields optional)::
       "io_error_rate": 0.01,           // P[OSError] per WAL write/fsync
       "clock_skew": 0.5,               // +/- uniform skew on client times
       "delay_ms": 5.0,                 // max server-side reply delay
-      "drop_rate": 0.02                // P[close connection before reply]
+      "drop_rate": 0.02,               // P[close connection before reply]
+      "hang": {"request": 50},         // stop answering at the 50th request
+      "net": {                         // per-link transport faults
+        "backend-1": {
+          "delay_ms": 5.0,             //   max per-frame delay (virtual clock)
+          "drop_rate": 0.02,           //   P[discard frame + close connection]
+          "truncate_rate": 0.01,       //   P[write half the frame + close]
+          "reorder_rate": 0.05,        //   P[hold a reply back one slot]
+          "partition": [10, 20]        //   refuse hits 10..19 (then heal)
+        }
+      }
     }
+
+A ``hang`` differs from a ``kill``: the process stays *alive* but stops
+answering — the supervisor's liveness poll sees a running process, so
+only the health-probe path (missed-probe threshold) can detect and
+restart it.  ``net`` faults are transport-level and live in the
+*clients* of a link (the router's backend links, the load generator):
+each named link draws from its own ``Random(f"{seed}:{name}")`` stream,
+so one link's faults never shift another's schedule.
 
 Named points currently wired: ``wal.write`` / ``wal.fsync`` (inside
 :class:`~repro.service.wal.WriteAheadLog`), ``wal.appended`` /
@@ -45,7 +63,14 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 import random
 
-__all__ = ["FaultInjected", "KillPoint", "FaultPlan", "FaultInjector"]
+__all__ = [
+    "FaultInjected", "KillPoint", "FaultPlan", "FaultInjector", "LinkFaults",
+]
+
+#: fields a per-link ``net`` spec may carry
+_NET_FIELDS = {
+    "delay_ms", "drop_rate", "truncate_rate", "reorder_rate", "partition",
+}
 
 
 class FaultInjected(Exception):
@@ -75,6 +100,10 @@ class FaultPlan:
     delay_ms: float = 0.0
     #: probability the server drops the connection instead of replying
     drop_rate: float = 0.0
+    #: point name -> 1-based hit count at which the process hangs forever
+    hang: dict[str, int] = field(default_factory=dict)
+    #: link name -> transport fault spec (see :class:`LinkFaults`)
+    net: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for name, rate in (
@@ -89,20 +118,47 @@ class FaultPlan:
         ):
             if value < 0:
                 raise ValueError(f"{name} must be >= 0, got {value}")
-        for point, hit in self.kill.items():
-            if int(hit) < 1:
-                raise ValueError(f"kill[{point!r}] must be >= 1, got {hit}")
+        for label, points in (("kill", self.kill), ("hang", self.hang)):
+            for point, hit in points.items():
+                if int(hit) < 1:
+                    raise ValueError(
+                        f"{label}[{point!r}] must be >= 1, got {hit}"
+                    )
+        for link, spec in self.net.items():
+            unknown = sorted(set(spec) - _NET_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"net[{link!r}] has unknown fields: {', '.join(unknown)}"
+                )
+            for rate_name in ("drop_rate", "truncate_rate", "reorder_rate"):
+                rate = float(spec.get(rate_name, 0.0))
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"net[{link!r}].{rate_name} must be in [0, 1], got {rate}"
+                    )
+            if float(spec.get("delay_ms", 0.0)) < 0:
+                raise ValueError(f"net[{link!r}].delay_ms must be >= 0")
+            partition = spec.get("partition")
+            if partition is not None:
+                start, stop = partition
+                if int(start) < 1 or int(stop) <= int(start):
+                    raise ValueError(
+                        f"net[{link!r}].partition must be [start >= 1, "
+                        f"stop > start], got {partition!r}"
+                    )
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "FaultPlan":
         known = {
             "seed", "kill", "torn_tail", "torn_reply", "io_error_rate",
-            "clock_skew", "delay_ms", "drop_rate",
+            "clock_skew", "delay_ms", "drop_rate", "hang", "net",
         }
         unknown = sorted(set(doc) - known)
         if unknown:
             raise ValueError(f"unknown fault-plan fields: {', '.join(unknown)}")
         kill = {str(k): int(v) for k, v in dict(doc.get("kill", {})).items()}
+        hang = {str(k): int(v) for k, v in dict(doc.get("hang", {})).items()}
+        net = {str(k): dict(v) for k, v in dict(doc.get("net", {})).items()}
         return cls(
             seed=int(doc.get("seed", 0)),
             kill=kill,
@@ -112,6 +168,8 @@ class FaultPlan:
             clock_skew=float(doc.get("clock_skew", 0.0)),
             delay_ms=float(doc.get("delay_ms", 0.0)),
             drop_rate=float(doc.get("drop_rate", 0.0)),
+            hang=hang,
+            net=net,
         )
 
     @classmethod
@@ -138,6 +196,8 @@ class FaultInjector:
         self.hits: dict[str, int] = {}
         self.injected_io_errors = 0
         self.kills = 0
+        #: latched once a hang point fires; the process never answers again
+        self.hung = False
 
     # -- kill-points ----------------------------------------------------------
     def point(self, name: str) -> None:
@@ -147,6 +207,34 @@ class FaultInjector:
         if self.plan.kill.get(name) == count:
             self.kills += 1
             raise KillPoint(f"injected kill at {name} (hit {count})")
+
+    # -- hang points ----------------------------------------------------------
+    def hang_point(self, name: str) -> bool:
+        """Register a hit at a named hang point.
+
+        Returns ``True`` once the plan's threshold is reached — and on
+        every call thereafter: a hung process never recovers on its own,
+        only an external restart (the supervisor's health prober) clears
+        it.  The caller is expected to await forever while this is true.
+        """
+        if self.hung:
+            return True
+        threshold = self.plan.hang.get(name)
+        if threshold is None:
+            return False
+        count = self.hits.get(f"hang.{name}", 0) + 1
+        self.hits[f"hang.{name}"] = count
+        if count >= threshold:
+            self.hung = True
+        return self.hung
+
+    # -- link faults ----------------------------------------------------------
+    def link(self, name: str) -> Optional["LinkFaults"]:
+        """The transport fault stream for a named link, if the plan has one."""
+        spec = self.plan.net.get(name)
+        if spec is None:
+            return None
+        return LinkFaults(name, spec, self.plan.seed)
 
     # -- WAL io_hook contract -------------------------------------------------
     def __call__(self, op: str, seq: int) -> Optional[str]:
@@ -206,3 +294,100 @@ class FaultInjector:
         if not self.plan.clock_skew:
             return t
         return t + self.rng.uniform(-self.plan.clock_skew, self.plan.clock_skew)
+
+
+class LinkFaults:
+    """Deterministic transport faults for one named link.
+
+    Lives on the *client* side of a connection (a router backend link,
+    the load generator's socket) and is consulted before every connect
+    and send.  Each link draws from its own ``Random(f"{seed}:{name}")``
+    stream so fault schedules are independent per link and reproducible
+    per seed.
+
+    Fault semantics are chosen so the exactly-once machinery above the
+    transport stays sound:
+
+    - **drop** / **truncate** discard (or half-write) the frame *and
+      sever the connection*.  A silently swallowed frame would desync
+      the FIFO request/response matching that pipelined links rely on;
+      a severed connection triggers the normal reconnect + resend-window
+      + idempotency path, which is exactly the failure the resilience
+      layer must absorb.
+    - **delay** is accounted on a virtual clock (:attr:`virtual_delay_s`)
+      and the caller yields to the event loop, so chaos suites measure
+      injected latency without wall-clock sleeps.
+    - **partition** refuses connects/sends for a window of hits
+      ``[start, stop)`` — the link heals itself once reconnect attempts
+      advance the hit counter past ``stop``.
+    """
+
+    def __init__(self, name: str, spec: dict[str, Any], seed: int):
+        self.name = name
+        self.rng = random.Random(f"{seed}:{name}")
+        self.delay_ms = float(spec.get("delay_ms", 0.0))
+        self.drop_rate = float(spec.get("drop_rate", 0.0))
+        self.truncate_rate = float(spec.get("truncate_rate", 0.0))
+        self.reorder_rate = float(spec.get("reorder_rate", 0.0))
+        partition = spec.get("partition")
+        self.partition: Optional[tuple[int, int]] = (
+            (int(partition[0]), int(partition[1])) if partition else None
+        )
+        #: hits against the partition window (connects + sends)
+        self.partition_hits = 0
+        #: injected latency, accumulated on a virtual clock (seconds)
+        self.virtual_delay_s = 0.0
+        self.dropped = 0
+        self.truncated = 0
+        self.reordered = 0
+        self.partition_refusals = 0
+
+    def partitioned(self) -> bool:
+        """Advance the partition hit counter; ``True`` while inside the window."""
+        if self.partition is None:
+            return False
+        self.partition_hits += 1
+        start, stop = self.partition
+        if start <= self.partition_hits < stop:
+            self.partition_refusals += 1
+            return True
+        return False
+
+    def connect_check(self) -> None:
+        """Raise ``ConnectionRefusedError`` while the link is partitioned."""
+        if self.partitioned():
+            raise ConnectionRefusedError(
+                f"injected partition on link {self.name!r} "
+                f"(hit {self.partition_hits})"
+            )
+
+    def send_fate(self) -> tuple[str, float]:
+        """Fate of the next outgoing frame: ``(verdict, delay_seconds)``.
+
+        ``verdict`` is ``"ok"``, ``"drop"`` (discard + sever), or
+        ``"truncate"`` (half-write + sever).  The delay component is
+        charged to :attr:`virtual_delay_s` by the caller.
+        """
+        delay = 0.0
+        if self.delay_ms:
+            delay = self.rng.uniform(0.0, self.delay_ms) / 1e3
+            self.virtual_delay_s += delay
+        if self.drop_rate and self.rng.random() < self.drop_rate:
+            self.dropped += 1
+            return "drop", delay
+        if self.truncate_rate and self.rng.random() < self.truncate_rate:
+            self.truncated += 1
+            return "truncate", delay
+        return "ok", delay
+
+    def reorder(self) -> bool:
+        """Whether to hold the next inbound reply back one slot.
+
+        Only safe on links whose consumer tallies replies order-
+        independently (the load generator); never applied to the
+        router's backend links, whose FIFO matching is order-critical.
+        """
+        if self.reorder_rate and self.rng.random() < self.reorder_rate:
+            self.reordered += 1
+            return True
+        return False

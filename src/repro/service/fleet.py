@@ -19,6 +19,14 @@ supervisor spawns N ``repro serve`` worker processes (each a
   checkpoints it, stops the worker, boots a replacement on the same
   directory, and repoints the link — the drain/checkpoint/restore move
   behind one pause gate, losing no accepted request.
+- **Health probing.**  With ``probe_interval > 0`` the supervisor sends
+  a cheap ``health`` op down each shard's control lane every interval.
+  A worker that misses ``probe_misses`` consecutive probes (each bounded
+  by ``probe_timeout``) is declared *hung* — alive as a process but not
+  answering — and is killed and respawned on its WAL directory through
+  the same redirect machinery the crash path uses.  The control lane
+  bypasses the circuit breaker on purpose: a shard the breaker has
+  written off is exactly the one that needs probing.
 
 Worker stdout/stderr are inherited, so ``--fault-plan`` kill messages
 and recovery reports land in the fleet's own log stream.
@@ -63,9 +71,19 @@ class FleetSupervisor:
         quiet: bool = True,
         spawn_deadline: float = 20.0,
         reconnect_wait: float = 30.0,
+        probe_interval: float = 0.0,
+        probe_timeout: float = 1.0,
+        probe_misses: int = 3,
+        router_kwargs: Optional[dict] = None,
     ):
         if shards < 1:
             raise ValueError(f"fleet needs at least one shard, got {shards}")
+        if probe_interval < 0:
+            raise ValueError(f"probe_interval must be >= 0, got {probe_interval}")
+        if probe_timeout <= 0:
+            raise ValueError(f"probe_timeout must be > 0, got {probe_timeout}")
+        if probe_misses < 1:
+            raise ValueError(f"probe_misses must be >= 1, got {probe_misses}")
         self.num_shards = shards
         self.wal_root = wal_root
         self.host = host
@@ -74,9 +92,16 @@ class FleetSupervisor:
         self.fault_plans = dict(fault_plans or {})
         self.spawn_deadline = spawn_deadline
         self.reconnect_wait = reconnect_wait
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.probe_misses = probe_misses
+        self.router_kwargs = dict(router_kwargs or {})
         self.procs: list[Optional[subprocess.Popen]] = [None] * shards
         self.ports: list[int] = [0] * shards
         self.restarts: list[int] = [0] * shards
+        self.probe_missed: list[int] = [0] * shards
+        self.probe_restarts: list[int] = [0] * shards
+        self.last_health: list[Optional[dict]] = [None] * shards
         self.router: Optional[ShardRouter] = None
         self._moving = [False] * shards  # handoff in progress: monitor, hands off
         self._stopping = False
@@ -195,6 +220,72 @@ class FleetSupervisor:
                 )
                 await self.router.redirect_shard(index, self.host, port)
 
+    async def probe_shard(self, index: int) -> bool:
+        """One health probe of shard ``index``; ``True`` if it answered.
+
+        A miss bumps the consecutive-miss counter (and the router's
+        shard-labelled ``probe_failures`` metric); hitting
+        ``probe_misses`` declares the worker hung and restarts it even
+        though the process is still alive.
+        """
+        assert self.router is not None
+        if self._moving[index]:
+            return True  # a handoff owns the shard; don't fight it
+        try:
+            doc = await asyncio.wait_for(
+                self.router.shard_control(index, {"op": "health"}),
+                self.probe_timeout,
+            )
+            healthy = bool(doc.get("ok"))
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            healthy = False
+            doc = None
+        if healthy:
+            self.probe_missed[index] = 0
+            self.last_health[index] = doc.get("health") if doc else None
+            return True
+        self.probe_missed[index] += 1
+        self.router.probe_failures[index] += 1
+        if self.probe_missed[index] >= self.probe_misses:
+            await self._restart_hung(index)
+        return False
+
+    async def _restart_hung(self, index: int) -> None:
+        """Kill and respawn a worker that stopped answering probes."""
+        if self._moving[index]:
+            return
+        self._moving[index] = True  # keep _monitor off the carcass
+        try:
+            if not self.quiet:
+                print(
+                    f"repro fleet: shard {index} missed "
+                    f"{self.probe_missed[index]} health probes; restarting "
+                    f"hung worker on {self.shard_dir(index)}"
+                )
+            proc = self.procs[index]
+            loop = asyncio.get_event_loop()
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                await loop.run_in_executor(None, proc.wait)
+            port = await loop.run_in_executor(None, self.spawn, index)
+            await self.router.redirect_shard(index, self.host, port)
+            self.restarts[index] += 1
+            self.probe_restarts[index] += 1
+            self.probe_missed[index] = 0
+        finally:
+            self._moving[index] = False
+
+    async def _prober(self) -> None:
+        """Periodic health sweep over every shard."""
+        while True:
+            await asyncio.sleep(self.probe_interval)
+            if self._stopping:
+                return
+            for index in range(self.num_shards):
+                if self._stopping:
+                    return
+                await self.probe_shard(index)
+
     async def handoff(self, index: int) -> dict:
         """Drain → checkpoint → restart on the same WAL dir → repoint.
 
@@ -250,8 +341,10 @@ class FleetSupervisor:
             quiet=self.quiet,
             reconnect_wait=self.reconnect_wait,
             handoff_callback=self.handoff,
+            **self.router_kwargs,
         )
         monitor: Optional[asyncio.Task] = None
+        prober: Optional[asyncio.Task] = None
         try:
             await self.router.connect()
             bound = await self.router.start(front_host, front_port)
@@ -259,13 +352,17 @@ class FleetSupervisor:
                 with open(port_file, "w") as f:
                     f.write(f"{bound}\n")
             monitor = asyncio.ensure_future(self._monitor())
+            if self.probe_interval > 0:
+                prober = asyncio.ensure_future(self._prober())
             await self.router.wait_closed()
         finally:
             self._stopping = True
-            if monitor is not None:
-                monitor.cancel()
+            for task in (monitor, prober):
+                if task is None:
+                    continue
+                task.cancel()
                 try:
-                    await monitor
+                    await task
                 except (asyncio.CancelledError, Exception):
                     pass
             await asyncio.get_event_loop().run_in_executor(

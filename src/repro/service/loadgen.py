@@ -61,6 +61,7 @@ from typing import Optional
 
 from ..core.items import ItemList
 from . import protocol as wire
+from .faults import LinkFaults
 
 __all__ = [
     "LoadgenReport",
@@ -150,9 +151,21 @@ class LoadgenReport:
     wall_seconds: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
     drain: dict = field(default_factory=dict)
+    #: every failed outcome, whatever its class (the breakouts below
+    #: are sub-counts of this total)
     errors: int = 0
     retries: int = 0
     reconnects: int = 0
+    #: client-side waits that expired with no reply at all
+    timeouts: int = 0
+    #: replies refused by an open circuit breaker (``"breaker": "open"``)
+    breaker_rejected: int = 0
+    #: replies with ``error_type == "deadline_exceeded"``
+    deadline_exceeded: int = 0
+    #: outcome class -> latencies (ms); classes: ok, error,
+    #: breaker_rejected, deadline_exceeded.  Timeouts have no latency —
+    #: nothing came back to measure.
+    class_latencies: dict[str, list[float]] = field(default_factory=dict)
     #: shard index -> job ops routed there (fleet runs with ``tenants``;
     #: empty against a plain single-process server)
     per_shard: dict[str, int] = field(default_factory=dict)
@@ -170,11 +183,24 @@ class LoadgenReport:
             return 0.0
         return (self.jobs + self.departs) / self.wall_seconds
 
+    def note_outcome(self, cls: str, latency_ms: Optional[float]) -> None:
+        """File one response's latency under its outcome class."""
+        if latency_ms is not None:
+            self.class_latencies.setdefault(cls, []).append(latency_ms)
+
     def latency_percentile(self, q: float) -> float:
         """q-th latency percentile in milliseconds (nearest-rank)."""
-        if not self.latencies_ms:
+        return self._percentile(self.latencies_ms, q)
+
+    def class_percentile(self, cls: str, q: float) -> float:
+        """q-th latency percentile for one outcome class."""
+        return self._percentile(self.class_latencies.get(cls, ()), q)
+
+    @staticmethod
+    def _percentile(sample, q: float) -> float:
+        if not sample:
             return 0.0
-        ordered = sorted(self.latencies_ms)
+        ordered = sorted(sample)
         rank = min(len(ordered) - 1, max(0, int(q / 100.0 * len(ordered))))
         return ordered[rank]
 
@@ -195,6 +221,20 @@ class LoadgenReport:
         if self.retries or self.reconnects:
             lines.append(
                 f"retries: {self.retries} ({self.reconnects} reconnects)"
+            )
+        if self.timeouts or self.breaker_rejected or self.deadline_exceeded:
+            lines.append(
+                f"failure classes: timeouts={self.timeouts} "
+                f"breaker_rejected={self.breaker_rejected} "
+                f"deadline_exceeded={self.deadline_exceeded}"
+            )
+        if self.class_latencies:
+            lines.append(
+                "p99 ms by outcome: "
+                + ", ".join(
+                    f"{cls}={self.class_percentile(cls, 99):.3f}"
+                    for cls in sorted(self.class_latencies)
+                )
             )
         if self.drain:
             lines.append(
@@ -237,6 +277,17 @@ class LoadgenReport:
             "errors": self.errors,
             "retries": self.retries,
             "reconnects": self.reconnects,
+            "timeouts": self.timeouts,
+            "breaker_rejected": self.breaker_rejected,
+            "deadline_exceeded": self.deadline_exceeded,
+            "latency_ms_by_outcome": {
+                cls: {
+                    "count": len(sample),
+                    "p50": round(self.class_percentile(cls, 50), 3),
+                    "p99": round(self.class_percentile(cls, 99), 3),
+                }
+                for cls, sample in sorted(self.class_latencies.items())
+            },
             "per_shard": self.per_shard,
             "per_tenant": self.per_tenant,
         }
@@ -250,16 +301,40 @@ class _Connection:
     the same protocol the run started in.
     """
 
-    def __init__(self, host: str, port: int, timeout: float, protocol: str = "json"):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float,
+        protocol: str = "json",
+        faults: Optional[LinkFaults] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
         self.protocol = protocol
+        self.faults = faults
+        self.version = 1  # refined by the binary handshake ack
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
+        self._held: Optional[bytes] = None  # one reorder-delayed frame
+        self._fault_severed = False  # a send fate cut the link mid-window
 
     async def ensure(self) -> None:
+        if self._fault_severed:
+            # An injected drop/truncate closed the writer after frames
+            # were already queued as in-flight.  Reconnecting silently
+            # here would strand those frames: the pump would keep
+            # pipelining on the fresh socket and match replies to the
+            # wrong window slots.  Surface the severed link as the
+            # connection error a real half-open TCP link would raise, so
+            # the retry machinery resends the whole unacknowledged
+            # window.
+            self._fault_severed = False
+            raise ConnectionError("injected link fault severed the connection")
         if self.writer is None or self.writer.is_closing():
+            if self.faults is not None:
+                self.faults.connect_check()
             self.reader, self.writer = await asyncio.wait_for(
                 asyncio.open_connection(self.host, self.port), self.timeout
             )
@@ -276,11 +351,58 @@ class _Connection:
         ack = json.loads(line)
         if not ack.get("ok") or ack.get("protocol") != "binary":
             raise ConnectionError(f"binary handshake refused: {ack}")
+        try:
+            self.version = int(ack.get("version", 1))
+        except (TypeError, ValueError):
+            self.version = 1
+
+    def _faulty_write(self, data: bytes) -> bool:
+        """Apply the link's send fate; ``True`` if the data was sent.
+
+        Drops and truncations sever the connection instead of silently
+        skipping a frame — the retry machinery resends the whole
+        unacknowledged window, so the failure is visible and recoverable
+        exactly like a real half-open TCP link.
+        """
+        assert self.writer is not None
+        faults = self.faults
+        if faults is None:
+            self.writer.write(data)
+            return True
+        verdict, _delay = faults.send_fate()  # delay is virtual-clock only
+        if verdict == "drop":
+            self._fault_severed = True
+            self.writer.close()
+            return False
+        if verdict == "truncate":
+            self._fault_severed = True
+            self.writer.write(data[: max(1, len(data) // 2)])
+            self.writer.close()
+            return False
+        self.writer.write(data)
+        return True
 
     def send(self, payload: bytes) -> None:
         """Queue one binary frame (no flush — the caller drains)."""
         assert self.writer is not None
-        self.writer.write(wire.frame(payload))
+        data = wire.frame(payload)
+        faults = self.faults
+        if faults is not None and faults.reorder():
+            if self._held is None:
+                self._held = data  # the next frame will overtake this one
+                return
+            data, held = data + self._held, None
+            self._held = held
+        elif self._held is not None:
+            data += self._held
+            self._held = None
+        self._faulty_write(data)
+
+    def flush_held(self) -> None:
+        """Release a reorder-delayed frame at a window boundary."""
+        if self._held is not None and self.writer is not None:
+            held, self._held = self._held, None
+            self._faulty_write(held)
 
     async def read_frame(self) -> bytes:
         assert self.reader is not None
@@ -297,10 +419,11 @@ class _Connection:
         assert self.reader is not None and self.writer is not None
         if self.protocol == "binary":
             # control ops (drain, shutdown, ...) ride OP_JSON frames
-            self.writer.write(wire.frame(wire.encode_json_request(payload)))
+            self.flush_held()
+            self._faulty_write(wire.frame(wire.encode_json_request(payload)))
             await self.writer.drain()
             return wire.decode_response(await self.read_frame())
-        self.writer.write((json.dumps(payload) + "\n").encode())
+        self._faulty_write((json.dumps(payload) + "\n").encode())
         await self.writer.drain()
         line = await asyncio.wait_for(self.reader.readline(), self.timeout)
         if not line:
@@ -309,6 +432,8 @@ class _Connection:
 
     async def drop(self) -> None:
         """Abandon the current connection (it is presumed broken)."""
+        self._held = None  # the resend window re-sends it anyway
+        self._fault_severed = False  # the breakage is now acknowledged
         if self.writer is not None:
             self.writer.close()
             try:
@@ -332,24 +457,38 @@ def _job_payload(it) -> dict:
     return job
 
 
-def _tally(report: LoadgenReport, doc: dict) -> None:
+def _tally(
+    report: LoadgenReport, doc: dict, latency_ms: Optional[float] = None
+) -> None:
     """Fold one decoded sub-response into the report.
 
     Three shapes are success: a placement (submit ack, counted per
     action), a bare clock (depart ack — the server applied or had
     already applied the departure), and a clock with a departed count
     (advance ack).  Only a non-ok document is an error; a depart ack
-    must never be miscounted as one.
+    must never be miscounted as one.  Failures are classified:
+    ``deadline_exceeded`` replies and breaker rejections get their own
+    counters (and latency class) on top of the ``errors`` total.
     """
     if doc.get("ok"):
         placement = doc.get("placement")
         if placement is not None:
             action = placement["action"]
             report.actions[action] = report.actions.get(action, 0) + 1
+            report.note_outcome("ok", latency_ms)
             return
         if "clock" in doc:
+            report.note_outcome("ok", latency_ms)
             return  # depart/advance acknowledgement
+    cls = "error"
+    if doc.get("error_type") == "deadline_exceeded":
+        report.deadline_exceeded += 1
+        cls = "deadline_exceeded"
+    elif doc.get("breaker") == "open":
+        report.breaker_rejected += 1
+        cls = "breaker_rejected"
     report.errors += 1
+    report.note_outcome(cls, latency_ms)
 
 
 class _FrameMeta:
@@ -421,6 +560,7 @@ async def _run_pipelined(
     batch: int,
     t0: float,
     tenants: int,
+    deadline_ms: float = 0.0,
 ) -> None:
     """The binary fast path: batched frames, ``pipeline`` in flight.
 
@@ -432,6 +572,17 @@ async def _run_pipelined(
     and the engine's depart idempotence does the same for departs.
     """
     frames, metas = _build_frames(events, batch, policy, tenants)
+
+    def outbound(gi: int) -> bytes:
+        """The frame as sent: deadline-wrapped when the peer speaks v2.
+
+        Wrapped at send time, not build time, so every (re)send carries
+        a fresh full budget — a retry is a new request as far as the
+        deadline is concerned.
+        """
+        if deadline_ms > 0 and conn.version >= 2:
+            return wire.wrap_deadline(frames[gi], deadline_ms)
+        return frames[gi]
 
     trace_start = events[0][0] if events else 0.0
     pending: deque = deque()  # (frame index, sent perf_counter)
@@ -450,9 +601,10 @@ async def _run_pipelined(
                             break  # reap acks while the next frame is not due
                         await asyncio.sleep(due - now)
                 await conn.ensure()
-                conn.send(frames[next_gi])
+                conn.send(outbound(next_gi))
                 pending.append((next_gi, time.perf_counter()))
                 next_gi += 1
+            conn.flush_held()
             assert conn.writer is not None
             await conn.writer.drain()
             gi, sent = pending[0]
@@ -468,20 +620,28 @@ async def _run_pipelined(
             )
             if payload[0] == resp_batch:
                 counts, _dups, others = wire.scan_batch_actions(payload)
+                placed = 0
                 for code, count in enumerate(counts):
                     if count:
                         name = wire.ACTIONS[code]
                         report.actions[name] = report.actions.get(name, 0) + count
+                        placed += count
+                if placed:
+                    report.class_latencies.setdefault("ok", []).extend(
+                        [latency] * placed
+                    )
                 for doc in others:
-                    _tally(report, doc)
+                    _tally(report, doc, latency)
             else:
-                _tally(report, wire.decode_response(payload))
+                _tally(report, wire.decode_response(payload), latency)
         except (
             ConnectionError,
             asyncio.IncompleteReadError,
             asyncio.TimeoutError,
             OSError,
-        ):
+        ) as exc:
+            if isinstance(exc, asyncio.TimeoutError):
+                report.timeouts += 1
             await conn.drop()
             if policy.retries and failures < policy.retries:
                 # resend the whole unacknowledged window, oldest first
@@ -494,7 +654,8 @@ async def _run_pipelined(
                 try:
                     await conn.ensure()
                     for gi, _ in pending:
-                        conn.send(frames[gi])
+                        conn.send(outbound(gi))
+                    conn.flush_held()
                 except (ConnectionError, asyncio.TimeoutError, OSError):
                     continue  # the next loop iteration retries again
                 continue
@@ -527,6 +688,8 @@ async def run_loadgen(
     batch: int = 1,
     tenants: int = 0,
     departs: bool = False,
+    deadline_ms: float = 0.0,
+    faults: Optional[LinkFaults] = None,
 ) -> LoadgenReport:
     """Replay ``items`` as live traffic; returns the client-side report.
 
@@ -542,7 +705,14 @@ async def run_loadgen(
     fleet router reports them; a plain server leaves them empty.
     ``departs=True`` (trace replay) interleaves explicit depart
     requests at each job's departure time — see the module docstring.
+    ``deadline_ms > 0`` attaches that budget to every submit/depart (a
+    fresh full budget per attempt — a retry is a new request); the
+    service answers ``deadline_exceeded`` when the budget cannot be
+    met.  ``faults`` injects deterministic transport faults (delay,
+    drop, truncate, reorder, partition) on the client↔service link.
     """
+    if deadline_ms < 0:
+        raise ValueError(f"deadline_ms must be >= 0, got {deadline_ms}")
     if protocol not in wire.PROTOCOLS:
         raise ValueError(
             f"unknown protocol {protocol!r}; known: {list(wire.PROTOCOLS)}"
@@ -555,7 +725,7 @@ async def run_loadgen(
         raise ValueError("pipelining and batching require protocol='binary'")
     policy = retry if retry is not None else RetryPolicy()
     rng = random.Random(policy.seed)
-    conn = _Connection(host, port, timeout, protocol)
+    conn = _Connection(host, port, timeout, protocol, faults=faults)
     await conn.ensure()
     report = LoadgenReport()
 
@@ -570,7 +740,9 @@ async def run_loadgen(
                 asyncio.IncompleteReadError,
                 asyncio.TimeoutError,
                 OSError,
-            ):
+            ) as exc:
+                if isinstance(exc, asyncio.TimeoutError):
+                    report.timeouts += 1
                 if attempt + 1 >= attempts:
                     raise
                 report.retries += 1
@@ -586,7 +758,8 @@ async def run_loadgen(
     t0 = time.perf_counter()
     if protocol == "binary":
         await _run_pipelined(
-            events, conn, report, policy, rng, speed, pipeline, batch, t0, tenants
+            events, conn, report, policy, rng, speed, pipeline, batch, t0,
+            tenants, deadline_ms,
         )
     else:
         trace_start = events[0][0] if events else 0.0
@@ -607,6 +780,8 @@ async def run_loadgen(
                 # depart is engine-idempotent, so always safe to retry
                 payload = {"op": "depart", "id": it.item_id}
                 idempotent = True
+            if deadline_ms > 0:
+                payload["deadline_ms"] = deadline_ms
             sent = time.perf_counter()
             try:
                 response = await call(payload, idempotent=idempotent)
@@ -629,8 +804,9 @@ async def run_loadgen(
                 )
             if response is None:
                 continue
-            report.latencies_ms.append((time.perf_counter() - sent) * 1e3)
-            _tally(report, response)
+            latency = (time.perf_counter() - sent) * 1e3
+            report.latencies_ms.append(latency)
+            _tally(report, response, latency)
     if drain:
         # drain is not idempotent-tagged, but it *is* safe to retry: a
         # second drain on a drained engine returns the same summary

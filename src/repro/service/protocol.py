@@ -14,13 +14,22 @@ Negotiation
 Every connection starts in JSON-lines mode.  A client that wants the
 binary protocol sends one ordinary JSON request as its first line::
 
-    {"op": "hello", "protocol": "binary", "version": 1}
+    {"op": "hello", "protocol": "binary", "version": 2}
 
 and the server answers with a JSON line
-(``{"ok": true, "protocol": "binary", "version": 1}``); from the next
+(``{"ok": true, "protocol": "binary", "version": 2}``); from the next
 byte onward **both directions speak binary frames**.  A hello naming
 ``"protocol": "json"`` (or no hello at all) leaves the connection in
 JSON-lines mode, so old clients keep working unchanged.
+
+The ack echoes the client's version when the server speaks it — any
+version in ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` — so a v1
+client talks to a v2 server unchanged, and a v2 client talking to a v1
+server (whose hello handler refuses 2) falls back rather than
+mis-framing.  Version 2 adds exactly one encoding: the ``0x05``
+DEADLINE wrapper, which prefixes any request payload with the remaining
+deadline budget in milliseconds.  Peers that negotiated v1 never
+receive it.
 
 Frame format
 ------------
@@ -42,6 +51,8 @@ bit-identical).  Request opcodes:
                   departure f64, optional request-id (u16 len + UTF-8)
 ``0x02``  DEPART  flags u8, id i64, optional ``now`` f64
 ``0x03``  ADVANCE ``now`` f64
+``0x05``  DEADLINE  budget-ms f64, then one inner request payload (any
+                  opcode above except DEADLINE; v2 only)
 ``0x10``  BATCH   count u32, then count sub-requests, each u32
                   length-prefixed (any opcode above; no nesting)
 ========  ======  =====================================================
@@ -69,6 +80,7 @@ from typing import Any, Optional, Sequence
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOLS",
     "FrameError",
     "HEADER",
@@ -76,6 +88,7 @@ __all__ = [
     "OP_SUBMIT",
     "OP_DEPART",
     "OP_ADVANCE",
+    "OP_DEADLINE",
     "OP_BATCH",
     "RESP_JSON",
     "RESP_PLACEMENT",
@@ -98,9 +111,15 @@ __all__ = [
     "encode_clock",
     "decode_response",
     "scan_batch_actions",
+    "wrap_deadline",
+    "unwrap_deadline",
+    "negotiate_version",
 ]
 
-PROTOCOL_VERSION = 1
+#: the newest dialect this build speaks (v2 = v1 + DEADLINE wrapper)
+PROTOCOL_VERSION = 2
+#: the oldest dialect this build still accepts in a hello
+MIN_PROTOCOL_VERSION = 1
 PROTOCOLS = ("json", "binary")
 
 #: Frame header: payload length as an unsigned 32-bit big-endian int.
@@ -111,6 +130,7 @@ OP_JSON = 0x00
 OP_SUBMIT = 0x01
 OP_DEPART = 0x02
 OP_ADVANCE = 0x03
+OP_DEADLINE = 0x05  # v2: deadline-budget wrapper around any request payload
 OP_BATCH = 0x10
 
 # response opcodes
@@ -141,6 +161,7 @@ _RID_LEN = struct.Struct(">H")
 _DEPART = struct.Struct(">BBq")  # op, flags, id
 _NOW = struct.Struct(">d")
 _ADVANCE = struct.Struct(">Bd")  # op, now
+_DEADLINE = struct.Struct(">Bd")  # op, budget ms
 _BATCH_HEAD = struct.Struct(">BI")  # op, count
 _SUB_LEN = struct.Struct(">I")
 _PLACEMENT = struct.Struct(">BBBqid")  # op, flags, action, item_id, bin, time
@@ -156,6 +177,20 @@ def hello_line(protocol: str = "binary", version: int = PROTOCOL_VERSION) -> byt
     return (
         json.dumps({"op": "hello", "protocol": protocol, "version": version}) + "\n"
     ).encode()
+
+
+def negotiate_version(client_version: int) -> Optional[int]:
+    """The dialect to ack for a client's hello, or ``None`` to refuse.
+
+    Any version in ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` is
+    spoken as-is — an old client simply never receives newer frames.
+    A version from the future is refused loudly (the connection stays
+    JSON): silently downgrading a client that expects v3 semantics
+    could mis-frame its stream.
+    """
+    if MIN_PROTOCOL_VERSION <= client_version <= PROTOCOL_VERSION:
+        return client_version
+    return None
 
 
 def frame(payload: bytes) -> bytes:
@@ -223,6 +258,41 @@ def encode_depart(item_id: int, now: Optional[float] = None) -> bytes:
 
 def encode_advance(now: float) -> bytes:
     return _ADVANCE.pack(OP_ADVANCE, now)
+
+
+def wrap_deadline(payload: bytes, budget_ms: float) -> bytes:
+    """Prefix one request payload with its remaining deadline budget.
+
+    v2-only: never send this to a peer that negotiated version 1.
+    The wrapper composes with every request opcode (including BATCH —
+    one budget covers the whole batch) but does not nest.
+    """
+    return _DEADLINE.pack(OP_DEADLINE, budget_ms) + payload
+
+
+def unwrap_deadline(payload):
+    """``(inner_payload, budget_ms_or_None)`` for one request payload.
+
+    Payloads not starting with ``OP_DEADLINE`` pass through untouched
+    with a ``None`` budget, so decode paths can call this
+    unconditionally.  Raises :class:`FrameError` on a truncated or
+    nested wrapper.
+    """
+    try:
+        if payload[0] != OP_DEADLINE:
+            return payload, None
+    except IndexError:
+        raise FrameError("empty frame payload") from None
+    try:
+        _, budget_ms = _DEADLINE.unpack_from(payload)
+    except struct.error as exc:
+        raise FrameError(f"malformed deadline wrapper: {exc}") from None
+    inner = memoryview(payload)[_DEADLINE.size:]
+    if len(inner) == 0:
+        raise FrameError("deadline wrapper carries no inner request")
+    if inner[0] == OP_DEADLINE:
+        raise FrameError("nested deadline wrapper")
+    return inner, budget_ms
 
 
 def encode_batch(subs: Sequence[bytes]) -> bytes:

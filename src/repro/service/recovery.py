@@ -52,7 +52,7 @@ from .snapshot import (
     snapshot_engine,
     write_checkpoint,
 )
-from .wal import WalRecord, WriteAheadLog, replay_wal
+from .wal import WalCorruptionError, WalRecord, WriteAheadLog, replay_wal
 
 __all__ = [
     "CHECKPOINT_PREFIX",
@@ -141,6 +141,10 @@ class RecoveryReport:
     checkpoint_path: Optional[str] = None
     checkpoint_seq: int = 0
     skipped_checkpoints: list[str] = field(default_factory=list)
+    #: checkpoints that parsed as JSON but failed the full restore
+    #: (structurally corrupt) — recovery fell back past each of these
+    #: to the next-newest generation
+    fallback_checkpoints: list[str] = field(default_factory=list)
     replayed: int = 0
     replay_errors: int = 0
     torn_bytes: int = 0
@@ -158,6 +162,10 @@ class RecoveryReport:
             lines.append("  no checkpoint found — cold replay from the log start")
         for path in self.skipped_checkpoints:
             lines.append(f"  skipped unreadable checkpoint {os.path.basename(path)}")
+        for path in self.fallback_checkpoints:
+            lines.append(
+                f"  fell back past corrupt checkpoint {os.path.basename(path)}"
+            )
         lines.append(
             f"  replayed {self.replayed} WAL records"
             + (f" ({self.replay_errors} replay-rejected)" if self.replay_errors else "")
@@ -176,6 +184,7 @@ class RecoveryReport:
             "checkpoint": self.checkpoint_path,
             "checkpoint_seq": self.checkpoint_seq,
             "skipped_checkpoints": self.skipped_checkpoints,
+            "fallback_checkpoints": self.fallback_checkpoints,
             "replayed": self.replayed,
             "replay_errors": self.replay_errors,
             "torn_bytes": self.torn_bytes,
@@ -663,31 +672,74 @@ def recover(
     report.torn_bytes = wal.recovered_torn_bytes
     report.last_seq = wal.last_seq
 
-    path, doc, skipped = latest_checkpoint(directory)
-    report.checkpoint_path = path
-    report.skipped_checkpoints = skipped
-
     if metrics is not None:
         declare_durable_metrics(metrics)
 
-    if doc is not None:
-        report.checkpoint_seq = int(doc["wal_seq"])
-        engine_doc = doc["engine"]
-        if algorithm_factory is None:
-            if engine_doc["kind"] == "scalar":
-                from ..algorithms import make_algorithm as algorithm_factory
-            else:
-                from ..multidim import make_vector_algorithm as algorithm_factory
-        engine = restore_engine(
-            engine_doc,
-            algorithm_factory(engine_doc["algorithm"]),
-            admission=admission,
-            metrics=metrics,
-            decision_log=decision_log,
-            observers=observers,
-        )
-        dedup = DedupWindow.restore(doc.get("dedup", []), dedup_limit)
-    else:
+    # walk the checkpoint generations newest-first, attempting a FULL
+    # restore of each: a checkpoint that parses as JSON but is
+    # structurally corrupt (missing fields, mangled engine section)
+    # must not kill recovery while an older intact generation — kept
+    # exactly for this case by ``_retire_checkpoints`` — can serve,
+    # with the gap replayed from the WAL below
+    engine = None
+    dedup: Optional[DedupWindow] = None
+    skipped: list[str] = []
+    reg = metrics
+    dirty = False  # a failed restore may have half-populated ``reg``
+    try:
+        names = sorted(os.listdir(directory), reverse=True)
+    except FileNotFoundError:
+        names = []
+    for name in names:
+        if not (
+            name.startswith(CHECKPOINT_PREFIX)
+            and name.endswith(CHECKPOINT_SUFFIX)
+        ):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            doc = read_checkpoint(path)
+        except ValueError as exc:
+            if "newer than this code" in str(exc):
+                raise
+            skipped.append(path)
+            continue
+        except OSError:
+            skipped.append(path)
+            continue
+        if dirty:
+            reg = MetricsRegistry() if metrics is not None else None
+            if reg is not None:
+                declare_durable_metrics(reg)
+        try:
+            checkpoint_seq = int(doc["wal_seq"])
+            engine_doc = doc["engine"]
+            factory = algorithm_factory
+            if factory is None:
+                if engine_doc["kind"] == "scalar":
+                    from ..algorithms import make_algorithm as factory
+                else:
+                    from ..multidim import make_vector_algorithm as factory
+            engine = restore_engine(
+                engine_doc,
+                factory(engine_doc["algorithm"]),
+                admission=admission,
+                metrics=reg,
+                decision_log=decision_log,
+                observers=observers,
+            )
+            dedup = DedupWindow.restore(doc.get("dedup", []), dedup_limit)
+        except (ValueError, KeyError, TypeError):
+            report.fallback_checkpoints.append(path)
+            engine = None
+            dirty = True
+            continue
+        report.checkpoint_path = path
+        report.checkpoint_seq = checkpoint_seq
+        break
+    report.skipped_checkpoints = skipped
+
+    if engine is None:
         if engine_builder is None:
             raise ValueError(
                 f"no checkpoint in {directory} and no engine_builder given — "
@@ -698,6 +750,14 @@ def recover(
 
     scalar = isinstance(engine.state, PackingState)
     records, _ = replay_wal(directory, after_seq=report.checkpoint_seq)
+    if records and records[0].seq > report.checkpoint_seq + 1:
+        raise WalCorruptionError(
+            f"WAL resumes at seq {records[0].seq} but the newest loadable "
+            f"checkpoint covers only through seq {report.checkpoint_seq} — "
+            f"records {report.checkpoint_seq + 1}..{records[0].seq - 1} "
+            f"are gone; refusing to recover with acknowledged operations "
+            f"missing"
+        )
     for rec in records:
         try:
             placement = _replay_record(engine, rec, scalar)

@@ -32,12 +32,45 @@ replays, so a mid-stream crash loses no acknowledged operation
 (at-least-once delivery + idempotent submits = exactly-once).  Live
 handoff (drain → checkpoint → restore elsewhere) uses ``pause`` /
 ``control`` / ``redirect`` / ``resume`` on the same machinery.
+
+Resilience layer
+----------------
+Every forward to a worker goes through one chokepoint
+(``_call_shard``) that enforces three policies:
+
+- **deadlines** — a request carrying a deadline budget (JSON
+  ``deadline_ms``, or the v2 binary DEADLINE wrapper) is bounded by
+  ``min(request_timeout, remaining budget)`` per hop; an expired
+  budget is refused *before* forwarding, and a hop that outlives it is
+  answered ``error_type: deadline_exceeded``.  The remaining budget is
+  re-wrapped toward the worker (when the backend negotiated protocol
+  v2), so the worker can refuse work nobody is waiting for.
+- **per-shard circuit breakers** — a windowed failure-rate breaker
+  (:class:`CircuitBreaker`) per backend.  Open shards answer
+  immediately (``degraded="failfast"``, the default: a
+  ``shard_unavailable`` error flagged ``"breaker": "open"``) or park
+  the caller until the breaker closes (``degraded="queue"``, bounded
+  by the deadline/request timeout).  The control lane
+  (:meth:`ShardRouter.shard_control` — handoffs, health probes)
+  bypasses the breaker like it bypasses the pause gate.
+- **fault injection** — with a :class:`~repro.service.faults.LinkFaults`
+  stream attached (link name ``backend-<i>``), connects and sends
+  consult the seeded plan: injected drops/truncations sever the
+  connection (never silently skip a frame — that would desync the FIFO
+  window), so they exercise exactly the reconnect + resend + dedup
+  path a real flaky network does; partitions refuse connects for a
+  hit-window, then heal.
+
+Breaker state, transitions, rejections, probe failures, and deadline
+overruns are all exported per shard in the router's own metrics
+exposition.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import struct
 import zlib
 from bisect import bisect_right
@@ -46,11 +79,15 @@ from time import monotonic
 from typing import Awaitable, Callable, Optional, Sequence
 
 from . import protocol as wire
+from .faults import FaultInjector, LinkFaults
 from .metrics import merge_expositions, relabel_exposition
 from .server import DEFAULT_MAX_LINE_BYTES, ProtocolError
 
 __all__ = [
     "BackendLink",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "DeadlineExceededError",
     "HashRing",
     "ShardRouter",
     "partition_items",
@@ -69,30 +106,70 @@ def route_key(item_id: int, tenants: int = 0) -> int:
 
 
 class HashRing:
-    """A consistent-hash ring over ``nodes`` backends.
+    """A consistent-hash ring over a set of backend nodes.
 
     Points are CRC-32 digests (Python's ``hash`` is salted per process
     — useless for a mapping that the router, the tests, and any future
     second router must all agree on).  Each node contributes
     ``replicas`` vnodes; a key belongs to the first point clockwise
     from its own hash.
+
+    The membership is mutable (:meth:`add_node` / :meth:`remove_node`)
+    and the point set is a pure function of the member set — adding,
+    removing, and re-adding a node restores the exact prior mapping,
+    and resizing ``N → N+1`` moves only ~``1/(N+1)`` of the keyspace.
     """
 
     def __init__(self, nodes: int, replicas: int = DEFAULT_REPLICAS):
         if nodes < 1:
             raise ValueError(f"ring needs at least one node, got {nodes}")
+        if replicas < 1:
+            raise ValueError(f"ring needs at least one vnode, got {replicas}")
+        self.replicas = replicas
+        self._members: set[int] = set(range(nodes))
+        self._rebuild()
+
+    def _rebuild(self) -> None:
         points = sorted(
             (zlib.crc32(b"shard-%d#vnode-%d" % (node, r)), node)
-            for node in range(nodes)
-            for r in range(replicas)
+            for node in self._members
+            for r in range(self.replicas)
         )
-        self.num_nodes = nodes
         self._hashes = [h for h, _ in points]
         self._nodes = [n for _, n in points]
+        # the single-member shortcut in node_for_key
+        self._only = next(iter(self._members)) if len(self._members) == 1 else None
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> frozenset:
+        return frozenset(self._members)
+
+    def add_node(self, node: int) -> None:
+        """Add a member (idempotent: re-adding is a no-op)."""
+        if node in self._members:
+            return
+        self._members.add(node)
+        self._rebuild()
+
+    def remove_node(self, node: int) -> None:
+        """Remove a member.  The last member cannot leave — every key
+        must always map somewhere."""
+        if node not in self._members:
+            raise KeyError(f"node {node} is not on the ring")
+        if len(self._members) == 1:
+            raise ValueError(
+                f"cannot remove node {node}: it is the last member of the ring"
+            )
+        self._members.discard(node)
+        self._rebuild()
 
     def node_for_key(self, key: int) -> int:
-        if self.num_nodes == 1:
-            return 0
+        if self._only is not None:
+            return self._only
         h = zlib.crc32(b"key-%d" % key)
         i = bisect_right(self._hashes, h)
         if i == len(self._hashes):
@@ -113,6 +190,135 @@ def partition_items(items, shards: int, tenants: int = 0,
     for item in items:
         parts[ring.node_for_key(route_key(item.item_id, tenants))].append(item)
     return parts
+
+
+class BreakerOpenError(ConnectionError):
+    """A request refused because the shard's circuit breaker is open.
+
+    Subclasses ``ConnectionError`` so every forwarding path that
+    already maps connection failures to ``shard_unavailable`` handles
+    it for free; the error doc additionally carries ``"breaker":
+    "open"`` so clients can tell load-shedding from a dead shard.
+    """
+
+
+class DeadlineExceededError(ConnectionError):
+    """A hop that outlived the request's remaining deadline budget."""
+
+
+class CircuitBreaker:
+    """A windowed failure-rate breaker with closed/open/half-open states.
+
+    Outcomes of the last ``window`` forwards feed a failure fraction;
+    once at least ``min_volume`` outcomes are in the window and the
+    fraction reaches ``threshold``, the breaker opens: requests are
+    refused without touching the backend.  After ``cooldown`` seconds
+    the next :meth:`allow` transitions to half-open and admits up to
+    ``probes`` trial requests — one success closes the breaker (and
+    clears the window), one failure re-opens it for another cooldown.
+
+    ``clock`` is injectable so unit tests drive the cooldown with a
+    fake clock instead of sleeping.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+    #: numeric gauge values for the metrics exposition
+    STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+    def __init__(
+        self,
+        *,
+        window: int = 20,
+        min_volume: int = 5,
+        threshold: float = 0.5,
+        cooldown: float = 1.0,
+        probes: int = 1,
+        clock: Callable[[], float] = monotonic,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if min_volume < 1:
+            raise ValueError(f"min_volume must be >= 1, got {min_volume}")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
+        self.window = window
+        self.min_volume = min_volume
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.probes = probes
+        self._clock = clock
+        self.state = self.CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._opened_at = 0.0
+        self._probes_left = 0
+        #: state -> number of transitions *into* that state
+        self.transitions = {self.CLOSED: 0, self.OPEN: 0, self.HALF_OPEN: 0}
+        self._closed_event = asyncio.Event()
+        self._closed_event.set()
+
+    @property
+    def state_code(self) -> int:
+        return self.STATE_CODES[self.state]
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self.transitions[state] += 1
+        if state == self.CLOSED:
+            self._closed_event.set()
+        else:
+            self._closed_event.clear()
+
+    def allow(self) -> bool:
+        """May a request go to the backend right now?
+
+        In the open state this is also where the cooldown expires: the
+        first ``allow`` past the deadline flips to half-open and is
+        admitted as a probe.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at < self.cooldown:
+                return False
+            self._transition(self.HALF_OPEN)
+            self._probes_left = self.probes
+        # half-open: admit while probe budget remains
+        if self._probes_left > 0:
+            self._probes_left -= 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        if self.state == self.HALF_OPEN:
+            # the probe came back: the shard is healthy again
+            self._outcomes.clear()
+            self._transition(self.CLOSED)
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        if self.state == self.HALF_OPEN:
+            # the probe failed: back to open for another cooldown
+            self._opened_at = self._clock()
+            self._transition(self.OPEN)
+            return
+        self._outcomes.append(False)
+        if self.state != self.CLOSED:
+            return
+        if len(self._outcomes) < self.min_volume:
+            return
+        failures = sum(1 for ok in self._outcomes if not ok)
+        if failures / len(self._outcomes) >= self.threshold:
+            self._opened_at = self._clock()
+            self._transition(self.OPEN)
+
+    async def wait_closed(self) -> None:
+        """Park until the breaker closes (the ``queue`` degraded mode)."""
+        await self._closed_event.wait()
 
 
 class BackendLink:
@@ -136,12 +342,20 @@ class BackendLink:
         label: str = "",
         reconnect_wait: float = 30.0,
         max_frame_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        faults: Optional[LinkFaults] = None,
     ):
         self.host = host
         self.port = int(port)
         self.label = label or f"{host}:{port}"
         self.reconnect_wait = reconnect_wait
         self.max_frame_bytes = max_frame_bytes
+        self.faults = faults
+        #: dialect the worker acked in the hello (refined per connect);
+        #: v2-only frames (the DEADLINE wrapper) require >= 2
+        self.negotiated_version = wire.PROTOCOL_VERSION
+        #: reconnect backoff jitter — seeded by the label so one link's
+        #: retry schedule is reproducible and independent of its peers'
+        self._backoff_rng = random.Random(self.label)
         self.reconnects = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -162,6 +376,8 @@ class BackendLink:
             self._reader_task = asyncio.ensure_future(self._read_loop())
 
     async def _do_connect(self) -> None:
+        if self.faults is not None:
+            self.faults.connect_check()  # injected partition: refuse
         reader, writer = await asyncio.open_connection(
             self.host, self.port, limit=self.max_frame_bytes
         )
@@ -177,6 +393,10 @@ class BackendLink:
             raise ConnectionError(
                 f"backend {self.label} refused the binary hello: {ack_line!r}"
             )
+        try:
+            self.negotiated_version = int(ack.get("version", 1))
+        except (TypeError, ValueError):
+            self.negotiated_version = 1
         self._reader, self._writer = reader, writer
         # resend the unacknowledged window, oldest first — replies stay
         # FIFO, and the worker's dedup window absorbs any duplicates
@@ -232,12 +452,51 @@ class BackendLink:
         self._idle.clear()
         writer = self._writer
         if writer is not None:
+            faults = self.faults
+            if faults is not None:
+                verdict = await self._faulty_send(writer, payload, faults)
+                if verdict:
+                    return await fut  # severed; reconnect resends the window
             try:
                 writer.write(wire.frame(payload))
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass  # the read loop notices the break and resends
         return await fut
+
+    async def _faulty_send(
+        self, writer: asyncio.StreamWriter, payload: bytes, faults: LinkFaults
+    ) -> bool:
+        """Apply the link's injected send faults; True = frame not sent.
+
+        A dropped or truncated frame always *severs the connection* —
+        the read loop then reconnects and resends the whole
+        unacknowledged window, so the frame is delayed, never lost
+        (silently skipping it would permanently desync the FIFO
+        request/reply matching).  A mid-window partition acts like a
+        drop and keeps refusing reconnects until its hit-window passes.
+        Injected delay is charged to the plan's virtual clock; the only
+        wall-clock cost is one event-loop yield.
+        """
+        verdict, delay = faults.send_fate()
+        if delay:
+            await asyncio.sleep(0)  # virtual delay: account, yield, move on
+        if faults.partition is not None and faults.partitioned():
+            writer.close()
+            return True
+        if verdict == "drop":
+            writer.close()
+            return True
+        if verdict == "truncate":
+            data = wire.frame(payload)
+            try:
+                writer.write(data[: max(1, len(data) // 2)])
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return True
+        return False
 
     @property
     def pending(self) -> int:
@@ -287,7 +546,7 @@ class BackendLink:
     async def _reconnect(self) -> bool:
         self._writer = None
         deadline = monotonic() + self.reconnect_wait
-        delay = 0.05
+        cap = 0.05
         while monotonic() < deadline:
             self._redirected.clear()
             try:
@@ -297,12 +556,16 @@ class BackendLink:
                 pass
             if self._closing:
                 return False
+            # exponential backoff with full jitter: uniform over the
+            # doubling cap, so a fleet of links retrying the same dead
+            # worker never thunders in lockstep
+            delay = self._backoff_rng.uniform(0.0, cap)
             try:
                 # a redirect retargets the address and retries at once
                 await asyncio.wait_for(self._redirected.wait(), timeout=delay)
             except asyncio.TimeoutError:
                 pass
-            delay = min(delay * 2, 0.5)
+            cap = min(cap * 2, 0.5)
         return False
 
     def _fail_pending(self, exc: Exception) -> None:
@@ -335,25 +598,59 @@ class ShardRouter:
         request_timeout: float = 30.0,
         reconnect_wait: float = 30.0,
         handoff_callback: Optional[Callable[[int], Awaitable[Optional[dict]]]] = None,
+        degraded: str = "failfast",
+        breaker_window: int = 20,
+        breaker_min_volume: int = 5,
+        breaker_threshold: float = 0.5,
+        breaker_cooldown: float = 1.0,
+        breaker_probes: int = 1,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if not backends:
             raise ValueError("router needs at least one backend")
+        if degraded not in ("failfast", "queue"):
+            raise ValueError(
+                f"degraded policy must be 'failfast' or 'queue', got {degraded!r}"
+            )
         self.tenants = int(tenants)
         self.quiet = quiet
         self.max_line_bytes = int(max_line_bytes)
         self.request_timeout = request_timeout
         self.handoff_callback = handoff_callback
+        self.degraded = degraded
         self.links = [
             BackendLink(
                 host, port, label=f"shard-{i}@{host}:{port}",
                 reconnect_wait=reconnect_wait, max_frame_bytes=max_line_bytes,
+                faults=(
+                    fault_injector.link(f"backend-{i}")
+                    if fault_injector is not None else None
+                ),
             )
             for i, (host, port) in enumerate(backends)
+        ]
+        self.breakers = [
+            CircuitBreaker(
+                window=breaker_window,
+                min_volume=breaker_min_volume,
+                threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+                probes=breaker_probes,
+            )
+            for _ in self.links
         ]
         self.ring = HashRing(len(self.links), replicas)
         self.requests_served = 0
         #: job ops forwarded per shard (the loadgen imbalance report)
         self.requests_routed = [0] * len(self.links)
+        #: forwards refused/overrun against the deadline budget, per shard
+        self.deadline_exceeded = [0] * len(self.links)
+        #: requests refused by an open breaker, per shard
+        self.breaker_rejected = [0] * len(self.links)
+        #: supervisor health probes that timed out, per shard (the fleet
+        #: prober reports into the router so one exposition carries all
+        #: resilience signals)
+        self.probe_failures = [0] * len(self.links)
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
 
@@ -481,18 +778,34 @@ class ShardRouter:
         return await self._dispatch_safely(request)
 
     async def _dispatch_safely(self, request: dict) -> dict:
+        budget_ms: Optional[float] = None
+        raw_budget = request.get("deadline_ms")
+        if raw_budget is not None:
+            try:
+                budget_ms = float(raw_budget)
+            except (TypeError, ValueError):
+                return {
+                    "ok": False,
+                    "error": f"deadline_ms must be a number, got {raw_budget!r}",
+                    "error_type": "protocol",
+                }
+            if budget_ms <= 0:
+                return {
+                    "ok": False,
+                    "error": (
+                        f"deadline budget exhausted "
+                        f"({budget_ms:.3f} ms remaining)"
+                    ),
+                    "error_type": "deadline_exceeded",
+                }
         try:
-            return await self._dispatch(request)
+            return await self._dispatch(request, budget_ms)
         except _ShardError as exc:
             return exc.doc
         except ProtocolError as exc:
             return {"ok": False, "error": str(exc), "error_type": "protocol"}
         except ConnectionError as exc:
-            return {
-                "ok": False,
-                "error": str(exc),
-                "error_type": "shard_unavailable",
-            }
+            return self._error_doc(None, exc)
         except Exception as exc:  # protocol boundary: report, don't crash
             return {
                 "ok": False,
@@ -500,25 +813,29 @@ class ShardRouter:
                 "error_type": "internal",
             }
 
-    async def _dispatch(self, request: dict) -> dict:
+    async def _dispatch(
+        self, request: dict, budget_ms: Optional[float] = None
+    ) -> dict:
         op = request.get("op")
         if op == "submit":
             job = request.get("job")
             key = job.get("id") if isinstance(job, dict) else None
-            return await self._forward_json(self._shard_for_raw(key), request)
+            return await self._forward_json(
+                self._shard_for_raw(key), request, budget_ms
+            )
         if op == "depart":
             return await self._forward_json(
-                self._shard_for_raw(request.get("id")), request
+                self._shard_for_raw(request.get("id")), request, budget_ms
             )
         if op == "advance":
-            docs = self._require_ok(await self._broadcast_json(request))
+            docs = self._require_ok(await self._broadcast_json(request, budget_ms))
             return {
                 "ok": True,
                 "departed": sum(d.get("departed", 0) for d in docs),
                 "clock": max(d.get("clock", 0.0) for d in docs),
             }
         if op == "drain":
-            docs = self._require_ok(await self._broadcast_json(request))
+            docs = self._require_ok(await self._broadcast_json(request, budget_ms))
             return {
                 "ok": True,
                 "bins": sum(d["bins"] for d in docs),
@@ -544,6 +861,11 @@ class ShardRouter:
                     "tenants": self.tenants,
                     "per_shard_requests": list(self.requests_routed),
                     "reconnects": [link.reconnects for link in self.links],
+                    "breakers": [b.state for b in self.breakers],
+                    "breaker_rejected": list(self.breaker_rejected),
+                    "deadline_exceeded": list(self.deadline_exceeded),
+                    "probe_failures": list(self.probe_failures),
+                    "degraded": self.degraded,
                 },
                 "shards": shards,
                 "totals": totals,
@@ -587,12 +909,18 @@ class ShardRouter:
                     f"unknown protocol {proto!r}; known: {list(wire.PROTOCOLS)}"
                 )
             version = request.get("version", wire.PROTOCOL_VERSION)
-            if version != wire.PROTOCOL_VERSION:
+            if not isinstance(version, int):
                 raise ProtocolError(
-                    f"unsupported protocol version {version!r} "
-                    f"(this server speaks {wire.PROTOCOL_VERSION})"
+                    f"protocol version must be an integer, got {version!r}"
                 )
-            return {"ok": True, "protocol": proto, "version": wire.PROTOCOL_VERSION}
+            agreed = wire.negotiate_version(version)
+            if agreed is None:
+                raise ProtocolError(
+                    f"unsupported protocol version {version!r} (this server "
+                    f"speaks {wire.MIN_PROTOCOL_VERSION}.."
+                    f"{wire.PROTOCOL_VERSION})"
+                )
+            return {"ok": True, "protocol": proto, "version": agreed}
         # anything else (including unknown ops): let shard 0 answer, so
         # the error taxonomy has exactly one source of truth
         return await self._forward_json(0, request)
@@ -609,31 +937,148 @@ class ShardRouter:
         except (TypeError, ValueError):
             return 0
 
-    async def _forward_json(self, index: int, request: dict) -> dict:
-        out = await self._forward(index, wire.encode_json_request(request))
+    async def _forward_json(
+        self, index: int, request: dict, budget_ms: Optional[float] = None
+    ) -> dict:
+        out = await self._forward(
+            index, wire.encode_json_request(request), budget_ms
+        )
         return wire.decode_response(out)
 
-    async def _forward(self, index: int, payload: bytes) -> bytes:
+    async def _forward(
+        self, index: int, payload, budget_ms: Optional[float] = None
+    ) -> bytes:
         self.requests_routed[index] += 1
-        return await self.links[index].request(payload)
+        return await self._call_shard(index, payload, budget_ms)
 
-    async def _broadcast_json(self, request: dict) -> list[dict]:
+    async def _call_shard(
+        self, index: int, payload, budget_ms: Optional[float] = None
+    ) -> bytes:
+        """The forwarding chokepoint: breaker, deadline, per-hop timeout.
+
+        Every data-path forward lands here (the control lane —
+        :meth:`shard_control` — deliberately does not: handoffs and
+        health probes must reach a shard the breaker has written off).
+        """
+        breaker = self.breakers[index]
+        if not breaker.allow():
+            if self.degraded == "queue":
+                budget_ms = await self._queue_for_breaker(index, budget_ms)
+            else:
+                self.breaker_rejected[index] += 1
+                raise BreakerOpenError("circuit breaker open")
+        link = self.links[index]
+        send = payload
+        timeout = self.request_timeout
+        if budget_ms is not None:
+            timeout = min(timeout, budget_ms / 1e3)
+            if link.negotiated_version >= 2:
+                # hand the worker its remaining budget so it can refuse
+                # work nobody is waiting for any more
+                if not isinstance(payload, bytes):
+                    payload = bytes(payload)
+                send = wire.wrap_deadline(payload, budget_ms)
+        try:
+            out = await asyncio.wait_for(link.request(send), timeout)
+        except asyncio.TimeoutError:
+            breaker.record_failure()
+            # the cancelled request stays in the link's resend window —
+            # the worker may still apply it, and with a request id the
+            # retry dedups; the *client's* wait is what expired here
+            if budget_ms is not None and budget_ms / 1e3 <= self.request_timeout:
+                self.deadline_exceeded[index] += 1
+                raise DeadlineExceededError(
+                    f"no reply within the {budget_ms:.1f} ms deadline budget"
+                ) from None
+            raise ConnectionError(
+                f"no reply within {self.request_timeout}s"
+            ) from None
+        except ConnectionError:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return out
+
+    async def _queue_for_breaker(
+        self, index: int, budget_ms: Optional[float]
+    ) -> Optional[float]:
+        """The ``queue`` degraded mode: park until the breaker admits us.
+
+        Returns the caller's remaining deadline budget.  The wait is
+        bounded by that budget (or ``request_timeout``); waiters poll
+        :meth:`CircuitBreaker.allow` in slices so the first one past
+        the cooldown becomes the half-open probe — pure event waiting
+        would deadlock with every request parked and nobody probing.
+        """
+        breaker = self.breakers[index]
+        wait = self.request_timeout
+        if budget_ms is not None:
+            wait = min(wait, budget_ms / 1e3)
+        slice_s = max(0.01, min(0.05, breaker.cooldown / 4))
+        started = monotonic()
+        deadline = started + wait
+        while True:
+            if breaker.allow():
+                break
+            if monotonic() >= deadline:
+                self.breaker_rejected[index] += 1
+                raise BreakerOpenError(
+                    f"circuit breaker open ({wait:.2f}s queue wait exhausted)"
+                )
+            try:
+                await asyncio.wait_for(
+                    breaker.wait_closed(),
+                    min(slice_s, deadline - monotonic()),
+                )
+            except asyncio.TimeoutError:
+                pass
+        if budget_ms is None:
+            return None
+        remaining = budget_ms - (monotonic() - started) * 1e3
+        if remaining <= 0:
+            self.deadline_exceeded[index] += 1
+            raise DeadlineExceededError(
+                "deadline budget exhausted waiting for the circuit breaker"
+            )
+        return remaining
+
+    async def _broadcast_json(
+        self, request: dict, budget_ms: Optional[float] = None
+    ) -> list[dict]:
         payload = wire.encode_json_request(request)
+
+        async def one(index: int) -> bytes:
+            return await self._call_shard(index, payload, budget_ms)
+
         outs = await asyncio.gather(
-            *(link.request(payload) for link in self.links),
+            *(one(i) for i in range(len(self.links))),
             return_exceptions=True,
         )
         docs: list[dict] = []
         for i, out in enumerate(outs):
             if isinstance(out, BaseException):
-                docs.append({
-                    "ok": False,
-                    "error": f"shard {i}: {out}",
-                    "error_type": "shard_unavailable",
-                })
+                docs.append(self._error_doc(i, out))
             else:
                 docs.append(wire.decode_response(out))
         return docs
+
+    def _error_doc(self, index: Optional[int], exc: BaseException) -> dict:
+        """One forwarding failure as a client-facing error doc."""
+        where = f"shard {index}: " if index is not None else ""
+        if isinstance(exc, DeadlineExceededError):
+            return {
+                "ok": False,
+                "error": f"{where}{exc}",
+                "error_type": "deadline_exceeded",
+            }
+        doc = {
+            "ok": False,
+            "error": f"{where}{exc}",
+            "error_type": "shard_unavailable",
+        }
+        if isinstance(exc, BreakerOpenError):
+            doc["breaker"] = "open"
+        return doc
 
     @staticmethod
     def _require_ok(docs: list[dict]) -> list[dict]:
@@ -658,6 +1103,53 @@ class ShardRouter:
         lines += [
             f'repro_router_reconnects_total{{shard="{i}"}} {link.reconnects}'
             for i, link in enumerate(self.links)
+        ]
+        lines += [
+            "# HELP repro_router_breaker_state circuit state per shard "
+            "(0=closed, 1=open, 2=half_open)",
+            "# TYPE repro_router_breaker_state gauge",
+        ]
+        lines += [
+            f'repro_router_breaker_state{{shard="{i}"}} {b.state_code}'
+            for i, b in enumerate(self.breakers)
+        ]
+        lines += [
+            "# HELP repro_router_breaker_transitions_total circuit state "
+            "transitions per shard",
+            "# TYPE repro_router_breaker_transitions_total counter",
+        ]
+        lines += [
+            f'repro_router_breaker_transitions_total'
+            f'{{shard="{i}",state="{state}"}} {n}'
+            for i, b in enumerate(self.breakers)
+            for state, n in sorted(b.transitions.items())
+        ]
+        lines += [
+            "# HELP repro_router_breaker_rejected_total requests refused by "
+            "an open circuit breaker",
+            "# TYPE repro_router_breaker_rejected_total counter",
+        ]
+        lines += [
+            f'repro_router_breaker_rejected_total{{shard="{i}"}} {n}'
+            for i, n in enumerate(self.breaker_rejected)
+        ]
+        lines += [
+            "# HELP repro_router_deadline_exceeded_total forwards that "
+            "overran the request's deadline budget",
+            "# TYPE repro_router_deadline_exceeded_total counter",
+        ]
+        lines += [
+            f'repro_router_deadline_exceeded_total{{shard="{i}"}} {n}'
+            for i, n in enumerate(self.deadline_exceeded)
+        ]
+        lines += [
+            "# HELP repro_router_probe_failures_total supervisor health "
+            "probes that timed out",
+            "# TYPE repro_router_probe_failures_total counter",
+        ]
+        lines += [
+            f'repro_router_probe_failures_total{{shard="{i}"}} {n}'
+            for i, n in enumerate(self.probe_failures)
         ]
         return "\n".join(lines) + "\n"
 
@@ -709,7 +1201,27 @@ class ShardRouter:
                 self._shutdown.set()
                 return
 
-    async def _dispatch_frame(self, payload: bytes) -> tuple[bytes, bool]:
+    async def _dispatch_frame(self, payload) -> tuple[bytes, bool]:
+        try:
+            payload, budget_ms = wire.unwrap_deadline(payload)
+        except wire.FrameError as exc:
+            self.requests_served += 1
+            return wire.encode_json_response({
+                "ok": False, "error": str(exc), "error_type": "malformed_frame",
+            }), False
+        if budget_ms is not None:
+            if budget_ms <= 0:
+                self.requests_served += 1
+                return wire.encode_json_response({
+                    "ok": False,
+                    "error": (
+                        f"deadline budget exhausted "
+                        f"({budget_ms:.3f} ms remaining)"
+                    ),
+                    "error_type": "deadline_exceeded",
+                }), False
+            if not isinstance(payload, bytes):
+                payload = bytes(payload)  # relay paths re-frame the payload
         op = payload[0]
         if op != wire.OP_JSON and self.num_shards == 1:
             # single-backend fast path: relay the frame verbatim — no
@@ -717,7 +1229,7 @@ class ShardRouter:
             self.requests_served += 1
             self.requests_routed[0] += 1
             try:
-                return await self.links[0].request(payload), False
+                return await self._call_shard(0, payload, budget_ms), False
             except ConnectionError as exc:
                 return self._unavailable(0, exc), False
         if op == wire.OP_SUBMIT or op == wire.OP_DEPART:
@@ -729,23 +1241,24 @@ class ShardRouter:
             else:
                 index = self.shard_of(item_id)
             try:
-                return await self._forward(index, payload), False
+                return await self._forward(index, payload, budget_ms), False
             except ConnectionError as exc:
                 return self._unavailable(index, exc), False
         if op == wire.OP_ADVANCE:
             self.requests_served += 1
-            response = await self._dispatch_safely(
-                {"op": "advance", "now": self._advance_now(payload)}
-            )
+            request: dict = {"op": "advance", "now": self._advance_now(payload)}
+            if budget_ms is not None:
+                request["deadline_ms"] = budget_ms
+            response = await self._dispatch_safely(request)
             if response.get("ok"):
                 return wire.encode_clock(
                     response["clock"], response["departed"]
                 ), False
             return wire.encode_json_response(response), False
         if op == wire.OP_BATCH:
-            return await self._dispatch_batch(payload)
+            return await self._dispatch_batch(payload, budget_ms)
         if op == wire.OP_JSON:
-            return await self._dispatch_json_frame(payload)
+            return await self._dispatch_json_frame(payload, budget_ms)
         self.requests_served += 1
         return wire.encode_json_response({
             "ok": False,
@@ -760,7 +1273,9 @@ class ShardRouter:
         except wire.FrameError:
             return None  # the JSON path reports "advance needs a 'now'"
 
-    async def _dispatch_json_frame(self, payload: bytes) -> tuple[bytes, bool]:
+    async def _dispatch_json_frame(
+        self, payload: bytes, budget_ms: Optional[float] = None
+    ) -> tuple[bytes, bool]:
         self.requests_served += 1
         try:
             request = json.loads(bytes(payload[1:]))
@@ -778,6 +1293,9 @@ class ShardRouter:
                 ),
                 "error_type": "protocol",
             }), False
+        if budget_ms is not None and "deadline_ms" not in request:
+            # the frame wrapper's budget governs the inner request too
+            request["deadline_ms"] = budget_ms
         op = request.get("op")
         if op in ("submit", "depart"):
             # single-shard JSON op: relay the original payload so the
@@ -789,14 +1307,21 @@ class ShardRouter:
             else:
                 raw = request.get("id")
             index = self._shard_for_raw(raw)
+            inner = request.get("deadline_ms")
             try:
-                return await self._forward(index, payload), False
+                forward_budget = float(inner) if inner is not None else None
+            except (TypeError, ValueError):
+                forward_budget = None  # the worker reports the bad field
+            try:
+                return await self._forward(index, payload, forward_budget), False
             except ConnectionError as exc:
                 return self._unavailable(index, exc), False
         response = await self._dispatch_safely(request)
         return self._encode_response(response), bool(response.get("bye"))
 
-    async def _dispatch_batch(self, payload: bytes) -> tuple[bytes, bool]:
+    async def _dispatch_batch(
+        self, payload: bytes, budget_ms: Optional[float] = None
+    ) -> tuple[bytes, bool]:
         try:
             subs = wire.split_batch(payload)
         except wire.FrameError as exc:
@@ -807,19 +1332,25 @@ class ShardRouter:
         self.requests_served += len(subs)
         if all(sub[0] == wire.OP_SUBMIT or sub[0] == wire.OP_DEPART
                for sub in subs):
-            return await self._route_job_batch(payload, subs), False
+            return await self._route_job_batch(payload, subs, budget_ms), False
         # a mixed batch (advance/JSON riding along): strictly sequential
         # per-sub dispatch, preserving the client's op order globally
         parts: list[bytes] = []
         bye = False
         for sub in subs:
             self.requests_served -= 1  # _dispatch_frame counts it again
-            out, sub_bye = await self._dispatch_frame(bytes(sub))
+            sub_payload = bytes(sub)
+            if budget_ms is not None:
+                # the batch budget governs every sub-op
+                sub_payload = wire.wrap_deadline(sub_payload, budget_ms)
+            out, sub_bye = await self._dispatch_frame(sub_payload)
             bye = bye or sub_bye
             parts.append(out)
         return wire.encode_batch(parts), bye
 
-    async def _route_job_batch(self, payload: bytes, subs) -> bytes:
+    async def _route_job_batch(
+        self, payload: bytes, subs, budget_ms: Optional[float] = None
+    ) -> bytes:
         """An all-job batch: split per shard, fan out, reassemble."""
         groups: dict[int, list[int]] = {}
         order: list[int] = []  # shard of each sub, in client order
@@ -837,7 +1368,7 @@ class ShardRouter:
             index = next(iter(groups))
             self.requests_routed[index] += len(subs)
             try:
-                return await self.links[index].request(payload)
+                return await self._call_shard(index, payload, budget_ms)
             except ConnectionError as exc:
                 return wire.encode_batch(
                     [self._unavailable(index, exc)] * len(subs)
@@ -850,7 +1381,7 @@ class ShardRouter:
             )
             self.requests_routed[index] += len(groups[index])
             try:
-                return await self.links[index].request(sub_payload)
+                return await self._call_shard(index, sub_payload, budget_ms)
             except ConnectionError as exc:
                 return exc
 
@@ -890,11 +1421,7 @@ class ShardRouter:
         return wire.encode_batch(parts)  # type: ignore[arg-type]
 
     def _unavailable(self, index: int, exc: Exception) -> bytes:
-        return wire.encode_json_response({
-            "ok": False,
-            "error": f"shard {index}: {exc}",
-            "error_type": "shard_unavailable",
-        })
+        return wire.encode_json_response(self._error_doc(index, exc))
 
     def _encode_response(self, response: dict) -> bytes:
         """A router-composed dict in the binary response scheme."""

@@ -43,14 +43,28 @@ Operations
 ``{"op": "ping"}`` / ``{"op": "shutdown"}``
     Liveness / stop the server (used by tests and ``repro loadgen
     --shutdown``).
-``{"op": "hello", "protocol": "json" | "binary", "version": 1}``
+``{"op": "health"}``
+    Cheap liveness-plus-progress probe for the fleet supervisor: engine
+    clock, admission queue depth, WAL seq and records since the last
+    checkpoint (durable engines), requests served.  Unlike ``ping`` it
+    reads real engine state, so a wedged event loop or a hung handler
+    cannot answer it — which is exactly what makes it a hang detector.
+``{"op": "hello", "protocol": "json" | "binary", "version": 2}``
     Protocol negotiation.  Acknowledging a ``"binary"`` hello switches
     the connection to the length-prefixed binary framing of
     :mod:`repro.service.protocol` — same op set, same error taxonomy,
-    ~10x the throughput once the client batches and pipelines.  The
-    JSON-lines protocol stays the debug/compat surface; the two are
-    differential-tested bit-identical
-    (``tests/service/test_protocol_differential.py``).
+    ~10x the throughput once the client batches and pipelines.  The ack
+    carries ``min(client, server)`` — the newest dialect both ends
+    speak — so old peers interoperate.  The JSON-lines protocol stays
+    the debug/compat surface; the two are differential-tested
+    bit-identical (``tests/service/test_protocol_differential.py``).
+
+Deadlines: any request (JSON field ``deadline_ms``, or the binary
+``0x05`` DEADLINE wrapper) may carry its remaining deadline budget in
+milliseconds.  A request whose budget is already spent is refused with
+``error_type: deadline_exceeded`` *without touching the engine* — the
+client has stopped waiting, so applying the operation would place a job
+nobody acknowledges.
 """
 
 from __future__ import annotations
@@ -268,6 +282,11 @@ class AllocationService:
                     # a torn final request: the client died mid-line
                     self._count("repro_service_disconnects_total")
                     break
+                if self.injector is not None and self.injector.hang_point("request"):
+                    # injected hang: the process stays alive but never
+                    # answers again — only the supervisor's health
+                    # prober (missed-probe restart) can clear this
+                    await asyncio.Event().wait()
                 started = perf_counter()
                 response = self._dispatch_line(line)
                 if self.injector is not None:
@@ -349,8 +368,33 @@ class AllocationService:
             }
         return self._dispatch_safely(request)
 
+    def _deadline_expired(self, budget_ms) -> Optional[dict]:
+        """The refusal doc when a request's deadline budget is spent."""
+        try:
+            budget = float(budget_ms)
+        except (TypeError, ValueError):
+            self._count("repro_service_protocol_errors_total")
+            return {
+                "ok": False,
+                "error": f"deadline_ms must be a number, got {budget_ms!r}",
+                "error_type": "protocol",
+            }
+        if budget > 0:
+            return None
+        self._count("repro_service_deadline_exceeded_total")
+        return {
+            "ok": False,
+            "error": f"deadline budget exhausted ({budget:.3f} ms remaining)",
+            "error_type": "deadline_exceeded",
+        }
+
     def _dispatch_safely(self, request: dict) -> dict:
         """Dispatch one parsed request under the full error taxonomy."""
+        budget_ms = request.get("deadline_ms")
+        if budget_ms is not None:
+            expired = self._deadline_expired(budget_ms)
+            if expired is not None:
+                return expired
         try:
             return self._dispatch(request)
         except ProtocolError as exc:
@@ -452,6 +496,18 @@ class AllocationService:
             return {"ok": True, "snapshot": doc}
         if op == "ping":
             return {"ok": True, "pong": True}
+        if op == "health":
+            health = {
+                "clock": engine.clock,
+                "queue_depth": getattr(engine, "queue_depth", 0),
+                "requests": self.requests_served,
+            }
+            if self._durable:
+                health["wal_seq"] = engine.wal.last_seq
+                health["since_checkpoint"] = engine._since_checkpoint
+            if self.shard is not None:
+                health["shard"] = self.shard.shard_id
+            return {"ok": True, "health": health}
         if op == "shutdown":
             return {"ok": True, "bye": True}
         if op == "hello":
@@ -461,12 +517,18 @@ class AllocationService:
                     f"unknown protocol {proto!r}; known: {list(wire.PROTOCOLS)}"
                 )
             version = request.get("version", wire.PROTOCOL_VERSION)
-            if version != wire.PROTOCOL_VERSION:
+            if not isinstance(version, int):
                 raise ProtocolError(
-                    f"unsupported protocol version {version!r} "
-                    f"(this server speaks {wire.PROTOCOL_VERSION})"
+                    f"protocol version must be an integer, got {version!r}"
                 )
-            return {"ok": True, "protocol": proto, "version": wire.PROTOCOL_VERSION}
+            agreed = wire.negotiate_version(version)
+            if agreed is None:
+                raise ProtocolError(
+                    f"unsupported protocol version {version!r} (this server "
+                    f"speaks {wire.MIN_PROTOCOL_VERSION}.."
+                    f"{wire.PROTOCOL_VERSION})"
+                )
+            return {"ok": True, "protocol": proto, "version": agreed}
         raise ProtocolError(f"unknown op {op!r}")
 
     # -- binary protocol ------------------------------------------------------
@@ -530,6 +592,9 @@ class AllocationService:
             except asyncio.IncompleteReadError:
                 self._count("repro_service_disconnects_total")
                 return
+            if self.injector is not None and self.injector.hang_point("request"):
+                # injected hang: alive but silent (see the JSON loop)
+                await asyncio.Event().wait()
             started = perf_counter()
             out, bye = self._dispatch_frame(payload)
             if self.injector is not None:
@@ -546,8 +611,28 @@ class AllocationService:
                 self._shutdown.set()
                 return
 
-    def _dispatch_frame(self, payload: bytes) -> tuple[bytes, bool]:
-        """One frame payload -> ``(response payload, shutdown?)``."""
+    def _dispatch_frame(self, payload) -> tuple[bytes, bool]:
+        """One frame payload -> ``(response payload, shutdown?)``.
+
+        A v2 DEADLINE wrapper is stripped here, at the top level only —
+        one budget covers a whole batch, and sub-requests cannot carry
+        their own.
+        """
+        try:
+            payload, budget_ms = wire.unwrap_deadline(payload)
+        except wire.FrameError as exc:
+            self.requests_served += 1
+            return self._frame_error(exc), False
+        if budget_ms is not None and budget_ms <= 0:
+            self.requests_served += 1
+            self._count("repro_service_deadline_exceeded_total")
+            return wire.encode_json_response({
+                "ok": False,
+                "error": (
+                    f"deadline budget exhausted ({budget_ms:.3f} ms remaining)"
+                ),
+                "error_type": "deadline_exceeded",
+            }), False
         if payload[0] == wire.OP_BATCH:
             return self._dispatch_batch(payload)
         return self._dispatch_binary_one(payload)
@@ -876,6 +961,8 @@ class AllocationService:
              "replies dropped by fault injection"),
             ("repro_service_duplicate_requests_total",
              "submits answered from the idempotency window"),
+            ("repro_service_deadline_exceeded_total",
+             "requests refused because their deadline budget was spent"),
         ):
             if name not in reg:
                 reg.counter(name, help_text)

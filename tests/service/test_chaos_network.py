@@ -1,0 +1,260 @@
+"""Seeded network chaos against a live fleet: nothing acknowledged is lost.
+
+The acceptance test of the failure-domain hardening: a tenant-keyed
+loadgen drives a 3-shard subprocess fleet while a deterministic fault
+plan abuses every link — injected delay and dropped/truncated frames on
+the client and backend links, one shard partitioned and healed
+mid-stream, and one worker hung (alive but silent) until the
+supervisor's health probes catch and restart it.  The invariants:
+
+- zero lost acknowledged requests (the client report ends error-free);
+- zero duplicate applies (every job gets exactly one verdict, and the
+  per-shard job metrics match the fault-free control run exactly);
+- per-shard durable state — WAL bytes and final checkpoint — identical
+  to the control run, modulo only the durable layer's own counters and
+  the hardening counters that *count the injected faults themselves*
+  (disconnects, dedup hits, probe-driven recoveries).
+
+Every random decision draws from pinned seeds; injected latency rides a
+virtual clock, so the suite adds no wall-clock sleeps of its own.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+
+import pytest
+
+from repro.service import (
+    FaultInjector,
+    FaultPlan,
+    FleetSupervisor,
+    RetryPolicy,
+    partition_items,
+    run_loadgen,
+    tenantize,
+)
+from repro.service.faults import LinkFaults
+from repro.service.recovery import _DURABLE_COUNTERS
+from repro.service.wal import verify_wal_dir
+from repro.workloads import poisson_workload
+
+from .test_fleet import wait_for_port
+
+pytestmark = pytest.mark.chaos_network
+
+TENANTS = 9
+SHARDS = 3
+N_JOBS = 240
+
+#: counters that legitimately differ between a faulted run and its
+#: control: the durable layer's own event counts (extra recoveries,
+#: replays) and the hardening counters that tally the injected faults
+#: themselves.  Everything else — placements, rejections, job counts,
+#: clocks — must match exactly.
+EXCLUDED_COUNTERS = {name for name, _ in _DURABLE_COUNTERS} | {
+    "repro_service_disconnects_total",
+    "repro_service_request_timeouts_total",
+    "repro_service_dropped_replies_total",
+    "repro_service_deadline_exceeded_total",
+}
+
+
+def trace():
+    items = poisson_workload(N_JOBS, seed=31, mu_target=8.0, arrival_rate=6.0)
+    return tenantize(sorted(items, key=lambda it: it.arrival), TENANTS)
+
+
+def fleet_run(tmp_path, name, items, *, fault_plans=None, router_kwargs=None,
+              loadgen_faults=None):
+    """One full fleet lifecycle: boot, loadgen, checkpoint, shutdown."""
+    wal_root = str(tmp_path / name)
+    supervisor = FleetSupervisor(
+        SHARDS,
+        wal_root,
+        tenants=TENANTS,
+        serve_args=["--fsync", "never"],
+        fault_plans=fault_plans or {},
+        reconnect_wait=20.0,
+        probe_interval=0.25,
+        probe_timeout=0.5,
+        probe_misses=2,
+        router_kwargs=router_kwargs or {},
+    )
+    port_file = str(tmp_path / f"{name}-PORT")
+
+    async def go():
+        runner = asyncio.ensure_future(
+            supervisor.run(front_host="127.0.0.1", front_port=0,
+                           port_file=port_file)
+        )
+        loop = asyncio.get_event_loop()
+        port = await loop.run_in_executor(None, lambda: wait_for_port(port_file))
+        report = await run_loadgen(
+            items,
+            port=port,
+            protocol="binary",
+            batch=8,
+            pipeline=2,
+            retry=RetryPolicy(retries=4),
+            deadline_ms=20000.0,
+            faults=loadgen_faults,
+        )
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        docs = []
+        for doc in ({"op": "checkpoint"}, {"op": "metrics"}, {"op": "shutdown"}):
+            writer.write((json.dumps(doc) + "\n").encode())
+            await writer.drain()
+            docs.append(json.loads(await reader.readline()))
+        writer.close()
+        rc = await asyncio.wait_for(runner, timeout=60)
+        return report, docs, rc
+
+    report, (checkpoint, metrics, bye), rc = asyncio.run(go())
+    assert rc == 0
+    assert checkpoint["ok"] and len(checkpoint["shards"]) == SHARDS
+    assert bye["ok"]
+    return supervisor, report, metrics["text"]
+
+
+def durable_state(wal_root):
+    """Per shard: WAL segment bytes + the final checkpoint doc, with the
+    legitimately-divergent counters stripped."""
+    out = []
+    for i in range(SHARDS):
+        shard_dir = os.path.join(wal_root, f"shard-{i:02d}")
+        wal_bytes = {
+            name: open(os.path.join(shard_dir, name), "rb").read()
+            for name in sorted(os.listdir(shard_dir))
+            if name.startswith("wal-")
+        }
+        checkpoints = sorted(
+            n for n in os.listdir(shard_dir) if n.startswith("checkpoint-")
+        )
+        with open(os.path.join(shard_dir, checkpoints[-1])) as f:
+            doc = json.load(f)
+        for name in EXCLUDED_COUNTERS:
+            doc["engine"]["metrics"].pop(name, None)
+        out.append({
+            "wal": wal_bytes,
+            "checkpoint_name": checkpoints[-1],
+            "checkpoint": doc,
+        })
+    return out
+
+
+def metric_value(text, family, shard):
+    match = re.search(
+        rf'{family}{{shard="{shard}"}} (\d+)', text
+    )
+    assert match, f"{family}{{shard={shard}}} missing from exposition"
+    return int(match.group(1))
+
+
+def test_network_chaos_invariant(tmp_path):
+    items = trace()
+    parts = partition_items(items, SHARDS, tenants=TENANTS)
+    assert all(len(p) >= 20 for p in parts), "every shard must see real load"
+
+    # -- control: same trace, same fleet shape, no faults anywhere ------------
+    control_sup, control_report, _ = fleet_run(tmp_path, "control", items)
+    assert control_report.errors == 0
+    assert control_report.jobs == N_JOBS
+    assert control_sup.restarts == [0] * SHARDS
+    control_state = durable_state(str(tmp_path / "control"))
+
+    # -- chaos: every link abused, one worker hung ----------------------------
+    hang_plan = str(tmp_path / "hang.json")
+    with open(hang_plan, "w") as f:
+        json.dump({"seed": 5, "hang": {"request": 4}}, f)
+    injector = FaultInjector(FaultPlan(
+        seed=1234,
+        net={
+            "backend-0": {"delay_ms": 2.0, "drop_rate": 0.08},
+            "backend-2": {"partition": [5, 9]},
+        },
+    ))
+    client_faults = LinkFaults(
+        "client", {"delay_ms": 1.0, "drop_rate": 0.04, "truncate_rate": 0.02},
+        seed=77,
+    )
+    chaos_sup, chaos_report, metrics_text = fleet_run(
+        tmp_path, "chaos", items,
+        fault_plans={1: hang_plan},
+        router_kwargs={"request_timeout": 15.0, "fault_injector": injector},
+        loadgen_faults=client_faults,
+    )
+
+    # zero lost acknowledged requests, zero duplicate verdicts
+    assert chaos_report.errors == 0
+    assert chaos_report.jobs == N_JOBS
+    assert chaos_report.actions.get("placed", 0) + chaos_report.actions.get(
+        "rejected", 0
+    ) == N_JOBS
+    assert chaos_report.actions == control_report.actions
+    assert chaos_report.drain == control_report.drain
+
+    # the faults actually fired: the hung worker was probe-restarted,
+    # the client link really dropped frames
+    assert chaos_sup.probe_restarts[1] >= 1, "the hang was never detected"
+    assert chaos_sup.probe_restarts[0] == 0
+    assert client_faults.dropped + client_faults.truncated >= 1
+
+    # resilience signals are on the router's merged exposition,
+    # labelled per shard
+    for family in (
+        "repro_router_breaker_state",
+        "repro_router_breaker_rejected_total",
+        "repro_router_deadline_exceeded_total",
+        "repro_router_probe_failures_total",
+    ):
+        for shard in range(SHARDS):
+            metric_value(metrics_text, family, shard)
+    assert metric_value(metrics_text, "repro_router_probe_failures_total", 1) >= 1
+    assert (
+        'repro_router_breaker_transitions_total{shard="1",state="open"}'
+        in metrics_text
+    )
+
+    # per-shard durable state is identical to the fault-free control
+    chaos_state = durable_state(str(tmp_path / "chaos"))
+    for i in range(SHARDS):
+        assert chaos_state[i]["wal"] == control_state[i]["wal"], (
+            f"shard {i} WAL diverged under network faults"
+        )
+        assert chaos_state[i]["wal"], f"shard {i} compare is vacuous"
+        assert (
+            chaos_state[i]["checkpoint_name"]
+            == control_state[i]["checkpoint_name"]
+        ), i
+        assert chaos_state[i]["checkpoint"] == control_state[i]["checkpoint"], (
+            f"shard {i} checkpoint diverged under network faults"
+        )
+        # and the offline auditor agrees the directory is sound
+        audit = verify_wal_dir(os.path.join(str(tmp_path / "chaos"), f"shard-{i:02d}"))
+        assert audit["ok"], audit["errors"]
+
+
+def test_hung_worker_is_probe_restarted(tmp_path):
+    """The fail-silent mode alone: a worker that hangs (process alive,
+    socket open, no replies) is caught by health probes and restarted
+    with no client-visible errors."""
+    items = trace()[:120]
+    hang_plan = str(tmp_path / "hang.json")
+    with open(hang_plan, "w") as f:
+        json.dump({"seed": 3, "hang": {"request": 3}}, f)
+
+    supervisor, report, metrics_text = fleet_run(
+        tmp_path, "hung", items, fault_plans={1: hang_plan},
+    )
+    assert report.errors == 0
+    assert report.jobs == len(items)
+    assert supervisor.probe_restarts[1] >= 1
+    assert supervisor.restarts[1] >= 1
+    # the healthy shard kept answering probes with a health document
+    assert supervisor.last_health[0] is not None
+    assert "clock" in supervisor.last_health[0]
+    assert metric_value(metrics_text, "repro_router_probe_failures_total", 1) >= 1

@@ -289,6 +289,91 @@ def test_unreadable_checkpoint_is_skipped_for_an_older_one(tmp_path):
     recovered.close()
 
 
+def test_corrupt_newest_checkpoint_falls_back_and_replays_the_gap(tmp_path):
+    """A parseable-but-broken newest checkpoint must not sink recovery.
+
+    Checkpoint A covers the first half of the trace, checkpoint B the
+    whole of it.  B then gets its engine section mangled (valid JSON, so
+    it survives ``read_checkpoint`` and only dies inside the restore).
+    Recovery must fall back to A, count B in ``fallback_checkpoints``,
+    and replay the WAL records between A and the end of the log so the
+    final packing still matches the run that never crashed.
+    """
+    capacity, ops = scalar_ops(n=12, seed=33)
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    durable = DurableEngine(make_engine(), wal, checkpoint_every=1000)
+    half = len(ops) // 2
+    for i, op in enumerate(ops[:half]):
+        apply_op(durable, i, op, durable=True)
+    good = durable.checkpoint_now()
+    for i, op in enumerate(ops[half:], start=half):
+        apply_op(durable, i, op, durable=True)
+    bad = durable.checkpoint_now()
+    assert bad != good
+    wal.close()
+
+    doc = json.loads(open(bad).read())
+    doc["engine"] = {"kind": "scalar"}  # structurally gutted, still JSON
+    with open(bad, "w") as fh:
+        fh.write(json.dumps(doc))
+
+    recovered, report = recover(str(tmp_path), engine_builder=make_engine)
+    assert report.checkpoint_path == good
+    assert report.fallback_checkpoints == [str(bad)]
+    assert report.skipped_checkpoints == []
+    assert report.replayed == len(
+        [op for op in ops[half:]]
+    ), "every op after checkpoint A must come back from the log"
+    result = recovered.finish()
+    recovered.close()
+    baseline = baseline_result(make_engine, ops)
+    assert result.item_bin == baseline.item_bin
+    assert result.total_usage_time == baseline.total_usage_time
+
+
+def test_fallback_refuses_when_the_log_cannot_cover_the_gap(tmp_path):
+    """Falling back past a pruned log must fail loudly, not lose ops."""
+    from repro.service.wal import SEGMENT_PREFIX, SEGMENT_SUFFIX, WalCorruptionError
+
+    capacity, ops = scalar_ops(n=12, seed=33)
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    wal = WriteAheadLog(str(tmp_path), fsync="never")
+    durable = DurableEngine(make_engine(), wal, checkpoint_every=1000)
+    half = len(ops) // 2
+    for i, op in enumerate(ops[:half]):
+        apply_op(durable, i, op, durable=True)
+    a_seq = wal.last_seq
+    durable.checkpoint_now()
+    for i, op in enumerate(ops[half:], start=half):
+        apply_op(durable, i, op, durable=True)
+    bad = durable.checkpoint_now()
+    wal.close()
+
+    doc = json.loads(open(bad).read())
+    doc["engine"] = {"kind": "scalar"}
+    with open(bad, "w") as fh:
+        fh.write(json.dumps(doc))
+    # simulate the prune that would normally follow checkpoint B: drop
+    # the records checkpoint A depends on, leaving a seq gap after it
+    for name in os.listdir(tmp_path):
+        if name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX):
+            seg = tmp_path / name
+            kept = [
+                line
+                for line in seg.read_bytes().splitlines(keepends=True)
+                if int(line.split(b" ", 1)[0]) > a_seq + 1
+            ]
+            seg.write_bytes(b"".join(kept))
+
+    with pytest.raises(WalCorruptionError, match="acknowledged operations missing"):
+        recover(str(tmp_path), engine_builder=make_engine)
+
+
 def test_checkpoint_retention_keeps_three(tmp_path):
     capacity, ops = scalar_ops(n=20, seed=41)
     wal = WriteAheadLog(str(tmp_path), fsync="never")

@@ -1,0 +1,393 @@
+"""The resilience layer in units: breaker, deadlines, outcome classes.
+
+The chaos-network suite proves the whole stack survives a hostile
+network; this file pins each mechanism in isolation so a regression
+names the broken part.  The circuit breaker runs on a fake clock (no
+sleeps), the router's forwarding chokepoint is driven through stubbed
+backend links, the deadline surface is exercised over both protocols
+against a live in-process service, and the load generator's outcome
+classification is tested straight against the report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.service import (
+    AllocationService,
+    MetricsRegistry,
+    ShardRouter,
+    StreamingEngine,
+    run_loadgen,
+)
+from repro.service import protocol as wire
+from repro.service.loadgen import LoadgenReport, _tally
+from repro.service.router import (
+    BreakerOpenError,
+    CircuitBreaker,
+    DeadlineExceededError,
+)
+from repro.workloads import poisson_workload
+
+
+# -- circuit breaker on a fake clock ------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_breaker(clock, **kw):
+    defaults = dict(window=10, min_volume=5, threshold=0.5, cooldown=5.0,
+                    probes=1, clock=clock)
+    defaults.update(kw)
+    return CircuitBreaker(**defaults)
+
+
+def test_breaker_opens_at_the_failure_threshold():
+    clock = FakeClock()
+    b = make_breaker(clock)
+    for _ in range(3):
+        b.record_success()
+    b.record_failure()
+    b.record_failure()
+    # 2/5 failures: at min_volume but under the 0.5 threshold
+    assert b.state == CircuitBreaker.CLOSED and b.allow()
+    b.record_failure()  # 3/6 = 0.5: trips
+    assert b.state == CircuitBreaker.OPEN
+    assert not b.allow()
+    assert b.state_code == 1
+    assert b.transitions[CircuitBreaker.OPEN] == 1
+
+
+def test_breaker_cooldown_halfopen_probe_and_close():
+    clock = FakeClock()
+    b = make_breaker(clock, min_volume=2, window=4)
+    b.record_failure()
+    b.record_failure()
+    assert b.state == CircuitBreaker.OPEN
+    clock.now += 4.9
+    assert not b.allow(), "cooldown has not expired yet"
+    clock.now += 0.2
+    assert b.allow(), "first allow past cooldown is the half-open probe"
+    assert b.state == CircuitBreaker.HALF_OPEN
+    assert not b.allow(), "the probe budget is one request"
+    b.record_success()
+    assert b.state == CircuitBreaker.CLOSED
+    assert b.allow()
+    # the window was cleared: one new failure must not instantly re-trip
+    b.record_failure()
+    assert b.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_failed_probe_reopens_for_another_cooldown():
+    clock = FakeClock()
+    b = make_breaker(clock, min_volume=2, window=4)
+    b.record_failure()
+    b.record_failure()
+    clock.now += 5.1
+    assert b.allow()
+    b.record_failure()  # the probe died too
+    assert b.state == CircuitBreaker.OPEN
+    assert not b.allow(), "a fresh cooldown started at the probe failure"
+    clock.now += 5.1
+    assert b.allow()
+    b.record_success()
+    assert b.state == CircuitBreaker.CLOSED
+    assert b.transitions == {
+        CircuitBreaker.CLOSED: 1,
+        CircuitBreaker.OPEN: 2,
+        CircuitBreaker.HALF_OPEN: 2,
+    }
+
+
+def test_breaker_parameter_validation():
+    for kw in (
+        {"window": 0},
+        {"min_volume": 0},
+        {"threshold": 0.0},
+        {"threshold": 1.5},
+        {"probes": 0},
+    ):
+        with pytest.raises(ValueError):
+            make_breaker(FakeClock(), **kw)
+
+
+# -- the router chokepoint with stubbed links ---------------------------------
+def stats_payload() -> bytes:
+    return wire.encode_json_request({"op": "stats"})
+
+
+def test_router_budget_timeout_becomes_deadline_exceeded():
+    async def go():
+        router = ShardRouter([("127.0.0.1", 1)], request_timeout=5.0)
+
+        async def never(payload):
+            await asyncio.Event().wait()
+
+        router.links[0].request = never
+        with pytest.raises(DeadlineExceededError):
+            await router._call_shard(0, stats_payload(), budget_ms=30.0)
+        assert router.deadline_exceeded[0] == 1
+        assert router.breakers[0].state == CircuitBreaker.CLOSED
+        text = router._own_exposition()
+        assert 'repro_router_deadline_exceeded_total{shard="0"} 1' in text
+        doc = router._error_doc(0, DeadlineExceededError("no reply"))
+        assert doc["error_type"] == "deadline_exceeded"
+        assert doc["error"].startswith("shard 0: ")
+
+    asyncio.run(go())
+
+
+def test_router_failfast_breaker_rejects_and_exposes_state():
+    async def go():
+        router = ShardRouter(
+            [("127.0.0.1", 1)],
+            request_timeout=1.0,
+            breaker_window=10,
+            breaker_min_volume=3,
+            breaker_threshold=0.5,
+            breaker_cooldown=60.0,
+        )
+        calls = 0
+
+        async def refuse(payload):
+            nonlocal calls
+            calls += 1
+            raise ConnectionError("injected backend failure")
+
+        router.links[0].request = refuse
+        for _ in range(3):
+            with pytest.raises(ConnectionError):
+                await router._call_shard(0, stats_payload())
+        assert router.breakers[0].state == CircuitBreaker.OPEN
+        with pytest.raises(BreakerOpenError):
+            await router._call_shard(0, stats_payload())
+        assert calls == 3, "an open breaker must not touch the backend"
+        assert router.breaker_rejected[0] == 1
+        doc = router._error_doc(0, BreakerOpenError("circuit breaker open"))
+        assert doc["error_type"] == "shard_unavailable"
+        assert doc["breaker"] == "open"
+        text = router._own_exposition()
+        assert 'repro_router_breaker_state{shard="0"} 1' in text
+        assert 'repro_router_breaker_rejected_total{shard="0"} 1' in text
+        assert (
+            'repro_router_breaker_transitions_total{shard="0",state="open"} 1'
+            in text
+        )
+
+    asyncio.run(go())
+
+
+def test_router_queue_mode_parks_until_the_breaker_heals():
+    async def go():
+        router = ShardRouter(
+            [("127.0.0.1", 1)],
+            request_timeout=5.0,
+            degraded="queue",
+            breaker_window=10,
+            breaker_min_volume=2,
+            breaker_cooldown=0.05,
+        )
+
+        async def refuse(payload):
+            raise ConnectionError("injected backend failure")
+
+        router.links[0].request = refuse
+        for _ in range(2):
+            with pytest.raises(ConnectionError):
+                await router._call_shard(0, stats_payload())
+        assert router.breakers[0].state == CircuitBreaker.OPEN
+
+        async def ok(payload):
+            return b"healed"
+
+        router.links[0].request = ok
+        # the queued request waits out the cooldown, becomes the
+        # half-open probe, and drains through the healed link
+        out = await router._call_shard(0, stats_payload())
+        assert out == b"healed"
+        assert router.breakers[0].state == CircuitBreaker.CLOSED
+        assert router.breaker_rejected[0] == 0
+
+    asyncio.run(go())
+
+
+def test_router_rejects_unknown_degraded_policy():
+    with pytest.raises(ValueError, match="degraded policy"):
+        ShardRouter([("127.0.0.1", 1)], degraded="shrug")
+
+
+# -- the deadline surface, both protocols -------------------------------------
+def fresh_service():
+    engine = StreamingEngine.scalar(
+        make_algorithm("first-fit"), metrics=MetricsRegistry()
+    )
+    return engine, AllocationService(engine, quiet=True)
+
+
+async def json_roundtrip(port, docs):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    out = []
+    for doc in docs:
+        writer.write((json.dumps(doc) + "\n").encode())
+        await writer.drain()
+        out.append(json.loads(await reader.readline()))
+    writer.close()
+    return out
+
+
+def test_json_deadline_field_is_enforced():
+    async def go():
+        engine, service = fresh_service()
+        port = await service.start("127.0.0.1", 0)
+        try:
+            spent, alive, bogus, metrics = await json_roundtrip(port, [
+                {"op": "advance", "now": 1.0, "deadline_ms": 0},
+                {"op": "advance", "now": 1.0, "deadline_ms": 60000.0},
+                {"op": "advance", "now": 2.0, "deadline_ms": "soonish"},
+                {"op": "metrics"},
+            ])
+        finally:
+            service._shutdown.set()
+            await service.wait_closed()
+        assert not spent["ok"]
+        assert spent["error_type"] == "deadline_exceeded"
+        assert alive["ok"], alive
+        assert not bogus["ok"] and bogus["error_type"] == "protocol"
+        assert "repro_service_deadline_exceeded_total 1" in metrics["text"]
+
+    asyncio.run(go())
+
+
+def test_binary_deadline_wrapper_is_enforced():
+    async def go():
+        engine, service = fresh_service()
+        port = await service.start("127.0.0.1", 0)
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(wire.hello_line())
+            await writer.drain()
+            ack = json.loads(await reader.readline())
+            assert ack["ok"] and ack["version"] == wire.PROTOCOL_VERSION
+
+            async def call(payload: bytes) -> dict:
+                writer.write(wire.frame(payload))
+                await writer.drain()
+                head = await reader.readexactly(wire.HEADER.size)
+                (length,) = wire.HEADER.unpack(head)
+                return wire.decode_response(await reader.readexactly(length))
+
+            advance = wire.encode_advance(1.0)
+            spent = await call(wire.wrap_deadline(advance, 0.0))
+            assert not spent["ok"]
+            assert spent["error_type"] == "deadline_exceeded"
+            alive = await call(wire.wrap_deadline(advance, 60000.0))
+            assert alive["ok"], alive
+            nested = await call(
+                wire.wrap_deadline(wire.wrap_deadline(advance, 5.0), 5.0)
+            )
+            assert not nested["ok"]
+            assert nested["error_type"] == "malformed_frame"
+        finally:
+            writer.close()
+            service._shutdown.set()
+            await service.wait_closed()
+
+    asyncio.run(go())
+
+
+def test_wrap_unwrap_deadline_roundtrip():
+    inner = wire.encode_advance(3.5)
+    wrapped = wire.wrap_deadline(inner, 123.25)
+    payload, budget = wire.unwrap_deadline(wrapped)
+    assert bytes(payload) == inner
+    assert budget == 123.25
+    # a bare payload passes through untouched
+    payload, budget = wire.unwrap_deadline(inner)
+    assert bytes(payload) == inner and budget is None
+    with pytest.raises(wire.FrameError):
+        wire.unwrap_deadline(wrapped[: wire._DEADLINE.size - 2])
+
+
+# -- loadgen outcome classification -------------------------------------------
+def test_tally_files_outcomes_under_their_classes():
+    report = LoadgenReport()
+    _tally(report, {"ok": True, "placement": {"action": "placed"}}, 1.0)
+    _tally(report, {"ok": True, "clock": 4.0}, 2.0)
+    _tally(
+        report,
+        {"ok": False, "error_type": "deadline_exceeded", "error": "late"},
+        9.0,
+    )
+    _tally(
+        report,
+        {
+            "ok": False,
+            "error_type": "shard_unavailable",
+            "breaker": "open",
+            "error": "open",
+        },
+        3.0,
+    )
+    _tally(report, {"ok": False, "error_type": "rejected", "error": "no"}, 5.0)
+    assert report.actions == {"placed": 1}
+    assert report.errors == 3
+    assert report.deadline_exceeded == 1
+    assert report.breaker_rejected == 1
+    assert sorted(report.class_latencies) == [
+        "breaker_rejected", "deadline_exceeded", "error", "ok",
+    ]
+    assert report.class_latencies["ok"] == [1.0, 2.0]
+    assert report.class_percentile("deadline_exceeded", 99) == 9.0
+
+
+def test_report_renders_and_serialises_failure_classes():
+    report = LoadgenReport(jobs=10, wall_seconds=1.0)
+    report.timeouts = 2
+    report.breaker_rejected = 1
+    report.deadline_exceeded = 3
+    report.errors = 4
+    report.note_outcome("ok", 1.5)
+    report.note_outcome("deadline_exceeded", 40.0)
+    text = report.render()
+    assert "failure classes: timeouts=2 breaker_rejected=1 deadline_exceeded=3" in text
+    assert "p99 ms by outcome:" in text
+    doc = report.to_json()
+    assert doc["timeouts"] == 2
+    assert doc["breaker_rejected"] == 1
+    assert doc["deadline_exceeded"] == 3
+    by_outcome = doc["latency_ms_by_outcome"]
+    assert by_outcome["ok"] == {"count": 1, "p50": 1.5, "p99": 1.5}
+    assert by_outcome["deadline_exceeded"]["count"] == 1
+
+
+def test_loadgen_deadline_interop_and_validation(tmp_path):
+    """A generous budget rides along without changing any outcome."""
+    items = poisson_workload(40, seed=3, mu_target=8.0, arrival_rate=6.0)
+
+    async def go():
+        engine, service = fresh_service()
+        port = await service.start("127.0.0.1", 0)
+        try:
+            report = await run_loadgen(
+                items, port=port, protocol="binary", batch=8, pipeline=2,
+                deadline_ms=60000.0,
+            )
+        finally:
+            service._shutdown.set()
+            await service.wait_closed()
+        return report
+
+    report = asyncio.run(go())
+    assert report.errors == 0
+    assert report.jobs == 40
+    assert report.deadline_exceeded == 0
+    with pytest.raises(ValueError, match="deadline_ms"):
+        asyncio.run(run_loadgen(items, port=1, deadline_ms=-1.0))

@@ -92,6 +92,65 @@ def test_ring_spreads_and_mostly_persists_on_resize():
     assert moved / len(keys) < 0.45
 
 
+def test_ring_single_vnode_still_covers_every_key():
+    ring = HashRing(3, replicas=1)
+    owners = {ring.node_for_key(k) for k in range(2000)}
+    assert owners <= {0, 1, 2}
+    # with one vnode per node every key must still land somewhere valid,
+    # including keys hashing past the highest point (the wraparound arc)
+    assert len(owners) >= 1
+    with pytest.raises(ValueError):
+        HashRing(3, replicas=0)
+
+
+def test_ring_membership_edge_cases():
+    ring = HashRing(2)
+    assert ring.members == frozenset({0, 1})
+    ring.remove_node(1)
+    assert ring.members == frozenset({0})
+    # the last member can never leave — keys must always map somewhere
+    with pytest.raises(ValueError, match="last member"):
+        ring.remove_node(0)
+    # removing a node that is not on the ring is a caller bug
+    with pytest.raises(KeyError):
+        ring.remove_node(7)
+    assert ring.node_for_key(12345) == 0  # single-member shortcut holds
+
+
+def test_ring_add_remove_readd_restores_the_exact_mapping():
+    ring = HashRing(4)
+    keys = list(range(3000))
+    before = [ring.node_for_key(k) for k in keys]
+    ring.remove_node(2)
+    assert all(ring.node_for_key(k) != 2 for k in keys)
+    ring.add_node(2)
+    assert [ring.node_for_key(k) for k in keys] == before
+    # re-adding an existing member is an idempotent no-op
+    ring.add_node(2)
+    assert [ring.node_for_key(k) for k in keys] == before
+    assert ring.num_nodes == 4
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_ring_resize_moves_at_most_its_fair_share(n):
+    """Property: growing N -> N+1 moves ~1/(N+1) of the keys, not more.
+
+    The bound is 1/(N+1) plus generous slack for vnode-placement
+    variance at 64 replicas — far below the (N-1)/N a modulo mapping
+    reshuffles, which is the failure mode this guards against.
+    """
+    small, big = HashRing(n), HashRing(n + 1)
+    keys = list(range(6000))
+    moved = sum(1 for k in keys if small.node_for_key(k) != big.node_for_key(k))
+    fair = 1.0 / (n + 1)
+    assert moved / len(keys) < fair + 0.15
+    # and every moved key moved *to the new node*, never between old ones
+    for k in keys:
+        a, b = small.node_for_key(k), big.node_for_key(k)
+        if a != b:
+            assert b == n
+
+
 def test_partition_items_matches_route_key():
     items = tenantize(trace(), TENANTS)
     parts = partition_items(items, SHARDS, tenants=TENANTS)

@@ -19,6 +19,7 @@ from repro.service.wal import (
     WriteAheadLog,
     read_segment,
     replay_wal,
+    verify_wal_dir,
     wal_segments,
 )
 
@@ -232,3 +233,136 @@ def test_append_many_bytes_equal_sequential_appends(tmp_path):
     records, torn = replay_wal(str(tmp_path / "many"))
     assert torn == 0
     assert [r.payload for r in records] == payloads
+
+
+# -- offline verification (`repro wal verify`) --------------------------------
+def _filled_wal(directory, n=12, segment_bytes=None):
+    kwargs = {"fsync": "never"}
+    if segment_bytes is not None:
+        kwargs["segment_bytes"] = segment_bytes
+    wal = WriteAheadLog(str(directory), **kwargs)
+    for i in range(n):
+        wal.append({"op": "advance", "now": float(i)})
+    wal.close()
+
+
+def test_verify_clean_directory(tmp_path):
+    _filled_wal(tmp_path, n=12, segment_bytes=120)
+    report = verify_wal_dir(str(tmp_path))
+    assert report["ok"], report["errors"]
+    assert report["records"] == 12
+    assert report["first_seq"] == 1 and report["last_seq"] == 12
+    assert len(report["segments"]) > 1, "rotation must be exercised"
+    assert report["torn_tail_bytes"] == 0
+    assert report["manifest"] == {"present": False, "fingerprint_ok": None}
+
+
+def test_verify_tolerates_a_torn_tail(tmp_path):
+    _filled_wal(tmp_path)
+    seg = wal_segments(str(tmp_path))[-1]
+    data = open(seg, "rb").read()
+    with open(seg, "wb") as f:
+        f.write(data[:-7])  # a crash half-wrote the final record
+    report = verify_wal_dir(str(tmp_path))
+    assert report["ok"], report["errors"]
+    assert report["torn_tail_bytes"] > 0
+    assert report["records"] == 11
+
+
+def test_verify_flags_midlog_corruption(tmp_path):
+    _filled_wal(tmp_path)
+    seg = wal_segments(str(tmp_path))[0]
+    data = bytearray(open(seg, "rb").read())
+    data[10] ^= 0xFF  # bit rot inside the FIRST record
+    with open(seg, "wb") as f:
+        f.write(data)
+    report = verify_wal_dir(str(tmp_path))
+    assert not report["ok"]
+    assert any("mid-log corruption" in e for e in report["errors"])
+    assert report["torn_tail_bytes"] == 0, "this must NOT pass as a torn tail"
+
+
+def test_verify_flags_a_sequence_gap(tmp_path):
+    _filled_wal(tmp_path)
+    seg = wal_segments(str(tmp_path))[0]
+    lines = open(seg, "rb").readlines()
+    with open(seg, "wb") as f:
+        f.writelines(lines[:5] + lines[6:])  # record 6 vanished
+    report = verify_wal_dir(str(tmp_path))
+    assert not report["ok"]
+    assert any("sequence gap" in e for e in report["errors"])
+
+
+def test_verify_flags_unreadable_checkpoint_and_coverage_gap(tmp_path):
+    import json as jsonlib
+
+    from repro.service.snapshot import SNAPSHOT_VERSION
+
+    _filled_wal(tmp_path)
+    # rename the log so it claims to start at seq 7 and drop records 1-6:
+    # the newest loadable checkpoint (wal_seq 5) no longer meets the log
+    seg = wal_segments(str(tmp_path))[0]
+    lines = open(seg, "rb").readlines()
+    os.remove(seg)
+    with open(os.path.join(str(tmp_path), "wal-0000000007.log"), "wb") as f:
+        f.writelines(lines[6:])
+    good = tmp_path / "checkpoint-0000000005.json"
+    good.write_text(jsonlib.dumps(
+        {"version": SNAPSHOT_VERSION, "wal_seq": 5, "engine": {}}
+    ))
+    bad = tmp_path / "checkpoint-0000000009.json"
+    bad.write_text('{"version": 1, "wal_')
+    report = verify_wal_dir(str(tmp_path))
+    assert not report["ok"]
+    assert any("unreadable checkpoint" in e for e in report["errors"])
+    assert any("log coverage gap" in e for e in report["errors"])
+    by_file = {c["file"]: c for c in report["checkpoints"]}
+    assert by_file["checkpoint-0000000005.json"]["ok"]
+    assert not by_file["checkpoint-0000000009.json"]["ok"]
+
+
+def test_verify_checks_the_manifest_fingerprint(tmp_path):
+    from repro.service.snapshot import config_fingerprint
+    from repro.service.wal import write_manifest
+
+    _filled_wal(tmp_path)
+    config = {"algorithm": "first-fit", "capacity": 1.0, "kind": "scalar"}
+    write_manifest(str(tmp_path), {
+        "version": 1, "shard_id": 0, "num_shards": 1,
+        "engine": config, "fingerprint": config_fingerprint(config),
+    })
+    report = verify_wal_dir(str(tmp_path))
+    assert report["ok"], report["errors"]
+    assert report["manifest"]["fingerprint_ok"] is True
+
+    write_manifest(str(tmp_path), {
+        "version": 1, "shard_id": 0, "num_shards": 1,
+        "engine": config, "fingerprint": "deadbeefdeadbeef",
+    })
+    report = verify_wal_dir(str(tmp_path))
+    assert not report["ok"]
+    assert report["manifest"]["fingerprint_ok"] is False
+    assert any("fingerprint" in e for e in report["errors"])
+
+
+def test_wal_verify_cli_exit_codes(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    _filled_wal(tmp_path)
+    assert cli_main(["wal", "verify", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+    assert cli_main(["wal", "verify", str(tmp_path), "--json", "-"]) == 0
+    import json as jsonlib
+
+    doc = jsonlib.loads(capsys.readouterr().out)
+    assert doc["ok"] and doc["records"] == 12
+
+    seg = wal_segments(str(tmp_path))[0]
+    data = bytearray(open(seg, "rb").read())
+    data[10] ^= 0xFF
+    with open(seg, "wb") as f:
+        f.write(data)
+    assert cli_main(["wal", "verify", str(tmp_path)]) == 1
+    assert "problem" in capsys.readouterr().out
