@@ -35,6 +35,7 @@ from .clairvoyant import (
 from .classified import ClassifiedAlgorithm, ClassifiedNextFit, HybridFirstFit
 from .first_fit import FirstFit
 from .last_fit import LastFit
+from .migration import BudgetedRepack, plan_evacuation_moves
 from .next_fit import NextFit
 from .predictions import LogNormalPredictor, PredictedDepartureFit
 from .random_fit import RandomFit
@@ -48,6 +49,7 @@ __all__ = [
     "DepartureAlignedFit",
     "DurationClassifiedFirstFit",
     "DurationClassifiedFit",
+    "BudgetedRepack",
     "ClassifiedAlgorithm",
     "ClassifiedNextFit",
     "FirstFit",
@@ -58,6 +60,7 @@ __all__ = [
     "PredictedDepartureFit",
     "PackingAlgorithm",
     "RandomFit",
+    "plan_evacuation_moves",
     "TwoChoiceFit",
     "WorstFit",
     "ALGORITHM_REGISTRY",
@@ -76,6 +79,7 @@ ALGORITHM_REGISTRY: dict[str, Callable[[], PackingAlgorithm]] = {
     "next-fit": NextFit,
     "hybrid-first-fit": HybridFirstFit,
     "classified-next-fit": ClassifiedNextFit,
+    "repack-ff": BudgetedRepack,
 }
 
 #: Clairvoyant (known-departure) policies — a strictly easier information

@@ -1,0 +1,129 @@
+"""Bounded-migration repacking — First Fit plus a per-event move budget.
+
+The paper's µ lower bound (Theorem 2) binds every algorithm that never
+moves a placed item; "Fully Dynamic Bin Packing Revisited" (PAPERS.md)
+studies what falls when that assumption is dropped: the adversary may
+repack a *bounded* number of items per arrival/departure.  X10 measures
+that trade-off for an offline adversary; this module is the online
+counterpart the service can actually run.
+
+:class:`BudgetedRepack` places exactly like First Fit and, after each
+applied event, proposes up to ``budget`` migrations that fully evacuate
+one **high-waste** open bin (emptiest-first by fullness — the bins
+paying the most idle usage time per unit of work).  Evacuation is
+all-or-nothing per bin: one that cannot be completely emptied within
+the budget is left alone, because a partial evacuation spends moves
+without closing a server and therefore buys no usage time.
+
+With ``budget=0`` the planner never returns a move, so the policy is
+bit-identical to plain :class:`~repro.algorithms.first_fit.FirstFit`
+(pinned by ``tests/core/test_migration_differential.py``).
+
+:func:`plan_evacuation_moves` is deliberately a module-level function,
+generic over the scalar and vector states: the streaming service's
+background defragmenter (``StreamingEngine.defrag``) plans with the same
+code out-of-band, so an event-coupled policy and the defragmenter agree
+move-for-move on any given state.
+"""
+
+from __future__ import annotations
+
+from ..core.bins import Bin
+from ..core.state import PackingState
+from .first_fit import FirstFit
+
+__all__ = ["BudgetedRepack", "plan_evacuation_moves"]
+
+
+def _fullness(level, capacity) -> float:
+    """Normalised fullness; the binding dimension for vector resources."""
+    if isinstance(level, tuple):
+        return max(lvl / cap for lvl, cap in zip(level, capacity))
+    return level / capacity
+
+
+def _fits(level, size, bound) -> bool:
+    """The engines' exact feasibility comparison, on projected levels."""
+    if isinstance(level, tuple):
+        return all(lvl + s <= b for lvl, s, b in zip(level, size, bound))
+    return level + size <= bound
+
+
+def _raise(level, size):
+    if isinstance(level, tuple):
+        return tuple(lvl + s for lvl, s in zip(level, size))
+    return level + size
+
+
+def plan_evacuation_moves(state, budget: int) -> list:
+    """Plan up to ``budget`` moves that fully evacuate one open bin.
+
+    Candidate victims are considered from the emptiest up (lowest
+    fullness first, ties to the earliest opened); the first one whose
+    items *all* rehome first-fit into the other open bins — against
+    projected levels, within the budget — wins, and its complete
+    evacuation is returned as ``(item, target)`` pairs for the driver to
+    validate and apply.  Evacuation is all-or-nothing per victim: a
+    partial evacuation spends moves without closing a server, buying no
+    usage time, so a victim with any stuck item is skipped whole.
+    Returns ``[]`` when no victim can be fully evacuated.
+
+    Deterministic on every engine path: victims and targets come from
+    linear scans of the open set (never the adaptive index), and a
+    victim's items are considered in item-id order — the one ordering
+    that survives a checkpoint/restore round-trip exactly.
+    """
+    if budget <= 0 or state.num_open < 2:
+        return []
+    bins = state.open_bins()
+    capacity = state.capacity
+    bound = state._cap_bound
+    for victim in sorted(bins, key=lambda b: (_fullness(b.level, capacity), b.index)):
+        items = sorted(victim.active_items.values(), key=lambda it: it.item_id)
+        if len(items) > budget:
+            continue
+        projected: dict[int, object] = {}
+        moves = []
+        for item in items:
+            target = None
+            for b in bins:
+                if b is victim:
+                    continue
+                level = projected.get(b.index, b.level)
+                if _fits(level, item.size, bound):
+                    target = b
+                    break
+            if target is None:
+                moves = None  # a stuck item voids this victim entirely
+                break
+            projected[target.index] = _raise(
+                projected.get(target.index, target.level), item.size
+            )
+            moves.append((item, target))
+        if moves:
+            return moves
+    return []
+
+
+class BudgetedRepack(FirstFit):
+    """First Fit with up to ``budget`` migrations per arrival/departure.
+
+    The driver calls :meth:`plan_migrations` after applying each event;
+    the moves it returns are applied immediately (and counted in
+    :attr:`moves`), before any observer sees the post-event state.
+    """
+
+    name = "repack-ff"
+
+    def __init__(self, budget: int = 2):
+        self.budget = int(budget)
+        #: migrations planned (== applied) since the last reset
+        self.moves = 0
+
+    def reset(self) -> None:
+        self.moves = 0
+
+    def plan_migrations(self, state: PackingState) -> list[tuple[object, Bin]]:
+        moves = plan_evacuation_moves(state, self.budget)
+        self.moves += len(moves)
+        return moves

@@ -18,11 +18,22 @@ deterministic (seeded), so any structural slowdown shows up as a drop in
 Timing methodology: best-of-``repeats`` wall clock per cell (the minimum
 is the standard noise-robust estimator for short benchmarks), events/sec
 = ``2 * n_items / seconds``.
+
+``repro bench --only PATTERN`` regenerates a subset: every cell has a
+composite key (``throughput/<instance>/<algorithm>/<path>``,
+``service/<instance>/<mode>``, or ``montecarlo``) matched with fnmatch,
+and when ``--json`` points at an existing report the unmatched cells are
+carried over from it rather than dropped — so one noisy or newly added
+row can be re-measured without re-running the whole grid.  Cells whose
+rows are *comparisons* (the trace-vs-poisson laps, the WAL trio, the
+router scan) are interleaved inside one repeat loop and therefore
+regenerate as a group if any member matches.
 """
 
 from __future__ import annotations
 
 import asyncio
+import fnmatch
 import gc
 import json
 import os
@@ -183,6 +194,40 @@ class BenchReport:
         return "\n".join(parts)
 
 
+class _Selector:
+    """Decides which bench cells run, by fnmatch over composite keys.
+
+    ``None`` (the default) selects everything.  Interleaved cell groups
+    call :meth:`any` with every key the group would emit and run
+    all-or-nothing — their rows are ratios, and regenerating one side of
+    a ratio against a stale other side would measure machine drift, not
+    the code.
+    """
+
+    def __init__(self, pattern: Optional[str]):
+        self.pattern = pattern
+
+    def __call__(self, key: str) -> bool:
+        return self.pattern is None or fnmatch.fnmatchcase(key, self.pattern)
+
+    def any(self, keys) -> bool:
+        return any(self(key) for key in keys)
+
+
+def _merge_rows(old_rows, new_rows, key_fields) -> list:
+    """Carry old rows over, replacing any the new run re-measured.
+
+    Old-row order is preserved (the committed baseline diffs cleanly);
+    rows for genuinely new keys append at the end in measured order.
+    """
+    key = lambda row: tuple(row.get(f) for f in key_fields)
+    fresh = {key(row): row for row in new_rows}
+    merged = [fresh.get(key(row), row) for row in old_rows]
+    replaced = {key(row) for row in old_rows}
+    merged.extend(row for row in new_rows if key(row) not in replaced)
+    return merged
+
+
 def _best_of(repeats: int, fn) -> float:
     """Best-of-``repeats`` wall clock with the cyclic GC paused.
 
@@ -220,6 +265,27 @@ def _stream_replay(ordered, with_metrics: bool) -> None:
     for it in ordered:
         engine.submit(it)
     engine.finish()
+
+
+def _stream_migration_replay(ordered, budget: int) -> None:
+    """Streaming replay under migration churn: repack-ff with a budget.
+
+    Every applied event runs the evacuation planner and possibly a burst
+    of ``state.migrate`` calls (remove + reinsert through the adaptive
+    index lanes), so this cell prices the migration engine's hot path
+    against the plain ``stream`` row measured on the same instance.
+    """
+    from .algorithms.migration import BudgetedRepack
+    from .service import StreamingEngine
+
+    engine = StreamingEngine.scalar(BudgetedRepack(budget=budget))
+    for it in ordered:
+        engine.submit(it)
+    engine.finish()
+
+
+#: Move budget for the ``stream+migration`` churn cell.
+STREAM_MIGRATION_BUDGET = 4
 
 
 def _wal_stream_replay(ordered, fsync: str) -> None:
@@ -311,7 +377,9 @@ async def _router_loopback_replay(ordered, shards, **loadgen_kwargs):
     return client
 
 
-def _bench_router(report: "BenchReport", ordered, quick: bool, repeats: int) -> None:
+def _bench_router(
+    report: "BenchReport", ordered, quick: bool, repeats: int, sel: "_Selector"
+) -> None:
     """Router-loopback cells, interleaved with their direct baseline.
 
     The direct (router-less) lap runs inside the same repeat loop as the
@@ -322,6 +390,11 @@ def _bench_router(report: "BenchReport", ordered, quick: bool, repeats: int) -> 
     shard, its fan-out bookkeeping on this single CPU).
     """
     shard_counts = SERVICE_ROUTER_QUICK_SHARDS if quick else SERVICE_ROUTER_SHARDS
+    if not sel.any(
+        [f"service/n{len(ordered)}/router-loopback-direct"]
+        + [f"service/n{len(ordered)}/router-loopback-{s}shard" for s in shard_counts]
+    ):
+        return
     kwargs = {
         "protocol": "binary",
         "batch": SERVICE_LOOPBACK_BATCH,
@@ -387,7 +460,9 @@ def _interleaved_best(repeats: int, cells: dict[str, Any]) -> dict[str, float]:
     return best
 
 
-def _bench_traces(report: "BenchReport", quick: bool, repeats: int) -> None:
+def _bench_traces(
+    report: "BenchReport", quick: bool, repeats: int, sel: "_Selector"
+) -> None:
     """Trace-replay packing cells (scalar + vector) vs Poisson baselines.
 
     The trace file is generated, parsed, and normalized *once* outside
@@ -396,6 +471,12 @@ def _bench_traces(report: "BenchReport", quick: bool, repeats: int) -> None:
     own that).
     """
     n = TRACE_BENCH_QUICK_JOBS if quick else TRACE_BENCH_JOBS
+    if not sel.any(
+        f"throughput/trace-azure-n{n}/{algo}/{mode}{suffix}"
+        for algo, suffix in (("first-fit", ""), ("vector-first-fit", "-vector"))
+        for mode in ("trace-replay", "poisson-baseline")
+    ):
+        return
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         path = os.path.join(tmp, f"azure-{n}.csv")
         generate_azure_trace(path, n, seed=WORKLOAD_SEED)
@@ -439,7 +520,9 @@ def _bench_traces(report: "BenchReport", quick: bool, repeats: int) -> None:
             )
 
 
-def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
+def _bench_service(
+    report: "BenchReport", quick: bool, repeats: int, sel: "_Selector"
+) -> None:
     grid = SERVICE_QUICK_GRID if quick else SERVICE_GRID
     for label, n, rate in grid:
         items = poisson_workload(
@@ -448,6 +531,8 @@ def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
         ordered = sorted(items, key=lambda it: it.arrival)
         events = 2 * len(items)
         for mode, with_metrics in (("stream", False), ("stream+metrics", True)):
+            if not sel(f"service/{label}/{mode}"):
+                continue
             secs = _best_of(repeats, lambda: _stream_replay(ordered, with_metrics))
             report.service.append(
                 {
@@ -459,6 +544,34 @@ def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
                     "events_per_sec": round(events / secs),
                 }
             )
+    # Migration-churn cell: the first grid instance replayed through the
+    # streaming path under repack-ff with a nonzero move budget — prices
+    # the per-event planner plus the migrate (remove + reinsert) index
+    # lanes against the plain ``stream`` row on the same instance.  The
+    # low-load instance is deliberate: the planner is a linear scan of
+    # the open set per event, and this cell exists to watch *that*
+    # constant, not to stress hundreds of open bins.
+    mig_label, mig_n, mig_rate = grid[0]
+    if sel(f"service/{mig_label}/stream+migration"):
+        mig_items = poisson_workload(
+            mig_n, seed=WORKLOAD_SEED, mu_target=WORKLOAD_MU,
+            arrival_rate=mig_rate,
+        )
+        mig_ordered = sorted(mig_items, key=lambda it: it.arrival)
+        secs = _best_of(
+            repeats,
+            lambda: _stream_migration_replay(mig_ordered, STREAM_MIGRATION_BUDGET),
+        )
+        report.service.append(
+            {
+                "instance": mig_label,
+                "n_items": mig_n,
+                "arrival_rate": mig_rate,
+                "mode": "stream+migration",
+                "seconds": round(secs, 6),
+                "events_per_sec": round(2 * mig_n / secs),
+            }
+        )
     # WAL-in-the-loop cells: the first grid instance replayed through the
     # durable engine under each fsync policy ("always" on its own smaller
     # instance — one flush per record dominates, events/sec stays
@@ -467,47 +580,59 @@ def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
     # measurements otherwise dominates the durability-overhead ratio the
     # rows imply — and the stream row keeps the best of both passes.
     wal_label, wal_n, wal_rate = grid[0]
-    wal_items = poisson_workload(
-        wal_n, seed=WORKLOAD_SEED, mu_target=WORKLOAD_MU, arrival_rate=wal_rate
-    )
-    wal_ordered = sorted(wal_items, key=lambda it: it.arrival)
     always_n = min(wal_n, SERVICE_WAL_ALWAYS_JOBS)
     fsyncs = ("never", "interval", "always")
-    laps = {mode: float("inf") for mode in ("stream",) + fsyncs}
-    for _ in range(repeats):
-        laps["stream"] = min(
-            laps["stream"], _best_of(1, lambda: _stream_replay(wal_ordered, False))
+    wal_keys = {
+        fsync: "service/{}/stream+wal({})".format(
+            wal_label if fsync != "always" or always_n == wal_n
+            else f"n{always_n}",
+            fsync,
         )
-        for fsync in fsyncs:
-            cell = wal_ordered if fsync != "always" else wal_ordered[:always_n]
-            # the WAL cells sit on the disk, and I/O latency swings far
-            # more lap-to-lap than CPU time does (observed ~60% vs ~5%
-            # on the container) — double their laps so the best-of
-            # estimate actually reaches each cell's floor
-            laps[fsync] = min(
-                laps[fsync],
-                _best_of(2, lambda f=fsync, c=cell: _wal_stream_replay(c, f)),
+        for fsync in fsyncs
+    }
+    if sel.any(wal_keys.values()):
+        wal_items = poisson_workload(
+            wal_n, seed=WORKLOAD_SEED, mu_target=WORKLOAD_MU, arrival_rate=wal_rate
+        )
+        wal_ordered = sorted(wal_items, key=lambda it: it.arrival)
+        laps = {mode: float("inf") for mode in ("stream",) + fsyncs}
+        for _ in range(repeats):
+            laps["stream"] = min(
+                laps["stream"], _best_of(1, lambda: _stream_replay(wal_ordered, False))
             )
-    stream_row = next(
-        r for r in report.service
-        if r["mode"] == "stream" and r["instance"] == wal_label
-    )
-    if laps["stream"] < stream_row["seconds"]:
-        stream_row["seconds"] = round(laps["stream"], 6)
-        stream_row["events_per_sec"] = round(2 * wal_n / laps["stream"])
-    for fsync in fsyncs:
-        cell_n = wal_n if fsync != "always" else always_n
-        secs = laps[fsync]
-        report.service.append(
-            {
-                "instance": wal_label if cell_n == wal_n else f"n{cell_n}",
-                "n_items": cell_n,
-                "arrival_rate": wal_rate,
-                "mode": f"stream+wal({fsync})",
-                "seconds": round(secs, 6),
-                "events_per_sec": round(2 * cell_n / secs),
-            }
+            for fsync in fsyncs:
+                cell = wal_ordered if fsync != "always" else wal_ordered[:always_n]
+                # the WAL cells sit on the disk, and I/O latency swings far
+                # more lap-to-lap than CPU time does (observed ~60% vs ~5%
+                # on the container) — double their laps so the best-of
+                # estimate actually reaches each cell's floor
+                laps[fsync] = min(
+                    laps[fsync],
+                    _best_of(2, lambda f=fsync, c=cell: _wal_stream_replay(c, f)),
+                )
+        stream_row = next(
+            (
+                r for r in report.service
+                if r["mode"] == "stream" and r["instance"] == wal_label
+            ),
+            None,  # the stream cell may have been filtered out by --only
         )
+        if stream_row is not None and laps["stream"] < stream_row["seconds"]:
+            stream_row["seconds"] = round(laps["stream"], 6)
+            stream_row["events_per_sec"] = round(2 * wal_n / laps["stream"])
+        for fsync in fsyncs:
+            cell_n = wal_n if fsync != "always" else always_n
+            secs = laps[fsync]
+            report.service.append(
+                {
+                    "instance": wal_label if cell_n == wal_n else f"n{cell_n}",
+                    "n_items": cell_n,
+                    "arrival_rate": wal_rate,
+                    "mode": f"stream+wal({fsync})",
+                    "seconds": round(secs, 6),
+                    "events_per_sec": round(2 * cell_n / secs),
+                }
+            )
     # Loopback cells: a real asyncio server driven by the closed-loop
     # load generator.  The JSON cells measure the debug/compat wire; the
     # binary cells measure the negotiated fast path, first one request
@@ -542,6 +667,8 @@ def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
         ("server-loopback-pipelined", ordered, 4.0, pipelined),
     )
     for mode, cell_ordered, rate, loadgen_kwargs in loop_cells:
+        if not sel(f"service/n{SERVICE_LOOPBACK_JOBS}/{mode}"):
+            continue
         best = _loopback_cell(cell_ordered, repeats, **loadgen_kwargs)
         report.service.append(
             {
@@ -553,7 +680,7 @@ def _bench_service(report: "BenchReport", quick: bool, repeats: int) -> None:
                 "events_per_sec": round(best.requests_per_sec),
             }
         )
-    _bench_router(report, ordered, quick, repeats)
+    _bench_router(report, ordered, quick, repeats, sel)
 
 
 def run_bench(
@@ -561,8 +688,16 @@ def run_bench(
     repeats: int = 3,
     json_path: Optional[str] = None,
     montecarlo: bool = True,
+    only: Optional[str] = None,
 ) -> BenchReport:
-    """Measure the throughput grid and (optionally) write the report."""
+    """Measure the throughput grid and (optionally) write the report.
+
+    ``only`` restricts the run to cells whose composite key matches the
+    fnmatch pattern (see the module docstring for the key grammar); with
+    ``json_path`` pointing at an existing report, the cells that did not
+    run are carried over from it so the written file stays complete.
+    """
+    sel = _Selector(only)
     report = BenchReport(
         meta={
             "python": platform.python_version(),
@@ -582,6 +717,8 @@ def run_bench(
         events = 2 * len(items)
         for algo in ALGORITHMS:
             for path, indexed in (("default", True), ("reference", False)):
+                if not sel(f"throughput/{label}/{algo}/{path}"):
+                    continue
                 secs = _best_of(
                     repeats,
                     lambda: run_packing(items, make_algorithm(algo), indexed=indexed),
@@ -605,6 +742,8 @@ def run_bench(
         events = 2 * len(vitems)
         for algo in VECTOR_ALGORITHMS:
             for path, indexed in (("default", True), ("reference", False)):
+                if not sel(f"throughput/{label}/{algo}/{path}"):
+                    continue
                 secs = _best_of(
                     repeats,
                     lambda: run_vector_packing(
@@ -622,9 +761,9 @@ def run_bench(
                         "events_per_sec": round(events / secs),
                     }
                 )
-    _bench_traces(report, quick, repeats)
-    _bench_service(report, quick, repeats)
-    if montecarlo:
+    _bench_traces(report, quick, repeats, sel)
+    _bench_service(report, quick, repeats, sel)
+    if montecarlo and sel("montecarlo"):
         # heavy enough that process startup amortises on multi-core
         # machines; on a single-CPU host workers=-1 degrades to serial
         # and the speedup honestly reads ~1.0
@@ -645,6 +784,21 @@ def run_bench(
             "speedup": round(t_serial / t_par, 3),
             "identical": serial.rows == parallel.rows,
         }
+    if only is not None and json_path and os.path.exists(json_path):
+        # partial regeneration onto an existing report: carry the cells
+        # that did not run over from the file, so the written JSON stays
+        # a complete baseline with only the matched rows re-measured
+        with open(json_path) as f:
+            previous = json.load(f)
+        report.throughput = _merge_rows(
+            previous.get("throughput", []), report.throughput,
+            ("instance", "algorithm", "path"),
+        )
+        report.service = _merge_rows(
+            previous.get("service", []), report.service, ("instance", "mode")
+        )
+        if not report.montecarlo:
+            report.montecarlo = previous.get("montecarlo", {})
     if json_path:
         with open(json_path, "w") as f:
             json.dump(report.to_json(), f, indent=2, sort_keys=True)

@@ -166,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=_positive_int, default=3,
         help="timing repeats per cell (best-of, default 3)",
     )
+    p_bench.add_argument(
+        "--only", default=None, metavar="PATTERN",
+        help="run only cells whose key matches this fnmatch pattern "
+        "(e.g. 'service/*', 'throughput/*/first-fit/*', 'montecarlo'); "
+        "with --json onto an existing report, unmatched cells are "
+        "carried over instead of dropped",
+    )
 
     p_inspect = sub.add_parser("inspect", help="profile a workload trace")
     p_inspect.add_argument("trace")
@@ -252,6 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--idle-timeout", type=float, default=None,
         help="close connections idle for this many seconds",
+    )
+    p_serve.add_argument(
+        "--defrag", type=int, default=0, metavar="BUDGET",
+        help="background defragmenter: migrate up to BUDGET items per "
+        "pass to evacuate high-waste bins (default 0 = off)",
+    )
+    p_serve.add_argument(
+        "--defrag-interval", type=float, default=0.5, metavar="SECONDS",
+        help="seconds between defragmenter passes (default 0.5)",
     )
     p_serve.add_argument(
         "--uvloop", action="store_true",
@@ -352,6 +368,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="what an open breaker does with requests: answer "
         "shard_unavailable immediately (failfast, the default) or park "
         "them until the breaker closes (queue)",
+    )
+    p_fleet.add_argument(
+        "--defrag", type=int, default=0, metavar="BUDGET",
+        help="per-shard background defragmenter budget (default 0 = off)",
+    )
+    p_fleet.add_argument(
+        "--defrag-interval", type=float, default=0.5, metavar="SECONDS",
+        help="seconds between defragmenter passes (default 0.5)",
     )
     p_fleet.add_argument(
         "--uvloop", action="store_true",
@@ -784,6 +808,9 @@ def cmd_serve(args) -> int:
             service_kwargs["max_line_bytes"] = args.max_line_bytes
         if args.idle_timeout is not None:
             service_kwargs["idle_timeout"] = args.idle_timeout
+        if args.defrag > 0:
+            service_kwargs["defrag_budget"] = args.defrag
+            service_kwargs["defrag_interval"] = args.defrag_interval
         if args.num_shards > 1:
             service_kwargs["shard"] = spec
         _maybe_uvloop(args.uvloop)
@@ -850,6 +877,11 @@ def cmd_fleet(args) -> int:
     ]
     if args.reference:
         serve_args.append("--reference")
+    if args.defrag > 0:
+        serve_args += [
+            "--defrag", str(args.defrag),
+            "--defrag-interval", str(args.defrag_interval),
+        ]
     router_kwargs = {
         "degraded": args.degraded,
         "breaker_window": args.breaker_window,
@@ -1161,7 +1193,10 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         from .bench import run_bench
 
-        report = run_bench(quick=args.quick, repeats=args.repeats, json_path=args.json)
+        report = run_bench(
+            quick=args.quick, repeats=args.repeats, json_path=args.json,
+            only=args.only,
+        )
         print(report.render())
         return 0
     if args.command == "serve":

@@ -34,7 +34,7 @@ from typing import Callable, Iterable, Sequence
 
 from .events import Event, EventKind, event_tuples
 
-__all__ = ["run_events", "bind_policy", "EventStepper", "Observer"]
+__all__ = ["run_events", "bind_policy", "check_move", "EventStepper", "Observer"]
 
 #: Observer callback signature: ``(event, state)`` after each event is
 #: applied.  The state is the engine-specific packing state (scalar or
@@ -47,12 +47,15 @@ Observer = Callable[[Event, object], None]
 def bind_policy(algorithm, hook_base: type | None):
     """Reset ``algorithm`` and resolve its per-event callables.
 
-    Returns ``(clairvoyant, choose_bin, on_placed, on_departed)`` where
-    the two hooks are ``None`` when the concrete class inherits them
-    unchanged from ``hook_base`` (so callers can skip the two no-op
-    calls per event).  Shared by the batch loop (:func:`run_events`) and
-    the incremental stepper (:class:`EventStepper`) so both paths make
-    identical skip decisions.
+    Returns ``(clairvoyant, choose_bin, on_placed, on_departed,
+    plan_migrations)`` where the two hooks are ``None`` when the
+    concrete class inherits them unchanged from ``hook_base`` (so
+    callers can skip the two no-op calls per event), and
+    ``plan_migrations`` is ``None`` unless the policy is
+    migration-capable (exposes a ``plan_migrations(state)`` returning
+    ``(item, target)`` moves to apply after the event).  Shared by the
+    batch loop (:func:`run_events`) and the incremental stepper
+    (:class:`EventStepper`) so both paths make identical skip decisions.
     """
     algorithm.reset()
     clairvoyant = getattr(algorithm, "clairvoyant", False)
@@ -68,7 +71,34 @@ def bind_policy(algorithm, hook_base: type | None):
         on_departed = (
             None if cls.on_departed is hook_base.on_departed else algorithm.on_departed
         )
-    return clairvoyant, choose_bin, on_placed, on_departed
+    plan_migrations = getattr(algorithm, "plan_migrations", None)
+    return clairvoyant, choose_bin, on_placed, on_departed, plan_migrations
+
+
+def check_move(name: str, state, item, target):
+    """Validate one planned migration; returns the item's source bin.
+
+    The driver-owned counterpart of the arrival checks in the loop
+    bodies below: a migration-capable policy proposes ``(item, target)``
+    moves, and the driver — not the policy — verifies that the target is
+    a *different*, still-open bin that fits the item before mutating.
+    Shared verbatim by :func:`run_events`, :class:`EventStepper` and the
+    service defragmenter so every path refuses a bad move with the same
+    message (migrations are rare; a helper call per move is fine).
+    """
+    src = state.bins[state.item_bin[item.item_id]]
+    if target is src:
+        raise RuntimeError(
+            f"{name} migration kept item {item.item_id} in bin {src.index}"
+        )
+    if not target.is_open:
+        raise RuntimeError(f"{name} migration chose closed bin {target.index}")
+    if not target.fits(item):
+        raise RuntimeError(
+            f"{name} migration chose bin {target.index} at level "
+            f"{target.level} for item of size {item.size}"
+        )
+    return src
 
 
 class EventStepper:
@@ -90,8 +120,9 @@ class EventStepper:
 
     ``fault_hook`` is the chaos-testing seam: when set (by the fault
     injection harness, :mod:`repro.service.faults`), it is called with
-    a point name at the four named kill-points of the step —
-    ``arrive.pre`` / ``arrive.post`` / ``depart.pre`` / ``depart.post``
+    a point name at the named kill-points of the step —
+    ``arrive.pre`` / ``arrive.post`` / ``depart.pre`` / ``depart.post``,
+    plus ``migrate.pre`` / ``migrate.post`` around each applied move
     — so crash-recovery tests can kill the engine *inside* an event,
     between the WAL append and the state mutation, or between the
     mutation and the acknowledgement.  ``None`` (the default) costs one
@@ -100,6 +131,10 @@ class EventStepper:
 
     #: set to a callable(name) to arm the named kill-points
     fault_hook = None
+    #: set to a callable(item, src, target) to observe each applied
+    #: migration (the streaming engine counts moves and bills bins that
+    #: close by evacuation through this seam)
+    migration_hook = None
 
     def __init__(
         self,
@@ -116,6 +151,7 @@ class EventStepper:
             self._choose_bin,
             self._on_placed,
             self._on_departed,
+            self._plan_migrations,
         ) = bind_policy(algorithm, hook_base)
 
     def arrive(self, time: float, seq: int, item):
@@ -138,6 +174,8 @@ class EventStepper:
         placed = state.place(item, target)
         if self._on_placed is not None:
             self._on_placed(state, placed, item.size)
+        if self._plan_migrations is not None:
+            self.apply_migrations(self._plan_migrations(state))
         if self.observers:
             event = Event(time, EventKind.ARRIVE, seq, item)
             for obs in self.observers:
@@ -155,6 +193,8 @@ class EventStepper:
         source = state.depart(item)
         if self._on_departed is not None:
             self._on_departed(state, source)
+        if self._plan_migrations is not None:
+            self.apply_migrations(self._plan_migrations(state))
         if self.observers:
             event = Event(time, EventKind.DEPART, seq, item)
             for obs in self.observers:
@@ -162,6 +202,31 @@ class EventStepper:
         if self.fault_hook is not None:
             self.fault_hook("depart.post")
         return source
+
+    def apply_migrations(self, moves) -> int:
+        """Apply planned ``(item, target)`` moves; returns how many.
+
+        Every move is validated (:func:`check_move`) and wrapped in its
+        own ``migrate.pre`` / ``migrate.post`` kill-points, so a crash
+        between two moves of one plan is a recoverable position like any
+        other.  Used both for event-coupled migrations (policies with a
+        ``plan_migrations``) and by the service's background
+        defragmenter, which plans out-of-band but applies through here.
+        """
+        applied = 0
+        state = self.state
+        name = self.algorithm.name
+        for item, target in moves:
+            if self.fault_hook is not None:
+                self.fault_hook("migrate.pre")
+            src = check_move(name, state, item, target)
+            state.migrate(item, target)
+            if self.migration_hook is not None:
+                self.migration_hook(item, src, target)
+            if self.fault_hook is not None:
+                self.fault_hook("migrate.post")
+            applied += 1
+        return applied
 
     def finish(self) -> None:
         """Assert the terminal invariant of a complete run."""
@@ -199,7 +264,9 @@ def run_events(
         driver skips the two callback calls per event unless the
         concrete class actually overrides them.  ``None`` always calls.
     """
-    clairvoyant, choose_bin, on_placed, on_departed = bind_policy(algorithm, hook_base)
+    clairvoyant, choose_bin, on_placed, on_departed, plan_migrations = bind_policy(
+        algorithm, hook_base
+    )
     place = state.place
     depart = state.depart
 
@@ -226,6 +293,10 @@ def run_events(
             source = depart(item)
             if on_departed is not None:
                 on_departed(state, source)
+        if plan_migrations is not None:
+            for m_item, m_target in plan_migrations(state):
+                check_move(algorithm.name, state, m_item, m_target)
+                state.migrate(m_item, m_target)
         if observers:
             event = Event(time, EventKind(kind), seq, item)
             for obs in observers:

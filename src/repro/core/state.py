@@ -5,8 +5,8 @@ Two classes live here:
 - :class:`BasePackingState` — the resource-agnostic bin-lifecycle
   implementation: the open set (a dict keyed by bin index, so closing is
   O(1) and iteration order is opening order), the item→bin map, index
-  activation, and the generic ``place``/``depart`` mutations written
-  against the resource protocol (``bin.level`` / ``item.size`` may be a
+  activation, and the generic ``place``/``depart``/``migrate`` mutations
+  written against the resource protocol (``bin.level`` / ``item.size`` may be a
   float or a tuple — see ``docs/ARCHITECTURE.md``).  The vector engine's
   :class:`~repro.multidim.state.VectorPackingState` runs on these
   generic mutations directly.
@@ -202,6 +202,47 @@ class BasePackingState:
             self._index.set_level(b.index, after)
         return b
 
+    def migrate(self, item, target):
+        """Move a placed, still-active item into ``target``; returns its source.
+
+        The third first-class mutation next to :meth:`place` and
+        :meth:`depart`: remove from the source bin (closing it if the
+        item was its last occupant) and re-place into an already-open
+        ``target`` at the current time.  The running total, the item→bin
+        map and the first-fit index all stay exact — the index sees only
+        ``set_level``/``close`` lanes, never ``append``, because a
+        migration can shrink the open set but never grow it (moving to a
+        *new* bin is just :meth:`place`, which First Fit already does
+        better).  Consequently no activation check is needed either.
+
+        Validation of the *choice* (target open, feasible, distinct from
+        the source) lives in the driver, mirroring arrivals; this method
+        keeps the same cheap backstops as :meth:`place`.
+        """
+        if target.closed_at is not None:
+            raise ValueError(f"cannot migrate into closed bin {target.index}")
+        src = self.bins[self.item_bin[item.item_id]]
+        if src is target:
+            raise ValueError(
+                f"cannot migrate item {item.item_id} into its own bin {src.index}"
+            )
+        before = src.level
+        src.remove(item, self.now)
+        self._account(before, src.level)
+        before = target.level
+        target.place(item, self.now)
+        self._account(before, target.level)
+        self.item_bin[item.item_id] = target.index
+        if src.is_closed:
+            del self._open[src.index]
+            if self._index is not None:
+                self._index.close(src.index)
+        elif self._index is not None:
+            self._index.set_level(src.index, src.level)
+        if self._index is not None:
+            self._index.set_level(target.index, target.level)
+        return src
+
 
 class PackingState(BasePackingState):
     """The scalar (1-D float resource) packing state.
@@ -334,3 +375,30 @@ class PackingState(BasePackingState):
         elif self._index is not None:
             self._index.set_level(b.index, b.level)
         return b
+
+    def migrate(self, item: Item, target: Bin) -> Bin:
+        """Move a still-active item into ``target`` (flattened scalar body)."""
+        if target.closed_at is not None:
+            raise ValueError(f"cannot migrate into closed bin {target.index}")
+        src = self.bins[self.item_bin[item.item_id]]
+        if src is target:
+            raise ValueError(
+                f"cannot migrate item {item.item_id} into its own bin {src.index}"
+            )
+        before = src.level
+        src.remove(item, self.now)
+        self.total_level += src.level - before
+        before = target.level
+        target.place(item, self.now)
+        self.total_level += target.level - before
+        self.item_bin[item.item_id] = target.index
+        index = self._index
+        if src.is_closed:
+            del self._open[src.index]
+            if index is not None:
+                index.close(src.index)
+        elif index is not None:
+            index.set_level(src.index, src.level)
+        if index is not None:
+            index.set_level(target.index, target.level)
+        return src

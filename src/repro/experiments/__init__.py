@@ -20,6 +20,7 @@ from .ablation import (
 )
 from .cloud_gaming import CLOUD_GAMING_SPEC, run_cloud_gaming
 from .comparison import BOUNDS_TABLE_SPEC, run_bounds_table, suite_instances
+from .defrag_exp import DEFRAG_SPEC, run_defrag_budget
 from .deferral_exp import DEFERRAL_SPEC, run_deferral
 from .fleet_exp import FLEET_SPEC, run_fleet_comparison
 from .figures import (
@@ -81,6 +82,7 @@ SPEC_REGISTRY: dict[str, ExperimentSpec] = {
         MIGRATION_SPEC,
         ANATOMY_SPEC,
         TRACES_SPEC,
+        DEFRAG_SPEC,
     )
 }
 
@@ -117,6 +119,7 @@ EXPERIMENT_REGISTRY = {
     "X10": run_migration_budget,
     "X11": run_cost_anatomy,
     "X12": run_trace_benchmark,
+    "X13": run_defrag_budget,
 }
 
 assert set(EXPERIMENT_REGISTRY) == set(SPEC_REGISTRY), "registries diverged"
@@ -152,6 +155,7 @@ __all__ = [
     "run_predictions",
     "run_retention",
     "run_deferral",
+    "run_defrag_budget",
     "run_migration_budget",
     "run_cost_anatomy",
     "run_adaptive_adversary",

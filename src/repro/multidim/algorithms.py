@@ -27,6 +27,7 @@ __all__ = [
     "VectorBestFit",
     "VectorWorstFit",
     "VectorNextFit",
+    "VectorBudgetedRepack",
     "VECTOR_REGISTRY",
     "make_vector_algorithm",
 ]
@@ -120,11 +121,41 @@ class VectorNextFit(VectorAlgorithm):
             self._available = target
 
 
+class VectorBudgetedRepack(VectorFirstFit):
+    """Vector First Fit with up to ``budget`` migrations per event.
+
+    The D-dimensional twin of
+    :class:`~repro.algorithms.migration.BudgetedRepack`: it reuses the
+    resource-generic evacuation planner (projected levels are tuples,
+    waste ranking is max-norm fullness) so scalar and vector engines
+    share one migration semantics.  ``budget=0`` is bit-identical to
+    :class:`VectorFirstFit`.
+    """
+
+    name = "vector-repack-ff"
+
+    def __init__(self, budget: int = 2):
+        self.budget = int(budget)
+        #: migrations planned (== applied) since the last reset
+        self.moves = 0
+
+    def reset(self) -> None:
+        self.moves = 0
+
+    def plan_migrations(self, state):
+        from ..algorithms.migration import plan_evacuation_moves
+
+        moves = plan_evacuation_moves(state, self.budget)
+        self.moves += len(moves)
+        return moves
+
+
 VECTOR_REGISTRY = {
     "vector-first-fit": VectorFirstFit,
     "vector-best-fit": VectorBestFit,
     "vector-worst-fit": VectorWorstFit,
     "vector-next-fit": VectorNextFit,
+    "vector-repack-ff": VectorBudgetedRepack,
 }
 
 

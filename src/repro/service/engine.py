@@ -129,10 +129,16 @@ class StreamingEngine:
         self.metrics = metrics
         self.decision_log = decision_log
         self._stepper = EventStepper(algorithm, state, observers, hook_base)
+        self._stepper.migration_hook = self._on_migration
         self._result_factory = result_factory
         #: callbacks invoked with each bin the moment it closes (the
         #: cloud layer bills servers on this hook)
         self.bin_closed_callbacks: list[Callable] = []
+        #: migration accounting (live regardless of the metrics registry;
+        #: checkpointed and restored by repro.service.snapshot)
+        self.migrations = 0
+        self.defrag_runs = 0
+        self.bins_evacuated = 0
 
         #: service clock: the time of the last applied event
         self.clock: float = 0.0
@@ -162,6 +168,9 @@ class StreamingEngine:
         self._m_open_bins = None
         self._m_load = None
         self._m_clock = None
+        self._m_migrations = None
+        self._m_defrag_runs = None
+        self._m_bins_evacuated = None
         if metrics is not None:
             self._declare_metrics(metrics)
 
@@ -276,6 +285,9 @@ class StreamingEngine:
             "queue_depth": self.queue_depth,
             "pending_departures": self.pending_departures,
             "load": self.load(),
+            "migrations": self.migrations,
+            "defrag_runs": self.defrag_runs,
+            "bins_evacuated": self.bins_evacuated,
             "admission": dict(self.admission.counts),
             "policy": self.admission.name,
             "algorithm": self.algorithm.name,
@@ -452,6 +464,65 @@ class StreamingEngine:
             dict(self.state.item_bin),
         )
 
+    # -- the background defragmenter ------------------------------------------
+    def plan_defrag(self, budget: int) -> list:
+        """Plan (without applying) one defragmenter pass at the current clock.
+
+        The same resource-generic evacuation planner the budgeted-repack
+        policies use per event
+        (:func:`repro.algorithms.migration.plan_evacuation_moves`):
+        evacuate the highest-waste open bin completely, or do nothing.
+        """
+        from ..algorithms.migration import plan_evacuation_moves
+
+        return plan_evacuation_moves(self.state, int(budget))
+
+    def defrag(self, budget: int) -> int:
+        """Run one defragmenter pass: up to ``budget`` migrations, now.
+
+        Moves are applied through the stepper (validation, kill-points,
+        and the migration accounting hook included), at the current
+        service clock — a migration is an operator action, not a trace
+        event, so the clock does not move.  Returns the number of items
+        moved (0 when no complete evacuation fits the budget).
+
+        ``defrag_runs`` counts *effective* passes only (ones that moved
+        something): a planned no-op leaves every counter untouched, so
+        the durable layer can skip logging it entirely and recovery
+        still reproduces the uninterrupted run bit for bit.
+        """
+        moves = self.plan_defrag(budget)
+        if not moves:
+            return 0
+        moved = self._stepper.apply_migrations(moves)
+        self.defrag_runs += 1
+        if self._m_defrag_runs is not None:
+            self._m_defrag_runs.value += 1.0
+        if self.decision_log is not None:
+            self._log(
+                t=self.clock,
+                op="defrag",
+                budget=int(budget),
+                moved=moved,
+                open=self.state.num_open,
+            )
+        return moved
+
+    def _on_migration(self, item, src, target) -> None:
+        """Stepper hook: account one applied migration (any origin)."""
+        self.migrations += 1
+        if self._m_migrations is not None:
+            self._m_migrations.value += 1.0
+        if src.is_closed:
+            self.bins_evacuated += 1
+            if self._m_bins_evacuated is not None:
+                self._m_bins_evacuated.value += 1.0
+            if self._m_bins_closed is not None:
+                self._m_bins_closed.inc()
+                self._m_open_bins.value = self.state.num_open
+            for cb in self.bin_closed_callbacks:
+                cb(src)
+
     # -- internals ------------------------------------------------------------
     def _next_seq(self) -> int:
         seq = self._seq
@@ -595,6 +666,11 @@ class StreamingEngine:
             ("repro_service_departures_total", "departures processed"),
             ("repro_service_bins_opened_total", "servers opened"),
             ("repro_service_bins_closed_total", "servers closed"),
+            ("repro_service_migrations_total", "items moved between bins"),
+            ("repro_service_defrag_runs_total",
+             "defragmenter passes that moved at least one item"),
+            ("repro_service_bins_evacuated_total",
+             "servers closed by migrating their last items away"),
         ):
             cache[name] = reg.counter(name, help_text)
         for name, help_text in (
@@ -630,6 +706,9 @@ class StreamingEngine:
         self._m_open_bins = cache["repro_service_open_bins"]
         self._m_load = cache["repro_service_load"]
         self._m_clock = cache["repro_service_clock"]
+        self._m_migrations = cache["repro_service_migrations_total"]
+        self._m_defrag_runs = cache["repro_service_defrag_runs_total"]
+        self._m_bins_evacuated = cache["repro_service_bins_evacuated_total"]
 
     def _count(self, name: str, amount: float = 1.0) -> None:
         metric = self._metric_cache.get(name)

@@ -201,8 +201,8 @@ class DurableEngine:
     serves either transparently.  The WAL record formats are internal to
     this module — ``{"op": "submit", "job": [...], "sd": ..., "rid": ...}``,
     ``{"op": "depart", "id": ..., "now": ...}``, ``{"op": "advance",
-    "now": ...}``, ``{"op": "drain"}`` — kept one-line-JSON small because
-    the log is on the request path.
+    "now": ...}``, ``{"op": "drain"}``, ``{"op": "defrag", "budget": ...}``
+    — kept one-line-JSON small because the log is on the request path.
     """
 
     def __init__(
@@ -371,6 +371,27 @@ class DurableEngine:
         self._point("applied")
         self._maybe_checkpoint()
         return applied
+
+    def defrag(self, budget: int) -> int:
+        """One durable defragmenter pass: append-before-move.
+
+        The record stores only the *budget*; replay re-plans against the
+        engine state at that WAL position, which is byte-identical to
+        the state the live pass planned against, so the same moves come
+        out (the planner is deterministic and index-free).  A pass whose
+        plan is empty is a complete no-op — no record, no counter — so
+        an idle defragmenter loop cannot grow the log or perturb
+        recovery.
+        """
+        budget = int(budget)
+        if not self.engine.plan_defrag(budget):
+            return 0
+        self._append({"op": "defrag", "budget": budget})
+        self._point("wal.appended")
+        moved = self.engine.defrag(budget)
+        self._point("applied")
+        self._maybe_checkpoint()
+        return moved
 
     def finish(self):
         """Log the drain, drain, and cut a final (empty-fleet) checkpoint.
@@ -594,6 +615,9 @@ def _replay_record(engine: StreamingEngine, rec: WalRecord, scalar: bool):
         return None
     if op == "drain":
         engine.finish()
+        return None
+    if op == "defrag":
+        engine.defrag(int(payload["budget"]))
         return None
     raise ValueError(f"unknown WAL op {op!r} at seq {rec.seq}")
 

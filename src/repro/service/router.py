@@ -12,8 +12,9 @@ fans each operation out to the worker that owns its key:
   is identical in every process), which keeps most keys in place when
   the fleet is resized.
 - ``advance`` / ``drain`` / ``stats`` / ``metrics`` / ``checkpoint`` /
-  ``shutdown`` broadcast to every shard and aggregate: departures sum,
-  clocks max, metrics are re-exposed under a ``shard`` label
+  ``defrag`` / ``shutdown`` broadcast to every shard and aggregate:
+  departures and migration counters sum, clocks max, metrics are
+  re-exposed under a ``shard`` label
   (:func:`repro.service.metrics.relabel_exposition`).
 - batch frames are split per shard (order within each shard preserved —
   the per-key subsequence a shard sees is exactly the subsequence of
@@ -851,7 +852,8 @@ class ShardRouter:
             shards = [d.get("stats", d) for d in docs]
             totals: dict = {}
             for field in ("open_bins", "bins_used", "placed", "active",
-                          "queue_depth"):
+                          "queue_depth", "migrations", "defrag_runs",
+                          "bins_evacuated"):
                 values = [s.get(field) for s in shards]
                 if all(isinstance(v, (int, float)) for v in values):
                     totals[field] = sum(values)
@@ -884,6 +886,14 @@ class ShardRouter:
         if op == "checkpoint":
             docs = self._require_ok(await self._broadcast_json(request))
             return {"ok": True, "shards": docs}
+        if op == "defrag":
+            docs = self._require_ok(await self._broadcast_json(request))
+            return {
+                "ok": True,
+                "moved": sum(d.get("moved", 0) for d in docs),
+                "migrations": sum(d.get("migrations", 0) for d in docs),
+                "shards": [d.get("moved", 0) for d in docs],
+            }
         if op == "ping":
             return {"ok": True, "pong": True, "shards": self.num_shards}
         if op == "shutdown":

@@ -190,6 +190,8 @@ class AllocationService:
         idle_timeout: Optional[float] = None,
         injector: Optional[FaultInjector] = None,
         shard: Optional["ShardSpec"] = None,
+        defrag_budget: int = 0,
+        defrag_interval: float = 0.5,
     ):
         self.engine = engine
         self.quiet = quiet
@@ -199,6 +201,11 @@ class AllocationService:
         self.request_timeout = request_timeout
         self.idle_timeout = idle_timeout
         self.injector = injector
+        #: background defragmenter: every ``defrag_interval`` wall-clock
+        #: seconds, migrate up to ``defrag_budget`` items (0 = off)
+        self.defrag_budget = int(defrag_budget)
+        self.defrag_interval = float(defrag_interval)
+        self._defrag_task: Optional[asyncio.Task] = None
         self._durable = isinstance(engine, DurableEngine)
         #: idempotency window for non-durable engines (a durable engine
         #: owns its own, rebuilt by recovery)
@@ -229,9 +236,33 @@ class AllocationService:
             self._handle, host, port, limit=self.max_line_bytes
         )
         bound = self._server.sockets[0].getsockname()[1]
+        if self.defrag_budget > 0:
+            self._defrag_task = asyncio.get_running_loop().create_task(
+                self._defrag_loop()
+            )
         if not self.quiet:
             print(f"repro service listening on {host}:{bound}")
         return bound
+
+    async def _defrag_loop(self) -> None:
+        """The background defragmenter: one bounded pass per interval.
+
+        Runs on the connection handlers' event loop, so each pass is
+        serialised against request dispatch — the engine never sees a
+        migration interleaved inside an event.  An injected
+        :class:`KillPoint` (chaos testing kills a pass mid-migration)
+        escalates through the same fatal-shutdown path a connection
+        handler uses.
+        """
+        try:
+            while True:
+                await asyncio.sleep(self.defrag_interval)
+                self.engine.defrag(self.defrag_budget)
+        except asyncio.CancelledError:
+            raise
+        except KillPoint as exc:
+            self._fatal = exc
+            self._shutdown.set()
 
     async def wait_closed(self) -> None:
         """Block until a ``shutdown`` op arrives, then close the socket.
@@ -241,6 +272,13 @@ class AllocationService:
         otherwise log it and keep the server alive.
         """
         await self._shutdown.wait()
+        if self._defrag_task is not None:
+            self._defrag_task.cancel()
+            try:
+                await self._defrag_task
+            except asyncio.CancelledError:
+                pass
+            self._defrag_task = None
         assert self._server is not None
         self._server.close()
         await self._server.wait_closed()
@@ -463,6 +501,18 @@ class AllocationService:
                 "total_usage_time": result.total_usage_time,
                 "algorithm": result.algorithm_name,
             }
+        if op == "defrag":
+            budget = request.get("budget", self.defrag_budget)
+            try:
+                budget = int(budget)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    f"defrag budget must be an integer, got {budget!r}"
+                ) from None
+            if budget < 0:
+                raise ProtocolError(f"defrag budget must be >= 0, got {budget}")
+            moved = engine.defrag(budget)
+            return {"ok": True, "moved": moved, "migrations": engine.migrations}
         if op == "stats":
             stats = engine.stats()
             if self.shard is not None:

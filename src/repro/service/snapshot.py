@@ -256,6 +256,9 @@ def snapshot_engine(engine) -> dict:
             if it.item_id not in engine._departed
         ],
         "queue": [[t, seq, it.item_id] for t, seq, it in engine._queue],
+        "migrations": engine.migrations,
+        "defrag_runs": engine.defrag_runs,
+        "bins_evacuated": engine.bins_evacuated,
         "algorithm_state": {
             k: _encode_value(v) for k, v in vars(engine.algorithm).items()
         },
@@ -356,6 +359,11 @@ def restore_engine(
     engine._pending = [(t, seq, items[iid]) for t, seq, iid in doc["pending"]]
     heapq.heapify(engine._pending)
     engine._queue = [(t, seq, items[iid]) for t, seq, iid in doc["queue"]]
+    # migration counters arrived after SNAPSHOT_VERSION 1 froze; older
+    # documents simply never migrated, so absence means zero
+    engine.migrations = doc.get("migrations", 0)
+    engine.defrag_runs = doc.get("defrag_runs", 0)
+    engine.bins_evacuated = doc.get("bins_evacuated", 0)
     engine.admission.restore(doc["admission"])
     if metrics is not None and doc["metrics"] is not None:
         metrics.restore(doc["metrics"])

@@ -28,6 +28,7 @@ class TestRegistry:
             "next-fit",
             "hybrid-first-fit",
             "classified-next-fit",
+            "repack-ff",
         }
         assert expected == set(ALGORITHM_REGISTRY)
 
@@ -38,7 +39,12 @@ class TestRegistry:
             for name in ALGORITHM_REGISTRY
             if isinstance(make_algorithm(name), AnyFitAlgorithm)
         }
-        assert any_fit == {"first-fit", "best-fit", "worst-fit", "last-fit", "random-fit", "two-choice-fit"}
+        # repack-ff is First Fit on the placement side (its migrations
+        # happen after the event, not at placement), so it belongs here
+        assert any_fit == {
+            "first-fit", "best-fit", "worst-fit", "last-fit",
+            "random-fit", "two-choice-fit", "repack-ff",
+        }
 
     def test_factories_return_fresh_instances(self):
         a = make_algorithm("next-fit")

@@ -1,0 +1,159 @@
+"""Churn property tests: the FF indexes under migration-shaped traffic.
+
+A migration hits the index with a *paired* remove→reinsert: the source
+bin's level drops (or the slot closes outright) and the target's level
+rises, in the same event, with no ``append`` in between.  The original
+randomized tests exercise each lane independently; these drive the exact
+two-sided pattern the migration engine produces — long runs of paired
+``set_level`` updates punctuated by evacuation closes — and check every
+query against the brute-force oracle throughout, for both the scalar
+:class:`FirstFitIndex` and the vector :class:`VectorFirstFitIndex`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.ffindex import FirstFitIndex, VectorFirstFitIndex
+
+from .test_ffindex import BOUND, Oracle, check_all_queries
+
+BOUND2 = (1.0 + 1e-9, 1.0 + 1e-9)
+
+
+def _migrate_pair(rng, levels):
+    """Pick (src, dst, moved fraction) the way an evacuation does."""
+    src = min(levels, key=lambda i: (levels[i], i))  # emptiest-first victim
+    dst = rng.choice([i for i in levels if i != src])
+    return src, dst
+
+
+def test_scalar_index_survives_heavy_migration_churn():
+    rng = random.Random(1234)
+    index = FirstFitIndex()
+    oracle = Oracle()
+    next_idx = 0
+    for _ in range(40):  # population for the churn to act on
+        lvl = rng.uniform(0.05, 0.6)
+        index.append(next_idx, lvl)
+        oracle.levels[next_idx] = lvl
+        next_idx += 1
+    for step in range(4000):
+        op = rng.random()
+        if op < 0.70 and len(oracle.levels) >= 2:
+            # a migration: source sheds a chunk, target absorbs it,
+            # both updates land before any query runs
+            src, dst = _migrate_pair(rng, oracle.levels)
+            moved = oracle.levels[src] * rng.uniform(0.3, 1.0)
+            src_after = oracle.levels[src] - moved
+            if src_after < 1e-12 and rng.random() < 0.5:
+                index.close(src)
+                del oracle.levels[src]
+            else:
+                index.set_level(src, src_after)
+                oracle.levels[src] = src_after
+            dst_after = min(oracle.levels[dst] + moved, 1.0 - 1e-12)
+            index.set_level(dst, dst_after)
+            oracle.levels[dst] = dst_after
+        elif op < 0.85 or len(oracle.levels) < 2:
+            lvl = rng.uniform(0.0, 0.9)
+            index.append(next_idx, lvl)
+            oracle.levels[next_idx] = lvl
+            next_idx += 1
+        else:
+            victim = rng.choice(list(oracle.levels))
+            index.close(victim)
+            del oracle.levels[victim]
+        if step % 61 == 0:
+            check_all_queries(
+                index, oracle, [0.0, 1e-12, rng.uniform(0, 1), 0.5, 1.0]
+            )
+        assert len(index) == len(oracle.levels)
+    check_all_queries(index, oracle, [0.1 * k for k in range(12)])
+
+
+def test_scalar_reinsert_after_full_drain():
+    """Empty the index via evacuation closes, then rebuild it — twice."""
+    index = FirstFitIndex()
+    oracle = Oracle()
+    rng = random.Random(7)
+    next_idx = 0
+    for _ in range(2):
+        for _ in range(50):
+            lvl = rng.uniform(0, 0.8)
+            index.append(next_idx, lvl)
+            oracle.levels[next_idx] = lvl
+            next_idx += 1
+        check_all_queries(index, oracle, [0.1, 0.5, 0.9])
+        for idx in list(oracle.levels):
+            index.close(idx)
+            del oracle.levels[idx]
+        assert index.first_fit(0.0, BOUND) is None
+        assert len(index) == 0
+    check_all_queries(index, oracle, [0.1])
+
+
+class _VectorOracle:
+    def __init__(self):
+        self.levels: dict[int, tuple[float, float]] = {}
+
+    def first_fit(self, sizes, bounds):
+        for idx, lvls in self.levels.items():
+            if all(l + s <= c for l, s, c in zip(lvls, sizes, bounds)):
+                return idx
+        return None
+
+
+def test_vector_index_survives_heavy_migration_churn():
+    rng = random.Random(99)
+    index = VectorFirstFitIndex(2)
+    oracle = _VectorOracle()
+    next_idx = 0
+    for _ in range(30):
+        lvls = (rng.uniform(0.05, 0.5), rng.uniform(0.05, 0.5))
+        index.append(next_idx, lvls)
+        oracle.levels[next_idx] = lvls
+        next_idx += 1
+    for step in range(3000):
+        op = rng.random()
+        if op < 0.70 and len(oracle.levels) >= 2:
+            src = min(oracle.levels, key=lambda i: (max(oracle.levels[i]), i))
+            dst = rng.choice([i for i in oracle.levels if i != src])
+            frac = rng.uniform(0.3, 1.0)
+            moved = tuple(l * frac for l in oracle.levels[src])
+            src_after = tuple(
+                l - m for l, m in zip(oracle.levels[src], moved)
+            )
+            if max(src_after) < 1e-12 and rng.random() < 0.5:
+                index.close(src)
+                del oracle.levels[src]
+            else:
+                index.set_level(src, src_after)
+                oracle.levels[src] = src_after
+            dst_after = tuple(
+                min(l + m, 1.0 - 1e-12)
+                for l, m in zip(oracle.levels[dst], moved)
+            )
+            index.set_level(dst, dst_after)
+            oracle.levels[dst] = dst_after
+        elif op < 0.85 or len(oracle.levels) < 2:
+            lvls = (rng.uniform(0, 0.8), rng.uniform(0, 0.8))
+            index.append(next_idx, lvls)
+            oracle.levels[next_idx] = lvls
+            next_idx += 1
+        else:
+            victim = rng.choice(list(oracle.levels))
+            index.close(victim)
+            del oracle.levels[victim]
+        if step % 53 == 0:
+            probes = [
+                (0.0, 0.0),
+                (rng.uniform(0, 1), rng.uniform(0, 1)),
+                (0.5, 0.5),
+                (1.0, 1.0),
+            ]
+            for sizes in probes:
+                assert index.first_fit(sizes, BOUND2) == oracle.first_fit(
+                    sizes, BOUND2
+                )
+        assert len(index) == len(oracle.levels)

@@ -1,0 +1,163 @@
+"""Migration differential suite: the acceptance gates for repack-ff.
+
+Two contracts, pinned bit-for-bit (exact floats, never approx):
+
+1. **budget=0 is plain First Fit.**  A :class:`BudgetedRepack` with a
+   zero move budget must produce the *identical* packing to
+   :class:`FirstFit` on every instance in the frozen corpus — same
+   ``item_bin`` map, same usage time, same bin count — on every engine
+   path (default adaptive index, reference scans, forced tree) for both
+   the scalar and vector engines.  This is what makes the migration
+   engine a pure extension: switched off, it vanishes.
+
+2. **The index is still a pure accelerator under migration.**  With a
+   nonzero budget the planner runs index-free (linear scans only), so
+   the indexed and reference paths must keep producing identical
+   packings even while migrations hammer the index's remove→reinsert
+   lanes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro.core.state as state_mod
+from repro.algorithms import make_algorithm
+from repro.algorithms.first_fit import FirstFit
+from repro.algorithms.migration import BudgetedRepack
+from repro.core.packing import run_packing
+from repro.multidim import (
+    make_vector_algorithm,
+    run_vector_packing,
+    vector_workload,
+)
+from repro.multidim.algorithms import VectorBudgetedRepack, VectorFirstFit
+from repro.workloads.random_workloads import poisson_workload
+from repro.workloads.traces import load_trace
+
+DATA = Path(__file__).parent.parent / "data"
+CORPUS = sorted(p for p in DATA.glob("*.json") if p.name != "expected_costs.json")
+
+#: high-churn instances: rates high enough that evacuations actually
+#: fire (FF packs tightly; sparse fleets rarely yield full evacuations)
+CHURN = [
+    poisson_workload(300, seed=3, mu_target=6.0, arrival_rate=15.0),
+    poisson_workload(400, seed=11, mu_target=8.0, arrival_rate=200.0),
+]
+
+
+@pytest.fixture
+def forced_tree(monkeypatch):
+    monkeypatch.setattr(state_mod, "INDEX_THRESHOLD", 1)
+    monkeypatch.setattr(state_mod, "_BEST_FIT_TREE_MIN", 1)
+
+
+def assert_same_packing(a, b):
+    assert a.item_bin == b.item_bin, "placements diverged"
+    assert a.total_usage_time == b.total_usage_time  # exact, no approx
+    assert a.num_bins == b.num_bins
+
+
+class TestBudgetZeroIsFirstFit:
+    """Contract 1: budget=0 repack-ff ≡ plain FF, on every path."""
+
+    @pytest.mark.parametrize("trace", CORPUS, ids=lambda p: p.stem)
+    @pytest.mark.parametrize("indexed", [True, False], ids=["default", "reference"])
+    def test_corpus_scalar(self, trace, indexed):
+        items = load_trace(trace)
+        ff = run_packing(items, FirstFit(), indexed=indexed)
+        rp = run_packing(items, BudgetedRepack(budget=0), indexed=indexed)
+        assert_same_packing(ff, rp)
+
+    @pytest.mark.parametrize("trace", CORPUS, ids=lambda p: p.stem)
+    def test_corpus_scalar_forced_tree(self, trace, forced_tree):
+        items = load_trace(trace)
+        ff = run_packing(items, FirstFit(), indexed=True)
+        rp = run_packing(items, BudgetedRepack(budget=0), indexed=True)
+        assert_same_packing(ff, rp)
+
+    @pytest.mark.parametrize("indexed", [True, False], ids=["default", "reference"])
+    def test_churn_scalar(self, indexed):
+        for items in CHURN:
+            ff = run_packing(items, FirstFit(), indexed=indexed)
+            rp = run_packing(items, BudgetedRepack(budget=0), indexed=indexed)
+            assert_same_packing(ff, rp)
+
+    @pytest.mark.parametrize("indexed", [True, False], ids=["default", "reference"])
+    def test_vector(self, indexed):
+        items = vector_workload(300, seed=7, dimensions=2, arrival_rate=30.0)
+        ff = run_vector_packing(items, VectorFirstFit(), indexed=indexed)
+        rp = run_vector_packing(
+            items, VectorBudgetedRepack(budget=0), indexed=indexed
+        )
+        assert_same_packing(ff, rp)
+
+    def test_vector_forced_tree(self, forced_tree):
+        items = vector_workload(200, seed=13, dimensions=2, arrival_rate=30.0)
+        ff = run_vector_packing(items, VectorFirstFit(), indexed=True)
+        rp = run_vector_packing(items, VectorBudgetedRepack(budget=0), indexed=True)
+        assert_same_packing(ff, rp)
+
+    def test_registry_factories_agree(self):
+        """The registry names build the same zero-budget equivalence."""
+        items = CHURN[0]
+        ff = run_packing(items, make_algorithm("first-fit"))
+        algo = make_algorithm("repack-ff")
+        algo.budget = 0
+        assert_same_packing(ff, run_packing(items, algo))
+
+
+class TestIndexedMatchesReferenceUnderMigration:
+    """Contract 2: indexed ≡ reference while migrations run."""
+
+    @pytest.mark.parametrize("budget", [1, 2, 4, 8])
+    def test_scalar_budgets(self, budget):
+        for items in CHURN:
+            fast = run_packing(items, BudgetedRepack(budget=budget), indexed=True)
+            ref = run_packing(items, BudgetedRepack(budget=budget), indexed=False)
+            assert_same_packing(fast, ref)
+
+    @pytest.mark.parametrize("budget", [2, 4])
+    def test_scalar_forced_tree(self, budget, forced_tree):
+        for items in CHURN:
+            fast = run_packing(items, BudgetedRepack(budget=budget), indexed=True)
+            ref = run_packing(items, BudgetedRepack(budget=budget), indexed=False)
+            assert_same_packing(fast, ref)
+
+    @pytest.mark.parametrize("trace", CORPUS, ids=lambda p: p.stem)
+    def test_corpus_with_budget(self, trace):
+        items = load_trace(trace)
+        fast = run_packing(items, BudgetedRepack(budget=4), indexed=True)
+        ref = run_packing(items, BudgetedRepack(budget=4), indexed=False)
+        assert_same_packing(fast, ref)
+
+    @pytest.mark.parametrize("budget", [2, 4])
+    def test_vector_budgets(self, budget):
+        items = vector_workload(300, seed=7, dimensions=2, arrival_rate=30.0)
+        fast = run_vector_packing(
+            items, VectorBudgetedRepack(budget=budget), indexed=True
+        )
+        ref = run_vector_packing(
+            items, VectorBudgetedRepack(budget=budget), indexed=False
+        )
+        assert_same_packing(fast, ref)
+
+    def test_vector_forced_tree(self, forced_tree):
+        items = vector_workload(200, seed=13, dimensions=2, arrival_rate=30.0)
+        fast = run_vector_packing(items, VectorBudgetedRepack(budget=4), indexed=True)
+        ref = run_vector_packing(items, VectorBudgetedRepack(budget=4), indexed=False)
+        assert_same_packing(fast, ref)
+
+    def test_churn_instances_actually_migrate(self):
+        """Guard the guard: contract 2 is vacuous if no moves happen."""
+        for items in CHURN:
+            policy = BudgetedRepack(budget=4)
+            run_packing(items, policy)
+            assert policy.moves > 0
+        vpolicy = VectorBudgetedRepack(budget=4)
+        run_vector_packing(
+            vector_workload(300, seed=7, dimensions=2, arrival_rate=30.0), vpolicy
+        )
+        assert vpolicy.moves > 0

@@ -31,7 +31,7 @@ class TestRegistry:
         expected = {
             "F1", "F2", "F3", "F4", "F5-F6",
             "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
-            "X1", "X2a", "X2b", "X2c", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12",
+            "X1", "X2a", "X2b", "X2c", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12", "X13",
         }
         assert expected == set(EXPERIMENT_REGISTRY)
 

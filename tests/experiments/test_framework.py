@@ -105,7 +105,7 @@ class TestNaturalOrder:
             "F1", "F2", "F3", "F4", "F5-F6",
             "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
             "X1", "X2a", "X2b", "X2c", "X3", "X4", "X5", "X6",
-            "X7", "X8", "X9", "X10", "X11", "X12",
+            "X7", "X8", "X9", "X10", "X11", "X12", "X13",
         )
         # the historical bug: lexicographic order interleaves the index
         assert list(EXPERIMENT_ORDER) != sorted(EXPERIMENT_ORDER)

@@ -1,0 +1,241 @@
+"""The durable defragmenter: bounded migration through the live service.
+
+Engine-level: ``StreamingEngine.defrag`` runs one bounded evacuation
+pass, the migration counters (``migrations`` / ``defrag_runs`` /
+``bins_evacuated``) track it exactly, a pass whose plan is empty is a
+complete no-op, and the counters ride through the Prometheus exposition
+and the checkpoint codec.  Durability: ``DurableEngine.defrag`` logs an
+append-before-move intent record — *only* when the pass is effective —
+and recovery replays it through the real engine path, reproducing the
+uninterrupted run's packing and counters exactly.  Service-level: the
+``defrag`` request op (validation + reply shape), the background
+defragmenter loop, and the router's fleet-wide broadcast/aggregation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.items import Item
+from repro.service import (
+    AllocationService,
+    DurableEngine,
+    MetricsRegistry,
+    ShardRouter,
+    StreamingEngine,
+    WriteAheadLog,
+    loads,
+    recover,
+)
+from repro.service.snapshot import dumps
+from repro.service.wal import replay_wal
+
+
+def _job(item_id, size, arrival, departure):
+    return Item(item_id=item_id, size=size, arrival=arrival, departure=departure)
+
+
+#: three submits and a clock move that leave a deterministic hole:
+#: bin 0 at 0.55 (item 1), bin 1 at 0.30 (item 3) — one migration
+#: (item 3 -> bin 0) evacuates bin 1 entirely
+FRAG_OPS = [
+    ("submit", _job(1, 0.55, 0.0, 10.0)),
+    ("submit", _job(2, 0.40, 0.0, 1.0)),   # wedges bin 0 to 0.95 ...
+    ("submit", _job(3, 0.30, 0.5, 10.0)),  # ... so this opens bin 1
+    ("advance", 2.0),                      # item 2 departs; the hole appears
+]
+
+
+def fragmented_engine(metrics=None):
+    engine = StreamingEngine.scalar(make_algorithm("first-fit"), metrics=metrics)
+    for kind, arg in FRAG_OPS:
+        engine.submit(arg) if kind == "submit" else engine.advance(arg)
+    return engine
+
+
+class TestEngineDefrag:
+    def test_effective_pass_moves_and_counts(self):
+        engine = fragmented_engine()
+        assert engine.defrag(2) == 1
+        assert engine.state.item_bin[3] == 0
+        assert engine.state.num_open == 1
+        assert (engine.migrations, engine.defrag_runs, engine.bins_evacuated) \
+            == (1, 1, 1)
+        stats = engine.stats()
+        assert stats["migrations"] == 1
+        assert stats["defrag_runs"] == 1
+        assert stats["bins_evacuated"] == 1
+
+    def test_noop_pass_is_free(self):
+        engine = fragmented_engine()
+        assert engine.defrag(0) == 0          # zero budget: planner disabled
+        engine.defrag(2)
+        assert engine.defrag(4) == 0          # single open bin: nothing to do
+        assert engine.defrag_runs == 1        # only the effective pass counted
+
+    def test_plan_defrag_previews_without_mutating(self):
+        engine = fragmented_engine()
+        plan = engine.plan_defrag(2)
+        assert [(it.item_id, t.index) for it, t in plan] == [(3, 0)]
+        assert engine.state.item_bin[3] == 1  # preview only
+        assert engine.migrations == 0
+
+    def test_counters_reach_the_exposition(self):
+        engine = fragmented_engine(metrics=MetricsRegistry())
+        engine.defrag(2)
+        text = engine.metrics.expose_text()
+        assert "repro_service_migrations_total 1" in text
+        assert "repro_service_defrag_runs_total 1" in text
+        assert "repro_service_bins_evacuated_total 1" in text
+
+    def test_counters_survive_checkpoint_roundtrip(self):
+        engine = fragmented_engine(metrics=MetricsRegistry())
+        engine.defrag(2)
+        restored = loads(
+            dumps(engine), make_algorithm("first-fit"), metrics=MetricsRegistry()
+        )
+        assert (restored.migrations, restored.defrag_runs,
+                restored.bins_evacuated) == (1, 1, 1)
+        assert restored.metrics.expose_text() == engine.metrics.expose_text()
+        assert restored.stats() == engine.stats()
+        a, b = restored.finish(), engine.finish()
+        assert a.item_bin == b.item_bin
+        assert a.total_usage_time == b.total_usage_time
+
+
+class TestDurableDefrag:
+    def _feed(self, durable):
+        for i, (kind, arg) in enumerate(FRAG_OPS):
+            if kind == "submit":
+                durable.submit(arg, request_id=f"op-{i}")
+            else:
+                durable.advance(arg)
+
+    def test_recovery_replays_the_move(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        wal = WriteAheadLog(directory, fsync="never")
+        durable = DurableEngine(
+            StreamingEngine.scalar(make_algorithm("first-fit")),
+            wal,
+            checkpoint_every=1000,
+        )
+        self._feed(durable)
+        assert durable.defrag(2) == 1
+        seq_after = wal.last_seq
+        assert durable.defrag(4) == 0      # no-op: no record, no counter
+        assert wal.last_seq == seq_after
+        wal.close()
+
+        records, _ = replay_wal(directory)
+        defrags = [r.payload for r in records if r.payload.get("op") == "defrag"]
+        assert defrags == [{"op": "defrag", "budget": 2}]
+
+        recovered, _ = recover(
+            directory,
+            engine_builder=lambda: StreamingEngine.scalar(
+                make_algorithm("first-fit")
+            ),
+            fsync="never",
+        )
+        # replay re-plans at the logged position and re-applies the move
+        assert recovered.engine.state.item_bin[3] == 0
+        assert (recovered.engine.migrations, recovered.engine.defrag_runs,
+                recovered.engine.bins_evacuated) == (1, 1, 1)
+
+        baseline = fragmented_engine()
+        baseline.defrag(2)
+        a, b = recovered.finish(), baseline.finish()
+        assert a.item_bin == b.item_bin
+        assert a.total_usage_time == b.total_usage_time
+        assert a.num_bins == b.num_bins
+        recovered.close()
+
+
+class TestServiceOp:
+    def test_defrag_op_moves_and_reports(self):
+        service = AllocationService(fragmented_engine(), quiet=True)
+        reply = service._dispatch({"op": "defrag", "budget": 2})
+        assert reply == {"ok": True, "moved": 1, "migrations": 1}
+        again = service._dispatch({"op": "defrag", "budget": 2})
+        assert again == {"ok": True, "moved": 0, "migrations": 1}
+
+    def test_defrag_op_defaults_to_configured_budget(self):
+        service = AllocationService(
+            fragmented_engine(), quiet=True, defrag_budget=2
+        )
+        reply = service._dispatch({"op": "defrag"})
+        assert reply["moved"] == 1
+
+    def test_defrag_op_validates_budget(self):
+        service = AllocationService(fragmented_engine(), quiet=True)
+        bad = service._dispatch_safely({"op": "defrag", "budget": -1})
+        assert bad["ok"] is False and "budget" in bad["error"]
+        worse = service._dispatch_safely({"op": "defrag", "budget": "lots"})
+        assert worse["ok"] is False and "integer" in worse["error"]
+        # the engine never moved anything
+        assert service.engine.migrations == 0
+
+    def test_background_loop_defragments(self):
+        async def go():
+            engine = fragmented_engine()
+            service = AllocationService(
+                engine, quiet=True, defrag_budget=2, defrag_interval=0.01
+            )
+            await service.start("127.0.0.1", 0)
+            try:
+                for _ in range(200):
+                    if engine.migrations:
+                        break
+                    await asyncio.sleep(0.01)
+            finally:
+                service._shutdown.set()
+                await service.wait_closed()
+            return engine.migrations, engine.defrag_runs
+
+        migrations, runs = asyncio.run(go())
+        assert migrations == 1
+        assert runs == 1  # later passes were no-ops and counted nothing
+
+
+class TestRouterBroadcast:
+    def test_defrag_broadcasts_and_aggregates(self):
+        async def go():
+            engines = [fragmented_engine(), fragmented_engine()]
+            services = [AllocationService(e, quiet=True) for e in engines]
+            ports = [await s.start("127.0.0.1", 0) for s in services]
+            router = ShardRouter(
+                [("127.0.0.1", p) for p in ports],
+                tenants=4,
+                reconnect_wait=10.0,
+            )
+            await router.connect()
+            front = await router.start("127.0.0.1", 0)
+            reader, writer = await asyncio.open_connection("127.0.0.1", front)
+
+            async def call(doc):
+                writer.write((json.dumps(doc) + "\n").encode())
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            reply = await call({"op": "defrag", "budget": 2})
+            stats = await call({"op": "stats"})
+            writer.close()
+            router.shutdown()
+            await router.wait_closed()
+            for service in services:
+                service._shutdown.set()
+                await service.wait_closed()
+            return reply, stats
+
+        reply, stats = asyncio.run(go())
+        assert reply["ok"] is True
+        assert reply["moved"] == 2
+        assert reply["migrations"] == 2
+        assert reply["shards"] == [1, 1]
+        totals = stats["stats"]["totals"]
+        assert totals["migrations"] == 2
+        assert totals["defrag_runs"] == 2

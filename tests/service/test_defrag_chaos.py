@@ -1,0 +1,154 @@
+"""Chaos: kill-during-migration recovery, swept over every event index.
+
+The migration extension of the crash-recovery differential in
+``test_recovery.py``: a seeded trace interleaved with durable ``defrag``
+passes, killed at every WAL position in each of the three windows —
+before the append (nothing durable), between the append and the move
+(the intent record is logged but the items never moved), and after the
+move — must recover to the *exact* packing and migration counters of
+the run that never crashed.
+
+Retry discipline: submits are absorbed by the request-id dedup window
+as usual.  A ``defrag`` record carries no request id, so the restarted
+client applies the ordinal-skip rule instead — the recovered engine's
+``defrag_runs`` counter says how many passes are already durable (every
+pass in this trace is effective by construction, so passes and counter
+increments are 1:1), and the client skips exactly that many before
+re-issuing.  This is the documented operational contract for resuming a
+defragmenter after a crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.service import (
+    DurableEngine,
+    FaultInjector,
+    FaultPlan,
+    KillPoint,
+    StreamingEngine,
+    WriteAheadLog,
+    recover,
+)
+from repro.workloads import poisson_workload
+
+pytestmark = pytest.mark.chaos
+
+CHECKPOINT_EVERY = 7  # small, so kills land on both sides of checkpoints
+DEFRAG_BUDGET = 2
+
+
+def churn_ops(n=50, seed=3, arrival_rate=20.0, every=2):
+    """A high-churn trace with ``defrag`` ops where they will be effective.
+
+    The builder simulates the trace as it lays it down and only inserts
+    a ``("defrag", budget)`` op at positions where the planner's move
+    list is non-empty *at that state* — so in the real runs (which see
+    the identical deterministic state at that position) every logged
+    pass moves something, which is what keeps ``defrag_runs`` usable as
+    the retry ordinal.
+    """
+    items = poisson_workload(
+        n, seed=seed, mu_target=6.0, arrival_rate=arrival_rate
+    )
+    sim = StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=items.capacity
+    )
+    ops = []
+    for i, it in enumerate(sorted(items, key=lambda x: x.arrival)):
+        ops.append(("submit", it))
+        sim.submit(it)
+        if i % every == every - 1 and sim.plan_defrag(DEFRAG_BUDGET):
+            ops.append(("defrag", DEFRAG_BUDGET))
+            sim.defrag(DEFRAG_BUDGET)
+    return items.capacity, ops
+
+
+def apply_op(engine, i, op, durable):
+    kind, arg = op
+    if kind == "submit":
+        if durable:
+            engine.submit(arg, request_id=f"op-{i}")
+        else:
+            engine.submit(arg)
+    elif kind == "defrag":
+        moved = engine.defrag(arg)
+        assert moved > 0, f"defrag op {i} was a no-op; the trace is broken"
+    else:
+        engine.advance(arg)
+
+
+def counters(engine):
+    return (engine.migrations, engine.defrag_runs, engine.bins_evacuated)
+
+
+def baseline(make_engine, ops):
+    engine = make_engine()
+    for i, op in enumerate(ops):
+        apply_op(engine, i, op, durable=False)
+    return engine.finish(), counters(engine)
+
+
+def run_with_kill(directory, make_engine, ops, point, hit):
+    """One crash at (point, hit); returns (result, counters) after recovery."""
+    plan = FaultPlan(seed=1, kill={point: hit})
+    injector = FaultInjector(plan)
+    wal = WriteAheadLog(directory, fsync="never")
+    durable = DurableEngine(
+        make_engine(), wal, checkpoint_every=CHECKPOINT_EVERY, injector=injector
+    )
+    killed_at = None
+    try:
+        for i, op in enumerate(ops):
+            apply_op(durable, i, op, durable=True)
+        durable.finish()
+    except KillPoint:
+        killed_at = i
+    finally:
+        wal.close()
+    assert killed_at is not None, f"kill {point}@{hit} never fired"
+
+    recovered, _ = recover(
+        directory,
+        engine_builder=make_engine,
+        fsync="never",
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    # ordinal-skip: passes already durable (logged, hence replayed) stay
+    # skipped; submits retry under their original request ids instead
+    durable_runs = recovered.engine.defrag_runs
+    ordinal = sum(1 for op in ops[:killed_at] if op[0] == "defrag")
+    for i in range(killed_at, len(ops)):
+        if ops[i][0] == "defrag":
+            ordinal += 1
+            if ordinal <= durable_runs:
+                continue
+        apply_op(recovered, i, ops[i], durable=True)
+    stats = counters(recovered.engine)
+    result = recovered.finish()
+    recovered.close()
+    return result, stats
+
+
+@pytest.mark.parametrize("point", ["wal.write", "wal.appended", "applied"])
+def test_kill_during_migration_at_every_event_index(tmp_path, point):
+    capacity, ops = churn_ops()
+    n_defrags = sum(1 for op in ops if op[0] == "defrag")
+    assert n_defrags >= 3, "trace must actually exercise the defragmenter"
+    make_engine = lambda: StreamingEngine.scalar(
+        make_algorithm("first-fit"), capacity=capacity
+    )
+    expected, expected_counters = baseline(make_engine, ops)
+    assert expected_counters[1] == n_defrags
+
+    for hit in range(1, len(ops) + 1):
+        result, stats = run_with_kill(
+            str(tmp_path / f"{point}-{hit}"), make_engine, ops, point, hit
+        )
+        assert result.item_bin == expected.item_bin, f"{point}@{hit}"
+        assert result.total_usage_time == expected.total_usage_time, \
+            f"{point}@{hit}"
+        assert result.num_bins == expected.num_bins, f"{point}@{hit}"
+        assert stats == expected_counters, f"{point}@{hit}"

@@ -57,16 +57,18 @@ def test_quick_bench_structure(tmp_path):
     assert {r["path"] for r in trace_rows} == TRACE_PATHS
     for row in trace_rows:
         assert row["instance"].startswith("trace-azure-")
-    # two replay modes per grid cell, three WAL cells, four loopback
-    # cells, and the router cells (direct baseline + quick shard counts)
+    # two replay modes per grid cell, the migration-churn cell, three
+    # WAL cells, four loopback cells, and the router cells (direct
+    # baseline + quick shard counts)
     assert len(report.service) == (
-        2 * len(SERVICE_QUICK_GRID) + 3 + 4
+        2 * len(SERVICE_QUICK_GRID) + 1 + 3 + 4
         + 1 + len(SERVICE_ROUTER_QUICK_SHARDS)
     )
     modes = {r["mode"] for r in report.service}
     assert modes == {
         "stream",
         "stream+metrics",
+        "stream+migration",
         "stream+wal(never)",
         "stream+wal(interval)",
         "stream+wal(always)",
@@ -96,6 +98,53 @@ def test_quick_bench_includes_vector_cells():
     assert {r["path"] for r in vector_rows} == {"default", "reference"}
 
 
+def test_only_selects_single_cell():
+    """--only runs just the matching cells and nothing else."""
+    report = run_bench(
+        quick=True, repeats=1, montecarlo=True,
+        only="throughput/n2000/first-fit/default",
+    )
+    assert [
+        (r["instance"], r["algorithm"], r["path"]) for r in report.throughput
+    ] == [("n2000", "first-fit", "default")]
+    assert report.service == []
+    assert report.montecarlo == {}  # "montecarlo" does not match either
+
+
+def test_only_merges_into_existing_report(tmp_path):
+    """Unmatched cells carry over from the report on disk."""
+    out = tmp_path / "bench.json"
+    stale = {
+        "schema": 2,
+        "meta": {},
+        "throughput": [
+            {"instance": "n2000", "algorithm": "first-fit",
+             "path": "default", "seconds": 9999.0, "events_per_sec": 1},
+            {"instance": "n9", "algorithm": "other",
+             "path": "default", "seconds": 7.0, "events_per_sec": 2},
+        ],
+        "service": [
+            {"instance": "n2000", "mode": "stream",
+             "seconds": 5.0, "events_per_sec": 3},
+        ],
+        "montecarlo": {"config": "kept"},
+    }
+    out.write_text(json.dumps(stale))
+    run_bench(
+        quick=True, repeats=1, json_path=str(out), montecarlo=False,
+        only="throughput/n2000/first-fit/default",
+    )
+    payload = json.loads(out.read_text())
+    rows = {
+        (r["instance"], r["algorithm"], r["path"]): r
+        for r in payload["throughput"]
+    }
+    assert rows[("n2000", "first-fit", "default")]["seconds"] < 9999.0
+    assert rows[("n9", "other", "default")]["seconds"] == 7.0
+    assert payload["service"] == stale["service"]
+    assert payload["montecarlo"] == {"config": "kept"}
+
+
 def test_render_mentions_every_algorithm():
     report = run_bench(quick=True, repeats=1, montecarlo=False)
     text = report.render()
@@ -110,7 +159,7 @@ def test_full_bench_baseline(tmp_path):
     report = run_bench(quick=False, repeats=3, json_path=str(out))
     assert len(report.throughput) == expected_rows(THROUGHPUT_GRID, VECTOR_GRID)
     assert len(report.service) == (
-        2 * len(SERVICE_GRID) + 3 + 4 + 1 + len(SERVICE_ROUTER_SHARDS)
+        2 * len(SERVICE_GRID) + 1 + 3 + 4 + 1 + len(SERVICE_ROUTER_SHARDS)
     )
     assert report.montecarlo["identical"] is True
     # the fleet floor: the 1-shard router on the binary fast path costs
